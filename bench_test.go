@@ -1,0 +1,559 @@
+// Benchmark harness regenerating the paper's figures and quantifying its
+// qualitative claims. The paper (ICDE 2001) reports no numeric tables; its
+// evaluation artifacts are Figures 1-10 plus the §6 trade-off discussion.
+// Each figure gets a bench exercising the mechanism it depicts; each
+// trade-off claim (T1-T6 in DESIGN.md) gets a bench producing the numbers
+// EXPERIMENTS.md records. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/annotation"
+	"repro/internal/base"
+	"repro/internal/base/htmldoc"
+	"repro/internal/base/slides"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/bookmarks"
+	"repro/internal/clinical"
+	"repro/internal/core"
+	"repro/internal/mark"
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/slim"
+	"repro/internal/slimpad"
+	"repro/internal/vdoc"
+)
+
+// fullEnvironment returns a clinical environment (spreadsheet, XML, text,
+// PDF) extended with slides and HTML substrates, so all six base types of
+// §3 are live.
+func fullEnvironment(b *testing.B, patients int) *clinical.Environment {
+	b.Helper()
+	env, err := clinical.NewEnvironment(2001, patients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deck := slides.NewDeck("grandrounds.ppt")
+	deck.AddSlide("Heart Failure", "Loop diuretics are first-line")
+	slidesApp := slides.NewApp()
+	if err := slidesApp.AddDeck(deck); err != nil {
+		b.Fatal(err)
+	}
+	browser := htmldoc.NewApp()
+	if _, err := browser.LoadString("guidelines.html",
+		`<html><body><h1 id="top">Guidelines</h1><p id="dosing">Furosemide 40mg IV starting dose.</p></body></html>`); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.Marks.RegisterApplication(slidesApp); err != nil {
+		b.Fatal(err)
+	}
+	if err := env.Marks.RegisterApplication(browser); err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// markOneOfEach creates one mark into each of the six base types and
+// returns them keyed by scheme.
+func markOneOfEach(b *testing.B, env *clinical.Environment) map[string]mark.Mark {
+	b.Helper()
+	p := env.Patients[0]
+	out := map[string]mark.Mark{}
+	steps := []struct {
+		scheme string
+		sel    func() error
+	}{
+		{"spreadsheet", func() error { return env.SelectMed(p, 0) }},
+		{"xml", func() error { return env.SelectLab(p, "K") }},
+		{"text", func() error { return env.SelectPlanLine(p, 1) }},
+		{"pdf", func() error { return env.SelectImpression(p) }},
+	}
+	for _, s := range steps {
+		if err := s.sel(); err != nil {
+			b.Fatal(err)
+		}
+		m, err := env.Marks.CreateFromSelection(s.scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[s.scheme] = m
+	}
+	// slides and html marks (apps registered in fullEnvironment).
+	for _, m := range []mark.Mark{
+		{ID: "bench-slides", Address: base.Address{Scheme: "slides", File: "grandrounds.ppt", Path: "slide1/shape2"}},
+		{ID: "bench-html", Address: base.Address{Scheme: "html", File: "guidelines.html", Path: "#dosing"}},
+	} {
+		if err := env.Marks.Add(m); err != nil {
+			b.Fatal(err)
+		}
+		out[m.Address.Scheme] = m
+	}
+	return out
+}
+
+// BenchmarkF1_MarkResolutionPerBaseType (Fig. 1): one superimposed layer
+// marking into every heterogeneous base source; measures resolution cost
+// per base type.
+func BenchmarkF1_MarkResolutionPerBaseType(b *testing.B) {
+	env := fullEnvironment(b, 1)
+	marks := markOneOfEach(b, env)
+	for _, scheme := range []string{"spreadsheet", "xml", "text", "pdf", "slides", "html"} {
+		m := marks[scheme]
+		b.Run(scheme, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Marks.Resolve(m.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// buildWorksheet constructs the Fig. 2 resident's worksheet: one bundle per
+// patient with med, lab, note, and imaging scraps.
+func buildWorksheet(b *testing.B, env *clinical.Environment, app *slimpad.App) (slimpad.SlimPad, slimpad.Bundle) {
+	b.Helper()
+	pad, root, err := app.NewPad("Rounds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, p := range env.Patients {
+		bundle, err := app.DMI().CreateBundle(p.Name, slimpad.Coordinate{X: 16, Y: 16 + i*200}, 540, 180)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := app.DMI().AddNestedBundle(root.ID(), bundle.ID()); err != nil {
+			b.Fatal(err)
+		}
+		if err := env.SelectMed(p, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.ClipSelection(bundle.ID(), "spreadsheet", "", slimpad.Coordinate{X: 8, Y: 8}); err != nil {
+			b.Fatal(err)
+		}
+		for li, code := range []string{"Na", "K", "Cl"} {
+			if err := env.SelectLab(p, code); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.ClipSelection(bundle.ID(), "xml", code, slimpad.Coordinate{X: 300, Y: 8 + li*24}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return pad, root
+}
+
+// BenchmarkF2_WorksheetConstruction (Fig. 2): building the full resident's
+// worksheet from live base selections, per worksheet.
+func BenchmarkF2_WorksheetConstruction(b *testing.B) {
+	env := fullEnvironment(b, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app, err := slimpad.NewApp(env.Marks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buildWorksheet(b, env, app)
+	}
+}
+
+// BenchmarkF3_BundleScrapOps (Fig. 3): the core Bundle-Scrap manipulations
+// through the hand-written DMI.
+func BenchmarkF3_BundleScrapOps(b *testing.B) {
+	d, err := slimpad.NewDMI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("CreateBundle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.CreateBundle("b", slimpad.Coordinate{X: i, Y: i}, 100, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CreateScrap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.CreateScrap("s", slimpad.Coordinate{X: i, Y: i}, "mark-000001"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bundle, _ := d.CreateBundle("target", slimpad.Coordinate{}, 10, 10)
+	b.Run("MoveBundle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := d.MoveBundle(bundle.ID(), slimpad.Coordinate{X: i, Y: i}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ReadBundle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Bundle(bundle.ID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkF4_ScenarioRoundTrip (Fig. 4): the John Smith scenario — clip a
+// med cell and a lab element, then double-click both scraps to re-establish
+// context.
+func BenchmarkF4_ScenarioRoundTrip(b *testing.B) {
+	env := fullEnvironment(b, 1)
+	app, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, root, err := app.NewPad("Rounds")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := env.Patients[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.SelectMed(p, 0); err != nil {
+			b.Fatal(err)
+		}
+		med, err := app.ClipSelection(root.ID(), "spreadsheet", "", slimpad.Coordinate{X: 8, Y: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := env.SelectLab(p, "K"); err != nil {
+			b.Fatal(err)
+		}
+		lab, err := app.ClipSelection(root.ID(), "xml", "K+", slimpad.Coordinate{X: 8, Y: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.OpenScrap(med.ID()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.OpenScrap(lab.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF5_ArchitectureDispatch (Fig. 5): cost of going through the
+// assembled architecture (System -> Mark Manager -> module -> base app)
+// versus calling the base application directly. The difference is the price
+// of the seams that §6 credits for parallel development.
+func BenchmarkF5_ArchitectureDispatch(b *testing.B) {
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug\nFurosemide\n"); err != nil {
+		b.Fatal(err)
+	}
+	sheets.AddWorkbook(w)
+	sys := core.NewSystem()
+	if err := sys.RegisterBase(sheets); err != nil {
+		b.Fatal(err)
+	}
+	addr := base.Address{Scheme: "spreadsheet", File: "meds.xls", Path: "Meds!A2"}
+	if err := sys.Marks.Add(mark.Mark{ID: "m", Address: addr}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("through-architecture", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.ViewMark(core.Simultaneous, "m"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-base-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sheets.GoTo(addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkF6_ViewingStyles (Fig. 6): the three viewing styles over the
+// same mark.
+func BenchmarkF6_ViewingStyles(b *testing.B) {
+	env := fullEnvironment(b, 1)
+	sys := core.NewSystem()
+	sys.Marks = env.Marks
+	marks := markOneOfEach(b, env)
+	m := marks["spreadsheet"]
+	for _, style := range []core.ViewingStyle{core.Simultaneous, core.EnhancedBase, core.Independent} {
+		b.Run(style.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.ViewMark(style, m.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkF7_MarkModuleDispatch (Fig. 7): mark resolution cost as the
+// number of registered modules grows. The paper's extensibility claim
+// implies flat cost — the mark manager routes by scheme, not by scanning.
+func BenchmarkF7_MarkModuleDispatch(b *testing.B) {
+	for _, extra := range []int{0, 4, 16, 64} {
+		b.Run(fmt.Sprintf("modules=%d", extra+1), func(b *testing.B) {
+			sheets := spreadsheet.NewApp()
+			w := spreadsheet.NewWorkbook("meds.xls")
+			if _, err := w.LoadCSV("Meds", "Drug\nFurosemide\n"); err != nil {
+				b.Fatal(err)
+			}
+			sheets.AddWorkbook(w)
+			mm := mark.NewManager()
+			if err := mm.RegisterApplication(sheets); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < extra; i++ {
+				app := spreadsheet.NewApp()
+				if err := mm.RegisterModule(schemeRenamer{mark.NewAppModule(app), fmt.Sprintf("extra%d", i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := mm.Add(mark.Mark{ID: "m", Address: base.Address{Scheme: "spreadsheet", File: "meds.xls", Path: "Meds!A2"}}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mm.Resolve("m"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// schemeRenamer lets one substrate register under many schemes for the
+// F7 scaling bench.
+type schemeRenamer struct {
+	*mark.AppModule
+	scheme string
+}
+
+func (s schemeRenamer) Scheme() string { return s.scheme }
+
+// BenchmarkF8_MarkCodec (Fig. 8): decomposing generic marks into typed
+// views and round-tripping marks through the triple representation.
+func BenchmarkF8_MarkCodec(b *testing.B) {
+	em := mark.ExcelMark{MarkID: "m", FileName: "meds.xls", SheetName: "Meds"}
+	em.Range, _ = spreadsheet.ParseRange("B2:C4")
+	generic := em.Mark()
+	b.Run("typed-decompose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mark.AsExcelMark(generic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("triple-roundtrip", func(b *testing.B) {
+		mm := mark.NewManager()
+		for i := 0; i < 100; i++ {
+			mm.Add(mark.Mark{ID: fmt.Sprintf("m%03d", i), Address: generic.Address, Excerpt: "x"})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store := trimNew()
+			if err := mm.SaveTo(store); err != nil {
+				b.Fatal(err)
+			}
+			back := mark.NewManager()
+			if err := back.LoadFrom(store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkF9_DMIvsTriples (Fig. 9): one Create_Bundle through the DMI
+// versus hand-writing the equivalent triples into TRIM. The gap is the
+// price of validation plus object materialization.
+func BenchmarkF9_DMIvsTriples(b *testing.B) {
+	b.Run("dmi-create", func(b *testing.B) {
+		store := slim.NewStore()
+		d, err := slim.GenerateDMI(store, metamodel.BundleScrapModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Create(metamodel.ConstructBundle, map[string]any{
+				metamodel.ConnBundleName:   "b",
+				metamodel.ConnBundlePos:    "1,2",
+				metamodel.ConnBundleWidth:  100,
+				metamodel.ConnBundleHeight: 100,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("raw-triples", func(b *testing.B) {
+		tm := trimNew()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := rdf.IRI(fmt.Sprintf("%sBundle-%d", rdf.NSInst, i))
+			batch := tm.NewBatch()
+			batch.Create(rdf.T(id, rdf.RDFType, rdf.IRI(metamodel.ConstructBundle)))
+			batch.Create(rdf.T(id, rdf.IRI(metamodel.ConnBundleName), rdf.String("b")))
+			batch.Create(rdf.T(id, rdf.IRI(metamodel.ConnBundlePos), rdf.String("1,2")))
+			batch.Create(rdf.T(id, rdf.IRI(metamodel.ConnBundleWidth), rdf.Integer(100)))
+			batch.Create(rdf.T(id, rdf.IRI(metamodel.ConnBundleHeight), rdf.Integer(100)))
+			if err := batch.Apply(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkF10_SlimpadDMI (Fig. 10): every operation of the SLIMPad DMI,
+// including save/load.
+func BenchmarkF10_SlimpadDMI(b *testing.B) {
+	d, err := slimpad.NewDMI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pad, _ := d.CreateSlimPad("p")
+	bundle, _ := d.CreateBundle("b", slimpad.Coordinate{}, 10, 10)
+	d.SetRootBundle(pad.ID(), bundle.ID())
+	scrap, _ := d.CreateScrap("s", slimpad.Coordinate{}, "mark-000001")
+	d.AddScrapToBundle(bundle.ID(), scrap.ID())
+
+	ops := []struct {
+		name string
+		fn   func(i int) error
+	}{
+		{"Update_padName", func(i int) error { return d.UpdatePadName(pad.ID(), fmt.Sprintf("p%d", i)) }},
+		{"Update_bundleName", func(i int) error { return d.UpdateBundleName(bundle.ID(), fmt.Sprintf("b%d", i)) }},
+		{"Update_bundlePos", func(i int) error { return d.MoveBundle(bundle.ID(), slimpad.Coordinate{X: i, Y: i}) }},
+		{"Update_scrapPos", func(i int) error { return d.MoveScrap(scrap.ID(), slimpad.Coordinate{X: i, Y: i}) }},
+		{"Read_scrap", func(i int) error { _, err := d.Scrap(scrap.ID()); return err }},
+	}
+	for _, op := range ops {
+		b.Run(op.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := op.fn(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("save+load", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			path := dir + "/pad.xml"
+			if err := d.Save(path); err != nil {
+				b.Fatal(err)
+			}
+			d2, err := slimpad.NewDMI()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d2.Load(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkT5_Baselines (§5): the same retrieval task — "get me back to the
+// potassium result for this patient" — through SLIMPad's scrap, a
+// ComMentor-style annotation, and a Mirage-III-style virtual document.
+func BenchmarkT5_Baselines(b *testing.B) {
+	env := fullEnvironment(b, 1)
+	p := env.Patients[0]
+	if err := env.SelectLab(p, "K"); err != nil {
+		b.Fatal(err)
+	}
+	m, err := env.Marks.CreateFromSelection("xml")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// SLIMPad scrap.
+	padApp, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, root, err := padApp.NewPad("p")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scrap, err := padApp.DMI().CreateScrap("K+", slimpad.Coordinate{}, m.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := padApp.DMI().AddScrapToBundle(root.ID(), scrap.ID()); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("slimpad-open-scrap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := padApp.OpenScrap(scrap.ID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Annotation baseline.
+	anns, err := annotation.NewStore(env.Marks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := anns.AnnotateMark(m.ID, "flag", "watch this", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("annotation-navigate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := anns.Navigate(a.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Virtual-document baseline.
+	lib := vdoc.NewLibrary(env.Marks)
+	v, err := lib.Create("signout")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v.AppendText("K+ is ")
+	v.AppendSpanLink(m.ID)
+	b.Run("vdoc-render", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, broken, err := lib.Render("signout"); err != nil || broken != 0 {
+				b.Fatal(err, broken)
+			}
+		}
+	})
+
+	// Shared-bookmarks baseline (PowerBookmarks, ref [14]).
+	bms, err := bookmarks.NewStore(env.Marks, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.SelectLab(p, "K"); err != nil {
+		b.Fatal(err)
+	}
+	bm, err := bms.AddFromSelection(bms.Root(), "xml", "K+", "labs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bookmark-open", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bms.Open(bm.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// sink defeats dead-code elimination in read-only benches.
+var sink int
+
+func consume(s string) { sink += len(s) }
+
+var _ = strings.TrimSpace // keep strings imported for helpers below

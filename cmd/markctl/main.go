@@ -1,0 +1,210 @@
+// markctl exercises the Mark Manager against real files on disk: it loads a
+// document into the matching base substrate, creates a mark at a given
+// address, resolves marks, and persists the mark set as an XML triple file.
+//
+// Usage:
+//
+//	markctl mark    -marks marks.xml -scheme spreadsheet -doc meds.csv -at 'Meds!A2:C2'
+//	markctl mark    -marks marks.xml -scheme xml  -doc lab.xml  -at '/report/panel[1]/result[2]'
+//	markctl mark    -marks marks.xml -scheme text -doc note.txt -at 's2/p1'
+//	markctl mark    -marks marks.xml -scheme pdf  -doc scan.txt -at 'page1/lines3-5'
+//	markctl mark    -marks marks.xml -scheme html -doc page.html -at '#results'
+//	markctl list    -marks marks.xml
+//	markctl resolve -marks marks.xml -id mark-000001 -doc meds.csv
+//
+// Documents load under their base filename; CSV files become a workbook
+// with one sheet named "Meds".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/base"
+	"repro/internal/base/htmldoc"
+	"repro/internal/base/pdfdoc"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/textdoc"
+	"repro/internal/base/xmldoc"
+	"repro/internal/mark"
+	"repro/internal/trim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "markctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("need a command: mark | list | resolve | extract")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	marksFile := fs.String("marks", "marks.xml", "mark store file (XML triples)")
+	scheme := fs.String("scheme", "", "base scheme: spreadsheet|xml|text|pdf|html")
+	doc := fs.String("doc", "", "base document file to load")
+	at := fs.String("at", "", "address path within the document")
+	id := fs.String("id", "", "mark id (for resolve)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	mm := mark.NewManager()
+	store := trim.NewManager()
+	if _, err := os.Stat(*marksFile); err == nil {
+		if err := store.LoadFile(*marksFile); err != nil {
+			return err
+		}
+		if err := mm.LoadFrom(store); err != nil {
+			return err
+		}
+	}
+
+	switch cmd {
+	case "list":
+		for _, m := range mm.Marks() {
+			fmt.Fprintf(out, "%s  %s\n", m.ID, m.Address)
+		}
+		fmt.Fprintf(out, "-- %d mark(s)\n", mm.Len())
+		return nil
+
+	case "mark":
+		if *scheme == "" || *doc == "" || *at == "" {
+			return fmt.Errorf("mark needs -scheme, -doc, and -at")
+		}
+		app, name, err := loadDoc(*scheme, *doc)
+		if err != nil {
+			return err
+		}
+		if err := mm.RegisterApplication(app); err != nil {
+			return err
+		}
+		// Drive the viewer to the address (validating it), so the mark is
+		// created from a genuine current selection.
+		if _, err := app.GoTo(base.Address{Scheme: *scheme, File: name, Path: *at}); err != nil {
+			return err
+		}
+		m, err := mm.CreateFromSelection(*scheme)
+		if err != nil {
+			return err
+		}
+		if err := mm.SaveTo(store); err != nil {
+			return err
+		}
+		if err := store.SaveFile(*marksFile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "created %s -> %s\n", m.ID, m.Address)
+		if m.Excerpt != "" {
+			fmt.Fprintf(out, "  excerpt: %.70q\n", m.Excerpt)
+		}
+		return nil
+
+	case "extract":
+		// The §6 "extract content" behavior: fetch the marked element's
+		// current content without driving any viewer; falls back to the
+		// stored excerpt when the base document is unavailable.
+		if *id == "" {
+			return fmt.Errorf("extract needs -id")
+		}
+		if *doc != "" {
+			m, err := mm.Mark(*id)
+			if err != nil {
+				return err
+			}
+			app, _, err := loadDoc(m.Address.Scheme, *doc)
+			if err != nil {
+				return err
+			}
+			if err := mm.RegisterApplication(app); err != nil {
+				return err
+			}
+		}
+		content, err := mm.ExtractContent(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", content)
+		return nil
+
+	case "resolve":
+		if *id == "" || *doc == "" {
+			return fmt.Errorf("resolve needs -id and -doc (to reload the base document)")
+		}
+		m, err := mm.Mark(*id)
+		if err != nil {
+			return err
+		}
+		app, _, err := loadDoc(m.Address.Scheme, *doc)
+		if err != nil {
+			return err
+		}
+		if err := mm.RegisterApplication(app); err != nil {
+			return err
+		}
+		el, err := mm.Resolve(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s resolves to %s\n  content: %q\n  context: %q\n", *id, el.Address, el.Content, el.Context)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// loadDoc reads the file and loads it into a fresh base application of the
+// scheme, returning the app and the document's library name.
+func loadDoc(scheme, path string) (base.Application, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	name := filepath.Base(path)
+	text := string(data)
+	switch scheme {
+	case spreadsheet.Scheme:
+		app := spreadsheet.NewApp()
+		w := spreadsheet.NewWorkbook(name)
+		if _, err := w.LoadCSV("Meds", text); err != nil {
+			return nil, "", err
+		}
+		if err := app.AddWorkbook(w); err != nil {
+			return nil, "", err
+		}
+		return app, name, nil
+	case xmldoc.Scheme:
+		app := xmldoc.NewApp()
+		if _, err := app.LoadString(name, text); err != nil {
+			return nil, "", err
+		}
+		return app, name, nil
+	case textdoc.Scheme:
+		app := textdoc.NewApp()
+		if _, err := app.LoadString(name, text); err != nil {
+			return nil, "", err
+		}
+		return app, name, nil
+	case pdfdoc.Scheme:
+		app := pdfdoc.NewApp()
+		if _, err := app.LoadString(name, text, 0); err != nil {
+			return nil, "", err
+		}
+		return app, name, nil
+	case htmldoc.Scheme:
+		app := htmldoc.NewApp()
+		if _, err := app.LoadString(name, text); err != nil {
+			return nil, "", err
+		}
+		return app, name, nil
+	default:
+		return nil, "", fmt.Errorf("unknown scheme %q", scheme)
+	}
+}

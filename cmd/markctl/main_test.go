@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMarkListResolveSpreadsheet(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+
+	var out strings.Builder
+	if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", "Meds!A2:B2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "created mark-000001") {
+		t.Fatalf("mark output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"list", "-marks", marks}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- 1 mark(s)") {
+		t.Fatalf("list output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"resolve", "-marks", marks, "-id", "mark-000001", "-doc", csv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `content: "Furosemide\t40mg"`) {
+		t.Fatalf("resolve output = %q", out.String())
+	}
+}
+
+func TestMarkAllSchemes(t *testing.T) {
+	dir := t.TempDir()
+	marks := filepath.Join(dir, "marks.xml")
+	docs := []struct {
+		scheme, name, content, at string
+	}{
+		{"xml", "lab.xml", `<report><result code="K">4.1</result></report>`, "/report/result"},
+		{"text", "note.txt", "# Plan\nContinue diuresis today.\n", "s1/p1"},
+		{"pdf", "scan.txt", "line one\nline two\nline three\n", "page1/lines2-3"},
+		{"html", "page.html", `<html><body><p id="x">hello</p></body></html>`, "#x"},
+	}
+	var out strings.Builder
+	for _, d := range docs {
+		path := writeFile(t, dir, d.name, d.content)
+		out.Reset()
+		if err := run([]string{"mark", "-marks", marks, "-scheme", d.scheme, "-doc", path, "-at", d.at}, &out); err != nil {
+			t.Fatalf("%s: %v", d.scheme, err)
+		}
+		if !strings.Contains(out.String(), "created mark-") {
+			t.Fatalf("%s output = %q", d.scheme, out.String())
+		}
+	}
+	out.Reset()
+	if err := run([]string{"list", "-marks", marks}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- 4 mark(s)") {
+		t.Fatalf("list output = %q", out.String())
+	}
+}
+
+func TestExtract(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+	var out strings.Builder
+	if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", "Meds!A2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// With the live document: current content.
+	out.Reset()
+	if err := run([]string{"extract", "-marks", marks, "-id", "mark-000001", "-doc", csv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "Furosemide" {
+		t.Fatalf("extract = %q", out.String())
+	}
+	// Without the document: falls back to the stored excerpt.
+	out.Reset()
+	if err := run([]string{"extract", "-marks", marks, "-id", "mark-000001"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "Furosemide" {
+		t.Fatalf("offline extract = %q", out.String())
+	}
+	if err := run([]string{"extract", "-marks", marks}, &out); err == nil {
+		t.Error("extract without -id accepted")
+	}
+	if err := run([]string{"extract", "-marks", marks, "-id", "ghost"}, &out); err == nil {
+		t.Error("extract of ghost mark accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug\nFurosemide\n")
+	marks := filepath.Join(dir, "marks.xml")
+	var out strings.Builder
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"mark", "-marks", marks}, // missing flags
+		{"mark", "-marks", marks, "-scheme", "fortran", "-doc", csv, "-at", "x"},           // bad scheme
+		{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", "/nope", "-at", "x"},   // missing doc
+		{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", "garbage"}, // bad address
+		{"resolve", "-marks", marks, "-id", "mark-999999", "-doc", csv},                    // unknown mark
+		{"resolve", "-marks", marks}, // missing flags
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

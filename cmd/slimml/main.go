@@ -1,0 +1,79 @@
+// slimml works with SLIM-ML model specifications (the paper's ref [24]):
+// the textual DSL from which data manipulation interfaces are generated.
+//
+// Usage:
+//
+//	slimml check  spec.slim              # parse + validate
+//	slimml fmt    spec.slim              # canonical form to stdout
+//	slimml encode spec.slim model.xml    # compile to an XML triple store
+//	slimml decode model.xml MODEL_IRI    # store back to SLIM-ML
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/metamodel"
+	"repro/internal/trim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "slimml:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: slimml check|fmt SPEC, slimml encode SPEC OUT.xml, slimml decode STORE.xml MODEL_IRI")
+	}
+	switch args[0] {
+	case "check", "fmt", "encode":
+		src, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		m, err := metamodel.ParseModelSpec(string(src))
+		if err != nil {
+			return err
+		}
+		switch args[0] {
+		case "check":
+			fmt.Fprintf(out, "%s (%s): %d constructs, %d connectors — OK\n",
+				m.ID, m.Label, len(m.Constructs()), len(m.Connectors()))
+		case "fmt":
+			fmt.Fprint(out, metamodel.FormatModelSpec(m))
+		case "encode":
+			if len(args) != 3 {
+				return fmt.Errorf("encode needs SPEC and OUT.xml")
+			}
+			store := trim.NewManager()
+			if err := metamodel.Encode(m, store); err != nil {
+				return err
+			}
+			if err := store.SaveFile(args[2]); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s: %d triples\n", args[2], store.Len())
+		}
+		return nil
+	case "decode":
+		if len(args) != 3 {
+			return fmt.Errorf("decode needs STORE.xml and MODEL_IRI")
+		}
+		store := trim.NewManager()
+		if err := store.LoadFile(args[1]); err != nil {
+			return err
+		}
+		m, err := metamodel.Decode(store, args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, metamodel.FormatModelSpec(m))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}

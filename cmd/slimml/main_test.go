@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const spec = `model http://x/model "Tiny"
+namespace http://x/
+construct Doc
+literal   Title string
+connector title Doc -> Title [1..1]
+`
+
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "tiny.slim")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFmtEncodeDecode(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir)
+	storePath := filepath.Join(dir, "model.xml")
+
+	var out strings.Builder
+	if err := run([]string{"check", specPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 constructs, 1 connectors — OK") {
+		t.Fatalf("check output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"fmt", specPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "connector http://x/title http://x/Doc -> http://x/Title [1..1]") {
+		t.Fatalf("fmt output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"encode", specPath, storePath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("encode output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"decode", storePath, "http://x/model"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `model http://x/model "Tiny"`) {
+		t.Fatalf("decode output = %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir)
+	bad := filepath.Join(dir, "bad.slim")
+	os.WriteFile(bad, []byte("not a spec"), 0o644)
+	var out strings.Builder
+	cases := [][]string{
+		{},
+		{"check"},
+		{"bogus", specPath},
+		{"check", "/nonexistent"},
+		{"check", bad},
+		{"encode", specPath},
+		{"encode", specPath, "/nodir/out.xml"},
+		{"decode", "/nonexistent", "http://x/model"},
+		{"decode", specPath},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

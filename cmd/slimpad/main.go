@@ -1,0 +1,199 @@
+// slimpad is the command-line SLIMPad tool. It builds the ICU demo pad of
+// Fig. 2/Fig. 4 over synthetic clinical data, persists pads as XML triple
+// files, and inspects persisted pads.
+//
+// Usage:
+//
+//	slimpad demo  -out rounds.xml [-patients 3] [-seed 2001]
+//	slimpad show  -pad rounds.xml
+//	slimpad check -pad rounds.xml
+//	slimpad marks -pad rounds.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/clinical"
+	"repro/internal/mark"
+	"repro/internal/slimpad"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "slimpad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("need a command: demo | show | check | marks")
+	}
+	switch args[0] {
+	case "demo":
+		return demo(args[1:], out)
+	case "show", "check", "marks":
+		return inspect(args[0], args[1:], out)
+	case "find":
+		return find(args[1:], out)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// find searches a persisted pad for scraps and bundles by label substring
+// (the §6 query capability).
+func find(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("find", flag.ContinueOnError)
+	padFile := fs.String("pad", "", "pad file to search")
+	q := fs.String("q", "", "label substring (case-insensitive)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *padFile == "" || *q == "" {
+		return fmt.Errorf("find needs -pad and -q")
+	}
+	marks := mark.NewManager()
+	app, err := slimpad.NewApp(marks)
+	if err != nil {
+		return err
+	}
+	if _, err := app.Load(*padFile); err != nil {
+		return err
+	}
+	bundles, err := app.DMI().FindBundles(*q)
+	if err != nil {
+		return err
+	}
+	for _, b := range bundles {
+		fmt.Fprintf(out, "bundle  %s  %q\n", b.ID().Value(), b.BundleName())
+	}
+	scraps, err := app.DMI().FindScraps(*q)
+	if err != nil {
+		return err
+	}
+	for _, s := range scraps {
+		wire := ""
+		if hs := s.MarkHandles(); len(hs) > 0 {
+			if m, err := marks.Mark(hs[0].MarkID()); err == nil {
+				wire = "  -> " + m.Address.String()
+			}
+		}
+		fmt.Fprintf(out, "scrap   %s  %q%s\n", s.ID().Value(), s.ScrapName(), wire)
+	}
+	fmt.Fprintf(out, "-- %d bundle(s), %d scrap(s)\n", len(bundles), len(scraps))
+	return nil
+}
+
+func demo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	outFile := fs.String("out", "rounds.xml", "output pad file")
+	patients := fs.Int("patients", 3, "number of synthetic patients")
+	seed := fs.Int64("seed", 2001, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := clinical.NewEnvironment(*seed, *patients)
+	if err != nil {
+		return err
+	}
+	app, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		return err
+	}
+	pad, root, err := app.NewPad("Rounds")
+	if err != nil {
+		return err
+	}
+	for i, p := range env.Patients {
+		b, err := app.DMI().CreateBundle(p.Name, slimpad.Coordinate{X: 16, Y: 16 + i*200}, 540, 180)
+		if err != nil {
+			return err
+		}
+		if err := app.DMI().AddNestedBundle(root.ID(), b.ID()); err != nil {
+			return err
+		}
+		if err := env.SelectMed(p, 0); err != nil {
+			return err
+		}
+		if _, err := app.ClipSelection(b.ID(), "spreadsheet", "", slimpad.Coordinate{X: 8, Y: 8}); err != nil {
+			return err
+		}
+		for li, code := range []string{"Na", "K", "Cr"} {
+			if err := env.SelectLab(p, code); err != nil {
+				return err
+			}
+			if _, err := app.ClipSelection(b.ID(), "xml", code, slimpad.Coordinate{X: 300, Y: 8 + li*24}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := app.Save(*outFile); err != nil {
+		return err
+	}
+	st, err := app.PadStats(pad.ID())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d bundles, %d scraps, %d marks\n", *outFile, st.Bundles, st.Scraps, st.Marks)
+	return nil
+}
+
+func inspect(cmd string, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	padFile := fs.String("pad", "", "pad file to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *padFile == "" {
+		return fmt.Errorf("-pad is required")
+	}
+	marks := mark.NewManager()
+	app, err := slimpad.NewApp(marks)
+	if err != nil {
+		return err
+	}
+	pads, err := app.Load(*padFile)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "show":
+		for _, p := range pads {
+			tree, err := app.Tree(p.ID())
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, tree)
+			st, err := app.PadStats(p.ID())
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "-- %d bundles, %d scraps, %d marks\n", st.Bundles, st.Scraps, st.Marks)
+		}
+	case "check":
+		problems, err := app.Check()
+		if err != nil {
+			return err
+		}
+		for _, p := range problems {
+			fmt.Fprintln(out, p)
+		}
+		fmt.Fprintf(out, "-- %d problem(s)\n", len(problems))
+		if len(problems) > 0 {
+			return fmt.Errorf("pad does not conform")
+		}
+	case "marks":
+		for _, m := range marks.Marks() {
+			fmt.Fprintf(out, "%s  %s\n", m.ID, m.Address)
+			if m.Excerpt != "" {
+				fmt.Fprintf(out, "  excerpt: %.60q\n", m.Excerpt)
+			}
+		}
+		fmt.Fprintf(out, "-- %d mark(s)\n", marks.Len())
+	}
+	return nil
+}

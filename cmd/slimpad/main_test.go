@@ -1,0 +1,85 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDemoShowCheckMarks(t *testing.T) {
+	dir := t.TempDir()
+	pad := filepath.Join(dir, "rounds.xml")
+
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "2", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") || !strings.Contains(out.String(), "3 bundles") {
+		t.Fatalf("demo output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"show", "-pad", pad}, &out); err != nil {
+		t.Fatal(err)
+	}
+	show := out.String()
+	for _, want := range []string{`SLIMPad "Rounds"`, "-- 3 bundles, 8 scraps, 8 marks"} {
+		if !strings.Contains(show, want) {
+			t.Errorf("show output missing %q:\n%s", want, show)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"check", "-pad", pad}, &out); err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "-- 0 problem(s)") {
+		t.Fatalf("check output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"marks", "-pad", pad}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- 8 mark(s)") {
+		t.Fatalf("marks output = %q", out.String())
+	}
+}
+
+func TestFind(t *testing.T) {
+	dir := t.TempDir()
+	pad := filepath.Join(dir, "rounds.xml")
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "2", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"find", "-pad", pad, "-q", "na"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scrap") || !strings.Contains(out.String(), "xml://") {
+		t.Fatalf("find output = %q", out.String())
+	}
+	if err := run([]string{"find", "-pad", pad}, &out); err == nil {
+		t.Error("find without -q accepted")
+	}
+	if err := run([]string{"find", "-q", "x"}, &out); err == nil {
+		t.Error("find without -pad accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("no command accepted")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"show"}, &out); err == nil {
+		t.Error("show without -pad accepted")
+	}
+	if err := run([]string{"show", "-pad", "/nonexistent.xml"}, &out); err == nil {
+		t.Error("missing pad file accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// trimq is a query tool over persisted SLIM stores (XML triple files, or
+// N-Triples with -nt). It exposes TRIM's three read capabilities from §4.4:
+// selection queries, reachability views, and statistics, plus model listing.
+//
+// Usage:
+//
+//	trimq -store pad.xml stats
+//	trimq -store pad.xml select '?' rdf:type pad:Bundle
+//	trimq -store pad.xml view inst:Bundle-000001
+//	trimq -store pad.xml models
+//
+// Query terms are '?' (wildcard), a prefix:local qualified name, a full IRI,
+// or a "quoted string" literal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trimq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trimq", flag.ContinueOnError)
+	store := fs.String("store", "", "path to a persisted store (XML triple file)")
+	nt := fs.Bool("nt", false, "store file is N-Triples instead of XML")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *store == "" {
+		return fmt.Errorf("-store is required")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a command: stats | select S P O | view RESOURCE | path START PRED... | models")
+	}
+
+	m := trim.NewManager()
+	var err error
+	if *nt {
+		err = m.LoadNTriples(*store)
+	} else {
+		err = m.LoadFile(*store)
+	}
+	if err != nil {
+		return err
+	}
+	pm := rdf.NewPrefixMap()
+
+	switch rest[0] {
+	case "stats":
+		fmt.Fprintln(out, m.Stats())
+		return nil
+	case "models":
+		for _, id := range metamodel.ListModels(m) {
+			model, err := metamodel.Decode(m, id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s (%s): %d constructs, %d connectors\n",
+				pm.Shrink(id), model.Label, len(model.Constructs()), len(model.Connectors()))
+		}
+		return nil
+	case "select":
+		if len(rest) != 4 {
+			return fmt.Errorf("select needs exactly 3 terms (use '?' for wildcards)")
+		}
+		pat := rdf.Pattern{}
+		terms := []*rdf.Term{&pat.Subject, &pat.Predicate, &pat.Object}
+		for i, arg := range rest[1:] {
+			t, err := parseTerm(pm, arg)
+			if err != nil {
+				return fmt.Errorf("term %d: %w", i+1, err)
+			}
+			*terms[i] = t
+		}
+		results := m.Select(pat)
+		for _, t := range results {
+			fmt.Fprintf(out, "%s %s %s\n", pm.ShrinkTerm(t.Subject), pm.ShrinkTerm(t.Predicate), pm.ShrinkTerm(t.Object))
+		}
+		fmt.Fprintf(out, "-- %d triple(s)\n", len(results))
+		return nil
+	case "view":
+		if len(rest) != 2 {
+			return fmt.Errorf("view needs exactly 1 resource")
+		}
+		root, err := parseTerm(pm, rest[1])
+		if err != nil {
+			return err
+		}
+		g := m.View(root)
+		for _, t := range g.All() {
+			fmt.Fprintf(out, "%s %s %s\n", pm.ShrinkTerm(t.Subject), pm.ShrinkTerm(t.Predicate), pm.ShrinkTerm(t.Object))
+		}
+		fmt.Fprintf(out, "-- view of %s: %d triple(s)\n", pm.ShrinkTerm(root), g.Len())
+		return nil
+	case "path":
+		if len(rest) < 3 {
+			return fmt.Errorf("path needs a start resource and at least 1 predicate")
+		}
+		start, err := parseTerm(pm, rest[1])
+		if err != nil {
+			return err
+		}
+		preds := make([]rdf.Term, 0, len(rest)-2)
+		for _, arg := range rest[2:] {
+			p, err := parseTerm(pm, arg)
+			if err != nil {
+				return err
+			}
+			preds = append(preds, p)
+		}
+		results := m.Path([]rdf.Term{start}, preds...)
+		for _, t := range results {
+			fmt.Fprintln(out, pm.ShrinkTerm(t))
+		}
+		fmt.Fprintf(out, "-- %d result(s)\n", len(results))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", rest[0])
+	}
+}
+
+func parseTerm(pm *rdf.PrefixMap, arg string) (rdf.Term, error) {
+	switch {
+	case arg == "?":
+		return rdf.Zero, nil
+	case strings.HasPrefix(arg, `"`) && strings.HasSuffix(arg, `"`) && len(arg) >= 2:
+		return rdf.String(arg[1 : len(arg)-1]), nil
+	case strings.HasPrefix(arg, "_:"):
+		return rdf.Blank(arg[2:]), nil
+	default:
+		iri, err := pm.Expand(arg)
+		if err != nil {
+			return rdf.Zero, err
+		}
+		return rdf.IRI(iri), nil
+	}
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+func storeFile(t *testing.T) string {
+	t.Helper()
+	m := trim.NewManager()
+	if err := metamodel.Encode(metamodel.BundleScrapModel(), m); err != nil {
+		t.Fatal(err)
+	}
+	b1 := rdf.IRI(rdf.NSInst + "Bundle-000001")
+	b2 := rdf.IRI(rdf.NSInst + "Bundle-000002")
+	m.Create(rdf.T(b1, rdf.RDFType, rdf.IRI(metamodel.ConstructBundle)))
+	m.Create(rdf.T(b2, rdf.RDFType, rdf.IRI(metamodel.ConstructBundle)))
+	m.Create(rdf.T(b1, rdf.IRI(metamodel.ConnNestedBundle), b2))
+	m.Create(rdf.T(b2, rdf.IRI(metamodel.ConnBundleName), rdf.String("inner")))
+	path := filepath.Join(t.TempDir(), "store.xml")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStats(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "triples=") {
+		t.Fatalf("stats output = %q", out.String())
+	}
+}
+
+func TestModels(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "models"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pad:model (Bundle-Scrap): 7 constructs, 11 connectors") {
+		t.Fatalf("models output = %q", out.String())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "select", "?", "rdf:type", "pad:Bundle"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- 2 triple(s)") {
+		t.Fatalf("select output = %q", out.String())
+	}
+	// Literal term.
+	out.Reset()
+	if err := run([]string{"-store", path, "select", "?", "pad:bundleName", `"inner"`}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- 1 triple(s)") {
+		t.Fatalf("literal select output = %q", out.String())
+	}
+}
+
+func TestView(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "view", "inst:Bundle-000001"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "inst:Bundle-000002") {
+		t.Fatalf("view output missing nested bundle:\n%s", out.String())
+	}
+}
+
+func TestPathCommand(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "path", "inst:Bundle-000001", "pad:nestedBundle", "pad:bundleName"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"inner"`) || !strings.Contains(out.String(), "-- 1 result(s)") {
+		t.Fatalf("path output = %q", out.String())
+	}
+	if err := run([]string{"-store", path, "path", "inst:Bundle-000001"}, &out); err == nil {
+		t.Error("path without predicates accepted")
+	}
+	if err := run([]string{"-store", path, "path", "nosuch:x", "rdf:type"}, &out); err == nil {
+		t.Error("bad start term accepted")
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	m := trim.NewManager()
+	m.Create(rdf.T(rdf.IRI("http://x/s"), rdf.IRI("http://x/p"), rdf.String("v")))
+	path := filepath.Join(t.TempDir(), "store.nt")
+	if err := m.SaveNTriples(path); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-nt", "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "triples=1") {
+		t.Fatalf("nt stats = %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	cases := [][]string{
+		{},                              // no -store
+		{"-store", path},                // no command
+		{"-store", path, "bogus"},       // unknown command
+		{"-store", path, "select", "?"}, // wrong arity
+		{"-store", path, "select", "?", "nosuchprefix:x", "?"}, // bad qname
+		{"-store", path, "view"},                               // missing resource
+		{"-store", "/nonexistent.xml", "stats"},                // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestParseTerm(t *testing.T) {
+	pm := rdf.NewPrefixMap()
+	if term, err := parseTerm(pm, "?"); err != nil || !term.IsZero() {
+		t.Errorf("wildcard = %v, %v", term, err)
+	}
+	if term, err := parseTerm(pm, `"lit"`); err != nil || term != rdf.String("lit") {
+		t.Errorf("literal = %v, %v", term, err)
+	}
+	if term, err := parseTerm(pm, "_:b1"); err != nil || term != rdf.Blank("b1") {
+		t.Errorf("blank = %v, %v", term, err)
+	}
+	if term, err := parseTerm(pm, "rdf:type"); err != nil || term != rdf.RDFType {
+		t.Errorf("qname = %v, %v", term, err)
+	}
+	if term, err := parseTerm(pm, "http://full/iri"); err != nil || term != rdf.IRI("http://full/iri") {
+		t.Errorf("full iri = %v, %v", term, err)
+	}
+}

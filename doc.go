@@ -1,0 +1,12 @@
+// Package repro reproduces "Bundles in Captivity: An Application of
+// Superimposed Information" (Delcambre et al., ICDE 2001): the SLIMPad
+// superimposed application, the Mark Management framework, and the SLIM
+// store with its TRIM triple manager and metamodel-based generic
+// representation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable examples are under examples/; command-line tools
+// under cmd/; and the benchmark harness regenerating the paper's figures
+// and trade-off claims is bench_test.go in this directory (see
+// EXPERIMENTS.md for recorded results).
+package repro

@@ -1,0 +1,133 @@
+// Concordance: the paper's opening example (§1) — "Consider a concordance
+// for the works of Shakespeare. For a given term, we can find out every line
+// (in a play) where the term is used."
+//
+// The base layer holds plays as sectioned text documents (act/scene as
+// sections). The superimposed layer is a concordance: one bundle per term,
+// one scrap per occurrence, each scrap's mark addressing the exact word —
+// the play-act-scene-line granularity the paper cites.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/base/textdoc"
+	"repro/internal/mark"
+	"repro/internal/slimpad"
+)
+
+// Public-domain excerpts, structured as "# Act.Scene" sections.
+var plays = map[string]string{
+	"hamlet.txt": `# Act 3 Scene 1
+To be, or not to be, that is the question.
+Whether tis nobler in the mind to suffer the slings and arrows of outrageous fortune.
+
+Or to take arms against a sea of troubles, and by opposing end them.
+
+# Act 5 Scene 2
+If it be now, tis not to come. If it be not to come, it will be now.
+
+The readiness is all.
+`,
+	"macbeth.txt": `# Act 1 Scene 5
+Come, you spirits that tend on mortal thoughts, unsex me here.
+
+# Act 5 Scene 5
+Tomorrow, and tomorrow, and tomorrow, creeps in this petty pace from day to day.
+
+Out, out, brief candle! Life is but a walking shadow, a poor player.
+
+It is a tale told by an idiot, full of sound and fury, signifying nothing.
+`,
+	"tempest.txt": `# Act 4 Scene 1
+Our revels now are ended. These our actors, as I foretold you, were all spirits and are melted into air, into thin air.
+
+We are such stuff as dreams are made on, and our little life is rounded with a sleep.
+`,
+}
+
+var terms = []string{"tomorrow", "life", "spirits", "air"}
+
+func main() {
+	writer := textdoc.NewApp()
+	names := make([]string, 0, len(plays))
+	for name := range plays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := writer.LoadString(name, plays[name]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	marks := mark.NewManager()
+	if err := marks.RegisterApplication(writer); err != nil {
+		log.Fatal(err)
+	}
+	pad, err := slimpad.NewApp(marks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	padObj, root, err := pad.NewPad("Concordance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmi := pad.DMI()
+
+	total := 0
+	for ti, term := range terms {
+		bundle, err := dmi.CreateBundle(term, slimpad.Coordinate{X: 16 + ti*200, Y: 16}, 180, 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dmi.AddNestedBundle(root.ID(), bundle.ID()); err != nil {
+			log.Fatal(err)
+		}
+		row := 0
+		for _, name := range names {
+			doc, _ := writer.Document(name)
+			for _, loc := range doc.FindWord(term) {
+				if err := writer.Open(name); err != nil {
+					log.Fatal(err)
+				}
+				if err := writer.Select(loc); err != nil {
+					log.Fatal(err)
+				}
+				sec, _ := doc.Section(loc.Section)
+				label := fmt.Sprintf("%s %s", name, sec.Heading)
+				if _, err := pad.ClipSelection(bundle.ID(), textdoc.Scheme, label,
+					slimpad.Coordinate{X: 8, Y: 8 + row*24}); err != nil {
+					log.Fatal(err)
+				}
+				row++
+				total++
+			}
+		}
+	}
+
+	tree, err := pad.Tree(padObj.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree)
+	fmt.Printf("\nconcordance: %d occurrences of %d terms across %d plays\n", total, len(terms), len(plays))
+
+	// Look up one entry: every "tomorrow" resolves back into its line.
+	bundles, _ := dmi.Bundles()
+	for _, b := range bundles {
+		if b.BundleName() != "tomorrow" {
+			continue
+		}
+		for _, sid := range b.Scraps() {
+			el, err := pad.OpenScrap(sid)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, _ := dmi.Scrap(sid)
+			fmt.Printf("  %s -> %q (in: %.60q...)\n", s.ScrapName(), el.Content, el.Context)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Handoff: the paper's planned task-specific use (§6) — "supporting the
+// transfer of 'current situation' awareness for hospital patients when one
+// doctor is taking over rounds for another, such as on weekends."
+//
+// Doctor A builds a handoff pad over the week, saves it to a single XML
+// file; Doctor B loads the file in a fresh session (new SLIMPad, new Mark
+// Manager, same hospital systems) and every scrap still resolves into the
+// live base documents. The example also exercises the annotation baseline:
+// Doctor B leaves timestamped questions anchored to the same base elements,
+// and the virtual-document baseline renders a sign-out sheet that splices
+// live values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/annotation"
+	"repro/internal/clinical"
+	"repro/internal/mark"
+	"repro/internal/slimpad"
+	"repro/internal/vdoc"
+)
+
+func main() {
+	env, err := clinical.NewEnvironment(77, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "handoff-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	padFile := filepath.Join(dir, "weekend-handoff.xml")
+
+	// --- Doctor A's week ---
+	padA, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	padObjA, rootA, err := padA.NewPad("Weekend Handoff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var watchScrap slimpad.Scrap
+	for i, p := range env.Patients {
+		b, err := padA.DMI().CreateBundle(p.Name, slimpad.Coordinate{X: 10, Y: 10 + i*150}, 500, 140)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := padA.DMI().AddNestedBundle(rootA.ID(), b.ID()); err != nil {
+			log.Fatal(err)
+		}
+		if err := env.SelectMed(p, 0); err != nil {
+			log.Fatal(err)
+		}
+		s, err := padA.ClipSelection(b.ID(), "spreadsheet", "watch this drip", slimpad.Coordinate{X: 8, Y: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if watchScrap == nil {
+			watchScrap = s
+		}
+		if err := env.SelectLab(p, "Cr"); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := padA.ClipSelection(b.ID(), "xml", "creatinine trend", slimpad.Coordinate{X: 8, Y: 40}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := padA.Save(padFile); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Doctor A saved handoff pad to %s\n", filepath.Base(padFile))
+
+	// --- Doctor B's weekend (fresh session) ---
+	marksB := mark.NewManager()
+	for _, err := range []error{
+		marksB.RegisterApplication(env.Sheets),
+		marksB.RegisterApplication(env.XML),
+		marksB.RegisterApplication(env.Notes),
+		marksB.RegisterApplication(env.Pager),
+	} {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	padB, err := slimpad.NewApp(marksB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pads, err := padB.Load(padFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Doctor B loaded %d pad(s): %q\n", len(pads), pads[0].PadName())
+	_ = padObjA
+	tree, err := padB.Tree(pads[0].ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree)
+
+	// Every scrap still resolves into the live hospital systems.
+	el, err := padB.OpenScrap(watchScrap.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDoctor B opens %q -> %q\n", "watch this drip", el.Content)
+
+	// Doctor B leaves timestamped questions (annotation baseline).
+	anns, err := annotation.NewStore(marksB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p0 := env.Patients[0]
+	if err := env.SelectLab(p0, "K"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := anns.Annotate("xml", "question", "replete before OR?", 86400); err != nil {
+		log.Fatal(err)
+	}
+	if err := env.SelectMed(p0, 1); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := anns.Annotate("spreadsheet", "todo", "confirm dose with pharmacy", 90000); err != nil {
+		log.Fatal(err)
+	}
+	weekend, err := anns.Query("", 80000, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweekend annotations (time-ranged query): %d\n", len(weekend))
+	for _, a := range weekend {
+		nav, err := anns.Navigate(a.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [%s @%d] %q -> %q\n", a.Type, a.Stamp, a.Body, nav.Content)
+	}
+
+	// A sign-out sheet as a virtual document (vdoc baseline): live values
+	// spliced at render time.
+	lib := vdoc.NewLibrary(marksB)
+	signout, err := lib.Create("signout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := env.SelectLab(p0, "Cr"); err != nil {
+		log.Fatal(err)
+	}
+	crMark, err := marksB.CreateFromSelection("xml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	signout.AppendText(p0.Name + ": creatinine ")
+	if err := signout.AppendSpanLink(crMark.ID); err != nil {
+		log.Fatal(err)
+	}
+	signout.AppendText(" — call renal if rising.")
+	rendered, broken, err := lib.Render("signout")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsign-out sheet (%d broken links):\n  %s\n", broken, rendered)
+}

@@ -1,0 +1,144 @@
+// ICU rounds: the resident's worksheet of Fig. 2 / Fig. 4, built digitally.
+//
+// For each synthetic patient the example creates a patient bundle holding:
+// an identification scrap (progress note), a problems scrap, medication
+// scraps wired to the medication-list spreadsheet, an "Electrolyte" bundle
+// of lab scraps wired to the XML lab report (the Fig. 4 scenario), and a
+// to-do scrap. It then demonstrates the two hallmark behaviors: resolving a
+// scrap re-establishes base context, and refreshing detects base-data drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/clinical"
+	"repro/internal/slimpad"
+)
+
+func main() {
+	patients := flag.Int("patients", 3, "number of synthetic ICU patients")
+	seed := flag.Int64("seed", 2001, "generator seed")
+	flag.Parse()
+
+	env, err := clinical.NewEnvironment(*seed, *patients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pad, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	padObj, root, err := pad.NewPad("Rounds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dmi := pad.DMI()
+
+	for i, p := range env.Patients {
+		bundle, err := dmi.CreateBundle(p.Name, slimpad.Coordinate{X: 16, Y: 16 + i*220}, 560, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dmi.AddNestedBundle(root.ID(), bundle.ID()); err != nil {
+			log.Fatal(err)
+		}
+
+		// Identification scrap from the progress note's first paragraph.
+		if err := env.SelectPlanLine(p, 1); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := pad.ClipSelection(bundle.ID(), "text", p.MRN+" plan", slimpad.Coordinate{X: 8, Y: 8}); err != nil {
+			log.Fatal(err)
+		}
+
+		// Medication scraps (the top of Fig. 4's John Smith bundle).
+		for mi := range p.Meds {
+			if mi >= 2 {
+				break
+			}
+			if err := env.SelectMed(p, mi); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := pad.ClipSelection(bundle.ID(), "spreadsheet", "", slimpad.Coordinate{X: 8, Y: 40 + mi*24}); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// The Electrolyte bundle (Fig. 4) as a nested bundle of lab scraps.
+		elec, err := dmi.CreateBundle("Electrolyte", slimpad.Coordinate{X: 300, Y: 40}, 220, 120)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := dmi.AddNestedBundle(bundle.ID(), elec.ID()); err != nil {
+			log.Fatal(err)
+		}
+		for li, code := range []string{"Na", "K", "Cl", "HCO3"} {
+			if err := env.SelectLab(p, code); err != nil {
+				log.Fatal(err)
+			}
+			// The gridlet arrangement: values placed by position, meaning
+			// carried by layout (paper §3).
+			pos := slimpad.Coordinate{X: 8 + (li%2)*100, Y: 8 + (li/2)*30}
+			if _, err := pad.ClipSelection(elec.ID(), "xml", code, pos); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Imaging impression scrap.
+		if err := env.SelectImpression(p); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := pad.ClipSelection(bundle.ID(), "pdf", "CXR impression", slimpad.Coordinate{X: 8, Y: 120}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tree, err := pad.Tree(padObj.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree)
+
+	st, err := pad.PadStats(padObj.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nworksheet: %d bundles, %d scraps, %d marks into %d base documents\n",
+		st.Bundles, st.Scraps, st.Marks, 4**patients)
+
+	// Hallmark 1: double-clicking a lab scrap re-opens the lab report with
+	// the result highlighted.
+	p0 := env.Patients[0]
+	if err := env.SelectLab(p0, "K"); err != nil {
+		log.Fatal(err)
+	}
+	addr, _ := env.XML.CurrentSelection()
+	fmt.Printf("\nK+ scrap for %s resolves to %s\n", p0.Name, addr)
+
+	// Hallmark 2: drift detection. A med dose changes in the base list.
+	w, _ := env.Sheets.Workbook(clinical.MedsFile(p0))
+	sheet, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("B2")
+	old := sheet.Get(cell)
+	sheet.Set(cell, "DOUBLED")
+	bundles, _ := dmi.Bundles()
+	for _, b := range bundles {
+		for _, sid := range b.Scraps() {
+			if changed, err := pad.RefreshScrap(sid); err == nil && changed {
+				s, _ := dmi.Scrap(sid)
+				fmt.Printf("drift detected: scrap %q no longer matches base (%q -> %q)\n",
+					s.ScrapName(), old, "DOUBLED")
+			}
+		}
+	}
+
+	// Consistency check across the pad and mark manager.
+	problems, err := pad.Check()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconformance check: %d problems\n", len(problems))
+}

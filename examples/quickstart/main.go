@@ -1,0 +1,98 @@
+// Quickstart: the smallest end-to-end superimposed-information flow.
+//
+// It builds two base documents (a spreadsheet and an XML report), selects an
+// element in each, creates marks, drops them on a SLIMPad as scraps, and
+// resolves a scrap back to its base context — the complete loop of paper §3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/xmldoc"
+	"repro/internal/mark"
+	"repro/internal/slimpad"
+)
+
+func main() {
+	// 1. Base layer: a medication list (spreadsheet) and a lab report (XML).
+	sheets := spreadsheet.NewApp()
+	wb := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := wb.LoadCSV("Meds", "Drug,Dose,Route\nFurosemide,40mg,IV\nInsulin,5u,SC\n"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sheets.AddWorkbook(wb); err != nil {
+		log.Fatal(err)
+	}
+	labs := xmldoc.NewApp()
+	if _, err := labs.LoadString("lab.xml",
+		`<report><panel name="electrolytes"><result code="Na">140</result><result code="K">4.1</result></panel></report>`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Generic components: Mark Manager with one module per base type.
+	marks := mark.NewManager()
+	for _, err := range []error{
+		marks.RegisterApplication(sheets),
+		marks.RegisterApplication(labs),
+	} {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. Superimposed application: a SLIMPad.
+	pad, err := slimpad.NewApp(marks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	padObj, root, err := pad.NewPad("Quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The user selects Furosemide in the spreadsheet and clips it.
+	if err := sheets.Open("meds.xls"); err != nil {
+		log.Fatal(err)
+	}
+	r, _ := spreadsheet.ParseRange("A2:C2")
+	if err := sheets.SelectRange("Meds", r); err != nil {
+		log.Fatal(err)
+	}
+	medScrap, err := pad.ClipSelection(root.ID(), spreadsheet.Scheme, "loop diuretic", slimpad.Coordinate{X: 20, Y: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Likewise the potassium result from the lab report.
+	if err := labs.Open("lab.xml"); err != nil {
+		log.Fatal(err)
+	}
+	if err := labs.SelectExpr("/report/panel/result[2]"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := pad.ClipSelection(root.ID(), xmldoc.Scheme, "K+", slimpad.Coordinate{X: 20, Y: 60}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Render the pad and resolve a scrap back into context.
+	tree, err := pad.Tree(padObj.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tree)
+
+	el, err := pad.OpenScrap(medScrap.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndouble-click %q ->\n  content: %q\n  context: %q\n",
+		medScrap.ScrapName(), el.Content, el.Context)
+
+	sel, err := sheets.CurrentSelection()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  spreadsheet viewer is now at %s\n", sel)
+}

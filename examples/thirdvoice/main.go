@@ -1,0 +1,113 @@
+// Third Voice: the enhanced base-layer viewing style of Fig. 6. The paper
+// (§4.1): "Third Voice is such an example, which enhances web browsers by
+// allowing the user to create and view annotations in the same browser
+// window as the Web page."
+//
+// A shared annotation store holds typed, timestamped annotations anchored
+// into web pages. Viewing a page "enhanced" renders its text with the
+// overlay of every mark into that page — the in-window annotation layer —
+// and the ComMentor-style time-range query retrieves a reviewer's pass.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/annotation"
+	"repro/internal/base/htmldoc"
+	"repro/internal/core"
+)
+
+const guidelinePage = `<html><body>
+<h1 id="title">Acute Heart Failure Guidelines</h1>
+<p id="p1">Intravenous loop diuretics are first-line therapy for congestion.</p>
+<p id="p2">Electrolytes should be checked within six hours of the first dose.</p>
+<p id="p3">Thiazide augmentation may be considered for diuretic resistance.</p>
+</body></html>`
+
+func main() {
+	sys := core.NewSystem()
+	browser := htmldoc.NewApp()
+	if _, err := browser.LoadString("guidelines.html", guidelinePage); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RegisterBase(browser); err != nil {
+		log.Fatal(err)
+	}
+	anns, err := annotation.NewStoreOver(sys.Store, sys.Marks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two reviewers annotate the page on different days.
+	annotate := func(anchor, annType, body string, stamp int64) {
+		if err := browser.Open("guidelines.html"); err != nil {
+			log.Fatal(err)
+		}
+		if err := browser.SelectPath(anchor); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := anns.Annotate(htmldoc.Scheme, annType, body, stamp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	annotate("#p1", "agree", "matches our ICU protocol", 1000)
+	annotate("#p2", "question", "six hours — source?", 1040)
+	annotate("#p3", "caution", "watch sodium with thiazides", 2100)
+
+	// Enhanced viewing: resolve one annotation's mark with the overlay of
+	// everything superimposed on the same page.
+	all, err := anns.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := sys.ViewMark(core.EnhancedBase, all[0].MarkID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enhanced view of %s — %d superimposed item(s) on this page\n\n",
+		view.Element.Address.File, len(view.Overlay))
+
+	// Render the page with inline markers, Third Voice style.
+	page, _ := browser.Page("guidelines.html")
+	body, err := page.ResolvePath("/html[1]/body[1]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	markOf := map[string]annotation.Annotation{}
+	for _, a := range all {
+		markOf[a.MarkID] = a
+	}
+	n := 0
+	body.Walk(func(node *htmldoc.Node) bool {
+		path, err := page.PathTo(node)
+		if err != nil || node.Text == "" {
+			return true
+		}
+		line := node.Text
+		for _, m := range view.Overlay {
+			if m.Address.Path == path {
+				if a, ok := markOf[m.ID]; ok {
+					n++
+					line += fmt.Sprintf("   [%d: %s — %s]", n, a.Type, a.Body)
+				}
+			}
+		}
+		fmt.Println(line)
+		return true
+	})
+
+	// ComMentor-style retrieval: the second reviewer's pass only.
+	day2, err := anns.Query("", 2000, 3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nday-2 annotations: %d\n", len(day2))
+	for _, a := range day2 {
+		el, err := anns.Navigate(a.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [%s] %q -> %q\n", a.Type, a.Body, el.Content)
+	}
+}

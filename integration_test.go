@@ -1,0 +1,326 @@
+// Integration tests exercising the full stack end to end: the clinical
+// base layer, the Mark Manager, the SLIM store, SLIMPad (with the §6
+// extensions), the annotation and virtual-document baselines, persistence,
+// and the viewing styles — the same flows as examples/, asserted.
+package repro_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/annotation"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/clinical"
+	"repro/internal/core"
+	"repro/internal/mark"
+	"repro/internal/metamodel"
+	"repro/internal/slimpad"
+	"repro/internal/vdoc"
+)
+
+func TestFullWorksheetLifecycle(t *testing.T) {
+	env, err := clinical.NewEnvironment(2026, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, root, err := app.NewPad("Rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One bundle per patient with a template instantiated under it.
+	tmpl, err := app.DMI().CreateBundle("card-template", slimpad.Coordinate{X: 0, Y: 0}, 300, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SelectLab(env.Patients[0], "K"); err != nil {
+		t.Fatal(err)
+	}
+	kScrap, err := app.ClipSelection(tmpl.ID(), "xml", "K+", slimpad.Coordinate{X: 8, Y: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.DMI().MarkAsTemplate(tmpl.ID(), "patient-card"); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, p := range env.Patients {
+		// Rebind the template's lab mark to this patient's lab report.
+		inst, err := app.DMI().Instantiate(tmpl.ID(),
+			func(s string) string { return p.Name + ": " + s },
+			func(scrapName, markID string) (string, error) {
+				if err := env.SelectLab(p, "K"); err != nil {
+					return "", err
+				}
+				m, err := env.Marks.CreateFromSelection("xml")
+				if err != nil {
+					return "", err
+				}
+				return m.ID, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.DMI().AddNestedBundle(root.ID(), inst.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			// Annotate and link on the first patient's card.
+			sid := inst.Scraps()[0]
+			if err := app.DMI().AnnotateScrap(sid, "replete if < 4.0"); err != nil {
+				t.Fatal(err)
+			}
+			if err := app.DMI().LinkScraps(sid, kScrap.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st, err := app.PadStats(pad.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bundles != 4 || st.Scraps != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Conformance across pad + marks + extensions.
+	problems, err := app.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("problems: %v", problems)
+	}
+
+	// Persist everything and reload in a new session.
+	path := filepath.Join(t.TempDir(), "rounds.xml")
+	if err := app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	marks2 := mark.NewManager()
+	for _, reg := range []error{
+		marks2.RegisterApplication(env.Sheets),
+		marks2.RegisterApplication(env.XML),
+		marks2.RegisterApplication(env.Notes),
+		marks2.RegisterApplication(env.Pager),
+	} {
+		if reg != nil {
+			t.Fatal(reg)
+		}
+	}
+	app2, err := slimpad.NewApp(marks2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pads, err := app2.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pads) != 1 {
+		t.Fatalf("pads = %d", len(pads))
+	}
+	// Every instantiated scrap resolves into the right patient's report.
+	// Patient 0's lab is marked twice: once by the template's own scrap and
+	// once by the instantiated copy.
+	for i, p := range env.Patients {
+		scraps, err := app2.ScrapsMarking("xml", clinical.LabFile(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if i == 0 {
+			want = 2
+		}
+		if len(scraps) != want {
+			t.Fatalf("%s: scraps into lab = %d, want %d", p.MRN, len(scraps), want)
+		}
+		el, err := app2.OpenScrap(scraps[0].ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el.Address.File != clinical.LabFile(p) {
+			t.Fatalf("scrap resolved into %s, want %s", el.Address.File, clinical.LabFile(p))
+		}
+	}
+	// Notes and links survived persistence.
+	noted, err := app2.DMI().ScrapsWithNote("replete")
+	if err != nil || len(noted) != 1 {
+		t.Fatalf("notes after reload = %v, %v", noted, err)
+	}
+	links, err := app2.DMI().LinkedScraps(noted[0].ID())
+	if err != nil || len(links) != 1 {
+		t.Fatalf("links after reload = %v, %v", links, err)
+	}
+}
+
+func TestThreeSuperimposedAppsOneBaseLayer(t *testing.T) {
+	// SLIMPad, annotations, and virtual documents share one base layer and
+	// one mark manager — the architecture's multi-application claim.
+	env, err := clinical.NewEnvironment(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := env.Patients[0]
+
+	padApp, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, root, err := padApp.NewPad("pad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SelectMed(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	scrap, err := padApp.ClipSelection(root.ID(), "spreadsheet", "", slimpad.Coordinate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	anns, err := annotation.NewStore(env.Marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SelectLab(p, "Cr"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := anns.Annotate("xml", "question", "trend?", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lib := vdoc.NewLibrary(env.Marks)
+	doc, err := lib.Create("signout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.AppendText("Med: ")
+	medMark := scrap.MarkHandles()[0].MarkID()
+	if err := doc.AppendSpanLink(medMark); err != nil {
+		t.Fatal(err)
+	}
+
+	// All three retrieve through the same marks.
+	if _, err := padApp.OpenScrap(scrap.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anns.Navigate(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	rendered, broken, err := lib.Render("signout")
+	if err != nil || broken != 0 {
+		t.Fatal(err, broken)
+	}
+	if !strings.HasPrefix(rendered, "Med: ") || len(rendered) <= len("Med: ") {
+		t.Fatalf("rendered = %q", rendered)
+	}
+}
+
+func TestViewingStylesOverClinicalData(t *testing.T) {
+	env, err := clinical.NewEnvironment(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem()
+	sys.Marks = env.Marks
+	p := env.Patients[0]
+	if err := env.SelectMed(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := env.Marks.CreateFromSelection("spreadsheet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, style := range []core.ViewingStyle{core.Simultaneous, core.EnhancedBase, core.Independent} {
+		v, err := sys.ViewMark(style, m.ID)
+		if err != nil {
+			t.Fatalf("%v: %v", style, err)
+		}
+		if v.Element.Content == "" {
+			t.Fatalf("%v: empty content", style)
+		}
+		if style == core.Independent && v.BaseViewerMoved {
+			t.Fatal("independent viewing moved the base viewer")
+		}
+	}
+	// The mark's excerpt equals the resolved content (no drift yet).
+	if m.Excerpt == "" {
+		t.Fatal("no excerpt captured")
+	}
+
+	// Mutate the base; Refresh detects it through the whole stack.
+	w, _ := env.Sheets.Workbook(clinical.MedsFile(p))
+	sheet, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("A2")
+	sheet.Set(cell, "CHANGED")
+	_, changed, err := env.Marks.Refresh(m.ID)
+	if err != nil || !changed {
+		t.Fatalf("Refresh = %v, %v", changed, err)
+	}
+}
+
+func TestModelMappingSlimpadToAnnotations(t *testing.T) {
+	// §4.3's model-to-model mapping: scraps of a pad become annotations,
+	// keeping their base-layer wiring.
+	env, err := clinical.NewEnvironment(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padApp, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, root, err := padApp.NewPad("pad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := env.Patients[0]
+	if err := env.SelectLab(p, "K"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := padApp.ClipSelection(root.ID(), "xml", "K+", slimpad.Coordinate{}); err != nil {
+		t.Fatal(err)
+	}
+
+	mp := metamodel.NewMapping(metamodel.ExtendedBundleScrapModel(), metamodel.AnnotationModel())
+	if err := mp.MapConstruct(metamodel.ConstructScrap, metamodel.ConstructAnnotation); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.MapConstruct(metamodel.ConstructMarkHandle, metamodel.ConstructAnchor); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.MapConnector(metamodel.ConnScrapMark, metamodel.ConnAnnAnchor); err != nil {
+		t.Fatal(err)
+	}
+
+	annStore, err := annotation.NewStore(env.Marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mp.Apply(padApp.DMI().Store().Trim(), annStore.Slim().Trim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TypesRewritten != 2 || stats.ConnectorsRewritten != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	all, err := annStore.All()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("mapped annotations = %d, %v", len(all), err)
+	}
+	// The mapped annotation still navigates to the K result.
+	el, err := annStore.Navigate(all[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Address.File != clinical.LabFile(p) {
+		t.Fatalf("navigated to %s", el.Address.File)
+	}
+}

@@ -1,0 +1,201 @@
+// Package annotation implements a ComMentor-style annotation system over
+// the SLIM stack, the baseline the paper compares SLIMPad against in §5:
+// "In ComMentor, users can ask for specific types of annotations created
+// within a time range and use the returned annotations to navigate the
+// corresponding web pages."
+//
+// Annotations live in the same generic triple representation as SLIMPad's
+// bundles — the annotation model of metamodel.AnnotationModel — which is
+// itself the demonstration that the SLIM store holds structurally different
+// superimposed models side by side.
+package annotation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/mark"
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/slim"
+)
+
+// Annotation is the read-only view of one annotation.
+type Annotation struct {
+	// ID is the annotation's instance IRI.
+	ID rdf.Term
+	// Type is the user-assigned annotation type (e.g. "question",
+	// "correction").
+	Type string
+	// Body is the annotation text.
+	Body string
+	// Stamp is the creation timestamp (seconds; caller-defined epoch).
+	Stamp int64
+	// MarkID references the anchor mark in the Mark Manager.
+	MarkID string
+}
+
+// Store manages annotations over a SLIM store and a mark manager.
+type Store struct {
+	dmi   *slim.DMI
+	marks *mark.Manager
+}
+
+// NewStore builds an annotation store over a fresh SLIM store.
+func NewStore(marks *mark.Manager) (*Store, error) {
+	return NewStoreOver(slim.NewStore(), marks)
+}
+
+// NewStoreOver builds an annotation store over an existing SLIM store,
+// registering the annotation model if needed.
+func NewStoreOver(s *slim.Store, marks *mark.Manager) (*Store, error) {
+	model, ok := s.Model(metamodel.AnnotationModelID)
+	if !ok {
+		model = metamodel.AnnotationModel()
+	}
+	dmi, err := slim.GenerateDMI(s, model)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{dmi: dmi, marks: marks}, nil
+}
+
+// Slim exposes the underlying SLIM store.
+func (st *Store) Slim() *slim.Store { return st.dmi.Store() }
+
+// Annotate creates an annotation anchored at the current selection of the
+// scheme's base application.
+func (st *Store) Annotate(scheme, annType, body string, stamp int64) (Annotation, error) {
+	m, err := st.marks.CreateFromSelection(scheme)
+	if err != nil {
+		return Annotation{}, err
+	}
+	return st.annotateMark(m.ID, annType, body, stamp)
+}
+
+// AnnotateMark creates an annotation anchored at an existing mark.
+func (st *Store) AnnotateMark(markID, annType, body string, stamp int64) (Annotation, error) {
+	if _, err := st.marks.Mark(markID); err != nil {
+		return Annotation{}, err
+	}
+	return st.annotateMark(markID, annType, body, stamp)
+}
+
+func (st *Store) annotateMark(markID, annType, body string, stamp int64) (Annotation, error) {
+	anchor, err := st.dmi.Create(metamodel.ConstructAnchor, nil)
+	if err != nil {
+		return Annotation{}, err
+	}
+	if _, err := st.dmi.Trim().Create(rdf.T(anchor.ID, metamodel.PropMarkID, rdf.String(markID))); err != nil {
+		return Annotation{}, err
+	}
+	obj, err := st.dmi.Create(metamodel.ConstructAnnotation, map[string]any{
+		metamodel.ConnAnnType:   annType,
+		metamodel.ConnAnnBody:   body,
+		metamodel.ConnAnnStamp:  stamp,
+		metamodel.ConnAnnAnchor: anchor,
+	})
+	if err != nil {
+		return Annotation{}, err
+	}
+	return Annotation{ID: obj.ID, Type: annType, Body: body, Stamp: stamp, MarkID: markID}, nil
+}
+
+// Get retrieves an annotation by id.
+func (st *Store) Get(id rdf.Term) (Annotation, error) {
+	obj, err := st.dmi.Get(id)
+	if err != nil {
+		return Annotation{}, err
+	}
+	if obj.Construct != metamodel.ConstructAnnotation {
+		return Annotation{}, fmt.Errorf("annotation: %s is a %s, not an Annotation", id.Value(), obj.Construct)
+	}
+	a := Annotation{
+		ID:    id,
+		Type:  obj.GetString(metamodel.ConnAnnType),
+		Body:  obj.GetString(metamodel.ConnAnnBody),
+		Stamp: obj.GetInt(metamodel.ConnAnnStamp),
+	}
+	anchor, err := obj.Get(metamodel.ConnAnnAnchor)
+	if err == nil {
+		if t, err := st.dmi.Trim().One(rdf.P(anchor, metamodel.PropMarkID, rdf.Zero)); err == nil {
+			a.MarkID = t.Object.Value()
+		}
+	}
+	return a, nil
+}
+
+// All returns every annotation ordered by stamp, then id.
+func (st *Store) All() ([]Annotation, error) {
+	objs, err := st.dmi.InstancesOf(metamodel.ConstructAnnotation)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Annotation, 0, len(objs))
+	for _, o := range objs {
+		a, err := st.Get(o.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stamp != out[j].Stamp {
+			return out[i].Stamp < out[j].Stamp
+		}
+		return out[i].ID.Compare(out[j].ID) < 0
+	})
+	return out, nil
+}
+
+// Query returns annotations filtered by type (empty means any) and stamp
+// range [from, to] (to == 0 means unbounded) — the ComMentor retrieval
+// behavior quoted in §5.
+func (st *Store) Query(annType string, from, to int64) ([]Annotation, error) {
+	all, err := st.All()
+	if err != nil {
+		return nil, err
+	}
+	var out []Annotation
+	for _, a := range all {
+		if annType != "" && a.Type != annType {
+			continue
+		}
+		if a.Stamp < from {
+			continue
+		}
+		if to != 0 && a.Stamp > to {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Navigate resolves the annotation's anchor, driving the base application
+// to the annotated element ("use the returned annotations to navigate the
+// corresponding web pages", §5).
+func (st *Store) Navigate(id rdf.Term) (base.Element, error) {
+	a, err := st.Get(id)
+	if err != nil {
+		return base.Element{}, err
+	}
+	if a.MarkID == "" {
+		return base.Element{}, fmt.Errorf("annotation: %s has no anchor mark", id.Value())
+	}
+	return st.marks.Resolve(a.MarkID)
+}
+
+// Delete removes an annotation and its anchor.
+func (st *Store) Delete(id rdf.Term) error {
+	if _, err := st.Get(id); err != nil {
+		return err
+	}
+	return st.dmi.Delete(id, true)
+}
+
+// Check validates the store against the annotation model.
+func (st *Store) Check() ([]metamodel.Violation, error) {
+	return st.dmi.Store().Check(metamodel.AnnotationModelID)
+}

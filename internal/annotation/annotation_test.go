@@ -1,0 +1,219 @@
+package annotation
+
+import (
+	"testing"
+
+	"repro/internal/base/htmldoc"
+	"repro/internal/mark"
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/slim"
+)
+
+const page = `<html><body>
+<h1 id="top">Guidelines</h1>
+<p id="p1">Loop diuretics are first-line.</p>
+<p id="p2">Monitor potassium daily.</p>
+</body></html>`
+
+func fixture(t *testing.T) (*Store, *htmldoc.App) {
+	t.Helper()
+	browser := htmldoc.NewApp()
+	if _, err := browser.LoadString("guide.html", page); err != nil {
+		t.Fatal(err)
+	}
+	mm := mark.NewManager()
+	if err := mm.RegisterApplication(browser); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, browser
+}
+
+func annotateAt(t *testing.T, st *Store, browser *htmldoc.App, anchor, annType, body string, stamp int64) Annotation {
+	t.Helper()
+	if err := browser.Open("guide.html"); err != nil {
+		t.Fatal(err)
+	}
+	if err := browser.SelectPath(anchor); err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.Annotate(htmldoc.Scheme, annType, body, stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnnotateAndGet(t *testing.T) {
+	st, browser := fixture(t)
+	a := annotateAt(t, st, browser, "#p1", "question", "is this true for HFpEF?", 100)
+	got, err := st.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("Get = %+v, want %+v", got, a)
+	}
+	if got.MarkID == "" {
+		t.Fatal("annotation has no anchor mark")
+	}
+}
+
+func TestAnnotateWithoutSelection(t *testing.T) {
+	st, _ := fixture(t)
+	if _, err := st.Annotate(htmldoc.Scheme, "q", "body", 1); err == nil {
+		t.Fatal("annotate without selection succeeded")
+	}
+}
+
+func TestAnnotateMarkDirect(t *testing.T) {
+	st, browser := fixture(t)
+	browser.Open("guide.html")
+	browser.SelectPath("#p2")
+	m, err := st.marks.CreateFromSelection(htmldoc.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := st.AnnotateMark(m.ID, "todo", "check dosing", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MarkID != m.ID {
+		t.Fatalf("MarkID = %q", a.MarkID)
+	}
+	if _, err := st.AnnotateMark("ghost", "x", "y", 1); err == nil {
+		t.Fatal("annotation on ghost mark accepted")
+	}
+}
+
+func TestQueryByTypeAndTimeRange(t *testing.T) {
+	st, browser := fixture(t)
+	annotateAt(t, st, browser, "#p1", "question", "a", 100)
+	annotateAt(t, st, browser, "#p2", "correction", "b", 200)
+	annotateAt(t, st, browser, "#top", "question", "c", 300)
+
+	qs, err := st.Query("question", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("questions = %d", len(qs))
+	}
+	ranged, err := st.Query("", 150, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranged) != 1 || ranged[0].Body != "b" {
+		t.Fatalf("ranged = %v", ranged)
+	}
+	both, err := st.Query("question", 250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 1 || both[0].Body != "c" {
+		t.Fatalf("type+range = %v", both)
+	}
+	all, err := st.All()
+	if err != nil || len(all) != 3 {
+		t.Fatalf("All = %d, %v", len(all), err)
+	}
+	// Ordered by stamp.
+	if all[0].Stamp > all[1].Stamp || all[1].Stamp > all[2].Stamp {
+		t.Fatal("All not stamp-ordered")
+	}
+}
+
+func TestNavigate(t *testing.T) {
+	st, browser := fixture(t)
+	a := annotateAt(t, st, browser, "#p2", "todo", "check", 5)
+	// Move the browser elsewhere.
+	browser.SelectPath("#top")
+	el, err := st.Navigate(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Monitor potassium daily." {
+		t.Errorf("Content = %q", el.Content)
+	}
+	sel, err := browser.CurrentSelection()
+	if err != nil || sel.Path != "/html[1]/body[1]/p[2]" {
+		t.Errorf("browser selection = %v, %v", sel, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	st, browser := fixture(t)
+	a := annotateAt(t, st, browser, "#p1", "q", "x", 1)
+	if err := st.Delete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Get(a.ID); err == nil {
+		t.Fatal("deleted annotation readable")
+	}
+	if err := st.Delete(a.ID); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	all, _ := st.All()
+	if len(all) != 0 {
+		t.Fatal("annotation survives in listing")
+	}
+}
+
+func TestGetWrongType(t *testing.T) {
+	st, _ := fixture(t)
+	// An anchor instance is not an annotation.
+	anchor, err := st.dmi.Create(metamodel.ConstructAnchor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.dmi.Trim().Create(rdf.T(anchor.ID, metamodel.PropMarkID, rdf.String("m")))
+	if _, err := st.Get(anchor.ID); err == nil {
+		t.Fatal("Get(anchor) succeeded")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	st, browser := fixture(t)
+	annotateAt(t, st, browser, "#p1", "q", "body", 1)
+	vios, err := st.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 0 {
+		t.Fatalf("conforming annotations have violations: %v", vios)
+	}
+}
+
+func TestSharedStoreWithBundleScrap(t *testing.T) {
+	// The multi-model claim, §4.3: annotations and the Bundle-Scrap model
+	// coexist in one store without interference.
+	browser := htmldoc.NewApp()
+	browser.LoadString("guide.html", page)
+	mm := mark.NewManager()
+	mm.RegisterApplication(browser)
+	shared := slim.NewStore()
+	st, err := NewStoreOver(shared, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slim.GenerateDMI(shared, metamodel.BundleScrapModel()); err != nil {
+		t.Fatal(err)
+	}
+	browser.Open("guide.html")
+	browser.SelectPath("#p1")
+	if _, err := st.Annotate(htmldoc.Scheme, "q", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	models := metamodel.ListModels(shared.Trim())
+	if len(models) != 2 {
+		t.Fatalf("models in shared store = %v", models)
+	}
+	all, err := st.All()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("All = %d, %v", len(all), err)
+	}
+}

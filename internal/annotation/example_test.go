@@ -1,0 +1,31 @@
+package annotation_test
+
+import (
+	"fmt"
+
+	"repro/internal/annotation"
+	"repro/internal/base/htmldoc"
+	"repro/internal/mark"
+)
+
+// The ComMentor flow quoted in §5: create typed annotations, query by type
+// and time range, and navigate back to the annotated element.
+func Example() {
+	browser := htmldoc.NewApp()
+	browser.LoadString("page.html", `<html><body><p id="x">Monitor potassium.</p></body></html>`)
+	marks := mark.NewManager()
+	marks.RegisterApplication(browser)
+	store, _ := annotation.NewStore(marks)
+
+	browser.Open("page.html")
+	browser.SelectPath("#x")
+	a, _ := store.Annotate(htmldoc.Scheme, "question", "how often?", 100)
+
+	hits, _ := store.Query("question", 50, 150)
+	fmt.Println(len(hits), "annotation(s)")
+	el, _ := store.Navigate(a.ID)
+	fmt.Println(el.Content)
+	// Output:
+	// 1 annotation(s)
+	// Monitor potassium.
+}

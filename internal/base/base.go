@@ -1,0 +1,151 @@
+// Package base defines the narrow interface the SLIM architecture demands of
+// base-layer information sources. The paper (§1): "we assume only that a base
+// source can supply the address of a currently selected information element,
+// and that it can return to that element given the address. While these
+// capabilities may seem hopelessly limited, we have built a useful
+// application on top of them."
+//
+// Each base application substrate (spreadsheet, xmldoc, textdoc, slides,
+// pdfdoc, htmldoc) implements Application; optional capability interfaces
+// (ContentExtractor, ContextProvider) expose the §6 extension behaviors
+// "extract content" and "display in place" where the substrate supports them.
+package base
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Address identifies one information element inside one document of one
+// base application. The paper requires only that the base layer "support a
+// local addressing scheme"; Address carries that scheme-specific expression
+// opaquely in Path, with Scheme and File locating the interpreter.
+type Address struct {
+	// Scheme names the base information type ("spreadsheet", "xml", ...).
+	Scheme string
+	// File names the document within the application's library.
+	File string
+	// Path is the scheme-specific address expression, e.g. "Meds!B2:B4"
+	// for a spreadsheet or "/report/panel[1]/k" for an XML document.
+	Path string
+}
+
+// IsZero reports whether the address is empty.
+func (a Address) IsZero() bool { return a == Address{} }
+
+// String renders the address as scheme://file#path.
+func (a Address) String() string {
+	return a.Scheme + "://" + a.File + "#" + a.Path
+}
+
+// Element is a resolved information element: the content found at an
+// address, plus optional surrounding context for display.
+type Element struct {
+	// Address is the element's own address (canonicalized by the app).
+	Address Address
+	// Content is the element's textual content.
+	Content string
+	// Context is nearby information useful when re-establishing context,
+	// e.g. the whole spreadsheet row or the enclosing paragraph.
+	Context string
+}
+
+// Application is the narrow base-application interface.
+type Application interface {
+	// Scheme returns the base information type this application serves.
+	Scheme() string
+	// Name identifies the application instance (e.g. "go-sheets").
+	Name() string
+	// CurrentSelection returns the address of the currently selected
+	// information element, or ErrNoSelection.
+	CurrentSelection() (Address, error)
+	// GoTo drives the application to the element designated by the
+	// address — opening the document, activating the right part, and
+	// selecting the element (the paper's mark resolution behavior) — and
+	// returns the element.
+	GoTo(Address) (Element, error)
+}
+
+// ContentExtractor is the optional "extract content" behavior (§6): fetch
+// an element's content without disturbing the application's selection.
+type ContentExtractor interface {
+	ExtractContent(Address) (string, error)
+}
+
+// ContextProvider optionally supplies display-in-place context around an
+// element (§6 "display in place").
+type ContextProvider interface {
+	ExtractContext(Address) (string, error)
+}
+
+// Errors shared by all base applications.
+var (
+	// ErrNoSelection: the application has no current selection.
+	ErrNoSelection = errors.New("base: no current selection")
+	// ErrUnknownDocument: the address names a document not in the library.
+	ErrUnknownDocument = errors.New("base: unknown document")
+	// ErrBadAddress: the address expression cannot be parsed or does not
+	// designate an element in the document.
+	ErrBadAddress = errors.New("base: bad address")
+	// ErrWrongScheme: the address belongs to a different application type.
+	ErrWrongScheme = errors.New("base: address scheme does not match application")
+)
+
+// Registry maps schemes to running base applications. The Mark Manager
+// consults it to route mark resolution (Fig. 7). Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	apps map[string]Application
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{apps: make(map[string]Application)}
+}
+
+// Register adds an application under its scheme. Registering a second
+// application with the same scheme is an error: one mark module per base
+// type drives exactly one application here, as in the SLIMPad prototype.
+func (r *Registry) Register(app Application) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	scheme := app.Scheme()
+	if scheme == "" {
+		return fmt.Errorf("base: application %q has empty scheme", app.Name())
+	}
+	if _, ok := r.apps[scheme]; ok {
+		return fmt.Errorf("base: scheme %q already registered", scheme)
+	}
+	r.apps[scheme] = app
+	return nil
+}
+
+// Unregister removes the application serving the scheme.
+func (r *Registry) Unregister(scheme string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.apps, scheme)
+}
+
+// Lookup returns the application serving the scheme.
+func (r *Registry) Lookup(scheme string) (Application, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	app, ok := r.apps[scheme]
+	return app, ok
+}
+
+// Schemes returns the registered schemes, sorted.
+func (r *Registry) Schemes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.apps))
+	for s := range r.apps {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,118 @@
+package base
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeApp is a trivial Application for registry tests.
+type fakeApp struct {
+	scheme string
+}
+
+func (f *fakeApp) Scheme() string { return f.scheme }
+func (f *fakeApp) Name() string   { return "fake-" + f.scheme }
+func (f *fakeApp) CurrentSelection() (Address, error) {
+	return Address{}, ErrNoSelection
+}
+func (f *fakeApp) GoTo(a Address) (Element, error) {
+	return Element{Address: a}, nil
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{Scheme: "xml", File: "lab.xml", Path: "/report[1]/k[1]"}
+	if got := a.String(); got != "xml://lab.xml#/report[1]/k[1]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAddressIsZero(t *testing.T) {
+	if !(Address{}).IsZero() {
+		t.Error("zero address not IsZero")
+	}
+	if (Address{Scheme: "x"}).IsZero() {
+		t.Error("non-zero address IsZero")
+	}
+}
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	app := &fakeApp{scheme: "xml"}
+	if err := r.Register(app); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Lookup("xml")
+	if !ok || got != Application(app) {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := r.Lookup("absent"); ok {
+		t.Error("Lookup of absent scheme succeeded")
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&fakeApp{scheme: "xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(&fakeApp{scheme: "xml"}); err == nil {
+		t.Fatal("duplicate scheme accepted")
+	}
+}
+
+func TestRegistryEmptyScheme(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&fakeApp{scheme: ""}); err == nil {
+		t.Fatal("empty scheme accepted")
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&fakeApp{scheme: "xml"})
+	r.Unregister("xml")
+	if _, ok := r.Lookup("xml"); ok {
+		t.Fatal("scheme still present after Unregister")
+	}
+	// Unregistering an absent scheme is a no-op.
+	r.Unregister("absent")
+}
+
+func TestRegistrySchemesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, s := range []string{"pdf", "html", "xml", "spreadsheet"} {
+		if err := r.Register(&fakeApp{scheme: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Schemes()
+	want := []string{"html", "pdf", "spreadsheet", "xml"}
+	if len(got) != len(want) {
+		t.Fatalf("Schemes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Schemes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scheme := fmt.Sprintf("s%d", i)
+			r.Register(&fakeApp{scheme: scheme})
+			r.Lookup(scheme)
+			r.Schemes()
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Schemes()) != 16 {
+		t.Fatalf("Schemes = %d, want 16", len(r.Schemes()))
+	}
+}

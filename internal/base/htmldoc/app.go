@@ -1,0 +1,236 @@
+package htmldoc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// Scheme is the address scheme served by this application.
+const Scheme = "html"
+
+// App is the browser-like base application: a page library plus viewer
+// state (open page, highlighted element).
+type App struct {
+	mu    sync.Mutex
+	pages map[string]*Page
+
+	openPage *Page
+	selected *Node
+	// selSpan/selHasSpan carry a character-range selection within the
+	// selected element (span marks, §5).
+	selSpan    SpanAddress
+	selHasSpan bool
+}
+
+var _ base.Application = (*App)(nil)
+var _ base.ContentExtractor = (*App)(nil)
+var _ base.ContextProvider = (*App)(nil)
+
+// NewApp returns an application with an empty library.
+func NewApp() *App {
+	return &App{pages: make(map[string]*Page)}
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return Scheme }
+
+// Name implements base.Application.
+func (a *App) Name() string { return "go-browser" }
+
+// LoadString parses HTML and registers the page under the given name.
+func (a *App) LoadString(name, src string) (*Page, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("htmldoc: page needs a name")
+	}
+	if _, ok := a.pages[name]; ok {
+		return nil, fmt.Errorf("htmldoc: page %q already in library", name)
+	}
+	p := Parse(name, src)
+	a.pages[name] = p
+	return p, nil
+}
+
+// Page looks up a page by name.
+func (a *App) Page(name string) (*Page, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pages[name]
+	return p, ok
+}
+
+// Open makes a page current without a selection.
+func (a *App) Open(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pages[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", base.ErrUnknownDocument, name)
+	}
+	a.openPage, a.selected = p, nil
+	return nil
+}
+
+// SelectPath simulates the user selecting the element at a path or anchor
+// in the open page. A "~start-end" suffix selects a character span within
+// the element's text.
+func (a *App) SelectPath(path string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openPage == nil {
+		return fmt.Errorf("htmldoc: no open page")
+	}
+	sa, hasSpan, err := ParseSpanPath(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	n, _, err := a.openPage.ResolveSpan(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected = n
+	a.selSpan, a.selHasSpan = sa, hasSpan
+	return nil
+}
+
+// SelectText simulates the user highlighting the first occurrence of
+// needle within the element at the path — the gesture that creates span
+// marks.
+func (a *App) SelectText(path, needle string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openPage == nil {
+		return fmt.Errorf("htmldoc: no open page")
+	}
+	n, err := a.openPage.ResolvePath(path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	sa, err := a.openPage.FindTextSpan(n, needle)
+	if err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected = n
+	a.selSpan, a.selHasSpan = sa, true
+	return nil
+}
+
+// SelectNode selects a node of the open page directly.
+func (a *App) SelectNode(n *Node) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openPage == nil {
+		return fmt.Errorf("htmldoc: no open page")
+	}
+	if _, err := a.openPage.PathTo(n); err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected = n
+	a.selHasSpan = false
+	return nil
+}
+
+// CurrentSelection implements base.Application. The address uses the
+// canonical element path even when the selection was made by anchor, so
+// marks stay valid if the anchor attribute is removed later.
+func (a *App) CurrentSelection() (base.Address, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openPage == nil || a.selected == nil {
+		return base.Address{}, base.ErrNoSelection
+	}
+	path, err := a.openPage.PathTo(a.selected)
+	if err != nil {
+		return base.Address{}, err
+	}
+	if a.selHasSpan {
+		path = SpanAddress{ElementPath: path, Start: a.selSpan.Start, End: a.selSpan.End}.String()
+	}
+	return base.Address{Scheme: Scheme, File: a.openPage.Name, Path: path}, nil
+}
+
+func (a *App) locate(addr base.Address) (*Page, *Node, string, SpanAddress, bool, error) {
+	if addr.Scheme != Scheme {
+		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %q", base.ErrWrongScheme, addr.Scheme)
+	}
+	p, ok := a.pages[addr.File]
+	if !ok {
+		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %q", base.ErrUnknownDocument, addr.File)
+	}
+	sa, hasSpan, err := ParseSpanPath(addr.Path)
+	if err != nil {
+		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	n, content, err := p.ResolveSpan(addr.Path)
+	if err != nil {
+		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	return p, n, content, sa, hasSpan, nil
+}
+
+// GoTo implements base.Application: open the page, scroll to the element,
+// highlight it (or the character span within it).
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, n, content, sa, hasSpan, err := a.locate(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	a.openPage, a.selected = p, n
+	a.selSpan, a.selHasSpan = sa, hasSpan
+	canonical, err := p.PathTo(n)
+	if err != nil {
+		return base.Element{}, err
+	}
+	context := contextOf(n)
+	if hasSpan {
+		canonical = SpanAddress{ElementPath: canonical, Start: sa.Start, End: sa.End}.String()
+		context = n.DeepText()
+	}
+	return base.Element{
+		Address: base.Address{Scheme: Scheme, File: p.Name, Path: canonical},
+		Content: content,
+		Context: context,
+	}, nil
+}
+
+// ExtractContent implements base.ContentExtractor.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _, content, _, _, err := a.locate(addr)
+	return content, err
+}
+
+// ExtractContext implements base.ContextProvider: the parent element's text
+// (or the whole element's text for a span address).
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, n, _, _, hasSpan, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	if hasSpan {
+		return n.DeepText(), nil
+	}
+	return contextOf(n), nil
+}
+
+func contextOf(n *Node) string {
+	if n.Parent == nil {
+		return n.DeepText()
+	}
+	var parts []string
+	for _, sib := range n.Parent.Children {
+		if t := sib.DeepText(); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, " | ")
+}

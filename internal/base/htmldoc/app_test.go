@@ -1,0 +1,141 @@
+package htmldoc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func appWithGuideline(t *testing.T) *App {
+	t.Helper()
+	a := NewApp()
+	if _, err := a.LoadString("guidelines.html", guidelinePage); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppIdentityAndLibrary(t *testing.T) {
+	a := NewApp()
+	if a.Scheme() != Scheme || a.Name() == "" {
+		t.Fatal("bad identity")
+	}
+	if _, err := a.LoadString("", "<p>x</p>"); err == nil {
+		t.Error("unnamed page accepted")
+	}
+	if _, err := a.LoadString("p1", "<p>x</p>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadString("p1", "<p>y</p>"); err == nil {
+		t.Error("duplicate page accepted")
+	}
+	if _, ok := a.Page("p1"); !ok {
+		t.Error("page lookup failed")
+	}
+}
+
+func TestSelectionFlow(t *testing.T) {
+	a := appWithGuideline(t)
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("selection before open")
+	}
+	if err := a.SelectPath("#top"); err == nil {
+		t.Fatal("SelectPath before Open succeeded")
+	}
+	if err := a.Open("nope"); !errors.Is(err, base.ErrUnknownDocument) {
+		t.Fatalf("Open missing = %v", err)
+	}
+	if err := a.Open("guidelines.html"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SelectPath("#dosing-para"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor selections canonicalize to element paths.
+	if addr.Path != "/html[1]/body[1]/p[3]" {
+		t.Fatalf("canonical path = %q", addr.Path)
+	}
+	if err := a.SelectPath("#absent"); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("bad SelectPath = %v", err)
+	}
+}
+
+func TestSelectNode(t *testing.T) {
+	a := appWithGuideline(t)
+	a.Open("guidelines.html")
+	p, _ := a.Page("guidelines.html")
+	li := p.Find(func(n *Node) bool { return n.Tag == "li" })[1]
+	if err := a.SelectNode(li); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil || addr.Path != "/html[1]/body[1]/ul[1]/li[2]" {
+		t.Fatalf("selection = %v, %v", addr, err)
+	}
+	foreign := Parse("o", "<body><p>x</p></body>").Root.Children[0]
+	if err := a.SelectNode(foreign); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+}
+
+func TestGoToByPathAndAnchor(t *testing.T) {
+	a := appWithGuideline(t)
+	el, err := a.GoTo(base.Address{Scheme: Scheme, File: "guidelines.html", Path: "/html[1]/body[1]/p[2]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Loop diuretics are first-line for congestion." {
+		t.Errorf("Content = %q", el.Content)
+	}
+	// Resolving by anchor returns the canonical path.
+	el2, err := a.GoTo(base.Address{Scheme: Scheme, File: "guidelines.html", Path: "#dosing-para"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el2.Address.Path != "/html[1]/body[1]/p[3]" {
+		t.Errorf("anchor canonicalized to %q", el2.Address.Path)
+	}
+	sel, err := a.CurrentSelection()
+	if err != nil || sel.Path != el2.Address.Path {
+		t.Errorf("selection = %v, %v", sel, err)
+	}
+}
+
+func TestGoToErrors(t *testing.T) {
+	a := appWithGuideline(t)
+	cases := []struct {
+		addr base.Address
+		want error
+	}{
+		{base.Address{Scheme: "text", File: "guidelines.html", Path: "#top"}, base.ErrWrongScheme},
+		{base.Address{Scheme: Scheme, File: "nope", Path: "#top"}, base.ErrUnknownDocument},
+		{base.Address{Scheme: Scheme, File: "guidelines.html", Path: "no-slash-no-hash"}, base.ErrBadAddress},
+		{base.Address{Scheme: Scheme, File: "guidelines.html", Path: "/html[1]/body[1]/table[1]"}, base.ErrBadAddress},
+	}
+	for _, c := range cases {
+		if _, err := a.GoTo(c.addr); !errors.Is(err, c.want) {
+			t.Errorf("GoTo(%v) = %v, want %v", c.addr, err, c.want)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	a := appWithGuideline(t)
+	addr := base.Address{Scheme: Scheme, File: "guidelines.html", Path: "/html[1]/body[1]/ul[1]/li[1]"}
+	content, err := a.ExtractContent(addr)
+	if err != nil || content != "Monitor potassium" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	ctx, err := a.ExtractContext(addr)
+	if err != nil || ctx != "Monitor potassium | Monitor renal function" {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("extraction moved the viewer")
+	}
+}

@@ -1,0 +1,265 @@
+package htmldoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Node is one element of a parsed HTML page.
+type Node struct {
+	// Tag is the lowercased element name.
+	Tag string
+	// Attrs holds the element's attributes.
+	Attrs map[string]string
+	// Text is the concatenated character data directly inside the element.
+	Text string
+	// Children are child elements in document order.
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+	// segments preserves the interleaving of text runs and child elements
+	// so DeepText renders mixed content in document order.
+	segments []segment
+}
+
+// segment is either a text run or a child element, in document order.
+type segment struct {
+	text  string
+	child *Node
+}
+
+// Page is a named, parsed HTML document.
+type Page struct {
+	// Name is the page's identity in the application library (its URL in
+	// the paper's setting).
+	Name string
+	// Root is the root element (an implicit <html> if the source lacked
+	// one).
+	Root *Node
+}
+
+// elements whose open tag implicitly closes a same-named predecessor.
+var implicitClosers = map[string]bool{"p": true, "li": true, "tr": true, "td": true, "th": true, "option": true, "dt": true, "dd": true}
+
+// Parse builds a Page from HTML text, tolerating the tag soup browsers
+// tolerate: unclosed elements are closed implicitly; stray end tags are
+// dropped.
+func Parse(name, src string) *Page {
+	root := &Node{Tag: "html", Attrs: map[string]string{}}
+	stack := []*Node{root}
+	sawExplicitHTML := false
+
+	top := func() *Node { return stack[len(stack)-1] }
+	for _, tok := range Tokenize(src) {
+		switch tok.Kind {
+		case TokText:
+			if t := tok.Data; strings.TrimSpace(t) != "" {
+				cur := top()
+				norm := strings.Join(strings.Fields(t), " ")
+				if cur.Text != "" {
+					cur.Text += " "
+				}
+				cur.Text += norm
+				cur.segments = append(cur.segments, segment{text: norm})
+			}
+		case TokStartTag:
+			if tok.Data == "html" && !sawExplicitHTML {
+				// Merge attributes into the implicit root.
+				for k, v := range tok.Attrs {
+					root.Attrs[k] = v
+				}
+				sawExplicitHTML = true
+				continue
+			}
+			if implicitClosers[tok.Data] && top().Tag == tok.Data {
+				stack = stack[:len(stack)-1]
+			}
+			n := &Node{Tag: tok.Data, Attrs: tok.Attrs, Parent: top()}
+			top().Children = append(top().Children, n)
+			top().segments = append(top().segments, segment{child: n})
+			if !tok.SelfClosing && !voidElements[tok.Data] {
+				stack = append(stack, n)
+			}
+		case TokEndTag:
+			if tok.Data == "html" {
+				stack = stack[:1]
+				continue
+			}
+			// Pop to the matching open element, if present.
+			for j := len(stack) - 1; j >= 1; j-- {
+				if stack[j].Tag == tok.Data {
+					stack = stack[:j]
+					break
+				}
+			}
+		case TokComment, TokDoctype:
+			// dropped
+		}
+	}
+	return &Page{Name: name, Root: root}
+}
+
+// DeepText returns the element's text plus all descendant text, preserving
+// the document order of text interleaved with inline elements.
+func (n *Node) DeepText() string {
+	var parts []string
+	var walk func(*Node)
+	walk = func(x *Node) {
+		for _, seg := range x.segments {
+			if seg.child != nil {
+				walk(seg.child)
+			} else if seg.text != "" {
+				parts = append(parts, seg.text)
+			}
+		}
+	}
+	walk(n)
+	return strings.Join(parts, " ")
+}
+
+// Position returns the node's 1-based position among same-tag siblings.
+func (n *Node) Position() int {
+	if n.Parent == nil {
+		return 1
+	}
+	pos := 0
+	for _, sib := range n.Parent.Children {
+		if sib.Tag == n.Tag {
+			pos++
+		}
+		if sib == n {
+			return pos
+		}
+	}
+	return pos
+}
+
+// Walk visits n and descendants in document order; fn returning false
+// prunes that subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// ByID returns the element with the given id attribute (anchor addressing).
+func (p *Page) ByID(id string) (*Node, bool) {
+	var found *Node
+	p.Root.Walk(func(n *Node) bool {
+		if found != nil {
+			return false
+		}
+		if n.Attrs["id"] == id || (n.Tag == "a" && n.Attrs["name"] == id) {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+// Find returns every element for which pred is true, in document order.
+func (p *Page) Find(pred func(*Node) bool) []*Node {
+	var out []*Node
+	p.Root.Walk(func(n *Node) bool {
+		if pred(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// PathTo computes the canonical element path from the root to the node:
+// "/html[1]/body[1]/p[2]".
+func (p *Page) PathTo(n *Node) (string, error) {
+	var rev []string
+	cur := n
+	for cur != nil {
+		rev = append(rev, fmt.Sprintf("%s[%d]", cur.Tag, cur.Position()))
+		cur = cur.Parent
+	}
+	var b strings.Builder
+	for i := len(rev) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(rev[i])
+	}
+	path := b.String()
+	got, err := p.ResolvePath(path)
+	if err != nil || got != n {
+		return "", fmt.Errorf("htmldoc: node is not part of page %q", p.Name)
+	}
+	return path, nil
+}
+
+// ResolvePath resolves an element path ("/html[1]/body[1]/p[2]") or an
+// anchor reference ("#results") to a node.
+func (p *Page) ResolvePath(path string) (*Node, error) {
+	if strings.HasPrefix(path, "#") {
+		n, ok := p.ByID(path[1:])
+		if !ok {
+			return nil, fmt.Errorf("htmldoc: no element with anchor %q in %q", path[1:], p.Name)
+		}
+		return n, nil
+	}
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("htmldoc: path %q must be absolute or an anchor", path)
+	}
+	steps := strings.Split(path[1:], "/")
+	if len(steps) == 0 || steps[0] == "" {
+		return nil, fmt.Errorf("htmldoc: empty path %q", path)
+	}
+	cur := p.Root
+	for i, step := range steps {
+		tag, idx, err := parseStep(step)
+		if err != nil {
+			return nil, fmt.Errorf("htmldoc: path %q: %v", path, err)
+		}
+		if i == 0 {
+			if tag != cur.Tag || idx != 1 {
+				return nil, fmt.Errorf("htmldoc: path root %q does not match page root <%s>", step, cur.Tag)
+			}
+			continue
+		}
+		var next *Node
+		seen := 0
+		for _, c := range cur.Children {
+			if c.Tag == tag {
+				seen++
+				if seen == idx {
+					next = c
+					break
+				}
+			}
+		}
+		if next == nil {
+			return nil, fmt.Errorf("htmldoc: no element %s under <%s> in %q", step, cur.Tag, p.Name)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func parseStep(step string) (string, int, error) {
+	tag := step
+	idx := 1
+	if i := strings.IndexByte(step, '['); i >= 0 {
+		if !strings.HasSuffix(step, "]") {
+			return "", 0, fmt.Errorf("step %q: unterminated predicate", step)
+		}
+		tag = step[:i]
+		n, err := strconv.Atoi(step[i+1 : len(step)-1])
+		if err != nil || n < 1 {
+			return "", 0, fmt.Errorf("step %q: predicate must be a positive integer", step)
+		}
+		idx = n
+	}
+	if tag == "" {
+		return "", 0, fmt.Errorf("step %q: missing tag name", step)
+	}
+	return tag, idx, nil
+}

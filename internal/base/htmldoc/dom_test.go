@@ -1,0 +1,162 @@
+package htmldoc
+
+import (
+	"testing"
+)
+
+const guidelinePage = `<!DOCTYPE html>
+<html lang="en">
+<head><title>HF Guidelines</title></head>
+<body>
+  <h1 id="top">Heart Failure Guidelines</h1>
+  <p>Initial assessment should include electrolytes.</p>
+  <p>Loop diuretics are <b>first-line</b> for congestion.</p>
+  <ul>
+    <li>Monitor potassium</li>
+    <li>Monitor renal function</li>
+  </ul>
+  <a name="dosing"></a>
+  <p id="dosing-para">Furosemide 40mg IV is a typical starting dose.</p>
+</body>
+</html>`
+
+func guideline(t *testing.T) *Page {
+	t.Helper()
+	return Parse("guidelines.html", guidelinePage)
+}
+
+func TestParseTree(t *testing.T) {
+	p := guideline(t)
+	if p.Root.Tag != "html" || p.Root.Attrs["lang"] != "en" {
+		t.Fatalf("root = %q %v", p.Root.Tag, p.Root.Attrs)
+	}
+	if len(p.Root.Children) != 2 { // head, body
+		t.Fatalf("root children = %d", len(p.Root.Children))
+	}
+	body := p.Root.Children[1]
+	if body.Tag != "body" {
+		t.Fatalf("second child = %q", body.Tag)
+	}
+	// h1, p, p, ul, a, p
+	if len(body.Children) != 6 {
+		t.Fatalf("body children = %d", len(body.Children))
+	}
+}
+
+func TestParseImplicitClosers(t *testing.T) {
+	p := Parse("x", `<body><p>one<p>two<ul><li>a<li>b</ul></body>`)
+	body := p.Root.Children[0]
+	var ps, lis int
+	body.Walk(func(n *Node) bool {
+		switch n.Tag {
+		case "p":
+			ps++
+		case "li":
+			lis++
+		}
+		return true
+	})
+	if ps != 2 {
+		t.Errorf("paragraphs = %d, want 2 (implicit close)", ps)
+	}
+	if lis != 2 {
+		t.Errorf("list items = %d, want 2 (implicit close)", lis)
+	}
+}
+
+func TestParseStrayEndTags(t *testing.T) {
+	p := Parse("x", `<body></b><p>ok</p></body></html></div>`)
+	text := p.Root.DeepText()
+	if text != "ok" {
+		t.Errorf("DeepText = %q", text)
+	}
+}
+
+func TestDeepTextNormalizesWhitespace(t *testing.T) {
+	p := Parse("x", "<body><p>  several \n\t words  </p></body>")
+	if got := p.Root.DeepText(); got != "several words" {
+		t.Errorf("DeepText = %q", got)
+	}
+}
+
+func TestByID(t *testing.T) {
+	p := guideline(t)
+	n, ok := p.ByID("dosing-para")
+	if !ok || n.Tag != "p" {
+		t.Fatalf("ByID(dosing-para) = %v, %v", n, ok)
+	}
+	// <a name="..."> anchors work too.
+	if _, ok := p.ByID("dosing"); !ok {
+		t.Fatal("ByID via a-name failed")
+	}
+	if _, ok := p.ByID("absent"); ok {
+		t.Fatal("ByID(absent) found")
+	}
+}
+
+func TestFind(t *testing.T) {
+	p := guideline(t)
+	lis := p.Find(func(n *Node) bool { return n.Tag == "li" })
+	if len(lis) != 2 {
+		t.Fatalf("Find(li) = %d", len(lis))
+	}
+}
+
+func TestPathToResolveRoundTrip(t *testing.T) {
+	p := guideline(t)
+	var nodes []*Node
+	p.Root.Walk(func(n *Node) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	for _, n := range nodes {
+		path, err := p.PathTo(n)
+		if err != nil {
+			t.Fatalf("PathTo(%s): %v", n.Tag, err)
+		}
+		back, err := p.ResolvePath(path)
+		if err != nil {
+			t.Fatalf("ResolvePath(%q): %v", path, err)
+		}
+		if back != n {
+			t.Fatalf("round trip of %q landed elsewhere", path)
+		}
+	}
+}
+
+func TestResolvePathAnchors(t *testing.T) {
+	p := guideline(t)
+	n, err := p.ResolvePath("#dosing-para")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.DeepText() != "Furosemide 40mg IV is a typical starting dose." {
+		t.Errorf("anchor text = %q", n.DeepText())
+	}
+	if _, err := p.ResolvePath("#absent"); err == nil {
+		t.Error("absent anchor resolved")
+	}
+}
+
+func TestResolvePathErrors(t *testing.T) {
+	p := guideline(t)
+	bad := []string{
+		"", "relative", "/div[1]", "/html[2]", "/html[1]/nav[1]",
+		"/html[1]/body[1]/p[9]", "/html[1]/body[1]/p[0]", "/html[1]/body[1]/p[x]",
+		"/html[1]/body[1]/p[1", "/html[1]//p[1]",
+	}
+	for _, path := range bad {
+		if _, err := p.ResolvePath(path); err == nil {
+			t.Errorf("ResolvePath(%q) succeeded", path)
+		}
+	}
+}
+
+func TestPathToForeignNode(t *testing.T) {
+	p := guideline(t)
+	other := Parse("other", "<body><p>x</p></body>")
+	foreign := other.Root.Children[0].Children[0]
+	if _, err := p.PathTo(foreign); err == nil {
+		t.Fatal("PathTo accepted foreign node")
+	}
+}

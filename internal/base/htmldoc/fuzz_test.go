@@ -1,0 +1,57 @@
+package htmldoc
+
+import (
+	"testing"
+)
+
+// FuzzParse: the HTML parser must never panic and must produce a DOM whose
+// PathTo/ResolvePath round trip holds for every node — on any input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"plain text",
+		"<p>hello</p>",
+		"<html><body><p>a<p>b<ul><li>1<li>2</ul></body></html>",
+		"<div class=x data-y='z'>nested <b>bold</b> tail</div>",
+		"<!DOCTYPE html><!-- c --><script>if(a<b){}</script>ok",
+		"<a href=\"x\">&amp;&#65;&bogus;</a>",
+		"<<<>><br/><img src=x><p",
+		"</closes></nothing><p>recover</p>",
+		"<style>body{color:red}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p := Parse("fuzz.html", src)
+		if p == nil || p.Root == nil {
+			t.Fatal("nil page")
+		}
+		p.Root.Walk(func(n *Node) bool {
+			path, err := p.PathTo(n)
+			if err != nil {
+				t.Fatalf("PathTo: %v", err)
+			}
+			back, err := p.ResolvePath(path)
+			if err != nil || back != n {
+				t.Fatalf("round trip of %q failed: %v", path, err)
+			}
+			return true
+		})
+	})
+}
+
+// FuzzTokenize: the tokenizer must terminate and never panic.
+func FuzzTokenize(f *testing.F) {
+	f.Add("<p a='b' c=d>&lt;x&gt;</p>")
+	f.Add("<script>raw < text</script>")
+	f.Add("&#x110000;&#xZZ;&#")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks := Tokenize(src)
+		for _, tok := range toks {
+			if tok.Kind == TokStartTag && tok.Data == "" {
+				t.Fatal("empty tag name")
+			}
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package htmldoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Span marks (§5: "Most annotation systems provide point and span marks for
+// a specific place or a region in a document"). An HTML span address is an
+// element path followed by "~start-end": a half-open character range
+// [start, end) into the element's DeepText. Example:
+//
+//	/html[1]/body[1]/p[2]~10-24
+//
+// Anchor forms compose too: "#dosing~0-9" marks the first nine characters
+// of the anchored element.
+
+// SpanAddress is a parsed span path.
+type SpanAddress struct {
+	// ElementPath is the node path or anchor reference.
+	ElementPath string
+	// Start and End delimit the character range [Start, End) in the
+	// element's DeepText.
+	Start, End int
+}
+
+// String renders the span path.
+func (s SpanAddress) String() string {
+	return fmt.Sprintf("%s~%d-%d", s.ElementPath, s.Start, s.End)
+}
+
+// ParseSpanPath splits a path into its element part and optional span. The
+// second result reports whether a span suffix was present.
+func ParseSpanPath(path string) (SpanAddress, bool, error) {
+	i := strings.LastIndexByte(path, '~')
+	if i < 0 {
+		return SpanAddress{ElementPath: path}, false, nil
+	}
+	elem, spanText := path[:i], path[i+1:]
+	a, b, found := strings.Cut(spanText, "-")
+	if !found {
+		return SpanAddress{}, false, fmt.Errorf("htmldoc: span %q must be start-end", spanText)
+	}
+	start, err := strconv.Atoi(a)
+	if err != nil || start < 0 {
+		return SpanAddress{}, false, fmt.Errorf("htmldoc: span %q: bad start", spanText)
+	}
+	end, err := strconv.Atoi(b)
+	if err != nil || end < start {
+		return SpanAddress{}, false, fmt.Errorf("htmldoc: span %q: bad end", spanText)
+	}
+	if elem == "" {
+		return SpanAddress{}, false, fmt.Errorf("htmldoc: span %q lacks an element path", path)
+	}
+	return SpanAddress{ElementPath: elem, Start: start, End: end}, true, nil
+}
+
+// ResolveSpan resolves a span path to its node and the spanned text.
+func (p *Page) ResolveSpan(path string) (*Node, string, error) {
+	sa, hasSpan, err := ParseSpanPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	n, err := p.ResolvePath(sa.ElementPath)
+	if err != nil {
+		return nil, "", err
+	}
+	text := n.DeepText()
+	if !hasSpan {
+		return n, text, nil
+	}
+	if sa.End > len(text) {
+		return nil, "", fmt.Errorf("htmldoc: span %d-%d exceeds element text length %d", sa.Start, sa.End, len(text))
+	}
+	return n, text[sa.Start:sa.End], nil
+}
+
+// FindTextSpan locates the first occurrence of needle in the element's
+// DeepText and returns the corresponding span address with a canonical
+// element path — the usual way span marks are created from a user's text
+// selection.
+func (p *Page) FindTextSpan(n *Node, needle string) (SpanAddress, error) {
+	path, err := p.PathTo(n)
+	if err != nil {
+		return SpanAddress{}, err
+	}
+	text := n.DeepText()
+	i := strings.Index(text, needle)
+	if i < 0 {
+		return SpanAddress{}, fmt.Errorf("htmldoc: text %q not found in element %s", needle, path)
+	}
+	return SpanAddress{ElementPath: path, Start: i, End: i + len(needle)}, nil
+}

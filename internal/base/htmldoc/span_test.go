@@ -1,0 +1,162 @@
+package htmldoc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func TestParseSpanPath(t *testing.T) {
+	sa, has, err := ParseSpanPath("/html[1]/body[1]/p[2]~10-24")
+	if err != nil || !has {
+		t.Fatalf("parse: %v, %v", has, err)
+	}
+	if sa.ElementPath != "/html[1]/body[1]/p[2]" || sa.Start != 10 || sa.End != 24 {
+		t.Fatalf("sa = %+v", sa)
+	}
+	if sa.String() != "/html[1]/body[1]/p[2]~10-24" {
+		t.Fatalf("String = %q", sa.String())
+	}
+	// No span suffix.
+	_, has, err = ParseSpanPath("#anchor")
+	if err != nil || has {
+		t.Fatalf("anchor parse: %v, %v", has, err)
+	}
+	// Anchors compose with spans.
+	sa, has, err = ParseSpanPath("#anchor~0-5")
+	if err != nil || !has || sa.ElementPath != "#anchor" {
+		t.Fatalf("anchor span = %+v, %v, %v", sa, has, err)
+	}
+}
+
+func TestParseSpanPathErrors(t *testing.T) {
+	for _, bad := range []string{"/p[1]~", "/p[1]~5", "/p[1]~a-b", "/p[1]~-1-3", "/p[1]~5-2", "~1-2"} {
+		if _, _, err := ParseSpanPath(bad); err == nil {
+			t.Errorf("ParseSpanPath(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestResolveSpan(t *testing.T) {
+	p := guideline(t)
+	// p[1] text: "Initial assessment should include electrolytes."
+	n, text, err := p.ResolveSpan("/html[1]/body[1]/p[1]~8-18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "assessment" {
+		t.Fatalf("span text = %q", text)
+	}
+	if n.Tag != "p" {
+		t.Fatalf("node = %q", n.Tag)
+	}
+	// Out-of-range span.
+	if _, _, err := p.ResolveSpan("/html[1]/body[1]/p[1]~0-9999"); err == nil {
+		t.Fatal("oversized span accepted")
+	}
+	// No span: whole text.
+	_, whole, err := p.ResolveSpan("/html[1]/body[1]/p[1]")
+	if err != nil || whole != "Initial assessment should include electrolytes." {
+		t.Fatalf("whole = %q, %v", whole, err)
+	}
+}
+
+func TestFindTextSpan(t *testing.T) {
+	p := guideline(t)
+	n, _ := p.ByID("dosing-para")
+	sa, err := p.FindTextSpan(n, "40mg IV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, text, err := p.ResolveSpan(sa.String())
+	if err != nil || text != "40mg IV" {
+		t.Fatalf("round trip = %q, %v", text, err)
+	}
+	if _, err := p.FindTextSpan(n, "absent text"); err == nil {
+		t.Fatal("absent text found")
+	}
+}
+
+func TestAppSpanSelectionFlow(t *testing.T) {
+	a := appWithGuideline(t)
+	a.Open("guidelines.html")
+	if err := a.SelectText("#dosing-para", "40mg IV"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Path != "/html[1]/body[1]/p[3]~11-18" {
+		t.Fatalf("span selection = %q", addr.Path)
+	}
+	// Resolving the span mark returns just the spanned text, with the
+	// whole element as context.
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "40mg IV" {
+		t.Fatalf("Content = %q", el.Content)
+	}
+	if el.Context != "Furosemide 40mg IV is a typical starting dose." {
+		t.Fatalf("Context = %q", el.Context)
+	}
+	if el.Address.Path != addr.Path {
+		t.Fatalf("canonical = %q", el.Address.Path)
+	}
+	// ExtractContent without viewer movement.
+	content, err := a.ExtractContent(addr)
+	if err != nil || content != "40mg IV" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	ctx, err := a.ExtractContext(addr)
+	if err != nil || ctx != "Furosemide 40mg IV is a typical starting dose." {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+}
+
+func TestAppSelectPathWithSpan(t *testing.T) {
+	a := appWithGuideline(t)
+	a.Open("guidelines.html")
+	if err := a.SelectPath("#dosing-para~0-10"); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := a.CurrentSelection()
+	// Anchor selections canonicalize to the element path, span retained.
+	if addr.Path != "/html[1]/body[1]/p[3]~0-10" {
+		t.Fatalf("path = %q", addr.Path)
+	}
+	el, err := a.GoTo(addr)
+	if err != nil || el.Content != "Furosemide" {
+		t.Fatalf("GoTo = %q, %v", el.Content, err)
+	}
+	// Errors propagate.
+	if err := a.SelectPath("#dosing-para~5-2"); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("bad span select = %v", err)
+	}
+	if err := a.SelectText("#dosing-para", "unfindable"); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("bad SelectText = %v", err)
+	}
+	if _, err := a.GoTo(base.Address{Scheme: Scheme, File: "guidelines.html", Path: "#dosing-para~0-9999"}); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("oversized span GoTo = %v", err)
+	}
+}
+
+func TestSpanSelectClearedByNodeSelect(t *testing.T) {
+	a := appWithGuideline(t)
+	a.Open("guidelines.html")
+	if err := a.SelectText("#dosing-para", "40mg"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := a.Page("guidelines.html")
+	h1 := p.Find(func(n *Node) bool { return n.Tag == "h1" })[0]
+	if err := a.SelectNode(h1); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := a.CurrentSelection()
+	if addr.Path != "/html[1]/body[1]/h1[1]" {
+		t.Fatalf("node select kept stale span: %q", addr.Path)
+	}
+}

@@ -1,0 +1,286 @@
+// Package htmldoc is the web-page base substrate: a small HTML parser and a
+// DOM addressed by element paths or anchor names, standing in for the
+// paper's HTML marks resolved through a web browser.
+package htmldoc
+
+import (
+	"strings"
+)
+
+// TokenKind classifies tokens produced by the tokenizer.
+type TokenKind int
+
+const (
+	// TokText is character data.
+	TokText TokenKind = iota
+	// TokStartTag is an opening tag (possibly self-closing).
+	TokStartTag
+	// TokEndTag is a closing tag.
+	TokEndTag
+	// TokComment is an HTML comment (content without delimiters).
+	TokComment
+	// TokDoctype is a <!DOCTYPE ...> declaration.
+	TokDoctype
+)
+
+// Token is one lexical item of an HTML document.
+type Token struct {
+	Kind TokenKind
+	// Data is tag name (lowercased), text content, or comment body.
+	Data string
+	// Attrs holds attributes of start tags.
+	Attrs map[string]string
+	// SelfClosing marks <tag/>.
+	SelfClosing bool
+}
+
+// voidElements never have content or end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow content verbatim until their end tag.
+var rawTextElements = map[string]bool{"script": true, "style": true}
+
+// Tokenize splits HTML text into tokens. The tokenizer is forgiving, like a
+// browser: malformed constructs become text rather than errors.
+func Tokenize(src string) []Token {
+	var out []Token
+	i := 0
+	n := len(src)
+	emitText := func(s string) {
+		if s != "" {
+			out = append(out, Token{Kind: TokText, Data: decodeEntities(s)})
+		}
+	}
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			emitText(src[i:])
+			break
+		}
+		emitText(src[i : i+lt])
+		i += lt
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				out = append(out, Token{Kind: TokComment, Data: src[i+4:]})
+				i = n
+			} else {
+				out = append(out, Token{Kind: TokComment, Data: src[i+4 : i+4+end]})
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(src[i:], "<!"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				emitText(src[i:])
+				i = n
+			} else {
+				out = append(out, Token{Kind: TokDoctype, Data: strings.TrimSpace(src[i+2 : i+end])})
+				i += end + 1
+			}
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				emitText(src[i:])
+				i = n
+			} else {
+				name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+				if name != "" {
+					out = append(out, Token{Kind: TokEndTag, Data: name})
+				}
+				i += end + 1
+			}
+		default:
+			tok, consumed, ok := lexStartTag(src[i:])
+			if !ok {
+				emitText("<")
+				i++
+				continue
+			}
+			out = append(out, tok)
+			i += consumed
+			// Raw-text elements: swallow until the matching end tag.
+			if rawTextElements[tok.Data] && !tok.SelfClosing {
+				closer := "</" + tok.Data
+				rest := strings.ToLower(src[i:])
+				idx := strings.Index(rest, closer)
+				if idx < 0 {
+					emitText(src[i:])
+					i = n
+					continue
+				}
+				if idx > 0 {
+					out = append(out, Token{Kind: TokText, Data: src[i : i+idx]})
+				}
+				gt := strings.IndexByte(src[i+idx:], '>')
+				if gt < 0 {
+					i = n
+					continue
+				}
+				out = append(out, Token{Kind: TokEndTag, Data: tok.Data})
+				i += idx + gt + 1
+			}
+		}
+	}
+	return out
+}
+
+// lexStartTag parses "<name attr=... >" returning the token, bytes
+// consumed, and whether it looked like a tag at all.
+func lexStartTag(s string) (Token, int, bool) {
+	// s starts with '<'
+	if len(s) < 2 || !isNameStart(s[1]) {
+		return Token{}, 0, false
+	}
+	i := 1
+	start := i
+	for i < len(s) && isNameChar(s[i]) {
+		i++
+	}
+	tok := Token{Kind: TokStartTag, Data: strings.ToLower(s[start:i]), Attrs: map[string]string{}}
+	for {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			return tok, i, true // unterminated tag: accept what we have
+		}
+		if s[i] == '>' {
+			return tok, i + 1, true
+		}
+		if strings.HasPrefix(s[i:], "/>") {
+			tok.SelfClosing = true
+			return tok, i + 2, true
+		}
+		// Attribute name.
+		nameStart := i
+		for i < len(s) && !isSpace(s[i]) && s[i] != '=' && s[i] != '>' && s[i] != '/' {
+			i++
+		}
+		name := strings.ToLower(s[nameStart:i])
+		if name == "" {
+			i++ // skip stray character
+			continue
+		}
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i < len(s) && s[i] == '=' {
+			i++
+			for i < len(s) && isSpace(s[i]) {
+				i++
+			}
+			var val string
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				quote := s[i]
+				i++
+				valStart := i
+				for i < len(s) && s[i] != quote {
+					i++
+				}
+				val = s[valStart:i]
+				if i < len(s) {
+					i++ // closing quote
+				}
+			} else {
+				valStart := i
+				for i < len(s) && !isSpace(s[i]) && s[i] != '>' {
+					i++
+				}
+				val = s[valStart:i]
+			}
+			tok.Attrs[name] = decodeEntities(val)
+		} else {
+			tok.Attrs[name] = ""
+		}
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameStart(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':'
+}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": "\"", "apos": "'",
+	"nbsp": " ", "copy": "©", "mdash": "—", "ndash": "–",
+}
+
+// decodeEntities replaces named and numeric character references.
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		name := s[i+1 : i+semi]
+		if rep, ok := entities[name]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		if strings.HasPrefix(name, "#") {
+			if r, ok := parseNumericRef(name[1:]); ok {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+		}
+		b.WriteByte('&')
+		i++
+	}
+	return b.String()
+}
+
+func parseNumericRef(s string) (rune, bool) {
+	if s == "" {
+		return 0, false
+	}
+	baseN := 10
+	if s[0] == 'x' || s[0] == 'X' {
+		baseN = 16
+		s = s[1:]
+		if s == "" {
+			return 0, false
+		}
+	}
+	var r rune
+	for _, c := range s {
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = c - '0'
+		case baseN == 16 && c >= 'a' && c <= 'f':
+			d = c - 'a' + 10
+		case baseN == 16 && c >= 'A' && c <= 'F':
+			d = c - 'A' + 10
+		default:
+			return 0, false
+		}
+		r = r*rune(baseN) + d
+		if r > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return r, true
+}

@@ -1,0 +1,151 @@
+package htmldoc
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize(`<p class="intro">Hello <b>world</b></p>`)
+	want := []TokenKind{TokStartTag, TokText, TokStartTag, TokText, TokEndTag, TokEndTag}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (%v)", i, got[i], want[i], toks)
+		}
+	}
+	if toks[0].Data != "p" || toks[0].Attrs["class"] != "intro" {
+		t.Errorf("start tag = %+v", toks[0])
+	}
+	if toks[1].Data != "Hello " {
+		t.Errorf("text = %q", toks[1].Data)
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	toks := Tokenize(`<a href='single' id=unquoted disabled data-x="a&amp;b">x</a>`)
+	attrs := toks[0].Attrs
+	if attrs["href"] != "single" {
+		t.Errorf("single-quoted attr = %q", attrs["href"])
+	}
+	if attrs["id"] != "unquoted" {
+		t.Errorf("unquoted attr = %q", attrs["id"])
+	}
+	if v, ok := attrs["disabled"]; !ok || v != "" {
+		t.Errorf("boolean attr = %q, %v", v, ok)
+	}
+	if attrs["data-x"] != "a&b" {
+		t.Errorf("entity in attr = %q", attrs["data-x"])
+	}
+}
+
+func TestTokenizeSelfClosingAndVoid(t *testing.T) {
+	toks := Tokenize(`<br/><img src="x.png">`)
+	if !toks[0].SelfClosing || toks[0].Data != "br" {
+		t.Errorf("self-closing = %+v", toks[0])
+	}
+	if toks[1].Data != "img" || toks[1].Attrs["src"] != "x.png" {
+		t.Errorf("void tag = %+v", toks[1])
+	}
+}
+
+func TestTokenizeCommentDoctype(t *testing.T) {
+	toks := Tokenize(`<!DOCTYPE html><!-- a comment -->text`)
+	if toks[0].Kind != TokDoctype || toks[0].Data != "DOCTYPE html" {
+		t.Errorf("doctype = %+v", toks[0])
+	}
+	if toks[1].Kind != TokComment || toks[1].Data != " a comment " {
+		t.Errorf("comment = %+v", toks[1])
+	}
+	if toks[2].Kind != TokText || toks[2].Data != "text" {
+		t.Errorf("text = %+v", toks[2])
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	toks := Tokenize(`<!-- runs off the end`)
+	if len(toks) != 1 || toks[0].Kind != TokComment {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokenizeRawText(t *testing.T) {
+	toks := Tokenize(`<script>if (a < b) { x(); }</script><p>after</p>`)
+	if toks[0].Kind != TokStartTag || toks[0].Data != "script" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].Kind != TokText || toks[1].Data != "if (a < b) { x(); }" {
+		t.Errorf("raw text = %+v", toks[1])
+	}
+	if toks[2].Kind != TokEndTag || toks[2].Data != "script" {
+		t.Errorf("end = %+v", toks[2])
+	}
+	if toks[3].Kind != TokStartTag || toks[3].Data != "p" {
+		t.Errorf("following content lost: %v", toks)
+	}
+}
+
+func TestTokenizeUnclosedRawText(t *testing.T) {
+	toks := Tokenize(`<style>body { color: red }`)
+	if len(toks) != 2 || toks[1].Kind != TokText {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokenizeStrayAngle(t *testing.T) {
+	toks := Tokenize(`3 < 5 is true`)
+	// "<" followed by a non-name char is text.
+	text := ""
+	for _, tok := range toks {
+		if tok.Kind == TokText {
+			text += tok.Data
+		} else {
+			t.Fatalf("unexpected token %+v", tok)
+		}
+	}
+	if text != "3 < 5 is true" {
+		t.Errorf("text = %q", text)
+	}
+}
+
+func TestTokenizeCaseInsensitiveTags(t *testing.T) {
+	toks := Tokenize(`<DIV CLASS="Big">x</DIV>`)
+	if toks[0].Data != "div" {
+		t.Errorf("tag = %q", toks[0].Data)
+	}
+	if toks[0].Attrs["class"] != "Big" {
+		t.Errorf("attr name not lowercased or value changed: %+v", toks[0].Attrs)
+	}
+	if toks[2].Data != "div" {
+		t.Errorf("end tag = %q", toks[2].Data)
+	}
+}
+
+func TestDecodeEntities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a &amp; b", "a & b"},
+		{"&lt;tag&gt;", "<tag>"},
+		{"&quot;q&quot;", `"q"`},
+		{"&#65;&#x42;", "AB"},
+		{"&unknown;", "&unknown;"},
+		{"no entities", "no entities"},
+		{"dangling &", "dangling &"},
+		{"&#xZZ;", "&#xZZ;"},
+		{"&toolongtobeanentityname;", "&toolongtobeanentityname;"},
+	}
+	for _, c := range cases {
+		if got := decodeEntities(c.in); got != c.want {
+			t.Errorf("decodeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package pdfdoc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// Scheme is the address scheme served by this application.
+const Scheme = "pdf"
+
+// App is the paginated-document base application: a library plus viewer
+// state (open document, current page, highlighted span).
+type App struct {
+	mu   sync.Mutex
+	docs map[string]*Document
+
+	openDoc  *Document
+	selected Loc
+	hasSel   bool
+}
+
+var _ base.Application = (*App)(nil)
+var _ base.ContentExtractor = (*App)(nil)
+var _ base.ContextProvider = (*App)(nil)
+
+// NewApp returns an application with an empty library.
+func NewApp() *App {
+	return &App{docs: make(map[string]*Document)}
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return Scheme }
+
+// Name implements base.Application.
+func (a *App) Name() string { return "go-pager" }
+
+// AddDocument registers a document in the library.
+func (a *App) AddDocument(d *Document) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d.Name == "" {
+		return fmt.Errorf("pdfdoc: document needs a name")
+	}
+	if _, ok := a.docs[d.Name]; ok {
+		return fmt.Errorf("pdfdoc: document %q already in library", d.Name)
+	}
+	a.docs[d.Name] = d
+	return nil
+}
+
+// LoadString paginates text and registers it under the given name.
+func (a *App) LoadString(name, text string, linesPerPage int) (*Document, error) {
+	d := Paginate(name, text, linesPerPage)
+	if err := a.AddDocument(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Document looks up a document by name.
+func (a *App) Document(name string) (*Document, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	return d, ok
+}
+
+// Open makes a document current without a selection.
+func (a *App) Open(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", base.ErrUnknownDocument, name)
+	}
+	a.openDoc, a.hasSel = d, false
+	return nil
+}
+
+// Select simulates the user highlighting a line span in the open document.
+func (a *App) Select(l Loc) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil {
+		return fmt.Errorf("pdfdoc: no open document")
+	}
+	if _, err := a.openDoc.Lines(l.Page, l.FirstLine, l.LastLine); err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected, a.hasSel = l, true
+	return nil
+}
+
+// CurrentSelection implements base.Application.
+func (a *App) CurrentSelection() (base.Address, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil || !a.hasSel {
+		return base.Address{}, base.ErrNoSelection
+	}
+	return base.Address{Scheme: Scheme, File: a.openDoc.Name, Path: a.selected.String()}, nil
+}
+
+func (a *App) locate(addr base.Address) (*Document, Loc, string, error) {
+	if addr.Scheme != Scheme {
+		return nil, Loc{}, "", fmt.Errorf("%w: %q", base.ErrWrongScheme, addr.Scheme)
+	}
+	d, ok := a.docs[addr.File]
+	if !ok {
+		return nil, Loc{}, "", fmt.Errorf("%w: %q", base.ErrUnknownDocument, addr.File)
+	}
+	l, err := ParseLoc(addr.Path)
+	if err != nil {
+		return nil, Loc{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	content, err := d.Lines(l.Page, l.FirstLine, l.LastLine)
+	if err != nil {
+		return nil, Loc{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	return d, l, content, nil
+}
+
+// GoTo implements base.Application: open the document, turn to the page,
+// highlight the span.
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, l, content, err := a.locate(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	a.openDoc, a.selected, a.hasSel = d, l, true
+	ctx, _ := a.pageContextLocked(d, l)
+	return base.Element{
+		Address: base.Address{Scheme: Scheme, File: d.Name, Path: l.String()},
+		Content: content,
+		Context: ctx,
+	}, nil
+}
+
+// ExtractContent implements base.ContentExtractor.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _, content, err := a.locate(addr)
+	return content, err
+}
+
+// ExtractContext implements base.ContextProvider: the span plus up to two
+// surrounding lines on each side.
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, l, _, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	return a.pageContextLocked(d, l)
+}
+
+func (a *App) pageContextLocked(d *Document, l Loc) (string, error) {
+	n, err := d.PageLines(l.Page)
+	if err != nil {
+		return "", err
+	}
+	first := l.FirstLine - 2
+	if first < 1 {
+		first = 1
+	}
+	last := l.LastLine + 2
+	if last > n {
+		last = n
+	}
+	return d.Lines(l.Page, first, last)
+}

@@ -1,0 +1,129 @@
+// Package pdfdoc is the paginated-document base substrate, standing in for
+// the paper's Adobe PDF marks: fixed pages of numbered lines, addressed by
+// page plus line span.
+package pdfdoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Document is a named, paginated document.
+type Document struct {
+	// Name is the document's identity in the application library.
+	Name  string
+	pages [][]string // pages of lines
+}
+
+// DefaultLinesPerPage is the pagination used by Paginate.
+const DefaultLinesPerPage = 40
+
+// Paginate builds a document from plain text, breaking it into pages of at
+// most linesPerPage lines (0 selects DefaultLinesPerPage). Form-feed
+// characters force page breaks, as in print-oriented text.
+func Paginate(name, text string, linesPerPage int) *Document {
+	if linesPerPage <= 0 {
+		linesPerPage = DefaultLinesPerPage
+	}
+	d := &Document{Name: name}
+	var page []string
+	flush := func() {
+		if len(page) > 0 {
+			d.pages = append(d.pages, page)
+			page = nil
+		}
+	}
+	for _, rawPage := range strings.Split(text, "\f") {
+		for _, line := range strings.Split(rawPage, "\n") {
+			page = append(page, line)
+			if len(page) == linesPerPage {
+				flush()
+			}
+		}
+		flush()
+	}
+	return d
+}
+
+// Pages returns the page count.
+func (d *Document) Pages() int { return len(d.pages) }
+
+// PageLines returns the number of lines on the 1-based page.
+func (d *Document) PageLines(page int) (int, error) {
+	if page < 1 || page > len(d.pages) {
+		return 0, fmt.Errorf("pdfdoc: no page %d in %q (%d pages)", page, d.Name, len(d.pages))
+	}
+	return len(d.pages[page-1]), nil
+}
+
+// Lines returns lines first..last (1-based, inclusive) of the page, joined
+// by newlines.
+func (d *Document) Lines(page, first, last int) (string, error) {
+	n, err := d.PageLines(page)
+	if err != nil {
+		return "", err
+	}
+	if first < 1 || last < first || last > n {
+		return "", fmt.Errorf("pdfdoc: line span %d-%d out of range on page %d of %q (%d lines)", first, last, page, d.Name, n)
+	}
+	return strings.Join(d.pages[page-1][first-1:last], "\n"), nil
+}
+
+// FindText returns the locations of every line containing the needle.
+func (d *Document) FindText(needle string) []Loc {
+	var out []Loc
+	for pi, page := range d.pages {
+		for li, line := range page {
+			if strings.Contains(line, needle) {
+				out = append(out, Loc{Page: pi + 1, FirstLine: li + 1, LastLine: li + 1})
+			}
+		}
+	}
+	return out
+}
+
+// Loc addresses a line span on a page (1-based, inclusive).
+type Loc struct {
+	Page      int
+	FirstLine int
+	LastLine  int
+}
+
+// String renders the address path: "page2/lines5-8".
+func (l Loc) String() string {
+	return fmt.Sprintf("page%d/lines%d-%d", l.Page, l.FirstLine, l.LastLine)
+}
+
+// ParseLoc parses an address path produced by Loc.String.
+func ParseLoc(path string) (Loc, error) {
+	a, b, found := strings.Cut(path, "/")
+	if !found {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q must be pageN/linesA-B", path)
+	}
+	pg, ok := strings.CutPrefix(a, "page")
+	if !ok {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q must start with pageN", path)
+	}
+	page, err := strconv.Atoi(pg)
+	if err != nil || page < 1 {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q: bad page number", path)
+	}
+	span, ok := strings.CutPrefix(b, "lines")
+	if !ok {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q: span must be linesA-B", path)
+	}
+	fs, ls, found := strings.Cut(span, "-")
+	if !found {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q: span must be linesA-B", path)
+	}
+	first, err := strconv.Atoi(fs)
+	if err != nil || first < 1 {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q: bad first line", path)
+	}
+	last, err := strconv.Atoi(ls)
+	if err != nil || last < first {
+		return Loc{}, fmt.Errorf("pdfdoc: path %q: bad last line", path)
+	}
+	return Loc{Page: page, FirstLine: first, LastLine: last}, nil
+}

@@ -1,0 +1,210 @@
+package pdfdoc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func reportText() string {
+	var lines []string
+	for i := 1; i <= 25; i++ {
+		lines = append(lines, fmt.Sprintf("line %d of the echocardiography report", i))
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestPaginate(t *testing.T) {
+	d := Paginate("echo.pdf", reportText(), 10)
+	if d.Pages() != 3 {
+		t.Fatalf("pages = %d", d.Pages())
+	}
+	if n, _ := d.PageLines(1); n != 10 {
+		t.Errorf("page 1 lines = %d", n)
+	}
+	if n, _ := d.PageLines(3); n != 5 {
+		t.Errorf("page 3 lines = %d", n)
+	}
+}
+
+func TestPaginateDefault(t *testing.T) {
+	d := Paginate("x", reportText(), 0)
+	if d.Pages() != 1 {
+		t.Fatalf("default pagination pages = %d", d.Pages())
+	}
+}
+
+func TestPaginateFormFeed(t *testing.T) {
+	d := Paginate("x", "a\nb\fc\nd", 10)
+	if d.Pages() != 2 {
+		t.Fatalf("form-feed pages = %d", d.Pages())
+	}
+	got, err := d.Lines(2, 1, 2)
+	if err != nil || got != "c\nd" {
+		t.Fatalf("page 2 = %q, %v", got, err)
+	}
+}
+
+func TestLines(t *testing.T) {
+	d := Paginate("echo.pdf", reportText(), 10)
+	got, err := d.Lines(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line 13 of the echocardiography report\nline 14 of the echocardiography report"
+	if got != want {
+		t.Fatalf("Lines = %q", got)
+	}
+}
+
+func TestLinesErrors(t *testing.T) {
+	d := Paginate("x", reportText(), 10)
+	cases := []struct{ page, first, last int }{
+		{0, 1, 1}, {4, 1, 1}, {1, 0, 1}, {1, 3, 2}, {1, 1, 11},
+	}
+	for _, c := range cases {
+		if _, err := d.Lines(c.page, c.first, c.last); err == nil {
+			t.Errorf("Lines(%d,%d,%d) succeeded", c.page, c.first, c.last)
+		}
+	}
+}
+
+func TestFindText(t *testing.T) {
+	d := Paginate("x", reportText(), 10)
+	hits := d.FindText("line 13")
+	if len(hits) != 1 || hits[0] != (Loc{Page: 2, FirstLine: 3, LastLine: 3}) {
+		t.Fatalf("FindText = %v", hits)
+	}
+	if len(d.FindText("absent")) != 0 {
+		t.Fatal("found absent text")
+	}
+}
+
+func TestLocRoundTrip(t *testing.T) {
+	l := Loc{Page: 2, FirstLine: 5, LastLine: 8}
+	if l.String() != "page2/lines5-8" {
+		t.Fatalf("String = %q", l.String())
+	}
+	back, err := ParseLoc(l.String())
+	if err != nil || back != l {
+		t.Fatalf("round trip = %v, %v", back, err)
+	}
+}
+
+func TestParseLocErrors(t *testing.T) {
+	bad := []string{"", "page2", "p2/lines1-2", "page2/line1-2", "pageX/lines1-2", "page2/linesX-2", "page2/lines2-1", "page0/lines1-1", "page2/lines0-1", "page2/lines1"}
+	for _, p := range bad {
+		if _, err := ParseLoc(p); err == nil {
+			t.Errorf("ParseLoc(%q) succeeded", p)
+		}
+	}
+}
+
+func appWithReport(t *testing.T) *App {
+	t.Helper()
+	a := NewApp()
+	if _, err := a.LoadString("echo.pdf", reportText(), 10); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppFlow(t *testing.T) {
+	a := appWithReport(t)
+	if a.Scheme() != Scheme || a.Name() == "" {
+		t.Fatal("bad identity")
+	}
+	if _, err := a.LoadString("echo.pdf", "x", 10); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := a.AddDocument(&Document{}); err == nil {
+		t.Error("unnamed accepted")
+	}
+	if _, ok := a.Document("echo.pdf"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("selection before open")
+	}
+	if err := a.Select(Loc{1, 1, 1}); err == nil {
+		t.Fatal("Select before Open succeeded")
+	}
+	if err := a.Open("echo.pdf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Select(Loc{Page: 2, FirstLine: 3, LastLine: 4}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil || addr.Path != "page2/lines3-4" {
+		t.Fatalf("selection = %v, %v", addr, err)
+	}
+	if err := a.Select(Loc{Page: 9, FirstLine: 1, LastLine: 1}); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("bad Select = %v", err)
+	}
+}
+
+func TestAppGoToAndContext(t *testing.T) {
+	a := appWithReport(t)
+	addr := base.Address{Scheme: Scheme, File: "echo.pdf", Path: "page2/lines3-4"}
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(el.Content, "line 13") || !strings.Contains(el.Content, "line 14") {
+		t.Errorf("Content = %q", el.Content)
+	}
+	// Context includes two lines of padding each side.
+	if !strings.Contains(el.Context, "line 11") || !strings.Contains(el.Context, "line 16") {
+		t.Errorf("Context = %q", el.Context)
+	}
+	sel, err := a.CurrentSelection()
+	if err != nil || sel != addr {
+		t.Errorf("selection after GoTo = %v, %v", sel, err)
+	}
+	// Context clamps at page boundaries.
+	el2, err := a.GoTo(base.Address{Scheme: Scheme, File: "echo.pdf", Path: "page1/lines1-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(el2.Context, "line 0") {
+		t.Errorf("context before page start: %q", el2.Context)
+	}
+}
+
+func TestAppGoToErrors(t *testing.T) {
+	a := appWithReport(t)
+	cases := []struct {
+		addr base.Address
+		want error
+	}{
+		{base.Address{Scheme: "html", File: "echo.pdf", Path: "page1/lines1-1"}, base.ErrWrongScheme},
+		{base.Address{Scheme: Scheme, File: "nope", Path: "page1/lines1-1"}, base.ErrUnknownDocument},
+		{base.Address{Scheme: Scheme, File: "echo.pdf", Path: "nonsense"}, base.ErrBadAddress},
+		{base.Address{Scheme: Scheme, File: "echo.pdf", Path: "page9/lines1-1"}, base.ErrBadAddress},
+	}
+	for _, c := range cases {
+		if _, err := a.GoTo(c.addr); !errors.Is(err, c.want) {
+			t.Errorf("GoTo(%v) = %v, want %v", c.addr, err, c.want)
+		}
+	}
+}
+
+func TestAppExtract(t *testing.T) {
+	a := appWithReport(t)
+	addr := base.Address{Scheme: Scheme, File: "echo.pdf", Path: "page1/lines2-2"}
+	content, err := a.ExtractContent(addr)
+	if err != nil || content != "line 2 of the echocardiography report" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	ctx, err := a.ExtractContext(addr)
+	if err != nil || !strings.Contains(ctx, "line 1 ") || !strings.Contains(ctx, "line 4 ") {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("extraction moved the viewer")
+	}
+}

@@ -1,0 +1,163 @@
+package slides
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// Scheme is the address scheme served by this application.
+const Scheme = "slides"
+
+// App is the presentation base application: a deck library plus viewer
+// state (open deck, selected shape).
+type App struct {
+	mu    sync.Mutex
+	decks map[string]*Deck
+
+	openDeck *Deck
+	selected Loc
+	hasSel   bool
+}
+
+var _ base.Application = (*App)(nil)
+var _ base.ContentExtractor = (*App)(nil)
+var _ base.ContextProvider = (*App)(nil)
+
+// NewApp returns an application with an empty library.
+func NewApp() *App {
+	return &App{decks: make(map[string]*Deck)}
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return Scheme }
+
+// Name implements base.Application.
+func (a *App) Name() string { return "go-present" }
+
+// AddDeck registers a deck in the library.
+func (a *App) AddDeck(d *Deck) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d.Name == "" {
+		return fmt.Errorf("slides: deck needs a name")
+	}
+	if _, ok := a.decks[d.Name]; ok {
+		return fmt.Errorf("slides: deck %q already in library", d.Name)
+	}
+	a.decks[d.Name] = d
+	return nil
+}
+
+// Deck looks up a deck by name.
+func (a *App) Deck(name string) (*Deck, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.decks[name]
+	return d, ok
+}
+
+// Open makes a deck current without a selection.
+func (a *App) Open(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.decks[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", base.ErrUnknownDocument, name)
+	}
+	a.openDeck, a.hasSel = d, false
+	return nil
+}
+
+// Select simulates the user clicking a shape in the open deck.
+func (a *App) Select(l Loc) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDeck == nil {
+		return fmt.Errorf("slides: no open deck")
+	}
+	if _, err := a.openDeck.Shape(l.Slide, l.Shape); err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected, a.hasSel = l, true
+	return nil
+}
+
+// CurrentSelection implements base.Application.
+func (a *App) CurrentSelection() (base.Address, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDeck == nil || !a.hasSel {
+		return base.Address{}, base.ErrNoSelection
+	}
+	return base.Address{Scheme: Scheme, File: a.openDeck.Name, Path: a.selected.String()}, nil
+}
+
+func (a *App) locate(addr base.Address) (*Deck, Loc, Shape, error) {
+	if addr.Scheme != Scheme {
+		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %q", base.ErrWrongScheme, addr.Scheme)
+	}
+	d, ok := a.decks[addr.File]
+	if !ok {
+		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %q", base.ErrUnknownDocument, addr.File)
+	}
+	l, err := ParseLoc(addr.Path)
+	if err != nil {
+		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	sh, err := d.Shape(l.Slide, l.Shape)
+	if err != nil {
+		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	return d, l, sh, nil
+}
+
+// GoTo implements base.Application: open the deck, jump to the slide,
+// select the shape.
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, l, sh, err := a.locate(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	a.openDeck, a.selected, a.hasSel = d, l, true
+	return base.Element{
+		Address: base.Address{Scheme: Scheme, File: d.Name, Path: l.String()},
+		Content: sh.Text,
+		Context: a.slideContextLocked(d, l.Slide),
+	}, nil
+}
+
+// ExtractContent implements base.ContentExtractor.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _, sh, err := a.locate(addr)
+	return sh.Text, err
+}
+
+// ExtractContext implements base.ContextProvider: all text on the shape's
+// slide.
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, l, _, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	return a.slideContextLocked(d, l.Slide), nil
+}
+
+func (a *App) slideContextLocked(d *Deck, slide int) string {
+	s := d.Slides[slide-1]
+	var parts []string
+	for _, sh := range s.Shapes {
+		if sh.Text != "" {
+			parts = append(parts, sh.Text)
+		}
+	}
+	return strings.Join(parts, " | ")
+}

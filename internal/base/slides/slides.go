@@ -1,0 +1,125 @@
+// Package slides is the presentation base substrate: decks of slides
+// holding shapes (title, body, text boxes), addressed by slide and shape
+// index — standing in for the paper's Microsoft PowerPoint marks.
+package slides
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ShapeKind classifies shapes on a slide.
+type ShapeKind int
+
+const (
+	// KindTitle is the slide title placeholder.
+	KindTitle ShapeKind = iota
+	// KindBody is the main content placeholder.
+	KindBody
+	// KindTextBox is a free-floating text box.
+	KindTextBox
+)
+
+// String names the kind.
+func (k ShapeKind) String() string {
+	switch k {
+	case KindTitle:
+		return "title"
+	case KindBody:
+		return "body"
+	case KindTextBox:
+		return "textbox"
+	default:
+		return fmt.Sprintf("ShapeKind(%d)", int(k))
+	}
+}
+
+// Shape is one addressable element on a slide.
+type Shape struct {
+	Kind ShapeKind
+	Text string
+}
+
+// Slide holds shapes in z-order.
+type Slide struct {
+	Shapes []Shape
+}
+
+// Title returns the text of the slide's first title shape, if any.
+func (s *Slide) Title() string {
+	for _, sh := range s.Shapes {
+		if sh.Kind == KindTitle {
+			return sh.Text
+		}
+	}
+	return ""
+}
+
+// Deck is a named presentation.
+type Deck struct {
+	// Name is the deck's identity in the application library.
+	Name   string
+	Slides []*Slide
+}
+
+// NewDeck returns an empty deck.
+func NewDeck(name string) *Deck { return &Deck{Name: name} }
+
+// AddSlide appends a slide with a title and body, returning it for further
+// shape additions.
+func (d *Deck) AddSlide(title, body string) *Slide {
+	s := &Slide{}
+	if title != "" {
+		s.Shapes = append(s.Shapes, Shape{Kind: KindTitle, Text: title})
+	}
+	if body != "" {
+		s.Shapes = append(s.Shapes, Shape{Kind: KindBody, Text: body})
+	}
+	d.Slides = append(d.Slides, s)
+	return s
+}
+
+// Shape returns the j-th (1-based) shape of the i-th slide.
+func (d *Deck) Shape(slide, shape int) (Shape, error) {
+	if slide < 1 || slide > len(d.Slides) {
+		return Shape{}, fmt.Errorf("slides: no slide %d in %q (%d slides)", slide, d.Name, len(d.Slides))
+	}
+	s := d.Slides[slide-1]
+	if shape < 1 || shape > len(s.Shapes) {
+		return Shape{}, fmt.Errorf("slides: no shape %d on slide %d of %q", shape, slide, d.Name)
+	}
+	return s.Shapes[shape-1], nil
+}
+
+// Loc addresses a shape: 1-based slide and shape indices.
+type Loc struct {
+	Slide, Shape int
+}
+
+// String renders the address path: "slide3/shape2".
+func (l Loc) String() string {
+	return fmt.Sprintf("slide%d/shape%d", l.Slide, l.Shape)
+}
+
+// ParseLoc parses an address path produced by Loc.String.
+func ParseLoc(path string) (Loc, error) {
+	a, b, found := strings.Cut(path, "/")
+	if !found {
+		return Loc{}, fmt.Errorf("slides: path %q must be slideN/shapeM", path)
+	}
+	sl, ok1 := strings.CutPrefix(a, "slide")
+	sh, ok2 := strings.CutPrefix(b, "shape")
+	if !ok1 || !ok2 {
+		return Loc{}, fmt.Errorf("slides: path %q must be slideN/shapeM", path)
+	}
+	slide, err := strconv.Atoi(sl)
+	if err != nil || slide < 1 {
+		return Loc{}, fmt.Errorf("slides: path %q: bad slide number", path)
+	}
+	shape, err := strconv.Atoi(sh)
+	if err != nil || shape < 1 {
+		return Loc{}, fmt.Errorf("slides: path %q: bad shape number", path)
+	}
+	return Loc{Slide: slide, Shape: shape}, nil
+}

@@ -1,0 +1,163 @@
+package slides
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func grandDeck(t *testing.T) *Deck {
+	t.Helper()
+	d := NewDeck("grandrounds.ppt")
+	d.AddSlide("Heart Failure Management", "Loop diuretics remain first-line therapy")
+	s2 := d.AddSlide("Electrolyte Monitoring", "Check K+ and Mg2+ daily during diuresis")
+	s2.Shapes = append(s2.Shapes, Shape{Kind: KindTextBox, Text: "Target K+ > 4.0"})
+	d.AddSlide("", "Slide with only a body")
+	return d
+}
+
+func TestDeckStructure(t *testing.T) {
+	d := grandDeck(t)
+	if len(d.Slides) != 3 {
+		t.Fatalf("slides = %d", len(d.Slides))
+	}
+	if d.Slides[0].Title() != "Heart Failure Management" {
+		t.Errorf("title = %q", d.Slides[0].Title())
+	}
+	if d.Slides[2].Title() != "" {
+		t.Errorf("untitled slide title = %q", d.Slides[2].Title())
+	}
+}
+
+func TestShapeLookup(t *testing.T) {
+	d := grandDeck(t)
+	sh, err := d.Shape(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Kind != KindTextBox || sh.Text != "Target K+ > 4.0" {
+		t.Fatalf("shape = %+v", sh)
+	}
+	if _, err := d.Shape(0, 1); err == nil {
+		t.Error("Shape(0,1) succeeded")
+	}
+	if _, err := d.Shape(4, 1); err == nil {
+		t.Error("Shape(4,1) succeeded")
+	}
+	if _, err := d.Shape(1, 3); err == nil {
+		t.Error("Shape(1,3) succeeded")
+	}
+}
+
+func TestShapeKindString(t *testing.T) {
+	if KindTitle.String() != "title" || KindBody.String() != "body" || KindTextBox.String() != "textbox" {
+		t.Error("kind names wrong")
+	}
+	if ShapeKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestLocRoundTrip(t *testing.T) {
+	l := Loc{Slide: 3, Shape: 2}
+	if l.String() != "slide3/shape2" {
+		t.Fatalf("String = %q", l.String())
+	}
+	back, err := ParseLoc(l.String())
+	if err != nil || back != l {
+		t.Fatalf("round trip = %v, %v", back, err)
+	}
+}
+
+func TestParseLocErrors(t *testing.T) {
+	bad := []string{"", "slide1", "slide1shape2", "slideX/shape1", "slide1/shapeX", "slide0/shape1", "slide1/shape0", "s1/sh2"}
+	for _, p := range bad {
+		if _, err := ParseLoc(p); err == nil {
+			t.Errorf("ParseLoc(%q) succeeded", p)
+		}
+	}
+}
+
+func appWithDeck(t *testing.T) *App {
+	t.Helper()
+	a := NewApp()
+	if err := a.AddDeck(grandDeck(t)); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppFlow(t *testing.T) {
+	a := appWithDeck(t)
+	if a.Scheme() != Scheme {
+		t.Fatal("bad scheme")
+	}
+	if err := a.AddDeck(NewDeck("")); err == nil {
+		t.Error("unnamed deck accepted")
+	}
+	if err := a.AddDeck(NewDeck("grandrounds.ppt")); err == nil {
+		t.Error("duplicate deck accepted")
+	}
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("selection before open")
+	}
+	if err := a.Select(Loc{1, 1}); err == nil {
+		t.Fatal("Select before Open succeeded")
+	}
+	if err := a.Open("grandrounds.ppt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Select(Loc{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil || addr.Path != "slide2/shape3" {
+		t.Fatalf("selection = %v, %v", addr, err)
+	}
+	if err := a.Select(Loc{9, 1}); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("bad Select = %v", err)
+	}
+}
+
+func TestAppGoToAndExtract(t *testing.T) {
+	a := appWithDeck(t)
+	addr := base.Address{Scheme: Scheme, File: "grandrounds.ppt", Path: "slide2/shape3"}
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Target K+ > 4.0" {
+		t.Errorf("Content = %q", el.Content)
+	}
+	want := "Electrolyte Monitoring | Check K+ and Mg2+ daily during diuresis | Target K+ > 4.0"
+	if el.Context != want {
+		t.Errorf("Context = %q", el.Context)
+	}
+	content, err := a.ExtractContent(addr)
+	if err != nil || content != el.Content {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	ctx, err := a.ExtractContext(addr)
+	if err != nil || ctx != want {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+}
+
+func TestAppGoToErrors(t *testing.T) {
+	a := appWithDeck(t)
+	cases := []struct {
+		addr base.Address
+		want error
+	}{
+		{base.Address{Scheme: "pdf", File: "grandrounds.ppt", Path: "slide1/shape1"}, base.ErrWrongScheme},
+		{base.Address{Scheme: Scheme, File: "nope", Path: "slide1/shape1"}, base.ErrUnknownDocument},
+		{base.Address{Scheme: Scheme, File: "grandrounds.ppt", Path: "garbage"}, base.ErrBadAddress},
+		{base.Address{Scheme: Scheme, File: "grandrounds.ppt", Path: "slide9/shape1"}, base.ErrBadAddress},
+	}
+	for _, c := range cases {
+		if _, err := a.GoTo(c.addr); !errors.Is(err, c.want) {
+			t.Errorf("GoTo(%v) = %v, want %v", c.addr, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package spreadsheet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// Scheme is the address scheme served by this application.
+const Scheme = "spreadsheet"
+
+// App is the spreadsheet base application: a library of workbooks plus the
+// viewer state (open workbook, active sheet, selected range) that the
+// paper's Excel automation drives: "tell Microsoft Excel to open the file,
+// activate the worksheet, and select the appropriate range" (§4.2).
+type App struct {
+	mu    sync.Mutex
+	books map[string]*Workbook
+
+	// viewer state
+	openBook  *Workbook
+	openSheet *Sheet
+	selection Range
+	selected  bool
+}
+
+var _ base.Application = (*App)(nil)
+var _ base.ContentExtractor = (*App)(nil)
+var _ base.ContextProvider = (*App)(nil)
+
+// NewApp returns an application with an empty library.
+func NewApp() *App {
+	return &App{books: make(map[string]*Workbook)}
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return Scheme }
+
+// Name implements base.Application.
+func (a *App) Name() string { return "go-sheets" }
+
+// AddWorkbook registers a workbook in the library.
+func (a *App) AddWorkbook(w *Workbook) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.Name == "" {
+		return fmt.Errorf("spreadsheet: workbook needs a name")
+	}
+	if _, ok := a.books[w.Name]; ok {
+		return fmt.Errorf("spreadsheet: workbook %q already in library", w.Name)
+	}
+	a.books[w.Name] = w
+	return nil
+}
+
+// Workbook looks up a workbook by name.
+func (a *App) Workbook(name string) (*Workbook, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w, ok := a.books[name]
+	return w, ok
+}
+
+// Open makes the workbook current without selecting anything, like a user
+// opening a file.
+func (a *App) Open(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w, ok := a.books[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", base.ErrUnknownDocument, name)
+	}
+	a.openBook, a.openSheet, a.selected = w, nil, false
+	return nil
+}
+
+// SelectRange simulates the user selecting a range in a sheet of the open
+// workbook. It is the action that precedes mark creation.
+func (a *App) SelectRange(sheetName string, r Range) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openBook == nil {
+		return fmt.Errorf("spreadsheet: no open workbook")
+	}
+	sheet, ok := a.openBook.Sheet(sheetName)
+	if !ok {
+		return fmt.Errorf("%w: no sheet %q in %q", base.ErrBadAddress, sheetName, a.openBook.Name)
+	}
+	a.openSheet = sheet
+	a.selection = r.normalize()
+	a.selected = true
+	return nil
+}
+
+// CurrentSelection implements base.Application: the address of the selected
+// range.
+func (a *App) CurrentSelection() (base.Address, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.selected || a.openBook == nil || a.openSheet == nil {
+		return base.Address{}, base.ErrNoSelection
+	}
+	return base.Address{
+		Scheme: Scheme,
+		File:   a.openBook.Name,
+		Path:   FormatPath(a.openSheet.Name, a.selection),
+	}, nil
+}
+
+// locate validates an address against the library without touching viewer
+// state.
+func (a *App) locate(addr base.Address) (*Workbook, *Sheet, Range, error) {
+	if addr.Scheme != Scheme {
+		return nil, nil, Range{}, fmt.Errorf("%w: %q", base.ErrWrongScheme, addr.Scheme)
+	}
+	w, ok := a.books[addr.File]
+	if !ok {
+		return nil, nil, Range{}, fmt.Errorf("%w: %q", base.ErrUnknownDocument, addr.File)
+	}
+	sheetName, rng, err := ParsePath(addr.Path)
+	if err != nil {
+		return nil, nil, Range{}, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	sheet, ok := w.Sheet(sheetName)
+	if !ok {
+		return nil, nil, Range{}, fmt.Errorf("%w: no sheet %q in %q", base.ErrBadAddress, sheetName, addr.File)
+	}
+	return w, sheet, rng, nil
+}
+
+// GoTo implements base.Application: open the workbook, activate the sheet,
+// select the range, and return the element.
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w, sheet, rng, err := a.locate(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	a.openBook, a.openSheet, a.selection, a.selected = w, sheet, rng, true
+	return base.Element{
+		Address: base.Address{Scheme: Scheme, File: w.Name, Path: FormatPath(sheet.Name, rng)},
+		Content: sheet.Values(rng),
+		Context: sheet.Row(rng.Start.Row),
+	}, nil
+}
+
+// ExtractContent implements base.ContentExtractor without changing viewer
+// state.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, sheet, rng, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	return sheet.Values(rng), nil
+}
+
+// ExtractContext implements base.ContextProvider: the used rows spanned by
+// the range, so a scrap can show its row neighborhood in place.
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, sheet, rng, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for row := rng.Start.Row; row <= rng.End.Row; row++ {
+		if row > rng.Start.Row {
+			out += "\n"
+		}
+		out += sheet.Row(row)
+	}
+	return out, nil
+}

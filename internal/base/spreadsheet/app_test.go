@@ -1,0 +1,182 @@
+package spreadsheet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func appWithMeds(t *testing.T) *App {
+	t.Helper()
+	a := NewApp()
+	if err := a.AddWorkbook(medsWorkbook(t)); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppIdentity(t *testing.T) {
+	a := NewApp()
+	if a.Scheme() != Scheme || a.Name() == "" {
+		t.Fatalf("identity: %q %q", a.Scheme(), a.Name())
+	}
+}
+
+func TestAddWorkbookValidation(t *testing.T) {
+	a := NewApp()
+	if err := a.AddWorkbook(NewWorkbook("")); err == nil {
+		t.Error("unnamed workbook accepted")
+	}
+	w := NewWorkbook("x")
+	if err := a.AddWorkbook(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddWorkbook(NewWorkbook("x")); err == nil {
+		t.Error("duplicate workbook accepted")
+	}
+	if _, ok := a.Workbook("x"); !ok {
+		t.Error("workbook lookup failed")
+	}
+}
+
+func TestSelectionFlow(t *testing.T) {
+	a := appWithMeds(t)
+	// No selection before any interaction.
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatalf("CurrentSelection before open = %v", err)
+	}
+	if err := a.Open("meds.xls"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatalf("CurrentSelection before select = %v", err)
+	}
+	r, _ := ParseRange("A2:C2")
+	if err := a.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Address{Scheme: Scheme, File: "meds.xls", Path: "Meds!A2:C2"}
+	if addr != want {
+		t.Fatalf("CurrentSelection = %v, want %v", addr, want)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	a := appWithMeds(t)
+	r, _ := ParseRange("A1")
+	if err := a.SelectRange("Meds", r); err == nil {
+		t.Error("SelectRange without open workbook succeeded")
+	}
+	if err := a.Open("nope.xls"); !errors.Is(err, base.ErrUnknownDocument) {
+		t.Errorf("Open missing = %v", err)
+	}
+	a.Open("meds.xls")
+	if err := a.SelectRange("NoSheet", r); !errors.Is(err, base.ErrBadAddress) {
+		t.Errorf("SelectRange bad sheet = %v", err)
+	}
+}
+
+func TestGoToResolvesAndHighlights(t *testing.T) {
+	a := appWithMeds(t)
+	addr := base.Address{Scheme: Scheme, File: "meds.xls", Path: "Meds!A2"}
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Furosemide" {
+		t.Errorf("Content = %q", el.Content)
+	}
+	if el.Context != "Furosemide\t40mg\tIV" {
+		t.Errorf("Context = %q", el.Context)
+	}
+	// GoTo drives the viewer: the selection afterwards is the address.
+	sel, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != addr {
+		t.Errorf("selection after GoTo = %v, want %v", sel, addr)
+	}
+}
+
+func TestGoToErrors(t *testing.T) {
+	a := appWithMeds(t)
+	cases := []struct {
+		addr base.Address
+		want error
+	}{
+		{base.Address{Scheme: "xml", File: "meds.xls", Path: "Meds!A1"}, base.ErrWrongScheme},
+		{base.Address{Scheme: Scheme, File: "nope", Path: "Meds!A1"}, base.ErrUnknownDocument},
+		{base.Address{Scheme: Scheme, File: "meds.xls", Path: "garbled"}, base.ErrBadAddress},
+		{base.Address{Scheme: Scheme, File: "meds.xls", Path: "NoSheet!A1"}, base.ErrBadAddress},
+	}
+	for _, c := range cases {
+		if _, err := a.GoTo(c.addr); !errors.Is(err, c.want) {
+			t.Errorf("GoTo(%v) = %v, want %v", c.addr, err, c.want)
+		}
+	}
+}
+
+func TestExtractContentDoesNotMoveViewer(t *testing.T) {
+	a := appWithMeds(t)
+	first := base.Address{Scheme: Scheme, File: "meds.xls", Path: "Meds!A2"}
+	if _, err := a.GoTo(first); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ExtractContent(base.Address{Scheme: Scheme, File: "meds.xls", Path: "Meds!A3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "Insulin" {
+		t.Errorf("ExtractContent = %q", got)
+	}
+	sel, _ := a.CurrentSelection()
+	if sel != first {
+		t.Error("ExtractContent moved the viewer selection")
+	}
+}
+
+func TestExtractContext(t *testing.T) {
+	a := appWithMeds(t)
+	ctx, err := a.ExtractContext(base.Address{Scheme: Scheme, File: "meds.xls", Path: "Meds!B2:B3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Furosemide\t40mg\tIV\nInsulin\t5u\tSC"
+	if ctx != want {
+		t.Errorf("ExtractContext = %q, want %q", ctx, want)
+	}
+}
+
+func TestSelectionCreateResolveRoundTripProperty(t *testing.T) {
+	// Whatever the user selects, resolving the resulting address returns
+	// the same element — the fundamental mark invariant.
+	a := appWithMeds(t)
+	a.Open("meds.xls")
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 3; col++ {
+			r := Range{Start: CellRef{row, col}, End: CellRef{row, col}}
+			if err := a.SelectRange("Meds", r); err != nil {
+				t.Fatal(err)
+			}
+			addr, err := a.CurrentSelection()
+			if err != nil {
+				t.Fatal(err)
+			}
+			el, err := a.GoTo(addr)
+			if err != nil {
+				t.Fatalf("GoTo(%v): %v", addr, err)
+			}
+			w, _ := a.Workbook("meds.xls")
+			s, _ := w.Sheet("Meds")
+			if el.Content != s.Get(CellRef{row, col}) {
+				t.Fatalf("round trip content %q != cell %q", el.Content, s.Get(CellRef{row, col}))
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package spreadsheet is the Excel-like base substrate: workbooks of named
+// sheets holding cell grids, addressed by sheet name plus A1-notation range
+// exactly as the paper's Excel mark does (Fig. 8: fileName, sheetName,
+// range).
+package spreadsheet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellRef is a zero-based (row, column) cell coordinate.
+type CellRef struct {
+	Row, Col int
+}
+
+// Range is an inclusive rectangle of cells. A single cell is a Range whose
+// Start equals its End.
+type Range struct {
+	Start, End CellRef
+}
+
+// Single reports whether the range is one cell.
+func (r Range) Single() bool { return r.Start == r.End }
+
+// Cells returns the number of cells in the range.
+func (r Range) Cells() int {
+	return (r.End.Row - r.Start.Row + 1) * (r.End.Col - r.Start.Col + 1)
+}
+
+// Contains reports whether the cell lies inside the range.
+func (r Range) Contains(c CellRef) bool {
+	return c.Row >= r.Start.Row && c.Row <= r.End.Row &&
+		c.Col >= r.Start.Col && c.Col <= r.End.Col
+}
+
+// normalize orders the corners so Start is the top-left.
+func (r Range) normalize() Range {
+	if r.Start.Row > r.End.Row {
+		r.Start.Row, r.End.Row = r.End.Row, r.Start.Row
+	}
+	if r.Start.Col > r.End.Col {
+		r.Start.Col, r.End.Col = r.End.Col, r.Start.Col
+	}
+	return r
+}
+
+// FormatCell renders a cell in A1 notation ("A1", "AB12").
+func FormatCell(c CellRef) string {
+	return colName(c.Col) + fmt.Sprint(c.Row+1)
+}
+
+// FormatRange renders a range in A1 notation: "B2" or "B2:C4".
+func FormatRange(r Range) string {
+	r = r.normalize()
+	if r.Single() {
+		return FormatCell(r.Start)
+	}
+	return FormatCell(r.Start) + ":" + FormatCell(r.End)
+}
+
+func colName(col int) string {
+	name := ""
+	for col >= 0 {
+		name = string(rune('A'+col%26)) + name
+		col = col/26 - 1
+	}
+	return name
+}
+
+// ParseCell parses A1 notation into a CellRef.
+func ParseCell(s string) (CellRef, error) {
+	i := 0
+	col := 0
+	for i < len(s) && s[i] >= 'A' && s[i] <= 'Z' {
+		col = col*26 + int(s[i]-'A') + 1
+		if col > 1<<24 {
+			return CellRef{}, fmt.Errorf("spreadsheet: %q: column out of range", s)
+		}
+		i++
+	}
+	if i == 0 {
+		return CellRef{}, fmt.Errorf("spreadsheet: %q: missing column letters", s)
+	}
+	if i == len(s) {
+		return CellRef{}, fmt.Errorf("spreadsheet: %q: missing row number", s)
+	}
+	row := 0
+	for ; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return CellRef{}, fmt.Errorf("spreadsheet: %q: bad row digit %q", s, s[i])
+		}
+		row = row*10 + int(s[i]-'0')
+		if row > 1<<24 {
+			return CellRef{}, fmt.Errorf("spreadsheet: %q: row out of range", s)
+		}
+	}
+	if row == 0 {
+		return CellRef{}, fmt.Errorf("spreadsheet: %q: rows start at 1", s)
+	}
+	return CellRef{Row: row - 1, Col: col - 1}, nil
+}
+
+// ParseRange parses "B2" or "B2:C4" into a normalized Range.
+func ParseRange(s string) (Range, error) {
+	a, b, found := strings.Cut(s, ":")
+	start, err := ParseCell(a)
+	if err != nil {
+		return Range{}, err
+	}
+	if !found {
+		return Range{Start: start, End: start}, nil
+	}
+	end, err := ParseCell(b)
+	if err != nil {
+		return Range{}, err
+	}
+	return Range{Start: start, End: end}.normalize(), nil
+}
+
+// ParsePath splits an address path "Sheet!B2:C4" into sheet name and range.
+// Sheet names containing '!' are not supported, matching A1-notation rules.
+func ParsePath(path string) (sheet string, rng Range, err error) {
+	name, ref, found := strings.Cut(path, "!")
+	if !found || name == "" {
+		return "", Range{}, fmt.Errorf("spreadsheet: path %q must be Sheet!Range", path)
+	}
+	rng, err = ParseRange(ref)
+	if err != nil {
+		return "", Range{}, err
+	}
+	return name, rng, nil
+}
+
+// FormatPath renders a sheet name and range as an address path.
+func FormatPath(sheet string, rng Range) string {
+	return sheet + "!" + FormatRange(rng)
+}

@@ -1,0 +1,136 @@
+package spreadsheet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CellRef
+	}{
+		{"A1", CellRef{0, 0}},
+		{"B2", CellRef{1, 1}},
+		{"Z1", CellRef{0, 25}},
+		{"AA1", CellRef{0, 26}},
+		{"AB12", CellRef{11, 27}},
+		{"BA100", CellRef{99, 52}},
+	}
+	for _, c := range cases {
+		got, err := ParseCell(c.in)
+		if err != nil {
+			t.Errorf("ParseCell(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseCell(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseCellErrors(t *testing.T) {
+	for _, in := range []string{"", "1", "A", "A0", "a1", "A1B", "A-1", "A99999999999", "AAAAAAAAAAAAAAA1"} {
+		if _, err := ParseCell(in); err == nil {
+			t.Errorf("ParseCell(%q) succeeded", in)
+		}
+	}
+}
+
+func TestFormatCellRoundTripProperty(t *testing.T) {
+	f := func(row, col uint16) bool {
+		c := CellRef{Row: int(row), Col: int(col)}
+		back, err := ParseCell(FormatCell(c))
+		return err == nil && back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	r, err := ParseRange("B2:C4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Range{Start: CellRef{1, 1}, End: CellRef{3, 2}}
+	if r != want {
+		t.Fatalf("ParseRange = %v, want %v", r, want)
+	}
+	single, err := ParseRange("D7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !single.Single() || single.Start != (CellRef{6, 3}) {
+		t.Fatalf("single-cell range = %v", single)
+	}
+}
+
+func TestParseRangeNormalizes(t *testing.T) {
+	r, err := ParseRange("C4:B2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start != (CellRef{1, 1}) || r.End != (CellRef{3, 2}) {
+		t.Fatalf("reversed range not normalized: %v", r)
+	}
+	if FormatRange(r) != "B2:C4" {
+		t.Fatalf("FormatRange = %q", FormatRange(r))
+	}
+}
+
+func TestParseRangeErrors(t *testing.T) {
+	for _, in := range []string{"", ":", "B2:", ":C4", "B2:C4:D6"} {
+		if _, err := ParseRange(in); err == nil {
+			t.Errorf("ParseRange(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRangeCellsAndContains(t *testing.T) {
+	r := Range{Start: CellRef{1, 1}, End: CellRef{3, 2}}
+	if r.Cells() != 6 {
+		t.Errorf("Cells = %d, want 6", r.Cells())
+	}
+	if !r.Contains(CellRef{2, 2}) {
+		t.Error("Contains(inside) = false")
+	}
+	if r.Contains(CellRef{0, 1}) || r.Contains(CellRef{1, 3}) {
+		t.Error("Contains(outside) = true")
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	sheet, r, err := ParsePath("Meds!B2:B4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sheet != "Meds" {
+		t.Errorf("sheet = %q", sheet)
+	}
+	if FormatRange(r) != "B2:B4" {
+		t.Errorf("range = %q", FormatRange(r))
+	}
+	if got := FormatPath("Meds", r); got != "Meds!B2:B4" {
+		t.Errorf("FormatPath = %q", got)
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	for _, in := range []string{"", "NoBang", "!B2", "Sheet!", "Sheet!bad"} {
+		if _, _, err := ParsePath(in); err == nil {
+			t.Errorf("ParsePath(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRangePathRoundTripProperty(t *testing.T) {
+	f := func(r1, c1, r2, c2 uint8) bool {
+		r := Range{Start: CellRef{int(r1), int(c1)}, End: CellRef{int(r2), int(c2)}}.normalize()
+		sheet, back, err := ParsePath(FormatPath("S", r))
+		return err == nil && sheet == "S" && back == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

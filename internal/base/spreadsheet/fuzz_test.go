@@ -1,0 +1,39 @@
+package spreadsheet
+
+import (
+	"testing"
+)
+
+// FuzzParseRange: any accepted range must format back to a string that
+// parses to the same (normalized) range.
+func FuzzParseRange(f *testing.F) {
+	for _, s := range []string{"A1", "B2:C4", "ZZ99:A1", "AB12", "A1:A1"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRange(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseRange(FormatRange(r))
+		if err != nil || back != r {
+			t.Fatalf("round trip of %q (= %v) failed: %v", s, r, err)
+		}
+	})
+}
+
+// FuzzParsePath: accepted paths round trip through FormatPath.
+func FuzzParsePath(f *testing.F) {
+	f.Add("Meds!A2:C2")
+	f.Add("Sheet 1!B3")
+	f.Fuzz(func(t *testing.T, s string) {
+		sheet, r, err := ParsePath(s)
+		if err != nil {
+			return
+		}
+		sheet2, r2, err := ParsePath(FormatPath(sheet, r))
+		if err != nil || sheet2 != sheet || r2 != r {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+	})
+}

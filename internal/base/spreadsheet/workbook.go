@@ -1,0 +1,161 @@
+package spreadsheet
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Workbook is a named collection of sheets, the document unit of the
+// spreadsheet substrate.
+type Workbook struct {
+	// Name is the workbook's identity in the application library (the
+	// paper's fileName).
+	Name   string
+	sheets []*Sheet
+	byName map[string]*Sheet
+}
+
+// Sheet is one worksheet: a sparse grid of string cells.
+type Sheet struct {
+	// Name is the sheet name (the paper's sheetName).
+	Name  string
+	cells map[CellRef]string
+	// maxRow/maxCol track the used extent, -1 when empty.
+	maxRow, maxCol int
+}
+
+// NewWorkbook returns an empty workbook.
+func NewWorkbook(name string) *Workbook {
+	return &Workbook{Name: name, byName: make(map[string]*Sheet)}
+}
+
+// AddSheet appends a new empty sheet. Sheet names must be unique and must
+// not contain '!' (reserved by the address syntax).
+func (w *Workbook) AddSheet(name string) (*Sheet, error) {
+	if name == "" || strings.Contains(name, "!") {
+		return nil, fmt.Errorf("spreadsheet: invalid sheet name %q", name)
+	}
+	if _, ok := w.byName[name]; ok {
+		return nil, fmt.Errorf("spreadsheet: duplicate sheet %q", name)
+	}
+	s := &Sheet{Name: name, cells: make(map[CellRef]string), maxRow: -1, maxCol: -1}
+	w.sheets = append(w.sheets, s)
+	w.byName[name] = s
+	return s, nil
+}
+
+// Sheet looks up a sheet by name.
+func (w *Workbook) Sheet(name string) (*Sheet, bool) {
+	s, ok := w.byName[name]
+	return s, ok
+}
+
+// Sheets returns the sheets in insertion order.
+func (w *Workbook) Sheets() []*Sheet {
+	return append([]*Sheet(nil), w.sheets...)
+}
+
+// Set writes a cell value. Empty strings clear the cell.
+func (s *Sheet) Set(c CellRef, value string) {
+	if c.Row < 0 || c.Col < 0 {
+		return
+	}
+	if value == "" {
+		delete(s.cells, c)
+		return
+	}
+	s.cells[c] = value
+	if c.Row > s.maxRow {
+		s.maxRow = c.Row
+	}
+	if c.Col > s.maxCol {
+		s.maxCol = c.Col
+	}
+}
+
+// Get reads a cell value; absent cells read as "".
+func (s *Sheet) Get(c CellRef) string { return s.cells[c] }
+
+// UsedRange returns the smallest range covering all non-empty cells and
+// whether the sheet has any content.
+func (s *Sheet) UsedRange() (Range, bool) {
+	if len(s.cells) == 0 {
+		return Range{}, false
+	}
+	minR, minC := s.maxRow, s.maxCol
+	for c := range s.cells {
+		if c.Row < minR {
+			minR = c.Row
+		}
+		if c.Col < minC {
+			minC = c.Col
+		}
+	}
+	return Range{Start: CellRef{minR, minC}, End: CellRef{s.maxRow, s.maxCol}}, true
+}
+
+// Values returns the range's contents row by row, tab-separating cells and
+// newline-separating rows — the textual content of a range element.
+func (s *Sheet) Values(r Range) string {
+	r = r.normalize()
+	var b strings.Builder
+	for row := r.Start.Row; row <= r.End.Row; row++ {
+		if row > r.Start.Row {
+			b.WriteByte('\n')
+		}
+		for col := r.Start.Col; col <= r.End.Col; col++ {
+			if col > r.Start.Col {
+				b.WriteByte('\t')
+			}
+			b.WriteString(s.Get(CellRef{row, col}))
+		}
+	}
+	return b.String()
+}
+
+// Row returns the full used row containing the cell, as context text.
+func (s *Sheet) Row(row int) string {
+	if row < 0 || s.maxCol < 0 {
+		return ""
+	}
+	return s.Values(Range{Start: CellRef{row, 0}, End: CellRef{row, s.maxCol}})
+}
+
+// FindText returns the references of all cells whose value contains the
+// (case-sensitive) needle, in row-major order.
+func (s *Sheet) FindText(needle string) []CellRef {
+	var out []CellRef
+	if s.maxRow < 0 {
+		return out
+	}
+	for row := 0; row <= s.maxRow; row++ {
+		for col := 0; col <= s.maxCol; col++ {
+			ref := CellRef{row, col}
+			if v, ok := s.cells[ref]; ok && strings.Contains(v, needle) {
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// LoadCSV fills a new sheet from CSV text, starting at A1.
+func (w *Workbook) LoadCSV(sheetName, csvText string) (*Sheet, error) {
+	s, err := w.AddSheet(sheetName)
+	if err != nil {
+		return nil, err
+	}
+	r := csv.NewReader(strings.NewReader(csvText))
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("spreadsheet: loading CSV into %q: %w", sheetName, err)
+	}
+	for rowIdx, rec := range records {
+		for colIdx, v := range rec {
+			s.Set(CellRef{rowIdx, colIdx}, v)
+		}
+	}
+	return s, nil
+}

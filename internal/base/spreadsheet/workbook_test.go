@@ -1,0 +1,134 @@
+package spreadsheet
+
+import (
+	"testing"
+)
+
+func medsWorkbook(t *testing.T) *Workbook {
+	t.Helper()
+	w := NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose,Route\nFurosemide,40mg,IV\nInsulin,5u,SC\nCeftriaxone,1g,IV\n"); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAddSheetValidation(t *testing.T) {
+	w := NewWorkbook("b")
+	if _, err := w.AddSheet(""); err == nil {
+		t.Error("empty sheet name accepted")
+	}
+	if _, err := w.AddSheet("bad!name"); err == nil {
+		t.Error("sheet name with '!' accepted")
+	}
+	if _, err := w.AddSheet("S1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddSheet("S1"); err == nil {
+		t.Error("duplicate sheet accepted")
+	}
+}
+
+func TestSheetLookup(t *testing.T) {
+	w := medsWorkbook(t)
+	if _, ok := w.Sheet("Meds"); !ok {
+		t.Fatal("sheet not found")
+	}
+	if _, ok := w.Sheet("Absent"); ok {
+		t.Fatal("absent sheet found")
+	}
+	if len(w.Sheets()) != 1 {
+		t.Fatalf("Sheets = %d", len(w.Sheets()))
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	w := NewWorkbook("b")
+	s, _ := w.AddSheet("S")
+	c := CellRef{2, 3}
+	s.Set(c, "hello")
+	if s.Get(c) != "hello" {
+		t.Fatal("Get after Set failed")
+	}
+	s.Set(c, "")
+	if s.Get(c) != "" {
+		t.Fatal("empty Set did not clear")
+	}
+	// Negative coordinates are ignored.
+	s.Set(CellRef{-1, 0}, "x")
+	if s.Get(CellRef{-1, 0}) != "" {
+		t.Fatal("negative cell stored")
+	}
+}
+
+func TestUsedRange(t *testing.T) {
+	w := NewWorkbook("b")
+	s, _ := w.AddSheet("S")
+	if _, ok := s.UsedRange(); ok {
+		t.Fatal("empty sheet has a used range")
+	}
+	s.Set(CellRef{1, 1}, "a")
+	s.Set(CellRef{3, 4}, "b")
+	r, ok := s.UsedRange()
+	if !ok || r.Start != (CellRef{1, 1}) || r.End != (CellRef{3, 4}) {
+		t.Fatalf("UsedRange = %v, %v", r, ok)
+	}
+}
+
+func TestValuesAndRow(t *testing.T) {
+	w := medsWorkbook(t)
+	s, _ := w.Sheet("Meds")
+	r, _ := ParseRange("A2:C2")
+	if got := s.Values(r); got != "Furosemide\t40mg\tIV" {
+		t.Errorf("Values = %q", got)
+	}
+	if got := s.Row(2); got != "Insulin\t5u\tSC" {
+		t.Errorf("Row = %q", got)
+	}
+	multi, _ := ParseRange("A1:A2")
+	if got := s.Values(multi); got != "Drug\nFurosemide" {
+		t.Errorf("multi-row Values = %q", got)
+	}
+	if s.Row(-1) != "" {
+		t.Error("negative Row nonempty")
+	}
+}
+
+func TestFindText(t *testing.T) {
+	w := medsWorkbook(t)
+	s, _ := w.Sheet("Meds")
+	hits := s.FindText("IV")
+	if len(hits) != 2 {
+		t.Fatalf("FindText(IV) = %v", hits)
+	}
+	if hits[0] != (CellRef{1, 2}) || hits[1] != (CellRef{3, 2}) {
+		t.Fatalf("FindText order = %v", hits)
+	}
+	if len(s.FindText("absent")) != 0 {
+		t.Fatal("FindText(absent) found something")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	w := NewWorkbook("b")
+	if _, err := w.LoadCSV("S", "a,\"unterminated\n"); err == nil {
+		t.Error("bad CSV accepted")
+	}
+	if _, err := w.LoadCSV("S!bad", "a"); err == nil {
+		t.Error("bad sheet name accepted in LoadCSV")
+	}
+}
+
+func TestLoadCSVRaggedRows(t *testing.T) {
+	w := NewWorkbook("b")
+	s, err := w.LoadCSV("S", "a,b,c\nd\ne,f\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(CellRef{1, 0}) != "d" || s.Get(CellRef{2, 1}) != "f" {
+		t.Fatal("ragged CSV loaded wrong")
+	}
+	if s.Get(CellRef{1, 2}) != "" {
+		t.Fatal("phantom cell")
+	}
+}

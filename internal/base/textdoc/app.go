@@ -1,0 +1,164 @@
+package textdoc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// Scheme is the address scheme served by this application.
+const Scheme = "text"
+
+// App is the word-processor base application: a document library plus the
+// viewer state (open document, selected location).
+type App struct {
+	mu   sync.Mutex
+	docs map[string]*Document
+
+	openDoc  *Document
+	selected Loc
+	hasSel   bool
+}
+
+var _ base.Application = (*App)(nil)
+var _ base.ContentExtractor = (*App)(nil)
+var _ base.ContextProvider = (*App)(nil)
+
+// NewApp returns an application with an empty library.
+func NewApp() *App {
+	return &App{docs: make(map[string]*Document)}
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return Scheme }
+
+// Name implements base.Application.
+func (a *App) Name() string { return "go-writer" }
+
+// AddDocument registers a document in the library.
+func (a *App) AddDocument(d *Document) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d.Name == "" {
+		return fmt.Errorf("textdoc: document needs a name")
+	}
+	if _, ok := a.docs[d.Name]; ok {
+		return fmt.Errorf("textdoc: document %q already in library", d.Name)
+	}
+	a.docs[d.Name] = d
+	return nil
+}
+
+// LoadString parses text and registers it under the given name.
+func (a *App) LoadString(name, text string) (*Document, error) {
+	d := Parse(name, text)
+	if err := a.AddDocument(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Document looks up a document by name.
+func (a *App) Document(name string) (*Document, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	return d, ok
+}
+
+// Open makes a document current without a selection.
+func (a *App) Open(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", base.ErrUnknownDocument, name)
+	}
+	a.openDoc, a.hasSel = d, false
+	return nil
+}
+
+// Select simulates the user selecting the location in the open document.
+func (a *App) Select(l Loc) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil {
+		return fmt.Errorf("textdoc: no open document")
+	}
+	if _, err := a.openDoc.resolveLoc(l); err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected, a.hasSel = l, true
+	return nil
+}
+
+// CurrentSelection implements base.Application.
+func (a *App) CurrentSelection() (base.Address, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil || !a.hasSel {
+		return base.Address{}, base.ErrNoSelection
+	}
+	return base.Address{Scheme: Scheme, File: a.openDoc.Name, Path: a.selected.String()}, nil
+}
+
+func (a *App) locate(addr base.Address) (*Document, Loc, string, error) {
+	if addr.Scheme != Scheme {
+		return nil, Loc{}, "", fmt.Errorf("%w: %q", base.ErrWrongScheme, addr.Scheme)
+	}
+	d, ok := a.docs[addr.File]
+	if !ok {
+		return nil, Loc{}, "", fmt.Errorf("%w: %q", base.ErrUnknownDocument, addr.File)
+	}
+	l, err := ParseLoc(addr.Path)
+	if err != nil {
+		return nil, Loc{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	content, err := d.resolveLoc(l)
+	if err != nil {
+		return nil, Loc{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	return d, l, content, nil
+}
+
+// GoTo implements base.Application: open the document, select the span, and
+// return the element with its enclosing paragraph as context.
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, l, content, err := a.locate(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	a.openDoc, a.selected, a.hasSel = d, l, true
+	para, _ := d.Paragraph(l.Section, l.Paragraph)
+	return base.Element{
+		Address: base.Address{Scheme: Scheme, File: d.Name, Path: l.String()},
+		Content: content,
+		Context: para.Text(),
+	}, nil
+}
+
+// ExtractContent implements base.ContentExtractor.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _, content, err := a.locate(addr)
+	return content, err
+}
+
+// ExtractContext implements base.ContextProvider: the enclosing paragraph.
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, l, _, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	p, err := d.Paragraph(l.Section, l.Paragraph)
+	if err != nil {
+		return "", err
+	}
+	return p.Text(), nil
+}

@@ -1,0 +1,137 @@
+package textdoc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func appWithNote(t *testing.T) *App {
+	t.Helper()
+	a := NewApp()
+	if _, err := a.LoadString("note.txt", noteText); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppIdentity(t *testing.T) {
+	a := NewApp()
+	if a.Scheme() != Scheme || a.Name() == "" {
+		t.Fatal("bad identity")
+	}
+}
+
+func TestAppLibrary(t *testing.T) {
+	a := NewApp()
+	if err := a.AddDocument(&Document{}); err == nil {
+		t.Error("unnamed document accepted")
+	}
+	if _, err := a.LoadString("n", "text"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadString("n", "text"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, ok := a.Document("n"); !ok {
+		t.Error("lookup failed")
+	}
+}
+
+func TestSelectionFlow(t *testing.T) {
+	a := appWithNote(t)
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("selection before open")
+	}
+	if err := a.Select(Loc{Section: 1, Paragraph: 1}); err == nil {
+		t.Fatal("Select before Open succeeded")
+	}
+	if err := a.Open("nope"); !errors.Is(err, base.ErrUnknownDocument) {
+		t.Fatalf("Open missing = %v", err)
+	}
+	if err := a.Open("note.txt"); err != nil {
+		t.Fatal(err)
+	}
+	sel := Loc{Section: 2, Paragraph: 1, FirstWord: 2, LastWord: 3}
+	if err := a.Select(sel); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Path != "s2/p1/w2-3" {
+		t.Fatalf("path = %q", addr.Path)
+	}
+	if err := a.Select(Loc{Section: 9, Paragraph: 1}); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("bad Select = %v", err)
+	}
+}
+
+func TestGoTo(t *testing.T) {
+	a := appWithNote(t)
+	addr := base.Address{Scheme: Scheme, File: "note.txt", Path: "s2/p1/w2-3"}
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "furosemide drip" {
+		t.Errorf("Content = %q", el.Content)
+	}
+	if el.Context == "" || el.Context == el.Content {
+		t.Errorf("Context = %q", el.Context)
+	}
+	sel, err := a.CurrentSelection()
+	if err != nil || sel != addr {
+		t.Errorf("selection after GoTo = %v, %v", sel, err)
+	}
+}
+
+func TestGoToWholeParagraph(t *testing.T) {
+	a := appWithNote(t)
+	el, err := a.GoTo(base.Address{Scheme: Scheme, File: "note.txt", Path: "s1/p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Electrolytes stable after repletion." {
+		t.Errorf("Content = %q", el.Content)
+	}
+	if el.Context != el.Content {
+		t.Errorf("whole-paragraph context should equal content; got %q", el.Context)
+	}
+}
+
+func TestGoToErrors(t *testing.T) {
+	a := appWithNote(t)
+	cases := []struct {
+		addr base.Address
+		want error
+	}{
+		{base.Address{Scheme: "xml", File: "note.txt", Path: "s1/p1"}, base.ErrWrongScheme},
+		{base.Address{Scheme: Scheme, File: "nope", Path: "s1/p1"}, base.ErrUnknownDocument},
+		{base.Address{Scheme: Scheme, File: "note.txt", Path: "junk"}, base.ErrBadAddress},
+		{base.Address{Scheme: Scheme, File: "note.txt", Path: "s1/p1/w1-999"}, base.ErrBadAddress},
+	}
+	for _, c := range cases {
+		if _, err := a.GoTo(c.addr); !errors.Is(err, c.want) {
+			t.Errorf("GoTo(%v) = %v, want %v", c.addr, err, c.want)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	a := appWithNote(t)
+	content, err := a.ExtractContent(base.Address{Scheme: Scheme, File: "note.txt", Path: "s1/p2/w1-2"})
+	if err != nil || content != "Electrolytes stable" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	ctx, err := a.ExtractContext(base.Address{Scheme: Scheme, File: "note.txt", Path: "s1/p2/w1-2"})
+	if err != nil || ctx != "Electrolytes stable after repletion." {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+	// No viewer movement.
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("extraction moved the viewer")
+	}
+}

@@ -1,0 +1,202 @@
+// Package textdoc is the word-processor base substrate: sectioned documents
+// of paragraphs addressed down to word spans, standing in for the paper's
+// Microsoft Word marks. It also implements in-document comments with
+// next/previous navigation, the "Microsoft Word Comments" behavior the paper
+// compares against in §5.
+package textdoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Document is a named, sectioned text document.
+type Document struct {
+	// Name is the document's identity in the application library.
+	Name     string
+	Sections []*Section
+	comments []*Comment
+}
+
+// Section is a heading plus its paragraphs.
+type Section struct {
+	// Heading is the section title ("" for the implicit first section).
+	Heading    string
+	Paragraphs []Paragraph
+}
+
+// Paragraph is a run of words.
+type Paragraph struct {
+	words []string
+}
+
+// NewParagraph splits text into words on whitespace.
+func NewParagraph(text string) Paragraph {
+	return Paragraph{words: strings.Fields(text)}
+}
+
+// Words returns the number of words.
+func (p Paragraph) Words() int { return len(p.words) }
+
+// Text returns the paragraph's full text.
+func (p Paragraph) Text() string { return strings.Join(p.words, " ") }
+
+// Span returns the text of words first..last (1-based, inclusive).
+func (p Paragraph) Span(first, last int) (string, error) {
+	if first < 1 || last < first || last > len(p.words) {
+		return "", fmt.Errorf("textdoc: word span %d-%d out of range (paragraph has %d words)", first, last, len(p.words))
+	}
+	return strings.Join(p.words[first-1:last], " "), nil
+}
+
+// Parse builds a document from plain text: lines starting with "# " open a
+// new section; blank lines separate paragraphs.
+func Parse(name, text string) *Document {
+	d := &Document{Name: name}
+	cur := &Section{}
+	var para []string
+	flushPara := func() {
+		if len(para) > 0 {
+			cur.Paragraphs = append(cur.Paragraphs, NewParagraph(strings.Join(para, " ")))
+			para = nil
+		}
+	}
+	flushSection := func() {
+		flushPara()
+		if cur.Heading != "" || len(cur.Paragraphs) > 0 {
+			d.Sections = append(d.Sections, cur)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "# "):
+			flushSection()
+			cur = &Section{Heading: strings.TrimSpace(trimmed[2:])}
+		case trimmed == "":
+			flushPara()
+		default:
+			para = append(para, trimmed)
+		}
+	}
+	flushSection()
+	return d
+}
+
+// Section returns the i-th (1-based) section.
+func (d *Document) Section(i int) (*Section, error) {
+	if i < 1 || i > len(d.Sections) {
+		return nil, fmt.Errorf("textdoc: no section %d in %q (%d sections)", i, d.Name, len(d.Sections))
+	}
+	return d.Sections[i-1], nil
+}
+
+// Paragraph returns the j-th (1-based) paragraph of the i-th section.
+func (d *Document) Paragraph(i, j int) (Paragraph, error) {
+	s, err := d.Section(i)
+	if err != nil {
+		return Paragraph{}, err
+	}
+	if j < 1 || j > len(s.Paragraphs) {
+		return Paragraph{}, fmt.Errorf("textdoc: no paragraph %d in section %d of %q", j, i, d.Name)
+	}
+	return s.Paragraphs[j-1], nil
+}
+
+// FindWord returns the addresses (as Locs) of every occurrence of the word,
+// case-insensitively, in document order.
+func (d *Document) FindWord(word string) []Loc {
+	var out []Loc
+	needle := strings.ToLower(word)
+	for si, s := range d.Sections {
+		for pi, p := range s.Paragraphs {
+			for wi, w := range p.words {
+				if strings.ToLower(strings.Trim(w, ".,;:!?\"'()")) == needle {
+					out = append(out, Loc{Section: si + 1, Paragraph: pi + 1, FirstWord: wi + 1, LastWord: wi + 1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Comment is an in-document annotation anchored at a location (the §5
+// Word-Comments baseline).
+type Comment struct {
+	// ID is the comment's 1-based creation index.
+	ID int
+	// At anchors the comment.
+	At Loc
+	// Text is the comment body.
+	Text string
+}
+
+// AddComment appends a comment anchored at the location.
+func (d *Document) AddComment(at Loc, text string) (*Comment, error) {
+	if _, err := d.resolveLoc(at); err != nil {
+		return nil, err
+	}
+	c := &Comment{ID: len(d.comments) + 1, At: at, Text: text}
+	d.comments = append(d.comments, c)
+	return c, nil
+}
+
+// Comments returns the comments in creation order.
+func (d *Document) Comments() []*Comment {
+	return append([]*Comment(nil), d.comments...)
+}
+
+// NextComment returns the first comment anchored strictly after the
+// location in document order, wrapping to the first comment ("go to next
+// annotation in a single document", §5).
+func (d *Document) NextComment(after Loc) (*Comment, bool) {
+	var best *Comment
+	var first *Comment
+	for _, c := range d.comments {
+		if first == nil || c.At.before(first.At) {
+			first = c
+		}
+		if after.before(c.At) && (best == nil || c.At.before(best.At)) {
+			best = c
+		}
+	}
+	if best != nil {
+		return best, true
+	}
+	if first != nil {
+		return first, true
+	}
+	return nil, false
+}
+
+// PrevComment is the reverse of NextComment.
+func (d *Document) PrevComment(before Loc) (*Comment, bool) {
+	var best *Comment
+	var last *Comment
+	for _, c := range d.comments {
+		if last == nil || last.At.before(c.At) {
+			last = c
+		}
+		if c.At.before(before) && (best == nil || best.At.before(c.At)) {
+			best = c
+		}
+	}
+	if best != nil {
+		return best, true
+	}
+	if last != nil {
+		return last, true
+	}
+	return nil, false
+}
+
+func (d *Document) resolveLoc(l Loc) (string, error) {
+	p, err := d.Paragraph(l.Section, l.Paragraph)
+	if err != nil {
+		return "", err
+	}
+	if l.FirstWord == 0 && l.LastWord == 0 {
+		return p.Text(), nil
+	}
+	return p.Span(l.FirstWord, l.LastWord)
+}

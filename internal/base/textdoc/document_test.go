@@ -1,0 +1,207 @@
+package textdoc
+
+import (
+	"testing"
+)
+
+const noteText = `# Assessment
+Patient is a 67 year old male admitted with acute decompensated heart failure.
+He remains on IV diuresis with good urine output.
+
+Electrolytes stable after repletion.
+
+# Plan
+Continue furosemide drip at current rate.
+Recheck potassium and magnesium this evening.
+
+Consider transition to oral diuretics tomorrow.
+`
+
+func noteDoc(t *testing.T) *Document {
+	t.Helper()
+	return Parse("note.txt", noteText)
+}
+
+func TestParseSectionsAndParagraphs(t *testing.T) {
+	d := noteDoc(t)
+	if len(d.Sections) != 2 {
+		t.Fatalf("sections = %d", len(d.Sections))
+	}
+	if d.Sections[0].Heading != "Assessment" || d.Sections[1].Heading != "Plan" {
+		t.Fatalf("headings = %q, %q", d.Sections[0].Heading, d.Sections[1].Heading)
+	}
+	if len(d.Sections[0].Paragraphs) != 2 {
+		t.Fatalf("assessment paragraphs = %d", len(d.Sections[0].Paragraphs))
+	}
+	if len(d.Sections[1].Paragraphs) != 2 {
+		t.Fatalf("plan paragraphs = %d", len(d.Sections[1].Paragraphs))
+	}
+	// Adjacent lines merge into one paragraph.
+	p, err := d.Paragraph(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Words() != 22 {
+		t.Fatalf("paragraph 1.1 words = %d: %q", p.Words(), p.Text())
+	}
+}
+
+func TestParseNoHeading(t *testing.T) {
+	d := Parse("x", "just a paragraph\n\nand another")
+	if len(d.Sections) != 1 || d.Sections[0].Heading != "" {
+		t.Fatalf("implicit section wrong: %+v", d.Sections)
+	}
+	if len(d.Sections[0].Paragraphs) != 2 {
+		t.Fatalf("paragraphs = %d", len(d.Sections[0].Paragraphs))
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	d := Parse("x", "")
+	if len(d.Sections) != 0 {
+		t.Fatalf("empty doc has %d sections", len(d.Sections))
+	}
+}
+
+func TestSectionParagraphErrors(t *testing.T) {
+	d := noteDoc(t)
+	if _, err := d.Section(0); err == nil {
+		t.Error("Section(0) succeeded")
+	}
+	if _, err := d.Section(3); err == nil {
+		t.Error("Section(3) succeeded")
+	}
+	if _, err := d.Paragraph(1, 0); err == nil {
+		t.Error("Paragraph(1,0) succeeded")
+	}
+	if _, err := d.Paragraph(1, 9); err == nil {
+		t.Error("Paragraph(1,9) succeeded")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	p := NewParagraph("alpha beta gamma delta")
+	got, err := p.Span(2, 3)
+	if err != nil || got != "beta gamma" {
+		t.Fatalf("Span = %q, %v", got, err)
+	}
+	if _, err := p.Span(0, 1); err == nil {
+		t.Error("Span(0,1) succeeded")
+	}
+	if _, err := p.Span(3, 2); err == nil {
+		t.Error("Span(3,2) succeeded")
+	}
+	if _, err := p.Span(1, 5); err == nil {
+		t.Error("Span beyond end succeeded")
+	}
+}
+
+func TestFindWord(t *testing.T) {
+	d := noteDoc(t)
+	hits := d.FindWord("furosemide")
+	if len(hits) != 1 {
+		t.Fatalf("FindWord = %v", hits)
+	}
+	l := hits[0]
+	if l.Section != 2 || l.Paragraph != 1 {
+		t.Fatalf("loc = %v", l)
+	}
+	// Punctuation-trimmed and case-insensitive.
+	if len(d.FindWord("Potassium")) != 1 {
+		t.Error("case-insensitive find failed")
+	}
+	if len(d.FindWord("rate")) != 1 { // "rate." with period
+		t.Error("punctuation-trimmed find failed")
+	}
+}
+
+func TestComments(t *testing.T) {
+	d := noteDoc(t)
+	l1 := Loc{Section: 1, Paragraph: 1}
+	l2 := Loc{Section: 2, Paragraph: 1}
+	c1, err := d.AddComment(l1, "verify ins/outs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := d.AddComment(l2, "dose unchanged?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ID != 1 || c2.ID != 2 {
+		t.Fatalf("IDs = %d, %d", c1.ID, c2.ID)
+	}
+	if len(d.Comments()) != 2 {
+		t.Fatal("comment count wrong")
+	}
+	// Anchor must resolve.
+	if _, err := d.AddComment(Loc{Section: 9, Paragraph: 1}, "x"); err == nil {
+		t.Fatal("comment at bad anchor accepted")
+	}
+}
+
+func TestCommentNavigation(t *testing.T) {
+	d := noteDoc(t)
+	l1 := Loc{Section: 1, Paragraph: 1}
+	l2 := Loc{Section: 1, Paragraph: 2}
+	l3 := Loc{Section: 2, Paragraph: 1}
+	d.AddComment(l1, "a")
+	d.AddComment(l3, "c")
+	d.AddComment(l2, "b")
+
+	next, ok := d.NextComment(l1)
+	if !ok || next.Text != "b" {
+		t.Fatalf("NextComment(l1) = %v, %v", next, ok)
+	}
+	// Wraps around after the last.
+	next, ok = d.NextComment(l3)
+	if !ok || next.Text != "a" {
+		t.Fatalf("NextComment(last) = %v, %v", next, ok)
+	}
+	prev, ok := d.PrevComment(l3)
+	if !ok || prev.Text != "b" {
+		t.Fatalf("PrevComment(l3) = %v, %v", prev, ok)
+	}
+	// Wraps to the last before the first.
+	prev, ok = d.PrevComment(l1)
+	if !ok || prev.Text != "c" {
+		t.Fatalf("PrevComment(first) = %v, %v", prev, ok)
+	}
+	empty := Parse("e", "one para")
+	if _, ok := empty.NextComment(l1); ok {
+		t.Error("NextComment on comment-free doc found one")
+	}
+	if _, ok := empty.PrevComment(l1); ok {
+		t.Error("PrevComment on comment-free doc found one")
+	}
+}
+
+func TestLocStringParseRoundTrip(t *testing.T) {
+	cases := []Loc{
+		{Section: 1, Paragraph: 2},
+		{Section: 3, Paragraph: 1, FirstWord: 4, LastWord: 7},
+		{Section: 10, Paragraph: 20, FirstWord: 1, LastWord: 1},
+	}
+	for _, l := range cases {
+		back, err := ParseLoc(l.String())
+		if err != nil {
+			t.Errorf("ParseLoc(%q): %v", l.String(), err)
+			continue
+		}
+		if back != l {
+			t.Errorf("round trip %v -> %v", l, back)
+		}
+	}
+}
+
+func TestParseLocErrors(t *testing.T) {
+	bad := []string{
+		"", "s1", "s1/p2/w3", "x1/p2", "s1/x2", "s0/p1", "s1/p0",
+		"s1/p1/w0-2", "s1/p1/w3-2", "s1/p1/wx-y", "s1/p1/w1-2/extra",
+		"sA/p1", "s1/pB",
+	}
+	for _, p := range bad {
+		if _, err := ParseLoc(p); err == nil {
+			t.Errorf("ParseLoc(%q) succeeded", p)
+		}
+	}
+}

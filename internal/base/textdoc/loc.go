@@ -1,0 +1,86 @@
+package textdoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Loc addresses a paragraph or a word span within it: section and paragraph
+// are 1-based; FirstWord/LastWord of 0 mean the whole paragraph.
+type Loc struct {
+	Section   int
+	Paragraph int
+	FirstWord int
+	LastWord  int
+}
+
+// WholeParagraph reports whether the location addresses the full paragraph.
+func (l Loc) WholeParagraph() bool { return l.FirstWord == 0 && l.LastWord == 0 }
+
+// before orders locations in document order.
+func (l Loc) before(o Loc) bool {
+	if l.Section != o.Section {
+		return l.Section < o.Section
+	}
+	if l.Paragraph != o.Paragraph {
+		return l.Paragraph < o.Paragraph
+	}
+	return l.FirstWord < o.FirstWord
+}
+
+// String renders the location as an address path: "s2/p3" or "s2/p3/w5-8".
+func (l Loc) String() string {
+	if l.WholeParagraph() {
+		return fmt.Sprintf("s%d/p%d", l.Section, l.Paragraph)
+	}
+	return fmt.Sprintf("s%d/p%d/w%d-%d", l.Section, l.Paragraph, l.FirstWord, l.LastWord)
+}
+
+// ParseLoc parses an address path produced by Loc.String.
+func ParseLoc(path string) (Loc, error) {
+	parts := strings.Split(path, "/")
+	if len(parts) != 2 && len(parts) != 3 {
+		return Loc{}, fmt.Errorf("textdoc: path %q must be sN/pN or sN/pN/wA-B", path)
+	}
+	sec, err := parseNum(parts[0], 's')
+	if err != nil {
+		return Loc{}, fmt.Errorf("textdoc: path %q: %v", path, err)
+	}
+	par, err := parseNum(parts[1], 'p')
+	if err != nil {
+		return Loc{}, fmt.Errorf("textdoc: path %q: %v", path, err)
+	}
+	l := Loc{Section: sec, Paragraph: par}
+	if len(parts) == 3 {
+		span := parts[2]
+		if len(span) < 2 || span[0] != 'w' {
+			return Loc{}, fmt.Errorf("textdoc: path %q: span must start with 'w'", path)
+		}
+		a, b, found := strings.Cut(span[1:], "-")
+		if !found {
+			return Loc{}, fmt.Errorf("textdoc: path %q: span must be wA-B", path)
+		}
+		first, err := strconv.Atoi(a)
+		if err != nil || first < 1 {
+			return Loc{}, fmt.Errorf("textdoc: path %q: bad first word", path)
+		}
+		last, err := strconv.Atoi(b)
+		if err != nil || last < first {
+			return Loc{}, fmt.Errorf("textdoc: path %q: bad last word", path)
+		}
+		l.FirstWord, l.LastWord = first, last
+	}
+	return l, nil
+}
+
+func parseNum(s string, prefix byte) (int, error) {
+	if len(s) < 2 || s[0] != prefix {
+		return 0, fmt.Errorf("component %q must start with %q", s, string(prefix))
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("component %q must be a positive number", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,221 @@
+package xmldoc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// Scheme is the address scheme served by this application.
+const Scheme = "xml"
+
+// App is the XML base application: a library of parsed documents plus the
+// viewer state (open document, selected element). The paper's SLIMPad
+// resolves XML marks by opening the lab report "and highlight[ing] the
+// appropriate section of the XML document" (§3); GoTo reproduces that.
+type App struct {
+	mu   sync.Mutex
+	docs map[string]*Document
+
+	openDoc  *Document
+	selected *Node
+	// selAttr carries an attribute selection within the selected element
+	// (attribute marks), or "".
+	selAttr string
+}
+
+var _ base.Application = (*App)(nil)
+var _ base.ContentExtractor = (*App)(nil)
+var _ base.ContextProvider = (*App)(nil)
+
+// NewApp returns an application with an empty library.
+func NewApp() *App {
+	return &App{docs: make(map[string]*Document)}
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return Scheme }
+
+// Name implements base.Application.
+func (a *App) Name() string { return "go-xmlview" }
+
+// AddDocument registers a parsed document in the library.
+func (a *App) AddDocument(d *Document) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d.Name == "" {
+		return fmt.Errorf("xmldoc: document needs a name")
+	}
+	if _, ok := a.docs[d.Name]; ok {
+		return fmt.Errorf("xmldoc: document %q already in library", d.Name)
+	}
+	a.docs[d.Name] = d
+	return nil
+}
+
+// LoadString parses XML text and registers it under the given name.
+func (a *App) LoadString(name, text string) (*Document, error) {
+	d, err := Parse(name, text)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.AddDocument(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Document looks up a document by name.
+func (a *App) Document(name string) (*Document, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	return d, ok
+}
+
+// Open makes a document current without selecting an element.
+func (a *App) Open(name string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", base.ErrUnknownDocument, name)
+	}
+	a.openDoc, a.selected = d, nil
+	return nil
+}
+
+// SelectExpr simulates the user selecting the element at the path in the
+// open document.
+func (a *App) SelectExpr(expr string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil {
+		return fmt.Errorf("xmldoc: no open document")
+	}
+	p, err := ParsePath(expr)
+	if err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	n, err := a.openDoc.Resolve(p)
+	if err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected, a.selAttr = n, p.Attr
+	return nil
+}
+
+// SelectNode selects a node object of the open document directly (used by
+// search-driven flows that find nodes with Document.Find).
+func (a *App) SelectNode(n *Node) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil {
+		return fmt.Errorf("xmldoc: no open document")
+	}
+	if _, err := a.openDoc.PathTo(n); err != nil {
+		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	a.selected, a.selAttr = n, ""
+	return nil
+}
+
+// CurrentSelection implements base.Application.
+func (a *App) CurrentSelection() (base.Address, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.openDoc == nil || a.selected == nil {
+		return base.Address{}, base.ErrNoSelection
+	}
+	p, err := a.openDoc.PathTo(a.selected)
+	if err != nil {
+		return base.Address{}, err
+	}
+	p.Attr = a.selAttr
+	return base.Address{Scheme: Scheme, File: a.openDoc.Name, Path: p.String()}, nil
+}
+
+func (a *App) locate(addr base.Address) (*Document, *Node, Path, string, error) {
+	if addr.Scheme != Scheme {
+		return nil, nil, Path{}, "", fmt.Errorf("%w: %q", base.ErrWrongScheme, addr.Scheme)
+	}
+	d, ok := a.docs[addr.File]
+	if !ok {
+		return nil, nil, Path{}, "", fmt.Errorf("%w: %q", base.ErrUnknownDocument, addr.File)
+	}
+	p, err := ParsePath(addr.Path)
+	if err != nil {
+		return nil, nil, Path{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	n, content, err := d.ResolveContent(p)
+	if err != nil {
+		return nil, nil, Path{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+	}
+	return d, n, p, content, nil
+}
+
+// GoTo implements base.Application: open the document, highlight the
+// element (or attribute), and return it.
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, n, p, content, err := a.locate(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	a.openDoc, a.selected, a.selAttr = d, n, p.Attr
+	canonical, err := d.PathTo(n)
+	if err != nil {
+		return base.Element{}, err
+	}
+	canonical.Attr = p.Attr
+	context := contextOf(n)
+	if p.Attr != "" {
+		// For attribute marks the owning element is the natural context.
+		context = n.DeepText()
+	}
+	return base.Element{
+		Address: base.Address{Scheme: Scheme, File: d.Name, Path: canonical.String()},
+		Content: content,
+		Context: context,
+	}, nil
+}
+
+// ExtractContent implements base.ContentExtractor.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, _, _, content, err := a.locate(addr)
+	return content, err
+}
+
+// ExtractContext implements base.ContextProvider: the parent element's deep
+// text, so a scrap can show the enclosing section (the owning element's
+// text for attribute addresses).
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, n, p, _, err := a.locate(addr)
+	if err != nil {
+		return "", err
+	}
+	if p.Attr != "" {
+		return n.DeepText(), nil
+	}
+	return contextOf(n), nil
+}
+
+func contextOf(n *Node) string {
+	if n.Parent == nil {
+		return n.DeepText()
+	}
+	var parts []string
+	for _, sib := range n.Parent.Children {
+		if t := sib.DeepText(); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, " | ")
+}

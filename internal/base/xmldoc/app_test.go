@@ -1,0 +1,153 @@
+package xmldoc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func appWithLab(t *testing.T) *App {
+	t.Helper()
+	a := NewApp()
+	if _, err := a.LoadString("lab.xml", labXML); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAppIdentity(t *testing.T) {
+	a := NewApp()
+	if a.Scheme() != Scheme || a.Name() == "" {
+		t.Fatal("bad identity")
+	}
+}
+
+func TestLoadStringValidation(t *testing.T) {
+	a := NewApp()
+	if _, err := a.LoadString("", "<a/>"); err == nil {
+		t.Error("unnamed document accepted")
+	}
+	if _, err := a.LoadString("x", "<a/>"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LoadString("x", "<a/>"); err == nil {
+		t.Error("duplicate document accepted")
+	}
+	if _, err := a.LoadString("y", "not xml"); err == nil {
+		t.Error("bad xml accepted")
+	}
+	if _, ok := a.Document("x"); !ok {
+		t.Error("document lookup failed")
+	}
+}
+
+func TestSelectionFlow(t *testing.T) {
+	a := appWithLab(t)
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatalf("initial selection = %v", err)
+	}
+	if err := a.SelectExpr("/report/panel[1]"); err == nil {
+		t.Fatal("select with no open document succeeded")
+	}
+	if err := a.Open("lab.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SelectExpr("/report/panel[1]/result[2]"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report[1]/panel[1]/result[2]"}
+	if addr != want {
+		t.Fatalf("selection = %v, want %v", addr, want)
+	}
+}
+
+func TestSelectNode(t *testing.T) {
+	a := appWithLab(t)
+	a.Open("lab.xml")
+	d, _ := a.Document("lab.xml")
+	k := d.Find(func(n *Node) bool { return n.Attrs["code"] == "K" })[0]
+	if err := a.SelectNode(k); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Path != "/report[1]/panel[1]/result[2]" {
+		t.Fatalf("path = %q", addr.Path)
+	}
+	// A node from another document is rejected.
+	other, _ := Parse("o", "<report><z/></report>")
+	if err := a.SelectNode(other.Root.Children[0]); err == nil {
+		t.Fatal("foreign node accepted")
+	}
+}
+
+func TestGoToHighlights(t *testing.T) {
+	a := appWithLab(t)
+	addr := base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report/panel[1]/result[2]"}
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "4.1" {
+		t.Errorf("Content = %q", el.Content)
+	}
+	// Canonical address comes back.
+	if el.Address.Path != "/report[1]/panel[1]/result[2]" {
+		t.Errorf("canonical path = %q", el.Address.Path)
+	}
+	// Context lists sibling results.
+	if el.Context != "140 | 4.1 | 103" {
+		t.Errorf("Context = %q", el.Context)
+	}
+	sel, err := a.CurrentSelection()
+	if err != nil || sel.Path != el.Address.Path {
+		t.Errorf("selection after GoTo = %v, %v", sel, err)
+	}
+}
+
+func TestGoToErrors(t *testing.T) {
+	a := appWithLab(t)
+	cases := []struct {
+		addr base.Address
+		want error
+	}{
+		{base.Address{Scheme: "pdf", File: "lab.xml", Path: "/report"}, base.ErrWrongScheme},
+		{base.Address{Scheme: Scheme, File: "nope", Path: "/report"}, base.ErrUnknownDocument},
+		{base.Address{Scheme: Scheme, File: "lab.xml", Path: "bad path"}, base.ErrBadAddress},
+		{base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report/absent"}, base.ErrBadAddress},
+	}
+	for _, c := range cases {
+		if _, err := a.GoTo(c.addr); !errors.Is(err, c.want) {
+			t.Errorf("GoTo(%v) = %v, want %v", c.addr, err, c.want)
+		}
+	}
+}
+
+func TestExtractContentAndContext(t *testing.T) {
+	a := appWithLab(t)
+	addr := base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report/patient"}
+	content, err := a.ExtractContent(addr)
+	if err != nil || content != "John Smith" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	// Extraction must not move the viewer.
+	if _, err := a.CurrentSelection(); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatal("ExtractContent moved the viewer")
+	}
+	ctx, err := a.ExtractContext(base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report/panel[1]/result[1]"})
+	if err != nil || ctx != "140 | 4.1 | 103" {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+	// Root context falls back to the whole document text.
+	rootCtx, err := a.ExtractContext(base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report"})
+	if err != nil || rootCtx == "" {
+		t.Fatalf("root context = %q, %v", rootCtx, err)
+	}
+}

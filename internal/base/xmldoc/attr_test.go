@@ -1,0 +1,147 @@
+package xmldoc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/base"
+)
+
+func TestParsePathAttribute(t *testing.T) {
+	p, err := ParsePath("/report/panel[2]/result/@code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Attr != "code" || len(p.Steps) != 3 {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.String() != "/report[1]/panel[2]/result[1]/@code" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestParsePathAttributeErrors(t *testing.T) {
+	bad := []string{
+		"/@code",            // attribute without element
+		"/report/@a/@b",     // two attribute steps
+		"/report/@a/panel",  // attribute not last
+		"/report/@",         // empty attribute name
+		"/report/@bad name", // invalid attribute name
+		"/report/@x[1]",     // predicate on attribute
+	}
+	for _, expr := range bad {
+		if _, err := ParsePath(expr); err == nil {
+			t.Errorf("ParsePath(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestResolveAttribute(t *testing.T) {
+	d := labDoc(t)
+	p, err := ParsePath("/report/panel[1]/result[2]/@code")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, content, err := d.ResolveContent(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if content != "K" {
+		t.Fatalf("attribute value = %q", content)
+	}
+	if n.Text != "4.1" {
+		t.Fatalf("owning element = %v", n)
+	}
+	// Absent attribute.
+	p2, _ := ParsePath("/report/panel[1]/result[2]/@absent")
+	if _, err := d.Resolve(p2); err == nil {
+		t.Fatal("absent attribute resolved")
+	}
+}
+
+func TestAppAttributeMarks(t *testing.T) {
+	a := appWithLab(t)
+	addr := base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report/panel[1]/result[2]/@code"}
+	el, err := a.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "K" {
+		t.Fatalf("Content = %q", el.Content)
+	}
+	// Context is the owning element's text.
+	if el.Context != "4.1" {
+		t.Fatalf("Context = %q", el.Context)
+	}
+	// Canonical address keeps the attribute.
+	if el.Address.Path != "/report[1]/panel[1]/result[2]/@code" {
+		t.Fatalf("canonical = %q", el.Address.Path)
+	}
+	content, err := a.ExtractContent(addr)
+	if err != nil || content != "K" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	ctx, err := a.ExtractContext(addr)
+	if err != nil || ctx != "4.1" {
+		t.Fatalf("ExtractContext = %q, %v", ctx, err)
+	}
+	if _, err := a.GoTo(base.Address{Scheme: Scheme, File: "lab.xml", Path: "/report/@absent"}); !errors.Is(err, base.ErrBadAddress) {
+		t.Fatalf("absent attr GoTo = %v", err)
+	}
+}
+
+func TestAppAttributeSelection(t *testing.T) {
+	// The create-from-selection path preserves the attribute, and mark
+	// resolution returns to it.
+	a := appWithLab(t)
+	a.Open("lab.xml")
+	if err := a.SelectExpr("/report/panel[1]/result[2]/@code"); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := a.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Path != "/report[1]/panel[1]/result[2]/@code" {
+		t.Fatalf("selection = %q", sel.Path)
+	}
+	el, err := a.GoTo(sel)
+	if err != nil || el.Content != "K" {
+		t.Fatalf("GoTo selection = %q, %v", el.Content, err)
+	}
+	// GoTo to an attribute keeps it in the subsequent selection.
+	sel2, err := a.CurrentSelection()
+	if err != nil || sel2 != sel {
+		t.Fatalf("selection after GoTo = %v, %v", sel2, err)
+	}
+	// SelectNode clears a stale attribute selection.
+	d, _ := a.Document("lab.xml")
+	k := d.Find(func(n *Node) bool { return n.Attrs["code"] == "K" })[0]
+	if err := a.SelectNode(k); err != nil {
+		t.Fatal(err)
+	}
+	sel3, _ := a.CurrentSelection()
+	if sel3.Path != "/report[1]/panel[1]/result[2]" {
+		t.Fatalf("stale attr kept: %q", sel3.Path)
+	}
+}
+
+func FuzzParsePathXML(f *testing.F) {
+	for _, s := range []string{"/a", "/a/b[2]/c", "/a/b/@attr", "relative", "//x", "/a[0]"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		p, err := ParsePath(expr)
+		if err != nil {
+			return
+		}
+		// Canonical form must re-parse to an identical path.
+		back, err := ParsePath(p.String())
+		if err != nil {
+			t.Fatalf("canonical %q does not parse: %v", p.String(), err)
+		}
+		if back.String() != p.String() {
+			t.Fatalf("canonicalization unstable: %q -> %q", p.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package xmldoc is the XML base substrate: parsed documents whose elements
+// are addressed by a simple path language — the xmlPath of the paper's XML
+// mark (Fig. 8: fileName, xmlPath).
+package xmldoc
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one element of a parsed XML document.
+type Node struct {
+	// Name is the element's local name.
+	Name string
+	// Attrs holds the element's attributes.
+	Attrs map[string]string
+	// Text is the concatenated character data directly inside the element
+	// (not including descendant text), whitespace-trimmed.
+	Text string
+	// Children are the child elements in document order.
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+}
+
+// Document is a named, parsed XML document.
+type Document struct {
+	// Name is the document's identity in the application library.
+	Name string
+	// Root is the document element.
+	Root *Node
+}
+
+// Parse builds a Document from XML text.
+func Parse(name, text string) (*Document, error) {
+	dec := xml.NewDecoder(strings.NewReader(text))
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			return nil, fmt.Errorf("xmldoc: parsing %q: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local, Attrs: make(map[string]string)}
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmldoc: parsing %q: multiple root elements", name)
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				n.Parent = parent
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldoc: parsing %q: unbalanced end element", name)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				cur.Text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmldoc: parsing %q: no root element", name)
+	}
+	trimText(root)
+	return &Document{Name: name, Root: root}, nil
+}
+
+func trimText(n *Node) {
+	n.Text = strings.TrimSpace(n.Text)
+	for _, c := range n.Children {
+		trimText(c)
+	}
+}
+
+// DeepText returns the element's own text plus all descendant text, joined
+// with single spaces — the textual content of a marked XML element.
+func (n *Node) DeepText() string {
+	var parts []string
+	var walk func(*Node)
+	walk = func(x *Node) {
+		if x.Text != "" {
+			parts = append(parts, x.Text)
+		}
+		for _, c := range x.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return strings.Join(parts, " ")
+}
+
+// Child returns the i-th (1-based) child element named name, matching the
+// path language's positional predicate.
+func (n *Node) Child(name string, i int) (*Node, bool) {
+	seen := 0
+	for _, c := range n.Children {
+		if c.Name == name {
+			seen++
+			if seen == i {
+				return c, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Position returns the node's 1-based position among same-named siblings.
+func (n *Node) Position() int {
+	if n.Parent == nil {
+		return 1
+	}
+	pos := 0
+	for _, sib := range n.Parent.Children {
+		if sib.Name == n.Name {
+			pos++
+		}
+		if sib == n {
+			return pos
+		}
+	}
+	return pos
+}
+
+// AttrNames returns the element's attribute names, sorted.
+func (n *Node) AttrNames() []string {
+	out := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Walk visits n and every descendant in document order; fn returning false
+// prunes that subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns every element in the document for which pred is true, in
+// document order.
+func (d *Document) Find(pred func(*Node) bool) []*Node {
+	var out []*Node
+	d.Root.Walk(func(n *Node) bool {
+		if pred(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+const labXML = `<?xml version="1.0"?>
+<report date="2001-03-14">
+  <patient>John Smith</patient>
+  <panel name="electrolytes">
+    <result code="Na">140</result>
+    <result code="K">4.1</result>
+    <result code="Cl">103</result>
+  </panel>
+  <panel name="cbc">
+    <result code="WBC">11.2</result>
+    <result code="Hgb">13.5</result>
+  </panel>
+</report>`
+
+func labDoc(t *testing.T) *Document {
+	t.Helper()
+	d, err := Parse("lab.xml", labXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseStructure(t *testing.T) {
+	d := labDoc(t)
+	if d.Root.Name != "report" {
+		t.Fatalf("root = %q", d.Root.Name)
+	}
+	if d.Root.Attrs["date"] != "2001-03-14" {
+		t.Errorf("root attr = %q", d.Root.Attrs["date"])
+	}
+	if len(d.Root.Children) != 3 {
+		t.Fatalf("root children = %d", len(d.Root.Children))
+	}
+	patient := d.Root.Children[0]
+	if patient.Name != "patient" || patient.Text != "John Smith" {
+		t.Errorf("patient = %q %q", patient.Name, patient.Text)
+	}
+	if patient.Parent != d.Root {
+		t.Error("parent link broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"just text",
+		"<a><b></a></b>",
+		"<a></a><b></b>", // multiple roots
+		"<a>",            // encoding/xml rejects unclosed at EOF? (it returns unexpected EOF)
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.xml", src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDeepText(t *testing.T) {
+	d := labDoc(t)
+	panel, ok := d.Root.Child("panel", 1)
+	if !ok {
+		t.Fatal("panel not found")
+	}
+	got := panel.DeepText()
+	if got != "140 4.1 103" {
+		t.Errorf("DeepText = %q", got)
+	}
+}
+
+func TestChildAndPosition(t *testing.T) {
+	d := labDoc(t)
+	p2, ok := d.Root.Child("panel", 2)
+	if !ok || p2.Attrs["name"] != "cbc" {
+		t.Fatalf("Child(panel,2) = %v, %v", p2, ok)
+	}
+	if _, ok := d.Root.Child("panel", 3); ok {
+		t.Error("Child(panel,3) found")
+	}
+	if _, ok := d.Root.Child("absent", 1); ok {
+		t.Error("Child(absent) found")
+	}
+	if p2.Position() != 2 {
+		t.Errorf("Position = %d", p2.Position())
+	}
+	if d.Root.Position() != 1 {
+		t.Errorf("root Position = %d", d.Root.Position())
+	}
+}
+
+func TestAttrNamesSorted(t *testing.T) {
+	d, err := Parse("x", `<a c="3" b="2" a="1"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := d.Root.AttrNames()
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Errorf("AttrNames = %v", names)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	d := labDoc(t)
+	count := 0
+	d.Root.Walk(func(n *Node) bool {
+		count++
+		return n.Name != "panel" // prune inside panels
+	})
+	// report + patient + 2 panels = 4
+	if count != 4 {
+		t.Errorf("pruned walk visited %d nodes", count)
+	}
+}
+
+func TestFind(t *testing.T) {
+	d := labDoc(t)
+	results := d.Find(func(n *Node) bool { return n.Name == "result" })
+	if len(results) != 5 {
+		t.Fatalf("Find(result) = %d", len(results))
+	}
+	k := d.Find(func(n *Node) bool { return n.Attrs["code"] == "K" })
+	if len(k) != 1 || k[0].Text != "4.1" {
+		t.Fatalf("Find(K) = %v", k)
+	}
+}

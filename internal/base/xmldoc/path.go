@@ -1,0 +1,177 @@
+package xmldoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The xmlPath language: an absolute path of element steps, each optionally
+// carrying a 1-based positional predicate, with an optional final attribute
+// step:
+//
+//	/report/panel[2]/result[1]
+//	/report/panel[2]/result[1]/@code
+//
+// Omitted predicates mean [1]. The language deliberately covers element
+// navigation plus attribute access — the granularity the paper's XML mark
+// needs — while remaining a strict subset of XPath so paths stay meaningful
+// to XPath tooling.
+
+// Step is one component of a path.
+type Step struct {
+	// Name is the element name to match.
+	Name string
+	// Index is the 1-based position among same-named siblings.
+	Index int
+}
+
+// Path is a parsed xmlPath: element steps plus an optional final attribute
+// name.
+type Path struct {
+	Steps []Step
+	// Attr is the attribute selected by a final /@name step, or "".
+	Attr string
+}
+
+// ParsePath parses an absolute path expression.
+func ParsePath(expr string) (Path, error) {
+	if !strings.HasPrefix(expr, "/") {
+		return Path{}, fmt.Errorf("xmldoc: path %q must be absolute", expr)
+	}
+	raw := strings.Split(expr[1:], "/")
+	if len(raw) == 1 && raw[0] == "" {
+		return Path{}, fmt.Errorf("xmldoc: empty path %q", expr)
+	}
+	var path Path
+	for pi, part := range raw {
+		if part == "" {
+			return Path{}, fmt.Errorf("xmldoc: path %q has an empty step", expr)
+		}
+		if strings.HasPrefix(part, "@") {
+			if pi != len(raw)-1 {
+				return Path{}, fmt.Errorf("xmldoc: path %q: attribute step must be last", expr)
+			}
+			attr := part[1:]
+			if attr == "" || strings.ContainsAny(attr, "[]/@ \t") {
+				return Path{}, fmt.Errorf("xmldoc: path %q: invalid attribute name %q", expr, attr)
+			}
+			if len(path.Steps) == 0 {
+				return Path{}, fmt.Errorf("xmldoc: path %q: attribute step needs an element", expr)
+			}
+			path.Attr = attr
+			continue
+		}
+		step := Step{Index: 1}
+		name := part
+		if i := strings.IndexByte(part, '['); i >= 0 {
+			if !strings.HasSuffix(part, "]") {
+				return Path{}, fmt.Errorf("xmldoc: step %q: unterminated predicate", part)
+			}
+			name = part[:i]
+			idxText := part[i+1 : len(part)-1]
+			idx, err := strconv.Atoi(idxText)
+			if err != nil || idx < 1 {
+				return Path{}, fmt.Errorf("xmldoc: step %q: predicate must be a positive integer", part)
+			}
+			step.Index = idx
+		}
+		if name == "" {
+			return Path{}, fmt.Errorf("xmldoc: step %q: missing element name", part)
+		}
+		if strings.ContainsAny(name, "[]/@ \t") {
+			return Path{}, fmt.Errorf("xmldoc: step %q: invalid element name", part)
+		}
+		step.Name = name
+		path.Steps = append(path.Steps, step)
+	}
+	return path, nil
+}
+
+// String renders the path in canonical form. Predicates are always written,
+// so equal paths render identically.
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "/%s[%d]", s.Name, s.Index)
+	}
+	if p.Attr != "" {
+		b.WriteString("/@")
+		b.WriteString(p.Attr)
+	}
+	return b.String()
+}
+
+// Resolve walks the path from the document root, returning the designated
+// element. Attribute paths resolve to the owning element (use
+// ResolveContent for the attribute's value).
+func (d *Document) Resolve(p Path) (*Node, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("xmldoc: empty path")
+	}
+	if p.Steps[0].Name != d.Root.Name || p.Steps[0].Index != 1 {
+		return nil, fmt.Errorf("xmldoc: path root /%s[%d] does not match document root <%s>", p.Steps[0].Name, p.Steps[0].Index, d.Root.Name)
+	}
+	cur := d.Root
+	for _, step := range p.Steps[1:] {
+		next, ok := cur.Child(step.Name, step.Index)
+		if !ok {
+			return nil, fmt.Errorf("xmldoc: no element %s[%d] under <%s>", step.Name, step.Index, cur.Name)
+		}
+		cur = next
+	}
+	if p.Attr != "" {
+		if _, ok := cur.Attrs[p.Attr]; !ok {
+			return nil, fmt.Errorf("xmldoc: element <%s> has no attribute %q", cur.Name, p.Attr)
+		}
+	}
+	return cur, nil
+}
+
+// ResolveContent resolves a path to its content: an attribute's value for
+// attribute paths, the element's deep text otherwise.
+func (d *Document) ResolveContent(p Path) (*Node, string, error) {
+	n, err := d.Resolve(p)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.Attr != "" {
+		return n, n.Attrs[p.Attr], nil
+	}
+	return n, n.DeepText(), nil
+}
+
+// ResolveExpr parses and resolves a path expression in one call.
+func (d *Document) ResolveExpr(expr string) (*Node, error) {
+	p, err := ParsePath(expr)
+	if err != nil {
+		return nil, err
+	}
+	return d.Resolve(p)
+}
+
+// PathTo computes the canonical path from the document root to the node.
+// The node must belong to this document.
+func (d *Document) PathTo(n *Node) (Path, error) {
+	var rev []Step
+	cur := n
+	for cur != nil {
+		rev = append(rev, Step{Name: cur.Name, Index: cur.Position()})
+		cur = cur.Parent
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	if len(rev) == 0 || rev[0].Name != d.Root.Name {
+		return Path{}, fmt.Errorf("xmldoc: node is not part of document %q", d.Name)
+	}
+	p := Path{Steps: rev}
+	// Verify the path round-trips to the same node (detects nodes from
+	// other documents with coincidentally matching roots).
+	got, err := d.Resolve(p)
+	if err != nil || got != n {
+		return Path{}, fmt.Errorf("xmldoc: node is not part of document %q", d.Name)
+	}
+	return p, nil
+}

@@ -1,0 +1,109 @@
+package xmldoc
+
+import (
+	"testing"
+)
+
+func TestParsePathOK(t *testing.T) {
+	p, err := ParsePath("/report/panel[2]/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 3 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Steps[0] != (Step{"report", 1}) || p.Steps[1] != (Step{"panel", 2}) || p.Steps[2] != (Step{"result", 1}) {
+		t.Fatalf("path = %v", p)
+	}
+	if p.String() != "/report[1]/panel[2]/result[1]" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestParsePathErrors(t *testing.T) {
+	bad := []string{
+		"", "relative/path", "/", "//x", "/a[b]", "/a[0]", "/a[-1]",
+		"/a[1", "/a]1[", "/a b", "/[1]", "/a[1]/",
+	}
+	for _, expr := range bad {
+		if _, err := ParsePath(expr); err == nil {
+			t.Errorf("ParsePath(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	d := labDoc(t)
+	n, err := d.ResolveExpr("/report/panel[1]/result[2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Attrs["code"] != "K" || n.Text != "4.1" {
+		t.Fatalf("resolved %v", n)
+	}
+	// Implicit [1] predicates.
+	n2, err := d.ResolveExpr("/report/patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Text != "John Smith" {
+		t.Fatalf("resolved %v", n2)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	d := labDoc(t)
+	bad := []string{
+		"/wrongroot/panel[1]",
+		"/report[2]",
+		"/report/panel[3]",
+		"/report/absent",
+		"/report/panel[1]/result[9]",
+	}
+	for _, expr := range bad {
+		if _, err := d.ResolveExpr(expr); err == nil {
+			t.Errorf("ResolveExpr(%q) succeeded", expr)
+		}
+	}
+	if _, err := d.Resolve(Path{}); err == nil {
+		t.Error("Resolve(empty path) succeeded")
+	}
+}
+
+func TestPathToRoundTrip(t *testing.T) {
+	d := labDoc(t)
+	// For every element in the document, PathTo then Resolve returns the
+	// same node — the XML-mark invariant.
+	var nodes []*Node
+	d.Root.Walk(func(n *Node) bool {
+		nodes = append(nodes, n)
+		return true
+	})
+	if len(nodes) != 9 { // report, patient, 2 panels, 5 results
+		t.Fatalf("document has %d nodes", len(nodes))
+	}
+	for _, n := range nodes {
+		p, err := d.PathTo(n)
+		if err != nil {
+			t.Fatalf("PathTo: %v", err)
+		}
+		back, err := d.Resolve(p)
+		if err != nil {
+			t.Fatalf("Resolve(%v): %v", p, err)
+		}
+		if back != n {
+			t.Fatalf("round trip landed on a different node for %v", p)
+		}
+	}
+}
+
+func TestPathToForeignNode(t *testing.T) {
+	d := labDoc(t)
+	other, err := Parse("other.xml", "<report><x/></report>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PathTo(other.Root.Children[0]); err == nil {
+		t.Fatal("PathTo accepted a node from another document")
+	}
+}

@@ -1,0 +1,338 @@
+// Package bookmarks implements a PowerBookmarks-style shared bookmark
+// system (paper ref [14]: "a system for personalizable web information
+// organization, sharing, and management") as a third superimposed
+// application over the SLIM stack. Its data model is defined here with
+// metamodel primitives — not in the metamodel's builtins — demonstrating
+// that applications declare their own superimposed models.
+//
+// Bookmarks anchor into any base type via marks (not just web pages),
+// organize into nested folders, carry tags, and merge across users: the
+// sharing behavior of [14].
+package bookmarks
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/mark"
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/slim"
+)
+
+// Model IRIs.
+const (
+	ModelID = rdf.NSSLIM + "bookmarks-model"
+
+	ConstructFolder   = rdf.NSSLIM + "Folder"
+	ConstructBookmark = rdf.NSSLIM + "Bookmark"
+	ConstructBMText   = rdf.NSSLIM + "BookmarkText"
+	ConstructBMAnchor = rdf.NSSLIM + "BookmarkAnchor"
+
+	ConnFolderName  = rdf.NSSLIM + "folderName"
+	ConnFolderChild = rdf.NSSLIM + "folderChild"
+	ConnFolderItem  = rdf.NSSLIM + "folderItem"
+	ConnBMTitle     = rdf.NSSLIM + "bmTitle"
+	ConnBMTag       = rdf.NSSLIM + "bmTag"
+	ConnBMAnchor    = rdf.NSSLIM + "bmAnchor"
+)
+
+// Model builds the bookmark model: nested folders of titled, tagged,
+// mark-anchored bookmarks.
+func Model() *metamodel.Model {
+	m := metamodel.NewModel(ModelID, "Bookmarks")
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("bookmarks: building model: %v", err))
+		}
+	}
+	must(m.AddConstruct(metamodel.Construct{ID: ConstructFolder, Kind: metamodel.KindConstruct, Label: "Folder"}))
+	must(m.AddConstruct(metamodel.Construct{ID: ConstructBookmark, Kind: metamodel.KindConstruct, Label: "Bookmark"}))
+	must(m.AddConstruct(metamodel.Construct{ID: ConstructBMText, Kind: metamodel.KindLiteralConstruct, Label: "BookmarkText", Datatype: rdf.XSDString}))
+	must(m.AddConstruct(metamodel.Construct{ID: ConstructBMAnchor, Kind: metamodel.KindMarkConstruct, Label: "BookmarkAnchor"}))
+	must(m.AddConnector(metamodel.Connector{ID: ConnFolderName, Kind: metamodel.KindConnector, Label: "folderName", From: ConstructFolder, To: ConstructBMText, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(metamodel.Connector{ID: ConnFolderChild, Kind: metamodel.KindConnector, Label: "folderChild", From: ConstructFolder, To: ConstructFolder, MinCard: 0, MaxCard: metamodel.Unbounded}))
+	must(m.AddConnector(metamodel.Connector{ID: ConnFolderItem, Kind: metamodel.KindConnector, Label: "folderItem", From: ConstructFolder, To: ConstructBookmark, MinCard: 0, MaxCard: metamodel.Unbounded}))
+	must(m.AddConnector(metamodel.Connector{ID: ConnBMTitle, Kind: metamodel.KindConnector, Label: "bmTitle", From: ConstructBookmark, To: ConstructBMText, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(metamodel.Connector{ID: ConnBMTag, Kind: metamodel.KindConnector, Label: "bmTag", From: ConstructBookmark, To: ConstructBMText, MinCard: 0, MaxCard: metamodel.Unbounded}))
+	must(m.AddConnector(metamodel.Connector{ID: ConnBMAnchor, Kind: metamodel.KindConnector, Label: "bmAnchor", From: ConstructBookmark, To: ConstructBMAnchor, MinCard: 1, MaxCard: 1}))
+	return m
+}
+
+// Bookmark is the read-only view of one bookmark.
+type Bookmark struct {
+	ID     rdf.Term
+	Title  string
+	Tags   []string
+	MarkID string
+	// Address is the anchored base address (resolved from the mark).
+	Address base.Address
+}
+
+// Store manages one user's bookmark collection.
+type Store struct {
+	dmi   *slim.DMI
+	marks *mark.Manager
+	root  rdf.Term
+}
+
+// NewStore builds a bookmark store with a root folder named rootName.
+func NewStore(marks *mark.Manager, rootName string) (*Store, error) {
+	dmi, err := slim.GenerateDMI(slim.NewStore(), Model())
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dmi: dmi, marks: marks}
+	root, err := st.CreateFolder(rdf.Zero, rootName)
+	if err != nil {
+		return nil, err
+	}
+	st.root = root
+	return st, nil
+}
+
+// Root returns the root folder id.
+func (st *Store) Root() rdf.Term { return st.root }
+
+// CreateFolder makes a folder; parent rdf.Zero means top level (only the
+// root is created that way).
+func (st *Store) CreateFolder(parent rdf.Term, name string) (rdf.Term, error) {
+	if name == "" {
+		return rdf.Zero, fmt.Errorf("bookmarks: folder needs a name")
+	}
+	obj, err := st.dmi.Create(ConstructFolder, map[string]any{ConnFolderName: name})
+	if err != nil {
+		return rdf.Zero, err
+	}
+	if !parent.IsZero() {
+		if err := st.dmi.Add(parent, ConnFolderChild, obj.ID); err != nil {
+			return rdf.Zero, err
+		}
+	}
+	return obj.ID, nil
+}
+
+// FolderName returns a folder's name.
+func (st *Store) FolderName(folder rdf.Term) (string, error) {
+	obj, err := st.dmi.Get(folder)
+	if err != nil {
+		return "", err
+	}
+	return obj.GetString(ConnFolderName), nil
+}
+
+// Subfolders returns a folder's child folders, sorted by id.
+func (st *Store) Subfolders(folder rdf.Term) ([]rdf.Term, error) {
+	obj, err := st.dmi.Get(folder)
+	if err != nil {
+		return nil, err
+	}
+	out := obj.All(ConnFolderChild)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// AddFromSelection bookmarks the current selection of the scheme's base
+// application into the folder.
+func (st *Store) AddFromSelection(folder rdf.Term, scheme, title string, tags ...string) (Bookmark, error) {
+	m, err := st.marks.CreateFromSelection(scheme)
+	if err != nil {
+		return Bookmark{}, err
+	}
+	if title == "" {
+		title = m.Excerpt
+	}
+	if title == "" {
+		title = m.Address.String()
+	}
+	return st.addMark(folder, m, title, tags)
+}
+
+func (st *Store) addMark(folder rdf.Term, m mark.Mark, title string, tags []string) (Bookmark, error) {
+	anchor, err := st.dmi.Create(ConstructBMAnchor, nil)
+	if err != nil {
+		return Bookmark{}, err
+	}
+	if _, err := st.dmi.Trim().Create(rdf.T(anchor.ID, metamodel.PropMarkID, rdf.String(m.ID))); err != nil {
+		return Bookmark{}, err
+	}
+	props := map[string]any{ConnBMTitle: title, ConnBMAnchor: anchor}
+	obj, err := st.dmi.Create(ConstructBookmark, props)
+	if err != nil {
+		return Bookmark{}, err
+	}
+	for _, tag := range tags {
+		if err := st.dmi.Add(obj.ID, ConnBMTag, tag); err != nil {
+			return Bookmark{}, err
+		}
+	}
+	if err := st.dmi.Add(folder, ConnFolderItem, obj.ID); err != nil {
+		return Bookmark{}, err
+	}
+	return st.Get(obj.ID)
+}
+
+// Get retrieves a bookmark.
+func (st *Store) Get(id rdf.Term) (Bookmark, error) {
+	obj, err := st.dmi.Get(id)
+	if err != nil {
+		return Bookmark{}, err
+	}
+	if obj.Construct != ConstructBookmark {
+		return Bookmark{}, fmt.Errorf("bookmarks: %s is not a Bookmark", id.Value())
+	}
+	bm := Bookmark{ID: id, Title: obj.GetString(ConnBMTitle)}
+	for _, t := range obj.All(ConnBMTag) {
+		bm.Tags = append(bm.Tags, t.Value())
+	}
+	sort.Strings(bm.Tags)
+	if anchor, err := obj.Get(ConnBMAnchor); err == nil {
+		if t, err := st.dmi.Trim().One(rdf.P(anchor, metamodel.PropMarkID, rdf.Zero)); err == nil {
+			bm.MarkID = t.Object.Value()
+			if m, err := st.marks.Mark(bm.MarkID); err == nil {
+				bm.Address = m.Address
+			}
+		}
+	}
+	return bm, nil
+}
+
+// In returns the bookmarks directly inside the folder, sorted by id.
+func (st *Store) In(folder rdf.Term) ([]Bookmark, error) {
+	obj, err := st.dmi.Get(folder)
+	if err != nil {
+		return nil, err
+	}
+	ids := obj.All(ConnFolderItem)
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	out := make([]Bookmark, 0, len(ids))
+	for _, id := range ids {
+		bm, err := st.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bm)
+	}
+	return out, nil
+}
+
+// ByTag returns every bookmark carrying the tag, sorted by id.
+func (st *Store) ByTag(tag string) ([]Bookmark, error) {
+	subjects := st.dmi.Trim().Subjects(rdf.IRI(ConnBMTag), rdf.String(tag))
+	out := make([]Bookmark, 0, len(subjects))
+	for _, id := range subjects {
+		bm, err := st.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bm)
+	}
+	return out, nil
+}
+
+// Open resolves the bookmark's mark, driving the base application to the
+// bookmarked element.
+func (st *Store) Open(id rdf.Term) (base.Element, error) {
+	bm, err := st.Get(id)
+	if err != nil {
+		return base.Element{}, err
+	}
+	if bm.MarkID == "" {
+		return base.Element{}, fmt.Errorf("bookmarks: %s has no anchor mark", id.Value())
+	}
+	return st.marks.Resolve(bm.MarkID)
+}
+
+// Check validates the collection against the bookmark model.
+func (st *Store) Check() ([]metamodel.Violation, error) {
+	return st.dmi.Store().Check(ModelID)
+}
+
+// MergeStats reports what a merge did.
+type MergeStats struct {
+	FoldersCreated, BookmarksCopied, DuplicatesSkipped int
+}
+
+// MergeFrom copies another user's collection into this one — the sharing
+// behavior of [14]. Folders are matched by name under the corresponding
+// parent (created if absent); bookmarks whose anchored base address already
+// exists in the target folder are skipped as duplicates. Both stores must
+// share the mark manager (marks are the common currency).
+func (st *Store) MergeFrom(other *Store) (MergeStats, error) {
+	var stats MergeStats
+	var merge func(srcFolder, dstFolder rdf.Term) error
+	merge = func(srcFolder, dstFolder rdf.Term) error {
+		// Bookmarks at this level.
+		existing := map[base.Address]bool{}
+		mine, err := st.In(dstFolder)
+		if err != nil {
+			return err
+		}
+		for _, bm := range mine {
+			existing[bm.Address] = true
+		}
+		theirs, err := other.In(srcFolder)
+		if err != nil {
+			return err
+		}
+		for _, bm := range theirs {
+			if !bm.Address.IsZero() && existing[bm.Address] {
+				stats.DuplicatesSkipped++
+				continue
+			}
+			m, err := other.marks.Mark(bm.MarkID)
+			if err != nil {
+				return fmt.Errorf("bookmarks: merge: %w", err)
+			}
+			if _, err := st.marks.Mark(m.ID); err != nil {
+				if err := st.marks.Add(m); err != nil {
+					return err
+				}
+			}
+			if _, err := st.addMark(dstFolder, m, bm.Title, bm.Tags); err != nil {
+				return err
+			}
+			stats.BookmarksCopied++
+		}
+		// Subfolders by name.
+		dstByName := map[string]rdf.Term{}
+		subs, err := st.Subfolders(dstFolder)
+		if err != nil {
+			return err
+		}
+		for _, f := range subs {
+			name, err := st.FolderName(f)
+			if err != nil {
+				return err
+			}
+			dstByName[name] = f
+		}
+		srcSubs, err := other.Subfolders(srcFolder)
+		if err != nil {
+			return err
+		}
+		for _, sf := range srcSubs {
+			name, err := other.FolderName(sf)
+			if err != nil {
+				return err
+			}
+			target, ok := dstByName[name]
+			if !ok {
+				target, err = st.CreateFolder(dstFolder, name)
+				if err != nil {
+					return err
+				}
+				stats.FoldersCreated++
+			}
+			if err := merge(sf, target); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := merge(other.root, st.root); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

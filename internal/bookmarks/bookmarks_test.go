@@ -1,0 +1,262 @@
+package bookmarks
+
+import (
+	"testing"
+
+	"repro/internal/base/htmldoc"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/mark"
+	"repro/internal/rdf"
+)
+
+const page = `<html><body>
+<h1 id="hf">Heart Failure</h1>
+<p id="p1">Loop diuretics are first-line.</p>
+<p id="p2">Monitor potassium daily.</p>
+</body></html>`
+
+func fixture(t *testing.T) (*Store, *htmldoc.App, *mark.Manager) {
+	t.Helper()
+	browser := htmldoc.NewApp()
+	if _, err := browser.LoadString("guide.html", page); err != nil {
+		t.Fatal(err)
+	}
+	mm := mark.NewManager()
+	if err := mm.RegisterApplication(browser); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(mm, "My Bookmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, browser, mm
+}
+
+func bookmarkAt(t *testing.T, st *Store, browser *htmldoc.App, folder rdf.Term, anchor, title string, tags ...string) Bookmark {
+	t.Helper()
+	if err := browser.Open("guide.html"); err != nil {
+		t.Fatal(err)
+	}
+	if err := browser.SelectPath(anchor); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := st.AddFromSelection(folder, htmldoc.Scheme, title, tags...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm
+}
+
+func TestRootFolder(t *testing.T) {
+	st, _, _ := fixture(t)
+	name, err := st.FolderName(st.Root())
+	if err != nil || name != "My Bookmarks" {
+		t.Fatalf("root = %q, %v", name, err)
+	}
+	if _, err := NewStore(mark.NewManager(), ""); err == nil {
+		t.Fatal("unnamed root accepted")
+	}
+}
+
+func TestAddAndGet(t *testing.T) {
+	st, browser, _ := fixture(t)
+	bm := bookmarkAt(t, st, browser, st.Root(), "#p1", "diuretics", "cards", "hf")
+	got, err := st.Get(bm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "diuretics" {
+		t.Errorf("title = %q", got.Title)
+	}
+	if len(got.Tags) != 2 || got.Tags[0] != "cards" || got.Tags[1] != "hf" {
+		t.Errorf("tags = %v", got.Tags)
+	}
+	if got.Address.File != "guide.html" {
+		t.Errorf("address = %v", got.Address)
+	}
+	// Default title falls back to the excerpt.
+	bm2 := bookmarkAt(t, st, browser, st.Root(), "#p2", "")
+	if bm2.Title != "Monitor potassium daily." {
+		t.Errorf("default title = %q", bm2.Title)
+	}
+	// Get of a folder fails.
+	if _, err := st.Get(st.Root()); err == nil {
+		t.Fatal("Get(folder) succeeded")
+	}
+}
+
+func TestFoldersAndListing(t *testing.T) {
+	st, browser, _ := fixture(t)
+	work, err := st.CreateFolder(st.Root(), "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CreateFolder(st.Root(), ""); err == nil {
+		t.Fatal("unnamed folder accepted")
+	}
+	bookmarkAt(t, st, browser, work, "#p1", "a")
+	bookmarkAt(t, st, browser, work, "#p2", "b")
+	in, err := st.In(work)
+	if err != nil || len(in) != 2 {
+		t.Fatalf("In = %d, %v", len(in), err)
+	}
+	subs, err := st.Subfolders(st.Root())
+	if err != nil || len(subs) != 1 || subs[0] != work {
+		t.Fatalf("Subfolders = %v, %v", subs, err)
+	}
+	if in2, _ := st.In(st.Root()); len(in2) != 0 {
+		t.Fatal("bookmarks leaked to root")
+	}
+}
+
+func TestByTag(t *testing.T) {
+	st, browser, _ := fixture(t)
+	bookmarkAt(t, st, browser, st.Root(), "#p1", "a", "hf", "meds")
+	bookmarkAt(t, st, browser, st.Root(), "#p2", "b", "labs")
+	hf, err := st.ByTag("hf")
+	if err != nil || len(hf) != 1 || hf[0].Title != "a" {
+		t.Fatalf("ByTag(hf) = %v, %v", hf, err)
+	}
+	if none, _ := st.ByTag("absent"); len(none) != 0 {
+		t.Fatal("ByTag(absent) found")
+	}
+}
+
+func TestOpenResolves(t *testing.T) {
+	st, browser, _ := fixture(t)
+	bm := bookmarkAt(t, st, browser, st.Root(), "#p2", "potassium")
+	browser.SelectPath("#hf") // wander off
+	el, err := st.Open(bm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Monitor potassium daily." {
+		t.Errorf("Content = %q", el.Content)
+	}
+	sel, _ := browser.CurrentSelection()
+	if sel.Path != "/html[1]/body[1]/p[2]" {
+		t.Errorf("browser at %q", sel.Path)
+	}
+}
+
+func TestConformance(t *testing.T) {
+	st, browser, _ := fixture(t)
+	bookmarkAt(t, st, browser, st.Root(), "#p1", "a", "t1")
+	vios, err := st.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 0 {
+		t.Fatalf("violations: %v", vios)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	// Two users over the same base layer and mark manager.
+	browser := htmldoc.NewApp()
+	if _, err := browser.LoadString("guide.html", page); err != nil {
+		t.Fatal(err)
+	}
+	mm := mark.NewManager()
+	if err := mm.RegisterApplication(browser); err != nil {
+		t.Fatal(err)
+	}
+	alice, err := NewStore(mm, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewStore(mm, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice: work/diuretics(#p1). Bob: work/potassium(#p2) + shared
+	// duplicate of #p1, plus a folder Alice lacks.
+	aliceWork, _ := alice.CreateFolder(alice.Root(), "work")
+	bookmarkAt(t, alice, browser, aliceWork, "#p1", "diuretics", "meds")
+
+	bobWork, _ := bob.CreateFolder(bob.Root(), "work")
+	bookmarkAt(t, bob, browser, bobWork, "#p2", "potassium", "labs")
+	bookmarkAt(t, bob, browser, bobWork, "#p1", "diuretics-dup", "meds")
+	bobPersonal, _ := bob.CreateFolder(bob.Root(), "personal")
+	bookmarkAt(t, bob, browser, bobPersonal, "#hf", "title")
+
+	stats, err := alice.MergeFrom(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FoldersCreated != 1 {
+		t.Errorf("FoldersCreated = %d", stats.FoldersCreated)
+	}
+	if stats.BookmarksCopied != 2 {
+		t.Errorf("BookmarksCopied = %d", stats.BookmarksCopied)
+	}
+	if stats.DuplicatesSkipped != 1 {
+		t.Errorf("DuplicatesSkipped = %d", stats.DuplicatesSkipped)
+	}
+	// Alice's work folder now has both distinct bookmarks.
+	in, err := alice.In(aliceWork)
+	if err != nil || len(in) != 2 {
+		t.Fatalf("alice work = %d, %v", len(in), err)
+	}
+	// The merged personal folder exists with its bookmark, and it opens.
+	subs, _ := alice.Subfolders(alice.Root())
+	if len(subs) != 2 {
+		t.Fatalf("alice folders = %d", len(subs))
+	}
+	var personal rdf.Term
+	for _, f := range subs {
+		if name, _ := alice.FolderName(f); name == "personal" {
+			personal = f
+		}
+	}
+	merged, err := alice.In(personal)
+	if err != nil || len(merged) != 1 {
+		t.Fatalf("personal = %d, %v", len(merged), err)
+	}
+	if _, err := alice.Open(merged[0].ID); err != nil {
+		t.Fatalf("merged bookmark does not resolve: %v", err)
+	}
+	// Merging again is idempotent: everything is a duplicate now.
+	stats2, err := alice.MergeFrom(bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.BookmarksCopied != 0 || stats2.DuplicatesSkipped != 3 {
+		t.Fatalf("second merge = %+v", stats2)
+	}
+}
+
+func TestMergeAcrossSchemes(t *testing.T) {
+	// Bookmarks are not web-only: a spreadsheet bookmark merges too.
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	w.LoadCSV("Meds", "Drug\nFurosemide\n")
+	sheets.AddWorkbook(w)
+	mm := mark.NewManager()
+	mm.RegisterApplication(sheets)
+	a, _ := NewStore(mm, "a")
+	b, _ := NewStore(mm, "b")
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	if _, err := b.AddFromSelection(b.Root(), spreadsheet.Scheme, "lasix"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := a.MergeFrom(b)
+	if err != nil || stats.BookmarksCopied != 1 {
+		t.Fatalf("merge = %+v, %v", stats, err)
+	}
+	in, _ := a.In(a.Root())
+	el, err := a.Open(in[0].ID)
+	if err != nil || el.Content != "Furosemide" {
+		t.Fatalf("open = %q, %v", el.Content, err)
+	}
+}
+
+func TestOpenWithoutAnchor(t *testing.T) {
+	st, _, _ := fixture(t)
+	if _, err := st.Open(rdf.IRI("http://ghost")); err == nil {
+		t.Fatal("open of ghost succeeded")
+	}
+}

@@ -1,0 +1,32 @@
+package bookmarks_test
+
+import (
+	"fmt"
+
+	"repro/internal/base/htmldoc"
+	"repro/internal/bookmarks"
+	"repro/internal/mark"
+)
+
+// Folders, tagged bookmarks, and cross-user merge (the PowerBookmarks
+// behaviors of ref [14]).
+func Example() {
+	browser := htmldoc.NewApp()
+	browser.LoadString("page.html", `<html><body><p id="x">Loop diuretics are first-line.</p></body></html>`)
+	marks := mark.NewManager()
+	marks.RegisterApplication(browser)
+
+	alice, _ := bookmarks.NewStore(marks, "alice")
+	work, _ := alice.CreateFolder(alice.Root(), "work")
+	browser.Open("page.html")
+	browser.SelectPath("#x")
+	bm, _ := alice.AddFromSelection(work, htmldoc.Scheme, "diuretics", "hf")
+
+	byTag, _ := alice.ByTag("hf")
+	fmt.Println(len(byTag), "bookmark(s) tagged hf")
+	el, _ := alice.Open(bm.ID)
+	fmt.Println(el.Content)
+	// Output:
+	// 1 bookmark(s) tagged hf
+	// Loop diuretics are first-line.
+}

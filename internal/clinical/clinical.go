@@ -1,0 +1,227 @@
+// Package clinical synthesizes the intensive-care information environment
+// the paper's field observations come from (§2, Fig. 2): patients with
+// problem lists, medication lists, lab panels, progress notes, and imaging
+// reports. The generator is deterministic per seed, so experiments are
+// reproducible.
+//
+// This is the documented substitution for the paper's clinical data: real
+// ICU flowsheets and charts are not available, so each base document type
+// is generated with the same structure the paper's scenarios mark into
+// (medication list as a spreadsheet, lab report as XML, notes as sectioned
+// text, imaging reports as paginated documents).
+package clinical
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Med is one medication order.
+type Med struct {
+	Drug, Dose, Route string
+}
+
+// Lab is one lab result.
+type Lab struct {
+	Code  string
+	Value float64
+	Units string
+	// Panel groups results ("electrolytes", "cbc", "renal").
+	Panel string
+}
+
+// Patient is one synthetic ICU patient.
+type Patient struct {
+	Name     string
+	MRN      string
+	Age      int
+	Problems []string
+	Meds     []Med
+	// Labs holds the most recent day's results.
+	Labs []Lab
+	// LabHistory holds one result set per hospital day, oldest first; the
+	// last entry equals Labs. Length 1 unless generated with history.
+	LabHistory [][]Lab
+	ToDos      []string
+}
+
+var (
+	firstNames = []string{"John", "Mary", "Robert", "Linda", "James", "Pearl", "Walter", "Grace", "Henry", "Ruth", "Frank", "Alice"}
+	lastNames  = []string{"Smith", "Nguyen", "Garcia", "Johnson", "Okafor", "Chen", "Miller", "Haddad", "Kowalski", "Brown", "Silva", "Park"}
+	problems   = []string{"acute decompensated heart failure", "septic shock", "COPD exacerbation", "acute kidney injury", "GI bleed", "pneumonia", "DKA", "post-op day 2 CABG", "acute pancreatitis", "stroke"}
+	drugs      = []struct{ drug, dose, route string }{
+		{"Furosemide", "40mg", "IV"}, {"Insulin", "5u", "SC"}, {"Ceftriaxone", "1g", "IV"},
+		{"Norepinephrine", "8mcg/min", "IV"}, {"Heparin", "5000u", "SC"}, {"Metoprolol", "25mg", "PO"},
+		{"Vancomycin", "1.25g", "IV"}, {"Pantoprazole", "40mg", "IV"}, {"Propofol", "30mcg/kg/min", "IV"},
+		{"Aspirin", "81mg", "PO"},
+	}
+	todos = []string{"recheck potassium", "wean oxygen", "renal ultrasound", "culture results", "family meeting", "PT eval", "repeat CXR", "adjust sedation", "diuresis goal -1L", "advance diet"}
+)
+
+// labSpec defines the generated panels; values are drawn around plausible
+// midpoints so reproductions read like real flowsheets.
+var labSpec = []struct {
+	code, units, panel string
+	mid, spread        float64
+}{
+	{"Na", "mmol/L", "electrolytes", 139, 6},
+	{"K", "mmol/L", "electrolytes", 4.1, 0.9},
+	{"Cl", "mmol/L", "electrolytes", 103, 6},
+	{"HCO3", "mmol/L", "electrolytes", 24, 4},
+	{"WBC", "K/uL", "cbc", 9.5, 6},
+	{"Hgb", "g/dL", "cbc", 11.5, 3},
+	{"Plt", "K/uL", "cbc", 220, 120},
+	{"BUN", "mg/dL", "renal", 28, 18},
+	{"Cr", "mg/dL", "renal", 1.4, 0.9},
+}
+
+// Generate returns n deterministic synthetic patients for the seed, with a
+// single day of labs.
+func Generate(seed int64, n int) []Patient {
+	return GenerateHistory(seed, n, 1)
+}
+
+// GenerateHistory returns n patients with `days` days of lab history each
+// (at least 1). Longer histories make the base documents realistically
+// large, which matters for the layer-volume experiment (T3).
+func GenerateHistory(seed int64, n, days int) []Patient {
+	if days < 1 {
+		days = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Patient, 0, n)
+	for i := 0; i < n; i++ {
+		p := Patient{
+			Name: firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))],
+			MRN:  fmt.Sprintf("MRN%06d", 100000+rng.Intn(900000)),
+			Age:  30 + rng.Intn(60),
+		}
+		for _, idx := range rng.Perm(len(problems))[:1+rng.Intn(3)] {
+			p.Problems = append(p.Problems, problems[idx])
+		}
+		for _, idx := range rng.Perm(len(drugs))[:2+rng.Intn(4)] {
+			d := drugs[idx]
+			p.Meds = append(p.Meds, Med{Drug: d.drug, Dose: d.dose, Route: d.route})
+		}
+		for day := 0; day < days; day++ {
+			var set []Lab
+			for _, spec := range labSpec {
+				v := spec.mid + (rng.Float64()*2-1)*spec.spread
+				set = append(set, Lab{
+					Code:  spec.code,
+					Value: float64(int(v*10)) / 10,
+					Units: spec.units,
+					Panel: spec.panel,
+				})
+			}
+			p.LabHistory = append(p.LabHistory, set)
+		}
+		p.Labs = p.LabHistory[len(p.LabHistory)-1]
+		for _, idx := range rng.Perm(len(todos))[:1+rng.Intn(3)] {
+			p.ToDos = append(p.ToDos, todos[idx])
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// MedsCSV renders a patient's medication list as CSV with a header row, the
+// content of the paper's Excel medication list (Fig. 4).
+func MedsCSV(p Patient) string {
+	var b strings.Builder
+	b.WriteString("Drug,Dose,Route\n")
+	for _, m := range p.Meds {
+		fmt.Fprintf(&b, "%s,%s,%s\n", m.Drug, m.Dose, m.Route)
+	}
+	return b.String()
+}
+
+// LabXML renders a patient's labs as the XML lab report of Fig. 4, one
+// <panel> element per panel with <result> children. With multi-day
+// history, each day's panels are wrapped in a <day> element (most recent
+// last), so marks into the latest results address the last <day>.
+func LabXML(p Patient) string {
+	var b strings.Builder
+	b.WriteString("<report>\n")
+	fmt.Fprintf(&b, "  <patient mrn=%q>%s</patient>\n", p.MRN, xmlEscape(p.Name))
+	history := p.LabHistory
+	if len(history) == 0 {
+		history = [][]Lab{p.Labs}
+	}
+	multiDay := len(history) > 1
+	for di, set := range history {
+		indent := "  "
+		if multiDay {
+			fmt.Fprintf(&b, "  <day n=\"%d\">\n", di+1)
+			indent = "    "
+		}
+		current := ""
+		for _, l := range set {
+			if l.Panel != current {
+				if current != "" {
+					b.WriteString(indent + "</panel>\n")
+				}
+				fmt.Fprintf(&b, "%s<panel name=%q>\n", indent, l.Panel)
+				current = l.Panel
+			}
+			fmt.Fprintf(&b, "%s  <result code=%q units=%q>%g</result>\n", indent, l.Code, l.Units, l.Value)
+		}
+		if current != "" {
+			b.WriteString(indent + "</panel>\n")
+		}
+		if multiDay {
+			b.WriteString("  </day>\n")
+		}
+	}
+	b.WriteString("</report>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// ProgressNote renders a sectioned progress note for the textdoc substrate.
+func ProgressNote(p Patient) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Assessment\n%s is a %d year old admitted with %s.\n\n",
+		p.Name, p.Age, strings.Join(p.Problems, " and "))
+	b.WriteString("Overnight events reviewed with the bedside nurse.\n\n")
+	b.WriteString("# Plan\n")
+	for _, m := range p.Meds {
+		fmt.Fprintf(&b, "Continue %s %s %s.\n\n", m.Drug, m.Dose, m.Route)
+	}
+	b.WriteString("# To Do\n")
+	for _, td := range p.ToDos {
+		fmt.Fprintf(&b, "%s.\n\n", td)
+	}
+	return b.String()
+}
+
+// ImagingReport renders a multi-page imaging report for the pdfdoc
+// substrate (plain text; pagination is the viewer's job).
+func ImagingReport(p Patient) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PORTABLE CHEST RADIOGRAPH — %s (%s)\n", p.Name, p.MRN)
+	b.WriteString("INDICATION:\n")
+	for _, pr := range p.Problems {
+		fmt.Fprintf(&b, "  %s\n", pr)
+	}
+	b.WriteString("FINDINGS:\n")
+	lines := []string{
+		"Endotracheal tube terminates 4 cm above the carina.",
+		"Right internal jugular central line tip in the SVC.",
+		"Mild pulmonary vascular congestion, improved from prior.",
+		"Small bilateral pleural effusions, stable.",
+		"No pneumothorax.",
+		"Cardiomediastinal silhouette is enlarged but stable.",
+	}
+	for i, l := range lines {
+		fmt.Fprintf(&b, "  %d. %s\n", i+1, l)
+	}
+	b.WriteString("IMPRESSION:\n")
+	b.WriteString("  Improving congestion; lines and tubes in standard position.\n")
+	return b.String()
+}

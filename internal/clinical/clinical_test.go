@@ -1,0 +1,224 @@
+package clinical
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/xmldoc"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, 5)
+	b := Generate(42, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different patients")
+	}
+	c := Generate(43, 5)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical patients")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ps := Generate(1, 10)
+	if len(ps) != 10 {
+		t.Fatalf("patients = %d", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "" || !strings.HasPrefix(p.MRN, "MRN") {
+			t.Errorf("identity = %q %q", p.Name, p.MRN)
+		}
+		if p.Age < 30 || p.Age >= 90 {
+			t.Errorf("age = %d", p.Age)
+		}
+		if len(p.Problems) < 1 || len(p.Meds) < 2 || len(p.ToDos) < 1 {
+			t.Errorf("counts: %d problems, %d meds, %d todos", len(p.Problems), len(p.Meds), len(p.ToDos))
+		}
+		if len(p.Labs) != 9 {
+			t.Errorf("labs = %d", len(p.Labs))
+		}
+	}
+}
+
+func TestMedsCSVLoads(t *testing.T) {
+	p := Generate(7, 1)[0]
+	w := spreadsheet.NewWorkbook("w")
+	s, err := w.LoadCSV("Meds", MedsCSV(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(spreadsheet.CellRef{Row: 0, Col: 0}) != "Drug" {
+		t.Error("missing header")
+	}
+	if s.Get(spreadsheet.CellRef{Row: 1, Col: 0}) != p.Meds[0].Drug {
+		t.Error("first med wrong")
+	}
+}
+
+func TestLabXMLParses(t *testing.T) {
+	p := Generate(7, 1)[0]
+	doc, err := xmldoc.Parse("labs", LabXML(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "report" {
+		t.Fatalf("root = %q", doc.Root.Name)
+	}
+	results := doc.Find(func(n *xmldoc.Node) bool { return n.Name == "result" })
+	if len(results) != len(p.Labs) {
+		t.Fatalf("results = %d, want %d", len(results), len(p.Labs))
+	}
+	panels := doc.Find(func(n *xmldoc.Node) bool { return n.Name == "panel" })
+	if len(panels) != 3 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+}
+
+func TestProgressNoteSections(t *testing.T) {
+	p := Generate(7, 1)[0]
+	note := ProgressNote(p)
+	for _, want := range []string{"# Assessment", "# Plan", "# To Do", p.Name} {
+		if !strings.Contains(note, want) {
+			t.Errorf("note missing %q", want)
+		}
+	}
+}
+
+func TestImagingReportContent(t *testing.T) {
+	p := Generate(7, 1)[0]
+	rep := ImagingReport(p)
+	for _, want := range []string{"FINDINGS:", "IMPRESSION:", p.MRN} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestNewEnvironment(t *testing.T) {
+	env, err := NewEnvironment(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Patients) != 3 {
+		t.Fatalf("patients = %d", len(env.Patients))
+	}
+	// All four schemes registered with the mark manager.
+	schemes := env.Marks.Schemes()
+	if len(schemes) != 4 {
+		t.Fatalf("schemes = %v", schemes)
+	}
+	// Every patient's documents are loaded.
+	for _, p := range env.Patients {
+		if _, ok := env.Sheets.Workbook(MedsFile(p)); !ok {
+			t.Errorf("meds missing for %s", p.MRN)
+		}
+		if _, ok := env.XML.Document(LabFile(p)); !ok {
+			t.Errorf("labs missing for %s", p.MRN)
+		}
+		if _, ok := env.Notes.Document(NoteFile(p)); !ok {
+			t.Errorf("note missing for %s", p.MRN)
+		}
+		if _, ok := env.Pager.Document(ImagingFile(p)); !ok {
+			t.Errorf("imaging missing for %s", p.MRN)
+		}
+	}
+	if env.BaseBytes() <= 0 {
+		t.Error("BaseBytes = 0")
+	}
+}
+
+func TestSelectionHelpers(t *testing.T) {
+	env, err := NewEnvironment(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := env.Patients[0]
+
+	if err := env.SelectMed(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := env.Sheets.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Path != "Meds!A2:C2" {
+		t.Errorf("med selection = %q", addr.Path)
+	}
+	if err := env.SelectMed(p, 99); err == nil {
+		t.Error("bad med index accepted")
+	}
+
+	if err := env.SelectLab(p, "K"); err != nil {
+		t.Fatal(err)
+	}
+	laddr, err := env.XML.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(laddr.Path, "result") {
+		t.Errorf("lab selection = %q", laddr.Path)
+	}
+	if err := env.SelectLab(p, "XYZ"); err == nil {
+		t.Error("unknown lab code accepted")
+	}
+
+	if err := env.SelectPlanLine(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Notes.CurrentSelection(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := env.SelectImpression(p); err != nil {
+		t.Fatal(err)
+	}
+	paddr, err := env.Pager.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := env.Pager.GoTo(paddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(el.Content, "IMPRESSION:") {
+		t.Errorf("impression selection = %q", el.Content)
+	}
+}
+
+func TestMarkRoundTripAcrossAllSubstrates(t *testing.T) {
+	// F1: one mark into each of the four clinical substrates resolves back
+	// to its element.
+	env, err := NewEnvironment(11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := env.Patients[0]
+	selections := []func() error{
+		func() error { return env.SelectMed(p, 0) },
+		func() error { return env.SelectLab(p, "Na") },
+		func() error { return env.SelectPlanLine(p, 1) },
+		func() error { return env.SelectImpression(p) },
+	}
+	schemes := []string{"spreadsheet", "xml", "text", "pdf"}
+	for i, sel := range selections {
+		if err := sel(); err != nil {
+			t.Fatalf("selection %d: %v", i, err)
+		}
+		m, err := env.Marks.CreateFromSelection(schemes[i])
+		if err != nil {
+			t.Fatalf("mark %s: %v", schemes[i], err)
+		}
+		el, err := env.Marks.Resolve(m.ID)
+		if err != nil {
+			t.Fatalf("resolve %s: %v", schemes[i], err)
+		}
+		if el.Content == "" {
+			t.Errorf("%s mark resolved to empty content", schemes[i])
+		}
+		if m.Excerpt != el.Content {
+			t.Errorf("%s: excerpt %q != resolved %q", schemes[i], m.Excerpt, el.Content)
+		}
+	}
+}

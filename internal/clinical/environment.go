@@ -1,0 +1,167 @@
+package clinical
+
+import (
+	"fmt"
+
+	"repro/internal/base/pdfdoc"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/textdoc"
+	"repro/internal/base/xmldoc"
+	"repro/internal/mark"
+)
+
+// Environment is a fully wired base layer for an ICU scenario: one
+// spreadsheet application holding each patient's medication list, one XML
+// viewer holding lab reports, one word processor holding progress notes,
+// and one paginated viewer holding imaging reports — all registered with a
+// shared Mark Manager.
+type Environment struct {
+	Patients []Patient
+	Sheets   *spreadsheet.App
+	XML      *xmldoc.App
+	Notes    *textdoc.App
+	Pager    *pdfdoc.App
+	Marks    *mark.Manager
+}
+
+// MedsFile returns the library name of the patient's medication workbook.
+func MedsFile(p Patient) string { return p.MRN + "-meds.xls" }
+
+// LabFile returns the library name of the patient's lab report.
+func LabFile(p Patient) string { return p.MRN + "-labs.xml" }
+
+// NoteFile returns the library name of the patient's progress note.
+func NoteFile(p Patient) string { return p.MRN + "-note.txt" }
+
+// ImagingFile returns the library name of the patient's imaging report.
+func ImagingFile(p Patient) string { return p.MRN + "-cxr.pdf" }
+
+// NewEnvironment generates n patients (single-day labs) and loads their
+// documents into the four base applications, registering everything with a
+// fresh Mark Manager.
+func NewEnvironment(seed int64, n int) (*Environment, error) {
+	return NewEnvironmentHistory(seed, n, 1)
+}
+
+// NewEnvironmentHistory is NewEnvironment with `days` days of lab history
+// per patient, producing realistically sized lab reports.
+func NewEnvironmentHistory(seed int64, n, days int) (*Environment, error) {
+	env := &Environment{
+		Patients: GenerateHistory(seed, n, days),
+		Sheets:   spreadsheet.NewApp(),
+		XML:      xmldoc.NewApp(),
+		Notes:    textdoc.NewApp(),
+		Pager:    pdfdoc.NewApp(),
+		Marks:    mark.NewManager(),
+	}
+	for _, p := range env.Patients {
+		w := spreadsheet.NewWorkbook(MedsFile(p))
+		if _, err := w.LoadCSV("Meds", MedsCSV(p)); err != nil {
+			return nil, fmt.Errorf("clinical: meds for %s: %w", p.MRN, err)
+		}
+		if err := env.Sheets.AddWorkbook(w); err != nil {
+			return nil, err
+		}
+		if _, err := env.XML.LoadString(LabFile(p), LabXML(p)); err != nil {
+			return nil, fmt.Errorf("clinical: labs for %s: %w", p.MRN, err)
+		}
+		if _, err := env.Notes.LoadString(NoteFile(p), ProgressNote(p)); err != nil {
+			return nil, err
+		}
+		if _, err := env.Pager.LoadString(ImagingFile(p), ImagingReport(p), 20); err != nil {
+			return nil, err
+		}
+	}
+	if err := env.Marks.RegisterApplication(env.Sheets); err != nil {
+		return nil, err
+	}
+	if err := env.Marks.RegisterApplication(env.XML); err != nil {
+		return nil, err
+	}
+	if err := env.Marks.RegisterApplication(env.Notes); err != nil {
+		return nil, err
+	}
+	if err := env.Marks.RegisterApplication(env.Pager); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// BaseBytes estimates the base layer's total content size: the serialized
+// documents for every patient. The T3 experiment compares this to the
+// superimposed layer's size.
+func (env *Environment) BaseBytes() int {
+	total := 0
+	for _, p := range env.Patients {
+		total += len(MedsCSV(p)) + len(LabXML(p)) + len(ProgressNote(p)) + len(ImagingReport(p))
+	}
+	return total
+}
+
+// SelectMed drives the spreadsheet viewer to the patient's i-th medication
+// row (0-based), ready for mark creation.
+func (env *Environment) SelectMed(p Patient, i int) error {
+	if i < 0 || i >= len(p.Meds) {
+		return fmt.Errorf("clinical: %s has no medication %d", p.MRN, i)
+	}
+	if err := env.Sheets.Open(MedsFile(p)); err != nil {
+		return err
+	}
+	// Row 0 is the header, so medication i lives on sheet row i+1.
+	r := spreadsheet.Range{
+		Start: spreadsheet.CellRef{Row: i + 1, Col: 0},
+		End:   spreadsheet.CellRef{Row: i + 1, Col: 2},
+	}
+	return env.Sheets.SelectRange("Meds", r)
+}
+
+// SelectLab drives the XML viewer to the patient's lab result with the
+// given code, ready for mark creation.
+func (env *Environment) SelectLab(p Patient, code string) error {
+	if err := env.XML.Open(LabFile(p)); err != nil {
+		return err
+	}
+	doc, ok := env.XML.Document(LabFile(p))
+	if !ok {
+		return fmt.Errorf("clinical: lab report for %s missing", p.MRN)
+	}
+	hits := doc.Find(func(n *xmldoc.Node) bool {
+		return n.Name == "result" && n.Attrs["code"] == code
+	})
+	if len(hits) == 0 {
+		return fmt.Errorf("clinical: %s has no lab %q", p.MRN, code)
+	}
+	// With history, the most recent result is the last in document order.
+	return env.XML.SelectNode(hits[len(hits)-1])
+}
+
+// SelectPlanLine drives the word processor to paragraph i (1-based) of the
+// patient's Plan section.
+func (env *Environment) SelectPlanLine(p Patient, i int) error {
+	if err := env.Notes.Open(NoteFile(p)); err != nil {
+		return err
+	}
+	return env.Notes.Select(textdoc.Loc{Section: 2, Paragraph: i})
+}
+
+// SelectImpression drives the paginated viewer to the IMPRESSION line of
+// the patient's imaging report.
+func (env *Environment) SelectImpression(p Patient) error {
+	if err := env.Pager.Open(ImagingFile(p)); err != nil {
+		return err
+	}
+	doc, ok := env.Pager.Document(ImagingFile(p))
+	if !ok {
+		return fmt.Errorf("clinical: imaging report for %s missing", p.MRN)
+	}
+	hits := doc.FindText("IMPRESSION:")
+	if len(hits) == 0 {
+		return fmt.Errorf("clinical: no impression section for %s", p.MRN)
+	}
+	loc := hits[0]
+	// Include the line after the header (the impression text).
+	if n, err := doc.PageLines(loc.Page); err == nil && loc.LastLine < n {
+		loc.LastLine++
+	}
+	return env.Pager.Select(loc)
+}

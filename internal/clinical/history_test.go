@@ -1,0 +1,96 @@
+package clinical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/base/xmldoc"
+)
+
+func TestGenerateHistoryShape(t *testing.T) {
+	ps := GenerateHistory(3, 2, 5)
+	for _, p := range ps {
+		if len(p.LabHistory) != 5 {
+			t.Fatalf("history days = %d", len(p.LabHistory))
+		}
+		// Labs mirror the final day.
+		last := p.LabHistory[len(p.LabHistory)-1]
+		if len(p.Labs) != len(last) {
+			t.Fatal("Labs != final day")
+		}
+		for i := range last {
+			if p.Labs[i] != last[i] {
+				t.Fatal("Labs values differ from final day")
+			}
+		}
+	}
+	// Zero days clamps to 1.
+	one := GenerateHistory(3, 1, 0)
+	if len(one[0].LabHistory) != 1 {
+		t.Fatalf("clamped days = %d", len(one[0].LabHistory))
+	}
+}
+
+func TestLabXMLMultiDay(t *testing.T) {
+	p := GenerateHistory(7, 1, 3)[0]
+	text := LabXML(p)
+	doc, err := xmldoc.Parse("labs", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := doc.Find(func(n *xmldoc.Node) bool { return n.Name == "day" })
+	if len(days) != 3 {
+		t.Fatalf("day elements = %d", len(days))
+	}
+	// Results per day match the lab count.
+	results := doc.Find(func(n *xmldoc.Node) bool { return n.Name == "result" })
+	if len(results) != 3*len(p.Labs) {
+		t.Fatalf("results = %d, want %d", len(results), 3*len(p.Labs))
+	}
+	// Single-day reports keep the flat (Fig. 4) shape.
+	flat := LabXML(GenerateHistory(7, 1, 1)[0])
+	if strings.Contains(flat, "<day") {
+		t.Fatal("single-day report has day wrapper")
+	}
+}
+
+func TestEnvironmentHistorySelectsLatest(t *testing.T) {
+	env, err := NewEnvironmentHistory(11, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := env.Patients[0]
+	if err := env.SelectLab(p, "K"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := env.XML.CurrentSelection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selected result must live under the most recent day (day[4]).
+	if !strings.Contains(addr.Path, "/day[4]/") {
+		t.Fatalf("selection path = %q, want the latest day", addr.Path)
+	}
+	el, err := env.XML.GoTo(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And its value is the final-day K.
+	var wantK string
+	for _, l := range p.Labs {
+		if l.Code == "K" {
+			wantK = trimFloat(l.Value)
+		}
+	}
+	if el.Content != wantK {
+		t.Fatalf("selected K = %q, want %q", el.Content, wantK)
+	}
+}
+
+func trimFloat(f float64) string {
+	s := LabXML(Patient{Labs: []Lab{{Code: "K", Value: f, Units: "u", Panel: "p"}}, LabHistory: [][]Lab{{{Code: "K", Value: f, Units: "u", Panel: "p"}}}})
+	// Extract the rendered value between > and <.
+	i := strings.Index(s, `units="u">`)
+	j := strings.Index(s[i:], "</result>")
+	return s[i+len(`units="u">`) : i+j]
+}

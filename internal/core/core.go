@@ -1,0 +1,153 @@
+// Package core wires the generic components of the superimposed-application
+// architecture (Fig. 5): base applications, the Mark Manager, and the SLIM
+// store. A superimposed application (SLIMPad, the annotation baseline, the
+// examples) builds on a System; the package also implements the three
+// viewing styles of Fig. 6.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/base"
+	"repro/internal/mark"
+	"repro/internal/slim"
+)
+
+// System is the assembled architecture: the base-application registry, the
+// Mark Manager routing marks to base applications, and the SLIM store
+// holding superimposed information. The three are deliberately independent
+// — the paper's claim that the architecture "allowed parallel development
+// and extension of the Mark Manager, SLIM Store, and SLIMPad" (§6) rests on
+// these seams.
+type System struct {
+	// Base registers the running base applications by scheme.
+	Base *base.Registry
+	// Marks stores and resolves marks.
+	Marks *mark.Manager
+	// Store holds superimposed information as triples.
+	Store *slim.Store
+}
+
+// NewSystem assembles an empty system.
+func NewSystem() *System {
+	return &System{
+		Base:  base.NewRegistry(),
+		Marks: mark.NewManager(),
+		Store: slim.NewStore(),
+	}
+}
+
+// RegisterBase adds a base application to both the registry and the mark
+// manager (as an AppModule). This is the entire integration surface for a
+// new base information type.
+func (s *System) RegisterBase(app base.Application) error {
+	if err := s.Base.Register(app); err != nil {
+		return err
+	}
+	if err := s.Marks.RegisterApplication(app); err != nil {
+		s.Base.Unregister(app.Scheme())
+		return err
+	}
+	return nil
+}
+
+// ViewingStyle is one of the three user-interaction arrangements of Fig. 6.
+type ViewingStyle int
+
+const (
+	// Simultaneous: superimposed and base applications are both visible;
+	// resolving a mark drives the base viewer while the superimposed
+	// window stays up (SLIMPad's normal operation).
+	Simultaneous ViewingStyle = iota
+	// EnhancedBase: the base application is enhanced to show superimposed
+	// information in its own window (the Third Voice arrangement).
+	EnhancedBase
+	// Independent: the base application is hidden; the superimposed
+	// application shows base content in place.
+	Independent
+)
+
+// String names the style.
+func (v ViewingStyle) String() string {
+	switch v {
+	case Simultaneous:
+		return "simultaneous"
+	case EnhancedBase:
+		return "enhanced-base"
+	case Independent:
+		return "independent"
+	default:
+		return fmt.Sprintf("ViewingStyle(%d)", int(v))
+	}
+}
+
+// View is the result of viewing a mark under some style.
+type View struct {
+	Style ViewingStyle
+	// Element is the resolved base element.
+	Element base.Element
+	// BaseViewerMoved reports whether the base application's viewer state
+	// changed (true only for Simultaneous viewing).
+	BaseViewerMoved bool
+	// Overlay lists, for EnhancedBase viewing, every stored mark into the
+	// same document — the superimposed items an enhanced viewer would
+	// render over the base content.
+	Overlay []mark.Mark
+}
+
+// ViewMark resolves the mark under the given viewing style.
+func (s *System) ViewMark(style ViewingStyle, markID string) (View, error) {
+	switch style {
+	case Simultaneous:
+		el, err := s.Marks.Resolve(markID)
+		if err != nil {
+			return View{}, err
+		}
+		return View{Style: style, Element: el, BaseViewerMoved: true}, nil
+	case Independent:
+		el, err := s.Marks.ResolveWith(markID, mark.ResolveInPlace)
+		if err != nil {
+			return View{}, err
+		}
+		return View{Style: style, Element: el}, nil
+	case EnhancedBase:
+		el, err := s.Marks.Resolve(markID)
+		if err != nil {
+			return View{}, err
+		}
+		overlay := s.MarksInto(el.Address.Scheme, el.Address.File)
+		return View{Style: style, Element: el, BaseViewerMoved: true, Overlay: overlay}, nil
+	default:
+		return View{}, fmt.Errorf("core: unknown viewing style %v", style)
+	}
+}
+
+// MarksInto lists every stored mark addressing the given document, sorted
+// by id — the overlay an enhanced base viewer renders (Fig. 6, middle).
+func (s *System) MarksInto(scheme, file string) []mark.Mark {
+	var out []mark.Mark
+	for _, m := range s.Marks.Marks() {
+		if m.Address.Scheme == scheme && m.Address.File == file {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Save persists marks and superimposed information into one XML file.
+func (s *System) Save(path string) error {
+	if err := s.Marks.SaveTo(s.Store.Trim()); err != nil {
+		return err
+	}
+	return s.Store.SaveFile(path)
+}
+
+// Load restores the store and marks from an XML file.
+func (s *System) Load(path string) error {
+	if err := s.Store.LoadFile(path); err != nil {
+		return err
+	}
+	return s.Marks.LoadFrom(s.Store.Trim())
+}

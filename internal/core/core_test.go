@@ -1,0 +1,207 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/xmldoc"
+	"repro/internal/mark"
+)
+
+func newSystem(t *testing.T) (*System, *spreadsheet.App, *xmldoc.App) {
+	t.Helper()
+	s := NewSystem()
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		t.Fatal(err)
+	}
+	sheets.AddWorkbook(w)
+	xmlApp := xmldoc.NewApp()
+	if _, err := xmlApp.LoadString("lab.xml", "<report><result code=\"K\">4.1</result></report>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterBase(sheets); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterBase(xmlApp); err != nil {
+		t.Fatal(err)
+	}
+	return s, sheets, xmlApp
+}
+
+func markFurosemide(t *testing.T, s *System, sheets *spreadsheet.App) mark.Mark {
+	t.Helper()
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	if err := sheets.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Marks.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRegisterBaseBothRegistries(t *testing.T) {
+	s, _, _ := newSystem(t)
+	if _, ok := s.Base.Lookup(spreadsheet.Scheme); !ok {
+		t.Error("base registry missing scheme")
+	}
+	schemes := s.Marks.Schemes()
+	if len(schemes) != 2 {
+		t.Errorf("mark schemes = %v", schemes)
+	}
+	// A duplicate registration rolls back cleanly.
+	if err := s.RegisterBase(spreadsheet.NewApp()); err == nil {
+		t.Error("duplicate base accepted")
+	}
+}
+
+func TestRegisterBaseRollsBackOnMarkConflict(t *testing.T) {
+	s := NewSystem()
+	app := spreadsheet.NewApp()
+	// Pre-register the scheme in the mark manager only, to force the
+	// second half of RegisterBase to fail.
+	if err := s.Marks.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterBase(spreadsheet.NewApp()); err == nil {
+		t.Fatal("conflicting register succeeded")
+	}
+	if _, ok := s.Base.Lookup(spreadsheet.Scheme); ok {
+		t.Fatal("base registry not rolled back")
+	}
+}
+
+func TestSimultaneousViewing(t *testing.T) {
+	s, sheets, _ := newSystem(t)
+	m := markFurosemide(t, s, sheets)
+	// The base viewer wanders off.
+	r, _ := spreadsheet.ParseRange("B3")
+	sheets.SelectRange("Meds", r)
+	v, err := s.ViewMark(Simultaneous, m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Element.Content != "Furosemide" || !v.BaseViewerMoved {
+		t.Fatalf("view = %+v", v)
+	}
+	sel, _ := sheets.CurrentSelection()
+	if sel.Path != "Meds!A2" {
+		t.Error("simultaneous viewing did not drive the base viewer")
+	}
+}
+
+func TestIndependentViewing(t *testing.T) {
+	s, sheets, _ := newSystem(t)
+	m := markFurosemide(t, s, sheets)
+	r, _ := spreadsheet.ParseRange("B3")
+	sheets.SelectRange("Meds", r)
+	v, err := s.ViewMark(Independent, m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Element.Content != "Furosemide" || v.BaseViewerMoved {
+		t.Fatalf("view = %+v", v)
+	}
+	sel, _ := sheets.CurrentSelection()
+	if sel.Path != "Meds!B3" {
+		t.Error("independent viewing moved the base viewer")
+	}
+}
+
+func TestEnhancedBaseViewing(t *testing.T) {
+	s, sheets, _ := newSystem(t)
+	m1 := markFurosemide(t, s, sheets)
+	// A second mark in the same document.
+	r, _ := spreadsheet.ParseRange("A3")
+	sheets.SelectRange("Meds", r)
+	m2, err := s.Marks.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ViewMark(EnhancedBase, m1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Overlay) != 2 {
+		t.Fatalf("overlay = %v", v.Overlay)
+	}
+	if v.Overlay[0].ID != m1.ID || v.Overlay[1].ID != m2.ID {
+		t.Fatalf("overlay order = %v", v.Overlay)
+	}
+}
+
+func TestViewErrors(t *testing.T) {
+	s, sheets, _ := newSystem(t)
+	m := markFurosemide(t, s, sheets)
+	if _, err := s.ViewMark(ViewingStyle(42), m.ID); err == nil {
+		t.Error("unknown style accepted")
+	}
+	for _, style := range []ViewingStyle{Simultaneous, Independent, EnhancedBase} {
+		if _, err := s.ViewMark(style, "ghost"); err == nil {
+			t.Errorf("%v view of ghost mark succeeded", style)
+		}
+	}
+}
+
+func TestViewingStyleNames(t *testing.T) {
+	if Simultaneous.String() != "simultaneous" ||
+		EnhancedBase.String() != "enhanced-base" ||
+		Independent.String() != "independent" {
+		t.Error("style names wrong")
+	}
+	if ViewingStyle(9).String() == "" {
+		t.Error("unknown style name empty")
+	}
+}
+
+func TestMarksIntoFiltersByDocument(t *testing.T) {
+	s, sheets, xmlApp := newSystem(t)
+	markFurosemide(t, s, sheets)
+	xmlApp.Open("lab.xml")
+	xmlApp.SelectExpr("/report/result")
+	if _, err := s.Marks.CreateFromSelection(xmldoc.Scheme); err != nil {
+		t.Fatal(err)
+	}
+	into := s.MarksInto(spreadsheet.Scheme, "meds.xls")
+	if len(into) != 1 {
+		t.Fatalf("MarksInto = %d", len(into))
+	}
+	if len(s.MarksInto("xml", "lab.xml")) != 1 {
+		t.Fatal("xml overlay wrong")
+	}
+	if len(s.MarksInto("xml", "other.xml")) != 0 {
+		t.Fatal("overlay leaked across documents")
+	}
+}
+
+func TestSystemSaveLoad(t *testing.T) {
+	s, sheets, _ := newSystem(t)
+	m := markFurosemide(t, s, sheets)
+	path := filepath.Join(t.TempDir(), "system.xml")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// A new system sharing the same base applications.
+	s2 := NewSystem()
+	if err := s2.RegisterBase(sheets); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s2.ViewMark(Simultaneous, m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Element.Content != "Furosemide" {
+		t.Fatalf("reloaded view = %+v", v)
+	}
+	if err := s2.Load(filepath.Join(t.TempDir(), "absent.xml")); err == nil {
+		t.Fatal("load of missing file succeeded")
+	}
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/core"
+)
+
+// Assembling the Fig. 5 architecture and viewing a mark under the three
+// Fig. 6 styles.
+func Example() {
+	sys := core.NewSystem()
+	sheets := spreadsheet.NewApp()
+	wb := spreadsheet.NewWorkbook("meds.xls")
+	wb.LoadCSV("Meds", "Drug\nFurosemide\n")
+	sheets.AddWorkbook(wb)
+	sys.RegisterBase(sheets)
+
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m, _ := sys.Marks.CreateFromSelection(spreadsheet.Scheme)
+
+	for _, style := range []core.ViewingStyle{core.Simultaneous, core.Independent} {
+		v, _ := sys.ViewMark(style, m.ID)
+		fmt.Printf("%s: %s (viewer moved: %v)\n", style, v.Element.Content, v.BaseViewerMoved)
+	}
+	// Output:
+	// simultaneous: Furosemide (viewer moved: true)
+	// independent: Furosemide (viewer moved: false)
+}

@@ -1,0 +1,108 @@
+package mark
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/trim"
+)
+
+func benchManager(b *testing.B) (*Manager, *spreadsheet.App) {
+	b.Helper()
+	app := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		b.Fatal(err)
+	}
+	app.AddWorkbook(w)
+	mm := NewManager()
+	if err := mm.RegisterApplication(app); err != nil {
+		b.Fatal(err)
+	}
+	return mm, app
+}
+
+func BenchmarkCreateFromSelection(b *testing.B) {
+	mm, app := benchManager(b)
+	app.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	app.SelectRange("Meds", r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mm.CreateFromSelection(spreadsheet.Scheme); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	mm, app := benchManager(b)
+	app.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	app.SelectRange("Meds", r)
+	m, err := mm.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mm.Resolve(m.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveInPlace(b *testing.B) {
+	mm, app := benchManager(b)
+	app.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	app.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mm.ResolveWith(m.ID, ResolveInPlace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaveLoadTriples(b *testing.B) {
+	mm := NewManager()
+	for i := 0; i < 500; i++ {
+		mm.Add(Mark{
+			ID:      fmt.Sprintf("mark-%06d", i),
+			Address: base.Address{Scheme: "spreadsheet", File: "meds.xls", Path: "Meds!A2"},
+			Excerpt: "Furosemide",
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := trim.NewManager()
+		if err := mm.SaveTo(store); err != nil {
+			b.Fatal(err)
+		}
+		back := NewManager()
+		if err := back.LoadFrom(store); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRefresh(b *testing.B) {
+	mm, app := benchManager(b)
+	app.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("B2")
+	app.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mm.Refresh(m.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

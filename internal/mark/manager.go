@@ -1,0 +1,242 @@
+package mark
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/base"
+)
+
+// ResolveContext names the default resolver (drive the base viewer);
+// ResolveInPlace names the §6 in-place resolver registered automatically
+// for applications that support content extraction.
+const (
+	ResolveContext = "context"
+	ResolveInPlace = "inplace"
+)
+
+// Manager is the Mark Manager (Fig. 7): it stores marks generically,
+// routes creation and resolution to per-scheme mark modules, and supports
+// multiple named resolvers per scheme. All methods are safe for concurrent
+// use.
+type Manager struct {
+	mu        sync.RWMutex
+	modules   map[string]Module
+	resolvers map[string]map[string]Resolver // scheme -> name -> resolver
+	marks     map[string]Mark
+	nextSeq   int
+}
+
+// NewManager returns an empty mark manager.
+func NewManager() *Manager {
+	return &Manager{
+		modules:   make(map[string]Module),
+		resolvers: make(map[string]map[string]Resolver),
+		marks:     make(map[string]Mark),
+	}
+}
+
+// RegisterModule adds a mark module. "To support new base-layer
+// applications, new mark modules need to be introduced" (§4.2) — this is
+// the single extension point, and existing modules are undisturbed.
+// The module's in-context resolver is registered under ResolveContext; if
+// the module is an AppModule whose application extracts content, an
+// in-place resolver is registered under ResolveInPlace.
+func (mm *Manager) RegisterModule(mod Module) error {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	scheme := mod.Scheme()
+	if scheme == "" {
+		return fmt.Errorf("mark: module has empty scheme")
+	}
+	if _, ok := mm.modules[scheme]; ok {
+		return fmt.Errorf("mark: module for scheme %q already registered", scheme)
+	}
+	mm.modules[scheme] = mod
+	mm.resolvers[scheme] = map[string]Resolver{ResolveContext: InContextResolver(mod)}
+	if am, ok := mod.(*AppModule); ok {
+		if _, ok := am.App().(base.ContentExtractor); ok {
+			mm.resolvers[scheme][ResolveInPlace] = InPlaceResolver(am.App())
+		}
+	}
+	return nil
+}
+
+// RegisterApplication is shorthand for RegisterModule(NewAppModule(app)).
+func (mm *Manager) RegisterApplication(app base.Application) error {
+	return mm.RegisterModule(NewAppModule(app))
+}
+
+// RegisterResolver adds (or replaces) a named resolver for a scheme,
+// enabling additional mark behaviors without touching the mark type (§6).
+func (mm *Manager) RegisterResolver(scheme, name string, r Resolver) error {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if _, ok := mm.modules[scheme]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoModule, scheme)
+	}
+	mm.resolvers[scheme][name] = r
+	return nil
+}
+
+// Schemes returns the registered mark-module schemes, sorted.
+func (mm *Manager) Schemes() []string {
+	mm.mu.RLock()
+	defer mm.mu.RUnlock()
+	out := make([]string, 0, len(mm.modules))
+	for s := range mm.modules {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateFromSelection creates a mark from the current selection of the
+// scheme's base application, stores it, and returns it. Mark ids are
+// sequential ("mark-000001", ...).
+func (mm *Manager) CreateFromSelection(scheme string) (Mark, error) {
+	mm.mu.Lock()
+	mod, ok := mm.modules[scheme]
+	if !ok {
+		mm.mu.Unlock()
+		return Mark{}, fmt.Errorf("%w: %q", ErrNoModule, scheme)
+	}
+	mm.nextSeq++
+	id := fmt.Sprintf("mark-%06d", mm.nextSeq)
+	mm.mu.Unlock()
+
+	// Mark creation talks to the base application outside the lock; base
+	// apps have their own synchronization.
+	m, err := mod.CreateMark(id)
+	if err != nil {
+		return Mark{}, err
+	}
+	mm.mu.Lock()
+	mm.marks[m.ID] = m
+	mm.mu.Unlock()
+	return m, nil
+}
+
+// Add stores an externally constructed mark (used by persistence and by
+// tests). The mark's id must be non-empty and unused.
+func (mm *Manager) Add(m Mark) error {
+	if m.ID == "" {
+		return fmt.Errorf("mark: mark needs an id")
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if _, ok := mm.marks[m.ID]; ok {
+		return fmt.Errorf("mark: id %q already stored", m.ID)
+	}
+	mm.marks[m.ID] = m
+	return nil
+}
+
+// Mark retrieves a stored mark by id.
+func (mm *Manager) Mark(id string) (Mark, error) {
+	mm.mu.RLock()
+	defer mm.mu.RUnlock()
+	m, ok := mm.marks[id]
+	if !ok {
+		return Mark{}, fmt.Errorf("%w: %q", ErrUnknownMark, id)
+	}
+	return m, nil
+}
+
+// Marks returns all stored marks sorted by id.
+func (mm *Manager) Marks() []Mark {
+	mm.mu.RLock()
+	defer mm.mu.RUnlock()
+	out := make([]Mark, 0, len(mm.marks))
+	for _, m := range mm.marks {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Remove deletes a stored mark, reporting whether it existed.
+func (mm *Manager) Remove(id string) bool {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if _, ok := mm.marks[id]; !ok {
+		return false
+	}
+	delete(mm.marks, id)
+	return true
+}
+
+// Len returns the number of stored marks.
+func (mm *Manager) Len() int {
+	mm.mu.RLock()
+	defer mm.mu.RUnlock()
+	return len(mm.marks)
+}
+
+// Resolve dereferences the mark by id using the default (in-context)
+// resolver: it drives the base application to the marked element.
+func (mm *Manager) Resolve(id string) (base.Element, error) {
+	return mm.ResolveWith(id, ResolveContext)
+}
+
+// ResolveWith dereferences the mark using the named resolver.
+func (mm *Manager) ResolveWith(id, resolver string) (base.Element, error) {
+	mm.mu.RLock()
+	m, ok := mm.marks[id]
+	if !ok {
+		mm.mu.RUnlock()
+		return base.Element{}, fmt.Errorf("%w: %q", ErrUnknownMark, id)
+	}
+	byName, ok := mm.resolvers[m.Scheme()]
+	if !ok {
+		mm.mu.RUnlock()
+		return base.Element{}, fmt.Errorf("%w: %q", ErrNoModule, m.Scheme())
+	}
+	r, ok := byName[resolver]
+	mm.mu.RUnlock()
+	if !ok {
+		return base.Element{}, fmt.Errorf("%w: %q for scheme %q", ErrUnknownResolver, resolver, m.Scheme())
+	}
+	return r(m)
+}
+
+// ExtractContent returns the marked element's current content without
+// moving any viewer (the §6 "extract content" behavior). It prefers the
+// in-place resolver and falls back to the stored excerpt when the base
+// source is unavailable.
+func (mm *Manager) ExtractContent(id string) (string, error) {
+	el, err := mm.ResolveWith(id, ResolveInPlace)
+	if err == nil {
+		return el.Content, nil
+	}
+	m, merr := mm.Mark(id)
+	if merr != nil {
+		return "", merr
+	}
+	if m.Excerpt != "" {
+		return m.Excerpt, nil
+	}
+	return "", err
+}
+
+// Refresh re-extracts the marked element's content and reports whether it
+// still matches the stored excerpt, updating the excerpt. It is the
+// consistency probe behind SLIMPad's redundancy management (§3: "Redundancy
+// is a problem, however, if it introduces errors during transcription").
+func (mm *Manager) Refresh(id string) (content string, changed bool, err error) {
+	el, err := mm.ResolveWith(id, ResolveInPlace)
+	if err != nil {
+		return "", false, err
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	m, ok := mm.marks[id]
+	if !ok {
+		return "", false, fmt.Errorf("%w: %q", ErrUnknownMark, id)
+	}
+	changed = m.Excerpt != el.Content
+	m.Excerpt = el.Content
+	mm.marks[id] = m
+	return el.Content, changed, nil
+}

@@ -1,0 +1,143 @@
+// Package mark implements Mark Management, the paper's framework for
+// creating and managing links from the superimposed layer into base-layer
+// information (§4.2, Fig. 7): "A mark is stored and maintained in the
+// superimposed information layer, but references information in the base
+// layer. ... Each type of base-layer information has its own type of mark.
+// ... Since the specific addressing scheme of the base-layer information is
+// encapsulated within the mark, the Mark Manager can generically store and
+// retrieve all marks."
+package mark
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/base"
+)
+
+// Mark is one stored link to a base information element. The Address field
+// encapsulates the per-type payload (Fig. 8): for a spreadsheet mark it
+// carries fileName/sheetName/range, for an XML mark fileName/xmlPath, and so
+// on; package-level typed views (ExcelMark, XMLMark, ...) decompose it.
+type Mark struct {
+	// ID is the mark identifier handed to MarkHandles in the superimposed
+	// layer (the markId of Fig. 3).
+	ID string
+	// Address locates the marked element in its base source.
+	Address base.Address
+	// Excerpt is the element's content captured at mark-creation time. It
+	// lets the superimposed layer detect drift between a scrap's label and
+	// the live base content (the paper's transcription-error concern, §3).
+	Excerpt string
+}
+
+// Scheme returns the base information type of the mark.
+func (m Mark) Scheme() string { return m.Address.Scheme }
+
+// Errors reported by mark management.
+var (
+	// ErrUnknownMark: no mark stored under the id.
+	ErrUnknownMark = errors.New("mark: unknown mark id")
+	// ErrNoModule: no mark module registered for the scheme.
+	ErrNoModule = errors.New("mark: no module for scheme")
+	// ErrUnknownResolver: the named resolver is not registered.
+	ErrUnknownResolver = errors.New("mark: unknown resolver")
+)
+
+// Module creates and resolves marks for one base-layer application (§4.2:
+// "a mark module is specific to a certain base-layer application"). The
+// standard implementation is AppModule; substrates requiring extra behavior
+// provide their own.
+type Module interface {
+	// Scheme names the base information type this module serves.
+	Scheme() string
+	// CreateMark builds a mark (with the given id) from the application's
+	// current selection.
+	CreateMark(id string) (Mark, error)
+	// Resolve drives the base application to the marked element and
+	// returns it.
+	Resolve(m Mark) (base.Element, error)
+}
+
+// AppModule adapts any base.Application into a Module: marks are created
+// from the app's current selection, resolved via GoTo, and the excerpt is
+// captured with ExtractContent when available.
+type AppModule struct {
+	app base.Application
+}
+
+var _ Module = (*AppModule)(nil)
+
+// NewAppModule wraps a base application as a mark module.
+func NewAppModule(app base.Application) *AppModule {
+	return &AppModule{app: app}
+}
+
+// App returns the wrapped application.
+func (am *AppModule) App() base.Application { return am.app }
+
+// Scheme implements Module.
+func (am *AppModule) Scheme() string { return am.app.Scheme() }
+
+// CreateMark implements Module: the base application supplies the address
+// of the current selection ("Microsoft Excel gives the Excel mark module
+// information containing the current selection within the current
+// workbook", §4.2).
+func (am *AppModule) CreateMark(id string) (Mark, error) {
+	addr, err := am.app.CurrentSelection()
+	if err != nil {
+		return Mark{}, fmt.Errorf("mark: creating %s mark: %w", am.Scheme(), err)
+	}
+	m := Mark{ID: id, Address: addr}
+	if ex, ok := am.app.(base.ContentExtractor); ok {
+		content, err := ex.ExtractContent(addr)
+		if err == nil {
+			m.Excerpt = content
+		}
+	}
+	return m, nil
+}
+
+// Resolve implements Module: drive the application to the element.
+func (am *AppModule) Resolve(m Mark) (base.Element, error) {
+	el, err := am.app.GoTo(m.Address)
+	if err != nil {
+		return base.Element{}, fmt.Errorf("mark: resolving %s: %w", m.ID, err)
+	}
+	return el, nil
+}
+
+// Resolver is one way of resolving a mark. The paper contrasts its design
+// with Microsoft Monikers (§5): "we use Mark Managers to resolve Marks
+// instead of the Mark itself, which allows for multiple ways to resolve
+// marks via different managers. For example, one manager for Excel can
+// display Excel Marks in context and another act as an in-place viewer."
+type Resolver func(m Mark) (base.Element, error)
+
+// InContextResolver resolves by driving the application's viewer (GoTo).
+func InContextResolver(mod Module) Resolver {
+	return mod.Resolve
+}
+
+// InPlaceResolver resolves without disturbing the viewer, using the
+// application's content/context extraction: the §6 "display in place"
+// behavior. It fails for applications lacking base.ContentExtractor.
+func InPlaceResolver(app base.Application) Resolver {
+	return func(m Mark) (base.Element, error) {
+		ex, ok := app.(base.ContentExtractor)
+		if !ok {
+			return base.Element{}, fmt.Errorf("mark: %s application cannot display in place", app.Scheme())
+		}
+		content, err := ex.ExtractContent(m.Address)
+		if err != nil {
+			return base.Element{}, fmt.Errorf("mark: resolving %s in place: %w", m.ID, err)
+		}
+		el := base.Element{Address: m.Address, Content: content}
+		if cp, ok := app.(base.ContextProvider); ok {
+			if ctx, err := cp.ExtractContext(m.Address); err == nil {
+				el.Context = ctx
+			}
+		}
+		return el, nil
+	}
+}

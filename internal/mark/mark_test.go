@@ -1,0 +1,413 @@
+package mark
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/xmldoc"
+)
+
+// newSheetApp returns a spreadsheet app with a medication list workbook.
+func newSheetApp(t *testing.T) *spreadsheet.App {
+	t.Helper()
+	a := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddWorkbook(w); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+const labXML = `<report><patient>John Smith</patient><panel><result code="K">4.1</result></panel></report>`
+
+func newXMLApp(t *testing.T) *xmldoc.App {
+	t.Helper()
+	a := xmldoc.NewApp()
+	if _, err := a.LoadString("lab.xml", labXML); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func managerWithApps(t *testing.T) (*Manager, *spreadsheet.App, *xmldoc.App) {
+	t.Helper()
+	mm := NewManager()
+	sheets := newSheetApp(t)
+	xmlApp := newXMLApp(t)
+	if err := mm.RegisterApplication(sheets); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.RegisterApplication(xmlApp); err != nil {
+		t.Fatal(err)
+	}
+	return mm, sheets, xmlApp
+}
+
+func TestRegisterModuleValidation(t *testing.T) {
+	mm := NewManager()
+	app := newSheetApp(t)
+	if err := mm.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.RegisterApplication(newSheetApp(t)); err == nil {
+		t.Fatal("duplicate scheme module accepted")
+	}
+	schemes := mm.Schemes()
+	if len(schemes) != 1 || schemes[0] != spreadsheet.Scheme {
+		t.Fatalf("Schemes = %v", schemes)
+	}
+}
+
+func TestCreateFromSelection(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	// No selection yet.
+	if _, err := mm.CreateFromSelection(spreadsheet.Scheme); !errors.Is(err, base.ErrNoSelection) {
+		t.Fatalf("create without selection = %v", err)
+	}
+	// Unknown scheme.
+	if _, err := mm.CreateFromSelection("fortran"); !errors.Is(err, ErrNoModule) {
+		t.Fatalf("create for unknown scheme = %v", err)
+	}
+	// The user selects the Furosemide cell, then creates a mark.
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	if err := sheets.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mm.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID == "" || !strings.HasPrefix(m.ID, "mark-") {
+		t.Errorf("mark id = %q", m.ID)
+	}
+	if m.Address.Path != "Meds!A2" {
+		t.Errorf("address = %v", m.Address)
+	}
+	// Excerpt captured at creation time.
+	if m.Excerpt != "Furosemide" {
+		t.Errorf("excerpt = %q", m.Excerpt)
+	}
+	if mm.Len() != 1 {
+		t.Errorf("stored marks = %d", mm.Len())
+	}
+}
+
+func TestSequentialIDs(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m1, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	m2, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	if m1.ID == m2.ID {
+		t.Fatal("duplicate mark ids")
+	}
+	if m1.ID != "mark-000001" || m2.ID != "mark-000002" {
+		t.Fatalf("ids = %q, %q", m1.ID, m2.ID)
+	}
+}
+
+func TestResolveDrivesViewer(t *testing.T) {
+	mm, sheets, xmlApp := managerWithApps(t)
+	// Create a spreadsheet mark.
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m, err := mm.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the viewer elsewhere.
+	r2, _ := spreadsheet.ParseRange("B3")
+	sheets.SelectRange("Meds", r2)
+	// Resolving the mark re-drives the viewer to the marked cell.
+	el, err := mm.Resolve(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Furosemide" {
+		t.Errorf("Content = %q", el.Content)
+	}
+	sel, err := sheets.CurrentSelection()
+	if err != nil || sel.Path != "Meds!A2" {
+		t.Errorf("viewer selection after resolve = %v, %v", sel, err)
+	}
+	// XML mark resolution in the same manager.
+	xmlApp.Open("lab.xml")
+	if err := xmlApp.SelectExpr("/report/panel/result"); err != nil {
+		t.Fatal(err)
+	}
+	xm, err := mm.CreateFromSelection(xmldoc.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el2, err := mm.Resolve(xm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el2.Content != "4.1" {
+		t.Errorf("xml Content = %q", el2.Content)
+	}
+}
+
+func TestResolveUnknownMark(t *testing.T) {
+	mm, _, _ := managerWithApps(t)
+	if _, err := mm.Resolve("mark-999999"); !errors.Is(err, ErrUnknownMark) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveInPlaceDoesNotMoveViewer(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A3")
+	sheets.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	// Move viewer away.
+	r2, _ := spreadsheet.ParseRange("A1")
+	sheets.SelectRange("Meds", r2)
+
+	el, err := mm.ResolveWith(m.ID, ResolveInPlace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Content != "Insulin" {
+		t.Errorf("Content = %q", el.Content)
+	}
+	sel, _ := sheets.CurrentSelection()
+	if sel.Path != "Meds!A1" {
+		t.Errorf("in-place resolve moved the viewer to %q", sel.Path)
+	}
+}
+
+func TestResolveUnknownResolver(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	if _, err := mm.ResolveWith(m.ID, "holographic"); !errors.Is(err, ErrUnknownResolver) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterCustomResolver(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+
+	err := mm.RegisterResolver(spreadsheet.Scheme, "shout", func(m Mark) (base.Element, error) {
+		return base.Element{Address: m.Address, Content: strings.ToUpper(m.Excerpt)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := mm.ResolveWith(m.ID, "shout")
+	if err != nil || el.Content != "FUROSEMIDE" {
+		t.Fatalf("custom resolver = %q, %v", el.Content, err)
+	}
+	// Registering for an unknown scheme fails.
+	if err := mm.RegisterResolver("fortran", "x", nil); !errors.Is(err, ErrNoModule) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddRemoveMark(t *testing.T) {
+	mm := NewManager()
+	m := Mark{ID: "m1", Address: base.Address{Scheme: "xml", File: "f", Path: "/a[1]"}}
+	if err := mm.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Add(m); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if err := mm.Add(Mark{}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	got, err := mm.Mark("m1")
+	if err != nil || got != m {
+		t.Fatalf("Mark = %v, %v", got, err)
+	}
+	if !mm.Remove("m1") {
+		t.Fatal("Remove = false")
+	}
+	if mm.Remove("m1") {
+		t.Fatal("second Remove = true")
+	}
+}
+
+func TestExtractContentFallsBackToExcerpt(t *testing.T) {
+	mm := NewManager()
+	// A mark whose base application is not registered (e.g. offline).
+	m := Mark{ID: "m1", Address: base.Address{Scheme: "gone", File: "f", Path: "p"}, Excerpt: "cached value"}
+	mm.Add(m)
+	got, err := mm.ExtractContent("m1")
+	if err != nil || got != "cached value" {
+		t.Fatalf("ExtractContent = %q, %v", got, err)
+	}
+	// Without an excerpt, the error surfaces.
+	mm.Add(Mark{ID: "m2", Address: base.Address{Scheme: "gone", File: "f", Path: "p"}})
+	if _, err := mm.ExtractContent("m2"); err == nil {
+		t.Fatal("ExtractContent without source or excerpt succeeded")
+	}
+	if _, err := mm.ExtractContent("absent"); !errors.Is(err, ErrUnknownMark) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRefreshDetectsBaseChanges(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("B2")
+	sheets.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	if m.Excerpt != "40mg" {
+		t.Fatalf("excerpt = %q", m.Excerpt)
+	}
+	// Unchanged base: no drift.
+	_, changed, err := mm.Refresh(m.ID)
+	if err != nil || changed {
+		t.Fatalf("Refresh unchanged = %v, %v", changed, err)
+	}
+	// The dose is edited in the base source.
+	w, _ := sheets.Workbook("meds.xls")
+	s, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("B2")
+	s.Set(cell, "80mg")
+	content, changed, err := mm.Refresh(m.ID)
+	if err != nil || !changed || content != "80mg" {
+		t.Fatalf("Refresh after edit = %q, %v, %v", content, changed, err)
+	}
+	// The stored excerpt is updated.
+	got, _ := mm.Mark(m.ID)
+	if got.Excerpt != "80mg" {
+		t.Fatalf("excerpt after refresh = %q", got.Excerpt)
+	}
+}
+
+// Extensibility (§4.2): a brand-new base type can be added at runtime with
+// a new module, without touching existing modules or stored marks.
+type echoApp struct {
+	selection base.Address
+}
+
+func (e *echoApp) Scheme() string { return "echo" }
+func (e *echoApp) Name() string   { return "echo" }
+func (e *echoApp) CurrentSelection() (base.Address, error) {
+	if e.selection.IsZero() {
+		return base.Address{}, base.ErrNoSelection
+	}
+	return e.selection, nil
+}
+func (e *echoApp) GoTo(a base.Address) (base.Element, error) {
+	return base.Element{Address: a, Content: "echo:" + a.Path}, nil
+}
+
+func TestNewModuleWithoutDisturbingExisting(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	existing, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+
+	echo := &echoApp{selection: base.Address{Scheme: "echo", File: "f", Path: "42"}}
+	if err := mm.RegisterApplication(echo); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mm.CreateFromSelection("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := mm.Resolve(m.ID)
+	if err != nil || el.Content != "echo:42" {
+		t.Fatalf("echo resolve = %v, %v", el, err)
+	}
+	// The existing mark still resolves.
+	if _, err := mm.Resolve(existing.ID); err != nil {
+		t.Fatalf("existing mark broken by new module: %v", err)
+	}
+	// The echo app lacks ContentExtractor, so in-place resolution fails.
+	if _, err := mm.ResolveWith(m.ID, ResolveInPlace); err == nil {
+		t.Fatal("in-place resolve for non-extractor app succeeded")
+	}
+}
+
+func TestMarksSorted(t *testing.T) {
+	mm := NewManager()
+	for _, id := range []string{"c", "a", "b"} {
+		mm.Add(Mark{ID: id, Address: base.Address{Scheme: "s", File: "f", Path: "p"}})
+	}
+	ms := mm.Marks()
+	if len(ms) != 3 || ms[0].ID != "a" || ms[2].ID != "c" {
+		t.Fatalf("Marks = %v", ms)
+	}
+}
+
+func TestConcurrentCreateResolve(t *testing.T) {
+	mm, sheets, _ := managerWithApps(t)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			m, err := mm.CreateFromSelection(spreadsheet.Scheme)
+			if err != nil {
+				done <- err
+				return
+			}
+			_, err = mm.Resolve(m.ID)
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mm.Len() != 16 {
+		t.Fatalf("marks = %d", mm.Len())
+	}
+	// All ids distinct (Marks dedups by map key, so 16 == distinct).
+	seen := map[string]bool{}
+	for _, m := range mm.Marks() {
+		if seen[m.ID] {
+			t.Fatalf("duplicate id %q", m.ID)
+		}
+		seen[m.ID] = true
+	}
+}
+
+func TestManagerLenAndSchemesEmpty(t *testing.T) {
+	mm := NewManager()
+	if mm.Len() != 0 || len(mm.Schemes()) != 0 {
+		t.Fatal("fresh manager not empty")
+	}
+}
+
+func ExampleManager() {
+	mm := NewManager()
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\n")
+	sheets.AddWorkbook(w)
+	mm.RegisterApplication(sheets)
+
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+	el, _ := mm.Resolve(m.ID)
+	fmt.Println(el.Content)
+	// Output: Furosemide
+}

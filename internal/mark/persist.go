@@ -1,0 +1,113 @@
+package mark
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/base"
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// Marks persist in the same triple store as the superimposed information:
+// each mark becomes a resource typed mark:Mark plus a per-scheme subclass
+// (mark:SpreadsheetMark, mark:XmlMark, ...), mirroring the "one subclass of
+// Mark for each type of base information" design of Fig. 3.
+
+// Vocabulary for mark triples.
+var (
+	ClassMark   = rdf.IRI(rdf.NSMark + "Mark")
+	PropScheme  = rdf.IRI(rdf.NSMark + "scheme")
+	PropFile    = rdf.IRI(rdf.NSMark + "file")
+	PropPath    = rdf.IRI(rdf.NSMark + "path")
+	PropExcerpt = rdf.IRI(rdf.NSMark + "excerpt")
+)
+
+// MarkIRI returns the resource IRI used to store the mark with the given id.
+func MarkIRI(id string) rdf.Term { return rdf.IRI(rdf.NSMark + "id/" + id) }
+
+// SchemeClass returns the per-scheme mark subclass IRI, e.g.
+// mark:SpreadsheetMark for scheme "spreadsheet".
+func SchemeClass(scheme string) rdf.Term {
+	if scheme == "" {
+		return ClassMark
+	}
+	return rdf.IRI(rdf.NSMark + strings.ToUpper(scheme[:1]) + scheme[1:] + "Mark")
+}
+
+// SaveTo writes every stored mark into the triple store. Existing triples
+// for the same mark ids are replaced.
+func (mm *Manager) SaveTo(store *trim.Manager) error {
+	b := store.NewBatch()
+	for _, m := range mm.Marks() {
+		iri := MarkIRI(m.ID)
+		if err := b.RemoveMatching(rdf.P(iri, rdf.Zero, rdf.Zero)); err != nil {
+			return err
+		}
+		stages := []rdf.Triple{
+			rdf.T(iri, rdf.RDFType, ClassMark),
+			rdf.T(iri, rdf.RDFType, SchemeClass(m.Scheme())),
+			rdf.T(iri, PropScheme, rdf.String(m.Address.Scheme)),
+			rdf.T(iri, PropFile, rdf.String(m.Address.File)),
+			rdf.T(iri, PropPath, rdf.String(m.Address.Path)),
+		}
+		if m.Excerpt != "" {
+			stages = append(stages, rdf.T(iri, PropExcerpt, rdf.String(m.Excerpt)))
+		}
+		for _, t := range stages {
+			if err := b.Create(t); err != nil {
+				return fmt.Errorf("mark: saving %s: %w", m.ID, err)
+			}
+		}
+	}
+	return b.Apply()
+}
+
+// LoadFrom reads every mark:Mark resource from the triple store into the
+// manager, replacing its current contents. The sequence counter advances
+// past any loaded ids of the standard "mark-NNNNNN" form, so new marks
+// never collide with loaded ones.
+func (mm *Manager) LoadFrom(store *trim.Manager) error {
+	loaded := make(map[string]Mark)
+	maxSeq := 0
+	for _, subj := range store.Subjects(rdf.RDFType, ClassMark) {
+		iri := subj.Value()
+		if !strings.HasPrefix(iri, rdf.NSMark+"id/") {
+			return fmt.Errorf("mark: stored mark %s has unexpected IRI form", iri)
+		}
+		id := strings.TrimPrefix(iri, rdf.NSMark+"id/")
+		m := Mark{ID: id}
+		scheme, err := store.One(rdf.P(subj, PropScheme, rdf.Zero))
+		if err != nil {
+			return fmt.Errorf("mark: loading %s: %w", id, err)
+		}
+		file, err := store.One(rdf.P(subj, PropFile, rdf.Zero))
+		if err != nil {
+			return fmt.Errorf("mark: loading %s: %w", id, err)
+		}
+		path, err := store.One(rdf.P(subj, PropPath, rdf.Zero))
+		if err != nil {
+			return fmt.Errorf("mark: loading %s: %w", id, err)
+		}
+		m.Address = base.Address{
+			Scheme: scheme.Object.Value(),
+			File:   file.Object.Value(),
+			Path:   path.Object.Value(),
+		}
+		if t, err := store.One(rdf.P(subj, PropExcerpt, rdf.Zero)); err == nil {
+			m.Excerpt = t.Object.Value()
+		}
+		loaded[id] = m
+		var seq int
+		if n, _ := fmt.Sscanf(id, "mark-%d", &seq); n == 1 && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	mm.marks = loaded
+	if maxSeq > mm.nextSeq {
+		mm.nextSeq = maxSeq
+	}
+	return nil
+}

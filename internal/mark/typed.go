@@ -1,0 +1,174 @@
+package mark
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/base/htmldoc"
+	"repro/internal/base/pdfdoc"
+	"repro/internal/base/slides"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/textdoc"
+	"repro/internal/base/xmldoc"
+)
+
+// Typed mark views decompose the generic mark into the per-type fields of
+// Fig. 8: "Microsoft Excel Mark: markId, fileName, sheetName, range. XML
+// Mark: markId, fileName, xmlPath." The generic Mark remains the stored
+// representation; these views give superimposed-application builders typed
+// access and validated construction.
+
+// ExcelMark is the spreadsheet mark of Fig. 8.
+type ExcelMark struct {
+	MarkID    string
+	FileName  string
+	SheetName string
+	Range     spreadsheet.Range
+}
+
+// AsExcelMark decomposes a generic spreadsheet mark.
+func AsExcelMark(m Mark) (ExcelMark, error) {
+	if m.Scheme() != spreadsheet.Scheme {
+		return ExcelMark{}, fmt.Errorf("mark: %q is a %s mark, not a spreadsheet mark", m.ID, m.Scheme())
+	}
+	sheet, rng, err := spreadsheet.ParsePath(m.Address.Path)
+	if err != nil {
+		return ExcelMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+	}
+	return ExcelMark{MarkID: m.ID, FileName: m.Address.File, SheetName: sheet, Range: rng}, nil
+}
+
+// Mark recomposes the generic mark.
+func (em ExcelMark) Mark() Mark {
+	return Mark{ID: em.MarkID, Address: base.Address{
+		Scheme: spreadsheet.Scheme,
+		File:   em.FileName,
+		Path:   spreadsheet.FormatPath(em.SheetName, em.Range),
+	}}
+}
+
+// XMLMark is the XML mark of Fig. 8.
+type XMLMark struct {
+	MarkID   string
+	FileName string
+	XMLPath  string
+}
+
+// AsXMLMark decomposes a generic XML mark.
+func AsXMLMark(m Mark) (XMLMark, error) {
+	if m.Scheme() != xmldoc.Scheme {
+		return XMLMark{}, fmt.Errorf("mark: %q is a %s mark, not an XML mark", m.ID, m.Scheme())
+	}
+	if _, err := xmldoc.ParsePath(m.Address.Path); err != nil {
+		return XMLMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+	}
+	return XMLMark{MarkID: m.ID, FileName: m.Address.File, XMLPath: m.Address.Path}, nil
+}
+
+// Mark recomposes the generic mark.
+func (xm XMLMark) Mark() Mark {
+	return Mark{ID: xm.MarkID, Address: base.Address{
+		Scheme: xmldoc.Scheme, File: xm.FileName, Path: xm.XMLPath,
+	}}
+}
+
+// WordMark is the word-processor mark: document, section, paragraph, and
+// optional word span.
+type WordMark struct {
+	MarkID   string
+	FileName string
+	Loc      textdoc.Loc
+}
+
+// AsWordMark decomposes a generic text mark.
+func AsWordMark(m Mark) (WordMark, error) {
+	if m.Scheme() != textdoc.Scheme {
+		return WordMark{}, fmt.Errorf("mark: %q is a %s mark, not a text mark", m.ID, m.Scheme())
+	}
+	loc, err := textdoc.ParseLoc(m.Address.Path)
+	if err != nil {
+		return WordMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+	}
+	return WordMark{MarkID: m.ID, FileName: m.Address.File, Loc: loc}, nil
+}
+
+// Mark recomposes the generic mark.
+func (wm WordMark) Mark() Mark {
+	return Mark{ID: wm.MarkID, Address: base.Address{
+		Scheme: textdoc.Scheme, File: wm.FileName, Path: wm.Loc.String(),
+	}}
+}
+
+// PDFMark is the paginated-document mark: document, page, line span.
+type PDFMark struct {
+	MarkID   string
+	FileName string
+	Loc      pdfdoc.Loc
+}
+
+// AsPDFMark decomposes a generic PDF mark.
+func AsPDFMark(m Mark) (PDFMark, error) {
+	if m.Scheme() != pdfdoc.Scheme {
+		return PDFMark{}, fmt.Errorf("mark: %q is a %s mark, not a PDF mark", m.ID, m.Scheme())
+	}
+	loc, err := pdfdoc.ParseLoc(m.Address.Path)
+	if err != nil {
+		return PDFMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+	}
+	return PDFMark{MarkID: m.ID, FileName: m.Address.File, Loc: loc}, nil
+}
+
+// Mark recomposes the generic mark.
+func (pm PDFMark) Mark() Mark {
+	return Mark{ID: pm.MarkID, Address: base.Address{
+		Scheme: pdfdoc.Scheme, File: pm.FileName, Path: pm.Loc.String(),
+	}}
+}
+
+// SlideMark is the presentation mark: deck, slide, shape.
+type SlideMark struct {
+	MarkID   string
+	FileName string
+	Loc      slides.Loc
+}
+
+// AsSlideMark decomposes a generic slides mark.
+func AsSlideMark(m Mark) (SlideMark, error) {
+	if m.Scheme() != slides.Scheme {
+		return SlideMark{}, fmt.Errorf("mark: %q is a %s mark, not a slides mark", m.ID, m.Scheme())
+	}
+	loc, err := slides.ParseLoc(m.Address.Path)
+	if err != nil {
+		return SlideMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+	}
+	return SlideMark{MarkID: m.ID, FileName: m.Address.File, Loc: loc}, nil
+}
+
+// Mark recomposes the generic mark.
+func (sm SlideMark) Mark() Mark {
+	return Mark{ID: sm.MarkID, Address: base.Address{
+		Scheme: slides.Scheme, File: sm.FileName, Path: sm.Loc.String(),
+	}}
+}
+
+// HTMLMark is the web-page mark: page URL and element path (or anchor).
+type HTMLMark struct {
+	MarkID      string
+	URL         string
+	ElementPath string
+}
+
+// AsHTMLMark decomposes a generic HTML mark.
+func AsHTMLMark(m Mark) (HTMLMark, error) {
+	if m.Scheme() != htmldoc.Scheme {
+		return HTMLMark{}, fmt.Errorf("mark: %q is a %s mark, not an HTML mark", m.ID, m.Scheme())
+	}
+	return HTMLMark{MarkID: m.ID, URL: m.Address.File, ElementPath: m.Address.Path}, nil
+}
+
+// Mark recomposes the generic mark.
+func (hm HTMLMark) Mark() Mark {
+	return Mark{ID: hm.MarkID, Address: base.Address{
+		Scheme: htmldoc.Scheme, File: hm.URL, Path: hm.ElementPath,
+	}}
+}

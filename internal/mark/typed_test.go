@@ -1,0 +1,107 @@
+package mark
+
+import (
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/base/pdfdoc"
+	"repro/internal/base/slides"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/base/textdoc"
+)
+
+func TestExcelMarkRoundTrip(t *testing.T) {
+	rng, _ := spreadsheet.ParseRange("B2:B4")
+	em := ExcelMark{MarkID: "m1", FileName: "meds.xls", SheetName: "Meds", Range: rng}
+	m := em.Mark()
+	if m.Address.Scheme != spreadsheet.Scheme || m.Address.Path != "Meds!B2:B4" {
+		t.Fatalf("recomposed = %v", m.Address)
+	}
+	back, err := AsExcelMark(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != em {
+		t.Fatalf("round trip = %+v, want %+v", back, em)
+	}
+}
+
+func TestAsExcelMarkErrors(t *testing.T) {
+	if _, err := AsExcelMark(Mark{ID: "m", Address: base.Address{Scheme: "xml", File: "f", Path: "/a"}}); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+	if _, err := AsExcelMark(Mark{ID: "m", Address: base.Address{Scheme: spreadsheet.Scheme, File: "f", Path: "garbled"}}); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestXMLMarkRoundTrip(t *testing.T) {
+	xm := XMLMark{MarkID: "m2", FileName: "lab.xml", XMLPath: "/report[1]/panel[1]/result[2]"}
+	m := xm.Mark()
+	back, err := AsXMLMark(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != xm {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := AsXMLMark(Mark{ID: "m", Address: base.Address{Scheme: "xml", File: "f", Path: "not-absolute"}}); err == nil {
+		t.Error("bad xmlPath accepted")
+	}
+	if _, err := AsXMLMark(Mark{ID: "m", Address: base.Address{Scheme: "pdf", File: "f", Path: "/a"}}); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+}
+
+func TestWordMarkRoundTrip(t *testing.T) {
+	wm := WordMark{MarkID: "m3", FileName: "note.txt", Loc: textdoc.Loc{Section: 2, Paragraph: 1, FirstWord: 2, LastWord: 3}}
+	back, err := AsWordMark(wm.Mark())
+	if err != nil || back != wm {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+	if _, err := AsWordMark(Mark{ID: "m", Address: base.Address{Scheme: textdoc.Scheme, File: "f", Path: "zzz"}}); err == nil {
+		t.Error("bad loc accepted")
+	}
+	if _, err := AsWordMark(Mark{ID: "m", Address: base.Address{Scheme: "xml", File: "f", Path: "s1/p1"}}); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+}
+
+func TestPDFMarkRoundTrip(t *testing.T) {
+	pm := PDFMark{MarkID: "m4", FileName: "echo.pdf", Loc: pdfdoc.Loc{Page: 2, FirstLine: 5, LastLine: 8}}
+	back, err := AsPDFMark(pm.Mark())
+	if err != nil || back != pm {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+	if _, err := AsPDFMark(Mark{ID: "m", Address: base.Address{Scheme: pdfdoc.Scheme, File: "f", Path: "zzz"}}); err == nil {
+		t.Error("bad loc accepted")
+	}
+	if _, err := AsPDFMark(Mark{ID: "m", Address: base.Address{Scheme: "xml", File: "f", Path: "page1/lines1-1"}}); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+}
+
+func TestSlideMarkRoundTrip(t *testing.T) {
+	sm := SlideMark{MarkID: "m5", FileName: "deck.ppt", Loc: slides.Loc{Slide: 3, Shape: 1}}
+	back, err := AsSlideMark(sm.Mark())
+	if err != nil || back != sm {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+	if _, err := AsSlideMark(Mark{ID: "m", Address: base.Address{Scheme: slides.Scheme, File: "f", Path: "zzz"}}); err == nil {
+		t.Error("bad loc accepted")
+	}
+	if _, err := AsSlideMark(Mark{ID: "m", Address: base.Address{Scheme: "xml", File: "f", Path: "slide1/shape1"}}); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+}
+
+func TestHTMLMarkRoundTrip(t *testing.T) {
+	hm := HTMLMark{MarkID: "m6", URL: "guidelines.html", ElementPath: "/html[1]/body[1]/p[2]"}
+	back, err := AsHTMLMark(hm.Mark())
+	if err != nil || back != hm {
+		t.Fatalf("round trip = %+v, %v", back, err)
+	}
+	if _, err := AsHTMLMark(Mark{ID: "m", Address: base.Address{Scheme: "xml", File: "f", Path: "/a"}}); err == nil {
+		t.Error("wrong scheme accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package metamodel
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Built-in model definitions. The Bundle-Scrap model is Fig. 3 of the paper;
+// the annotation model demonstrates that the same store holds a second,
+// structurally different superimposed model (the paper's flexibility claim,
+// and the §5 comparison baseline).
+
+// IRIs of the Bundle-Scrap model (Fig. 3).
+const (
+	BundleScrapModelID = rdf.NSPad + "model"
+
+	ConstructSlimPad    = rdf.NSPad + "SlimPad"
+	ConstructBundle     = rdf.NSPad + "Bundle"
+	ConstructScrap      = rdf.NSPad + "Scrap"
+	ConstructMarkHandle = rdf.NSPad + "MarkHandle"
+	ConstructName       = rdf.NSPad + "Name"
+	ConstructCoordinate = rdf.NSPad + "Coordinate"
+	ConstructDimension  = rdf.NSPad + "Dimension"
+
+	ConnPadName       = rdf.NSPad + "padName"
+	ConnRootBundle    = rdf.NSPad + "rootBundle"
+	ConnBundleName    = rdf.NSPad + "bundleName"
+	ConnBundlePos     = rdf.NSPad + "bundlePos"
+	ConnBundleHeight  = rdf.NSPad + "bundleHeight"
+	ConnBundleWidth   = rdf.NSPad + "bundleWidth"
+	ConnNestedBundle  = rdf.NSPad + "nestedBundle"
+	ConnBundleContent = rdf.NSPad + "bundleContent"
+	ConnScrapName     = rdf.NSPad + "scrapName"
+	ConnScrapPos      = rdf.NSPad + "scrapPos"
+	ConnScrapMark     = rdf.NSPad + "scrapMark"
+)
+
+// BundleScrapModel constructs the Bundle-Scrap model exactly as drawn in
+// Fig. 3: a SlimPad designates at most one root Bundle; Bundles have a name,
+// position and extent, contain any number of Scraps (bundleContent) and
+// nested Bundles (nestedBundle); a Scrap has a name, position, and one or
+// more MarkHandles (scrapMark, multiplicity 1..*).
+func BundleScrapModel() *Model {
+	m := NewModel(BundleScrapModelID, "Bundle-Scrap")
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("metamodel: building Bundle-Scrap model: %v", err))
+		}
+	}
+	must(m.AddConstruct(Construct{ID: ConstructSlimPad, Kind: KindConstruct, Label: "SlimPad"}))
+	must(m.AddConstruct(Construct{ID: ConstructBundle, Kind: KindConstruct, Label: "Bundle"}))
+	must(m.AddConstruct(Construct{ID: ConstructScrap, Kind: KindConstruct, Label: "Scrap"}))
+	must(m.AddConstruct(Construct{ID: ConstructMarkHandle, Kind: KindMarkConstruct, Label: "MarkHandle"}))
+	must(m.AddConstruct(Construct{ID: ConstructName, Kind: KindLiteralConstruct, Label: "Name", Datatype: rdf.XSDString}))
+	must(m.AddConstruct(Construct{ID: ConstructCoordinate, Kind: KindLiteralConstruct, Label: "Coordinate", Datatype: rdf.XSDString}))
+	must(m.AddConstruct(Construct{ID: ConstructDimension, Kind: KindLiteralConstruct, Label: "Dimension", Datatype: rdf.XSDInteger}))
+
+	must(m.AddConnector(Connector{ID: ConnPadName, Kind: KindConnector, Label: "padName", From: ConstructSlimPad, To: ConstructName, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnRootBundle, Kind: KindConnector, Label: "rootBundle", From: ConstructSlimPad, To: ConstructBundle, MinCard: 0, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnBundleName, Kind: KindConnector, Label: "bundleName", From: ConstructBundle, To: ConstructName, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnBundlePos, Kind: KindConnector, Label: "bundlePos", From: ConstructBundle, To: ConstructCoordinate, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnBundleHeight, Kind: KindConnector, Label: "bundleHeight", From: ConstructBundle, To: ConstructDimension, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnBundleWidth, Kind: KindConnector, Label: "bundleWidth", From: ConstructBundle, To: ConstructDimension, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnNestedBundle, Kind: KindConnector, Label: "nestedBundle", From: ConstructBundle, To: ConstructBundle, MinCard: 0, MaxCard: Unbounded}))
+	must(m.AddConnector(Connector{ID: ConnBundleContent, Kind: KindConnector, Label: "bundleContent", From: ConstructBundle, To: ConstructScrap, MinCard: 0, MaxCard: Unbounded}))
+	must(m.AddConnector(Connector{ID: ConnScrapName, Kind: KindConnector, Label: "scrapName", From: ConstructScrap, To: ConstructName, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnScrapPos, Kind: KindConnector, Label: "scrapPos", From: ConstructScrap, To: ConstructCoordinate, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnScrapMark, Kind: KindConnector, Label: "scrapMark", From: ConstructScrap, To: ConstructMarkHandle, MinCard: 1, MaxCard: Unbounded}))
+	return m
+}
+
+// IRIs of the annotation model (a ComMentor-like structure: an Annotation
+// has a type, a creation time, a body, and a single mark anchor).
+const (
+	AnnotationModelID = rdf.NSSLIM + "annotation-model"
+
+	ConstructAnnotation = rdf.NSSLIM + "Annotation"
+	ConstructAnchor     = rdf.NSSLIM + "Anchor"
+	ConstructAnnText    = rdf.NSSLIM + "AnnotationText"
+	ConstructAnnStamp   = rdf.NSSLIM + "AnnotationStamp"
+
+	ConnAnnType   = rdf.NSSLIM + "annType"
+	ConnAnnBody   = rdf.NSSLIM + "annBody"
+	ConnAnnStamp  = rdf.NSSLIM + "annStamp"
+	ConnAnnAnchor = rdf.NSSLIM + "annAnchor"
+)
+
+// AnnotationModel constructs the annotation model: a flat, single-anchor
+// model contrasting with Bundle-Scrap's nested containment.
+func AnnotationModel() *Model {
+	m := NewModel(AnnotationModelID, "Annotation")
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("metamodel: building annotation model: %v", err))
+		}
+	}
+	must(m.AddConstruct(Construct{ID: ConstructAnnotation, Kind: KindConstruct, Label: "Annotation"}))
+	must(m.AddConstruct(Construct{ID: ConstructAnchor, Kind: KindMarkConstruct, Label: "Anchor"}))
+	must(m.AddConstruct(Construct{ID: ConstructAnnText, Kind: KindLiteralConstruct, Label: "AnnotationText", Datatype: rdf.XSDString}))
+	must(m.AddConstruct(Construct{ID: ConstructAnnStamp, Kind: KindLiteralConstruct, Label: "AnnotationStamp", Datatype: rdf.XSDInteger}))
+
+	must(m.AddConnector(Connector{ID: ConnAnnType, Kind: KindConnector, Label: "annType", From: ConstructAnnotation, To: ConstructAnnText, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnAnnBody, Kind: KindConnector, Label: "annBody", From: ConstructAnnotation, To: ConstructAnnText, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnAnnStamp, Kind: KindConnector, Label: "annStamp", From: ConstructAnnotation, To: ConstructAnnStamp, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnAnnAnchor, Kind: KindConnector, Label: "annAnchor", From: ConstructAnnotation, To: ConstructAnchor, MinCard: 1, MaxCard: 1}))
+	return m
+}

@@ -1,0 +1,47 @@
+package metamodel
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// The paper's §6 contemplates extensions to SLIMPad's information model
+// "that correspond to real world manipulations of bundled information.
+// These include annotations on scraps, linking among scraps and templates
+// for bundles." ExtendedBundleScrapModel is Fig. 3 plus exactly those three
+// extensions. It reuses the Fig. 3 construct IRIs (the constructs are the
+// same concepts) under a distinct model IRI, so stores can hold either the
+// plain or the extended model.
+const (
+	ExtendedBundleScrapModelID = rdf.NSPad + "model-ext"
+
+	// ConnScrapNote attaches free-text annotations to a scrap (0..*).
+	ConnScrapNote = rdf.NSPad + "scrapNote"
+	// ConnScrapLink links a scrap to another scrap (0..*), directed.
+	ConnScrapLink = rdf.NSPad + "scrapLink"
+	// ConnTemplateName marks a bundle as a reusable template and names it
+	// (0..1); instantiation deep-copies the bundle subtree.
+	ConnTemplateName = rdf.NSPad + "templateName"
+)
+
+// ExtendedBundleScrapModel returns Fig. 3 plus the §6 extensions.
+func ExtendedBundleScrapModel() *Model {
+	base := BundleScrapModel()
+	m := NewModel(ExtendedBundleScrapModelID, "Bundle-Scrap (extended)")
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("metamodel: building extended Bundle-Scrap model: %v", err))
+		}
+	}
+	for _, c := range base.Constructs() {
+		must(m.AddConstruct(c))
+	}
+	for _, c := range base.Connectors() {
+		must(m.AddConnector(c))
+	}
+	must(m.AddConnector(Connector{ID: ConnScrapNote, Kind: KindConnector, Label: "scrapNote", From: ConstructScrap, To: ConstructName, MinCard: 0, MaxCard: Unbounded}))
+	must(m.AddConnector(Connector{ID: ConnScrapLink, Kind: KindConnector, Label: "scrapLink", From: ConstructScrap, To: ConstructScrap, MinCard: 0, MaxCard: Unbounded}))
+	must(m.AddConnector(Connector{ID: ConnTemplateName, Kind: KindConnector, Label: "templateName", From: ConstructBundle, To: ConstructName, MinCard: 0, MaxCard: 1}))
+	return m
+}

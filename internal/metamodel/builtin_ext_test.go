@@ -1,0 +1,46 @@
+package metamodel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trim"
+)
+
+func TestExtendedBundleScrapModel(t *testing.T) {
+	base := BundleScrapModel()
+	ext := ExtendedBundleScrapModel()
+	if ext.ID == base.ID {
+		t.Fatal("extended model shares the base model id")
+	}
+	// Same constructs, three extra connectors.
+	if !reflect.DeepEqual(base.Constructs(), ext.Constructs()) {
+		t.Fatal("extended model changed the Fig. 3 constructs")
+	}
+	if len(ext.Connectors()) != len(base.Connectors())+3 {
+		t.Fatalf("connectors = %d, want %d", len(ext.Connectors()), len(base.Connectors())+3)
+	}
+	for _, id := range []string{ConnScrapNote, ConnScrapLink, ConnTemplateName} {
+		if _, ok := ext.Connector(id); !ok {
+			t.Errorf("extension connector %s missing", id)
+		}
+		if _, ok := base.Connector(id); ok {
+			t.Errorf("extension connector %s leaked into the base model", id)
+		}
+	}
+}
+
+func TestExtendedModelRoundTrips(t *testing.T) {
+	store := trim.NewManager()
+	if err := Encode(ExtendedBundleScrapModel(), store); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(store, ExtendedBundleScrapModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ExtendedBundleScrapModel()
+	if !reflect.DeepEqual(want.Connectors(), back.Connectors()) {
+		t.Fatal("extended model did not round trip")
+	}
+}

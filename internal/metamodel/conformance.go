@@ -1,0 +1,318 @@
+package metamodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// Conformance checking realizes the "schema-later" principle: instance
+// triples are written freely, and a model is applied to them after the fact.
+// A Violation describes one way the instance data fails to conform.
+
+// ViolationKind classifies conformance violations.
+type ViolationKind int
+
+const (
+	// VioUnknownConstruct: an instance is typed by a construct absent from
+	// the model.
+	VioUnknownConstruct ViolationKind = iota
+	// VioUnknownConnector: a triple uses a property IRI that is not a
+	// connector of the model (and is not a reserved vocabulary property).
+	VioUnknownConnector
+	// VioDomain: a connector is used on a subject whose construct does not
+	// match (or specialize) the connector's From construct.
+	VioDomain
+	// VioRange: a connector's object does not match the To construct.
+	VioRange
+	// VioCardinalityLow: fewer than MinCard values.
+	VioCardinalityLow
+	// VioCardinalityHigh: more than MaxCard values.
+	VioCardinalityHigh
+	// VioLiteralType: a literal construct value has the wrong datatype or
+	// is not a literal.
+	VioLiteralType
+	// VioMissingMark: an instance of a mark construct lacks a mark:markId.
+	VioMissingMark
+	// VioUntyped: a resource uses connectors but has no rdf:type.
+	VioUntyped
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	names := map[ViolationKind]string{
+		VioUnknownConstruct: "unknown-construct",
+		VioUnknownConnector: "unknown-connector",
+		VioDomain:           "domain",
+		VioRange:            "range",
+		VioCardinalityLow:   "cardinality-low",
+		VioCardinalityHigh:  "cardinality-high",
+		VioLiteralType:      "literal-type",
+		VioMissingMark:      "missing-mark",
+		VioUntyped:          "untyped",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("ViolationKind(%d)", int(k))
+}
+
+// Violation is one conformance failure.
+type Violation struct {
+	Kind    ViolationKind
+	Subject rdf.Term
+	Detail  string
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Kind, v.Subject, v.Detail)
+}
+
+// Checker validates instance triples in a store against a model.
+type Checker struct {
+	model *Model
+	store *trim.Manager
+}
+
+// NewChecker returns a checker for the model over the store.
+func NewChecker(m *Model, store *trim.Manager) *Checker {
+	return &Checker{model: m, store: store}
+}
+
+// reserved properties that instance data may always use. The whole mark
+// namespace is reserved: mark triples (scheme, file, path, excerpt, markId)
+// belong to the Mark Management component, not to any superimposed model.
+func isReservedProperty(p rdf.Term) bool {
+	switch p {
+	case rdf.RDFType, rdf.RDFSLabel, rdf.RDFSComment, PropInModel:
+		return true
+	}
+	if strings.HasPrefix(p.Value(), rdf.NSMark) {
+		return true
+	}
+	switch p.Value() {
+	case PropFrom.Value(), PropTo.Value(), PropMinCard.Value(), PropMaxCard.Value(), PropDatatype.Value():
+		return true
+	}
+	return false
+}
+
+// Check validates every instance of the model's constructs found in the
+// store and returns all violations, deterministically ordered. An empty
+// result means the instance data conforms.
+func (c *Checker) Check() []Violation {
+	var out []Violation
+
+	instances := c.instancesByConstruct()
+
+	// 1. Instances typed by unknown constructs, and construct-level checks.
+	for constructID, insts := range instances {
+		construct, ok := c.model.Construct(constructID)
+		if !ok {
+			for _, inst := range insts {
+				out = append(out, Violation{
+					Kind: VioUnknownConstruct, Subject: inst,
+					Detail: fmt.Sprintf("typed by %s which is not in model %s", constructID, c.model.ID),
+				})
+			}
+			continue
+		}
+		for _, inst := range insts {
+			if construct.Kind == KindMarkConstruct {
+				if len(c.store.Objects(inst, PropMarkID)) == 0 {
+					out = append(out, Violation{
+						Kind: VioMissingMark, Subject: inst,
+						Detail: fmt.Sprintf("instance of mark construct %s has no %s", constructID, PropMarkID.Value()),
+					})
+				}
+			}
+		}
+	}
+
+	// 2. Connector usage: domain, range, literal types.
+	for _, conn := range c.model.Connectors() {
+		if conn.Kind != KindConnector {
+			continue
+		}
+		usages := c.store.Select(rdf.P(rdf.Zero, rdf.IRI(conn.ID), rdf.Zero))
+		for _, t := range usages {
+			out = append(out, c.checkUsage(conn, t)...)
+		}
+		// Cardinality: every instance of the From construct must have
+		// between MinCard and MaxCard values.
+		for _, inst := range c.instancesOf(conn.From) {
+			n := len(c.store.Objects(inst, rdf.IRI(conn.ID)))
+			if n < conn.MinCard {
+				out = append(out, Violation{
+					Kind: VioCardinalityLow, Subject: inst,
+					Detail: fmt.Sprintf("%s has %d values of %s, model requires at least %d", inst.Value(), n, conn.Label, conn.MinCard),
+				})
+			}
+			if conn.MaxCard != Unbounded && n > conn.MaxCard {
+				out = append(out, Violation{
+					Kind: VioCardinalityHigh, Subject: inst,
+					Detail: fmt.Sprintf("%s has %d values of %s, model allows at most %d", inst.Value(), n, conn.Label, conn.MaxCard),
+				})
+			}
+		}
+	}
+
+	// 3. Properties that are neither connectors nor reserved, used by typed
+	// instances of this model.
+	known := map[string]bool{}
+	for _, conn := range c.model.Connectors() {
+		known[conn.ID] = true
+	}
+	typed := map[rdf.Term]bool{}
+	for _, insts := range instances {
+		for _, i := range insts {
+			typed[i] = true
+		}
+	}
+	seen := map[string]bool{}
+	for inst := range typed {
+		for _, t := range c.store.Select(rdf.P(inst, rdf.Zero, rdf.Zero)) {
+			p := t.Predicate
+			if isReservedProperty(p) || known[p.Value()] {
+				continue
+			}
+			key := inst.Value() + "\x00" + p.Value()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Violation{
+				Kind: VioUnknownConnector, Subject: inst,
+				Detail: fmt.Sprintf("uses property %s which is not a connector of model %s", p.Value(), c.model.ID),
+			})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if c := out[i].Subject.Compare(out[j].Subject); c != 0 {
+			return c < 0
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+func (c *Checker) checkUsage(conn Connector, t rdf.Triple) []Violation {
+	var out []Violation
+	// Domain: the subject must be typed by From (or a specialization).
+	if !c.hasType(t.Subject, conn.From) {
+		kind := VioDomain
+		detail := fmt.Sprintf("subject of %s must be a %s", conn.Label, conn.From)
+		if len(c.store.Objects(t.Subject, rdf.RDFType)) == 0 {
+			kind = VioUntyped
+			detail = fmt.Sprintf("subject of %s has no type (expected %s)", conn.Label, conn.From)
+		}
+		out = append(out, Violation{Kind: kind, Subject: t.Subject, Detail: detail})
+	}
+	// Range: depends on the To construct's kind.
+	to, ok := c.model.Construct(conn.To)
+	if !ok {
+		return out // model.Validate would have caught this
+	}
+	switch to.Kind {
+	case KindLiteralConstruct:
+		if !t.Object.IsLiteral() {
+			out = append(out, Violation{
+				Kind: VioLiteralType, Subject: t.Subject,
+				Detail: fmt.Sprintf("value of %s must be a literal, got %s", conn.Label, t.Object),
+			})
+		} else if to.Datatype != "" && t.Object.Datatype() != to.Datatype {
+			out = append(out, Violation{
+				Kind: VioLiteralType, Subject: t.Subject,
+				Detail: fmt.Sprintf("value of %s must have datatype %s, got %s", conn.Label, to.Datatype, t.Object.Datatype()),
+			})
+		}
+	default:
+		if !t.Object.IsResource() || !c.hasType(t.Object, conn.To) {
+			out = append(out, Violation{
+				Kind: VioRange, Subject: t.Subject,
+				Detail: fmt.Sprintf("value of %s must be a %s, got %s", conn.Label, conn.To, t.Object),
+			})
+		}
+	}
+	return out
+}
+
+// hasType reports whether inst is typed by construct or any specialization
+// of it.
+func (c *Checker) hasType(inst rdf.Term, construct string) bool {
+	if !inst.IsResource() {
+		return false
+	}
+	for _, ty := range c.store.Objects(inst, rdf.RDFType) {
+		if ty.Value() == construct {
+			return true
+		}
+		if c.model.IsA(ty.Value(), construct) {
+			return true
+		}
+	}
+	return false
+}
+
+// instancesByConstruct groups typed instances by their construct IRI,
+// considering only constructs that belong to this model or appear in
+// rdf:type triples whose object is not a metamodel class.
+func (c *Checker) instancesByConstruct() map[string][]rdf.Term {
+	out := make(map[string][]rdf.Term)
+	for _, t := range c.store.Select(rdf.P(rdf.Zero, rdf.RDFType, rdf.Zero)) {
+		obj := t.Object
+		// Skip metamodel bookkeeping triples (constructs typed as
+		// slim:Construct etc., models typed slim:Model).
+		if _, isMeta := classKind(obj); isMeta {
+			continue
+		}
+		if _, isMetaConn := classConnKind(obj); isMetaConn {
+			continue
+		}
+		if obj == ClassModel {
+			continue
+		}
+		// Skip Mark Manager bookkeeping: resources typed by classes in the
+		// mark namespace (mark:Mark and its per-scheme subclasses).
+		if strings.HasPrefix(obj.Value(), rdf.NSMark) {
+			continue
+		}
+		// Every remaining typed instance is checked; a type outside the
+		// model is reported as VioUnknownConstruct. Callers validating one
+		// model of a multi-model store should check against a view of that
+		// model's instances rather than the whole store.
+		out[obj.Value()] = append(out[obj.Value()], t.Subject)
+	}
+	return out
+}
+
+// instancesOf returns instances typed exactly by the construct or by one of
+// its specializations.
+func (c *Checker) instancesOf(constructID string) []rdf.Term {
+	set := map[rdf.Term]bool{}
+	for _, s := range c.store.Subjects(rdf.RDFType, rdf.IRI(constructID)) {
+		set[s] = true
+	}
+	// Specializations: any construct that IsA constructID.
+	for _, sub := range c.model.Constructs() {
+		if sub.ID != constructID && c.model.IsA(sub.ID, constructID) {
+			for _, s := range c.store.Subjects(rdf.RDFType, rdf.IRI(sub.ID)) {
+				set[s] = true
+			}
+		}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

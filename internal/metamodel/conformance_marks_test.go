@@ -1,0 +1,31 @@
+package metamodel
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// Regression: mark triples persisted by the Mark Manager into the same
+// store must not trip model conformance — the mark namespace belongs to the
+// architecture, not to any superimposed model.
+func TestCheckIgnoresMarkManagerTriples(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	conformingInstance(store)
+
+	// What mark.Manager.SaveTo writes, inlined to avoid an import cycle.
+	iri := rdf.IRI(rdf.NSMark + "id/mark-000001")
+	store.Create(rdf.T(iri, rdf.RDFType, rdf.IRI(rdf.NSMark+"Mark")))
+	store.Create(rdf.T(iri, rdf.RDFType, rdf.IRI(rdf.NSMark+"SpreadsheetMark")))
+	store.Create(rdf.T(iri, rdf.IRI(rdf.NSMark+"scheme"), rdf.String("spreadsheet")))
+	store.Create(rdf.T(iri, rdf.IRI(rdf.NSMark+"file"), rdf.String("meds.xls")))
+	store.Create(rdf.T(iri, rdf.IRI(rdf.NSMark+"path"), rdf.String("Meds!A2")))
+	store.Create(rdf.T(iri, rdf.IRI(rdf.NSMark+"excerpt"), rdf.String("Furosemide")))
+
+	vios := NewChecker(m, store).Check()
+	if len(vios) != 0 {
+		t.Fatalf("mark triples tripped conformance: %v", vios)
+	}
+}

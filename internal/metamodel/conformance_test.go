@@ -1,0 +1,214 @@
+package metamodel
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// conformingInstance writes a valid Doc+Note+Ref instance into the store.
+func conformingInstance(store *trim.Manager) {
+	doc := rdf.IRI(ns + "i/doc1")
+	note := rdf.IRI(ns + "i/note1")
+	ref := rdf.IRI(ns + "i/ref1")
+	store.Create(rdf.T(doc, rdf.RDFType, rdf.IRI(ns+"Doc")))
+	store.Create(rdf.T(doc, rdf.IRI(ns+"title"), rdf.String("A Document")))
+	store.Create(rdf.T(doc, rdf.IRI(ns+"notes"), note))
+	store.Create(rdf.T(note, rdf.RDFType, rdf.IRI(ns+"Note")))
+	// Note is a specialization of Doc, so it needs a title too.
+	store.Create(rdf.T(note, rdf.IRI(ns+"title"), rdf.String("A Note")))
+	store.Create(rdf.T(note, rdf.IRI(ns+"anchor"), ref))
+	store.Create(rdf.T(ref, rdf.RDFType, rdf.IRI(ns+"Ref")))
+	store.Create(rdf.T(ref, PropMarkID, rdf.String("mark-1")))
+}
+
+func checkKinds(t *testing.T, vios []Violation, want ...ViolationKind) {
+	t.Helper()
+	if len(vios) != len(want) {
+		t.Fatalf("violations = %v, want kinds %v", vios, want)
+	}
+	for i, k := range want {
+		if vios[i].Kind != k {
+			t.Errorf("violation[%d] = %v, want kind %v", i, vios[i], k)
+		}
+	}
+}
+
+func TestConformingInstancePasses(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	conformingInstance(store)
+	vios := NewChecker(m, store).Check()
+	if len(vios) != 0 {
+		t.Fatalf("conforming instance has violations: %v", vios)
+	}
+}
+
+func TestSchemaLaterOrder(t *testing.T) {
+	// Instance first, model second — "schema-later" data entry.
+	store := trim.NewManager()
+	conformingInstance(store)
+	m := tinyModel(t)
+	if err := Encode(m, store); err != nil { // model arrives after the data
+		t.Fatal(err)
+	}
+	vios := NewChecker(m, store).Check()
+	if len(vios) != 0 {
+		t.Fatalf("schema-later store has violations: %v", vios)
+	}
+}
+
+func TestUnknownConstruct(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	store.Create(rdf.T(rdf.IRI(ns+"i/x"), rdf.RDFType, rdf.IRI(ns+"Alien")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioUnknownConstruct)
+}
+
+func TestUnknownConnector(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	conformingInstance(store)
+	store.Create(rdf.T(rdf.IRI(ns+"i/doc1"), rdf.IRI(ns+"freeform"), rdf.String("x")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioUnknownConnector)
+}
+
+func TestDomainViolation(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	conformingInstance(store)
+	// A Ref has no 'notes' connector: Ref is not a Doc.
+	store.Create(rdf.T(rdf.IRI(ns+"i/ref1"), rdf.IRI(ns+"notes"), rdf.IRI(ns+"i/note1")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioDomain)
+}
+
+func TestSpecializationSatisfiesDomain(t *testing.T) {
+	// Note IsA Doc, so a Note may carry the 'notes' connector.
+	m := tinyModel(t)
+	store := trim.NewManager()
+	conformingInstance(store)
+	note2 := rdf.IRI(ns + "i/note2")
+	ref2 := rdf.IRI(ns + "i/ref2")
+	store.Create(rdf.T(note2, rdf.RDFType, rdf.IRI(ns+"Note")))
+	store.Create(rdf.T(note2, rdf.IRI(ns+"title"), rdf.String("sub-note")))
+	store.Create(rdf.T(note2, rdf.IRI(ns+"anchor"), ref2))
+	store.Create(rdf.T(ref2, rdf.RDFType, rdf.IRI(ns+"Ref")))
+	store.Create(rdf.T(ref2, PropMarkID, rdf.String("mark-2")))
+	// Attach note2 under note1, which is legal because Note IsA Doc.
+	store.Create(rdf.T(rdf.IRI(ns+"i/note1"), rdf.IRI(ns+"notes"), note2))
+	vios := NewChecker(m, store).Check()
+	if len(vios) != 0 {
+		t.Fatalf("specialized domain rejected: %v", vios)
+	}
+}
+
+func TestRangeViolation(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	conformingInstance(store)
+	// notes must point at a Note, not a Ref.
+	store.Create(rdf.T(rdf.IRI(ns+"i/doc1"), rdf.IRI(ns+"notes"), rdf.IRI(ns+"i/ref1")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioRange)
+}
+
+func TestLiteralTypeViolations(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	doc := rdf.IRI(ns + "i/doc2")
+	store.Create(rdf.T(doc, rdf.RDFType, rdf.IRI(ns+"Doc")))
+	// Resource where a literal is required.
+	store.Create(rdf.T(doc, rdf.IRI(ns+"title"), rdf.IRI(ns+"i/notalit")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioLiteralType)
+
+	store2 := trim.NewManager()
+	doc2 := rdf.IRI(ns + "i/doc3")
+	store2.Create(rdf.T(doc2, rdf.RDFType, rdf.IRI(ns+"Doc")))
+	// Wrong datatype: integer where a string is required.
+	store2.Create(rdf.T(doc2, rdf.IRI(ns+"title"), rdf.Integer(3)))
+	vios2 := NewChecker(m, store2).Check()
+	checkKinds(t, vios2, VioLiteralType)
+}
+
+func TestCardinalityViolations(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	doc := rdf.IRI(ns + "i/doc4")
+	store.Create(rdf.T(doc, rdf.RDFType, rdf.IRI(ns+"Doc")))
+	// Missing title -> cardinality-low.
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioCardinalityLow)
+
+	// Two titles -> cardinality-high.
+	store.Create(rdf.T(doc, rdf.IRI(ns+"title"), rdf.String("one")))
+	store.Create(rdf.T(doc, rdf.IRI(ns+"title"), rdf.String("two")))
+	vios = NewChecker(m, store).Check()
+	checkKinds(t, vios, VioCardinalityHigh)
+}
+
+func TestCardinalityAppliesToSpecializations(t *testing.T) {
+	// A Note (IsA Doc) without a title violates Doc's title cardinality.
+	m := tinyModel(t)
+	store := trim.NewManager()
+	note := rdf.IRI(ns + "i/lonely")
+	ref := rdf.IRI(ns + "i/refL")
+	store.Create(rdf.T(note, rdf.RDFType, rdf.IRI(ns+"Note")))
+	store.Create(rdf.T(note, rdf.IRI(ns+"anchor"), ref))
+	store.Create(rdf.T(ref, rdf.RDFType, rdf.IRI(ns+"Ref")))
+	store.Create(rdf.T(ref, PropMarkID, rdf.String("m")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioCardinalityLow)
+}
+
+func TestMissingMark(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	ref := rdf.IRI(ns + "i/bareref")
+	store.Create(rdf.T(ref, rdf.RDFType, rdf.IRI(ns+"Ref")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioMissingMark)
+}
+
+func TestUntypedSubject(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	ghost := rdf.IRI(ns + "i/ghost")
+	store.Create(rdf.T(ghost, rdf.IRI(ns+"title"), rdf.String("who am I")))
+	vios := NewChecker(m, store).Check()
+	checkKinds(t, vios, VioUntyped)
+}
+
+func TestViolationStringAndKindNames(t *testing.T) {
+	v := Violation{Kind: VioDomain, Subject: rdf.IRI("x"), Detail: "d"}
+	if v.String() == "" {
+		t.Error("empty Violation.String")
+	}
+	for k := VioUnknownConstruct; k <= VioUntyped; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if ViolationKind(99).String() == "" {
+		t.Error("unknown kind has empty name")
+	}
+}
+
+func TestCheckIgnoresEncodedModelTriples(t *testing.T) {
+	// Encoding the model into the same store must not create violations:
+	// metamodel bookkeeping is not instance data.
+	m := tinyModel(t)
+	store := trim.NewManager()
+	if err := Encode(m, store); err != nil {
+		t.Fatal(err)
+	}
+	conformingInstance(store)
+	vios := NewChecker(m, store).Check()
+	if len(vios) != 0 {
+		t.Fatalf("model triples misread as instances: %v", vios)
+	}
+}

@@ -1,0 +1,180 @@
+package metamodel
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// Encode writes the model's definition into the triple manager. This is the
+// paper's "explicitly representing and storing model, schema, and instance"
+// (§5): the model itself becomes data in the same store as its instances.
+func Encode(m *Model, store *trim.Manager) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	b := store.NewBatch()
+	model := rdf.IRI(m.ID)
+	stage := func(t rdf.Triple) error { return b.Create(t) }
+
+	if err := stage(rdf.T(model, rdf.RDFType, ClassModel)); err != nil {
+		return fmt.Errorf("metamodel: encode %s: %w", m.ID, err)
+	}
+	if m.Label != "" {
+		if err := stage(rdf.T(model, rdf.RDFSLabel, rdf.String(m.Label))); err != nil {
+			return err
+		}
+	}
+	for _, c := range m.Constructs() {
+		id := rdf.IRI(c.ID)
+		if err := stage(rdf.T(id, rdf.RDFType, kindClass(c.Kind))); err != nil {
+			return err
+		}
+		if err := stage(rdf.T(id, PropInModel, model)); err != nil {
+			return err
+		}
+		if c.Label != "" {
+			if err := stage(rdf.T(id, rdf.RDFSLabel, rdf.String(c.Label))); err != nil {
+				return err
+			}
+		}
+		if c.Kind == KindLiteralConstruct && c.Datatype != "" {
+			if err := stage(rdf.T(id, PropDatatype, rdf.IRI(c.Datatype))); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range m.Connectors() {
+		id := rdf.IRI(c.ID)
+		if err := stage(rdf.T(id, rdf.RDFType, connKindClass(c.Kind))); err != nil {
+			return err
+		}
+		if err := stage(rdf.T(id, PropInModel, model)); err != nil {
+			return err
+		}
+		if c.Label != "" {
+			if err := stage(rdf.T(id, rdf.RDFSLabel, rdf.String(c.Label))); err != nil {
+				return err
+			}
+		}
+		if err := stage(rdf.T(id, PropFrom, rdf.IRI(c.From))); err != nil {
+			return err
+		}
+		if err := stage(rdf.T(id, PropTo, rdf.IRI(c.To))); err != nil {
+			return err
+		}
+		if c.Kind == KindConnector {
+			if err := stage(rdf.T(id, PropMinCard, rdf.Integer(int64(c.MinCard)))); err != nil {
+				return err
+			}
+			if err := stage(rdf.T(id, PropMaxCard, rdf.Integer(int64(c.MaxCard)))); err != nil {
+				return err
+			}
+		}
+	}
+	return b.Apply()
+}
+
+// Decode reconstructs a model from its triple representation in the store.
+// The modelID must identify a resource typed slim:Model.
+func Decode(store *trim.Manager, modelID string) (*Model, error) {
+	model := rdf.IRI(modelID)
+	if !store.Has(rdf.T(model, rdf.RDFType, ClassModel)) {
+		return nil, fmt.Errorf("metamodel: %s is not a slim:Model in this store", modelID)
+	}
+	label := ""
+	if t, err := store.One(rdf.P(model, rdf.RDFSLabel, rdf.Zero)); err == nil {
+		label = t.Object.Value()
+	}
+	m := NewModel(modelID, label)
+
+	members := store.Subjects(PropInModel, model)
+	// First pass: constructs (connectors need their endpoints registered).
+	type pending struct {
+		id   rdf.Term
+		kind ConnectorKind
+	}
+	var conns []pending
+	for _, member := range members {
+		kinds := store.Objects(member, rdf.RDFType)
+		var isConstruct, isConnector bool
+		var ck ConstructKind
+		var nk ConnectorKind
+		for _, k := range kinds {
+			if kc, ok := classKind(k); ok {
+				isConstruct, ck = true, kc
+			}
+			if kc, ok := classConnKind(k); ok {
+				isConnector, nk = true, kc
+			}
+		}
+		switch {
+		case isConstruct && isConnector:
+			return nil, fmt.Errorf("metamodel: %s typed as both construct and connector", member.Value())
+		case isConstruct:
+			c := Construct{ID: member.Value(), Kind: ck}
+			if t, err := store.One(rdf.P(member, rdf.RDFSLabel, rdf.Zero)); err == nil {
+				c.Label = t.Object.Value()
+			}
+			if t, err := store.One(rdf.P(member, PropDatatype, rdf.Zero)); err == nil {
+				c.Datatype = t.Object.Value()
+			}
+			if err := m.AddConstruct(c); err != nil {
+				return nil, err
+			}
+		case isConnector:
+			conns = append(conns, pending{id: member, kind: nk})
+		default:
+			return nil, fmt.Errorf("metamodel: member %s of model %s has no metamodel type", member.Value(), modelID)
+		}
+	}
+	for _, p := range conns {
+		c := Connector{ID: p.id.Value(), Kind: p.kind}
+		if t, err := store.One(rdf.P(p.id, rdf.RDFSLabel, rdf.Zero)); err == nil {
+			c.Label = t.Object.Value()
+		}
+		from, err := store.One(rdf.P(p.id, PropFrom, rdf.Zero))
+		if err != nil {
+			return nil, fmt.Errorf("metamodel: connector %s: %w", c.ID, err)
+		}
+		to, err := store.One(rdf.P(p.id, PropTo, rdf.Zero))
+		if err != nil {
+			return nil, fmt.Errorf("metamodel: connector %s: %w", c.ID, err)
+		}
+		c.From, c.To = from.Object.Value(), to.Object.Value()
+		if c.Kind == KindConnector {
+			minT, err := store.One(rdf.P(p.id, PropMinCard, rdf.Zero))
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: connector %s: %w", c.ID, err)
+			}
+			maxT, err := store.One(rdf.P(p.id, PropMaxCard, rdf.Zero))
+			if err != nil {
+				return nil, fmt.Errorf("metamodel: connector %s: %w", c.ID, err)
+			}
+			minN, ok := minT.Object.Int()
+			if !ok {
+				return nil, fmt.Errorf("metamodel: connector %s: minCard is not an integer", c.ID)
+			}
+			maxN, ok := maxT.Object.Int()
+			if !ok {
+				return nil, fmt.Errorf("metamodel: connector %s: maxCard is not an integer", c.ID)
+			}
+			c.MinCard, c.MaxCard = int(minN), int(maxN)
+		}
+		if err := m.AddConnector(c); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// ListModels returns the IRIs of all models stored in the manager, sorted.
+func ListModels(store *trim.Manager) []string {
+	subs := store.Subjects(rdf.RDFType, ClassModel)
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = s.Value()
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package metamodel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := tinyModel(t)
+	store := trim.NewManager()
+	if err := Encode(m, store); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(store, m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != m.ID || back.Label != m.Label {
+		t.Fatalf("identity lost: %q %q", back.ID, back.Label)
+	}
+	if !reflect.DeepEqual(m.Constructs(), back.Constructs()) {
+		t.Errorf("constructs differ:\n%v\n%v", m.Constructs(), back.Constructs())
+	}
+	if !reflect.DeepEqual(m.Connectors(), back.Connectors()) {
+		t.Errorf("connectors differ:\n%v\n%v", m.Connectors(), back.Connectors())
+	}
+}
+
+func TestEncodeBundleScrapRoundTrip(t *testing.T) {
+	m := BundleScrapModel()
+	store := trim.NewManager()
+	if err := Encode(m, store); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(store, BundleScrapModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Constructs(), back.Constructs()) ||
+		!reflect.DeepEqual(m.Connectors(), back.Connectors()) {
+		t.Fatal("Bundle-Scrap model did not round trip")
+	}
+}
+
+func TestEncodeTwoModelsSameStore(t *testing.T) {
+	// The paper's flexibility claim: one store, several models.
+	store := trim.NewManager()
+	if err := Encode(BundleScrapModel(), store); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(AnnotationModel(), store); err != nil {
+		t.Fatal(err)
+	}
+	models := ListModels(store)
+	if len(models) != 2 {
+		t.Fatalf("ListModels = %v, want 2 models", models)
+	}
+	bs, err := Decode(store, BundleScrapModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann, err := Decode(store, AnnotationModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Constructs()) != 7 {
+		t.Errorf("Bundle-Scrap constructs = %d, want 7", len(bs.Constructs()))
+	}
+	if len(ann.Constructs()) != 4 {
+		t.Errorf("Annotation constructs = %d, want 4", len(ann.Constructs()))
+	}
+	// Decoding one model must not pick up the other's members.
+	if _, ok := bs.Construct(ConstructAnnotation); ok {
+		t.Error("Bundle-Scrap model absorbed annotation construct")
+	}
+}
+
+func TestDecodeMissingModel(t *testing.T) {
+	store := trim.NewManager()
+	if _, err := Decode(store, "http://nope/model"); err == nil {
+		t.Fatal("Decode of absent model succeeded")
+	}
+}
+
+func TestDecodeCorruptMember(t *testing.T) {
+	store := trim.NewManager()
+	model := rdf.IRI(ns + "m")
+	store.Create(rdf.T(model, rdf.RDFType, ClassModel))
+	// Member with no metamodel type.
+	ghost := rdf.IRI(ns + "ghost")
+	store.Create(rdf.T(ghost, PropInModel, model))
+	if _, err := Decode(store, ns+"m"); err == nil {
+		t.Fatal("Decode accepted untyped member")
+	}
+}
+
+func TestDecodeConnectorMissingEndpoints(t *testing.T) {
+	store := trim.NewManager()
+	model := rdf.IRI(ns + "m")
+	store.Create(rdf.T(model, rdf.RDFType, ClassModel))
+	conn := rdf.IRI(ns + "c")
+	store.Create(rdf.T(conn, rdf.RDFType, ClassConnector))
+	store.Create(rdf.T(conn, PropInModel, model))
+	// from/to/minCard/maxCard all missing.
+	if _, err := Decode(store, ns+"m"); err == nil {
+		t.Fatal("Decode accepted connector without endpoints")
+	}
+}
+
+func TestDecodeDoubleTypedMember(t *testing.T) {
+	store := trim.NewManager()
+	model := rdf.IRI(ns + "m")
+	store.Create(rdf.T(model, rdf.RDFType, ClassModel))
+	x := rdf.IRI(ns + "x")
+	store.Create(rdf.T(x, rdf.RDFType, ClassConstruct))
+	store.Create(rdf.T(x, rdf.RDFType, ClassConnector))
+	store.Create(rdf.T(x, PropInModel, model))
+	if _, err := Decode(store, ns+"m"); err == nil {
+		t.Fatal("Decode accepted member typed as both construct and connector")
+	}
+}
+
+func TestEncodePersistReload(t *testing.T) {
+	// Model survives the XML persistence path end to end.
+	store := trim.NewManager()
+	if err := Encode(BundleScrapModel(), store); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.xml"
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	store2 := trim.NewManager()
+	if err := store2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(store2, BundleScrapModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Connectors()) != len(BundleScrapModel().Connectors()) {
+		t.Fatal("model lost connectors across persistence")
+	}
+}

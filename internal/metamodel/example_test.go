@@ -1,0 +1,49 @@
+package metamodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// Defining a superimposed model, storing it as triples, and checking
+// instance data against it — the §4.3 metamodel flow.
+func Example() {
+	m := metamodel.NewModel("http://x/model", "Tiny")
+	m.AddConstruct(metamodel.Construct{ID: "http://x/Note", Kind: metamodel.KindConstruct, Label: "Note"})
+	m.AddConstruct(metamodel.Construct{ID: "http://x/Body", Kind: metamodel.KindLiteralConstruct, Label: "Body", Datatype: rdf.XSDString})
+	m.AddConnector(metamodel.Connector{
+		ID: "http://x/body", Kind: metamodel.KindConnector, Label: "body",
+		From: "http://x/Note", To: "http://x/Body", MinCard: 1, MaxCard: 1,
+	})
+
+	store := trim.NewManager()
+	metamodel.Encode(m, store)
+
+	// Schema-later: instance data may arrive in any order.
+	note := rdf.IRI("http://x/i/note1")
+	store.Create(rdf.T(note, rdf.RDFType, rdf.IRI("http://x/Note")))
+	store.Create(rdf.T(note, rdf.IRI("http://x/body"), rdf.String("hello")))
+
+	fmt.Println("violations:", len(metamodel.NewChecker(m, store).Check()))
+
+	// Drop the mandatory body: the checker notices.
+	store.Remove(rdf.T(note, rdf.IRI("http://x/body"), rdf.String("hello")))
+	vios := metamodel.NewChecker(m, store).Check()
+	fmt.Println(vios[0].Kind)
+	// Output:
+	// violations: 0
+	// cardinality-low
+}
+
+func ExampleBundleScrapModel() {
+	m := metamodel.BundleScrapModel()
+	fmt.Println(m.Label, "-", len(m.Constructs()), "constructs,", len(m.Connectors()), "connectors")
+	c, _ := m.Connector(metamodel.ConnScrapMark)
+	fmt.Printf("%s: %d..%d\n", c.Label, c.MinCard, c.MaxCard)
+	// Output:
+	// Bundle-Scrap - 7 constructs, 11 connectors
+	// scrapMark: 1..-1
+}

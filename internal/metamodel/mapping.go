@@ -1,0 +1,154 @@
+package metamodel
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// Mapping transforms instance data of a source model into instance data of
+// a target model, realizing the paper's "defining mappings between
+// superimposed models, including model-to-model, schema-to-schema and even
+// schema-to-model mappings" (§4.3, ref [4]). A mapping pairs source
+// constructs with target constructs and source connectors with target
+// connectors; Apply rewrites matching instance triples.
+type Mapping struct {
+	// Source and Target identify the models being bridged.
+	Source, Target *Model
+
+	constructMap map[string]string
+	connectorMap map[string]string
+}
+
+// NewMapping returns an empty mapping between the two models.
+func NewMapping(source, target *Model) *Mapping {
+	return &Mapping{
+		Source:       source,
+		Target:       target,
+		constructMap: make(map[string]string),
+		connectorMap: make(map[string]string),
+	}
+}
+
+// MapConstruct pairs a source construct with a target construct. Both must
+// exist in their respective models, and a mark construct may only map to a
+// mark construct (the mark's base-layer reference must survive the
+// transformation).
+func (mp *Mapping) MapConstruct(sourceID, targetID string) error {
+	sc, ok := mp.Source.Construct(sourceID)
+	if !ok {
+		return fmt.Errorf("%w: %s (source)", ErrUnknownConstruct, sourceID)
+	}
+	tc, ok := mp.Target.Construct(targetID)
+	if !ok {
+		return fmt.Errorf("%w: %s (target)", ErrUnknownConstruct, targetID)
+	}
+	if (sc.Kind == KindMarkConstruct) != (tc.Kind == KindMarkConstruct) {
+		return fmt.Errorf("metamodel: mapping %s -> %s: mark constructs may only map to mark constructs", sourceID, targetID)
+	}
+	mp.constructMap[sourceID] = targetID
+	return nil
+}
+
+// MapConnector pairs a source connector with a target connector. Both must
+// exist, and their endpoint constructs must be mapped consistently: the
+// mapped From of the source connector must be the From of the target (and
+// likewise for To).
+func (mp *Mapping) MapConnector(sourceID, targetID string) error {
+	sc, ok := mp.Source.Connector(sourceID)
+	if !ok {
+		return fmt.Errorf("%w: %s (source)", ErrUnknownConnector, sourceID)
+	}
+	tc, ok := mp.Target.Connector(targetID)
+	if !ok {
+		return fmt.Errorf("%w: %s (target)", ErrUnknownConnector, targetID)
+	}
+	if mapped, ok := mp.constructMap[sc.From]; ok && mapped != tc.From {
+		return fmt.Errorf("metamodel: connector mapping %s -> %s: from-construct %s maps to %s, but target connector starts at %s",
+			sourceID, targetID, sc.From, mapped, tc.From)
+	}
+	if mapped, ok := mp.constructMap[sc.To]; ok && mapped != tc.To {
+		return fmt.Errorf("metamodel: connector mapping %s -> %s: to-construct %s maps to %s, but target connector ends at %s",
+			sourceID, targetID, sc.To, mapped, tc.To)
+	}
+	mp.connectorMap[sourceID] = targetID
+	return nil
+}
+
+// TargetConstruct returns the mapped target construct for a source
+// construct IRI.
+func (mp *Mapping) TargetConstruct(sourceID string) (string, bool) {
+	t, ok := mp.constructMap[sourceID]
+	return t, ok
+}
+
+// TargetConnector returns the mapped target connector for a source
+// connector IRI.
+func (mp *Mapping) TargetConnector(sourceID string) (string, bool) {
+	t, ok := mp.connectorMap[sourceID]
+	return t, ok
+}
+
+// ApplyStats reports what Apply did.
+type ApplyStats struct {
+	// TypesRewritten counts rdf:type triples mapped to target constructs.
+	TypesRewritten int
+	// ConnectorsRewritten counts connector triples mapped.
+	ConnectorsRewritten int
+	// Carried counts reserved-property triples (labels, mark ids) copied
+	// unchanged for mapped instances.
+	Carried int
+	// Dropped counts triples of mapped instances with no mapped connector.
+	Dropped int
+}
+
+// Apply reads instance data of the source model from src and writes the
+// transformed instances into dst. Instances whose type has no construct
+// mapping are left out entirely; properties without a connector mapping are
+// dropped (and counted). Reserved properties (labels, mark ids) are carried
+// through so marks keep referencing the base layer.
+func (mp *Mapping) Apply(src, dst *trim.Manager) (ApplyStats, error) {
+	var stats ApplyStats
+	b := dst.NewBatch()
+
+	// Which instances are mapped, and to what target construct.
+	mappedInstance := map[rdf.Term]string{}
+	for srcConstruct, dstConstruct := range mp.constructMap {
+		for _, inst := range src.Subjects(rdf.RDFType, rdf.IRI(srcConstruct)) {
+			mappedInstance[inst] = dstConstruct
+			if err := b.Create(rdf.T(inst, rdf.RDFType, rdf.IRI(dstConstruct))); err != nil {
+				return stats, fmt.Errorf("metamodel: apply mapping: %w", err)
+			}
+			stats.TypesRewritten++
+		}
+	}
+
+	for inst := range mappedInstance {
+		for _, t := range src.Select(rdf.P(inst, rdf.Zero, rdf.Zero)) {
+			switch {
+			case t.Predicate == rdf.RDFType:
+				// handled above
+			case isReservedProperty(t.Predicate):
+				if err := b.Create(t); err != nil {
+					return stats, fmt.Errorf("metamodel: apply mapping: %w", err)
+				}
+				stats.Carried++
+			default:
+				dstConn, ok := mp.connectorMap[t.Predicate.Value()]
+				if !ok {
+					stats.Dropped++
+					continue
+				}
+				if err := b.Create(rdf.T(t.Subject, rdf.IRI(dstConn), t.Object)); err != nil {
+					return stats, fmt.Errorf("metamodel: apply mapping: %w", err)
+				}
+				stats.ConnectorsRewritten++
+			}
+		}
+	}
+	if err := b.Apply(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,159 @@
+package metamodel
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// scrapToAnnotationMapping maps the Bundle-Scrap Scrap construct onto the
+// annotation model: a scrap becomes an annotation, its mark handle becomes
+// the anchor.
+func scrapToAnnotationMapping(t *testing.T) *Mapping {
+	t.Helper()
+	mp := NewMapping(BundleScrapModel(), AnnotationModel())
+	if err := mp.MapConstruct(ConstructScrap, ConstructAnnotation); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.MapConstruct(ConstructMarkHandle, ConstructAnchor); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.MapConnector(ConnScrapMark, ConnAnnAnchor); err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestMapConstructValidation(t *testing.T) {
+	mp := NewMapping(BundleScrapModel(), AnnotationModel())
+	if err := mp.MapConstruct("http://nope", ConstructAnnotation); err == nil {
+		t.Error("unknown source construct accepted")
+	}
+	if err := mp.MapConstruct(ConstructScrap, "http://nope"); err == nil {
+		t.Error("unknown target construct accepted")
+	}
+	// Mark construct must map to mark construct.
+	if err := mp.MapConstruct(ConstructMarkHandle, ConstructAnnotation); err == nil {
+		t.Error("mark construct mapped to plain construct")
+	}
+	if err := mp.MapConstruct(ConstructScrap, ConstructAnchor); err == nil {
+		t.Error("plain construct mapped to mark construct")
+	}
+}
+
+func TestMapConnectorValidation(t *testing.T) {
+	mp := scrapToAnnotationMapping(t)
+	if err := mp.MapConnector("http://nope", ConnAnnAnchor); err == nil {
+		t.Error("unknown source connector accepted")
+	}
+	if err := mp.MapConnector(ConnScrapMark, "http://nope"); err == nil {
+		t.Error("unknown target connector accepted")
+	}
+	// Inconsistent endpoints: scrapName goes Scrap->Name, annAnchor goes
+	// Annotation->Anchor; Scrap maps to Annotation (consistent from), but
+	// Name is unmapped so only the to-side cannot conflict; use scrapPos
+	// against annStamp whose from is Annotation: Scrap maps to Annotation,
+	// consistent. Build a genuinely inconsistent case: map nestedBundle
+	// (Bundle->Bundle) to annAnchor (Annotation->Anchor) after mapping
+	// Bundle to Annotation... Bundle is unmapped, so no conflict arises;
+	// instead map bundleContent (Bundle->Scrap): its To (Scrap) maps to
+	// Annotation, but annAnchor's To is Anchor -> conflict.
+	if err := mp.MapConnector(ConnBundleContent, ConnAnnAnchor); err == nil {
+		t.Error("endpoint-inconsistent connector mapping accepted")
+	}
+}
+
+func TestMappingLookups(t *testing.T) {
+	mp := scrapToAnnotationMapping(t)
+	if got, ok := mp.TargetConstruct(ConstructScrap); !ok || got != ConstructAnnotation {
+		t.Errorf("TargetConstruct = %q, %v", got, ok)
+	}
+	if _, ok := mp.TargetConstruct(ConstructBundle); ok {
+		t.Error("unmapped construct resolved")
+	}
+	if got, ok := mp.TargetConnector(ConnScrapMark); !ok || got != ConnAnnAnchor {
+		t.Errorf("TargetConnector = %q, %v", got, ok)
+	}
+	if _, ok := mp.TargetConnector(ConnScrapName); ok {
+		t.Error("unmapped connector resolved")
+	}
+}
+
+func TestApplyMapping(t *testing.T) {
+	src := trim.NewManager()
+	scrap := rdf.IRI(rdf.NSInst + "scrap1")
+	handle := rdf.IRI(rdf.NSInst + "handle1")
+	src.Create(rdf.T(scrap, rdf.RDFType, rdf.IRI(ConstructScrap)))
+	src.Create(rdf.T(scrap, rdf.IRI(ConnScrapName), rdf.String("K+ 4.1")))
+	src.Create(rdf.T(scrap, rdf.IRI(ConnScrapMark), handle))
+	src.Create(rdf.T(handle, rdf.RDFType, rdf.IRI(ConstructMarkHandle)))
+	src.Create(rdf.T(handle, PropMarkID, rdf.String("mark-77")))
+
+	mp := scrapToAnnotationMapping(t)
+	dst := trim.NewManager()
+	stats, err := mp.Apply(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TypesRewritten != 2 {
+		t.Errorf("TypesRewritten = %d, want 2", stats.TypesRewritten)
+	}
+	if stats.ConnectorsRewritten != 1 {
+		t.Errorf("ConnectorsRewritten = %d, want 1", stats.ConnectorsRewritten)
+	}
+	if stats.Dropped != 1 { // scrapName has no mapping
+		t.Errorf("Dropped = %d, want 1", stats.Dropped)
+	}
+	if stats.Carried != 1 { // the markId
+		t.Errorf("Carried = %d, want 1", stats.Carried)
+	}
+
+	// The destination must hold a typed Annotation anchored via annAnchor,
+	// with the mark id preserved.
+	if !dst.Has(rdf.T(scrap, rdf.RDFType, rdf.IRI(ConstructAnnotation))) {
+		t.Error("scrap not retyped as Annotation")
+	}
+	if !dst.Has(rdf.T(scrap, rdf.IRI(ConnAnnAnchor), handle)) {
+		t.Error("scrapMark not rewritten to annAnchor")
+	}
+	if !dst.Has(rdf.T(handle, PropMarkID, rdf.String("mark-77"))) {
+		t.Error("mark id lost in mapping — the base-layer link is broken")
+	}
+	// Nothing unexpected leaked.
+	if dst.Has(rdf.T(scrap, rdf.IRI(ConnScrapName), rdf.String("K+ 4.1"))) {
+		t.Error("unmapped connector leaked into target")
+	}
+}
+
+func TestApplyMappingSkipsUnmappedInstances(t *testing.T) {
+	src := trim.NewManager()
+	bundle := rdf.IRI(rdf.NSInst + "bundle1")
+	src.Create(rdf.T(bundle, rdf.RDFType, rdf.IRI(ConstructBundle)))
+	src.Create(rdf.T(bundle, rdf.IRI(ConnBundleName), rdf.String("Rounds")))
+
+	mp := scrapToAnnotationMapping(t)
+	dst := trim.NewManager()
+	stats, err := mp.Apply(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("unmapped instance leaked: %d triples", dst.Len())
+	}
+	if stats.TypesRewritten != 0 {
+		t.Errorf("TypesRewritten = %d", stats.TypesRewritten)
+	}
+}
+
+func TestApplyMappingEmptySource(t *testing.T) {
+	mp := scrapToAnnotationMapping(t)
+	dst := trim.NewManager()
+	stats, err := mp.Apply(trim.NewManager(), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (ApplyStats{}) {
+		t.Errorf("stats = %+v, want zero", stats)
+	}
+}

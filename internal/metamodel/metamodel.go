@@ -1,0 +1,304 @@
+// Package metamodel implements the paper's metamodel for superimposed
+// information (§4.3): "the metamodel consists of a basic set of abstractions
+// to define model constructs and relationships (called connectors). ...
+// Currently, the metamodel contains only a subset of primitives: constructs,
+// which define a unit of structure; literal constructs for primitive type
+// definitions; mark constructs for delineating marks; connectors, which
+// describe basic relationships; conformance connectors for schema-instance
+// relationships; and generalization connectors for specialization
+// relationships."
+//
+// A Model is a set of constructs and connectors. Models are encoded to and
+// from RDF triples (see encode.go) using an RDF-Schema-based vocabulary, and
+// instance data stored in a TRIM manager can be checked for conformance
+// against a model (see conformance.go). Because conformance is checked on
+// demand, data entry is "schema-later": instances may be written before any
+// model or schema exists.
+package metamodel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ConstructKind distinguishes the three construct primitives.
+type ConstructKind int
+
+const (
+	// KindConstruct is a plain unit of structure (e.g. Bundle, Scrap).
+	KindConstruct ConstructKind = iota
+	// KindLiteralConstruct defines a primitive-typed value (e.g. a name).
+	KindLiteralConstruct
+	// KindMarkConstruct delineates a mark reference into the base layer.
+	KindMarkConstruct
+)
+
+// String returns the kind name as used in the RDF encoding.
+func (k ConstructKind) String() string {
+	switch k {
+	case KindConstruct:
+		return "Construct"
+	case KindLiteralConstruct:
+		return "LiteralConstruct"
+	case KindMarkConstruct:
+		return "MarkConstruct"
+	default:
+		return fmt.Sprintf("ConstructKind(%d)", int(k))
+	}
+}
+
+// ConnectorKind distinguishes the three connector primitives.
+type ConnectorKind int
+
+const (
+	// KindConnector is a basic relationship between constructs.
+	KindConnector ConnectorKind = iota
+	// KindConformance relates an instance-level construct to its
+	// schema-level construct (schema-instance relationship).
+	KindConformance
+	// KindGeneralization relates a specialized construct to a general one.
+	KindGeneralization
+)
+
+// String returns the kind name as used in the RDF encoding.
+func (k ConnectorKind) String() string {
+	switch k {
+	case KindConnector:
+		return "Connector"
+	case KindConformance:
+		return "ConformanceConnector"
+	case KindGeneralization:
+		return "GeneralizationConnector"
+	default:
+		return fmt.Sprintf("ConnectorKind(%d)", int(k))
+	}
+}
+
+// Unbounded marks a connector with no upper cardinality limit.
+const Unbounded = -1
+
+// Construct is one unit of structure in a superimposed model.
+type Construct struct {
+	// ID is the construct's IRI; unique within a model.
+	ID string
+	// Kind selects among construct, literal construct, and mark construct.
+	Kind ConstructKind
+	// Label is the human-readable name.
+	Label string
+	// Datatype is the literal datatype IRI; meaningful only for literal
+	// constructs ("" means any literal).
+	Datatype string
+}
+
+// Connector is a relationship between two constructs.
+type Connector struct {
+	// ID is the connector's IRI; unique within a model.
+	ID string
+	// Kind selects among basic, conformance, and generalization connectors.
+	Kind ConnectorKind
+	// Label is the human-readable name.
+	Label string
+	// From and To are the IRIs of the related constructs (From is the
+	// domain / specialized side, To the range / general side).
+	From, To string
+	// MinCard and MaxCard bound how many To-instances each From-instance
+	// may relate to through this connector. MaxCard == Unbounded means no
+	// upper bound. Cardinalities apply only to basic connectors.
+	MinCard, MaxCard int
+}
+
+// Model is a named collection of constructs and connectors — one
+// superimposed data model (e.g. the Bundle-Scrap model, or an annotation
+// model).
+type Model struct {
+	// ID is the model's IRI.
+	ID string
+	// Label is the human-readable model name.
+	Label string
+
+	constructs map[string]*Construct
+	connectors map[string]*Connector
+}
+
+// NewModel returns an empty model with the given IRI and label.
+func NewModel(id, label string) *Model {
+	return &Model{
+		ID:         id,
+		Label:      label,
+		constructs: make(map[string]*Construct),
+		connectors: make(map[string]*Connector),
+	}
+}
+
+// Errors reported by model mutation and lookup.
+var (
+	ErrDuplicateConstruct = errors.New("metamodel: duplicate construct")
+	ErrDuplicateConnector = errors.New("metamodel: duplicate connector")
+	ErrUnknownConstruct   = errors.New("metamodel: unknown construct")
+	ErrUnknownConnector   = errors.New("metamodel: unknown connector")
+	ErrEmptyID            = errors.New("metamodel: empty id")
+	ErrBadCardinality     = errors.New("metamodel: invalid cardinality")
+	ErrBadGeneralization  = errors.New("metamodel: generalization must relate constructs of the same kind")
+)
+
+// AddConstruct registers a construct. The ID must be non-empty and unused.
+func (m *Model) AddConstruct(c Construct) error {
+	if c.ID == "" {
+		return fmt.Errorf("%w (construct label %q)", ErrEmptyID, c.Label)
+	}
+	if _, ok := m.constructs[c.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateConstruct, c.ID)
+	}
+	if _, ok := m.connectors[c.ID]; ok {
+		return fmt.Errorf("%w: %s (id already names a connector)", ErrDuplicateConstruct, c.ID)
+	}
+	cp := c
+	m.constructs[c.ID] = &cp
+	return nil
+}
+
+// AddConnector registers a connector. Both endpoints must already exist as
+// constructs; generalization connectors must relate constructs of the same
+// kind; cardinalities must satisfy 0 <= MinCard and (MaxCard == Unbounded or
+// MaxCard >= MinCard).
+func (m *Model) AddConnector(c Connector) error {
+	if c.ID == "" {
+		return fmt.Errorf("%w (connector label %q)", ErrEmptyID, c.Label)
+	}
+	if _, ok := m.connectors[c.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateConnector, c.ID)
+	}
+	if _, ok := m.constructs[c.ID]; ok {
+		return fmt.Errorf("%w: %s (id already names a construct)", ErrDuplicateConnector, c.ID)
+	}
+	from, ok := m.constructs[c.From]
+	if !ok {
+		return fmt.Errorf("%w: connector %s from %s", ErrUnknownConstruct, c.ID, c.From)
+	}
+	to, ok := m.constructs[c.To]
+	if !ok {
+		return fmt.Errorf("%w: connector %s to %s", ErrUnknownConstruct, c.ID, c.To)
+	}
+	if c.Kind == KindGeneralization && from.Kind != to.Kind {
+		return fmt.Errorf("%w: %s (%s -> %s)", ErrBadGeneralization, c.ID, from.Kind, to.Kind)
+	}
+	if c.MinCard < 0 || (c.MaxCard != Unbounded && c.MaxCard < c.MinCard) {
+		return fmt.Errorf("%w: connector %s [%d..%d]", ErrBadCardinality, c.ID, c.MinCard, c.MaxCard)
+	}
+	if c.Kind != KindConnector {
+		// Cardinalities only apply to basic connectors; normalize so models
+		// compare equal regardless of how they were assembled.
+		c.MinCard, c.MaxCard = 0, 0
+	}
+	cp := c
+	m.connectors[c.ID] = &cp
+	return nil
+}
+
+// Construct looks up a construct by IRI.
+func (m *Model) Construct(id string) (Construct, bool) {
+	c, ok := m.constructs[id]
+	if !ok {
+		return Construct{}, false
+	}
+	return *c, true
+}
+
+// Connector looks up a connector by IRI.
+func (m *Model) Connector(id string) (Connector, bool) {
+	c, ok := m.connectors[id]
+	if !ok {
+		return Connector{}, false
+	}
+	return *c, true
+}
+
+// Constructs returns all constructs sorted by ID.
+func (m *Model) Constructs() []Construct {
+	out := make([]Construct, 0, len(m.constructs))
+	for _, c := range m.constructs {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Connectors returns all connectors sorted by ID.
+func (m *Model) Connectors() []Connector {
+	out := make([]Connector, 0, len(m.connectors))
+	for _, c := range m.connectors {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ConnectorsFrom returns the basic connectors whose From side is the given
+// construct, sorted by ID.
+func (m *Model) ConnectorsFrom(constructID string) []Connector {
+	var out []Connector
+	for _, c := range m.connectors {
+		if c.Kind == KindConnector && c.From == constructID {
+			out = append(out, *c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Generalizations returns, for the given construct, the transitive set of
+// more-general construct IRIs (excluding itself), following generalization
+// connectors. Cycles are tolerated.
+func (m *Model) Generalizations(constructID string) []string {
+	seen := map[string]bool{constructID: true}
+	var out []string
+	frontier := []string{constructID}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, c := range m.connectors {
+			if c.Kind != KindGeneralization || c.From != cur {
+				continue
+			}
+			if seen[c.To] {
+				continue
+			}
+			seen[c.To] = true
+			out = append(out, c.To)
+			frontier = append(frontier, c.To)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsA reports whether construct sub is the same as, or a (transitive)
+// specialization of, construct super.
+func (m *Model) IsA(sub, super string) bool {
+	if sub == super {
+		_, ok := m.constructs[sub]
+		return ok
+	}
+	for _, g := range m.Generalizations(sub) {
+		if g == super {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the model's internal consistency: every connector
+// endpoint refers to a registered construct (guaranteed by AddConnector,
+// re-checked here for models assembled via decoding).
+func (m *Model) Validate() error {
+	for _, c := range m.connectors {
+		if _, ok := m.constructs[c.From]; !ok {
+			return fmt.Errorf("%w: connector %s from %s", ErrUnknownConstruct, c.ID, c.From)
+		}
+		if _, ok := m.constructs[c.To]; !ok {
+			return fmt.Errorf("%w: connector %s to %s", ErrUnknownConstruct, c.ID, c.To)
+		}
+	}
+	return nil
+}

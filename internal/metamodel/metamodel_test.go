@@ -1,0 +1,198 @@
+package metamodel
+
+import (
+	"errors"
+	"testing"
+)
+
+const ns = "http://test/"
+
+func tinyModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel(ns+"model", "Tiny")
+	steps := []error{
+		m.AddConstruct(Construct{ID: ns + "Doc", Kind: KindConstruct, Label: "Doc"}),
+		m.AddConstruct(Construct{ID: ns + "Note", Kind: KindConstruct, Label: "Note"}),
+		m.AddConstruct(Construct{ID: ns + "Title", Kind: KindLiteralConstruct, Label: "Title", Datatype: "http://www.w3.org/2001/XMLSchema#string"}),
+		m.AddConstruct(Construct{ID: ns + "Ref", Kind: KindMarkConstruct, Label: "Ref"}),
+		m.AddConnector(Connector{ID: ns + "title", Kind: KindConnector, Label: "title", From: ns + "Doc", To: ns + "Title", MinCard: 1, MaxCard: 1}),
+		m.AddConnector(Connector{ID: ns + "notes", Kind: KindConnector, Label: "notes", From: ns + "Doc", To: ns + "Note", MinCard: 0, MaxCard: Unbounded}),
+		m.AddConnector(Connector{ID: ns + "anchor", Kind: KindConnector, Label: "anchor", From: ns + "Note", To: ns + "Ref", MinCard: 1, MaxCard: 1}),
+		m.AddConnector(Connector{ID: ns + "noteIsDoc", Kind: KindGeneralization, Label: "noteIsDoc", From: ns + "Note", To: ns + "Doc"}),
+	}
+	for _, err := range steps {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestAddConstructDuplicate(t *testing.T) {
+	m := tinyModel(t)
+	err := m.AddConstruct(Construct{ID: ns + "Doc", Kind: KindConstruct})
+	if !errors.Is(err, ErrDuplicateConstruct) {
+		t.Fatalf("err = %v, want ErrDuplicateConstruct", err)
+	}
+	// A construct id colliding with a connector id is also rejected.
+	err = m.AddConstruct(Construct{ID: ns + "title", Kind: KindConstruct})
+	if !errors.Is(err, ErrDuplicateConstruct) {
+		t.Fatalf("err = %v, want ErrDuplicateConstruct for connector-id collision", err)
+	}
+}
+
+func TestAddConstructEmptyID(t *testing.T) {
+	m := NewModel(ns+"m", "m")
+	if err := m.AddConstruct(Construct{Label: "anon"}); !errors.Is(err, ErrEmptyID) {
+		t.Fatalf("err = %v, want ErrEmptyID", err)
+	}
+}
+
+func TestAddConnectorValidation(t *testing.T) {
+	m := tinyModel(t)
+	cases := []struct {
+		name string
+		c    Connector
+		want error
+	}{
+		{"empty id", Connector{From: ns + "Doc", To: ns + "Note"}, ErrEmptyID},
+		{"dup id", Connector{ID: ns + "title", From: ns + "Doc", To: ns + "Note"}, ErrDuplicateConnector},
+		{"construct collision", Connector{ID: ns + "Doc", From: ns + "Doc", To: ns + "Note"}, ErrDuplicateConnector},
+		{"unknown from", Connector{ID: ns + "x", From: ns + "Nope", To: ns + "Note"}, ErrUnknownConstruct},
+		{"unknown to", Connector{ID: ns + "x", From: ns + "Doc", To: ns + "Nope"}, ErrUnknownConstruct},
+		{"neg min", Connector{ID: ns + "x", From: ns + "Doc", To: ns + "Note", MinCard: -1}, ErrBadCardinality},
+		{"max < min", Connector{ID: ns + "x", From: ns + "Doc", To: ns + "Note", MinCard: 2, MaxCard: 1}, ErrBadCardinality},
+		{"bad generalization", Connector{ID: ns + "x", Kind: KindGeneralization, From: ns + "Doc", To: ns + "Title"}, ErrBadGeneralization},
+	}
+	for _, c := range cases {
+		if err := m.AddConnector(c.c); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestUnboundedCardinalityAccepted(t *testing.T) {
+	m := tinyModel(t)
+	err := m.AddConnector(Connector{ID: ns + "many", Kind: KindConnector, From: ns + "Doc", To: ns + "Note", MinCard: 3, MaxCard: Unbounded})
+	if err != nil {
+		t.Fatalf("Unbounded MaxCard rejected: %v", err)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	m := tinyModel(t)
+	if c, ok := m.Construct(ns + "Doc"); !ok || c.Label != "Doc" {
+		t.Errorf("Construct lookup: %v %v", c, ok)
+	}
+	if _, ok := m.Construct(ns + "Absent"); ok {
+		t.Error("absent construct found")
+	}
+	if c, ok := m.Connector(ns + "title"); !ok || c.MaxCard != 1 {
+		t.Errorf("Connector lookup: %v %v", c, ok)
+	}
+	if _, ok := m.Connector(ns + "absent"); ok {
+		t.Error("absent connector found")
+	}
+}
+
+func TestConstructsConnectorsSorted(t *testing.T) {
+	m := tinyModel(t)
+	cs := m.Constructs()
+	if len(cs) != 4 {
+		t.Fatalf("Constructs = %d, want 4", len(cs))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].ID >= cs[i].ID {
+			t.Fatal("Constructs not sorted")
+		}
+	}
+	conns := m.Connectors()
+	if len(conns) != 4 {
+		t.Fatalf("Connectors = %d, want 4", len(conns))
+	}
+	for i := 1; i < len(conns); i++ {
+		if conns[i-1].ID >= conns[i].ID {
+			t.Fatal("Connectors not sorted")
+		}
+	}
+}
+
+func TestConnectorsFrom(t *testing.T) {
+	m := tinyModel(t)
+	from := m.ConnectorsFrom(ns + "Doc")
+	if len(from) != 2 {
+		t.Fatalf("ConnectorsFrom(Doc) = %d, want 2 (generalizations excluded)", len(from))
+	}
+	for _, c := range from {
+		if c.Kind != KindConnector {
+			t.Errorf("ConnectorsFrom returned %v", c.Kind)
+		}
+	}
+}
+
+func TestGeneralizationsAndIsA(t *testing.T) {
+	m := tinyModel(t)
+	gens := m.Generalizations(ns + "Note")
+	if len(gens) != 1 || gens[0] != ns+"Doc" {
+		t.Fatalf("Generalizations(Note) = %v", gens)
+	}
+	if !m.IsA(ns+"Note", ns+"Doc") {
+		t.Error("Note IsA Doc = false")
+	}
+	if !m.IsA(ns+"Doc", ns+"Doc") {
+		t.Error("Doc IsA Doc = false")
+	}
+	if m.IsA(ns+"Doc", ns+"Note") {
+		t.Error("Doc IsA Note = true (generalization is directional)")
+	}
+	if m.IsA(ns+"Missing", ns+"Missing") {
+		t.Error("IsA true for unregistered construct")
+	}
+}
+
+func TestGeneralizationChainAndCycle(t *testing.T) {
+	m := NewModel(ns+"g", "g")
+	for _, id := range []string{"A", "B", "C"} {
+		if err := m.AddConstruct(Construct{ID: ns + id, Kind: KindConstruct}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.AddConnector(Connector{ID: ns + "ab", Kind: KindGeneralization, From: ns + "A", To: ns + "B"})
+	m.AddConnector(Connector{ID: ns + "bc", Kind: KindGeneralization, From: ns + "B", To: ns + "C"})
+	m.AddConnector(Connector{ID: ns + "ca", Kind: KindGeneralization, From: ns + "C", To: ns + "A"}) // cycle
+	gens := m.Generalizations(ns + "A")
+	if len(gens) != 2 {
+		t.Fatalf("Generalizations(A) with cycle = %v", gens)
+	}
+	if !m.IsA(ns+"A", ns+"C") {
+		t.Error("transitive IsA failed")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindConstruct.String() != "Construct" ||
+		KindLiteralConstruct.String() != "LiteralConstruct" ||
+		KindMarkConstruct.String() != "MarkConstruct" {
+		t.Error("construct kind names wrong")
+	}
+	if KindConnector.String() != "Connector" ||
+		KindConformance.String() != "ConformanceConnector" ||
+		KindGeneralization.String() != "GeneralizationConnector" {
+		t.Error("connector kind names wrong")
+	}
+	if ConstructKind(9).String() == "" || ConnectorKind(9).String() == "" {
+		t.Error("unknown kinds must still render")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	m := tinyModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the model the way a buggy decoder might.
+	m.connectors[ns+"broken"] = &Connector{ID: ns + "broken", From: ns + "Ghost", To: ns + "Doc"}
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted dangling endpoint")
+	}
+}

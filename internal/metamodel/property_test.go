@@ -1,0 +1,116 @@
+package metamodel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trim"
+)
+
+// randomModel builds a model from fuzzed bytes: constructs of varying kinds
+// and connectors between random endpoints (invalid combinations are skipped
+// by construction, mirroring how AddConnector guards).
+func randomModel(seed []uint8) *Model {
+	m := NewModel("http://prop/model", "prop")
+	kinds := []ConstructKind{KindConstruct, KindLiteralConstruct, KindMarkConstruct}
+	nCon := 2 + int(seedAt(seed, 0))%6
+	for i := 0; i < nCon; i++ {
+		k := kinds[int(seedAt(seed, i+1))%len(kinds)]
+		c := Construct{
+			ID:    fmt.Sprintf("http://prop/C%d", i),
+			Kind:  k,
+			Label: fmt.Sprintf("C%d", i),
+		}
+		if k == KindLiteralConstruct && seedAt(seed, i+2)%2 == 0 {
+			c.Datatype = "http://www.w3.org/2001/XMLSchema#string"
+		}
+		m.AddConstruct(c)
+	}
+	cs := m.Constructs()
+	nConn := int(seedAt(seed, 7)) % 8
+	for i := 0; i < nConn; i++ {
+		from := cs[int(seedAt(seed, 8+i))%len(cs)]
+		to := cs[int(seedAt(seed, 16+i))%len(cs)]
+		kind := KindConnector
+		switch seedAt(seed, 24+i) % 3 {
+		case 1:
+			kind = KindConformance
+		case 2:
+			kind = KindGeneralization
+		}
+		min := int(seedAt(seed, 32+i)) % 3
+		max := min + int(seedAt(seed, 40+i))%3
+		if seedAt(seed, 48+i)%2 == 0 {
+			max = Unbounded
+		}
+		// AddConnector rejects invalid combinations; ignore those.
+		m.AddConnector(Connector{
+			ID:      fmt.Sprintf("http://prop/conn%d", i),
+			Kind:    kind,
+			Label:   fmt.Sprintf("conn%d", i),
+			From:    from.ID,
+			To:      to.ID,
+			MinCard: min,
+			MaxCard: max,
+		})
+	}
+	return m
+}
+
+func seedAt(seed []uint8, i int) uint8 {
+	if len(seed) == 0 {
+		return 0
+	}
+	return seed[i%len(seed)]
+}
+
+// Property: every constructible model survives Encode/Decode exactly.
+func TestModelEncodeDecodeProperty(t *testing.T) {
+	f := func(seed []uint8) bool {
+		m := randomModel(seed)
+		store := trim.NewManager()
+		if err := Encode(m, store); err != nil {
+			return false
+		}
+		back, err := Decode(store, m.ID)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m.Constructs(), back.Constructs()) &&
+			reflect.DeepEqual(m.Connectors(), back.Connectors()) &&
+			back.Label == m.Label
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IsA is reflexive for registered constructs and transitive
+// through generalization chains of any constructible model.
+func TestIsAProperties(t *testing.T) {
+	f := func(seed []uint8) bool {
+		m := randomModel(seed)
+		for _, c := range m.Constructs() {
+			if !m.IsA(c.ID, c.ID) {
+				return false
+			}
+			for _, g := range m.Generalizations(c.ID) {
+				if !m.IsA(c.ID, g) {
+					return false
+				}
+				// Transitivity: generals of my generals are my generals.
+				for _, gg := range m.Generalizations(g) {
+					if gg != c.ID && !m.IsA(c.ID, gg) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

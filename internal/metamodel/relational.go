@@ -1,0 +1,149 @@
+package metamodel
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// The three-level story of §4.3: "in the relational model, tables,
+// attributes, keys and domains are constructs. The notion that tables
+// contain attributes ... are implicit connections among the constructs
+// defined by the model." RelationalModel makes those constructs explicit,
+// and — unlike the Bundle-Scrap model, whose instances conform directly to
+// the model — it uses **conformance connectors** to relate instance-level
+// constructs (Row, Cell) to schema-level constructs (Table, Attribute):
+// a schema (the Patients table with its columns) is itself data, and rows
+// conform to it. This realizes "data model as well as schema being
+// selectable and explicitly represented" (§6).
+const (
+	RelationalModelID = rdf.NSSLIM + "relational-model"
+
+	// Schema-level constructs.
+	ConstructTable     = rdf.NSSLIM + "Table"
+	ConstructAttribute = rdf.NSSLIM + "Attribute"
+	// Instance-level constructs.
+	ConstructRow  = rdf.NSSLIM + "Row"
+	ConstructCell = rdf.NSSLIM + "Cell"
+	// Literal constructs.
+	ConstructRelName  = rdf.NSSLIM + "RelName"
+	ConstructRelValue = rdf.NSSLIM + "RelValue"
+
+	// Schema-level connectors.
+	ConnTableName     = rdf.NSSLIM + "tableName"
+	ConnHasAttribute  = rdf.NSSLIM + "hasAttribute"
+	ConnAttributeName = rdf.NSSLIM + "attributeName"
+	// Instance-level connectors.
+	ConnRowCell   = rdf.NSSLIM + "rowCell"
+	ConnCellValue = rdf.NSSLIM + "cellValue"
+	// Conformance connectors: the schema-instance relationships.
+	ConnRowOfTable = rdf.NSSLIM + "rowOfTable"
+	ConnCellOfAttr = rdf.NSSLIM + "cellOfAttribute"
+)
+
+// RelationalModel builds the relational example model with explicit
+// conformance connectors.
+func RelationalModel() *Model {
+	m := NewModel(RelationalModelID, "Relational")
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("metamodel: building relational model: %v", err))
+		}
+	}
+	must(m.AddConstruct(Construct{ID: ConstructTable, Kind: KindConstruct, Label: "Table"}))
+	must(m.AddConstruct(Construct{ID: ConstructAttribute, Kind: KindConstruct, Label: "Attribute"}))
+	must(m.AddConstruct(Construct{ID: ConstructRow, Kind: KindConstruct, Label: "Row"}))
+	must(m.AddConstruct(Construct{ID: ConstructCell, Kind: KindConstruct, Label: "Cell"}))
+	must(m.AddConstruct(Construct{ID: ConstructRelName, Kind: KindLiteralConstruct, Label: "RelName", Datatype: rdf.XSDString}))
+	must(m.AddConstruct(Construct{ID: ConstructRelValue, Kind: KindLiteralConstruct, Label: "RelValue"}))
+
+	must(m.AddConnector(Connector{ID: ConnTableName, Kind: KindConnector, Label: "tableName", From: ConstructTable, To: ConstructRelName, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnHasAttribute, Kind: KindConnector, Label: "hasAttribute", From: ConstructTable, To: ConstructAttribute, MinCard: 1, MaxCard: Unbounded}))
+	must(m.AddConnector(Connector{ID: ConnAttributeName, Kind: KindConnector, Label: "attributeName", From: ConstructAttribute, To: ConstructRelName, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnRowCell, Kind: KindConnector, Label: "rowCell", From: ConstructRow, To: ConstructCell, MinCard: 0, MaxCard: Unbounded}))
+	must(m.AddConnector(Connector{ID: ConnCellValue, Kind: KindConnector, Label: "cellValue", From: ConstructCell, To: ConstructRelValue, MinCard: 1, MaxCard: 1}))
+	must(m.AddConnector(Connector{ID: ConnRowOfTable, Kind: KindConformance, Label: "rowOfTable", From: ConstructRow, To: ConstructTable}))
+	must(m.AddConnector(Connector{ID: ConnCellOfAttr, Kind: KindConformance, Label: "cellOfAttribute", From: ConstructCell, To: ConstructAttribute}))
+	return m
+}
+
+// SchemaViolation describes one failure of instance data against a schema
+// expressed through conformance connectors.
+type SchemaViolation struct {
+	Subject rdf.Term
+	Detail  string
+}
+
+// String renders the violation.
+func (v SchemaViolation) String() string {
+	return fmt.Sprintf("%s: %s", v.Subject, v.Detail)
+}
+
+// CheckSchemaConformance validates instance-level data against schema-level
+// data using the model's conformance connectors: for every conformance
+// connector From→To, each instance of From must reference exactly one
+// instance of To through the connector, and — for the relational pair
+// Row/Cell — each row's cells must conform to attributes of the row's own
+// table. The general mechanism (conformance reference present and typed)
+// works for any model; the containment cross-check applies when the model
+// has both rowOfTable and cellOfAttribute.
+func CheckSchemaConformance(m *Model, store *trim.Manager) []SchemaViolation {
+	var out []SchemaViolation
+	for _, conn := range m.Connectors() {
+		if conn.Kind != KindConformance {
+			continue
+		}
+		for _, inst := range store.Subjects(rdf.RDFType, rdf.IRI(conn.From)) {
+			targets := store.Objects(inst, rdf.IRI(conn.ID))
+			switch len(targets) {
+			case 0:
+				out = append(out, SchemaViolation{Subject: inst,
+					Detail: fmt.Sprintf("instance of %s lacks conformance reference %s", conn.From, conn.Label)})
+				continue
+			case 1:
+			default:
+				out = append(out, SchemaViolation{Subject: inst,
+					Detail: fmt.Sprintf("instance of %s conforms to %d schema elements via %s, want 1", conn.From, len(targets), conn.Label)})
+				continue
+			}
+			target := targets[0]
+			typed := false
+			for _, ty := range store.Objects(target, rdf.RDFType) {
+				if ty.Value() == conn.To {
+					typed = true
+				}
+			}
+			if !typed {
+				out = append(out, SchemaViolation{Subject: inst,
+					Detail: fmt.Sprintf("conformance target %s is not a %s", target.Value(), conn.To)})
+			}
+		}
+	}
+	// Relational cross-check: a row's cells must belong to attributes of
+	// the row's table.
+	rowOf, hasRow := m.Connector(ConnRowOfTable)
+	cellOf, hasCell := m.Connector(ConnCellOfAttr)
+	if hasRow && hasCell {
+		for _, row := range store.Subjects(rdf.RDFType, rdf.IRI(ConstructRow)) {
+			tables := store.Objects(row, rdf.IRI(rowOf.ID))
+			if len(tables) != 1 {
+				continue // already reported above
+			}
+			tableAttrs := map[rdf.Term]bool{}
+			for _, a := range store.Objects(tables[0], rdf.IRI(ConnHasAttribute)) {
+				tableAttrs[a] = true
+			}
+			for _, cell := range store.Objects(row, rdf.IRI(ConnRowCell)) {
+				attrs := store.Objects(cell, rdf.IRI(cellOf.ID))
+				for _, a := range attrs {
+					if !tableAttrs[a] {
+						out = append(out, SchemaViolation{Subject: cell,
+							Detail: fmt.Sprintf("cell conforms to attribute %s which is not in the row's table", a.Value())})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

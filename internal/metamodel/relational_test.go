@@ -1,0 +1,168 @@
+package metamodel
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// relationalFixture writes the three levels into one store: the relational
+// model (level 3), a Patients schema (level 2: a Table with two Attributes),
+// and one row of instance data (level 1: Row with Cells conforming to the
+// schema).
+func relationalFixture(t *testing.T) (*Model, *trim.Manager, rdf.Term, rdf.Term) {
+	t.Helper()
+	m := RelationalModel()
+	store := trim.NewManager()
+	if err := Encode(m, store); err != nil {
+		t.Fatal(err)
+	}
+
+	table := rdf.IRI(rdf.NSInst + "tbl-patients")
+	attrName := rdf.IRI(rdf.NSInst + "attr-name")
+	attrMRN := rdf.IRI(rdf.NSInst + "attr-mrn")
+	store.Create(rdf.T(table, rdf.RDFType, rdf.IRI(ConstructTable)))
+	store.Create(rdf.T(table, rdf.IRI(ConnTableName), rdf.String("Patients")))
+	store.Create(rdf.T(attrName, rdf.RDFType, rdf.IRI(ConstructAttribute)))
+	store.Create(rdf.T(attrName, rdf.IRI(ConnAttributeName), rdf.String("name")))
+	store.Create(rdf.T(attrMRN, rdf.RDFType, rdf.IRI(ConstructAttribute)))
+	store.Create(rdf.T(attrMRN, rdf.IRI(ConnAttributeName), rdf.String("mrn")))
+	store.Create(rdf.T(table, rdf.IRI(ConnHasAttribute), attrName))
+	store.Create(rdf.T(table, rdf.IRI(ConnHasAttribute), attrMRN))
+
+	row := rdf.IRI(rdf.NSInst + "row-1")
+	cellName := rdf.IRI(rdf.NSInst + "cell-1-name")
+	store.Create(rdf.T(row, rdf.RDFType, rdf.IRI(ConstructRow)))
+	store.Create(rdf.T(row, rdf.IRI(ConnRowOfTable), table))
+	store.Create(rdf.T(cellName, rdf.RDFType, rdf.IRI(ConstructCell)))
+	store.Create(rdf.T(cellName, rdf.IRI(ConnCellOfAttr), attrName))
+	store.Create(rdf.T(cellName, rdf.IRI(ConnCellValue), rdf.String("John Smith")))
+	store.Create(rdf.T(row, rdf.IRI(ConnRowCell), cellName))
+	return m, store, row, table
+}
+
+func TestRelationalModelRoundTrips(t *testing.T) {
+	m := RelationalModel()
+	store := trim.NewManager()
+	if err := Encode(m, store); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(store, RelationalModelID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Constructs()) != 6 || len(back.Connectors()) != 7 {
+		t.Fatalf("decoded %d constructs, %d connectors", len(back.Constructs()), len(back.Connectors()))
+	}
+	// The conformance connectors survive with their kind.
+	c, ok := back.Connector(ConnRowOfTable)
+	if !ok || c.Kind != KindConformance {
+		t.Fatalf("rowOfTable = %+v, %v", c, ok)
+	}
+}
+
+func TestThreeLevelsConform(t *testing.T) {
+	m, store, _, _ := relationalFixture(t)
+	// Level-2/level-1 conformance via conformance connectors.
+	if vios := CheckSchemaConformance(m, store); len(vios) != 0 {
+		t.Fatalf("schema violations: %v", vios)
+	}
+	// Model-level conformance of everything (schema and instances are both
+	// instances of the model's constructs).
+	if vios := NewChecker(m, store).Check(); len(vios) != 0 {
+		t.Fatalf("model violations: %v", vios)
+	}
+}
+
+func TestSchemaConformanceMissingReference(t *testing.T) {
+	m, store, _, _ := relationalFixture(t)
+	orphan := rdf.IRI(rdf.NSInst + "row-orphan")
+	store.Create(rdf.T(orphan, rdf.RDFType, rdf.IRI(ConstructRow)))
+	vios := CheckSchemaConformance(m, store)
+	if len(vios) != 1 || vios[0].Subject != orphan {
+		t.Fatalf("violations = %v", vios)
+	}
+	if vios[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestSchemaConformanceMultipleReferences(t *testing.T) {
+	m, store, row, table := relationalFixture(t)
+	other := rdf.IRI(rdf.NSInst + "tbl-other")
+	store.Create(rdf.T(other, rdf.RDFType, rdf.IRI(ConstructTable)))
+	store.Create(rdf.T(other, rdf.IRI(ConnTableName), rdf.String("Other")))
+	store.Create(rdf.T(other, rdf.IRI(ConnHasAttribute), rdf.IRI(rdf.NSInst+"attr-name")))
+	store.Create(rdf.T(row, rdf.IRI(ConnRowOfTable), other))
+	_ = table
+	vios := CheckSchemaConformance(m, store)
+	if len(vios) != 1 {
+		t.Fatalf("violations = %v", vios)
+	}
+}
+
+func TestSchemaConformanceUntypedTarget(t *testing.T) {
+	m, store, _, _ := relationalFixture(t)
+	row2 := rdf.IRI(rdf.NSInst + "row-2")
+	ghost := rdf.IRI(rdf.NSInst + "not-a-table")
+	store.Create(rdf.T(row2, rdf.RDFType, rdf.IRI(ConstructRow)))
+	store.Create(rdf.T(row2, rdf.IRI(ConnRowOfTable), ghost))
+	vios := CheckSchemaConformance(m, store)
+	if len(vios) != 1 {
+		t.Fatalf("violations = %v", vios)
+	}
+}
+
+func TestSchemaConformanceCellOutsideTable(t *testing.T) {
+	// A cell conforming to an attribute of a *different* table.
+	m, store, row, _ := relationalFixture(t)
+	otherTable := rdf.IRI(rdf.NSInst + "tbl-labs")
+	otherAttr := rdf.IRI(rdf.NSInst + "attr-code")
+	store.Create(rdf.T(otherTable, rdf.RDFType, rdf.IRI(ConstructTable)))
+	store.Create(rdf.T(otherTable, rdf.IRI(ConnTableName), rdf.String("Labs")))
+	store.Create(rdf.T(otherAttr, rdf.RDFType, rdf.IRI(ConstructAttribute)))
+	store.Create(rdf.T(otherAttr, rdf.IRI(ConnAttributeName), rdf.String("code")))
+	store.Create(rdf.T(otherTable, rdf.IRI(ConnHasAttribute), otherAttr))
+
+	badCell := rdf.IRI(rdf.NSInst + "cell-bad")
+	store.Create(rdf.T(badCell, rdf.RDFType, rdf.IRI(ConstructCell)))
+	store.Create(rdf.T(badCell, rdf.IRI(ConnCellOfAttr), otherAttr))
+	store.Create(rdf.T(badCell, rdf.IRI(ConnCellValue), rdf.String("oops")))
+	store.Create(rdf.T(row, rdf.IRI(ConnRowCell), badCell))
+
+	vios := CheckSchemaConformance(m, store)
+	found := false
+	for _, v := range vios {
+		if v.Subject == badCell {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross-table cell not reported: %v", vios)
+	}
+}
+
+func TestSchemaLaterThreeLevels(t *testing.T) {
+	// Instances first, schema second, model last: full schema-later.
+	store := trim.NewManager()
+	row := rdf.IRI(rdf.NSInst + "row-1")
+	table := rdf.IRI(rdf.NSInst + "tbl-patients")
+	store.Create(rdf.T(row, rdf.RDFType, rdf.IRI(ConstructRow)))
+	store.Create(rdf.T(row, rdf.IRI(ConnRowOfTable), table))
+	// Schema arrives.
+	store.Create(rdf.T(table, rdf.RDFType, rdf.IRI(ConstructTable)))
+	store.Create(rdf.T(table, rdf.IRI(ConnTableName), rdf.String("Patients")))
+	attr := rdf.IRI(rdf.NSInst + "attr-a")
+	store.Create(rdf.T(attr, rdf.RDFType, rdf.IRI(ConstructAttribute)))
+	store.Create(rdf.T(attr, rdf.IRI(ConnAttributeName), rdf.String("a")))
+	store.Create(rdf.T(table, rdf.IRI(ConnHasAttribute), attr))
+	// Model arrives last.
+	m := RelationalModel()
+	if err := Encode(m, store); err != nil {
+		t.Fatal(err)
+	}
+	if vios := CheckSchemaConformance(m, store); len(vios) != 0 {
+		t.Fatalf("schema-later violations: %v", vios)
+	}
+}

@@ -1,0 +1,212 @@
+package metamodel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// §4.3 names three mapping kinds: "model-to-model, schema-to-schema and
+// even schema-to-model mappings". Mapping (mapping.go) is model-to-model.
+// This file adds the other two for the relational example model:
+//
+//   - SchemaMapping rewrites instance data of one schema (a Table and its
+//     Attributes) into another schema of the same model: rows of Patients
+//     become rows of People, cells re-anchored to the mapped attributes.
+//   - PromoteSchema is schema-to-model: it lifts a schema (a Table) into a
+//     first-class model — the table becomes a construct, each attribute a
+//     connector to a literal construct — and FlattenRows transforms the
+//     generic Row/Cell instances into direct instances of the new model.
+
+// SchemaMapping maps one relational schema onto another within the same
+// store: table -> table and attribute -> attribute.
+type SchemaMapping struct {
+	SourceTable, TargetTable rdf.Term
+	attrMap                  map[rdf.Term]rdf.Term
+}
+
+// NewSchemaMapping starts a mapping between two Table instances. Both must
+// be typed slim Tables in the store.
+func NewSchemaMapping(store *trim.Manager, source, target rdf.Term) (*SchemaMapping, error) {
+	for _, tbl := range []rdf.Term{source, target} {
+		if !store.Has(rdf.T(tbl, rdf.RDFType, rdf.IRI(ConstructTable))) {
+			return nil, fmt.Errorf("metamodel: %s is not a Table instance", tbl.Value())
+		}
+	}
+	return &SchemaMapping{SourceTable: source, TargetTable: target, attrMap: map[rdf.Term]rdf.Term{}}, nil
+}
+
+// MapAttribute pairs a source attribute with a target attribute. Both must
+// belong to their respective tables.
+func (sm *SchemaMapping) MapAttribute(store *trim.Manager, src, dst rdf.Term) error {
+	if !store.Has(rdf.T(sm.SourceTable, rdf.IRI(ConnHasAttribute), src)) {
+		return fmt.Errorf("metamodel: %s is not an attribute of the source table", src.Value())
+	}
+	if !store.Has(rdf.T(sm.TargetTable, rdf.IRI(ConnHasAttribute), dst)) {
+		return fmt.Errorf("metamodel: %s is not an attribute of the target table", dst.Value())
+	}
+	sm.attrMap[src] = dst
+	return nil
+}
+
+// Apply rewrites every row of the source table into a row of the target
+// table, in place: the conformance references move to the target schema,
+// and each cell re-anchors to the mapped attribute. Cells of unmapped
+// attributes are detached from the row (and counted).
+func (sm *SchemaMapping) Apply(store *trim.Manager) (rowsMoved, cellsDropped int, err error) {
+	rowOf := rdf.IRI(ConnRowOfTable)
+	cellOf := rdf.IRI(ConnCellOfAttr)
+	rowCell := rdf.IRI(ConnRowCell)
+	for _, row := range store.Subjects(rowOf, sm.SourceTable) {
+		b := store.NewBatch()
+		if err := b.Remove(rdf.T(row, rowOf, sm.SourceTable)); err != nil {
+			return rowsMoved, cellsDropped, err
+		}
+		if err := b.Create(rdf.T(row, rowOf, sm.TargetTable)); err != nil {
+			return rowsMoved, cellsDropped, err
+		}
+		for _, cell := range store.Objects(row, rowCell) {
+			attrs := store.Objects(cell, cellOf)
+			if len(attrs) != 1 {
+				return rowsMoved, cellsDropped, fmt.Errorf("metamodel: cell %s has %d attribute anchors", cell.Value(), len(attrs))
+			}
+			dst, ok := sm.attrMap[attrs[0]]
+			if !ok {
+				// Unmapped column: detach the cell from the migrated row.
+				if err := b.Remove(rdf.T(row, rowCell, cell)); err != nil {
+					return rowsMoved, cellsDropped, err
+				}
+				cellsDropped++
+				continue
+			}
+			if err := b.Remove(rdf.T(cell, cellOf, attrs[0])); err != nil {
+				return rowsMoved, cellsDropped, err
+			}
+			if err := b.Create(rdf.T(cell, cellOf, dst)); err != nil {
+				return rowsMoved, cellsDropped, err
+			}
+		}
+		if err := b.Apply(); err != nil {
+			return rowsMoved, cellsDropped, err
+		}
+		rowsMoved++
+	}
+	return rowsMoved, cellsDropped, nil
+}
+
+// PromoteSchema lifts a Table schema into its own model (schema-to-model):
+// the table becomes a construct named after it, each attribute becomes a
+// connector from that construct to a shared literal construct. The returned
+// model is self-contained and can be registered anywhere.
+func PromoteSchema(store *trim.Manager, table rdf.Term, modelID string) (*Model, error) {
+	if !store.Has(rdf.T(table, rdf.RDFType, rdf.IRI(ConstructTable))) {
+		return nil, fmt.Errorf("metamodel: %s is not a Table instance", table.Value())
+	}
+	nameT, err := store.One(rdf.P(table, rdf.IRI(ConnTableName), rdf.Zero))
+	if err != nil {
+		return nil, fmt.Errorf("metamodel: promoting %s: %w", table.Value(), err)
+	}
+	tableName := nameT.Object.Value()
+	m := NewModel(modelID, tableName)
+	entity := modelID + "#" + sanitizeLocal(tableName)
+	valueC := modelID + "#Value"
+	if err := m.AddConstruct(Construct{ID: entity, Kind: KindConstruct, Label: tableName}); err != nil {
+		return nil, err
+	}
+	if err := m.AddConstruct(Construct{ID: valueC, Kind: KindLiteralConstruct, Label: "Value"}); err != nil {
+		return nil, err
+	}
+	for _, attr := range store.Objects(table, rdf.IRI(ConnHasAttribute)) {
+		an, err := store.One(rdf.P(attr, rdf.IRI(ConnAttributeName), rdf.Zero))
+		if err != nil {
+			return nil, fmt.Errorf("metamodel: promoting %s: attribute %s: %w", table.Value(), attr.Value(), err)
+		}
+		attrName := an.Object.Value()
+		conn := Connector{
+			ID:      modelID + "#" + sanitizeLocal(attrName),
+			Kind:    KindConnector,
+			Label:   attrName,
+			From:    entity,
+			To:      valueC,
+			MinCard: 0,
+			MaxCard: 1,
+		}
+		if err := m.AddConnector(conn); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// FlattenRows transforms the generic Row/Cell instances of the table into
+// direct instances of the promoted model in dst: each row becomes a typed
+// instance whose connector values come from its cells. It returns the
+// number of rows flattened.
+func FlattenRows(src *trim.Manager, table rdf.Term, promoted *Model, dst *trim.Manager) (int, error) {
+	entity := ""
+	for _, c := range promoted.Constructs() {
+		if c.Kind == KindConstruct {
+			entity = c.ID
+		}
+	}
+	if entity == "" {
+		return 0, fmt.Errorf("metamodel: promoted model has no entity construct")
+	}
+	// Attribute name -> connector IRI.
+	connByLabel := map[string]string{}
+	for _, c := range promoted.Connectors() {
+		connByLabel[c.Label] = c.ID
+	}
+	n := 0
+	for _, row := range src.Subjects(rdf.IRI(ConnRowOfTable), table) {
+		b := dst.NewBatch()
+		if err := b.Create(rdf.T(row, rdf.RDFType, rdf.IRI(entity))); err != nil {
+			return n, err
+		}
+		for _, cell := range src.Objects(row, rdf.IRI(ConnRowCell)) {
+			attrs := src.Objects(cell, rdf.IRI(ConnCellOfAttr))
+			if len(attrs) != 1 {
+				continue
+			}
+			an, err := src.One(rdf.P(attrs[0], rdf.IRI(ConnAttributeName), rdf.Zero))
+			if err != nil {
+				return n, err
+			}
+			conn, ok := connByLabel[an.Object.Value()]
+			if !ok {
+				continue
+			}
+			val, err := src.One(rdf.P(cell, rdf.IRI(ConnCellValue), rdf.Zero))
+			if err != nil {
+				return n, err
+			}
+			if err := b.Create(rdf.T(row, rdf.IRI(conn), val.Object)); err != nil {
+				return n, err
+			}
+		}
+		if err := b.Apply(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// sanitizeLocal turns a human name into an IRI-safe local name.
+func sanitizeLocal(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

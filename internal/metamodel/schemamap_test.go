@@ -1,0 +1,155 @@
+package metamodel
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// twoTableFixture builds two schemas (Patients: name,mrn; People: fullName)
+// plus one Patients row with both cells.
+func twoTableFixture(t *testing.T) (*trim.Manager, rdf.Term, rdf.Term, rdf.Term, rdf.Term, rdf.Term) {
+	t.Helper()
+	_, store, row, patients := relationalFixture(t)
+	attrName := rdf.IRI(rdf.NSInst + "attr-name")
+
+	people := rdf.IRI(rdf.NSInst + "tbl-people")
+	attrFull := rdf.IRI(rdf.NSInst + "attr-fullname")
+	store.Create(rdf.T(people, rdf.RDFType, rdf.IRI(ConstructTable)))
+	store.Create(rdf.T(people, rdf.IRI(ConnTableName), rdf.String("People")))
+	store.Create(rdf.T(attrFull, rdf.RDFType, rdf.IRI(ConstructAttribute)))
+	store.Create(rdf.T(attrFull, rdf.IRI(ConnAttributeName), rdf.String("fullName")))
+	store.Create(rdf.T(people, rdf.IRI(ConnHasAttribute), attrFull))
+
+	// Add an MRN cell to the row so there is an unmapped column.
+	attrMRN := rdf.IRI(rdf.NSInst + "attr-mrn")
+	cellMRN := rdf.IRI(rdf.NSInst + "cell-1-mrn")
+	store.Create(rdf.T(cellMRN, rdf.RDFType, rdf.IRI(ConstructCell)))
+	store.Create(rdf.T(cellMRN, rdf.IRI(ConnCellOfAttr), attrMRN))
+	store.Create(rdf.T(cellMRN, rdf.IRI(ConnCellValue), rdf.String("MRN123")))
+	store.Create(rdf.T(row, rdf.IRI(ConnRowCell), cellMRN))
+
+	return store, row, patients, people, attrName, attrFull
+}
+
+func TestSchemaMappingApply(t *testing.T) {
+	store, row, patients, people, attrName, attrFull := twoTableFixture(t)
+	sm, err := NewSchemaMapping(store, patients, people)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.MapAttribute(store, attrName, attrFull); err != nil {
+		t.Fatal(err)
+	}
+	rows, dropped, err := sm.Apply(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 1 || dropped != 1 {
+		t.Fatalf("rows=%d dropped=%d", rows, dropped)
+	}
+	// The row now conforms to People.
+	if !store.Has(rdf.T(row, rdf.IRI(ConnRowOfTable), people)) {
+		t.Fatal("row not moved to target table")
+	}
+	if store.Has(rdf.T(row, rdf.IRI(ConnRowOfTable), patients)) {
+		t.Fatal("row still in source table")
+	}
+	// The name cell re-anchored to fullName.
+	cellName := rdf.IRI(rdf.NSInst + "cell-1-name")
+	if !store.Has(rdf.T(cellName, rdf.IRI(ConnCellOfAttr), attrFull)) {
+		t.Fatal("cell not re-anchored")
+	}
+	// Schema conformance holds after the mapping.
+	if vios := CheckSchemaConformance(RelationalModel(), store); len(vios) != 0 {
+		t.Fatalf("post-mapping violations: %v", vios)
+	}
+}
+
+func TestSchemaMappingValidation(t *testing.T) {
+	store, _, patients, people, attrName, attrFull := twoTableFixture(t)
+	ghost := rdf.IRI(rdf.NSInst + "ghost")
+	if _, err := NewSchemaMapping(store, ghost, people); err == nil {
+		t.Error("ghost source table accepted")
+	}
+	if _, err := NewSchemaMapping(store, patients, ghost); err == nil {
+		t.Error("ghost target table accepted")
+	}
+	sm, _ := NewSchemaMapping(store, patients, people)
+	if err := sm.MapAttribute(store, attrFull, attrFull); err == nil {
+		t.Error("attribute outside source table accepted")
+	}
+	if err := sm.MapAttribute(store, attrName, attrName); err == nil {
+		t.Error("attribute outside target table accepted")
+	}
+}
+
+func TestPromoteSchemaAndFlatten(t *testing.T) {
+	store, row, patients, _, _, _ := twoTableFixture(t)
+	promoted, err := PromoteSchema(store, patients, "http://promoted/patients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if promoted.Label != "Patients" {
+		t.Errorf("label = %q", promoted.Label)
+	}
+	// One entity construct + one literal construct; one connector per
+	// attribute (name, mrn).
+	if len(promoted.Constructs()) != 2 {
+		t.Fatalf("constructs = %v", promoted.Constructs())
+	}
+	if len(promoted.Connectors()) != 2 {
+		t.Fatalf("connectors = %v", promoted.Connectors())
+	}
+
+	dst := trim.NewManager()
+	n, err := FlattenRows(store, patients, promoted, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("flattened = %d", n)
+	}
+	// The row is now a direct instance with direct property values.
+	if !dst.Has(rdf.T(row, rdf.RDFType, rdf.IRI("http://promoted/patients#Patients"))) {
+		t.Fatal("row not typed by promoted construct")
+	}
+	vals := dst.Objects(row, rdf.IRI("http://promoted/patients#name"))
+	if len(vals) != 1 || vals[0].Value() != "John Smith" {
+		t.Fatalf("name values = %v", vals)
+	}
+	// The flattened instance conforms to the promoted model.
+	if vios := NewChecker(promoted, dst).Check(); len(vios) != 0 {
+		t.Fatalf("promoted-model violations: %v", vios)
+	}
+}
+
+func TestPromoteSchemaErrors(t *testing.T) {
+	store, _, _, _, _, _ := twoTableFixture(t)
+	if _, err := PromoteSchema(store, rdf.IRI(rdf.NSInst+"ghost"), "http://m"); err == nil {
+		t.Error("ghost table promoted")
+	}
+	// A table without a name cannot be promoted.
+	bare := rdf.IRI(rdf.NSInst + "tbl-bare")
+	store.Create(rdf.T(bare, rdf.RDFType, rdf.IRI(ConstructTable)))
+	if _, err := PromoteSchema(store, bare, "http://m"); err == nil {
+		t.Error("nameless table promoted")
+	}
+}
+
+func TestSanitizeLocal(t *testing.T) {
+	cases := map[string]string{
+		"Patients":    "Patients",
+		"full name":   "full_name",
+		"a-b/c":       "a_b_c",
+		"":            "_",
+		"héllo":       "h_llo",
+		"Table2024Q1": "Table2024Q1",
+	}
+	for in, want := range cases {
+		if got := sanitizeLocal(in); got != want {
+			t.Errorf("sanitizeLocal(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

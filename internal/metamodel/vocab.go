@@ -1,0 +1,81 @@
+package metamodel
+
+import (
+	"repro/internal/rdf"
+)
+
+// The metamodel vocabulary: the paper represents metamodel elements "using
+// RDF Schema" [5], with model, schema, and instance data all as RDF triples.
+// Class IRIs reuse rdfs:Class machinery (each construct is an rdfs:Class
+// typed by its metamodel kind); connector IRIs are rdf:Property instances
+// typed by connector kind.
+var (
+	// Classes of the metamodel itself.
+	ClassModel          = rdf.IRI(rdf.NSSLIM + "Model")
+	ClassConstruct      = rdf.IRI(rdf.NSSLIM + "Construct")
+	ClassLiteralConstr  = rdf.IRI(rdf.NSSLIM + "LiteralConstruct")
+	ClassMarkConstr     = rdf.IRI(rdf.NSSLIM + "MarkConstruct")
+	ClassConnector      = rdf.IRI(rdf.NSSLIM + "Connector")
+	ClassConformance    = rdf.IRI(rdf.NSSLIM + "ConformanceConnector")
+	ClassGeneralization = rdf.IRI(rdf.NSSLIM + "GeneralizationConnector")
+
+	// Properties describing models.
+	PropInModel  = rdf.IRI(rdf.NSSLIM + "inModel")  // construct/connector -> model
+	PropFrom     = rdf.IRI(rdf.NSSLIM + "from")     // connector -> construct
+	PropTo       = rdf.IRI(rdf.NSSLIM + "to")       // connector -> construct
+	PropMinCard  = rdf.IRI(rdf.NSSLIM + "minCard")  // connector -> integer
+	PropMaxCard  = rdf.IRI(rdf.NSSLIM + "maxCard")  // connector -> integer (-1 unbounded)
+	PropDatatype = rdf.IRI(rdf.NSSLIM + "datatype") // literal construct -> datatype IRI
+
+	// PropMarkID relates an instance of a mark construct to the mark
+	// identifier handed out by the Mark Manager (the markId of Fig. 3).
+	PropMarkID = rdf.IRI(rdf.NSMark + "markId")
+)
+
+func kindClass(k ConstructKind) rdf.Term {
+	switch k {
+	case KindLiteralConstruct:
+		return ClassLiteralConstr
+	case KindMarkConstruct:
+		return ClassMarkConstr
+	default:
+		return ClassConstruct
+	}
+}
+
+func classKind(t rdf.Term) (ConstructKind, bool) {
+	switch t {
+	case ClassConstruct:
+		return KindConstruct, true
+	case ClassLiteralConstr:
+		return KindLiteralConstruct, true
+	case ClassMarkConstr:
+		return KindMarkConstruct, true
+	default:
+		return 0, false
+	}
+}
+
+func connKindClass(k ConnectorKind) rdf.Term {
+	switch k {
+	case KindConformance:
+		return ClassConformance
+	case KindGeneralization:
+		return ClassGeneralization
+	default:
+		return ClassConnector
+	}
+}
+
+func classConnKind(t rdf.Term) (ConnectorKind, bool) {
+	switch t {
+	case ClassConnector:
+		return KindConnector, true
+	case ClassConformance:
+		return KindConformance, true
+	case ClassGeneralization:
+		return KindGeneralization, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,91 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func benchGraph(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.Add(T(
+			IRI(fmt.Sprintf("http://b/s%d", i)),
+			IRI(fmt.Sprintf("http://b/p%d", i%8)),
+			String(fmt.Sprintf("value %d with some text", i)),
+		))
+	}
+	return g
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	g := NewGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(T(IRI(fmt.Sprintf("http://b/s%d", i)), IRI("http://b/p"), Integer(int64(i))))
+	}
+}
+
+func BenchmarkWriteNTriples(b *testing.B) {
+	g := benchGraph(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadNTriples(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, benchGraph(1000)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadNTriples(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteXML(b *testing.B) {
+	g := benchGraph(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteXML(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadXML(b *testing.B) {
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, benchGraph(1000)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadXML(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPatternMatches(b *testing.B) {
+	t := T(IRI("http://b/s"), IRI("http://b/p"), String("v"))
+	p := P(IRI("http://b/s"), Zero, Zero)
+	for i := 0; i < b.N; i++ {
+		if !p.Matches(t) {
+			b.Fatal("no match")
+		}
+	}
+}

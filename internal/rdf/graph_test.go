@@ -1,0 +1,214 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func mkTriple(i int) Triple {
+	return T(IRI(fmt.Sprintf("http://x/s%d", i%7)),
+		IRI(fmt.Sprintf("http://x/p%d", i%3)),
+		String(fmt.Sprintf("v%d", i)))
+}
+
+func TestGraphAddRemove(t *testing.T) {
+	g := NewGraph()
+	tr := validTriple()
+	added, err := g.Add(tr)
+	if err != nil || !added {
+		t.Fatalf("Add = %v, %v", added, err)
+	}
+	if g.Len() != 1 || !g.Has(tr) {
+		t.Fatalf("after Add: Len=%d Has=%v", g.Len(), g.Has(tr))
+	}
+	// Set semantics.
+	added, err = g.Add(tr)
+	if err != nil || added {
+		t.Fatalf("second Add = %v, %v; want false, nil", added, err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len after duplicate Add = %d", g.Len())
+	}
+	if !g.Remove(tr) {
+		t.Fatal("Remove returned false for present triple")
+	}
+	if g.Remove(tr) {
+		t.Fatal("Remove returned true for absent triple")
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len after Remove = %d", g.Len())
+	}
+}
+
+func TestGraphAddInvalid(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.Add(T(String("s"), IRI("p"), String("o"))); err == nil {
+		t.Fatal("Add of invalid triple succeeded")
+	}
+	if g.Len() != 0 {
+		t.Fatal("invalid triple was stored")
+	}
+}
+
+func TestGraphSelect(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 30; i++ {
+		if _, err := g.Add(mkTriple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := g.Select(Pattern{})
+	if len(all) != 30 {
+		t.Fatalf("Select(all) = %d triples, want 30", len(all))
+	}
+	// Deterministic sorted order.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Compare(all[i]) >= 0 {
+			t.Fatal("Select output not sorted")
+		}
+	}
+	bySubj := g.Select(P(IRI("http://x/s0"), Zero, Zero))
+	for _, tr := range bySubj {
+		if tr.Subject != IRI("http://x/s0") {
+			t.Fatalf("Select by subject returned %v", tr)
+		}
+	}
+	// s0 holds i = 0,7,14,21,28.
+	if len(bySubj) != 5 {
+		t.Fatalf("Select by subject = %d, want 5", len(bySubj))
+	}
+	none := g.Select(P(IRI("http://x/absent"), Zero, Zero))
+	if len(none) != 0 {
+		t.Fatalf("Select absent = %d", len(none))
+	}
+}
+
+func TestGraphEachEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.Add(mkTriple(i))
+	}
+	n := 0
+	g.Each(func(Triple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("Each visited %d, want 3", n)
+	}
+}
+
+func TestGraphCloneIndependence(t *testing.T) {
+	g := NewGraph()
+	g.Add(validTriple())
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(T(IRI("s2"), IRI("p2"), String("o2")))
+	if g.Len() != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+	if g.Equal(c) {
+		t.Fatal("Equal true after divergence")
+	}
+}
+
+func TestGraphMerge(t *testing.T) {
+	a, b := NewGraph(), NewGraph()
+	a.Add(mkTriple(1))
+	a.Add(mkTriple(2))
+	b.Add(mkTriple(2))
+	b.Add(mkTriple(3))
+	n, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Merge added %d, want 1", n)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len after merge = %d, want 3", a.Len())
+	}
+}
+
+func TestGraphDistinctTermSets(t *testing.T) {
+	g := NewGraph()
+	g.Add(T(IRI("s1"), IRI("p1"), String("o1")))
+	g.Add(T(IRI("s1"), IRI("p2"), String("o2")))
+	g.Add(T(IRI("s2"), IRI("p1"), IRI("s1")))
+	if n := len(g.Subjects()); n != 2 {
+		t.Errorf("Subjects = %d, want 2", n)
+	}
+	if n := len(g.Predicates()); n != 2 {
+		t.Errorf("Predicates = %d, want 2", n)
+	}
+	if n := len(g.Objects()); n != 3 {
+		t.Errorf("Objects = %d, want 3", n)
+	}
+}
+
+func TestGraphEqualDifferentSizes(t *testing.T) {
+	a, b := NewGraph(), NewGraph()
+	a.Add(mkTriple(1))
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("graphs of different sizes compared equal")
+	}
+}
+
+// Property: for any set of generated triples, Select(pattern) returns
+// exactly the triples that Matches accepts.
+func TestGraphSelectMatchesProperty(t *testing.T) {
+	f := func(seeds []uint8, sFix, pFix bool) bool {
+		g := NewGraph()
+		for _, s := range seeds {
+			g.Add(mkTriple(int(s)))
+		}
+		pat := Pattern{}
+		if sFix {
+			pat.Subject = IRI("http://x/s1")
+		}
+		if pFix {
+			pat.Predicate = IRI("http://x/p1")
+		}
+		got := g.Select(pat)
+		want := 0
+		g.Each(func(tr Triple) bool {
+			if pat.Matches(tr) {
+				want++
+			}
+			return true
+		})
+		if len(got) != want {
+			return false
+		}
+		for _, tr := range got {
+			if !pat.Matches(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: add then remove restores the prior graph.
+func TestGraphAddRemoveInverseProperty(t *testing.T) {
+	f := func(seeds []uint8, extra uint8) bool {
+		g := NewGraph()
+		for _, s := range seeds {
+			g.Add(mkTriple(int(s)))
+		}
+		before := g.Clone()
+		tr := T(IRI("http://quickcheck/s"), IRI("http://quickcheck/p"), Integer(int64(extra)))
+		g.Add(tr)
+		g.Remove(tr)
+		return g.Equal(before)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespaces used throughout the SLIM stack. The paper represents the
+// metamodel in RDF Schema [5]; rdf: and rdfs: get their W3C IRIs, the SLIM
+// vocabularies get project-local IRIs.
+const (
+	NSRDF  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	NSRDFS = "http://www.w3.org/2000/01/rdf-schema#"
+	// NSSLIM names the metamodel vocabulary (constructs, connectors, ...).
+	NSSLIM = "http://slim.example.org/metamodel#"
+	// NSMark names the mark-management vocabulary.
+	NSMark = "http://slim.example.org/mark#"
+	// NSPad names the Bundle-Scrap vocabulary of SLIMPad.
+	NSPad = "http://slim.example.org/slimpad#"
+	// NSInst is the default namespace for instance identifiers.
+	NSInst = "http://slim.example.org/instance#"
+)
+
+// Common RDF/RDFS property and class IRIs.
+var (
+	RDFType         = IRI(NSRDF + "type")
+	RDFSClass       = IRI(NSRDFS + "Class")
+	RDFSSubClassOf  = IRI(NSRDFS + "subClassOf")
+	RDFSLabel       = IRI(NSRDFS + "label")
+	RDFSComment     = IRI(NSRDFS + "comment")
+	RDFSDomain      = IRI(NSRDFS + "domain")
+	RDFSRange       = IRI(NSRDFS + "range")
+	RDFProperty     = IRI(NSRDF + "Property")
+	RDFSSubProperty = IRI(NSRDFS + "subPropertyOf")
+	RDFSLiteral     = IRI(NSRDFS + "Literal")
+	RDFSResource    = IRI(NSRDFS + "Resource")
+)
+
+// PrefixMap maps short prefixes to namespace IRIs, for compact display and
+// parsing of qualified names in the cmd tools.
+type PrefixMap struct {
+	byPrefix map[string]string
+	byNS     []nsEntry // longest-prefix-wins shrink table
+}
+
+type nsEntry struct {
+	ns     string
+	prefix string
+}
+
+// NewPrefixMap returns a prefix map preloaded with the standard bindings:
+// rdf, rdfs, slim, mark, pad, inst, xsd.
+func NewPrefixMap() *PrefixMap {
+	pm := &PrefixMap{byPrefix: make(map[string]string)}
+	pm.Bind("rdf", NSRDF)
+	pm.Bind("rdfs", NSRDFS)
+	pm.Bind("slim", NSSLIM)
+	pm.Bind("mark", NSMark)
+	pm.Bind("pad", NSPad)
+	pm.Bind("inst", NSInst)
+	pm.Bind("xsd", "http://www.w3.org/2001/XMLSchema#")
+	return pm
+}
+
+// Bind associates prefix with namespace, replacing any prior binding of the
+// same prefix.
+func (pm *PrefixMap) Bind(prefix, ns string) {
+	if old, ok := pm.byPrefix[prefix]; ok {
+		for i := range pm.byNS {
+			if pm.byNS[i].ns == old && pm.byNS[i].prefix == prefix {
+				pm.byNS = append(pm.byNS[:i], pm.byNS[i+1:]...)
+				break
+			}
+		}
+	}
+	pm.byPrefix[prefix] = ns
+	pm.byNS = append(pm.byNS, nsEntry{ns: ns, prefix: prefix})
+	sort.Slice(pm.byNS, func(i, j int) bool { return len(pm.byNS[i].ns) > len(pm.byNS[j].ns) })
+}
+
+// Expand turns "prefix:local" into a full IRI. Input already containing
+// "://" is returned unchanged. Unknown prefixes are an error.
+func (pm *PrefixMap) Expand(qname string) (string, error) {
+	if strings.Contains(qname, "://") {
+		return qname, nil
+	}
+	i := strings.IndexByte(qname, ':')
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is neither a full IRI nor a prefix:local qualified name", qname)
+	}
+	prefix, local := qname[:i], qname[i+1:]
+	ns, ok := pm.byPrefix[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown namespace prefix %q", prefix)
+	}
+	return ns + local, nil
+}
+
+// Shrink turns a full IRI into "prefix:local" when a bound namespace is a
+// prefix of it; otherwise it returns the IRI unchanged.
+func (pm *PrefixMap) Shrink(iri string) string {
+	for _, e := range pm.byNS {
+		if strings.HasPrefix(iri, e.ns) {
+			return e.prefix + ":" + iri[len(e.ns):]
+		}
+	}
+	return iri
+}
+
+// ShrinkTerm renders a term compactly: IRIs are shrunk; blanks and literals
+// use their N-Triples form.
+func (pm *PrefixMap) ShrinkTerm(t Term) string {
+	if t.Kind() == KindIRI {
+		return pm.Shrink(t.Value())
+	}
+	return t.String()
+}

@@ -1,0 +1,92 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestPrefixExpand(t *testing.T) {
+	pm := NewPrefixMap()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"rdf:type", NSRDF + "type"},
+		{"rdfs:Class", NSRDFS + "Class"},
+		{"slim:Construct", NSSLIM + "Construct"},
+		{"pad:Bundle", NSPad + "Bundle"},
+		{"http://already/full", "http://already/full"},
+	}
+	for _, c := range cases {
+		got, err := pm.Expand(c.in)
+		if err != nil {
+			t.Errorf("Expand(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Expand(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixExpandErrors(t *testing.T) {
+	pm := NewPrefixMap()
+	if _, err := pm.Expand("nosuch:thing"); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+	if _, err := pm.Expand("noprefix"); err == nil {
+		t.Error("bare name without colon accepted")
+	}
+}
+
+func TestPrefixShrink(t *testing.T) {
+	pm := NewPrefixMap()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{NSRDF + "type", "rdf:type"},
+		{NSPad + "Bundle", "pad:Bundle"},
+		{"http://unbound/x", "http://unbound/x"},
+	}
+	for _, c := range cases {
+		if got := pm.Shrink(c.in); got != c.want {
+			t.Errorf("Shrink(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPrefixLongestWins(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("a", "http://x/")
+	pm.Bind("b", "http://x/deeper/")
+	if got := pm.Shrink("http://x/deeper/leaf"); got != "b:leaf" {
+		t.Errorf("Shrink = %q, want b:leaf (longest namespace must win)", got)
+	}
+}
+
+func TestPrefixRebind(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("z", "http://old/")
+	pm.Bind("z", "http://new/")
+	got, err := pm.Expand("z:x")
+	if err != nil || got != "http://new/x" {
+		t.Errorf("after rebind, Expand(z:x) = %q, %v", got, err)
+	}
+	// The stale reverse entry must be gone.
+	if got := pm.Shrink("http://old/x"); got != "http://old/x" {
+		t.Errorf("Shrink of unbound old namespace = %q, want unchanged", got)
+	}
+}
+
+func TestShrinkTerm(t *testing.T) {
+	pm := NewPrefixMap()
+	if got := pm.ShrinkTerm(IRI(NSRDF + "type")); got != "rdf:type" {
+		t.Errorf("ShrinkTerm(IRI) = %q", got)
+	}
+	if got := pm.ShrinkTerm(String("lit")); got != `"lit"` {
+		t.Errorf("ShrinkTerm(literal) = %q", got)
+	}
+	if got := pm.ShrinkTerm(Blank("b")); got != "_:b" {
+		t.Errorf("ShrinkTerm(blank) = %q", got)
+	}
+}

@@ -1,0 +1,308 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNTriples writes the graph in N-Triples syntax, one statement per
+// line, in deterministic (sorted) order so output is diffable.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.All() {
+		if _, err := bw.WriteString(encodeNTriple(t)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeNTriple(t Triple) string {
+	return encodeNTerm(t.Subject) + " " + encodeNTerm(t.Predicate) + " " + encodeNTerm(t.Object) + " ."
+}
+
+func encodeNTerm(t Term) string {
+	switch t.Kind() {
+	case KindIRI:
+		return "<" + escapeIRI(t.Value()) + ">"
+	case KindBlank:
+		return "_:" + t.Value()
+	case KindLiteral:
+		s := `"` + escapeLiteral(t.Value()) + `"`
+		if dt := t.Datatype(); dt != "" && dt != XSDString {
+			s += "^^<" + escapeIRI(dt) + ">"
+		}
+		return s
+	}
+	return ""
+}
+
+func escapeIRI(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+			fmt.Fprintf(&b, "\\u%04X", r)
+		default:
+			if r <= 0x20 {
+				fmt.Fprintf(&b, "\\u%04X", r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// ReadNTriples parses N-Triples text into a new graph. Blank lines and
+// #-comments are permitted. Parsing stops with an error identifying the
+// offending line number.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		if _, err := g.Add(t); err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading n-triples: %w", err)
+	}
+	return g, nil
+}
+
+func parseNTripleLine(line string) (Triple, error) {
+	p := &ntParser{s: line}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	p.ws()
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	p.ws()
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	p.ws()
+	if !p.eat('.') {
+		return Triple{}, fmt.Errorf("expected terminating '.' at offset %d", p.i)
+	}
+	p.ws()
+	if p.i != len(p.s) {
+		return Triple{}, fmt.Errorf("trailing garbage after '.'")
+	}
+	return T(subj, pred, obj), nil
+}
+
+type ntParser struct {
+	s string
+	i int
+}
+
+func (p *ntParser) ws() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *ntParser) eat(c byte) bool {
+	if p.i < len(p.s) && p.s[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *ntParser) term() (Term, error) {
+	if p.i >= len(p.s) {
+		return Zero, fmt.Errorf("unexpected end of line")
+	}
+	switch p.s[p.i] {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Zero, fmt.Errorf("unexpected character %q at offset %d", p.s[p.i], p.i)
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	p.i++ // consume '<'
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != '>' {
+		p.i++
+	}
+	if p.i >= len(p.s) {
+		return Zero, fmt.Errorf("unterminated IRI")
+	}
+	raw := p.s[start:p.i]
+	p.i++ // consume '>'
+	val, err := unescapeUnicode(raw)
+	if err != nil {
+		return Zero, err
+	}
+	return IRI(val), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+		return Zero, fmt.Errorf("malformed blank node label")
+	}
+	p.i += 2
+	start := p.i
+	for p.i < len(p.s) && !isNTWhitespaceOrDot(p.s[p.i]) {
+		p.i++
+	}
+	label := p.s[start:p.i]
+	if label == "" {
+		return Zero, fmt.Errorf("empty blank node label")
+	}
+	return Blank(label), nil
+}
+
+func isNTWhitespaceOrDot(c byte) bool {
+	return c == ' ' || c == '\t'
+}
+
+func (p *ntParser) literal() (Term, error) {
+	p.i++ // consume '"'
+	var b strings.Builder
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		if c == '"' {
+			p.i++
+			// Optional datatype.
+			if strings.HasPrefix(p.s[p.i:], "^^<") {
+				p.i += 2
+				dt, err := p.iri()
+				if err != nil {
+					return Zero, fmt.Errorf("datatype: %w", err)
+				}
+				return TypedLiteral(b.String(), dt.Value()), nil
+			}
+			return String(b.String()), nil
+		}
+		if c == '\\' {
+			p.i++
+			if p.i >= len(p.s) {
+				return Zero, fmt.Errorf("dangling escape in literal")
+			}
+			switch p.s[p.i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u':
+				if p.i+4 >= len(p.s) {
+					return Zero, fmt.Errorf("truncated \\u escape")
+				}
+				r, err := parseHexRune(p.s[p.i+1 : p.i+5])
+				if err != nil {
+					return Zero, err
+				}
+				b.WriteRune(r)
+				p.i += 4
+			default:
+				return Zero, fmt.Errorf("unknown escape \\%c", p.s[p.i])
+			}
+			p.i++
+			continue
+		}
+		b.WriteByte(c)
+		p.i++
+	}
+	return Zero, fmt.Errorf("unterminated literal")
+}
+
+func unescapeUnicode(s string) (string, error) {
+	if !strings.Contains(s, "\\u") {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '\\' && i+5 < len(s)+1 && i+1 < len(s) && s[i+1] == 'u' {
+			if i+6 > len(s) {
+				return "", fmt.Errorf("truncated \\u escape in IRI")
+			}
+			r, err := parseHexRune(s[i+2 : i+6])
+			if err != nil {
+				return "", err
+			}
+			b.WriteRune(r)
+			i += 6
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String(), nil
+}
+
+func parseHexRune(hex4 string) (rune, error) {
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := hex4[i]
+		r <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			r |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			r |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			r |= rune(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad hex digit %q in \\u escape", c)
+		}
+	}
+	return r, nil
+}

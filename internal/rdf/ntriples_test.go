@@ -1,0 +1,138 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.Add(T(IRI("http://x/s"), IRI("http://x/p"), String("plain")))
+	g.Add(T(Blank("b1"), IRI("http://x/p"), Integer(42)))
+	g.Add(T(IRI("http://x/s"), IRI("http://x/q"), IRI("http://x/o")))
+	g.Add(T(IRI("http://x/s"), IRI("http://x/r"), Blank("b2")))
+	g.Add(T(IRI("http://x/s"), IRI("http://x/t"), String("line\nbreak\tand \"quotes\" and \\slash")))
+	g.Add(T(IRI("http://x/s"), IRI("http://x/u"), Bool(true)))
+
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatalf("round trip lost data:\noriginal:\n%v\nback:\n%v", g.All(), back.All())
+	}
+}
+
+func TestNTriplesCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+<http://x/s> <http://x/p> "v" .
+
+# another
+<http://x/s> <http://x/p> <http://x/o> .
+`
+	g, err := ReadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("parsed %d triples, want 2", g.Len())
+	}
+}
+
+func TestNTriplesParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> "v"`,           // missing dot
+		`<http://x/s> <http://x/p> .`,             // missing object
+		`"lit" <http://x/p> "v" .`,                // literal subject
+		`<http://x/s> _:b "v" .`,                  // blank predicate
+		`<http://x/s> <http://x/p> "unterminated`, // unterminated literal
+		`<http://x/s <http://x/p> "v" .`,          // unterminated IRI
+		`<http://x/s> <http://x/p> "v" . extra`,   // trailing garbage
+		`<http://x/s> <http://x/p> "bad\qesc" .`,  // unknown escape
+		`_: <http://x/p> "v" .`,                   // empty blank label
+		`%bogus`,                                  // nonsense
+	}
+	for _, src := range bad {
+		if _, err := ReadNTriples(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadNTriples(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNTriplesUnicodeEscape(t *testing.T) {
+	src := `<http://x/s> <http://x/p> "café" .`
+	g, err := ReadNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := g.All()
+	if len(trs) != 1 || trs[0].Object.Value() != "café" {
+		t.Fatalf("unicode escape parsed as %q", trs[0].Object.Value())
+	}
+}
+
+func TestNTriplesIRIEscaping(t *testing.T) {
+	// IRIs containing forbidden characters must survive a round trip.
+	g := NewGraph()
+	g.Add(T(IRI("http://x/weird>char"), IRI("http://x/p"), String("v")))
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), " ", 2)[0]
+	if inner := first[1 : len(first)-1]; strings.Contains(inner, ">") {
+		t.Fatal("unescaped '>' inside serialized IRI")
+	}
+	back, err := ReadNTriples(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("IRI with special characters did not round trip")
+	}
+}
+
+func TestNTriplesDeterministicOutput(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 20; i++ {
+		g.Add(mkTriple(i))
+	}
+	var a, b bytes.Buffer
+	if err := WriteNTriples(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNTriples(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteNTriples is not deterministic")
+	}
+}
+
+// Property: any literal string round-trips through serialization.
+func TestNTriplesLiteralRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		g := NewGraph()
+		g.Add(T(IRI("http://x/s"), IRI("http://x/p"), String(s)))
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadNTriples(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(back)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package rdf implements the triple data model used by the SLIM store.
+//
+// The paper (§4.3) represents superimposed model, schema, and instance data
+// uniformly as RDF triples — "a triple is composed of a property, a resource,
+// and a value" — and serializes them in XML for interoperability between
+// superimposed applications. This package provides the terms (IRIs, blank
+// nodes, literals), triples, graphs, and two serializations: N-Triples (line
+// oriented, for diffing and tests) and an RDF/XML-style format (the paper's
+// persistence syntax).
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind int
+
+const (
+	// KindIRI identifies a resource by IRI.
+	KindIRI TermKind = iota
+	// KindBlank identifies a local, unnamed resource.
+	KindBlank
+	// KindLiteral is a data value, optionally typed.
+	KindLiteral
+)
+
+// String returns the kind name.
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "iri"
+	case KindBlank:
+		return "blank"
+	case KindLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", int(k))
+	}
+}
+
+// Term is one position of a triple: an IRI, a blank node, or a literal.
+// Terms are immutable values; equality is structural.
+type Term struct {
+	kind  TermKind
+	value string // IRI text, blank label, or literal lexical form
+	dtype string // literal datatype IRI; empty means plain string
+}
+
+// Zero is the zero Term. It is an empty IRI and is not valid in a triple;
+// query code uses it as "any".
+var Zero Term
+
+// IRI returns an IRI term. The text is not validated beyond being non-empty
+// when placed into a triple; the store treats IRIs as opaque identifiers,
+// matching the paper's use of mark ids and construct ids as plain names.
+func IRI(iri string) Term { return Term{kind: KindIRI, value: iri} }
+
+// Blank returns a blank-node term with the given local label.
+func Blank(label string) Term { return Term{kind: KindBlank, value: label} }
+
+// String returns a plain (untyped) string literal term.
+func String(s string) Term { return Term{kind: KindLiteral, value: s, dtype: XSDString} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI. An empty
+// datatype is normalized to xsd:string so literals have one canonical form
+// (plain literals and ^^xsd:string are the same term).
+func TypedLiteral(lexical, datatype string) Term {
+	if datatype == "" {
+		datatype = XSDString
+	}
+	return Term{kind: KindLiteral, value: lexical, dtype: datatype}
+}
+
+// Well-known datatype IRIs used by the SLIM store.
+const (
+	XSDString  = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+)
+
+// Integer returns an integer-typed literal.
+func Integer(n int64) Term {
+	return Term{kind: KindLiteral, value: strconv.FormatInt(n, 10), dtype: XSDInteger}
+}
+
+// Float returns a decimal-typed literal.
+func Float(f float64) Term {
+	return Term{kind: KindLiteral, value: strconv.FormatFloat(f, 'g', -1, 64), dtype: XSDDecimal}
+}
+
+// Bool returns a boolean-typed literal.
+func Bool(b bool) Term {
+	return Term{kind: KindLiteral, value: strconv.FormatBool(b), dtype: XSDBoolean}
+}
+
+// Kind reports the term's kind.
+func (t Term) Kind() TermKind { return t.kind }
+
+// Value returns the IRI text, blank label, or literal lexical form.
+func (t Term) Value() string { return t.value }
+
+// Datatype returns the literal datatype IRI, or "" for non-literals.
+func (t Term) Datatype() string { return t.dtype }
+
+// IsZero reports whether t is the zero Term (used as a wildcard in queries).
+func (t Term) IsZero() bool { return t == Zero }
+
+// IsResource reports whether t can appear in subject position (IRI or blank).
+func (t Term) IsResource() bool { return t.kind == KindIRI || t.kind == KindBlank }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.kind == KindLiteral }
+
+// Int parses an integer literal. It returns false if t is not a literal or
+// does not parse as an integer.
+func (t Term) Int() (int64, bool) {
+	if t.kind != KindLiteral {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(t.value, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Num parses a numeric literal (integer or decimal).
+func (t Term) Num() (float64, bool) {
+	if t.kind != KindLiteral {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(t.value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// Truth parses a boolean literal.
+func (t Term) Truth() (bool, bool) {
+	if t.kind != KindLiteral {
+		return false, false
+	}
+	b, err := strconv.ParseBool(t.value)
+	if err != nil {
+		return false, false
+	}
+	return b, true
+}
+
+// String implements fmt.Stringer using N-Triples-like syntax.
+func (t Term) String() string {
+	switch t.kind {
+	case KindIRI:
+		return "<" + t.value + ">"
+	case KindBlank:
+		return "_:" + t.value
+	case KindLiteral:
+		q := strconv.Quote(t.value)
+		if t.dtype == "" || t.dtype == XSDString {
+			return q
+		}
+		return q + "^^<" + t.dtype + ">"
+	default:
+		return "<?>"
+	}
+}
+
+// Compare orders terms: by kind, then value, then datatype. It gives graphs
+// a deterministic serialization order.
+func (t Term) Compare(u Term) int {
+	if t.kind != u.kind {
+		if t.kind < u.kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.value, u.value); c != 0 {
+		return c
+	}
+	return strings.Compare(t.dtype, u.dtype)
+}

@@ -1,0 +1,166 @@
+package rdf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	cases := []struct {
+		term Term
+		kind TermKind
+	}{
+		{IRI("http://x/a"), KindIRI},
+		{Blank("b1"), KindBlank},
+		{String("hello"), KindLiteral},
+		{Integer(42), KindLiteral},
+		{Float(3.5), KindLiteral},
+		{Bool(true), KindLiteral},
+	}
+	for _, c := range cases {
+		if c.term.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.term, c.term.Kind(), c.kind)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "iri" || KindBlank.String() != "blank" || KindLiteral.String() != "literal" {
+		t.Errorf("kind names wrong: %v %v %v", KindIRI, KindBlank, KindLiteral)
+	}
+	if got := TermKind(99).String(); got != "TermKind(99)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestZeroTerm(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if IRI("x").IsZero() {
+		t.Fatal("IRI(x).IsZero() = true")
+	}
+	var def Term
+	if def != Zero {
+		t.Fatal("zero value Term != Zero")
+	}
+}
+
+func TestIsResourceAndLiteral(t *testing.T) {
+	if !IRI("a").IsResource() || !Blank("b").IsResource() {
+		t.Error("IRI/Blank should be resources")
+	}
+	if String("l").IsResource() {
+		t.Error("literal should not be a resource")
+	}
+	if !String("l").IsLiteral() || IRI("a").IsLiteral() {
+		t.Error("IsLiteral misclassifies")
+	}
+}
+
+func TestIntegerRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, math.MaxInt64, math.MinInt64, 12345} {
+		term := Integer(n)
+		got, ok := term.Int()
+		if !ok || got != n {
+			t.Errorf("Integer(%d).Int() = %d, %v", n, got, ok)
+		}
+		if term.Datatype() != XSDInteger {
+			t.Errorf("Integer(%d) datatype = %q", n, term.Datatype())
+		}
+	}
+	if _, ok := String("abc").Int(); ok {
+		t.Error("String.Int() should fail")
+	}
+	if _, ok := IRI("abc").Int(); ok {
+		t.Error("IRI.Int() should fail")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, f := range []float64{0, 1.5, -2.25, 1e100, -1e-100} {
+		term := Float(f)
+		got, ok := term.Num()
+		if !ok || got != f {
+			t.Errorf("Float(%g).Num() = %g, %v", f, got, ok)
+		}
+	}
+	// Integers also parse as numbers.
+	if n, ok := Integer(7).Num(); !ok || n != 7 {
+		t.Errorf("Integer(7).Num() = %g, %v", n, ok)
+	}
+	if _, ok := String("NaN?no").Num(); ok {
+		t.Error("non-numeric literal should not parse")
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, b := range []bool{true, false} {
+		term := Bool(b)
+		got, ok := term.Truth()
+		if !ok || got != b {
+			t.Errorf("Bool(%v).Truth() = %v, %v", b, got, ok)
+		}
+	}
+	if _, ok := String("maybe").Truth(); ok {
+		t.Error("non-boolean literal should not parse")
+	}
+	if _, ok := Blank("b").Truth(); ok {
+		t.Error("blank node should not parse as bool")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{IRI("http://x/a"), "<http://x/a>"},
+		{Blank("n1"), "_:n1"},
+		{String("hi"), `"hi"`},
+		{Integer(3), `"3"^^<` + XSDInteger + `>`},
+		{String("a\"b"), `"a\"b"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTermCompareProperties(t *testing.T) {
+	// Antisymmetry and consistency with equality, property-based.
+	f := func(a, b string, dty uint8) bool {
+		terms := []Term{IRI(a), Blank(a), String(a), IRI(b), TypedLiteral(a, XSDInteger)}
+		x := terms[int(dty)%len(terms)]
+		y := terms[(int(dty)+1)%len(terms)]
+		cxy, cyx := x.Compare(y), y.Compare(x)
+		if cxy != -cyx {
+			return false
+		}
+		if (cxy == 0) != (x == y) {
+			return false
+		}
+		return x.Compare(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermCompareOrdering(t *testing.T) {
+	// Kind-major order: IRI < Blank < Literal.
+	if IRI("z").Compare(Blank("a")) >= 0 {
+		t.Error("IRI should sort before Blank")
+	}
+	if Blank("z").Compare(String("a")) >= 0 {
+		t.Error("Blank should sort before Literal")
+	}
+	if String("a").Compare(String("b")) >= 0 {
+		t.Error("literal value ordering broken")
+	}
+	if String("a").Compare(TypedLiteral("a", XSDInteger)) == 0 {
+		t.Error("literals differing in datatype must not compare equal")
+	}
+}

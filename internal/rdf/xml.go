@@ -1,0 +1,122 @@
+package rdf
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// The paper (§4.4) persists the triple store "through XML files". This file
+// implements that serialization. The format is a flat triple list (simpler
+// and more regular than full RDF/XML striping, but in its spirit): each
+// <triple> element carries subject, predicate, and object children whose
+// kind attribute distinguishes IRIs, blank nodes, and literals.
+
+const xmlFormatVersion = "1"
+
+type xmlStore struct {
+	XMLName xml.Name    `xml:"slimstore"`
+	Version string      `xml:"version,attr"`
+	Triples []xmlTriple `xml:"triple"`
+}
+
+type xmlTriple struct {
+	Subject   xmlTerm `xml:"subject"`
+	Predicate xmlTerm `xml:"predicate"`
+	Object    xmlTerm `xml:"object"`
+}
+
+type xmlTerm struct {
+	Kind     string `xml:"kind,attr"`
+	Datatype string `xml:"datatype,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+func termToXML(t Term) xmlTerm {
+	x := xmlTerm{Value: t.Value()}
+	switch t.Kind() {
+	case KindIRI:
+		x.Kind = "iri"
+	case KindBlank:
+		x.Kind = "blank"
+	case KindLiteral:
+		x.Kind = "literal"
+		if dt := t.Datatype(); dt != XSDString {
+			x.Datatype = dt
+		}
+	}
+	return x
+}
+
+func termFromXML(x xmlTerm) (Term, error) {
+	switch x.Kind {
+	case "iri":
+		return IRI(x.Value), nil
+	case "blank":
+		return Blank(x.Value), nil
+	case "literal":
+		if x.Datatype == "" {
+			return String(x.Value), nil
+		}
+		return TypedLiteral(x.Value, x.Datatype), nil
+	default:
+		return Zero, fmt.Errorf("rdf: unknown term kind %q in XML store", x.Kind)
+	}
+}
+
+// WriteXML serializes the graph in the SLIM XML persistence format, in
+// deterministic order.
+func WriteXML(w io.Writer, g *Graph) error {
+	store := xmlStore{Version: xmlFormatVersion}
+	for _, t := range g.All() {
+		store.Triples = append(store.Triples, xmlTriple{
+			Subject:   termToXML(t.Subject),
+			Predicate: termToXML(t.Predicate),
+			Object:    termToXML(t.Object),
+		})
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(store); err != nil {
+		return fmt.Errorf("rdf: encoding XML store: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXML parses a graph from the SLIM XML persistence format.
+func ReadXML(r io.Reader) (*Graph, error) {
+	var store xmlStore
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&store); err != nil {
+		return nil, fmt.Errorf("rdf: decoding XML store: %w", err)
+	}
+	if store.Version != xmlFormatVersion {
+		return nil, fmt.Errorf("rdf: unsupported XML store version %q", store.Version)
+	}
+	g := NewGraph()
+	for i, xt := range store.Triples {
+		s, err := termFromXML(xt.Subject)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: triple %d subject: %w", i, err)
+		}
+		p, err := termFromXML(xt.Predicate)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: triple %d predicate: %w", i, err)
+		}
+		o, err := termFromXML(xt.Object)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: triple %d object: %w", i, err)
+		}
+		if _, err := g.Add(T(s, p, o)); err != nil {
+			return nil, fmt.Errorf("rdf: triple %d: %w", i, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,80 @@
+package slim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Object is the read-only application-data view of one instance (Fig. 9:
+// "read-only objects that represent the ... model"). A DMI hands Objects to
+// the superimposed application; all mutation goes back through the DMI,
+// which keeps the triple representation and the objects consistent.
+type Object struct {
+	// ID is the instance IRI.
+	ID rdf.Term
+	// Construct is the IRI of the instance's construct (its type).
+	Construct string
+	// props maps connector IRI -> values in deterministic order.
+	props map[string][]rdf.Term
+}
+
+// newObject builds an object snapshot.
+func newObject(id rdf.Term, construct string, props map[string][]rdf.Term) *Object {
+	return &Object{ID: id, Construct: construct, props: props}
+}
+
+// Get returns the single value of the connector. It errors when the
+// property is absent or multi-valued.
+func (o *Object) Get(connectorID string) (rdf.Term, error) {
+	vs := o.props[connectorID]
+	switch len(vs) {
+	case 0:
+		return rdf.Zero, fmt.Errorf("slim: %s has no value for %s", o.ID.Value(), connectorID)
+	case 1:
+		return vs[0], nil
+	default:
+		return rdf.Zero, fmt.Errorf("slim: %s has %d values for %s, want 1", o.ID.Value(), len(vs), connectorID)
+	}
+}
+
+// GetString returns the single value as its lexical string, or "" when the
+// property is absent.
+func (o *Object) GetString(connectorID string) string {
+	v, err := o.Get(connectorID)
+	if err != nil {
+		return ""
+	}
+	return v.Value()
+}
+
+// GetInt returns the single integer value, or 0 when absent or non-integer.
+func (o *Object) GetInt(connectorID string) int64 {
+	v, err := o.Get(connectorID)
+	if err != nil {
+		return 0
+	}
+	n, _ := v.Int()
+	return n
+}
+
+// All returns every value of the connector, in deterministic order.
+func (o *Object) All(connectorID string) []rdf.Term {
+	return append([]rdf.Term(nil), o.props[connectorID]...)
+}
+
+// Connectors returns the connector IRIs that have values, sorted.
+func (o *Object) Connectors() []string {
+	out := make([]string, 0, len(o.props))
+	for k := range o.props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the object for diagnostics.
+func (o *Object) String() string {
+	return fmt.Sprintf("%s <%s>", o.ID.Value(), o.Construct)
+}

@@ -1,0 +1,189 @@
+package slimpad
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+	"repro/internal/slim"
+)
+
+// A pad written by a plain Fig. 3 implementation (no §6 extensions) must
+// load into the extended DMI.
+func TestLoadPlainModelPad(t *testing.T) {
+	store := slim.NewStore()
+	g, err := slim.GenerateDMI(store, metamodel.BundleScrapModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, err := g.Create(metamodel.ConstructSlimPad, map[string]any{
+		metamodel.ConnPadName: "legacy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.xml")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	d := newDMI(t)
+	pads, err := d.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pads) != 1 || pads[0].PadName() != "legacy" {
+		t.Fatalf("pads = %v", pads)
+	}
+	if pads[0].ID() != pad.ID {
+		t.Fatal("pad identity lost")
+	}
+}
+
+func TestLoadFileWithoutModel(t *testing.T) {
+	// A store file holding triples but no Bundle-Scrap model is rejected.
+	store := slim.NewStore()
+	store.Trim().Create(rdf.T(rdf.IRI("http://x/s"), rdf.IRI("http://x/p"), rdf.String("v")))
+	path := filepath.Join(t.TempDir(), "plain.xml")
+	if err := store.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d := newDMI(t)
+	if _, err := d.Load(path); err == nil {
+		t.Fatal("model-less file loaded")
+	}
+}
+
+func TestTreeAndStatsErrorPaths(t *testing.T) {
+	f := newFixture(t)
+	ghost := rdf.IRI("http://ghost")
+	if _, err := f.app.Tree(ghost); err == nil {
+		t.Error("Tree of ghost pad succeeded")
+	}
+	if _, err := f.app.PadStats(ghost); err == nil {
+		t.Error("PadStats of ghost pad succeeded")
+	}
+	if _, err := f.app.OpenScrap(ghost); err == nil {
+		t.Error("OpenScrap of ghost succeeded")
+	}
+	if _, err := f.app.PeekScrap(ghost); err == nil {
+		t.Error("PeekScrap of ghost succeeded")
+	}
+	if _, err := f.app.RefreshScrap(ghost); err == nil {
+		t.Error("RefreshScrap of ghost succeeded")
+	}
+}
+
+// opSeq is a random program over the DMI; the property is that after any
+// sequence, the store conforms to the model (minus cardinality-low
+// violations for bundles/scraps we intentionally built complete) and that
+// every view accessor agrees with the triples.
+func TestRandomOpSequenceInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d, err := NewDMI()
+		if err != nil {
+			return false
+		}
+		var bundles []rdf.Term
+		var scraps []rdf.Term
+		mustBundle := func() rdf.Term {
+			if len(bundles) == 0 {
+				b, err := d.CreateBundle("b", Coordinate{1, 1}, 10, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bundles = append(bundles, b.ID())
+			}
+			return bundles[len(bundles)-1]
+		}
+		for i, op := range ops {
+			switch op % 7 {
+			case 0:
+				b, err := d.CreateBundle("b", Coordinate{int(op), i}, 10, 10)
+				if err != nil {
+					return false
+				}
+				bundles = append(bundles, b.ID())
+			case 1:
+				s, err := d.CreateScrap("s", Coordinate{i, int(op)}, "m1")
+				if err != nil {
+					return false
+				}
+				scraps = append(scraps, s.ID())
+			case 2:
+				if len(scraps) > 0 {
+					d.AddScrapToBundle(mustBundle(), scraps[int(op)%len(scraps)])
+				}
+			case 3:
+				if len(bundles) >= 2 {
+					// May legitimately fail on cycles; invariant holds
+					// either way.
+					d.AddNestedBundle(bundles[int(op)%len(bundles)], bundles[i%len(bundles)])
+				}
+			case 4:
+				if len(bundles) > 0 {
+					d.MoveBundle(bundles[int(op)%len(bundles)], Coordinate{i, i})
+				}
+			case 5:
+				if len(scraps) > 0 {
+					d.AnnotateScrap(scraps[int(op)%len(scraps)], "note")
+				}
+			case 6:
+				if len(scraps) > 1 {
+					d.LinkScraps(scraps[0], scraps[len(scraps)-1])
+				}
+			}
+		}
+		// Invariant 1: conformance (every op built complete objects).
+		vios, err := d.Check()
+		if err != nil || len(vios) != 0 {
+			return false
+		}
+		// Invariant 2: no containment cycles — every bundle's view is
+		// finite and no bundle reaches itself through nestedBundle.
+		for _, b := range bundles {
+			for _, nested := range mustView(d, b) {
+				if nested == b {
+					return false
+				}
+			}
+		}
+		// Invariant 3: accessors agree with triples.
+		for _, s := range scraps {
+			sv, err := d.Scrap(s)
+			if err != nil {
+				return false
+			}
+			if len(sv.MarkHandles()) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mustView returns the resources reachable from a bundle via nestedBundle.
+func mustView(d *DMI, b rdf.Term) []rdf.Term {
+	nested := rdf.IRI(metamodel.ConnNestedBundle)
+	out := []rdf.Term{}
+	seen := map[rdf.Term]bool{}
+	frontier := []rdf.Term{b}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for _, next := range d.Store().Trim().Objects(cur, nested) {
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			out = append(out, next)
+			frontier = append(frontier, next)
+		}
+	}
+	return out
+}

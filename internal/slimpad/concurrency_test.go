@@ -1,0 +1,87 @@
+package slimpad
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Concurrent pad manipulation: multiple clinicians working on one shared
+// pad must never corrupt the store (the shared-bundle use case of §2:
+// "sharing bundles to establish collectively maintained, situated
+// awareness").
+func TestConcurrentPadManipulation(t *testing.T) {
+	d := newDMI(t)
+	pad, err := d.CreateSlimPad("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := d.CreateBundle("root", Coordinate{}, 800, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetRootBundle(pad.ID(), root.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				b, err := d.CreateBundle(fmt.Sprintf("w%d-b%d", w, i), Coordinate{X: w, Y: i}, 10, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := d.AddNestedBundle(root.ID(), b.ID()); err != nil {
+					errs <- err
+					return
+				}
+				s, err := d.CreateScrap(fmt.Sprintf("w%d-s%d", w, i), Coordinate{X: i, Y: w}, fmt.Sprintf("mark-w%d-%d", w, i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := d.AddScrapToBundle(b.ID(), s.ID()); err != nil {
+					errs <- err
+					return
+				}
+				// Interleave reads.
+				if _, err := d.Bundle(b.ID()); err != nil {
+					errs <- err
+					return
+				}
+				if err := d.MoveScrap(s.ID(), Coordinate{X: i * 2, Y: w * 2}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	got, err := d.Bundle(root.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NestedBundles()) != workers*perWorker {
+		t.Fatalf("nested bundles = %d, want %d", len(got.NestedBundles()), workers*perWorker)
+	}
+	// The store still conforms.
+	vios, err := d.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 0 {
+		t.Fatalf("violations after concurrent use: %d (first: %v)", len(vios), vios[0])
+	}
+}

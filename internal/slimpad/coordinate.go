@@ -1,0 +1,44 @@
+// Package slimpad implements SLIMPad, the paper's superimposed application
+// (§3): structured digital bundles of scraps, each scrap wired to base-layer
+// information through a mark. The information model is the Bundle-Scrap
+// model of Fig. 3; manipulation goes through a hand-written DMI shaped like
+// Fig. 10 (Create_SlimPad, Create_Bundle, Update_padName, Delete_Bundle,
+// save, load) layered on the generic SLIM store; the application layer ties
+// the DMI to the Mark Manager for scrap creation and resolution.
+package slimpad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Coordinate is a 2D position on the pad. The paper: "We allow flexibility
+// for placement of information elements and bundles in two dimensions. The
+// juxtaposition of scraps and bundles contains implicit semantic information
+// that we neither want to constrain or lose."
+type Coordinate struct {
+	X, Y int
+}
+
+// String renders the coordinate as "x,y" (the stored literal form).
+func (c Coordinate) String() string {
+	return strconv.Itoa(c.X) + "," + strconv.Itoa(c.Y)
+}
+
+// ParseCoordinate parses "x,y".
+func ParseCoordinate(s string) (Coordinate, error) {
+	a, b, found := strings.Cut(s, ",")
+	if !found {
+		return Coordinate{}, fmt.Errorf("slimpad: coordinate %q must be x,y", s)
+	}
+	x, err := strconv.Atoi(strings.TrimSpace(a))
+	if err != nil {
+		return Coordinate{}, fmt.Errorf("slimpad: coordinate %q: bad x", s)
+	}
+	y, err := strconv.Atoi(strings.TrimSpace(b))
+	if err != nil {
+		return Coordinate{}, fmt.Errorf("slimpad: coordinate %q: bad y", s)
+	}
+	return Coordinate{X: x, Y: y}, nil
+}

@@ -1,0 +1,52 @@
+package slimpad_test
+
+import (
+	"fmt"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/mark"
+	"repro/internal/slimpad"
+)
+
+// The complete §3 loop: select in a base application, clip to the pad,
+// double-click back into context.
+func Example() {
+	sheets := spreadsheet.NewApp()
+	wb := spreadsheet.NewWorkbook("meds.xls")
+	wb.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\n")
+	sheets.AddWorkbook(wb)
+
+	marks := mark.NewManager()
+	marks.RegisterApplication(sheets)
+
+	app, _ := slimpad.NewApp(marks)
+	_, root, _ := app.NewPad("Rounds")
+
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2:B2")
+	sheets.SelectRange("Meds", r)
+	scrap, _ := app.ClipSelection(root.ID(), spreadsheet.Scheme, "loop diuretic", slimpad.Coordinate{X: 10, Y: 10})
+
+	el, _ := app.OpenScrap(scrap.ID())
+	fmt.Println(scrap.ScrapName(), "->", el.Content)
+	// Output:
+	// loop diuretic -> Furosemide	40mg
+}
+
+func ExampleDMI_Instantiate() {
+	d, _ := slimpad.NewDMI()
+	tmpl, _ := d.CreateBundle("card", slimpad.Coordinate{}, 200, 100)
+	s, _ := d.CreateScrap("K+", slimpad.Coordinate{X: 4, Y: 4}, "template-mark")
+	d.AddScrapToBundle(tmpl.ID(), s.ID())
+	d.MarkAsTemplate(tmpl.ID(), "patient-card")
+
+	inst, _ := d.Instantiate(tmpl.ID(),
+		func(name string) string { return "John: " + name },
+		func(scrapName, markID string) (string, error) { return "john-mark", nil })
+	copyScrap, _ := d.Scrap(inst.Scraps()[0])
+	fmt.Println(inst.BundleName())
+	fmt.Println(copyScrap.ScrapName(), copyScrap.MarkHandles()[0].MarkID())
+	// Output:
+	// John: card
+	// John: K+ john-mark
+}

@@ -1,0 +1,223 @@
+package slimpad
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+)
+
+// The §6 extensions: "annotations on scraps, linking among scraps and
+// templates for bundles." (The paper also notes, §5: "Some initial feedback
+// from clinicians indicates annotations on scraps would be useful.")
+
+// AnnotateScrap attaches a free-text note to a scrap.
+func (d *DMI) AnnotateScrap(scrap rdf.Term, note string) error {
+	if note == "" {
+		return fmt.Errorf("slimpad: empty scrap note")
+	}
+	if _, err := d.Scrap(scrap); err != nil {
+		return err
+	}
+	return d.g.Add(scrap, metamodel.ConnScrapNote, note)
+}
+
+// ScrapNotes returns the notes on a scrap, sorted.
+func (d *DMI) ScrapNotes(scrap rdf.Term) ([]string, error) {
+	obj, err := d.g.Get(scrap)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, v := range obj.All(metamodel.ConnScrapNote) {
+		out = append(out, v.Value())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// RemoveScrapNote deletes one note from a scrap.
+func (d *DMI) RemoveScrapNote(scrap rdf.Term, note string) error {
+	return d.g.Unset(scrap, metamodel.ConnScrapNote, note)
+}
+
+// LinkScraps records a directed link from one scrap to another (e.g. "this
+// lab value explains that medication change").
+func (d *DMI) LinkScraps(from, to rdf.Term) error {
+	if from == to {
+		return fmt.Errorf("slimpad: a scrap cannot link to itself")
+	}
+	if _, err := d.Scrap(to); err != nil {
+		return err
+	}
+	return d.g.Add(from, metamodel.ConnScrapLink, to)
+}
+
+// UnlinkScraps removes a directed link.
+func (d *DMI) UnlinkScraps(from, to rdf.Term) error {
+	return d.g.Unset(from, metamodel.ConnScrapLink, to)
+}
+
+// LinkedScraps returns the scraps the given scrap links to, sorted.
+func (d *DMI) LinkedScraps(scrap rdf.Term) ([]rdf.Term, error) {
+	obj, err := d.g.Get(scrap)
+	if err != nil {
+		return nil, err
+	}
+	out := obj.All(metamodel.ConnScrapLink)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// Backlinks returns the scraps linking *to* the given scrap, sorted.
+func (d *DMI) Backlinks(scrap rdf.Term) []rdf.Term {
+	out := d.store.Trim().Subjects(rdf.IRI(metamodel.ConnScrapLink), scrap)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// MarkAsTemplate designates a bundle as a reusable template with the given
+// name. Templates are ordinary bundles; the name makes them discoverable.
+func (d *DMI) MarkAsTemplate(bundle rdf.Term, name string) error {
+	if name == "" {
+		return fmt.Errorf("slimpad: template needs a name")
+	}
+	if _, err := d.Bundle(bundle); err != nil {
+		return err
+	}
+	return d.g.Set(bundle, metamodel.ConnTemplateName, name)
+}
+
+// Templates lists template bundles as (name, bundle id), sorted by name.
+func (d *DMI) Templates() ([]TemplateRef, error) {
+	var out []TemplateRef
+	for _, t := range d.store.Trim().Select(rdf.P(rdf.Zero, rdf.IRI(metamodel.ConnTemplateName), rdf.Zero)) {
+		out = append(out, TemplateRef{Name: t.Object.Value(), Bundle: t.Subject})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Bundle.Compare(out[j].Bundle) < 0
+	})
+	return out, nil
+}
+
+// TemplateRef names a template bundle.
+type TemplateRef struct {
+	Name   string
+	Bundle rdf.Term
+}
+
+// Rebinder supplies a replacement mark id for a template scrap during
+// instantiation. It receives the scrap's name and the template's mark id;
+// returning "" keeps the original mark (shared with the template).
+type Rebinder func(scrapName, markID string) (string, error)
+
+// Instantiate deep-copies a template bundle subtree: bundles keep their
+// geometry, names pass through rename (nil keeps them), and each scrap's
+// marks pass through rebind (nil shares the template's marks). Scrap links
+// whose both ends lie inside the subtree are rewritten to the copies; links
+// pointing outside are preserved as-is. The template designation itself is
+// not copied.
+func (d *DMI) Instantiate(template rdf.Term, rename func(string) string, rebind Rebinder) (Bundle, error) {
+	if rename == nil {
+		rename = func(s string) string { return s }
+	}
+	scrapMap := make(map[rdf.Term]rdf.Term) // template scrap -> copy
+	var cloneBundle func(src rdf.Term) (Bundle, error)
+	cloneBundle = func(src rdf.Term) (Bundle, error) {
+		b, err := d.Bundle(src)
+		if err != nil {
+			return nil, err
+		}
+		copyB, err := d.CreateBundle(rename(b.BundleName()), b.Pos(), b.Width(), b.Height())
+		if err != nil {
+			return nil, err
+		}
+		scraps := b.Scraps()
+		sort.Slice(scraps, func(i, j int) bool { return scraps[i].Compare(scraps[j]) < 0 })
+		for _, sid := range scraps {
+			s, err := d.Scrap(sid)
+			if err != nil {
+				return nil, err
+			}
+			handles := s.MarkHandles()
+			if len(handles) == 0 {
+				return nil, fmt.Errorf("slimpad: template scrap %s has no marks", sid.Value())
+			}
+			newMarks := make([]string, 0, len(handles))
+			for _, h := range handles {
+				mid := h.MarkID()
+				if rebind != nil {
+					replacement, err := rebind(s.ScrapName(), mid)
+					if err != nil {
+						return nil, fmt.Errorf("slimpad: rebinding scrap %q: %w", s.ScrapName(), err)
+					}
+					if replacement != "" {
+						mid = replacement
+					}
+				}
+				newMarks = append(newMarks, mid)
+			}
+			copyS, err := d.CreateScrap(rename(s.ScrapName()), s.Pos(), newMarks[0])
+			if err != nil {
+				return nil, err
+			}
+			for _, extra := range newMarks[1:] {
+				if err := d.AddScrapMark(copyS.ID(), extra); err != nil {
+					return nil, err
+				}
+			}
+			notes, err := d.ScrapNotes(sid)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range notes {
+				if err := d.AnnotateScrap(copyS.ID(), n); err != nil {
+					return nil, err
+				}
+			}
+			if err := d.AddScrapToBundle(copyB.ID(), copyS.ID()); err != nil {
+				return nil, err
+			}
+			scrapMap[sid] = copyS.ID()
+		}
+		nested := b.NestedBundles()
+		sort.Slice(nested, func(i, j int) bool { return nested[i].Compare(nested[j]) < 0 })
+		for _, nid := range nested {
+			copyN, err := cloneBundle(nid)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.AddNestedBundle(copyB.ID(), copyN.ID()); err != nil {
+				return nil, err
+			}
+		}
+		// Re-fetch: views are snapshots, and copyB was snapped before its
+		// contents were attached.
+		return d.Bundle(copyB.ID())
+	}
+	root, err := cloneBundle(template)
+	if err != nil {
+		return nil, err
+	}
+	// Second pass: rewrite intra-subtree scrap links onto the copies.
+	for oldScrap, newScrap := range scrapMap {
+		links, err := d.LinkedScraps(oldScrap)
+		if err != nil {
+			return nil, err
+		}
+		for _, target := range links {
+			mapped, inside := scrapMap[target]
+			if !inside {
+				mapped = target
+			}
+			if err := d.LinkScraps(newScrap, mapped); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return root, nil
+}

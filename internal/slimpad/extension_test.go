@@ -1,0 +1,324 @@
+package slimpad
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/rdf"
+)
+
+func TestScrapNotes(t *testing.T) {
+	d := newDMI(t)
+	s, _ := d.CreateScrap("K+ 4.1", Coordinate{0, 0}, "m1")
+	if err := d.AnnotateScrap(s.ID(), "trending down"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AnnotateScrap(s.ID(), "recheck at 18:00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AnnotateScrap(s.ID(), ""); err == nil {
+		t.Fatal("empty note accepted")
+	}
+	notes, err := d.ScrapNotes(s.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 2 || notes[0] != "recheck at 18:00" || notes[1] != "trending down" {
+		t.Fatalf("notes = %v", notes)
+	}
+	if err := d.RemoveScrapNote(s.ID(), "trending down"); err != nil {
+		t.Fatal(err)
+	}
+	notes, _ = d.ScrapNotes(s.ID())
+	if len(notes) != 1 {
+		t.Fatalf("notes after remove = %v", notes)
+	}
+	if err := d.RemoveScrapNote(s.ID(), "never existed"); err == nil {
+		t.Fatal("removing absent note succeeded")
+	}
+	// Notes on a non-scrap fail.
+	b, _ := d.CreateBundle("b", Coordinate{0, 0}, 1, 1)
+	if err := d.AnnotateScrap(b.ID(), "x"); err == nil {
+		t.Fatal("note on bundle accepted")
+	}
+}
+
+func TestScrapLinks(t *testing.T) {
+	d := newDMI(t)
+	s1, _ := d.CreateScrap("Furosemide", Coordinate{0, 0}, "m1")
+	s2, _ := d.CreateScrap("K+ 3.1", Coordinate{0, 0}, "m2")
+	s3, _ := d.CreateScrap("KCl 40meq", Coordinate{0, 0}, "m3")
+	if err := d.LinkScraps(s2.ID(), s1.ID()); err != nil { // low K explains the diuretic
+		t.Fatal(err)
+	}
+	if err := d.LinkScraps(s2.ID(), s3.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LinkScraps(s1.ID(), s1.ID()); err == nil {
+		t.Fatal("self-link accepted")
+	}
+	if err := d.LinkScraps(s1.ID(), rdf.IRI("http://ghost")); err == nil {
+		t.Fatal("link to ghost accepted")
+	}
+	links, err := d.LinkedScraps(s2.ID())
+	if err != nil || len(links) != 2 {
+		t.Fatalf("links = %v, %v", links, err)
+	}
+	back := d.Backlinks(s3.ID())
+	if len(back) != 1 || back[0] != s2.ID() {
+		t.Fatalf("backlinks = %v", back)
+	}
+	if err := d.UnlinkScraps(s2.ID(), s3.ID()); err != nil {
+		t.Fatal(err)
+	}
+	links, _ = d.LinkedScraps(s2.ID())
+	if len(links) != 1 {
+		t.Fatalf("links after unlink = %v", links)
+	}
+	if err := d.UnlinkScraps(s2.ID(), s3.ID()); err == nil {
+		t.Fatal("double unlink succeeded")
+	}
+}
+
+func TestExtensionsConform(t *testing.T) {
+	d := newDMI(t)
+	pad, _ := d.CreateSlimPad("p")
+	b, _ := d.CreateBundle("root", Coordinate{0, 0}, 10, 10)
+	d.SetRootBundle(pad.ID(), b.ID())
+	s1, _ := d.CreateScrap("a", Coordinate{0, 0}, "m1")
+	s2, _ := d.CreateScrap("b", Coordinate{0, 0}, "m2")
+	d.AddScrapToBundle(b.ID(), s1.ID())
+	d.AddScrapToBundle(b.ID(), s2.ID())
+	d.AnnotateScrap(s1.ID(), "note")
+	d.LinkScraps(s1.ID(), s2.ID())
+	d.MarkAsTemplate(b.ID(), "tmpl")
+	vios, err := d.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vios) != 0 {
+		t.Fatalf("extended pad has violations: %v", vios)
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	d := newDMI(t)
+	b, _ := d.CreateBundle("patient card", Coordinate{0, 0}, 200, 100)
+	if err := d.MarkAsTemplate(b.ID(), ""); err == nil {
+		t.Fatal("unnamed template accepted")
+	}
+	if err := d.MarkAsTemplate(rdf.IRI("http://ghost"), "x"); err == nil {
+		t.Fatal("template on ghost accepted")
+	}
+	if err := d.MarkAsTemplate(b.ID(), "patient-card"); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := d.Templates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Name != "patient-card" || ts[0].Bundle != b.ID() {
+		t.Fatalf("templates = %v", ts)
+	}
+	// Renaming the designation replaces it (Set semantics).
+	d.MarkAsTemplate(b.ID(), "card-v2")
+	ts, _ = d.Templates()
+	if len(ts) != 1 || ts[0].Name != "card-v2" {
+		t.Fatalf("templates after rename = %v", ts)
+	}
+}
+
+// buildTemplate makes a two-level template: a card bundle holding a med
+// scrap (with a note) and a nested "Electrolyte" bundle holding a lab scrap
+// linked to the med scrap.
+func buildTemplate(t *testing.T, d *DMI) (rdf.Term, rdf.Term, rdf.Term) {
+	t.Helper()
+	card, _ := d.CreateBundle("card", Coordinate{10, 10}, 300, 150)
+	med, _ := d.CreateScrap("med", Coordinate{8, 8}, "tmpl-med-mark")
+	d.AnnotateScrap(med.ID(), "check dose")
+	d.AddScrapToBundle(card.ID(), med.ID())
+	elec, _ := d.CreateBundle("Electrolyte", Coordinate{100, 8}, 150, 100)
+	d.AddNestedBundle(card.ID(), elec.ID())
+	lab, _ := d.CreateScrap("K", Coordinate{4, 4}, "tmpl-lab-mark")
+	d.AddScrapToBundle(elec.ID(), lab.ID())
+	d.LinkScraps(lab.ID(), med.ID())
+	d.MarkAsTemplate(card.ID(), "patient-card")
+	return card.ID(), med.ID(), lab.ID()
+}
+
+func TestInstantiateDeepCopies(t *testing.T) {
+	d := newDMI(t)
+	card, medID, labID := buildTemplate(t, d)
+
+	rename := func(s string) string { return "John: " + s }
+	rebinds := map[string]string{
+		"tmpl-med-mark": "john-med-mark",
+		"tmpl-lab-mark": "john-lab-mark",
+	}
+	inst, err := d.Instantiate(card, rename, func(name, markID string) (string, error) {
+		return rebinds[markID], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.ID() == card {
+		t.Fatal("instance is the template")
+	}
+	if inst.BundleName() != "John: card" {
+		t.Errorf("instance name = %q", inst.BundleName())
+	}
+	if inst.Pos() != (Coordinate{10, 10}) || inst.Width() != 300 {
+		t.Error("geometry not copied")
+	}
+	// The instance is not itself a template.
+	ts, _ := d.Templates()
+	if len(ts) != 1 {
+		t.Fatalf("templates after instantiation = %v", ts)
+	}
+	// Structure: one scrap + one nested bundle with one scrap.
+	scraps := inst.Scraps()
+	if len(scraps) != 1 {
+		t.Fatalf("instance scraps = %d", len(scraps))
+	}
+	medCopy, _ := d.Scrap(scraps[0])
+	if medCopy.ScrapName() != "John: med" {
+		t.Errorf("scrap name = %q", medCopy.ScrapName())
+	}
+	if medCopy.MarkHandles()[0].MarkID() != "john-med-mark" {
+		t.Errorf("rebound mark = %q", medCopy.MarkHandles()[0].MarkID())
+	}
+	notes, _ := d.ScrapNotes(scraps[0])
+	if len(notes) != 1 || notes[0] != "check dose" {
+		t.Errorf("notes = %v", notes)
+	}
+	nested := inst.NestedBundles()
+	if len(nested) != 1 {
+		t.Fatalf("nested = %d", len(nested))
+	}
+	elecCopy, _ := d.Bundle(nested[0])
+	labScraps := elecCopy.Scraps()
+	if len(labScraps) != 1 {
+		t.Fatalf("nested scraps = %d", len(labScraps))
+	}
+	labCopy, _ := d.Scrap(labScraps[0])
+	if labCopy.MarkHandles()[0].MarkID() != "john-lab-mark" {
+		t.Errorf("lab mark = %q", labCopy.MarkHandles()[0].MarkID())
+	}
+	// The intra-template link was rewritten onto the copies.
+	links, _ := d.LinkedScraps(labScraps[0])
+	if len(links) != 1 || links[0] != scraps[0] {
+		t.Fatalf("copied link = %v, want -> %v", links, scraps[0])
+	}
+	// The template's own structures are untouched.
+	origLinks, _ := d.LinkedScraps(labID)
+	if len(origLinks) != 1 || origLinks[0] != medID {
+		t.Fatalf("template link mutated: %v", origLinks)
+	}
+}
+
+func TestInstantiateSharedMarksByDefault(t *testing.T) {
+	d := newDMI(t)
+	card, _, _ := buildTemplate(t, d)
+	inst, err := d.Instantiate(card, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Scrap(inst.Scraps()[0])
+	if s.MarkHandles()[0].MarkID() != "tmpl-med-mark" {
+		t.Fatalf("default instantiation should share marks, got %q", s.MarkHandles()[0].MarkID())
+	}
+	if s.ScrapName() != "med" {
+		t.Fatalf("nil rename changed name to %q", s.ScrapName())
+	}
+}
+
+func TestInstantiateRebindError(t *testing.T) {
+	d := newDMI(t)
+	card, _, _ := buildTemplate(t, d)
+	_, err := d.Instantiate(card, nil, func(name, markID string) (string, error) {
+		return "", fmt.Errorf("no patient selected")
+	})
+	if err == nil {
+		t.Fatal("rebind error swallowed")
+	}
+}
+
+func TestInstantiateGhostTemplate(t *testing.T) {
+	d := newDMI(t)
+	if _, err := d.Instantiate(rdf.IRI("http://ghost"), nil, nil); err == nil {
+		t.Fatal("instantiating ghost succeeded")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	d := newDMI(t)
+	s1, _ := d.CreateScrap("Furosemide 40mg", Coordinate{0, 0}, "m1")
+	d.CreateScrap("Insulin 5u", Coordinate{0, 0}, "m2")
+	d.CreateBundle("Electrolyte", Coordinate{0, 0}, 1, 1)
+	d.CreateBundle("John Smith", Coordinate{0, 0}, 1, 1)
+	d.AnnotateScrap(s1.ID(), "hold if SBP < 90")
+
+	scraps, err := d.FindScraps("furosemide")
+	if err != nil || len(scraps) != 1 {
+		t.Fatalf("FindScraps = %v, %v", scraps, err)
+	}
+	none, _ := d.FindScraps("warfarin")
+	if len(none) != 0 {
+		t.Fatal("false positive")
+	}
+	bundles, err := d.FindBundles("electro")
+	if err != nil || len(bundles) != 1 || bundles[0].BundleName() != "Electrolyte" {
+		t.Fatalf("FindBundles = %v, %v", bundles, err)
+	}
+	noted, err := d.ScrapsWithNote("sbp")
+	if err != nil || len(noted) != 1 || noted[0].ID() != s1.ID() {
+		t.Fatalf("ScrapsWithNote = %v, %v", noted, err)
+	}
+}
+
+func TestScrapsMarkingDocument(t *testing.T) {
+	f := newFixture(t)
+	_, root, _ := f.app.NewPad("Rounds")
+	f.xmlApp.Open("lab.xml")
+	f.xmlApp.SelectExpr("/report/panel/result[1]")
+	na, err := f.app.ClipSelection(root.ID(), "xml", "Na", Coordinate{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.xmlApp.SelectExpr("/report/panel/result[2]")
+	if _, err := f.app.ClipSelection(root.ID(), "xml", "K", Coordinate{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	f.sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	f.sheets.SelectRange("Meds", r)
+	if _, err := f.app.ClipSelection(root.ID(), "spreadsheet", "", Coordinate{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	fromLab, err := f.app.ScrapsMarking("xml", "lab.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromLab) != 2 {
+		t.Fatalf("ScrapsMarking(lab) = %d", len(fromLab))
+	}
+	found := false
+	for _, s := range fromLab {
+		if s.ID() == na.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Na scrap missing from document query")
+	}
+	fromMeds, err := f.app.ScrapsMarking("spreadsheet", "meds.xls")
+	if err != nil || len(fromMeds) != 1 {
+		t.Fatalf("ScrapsMarking(meds) = %d, %v", len(fromMeds), err)
+	}
+	none, err := f.app.ScrapsMarking("xml", "other.xml")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("ScrapsMarking(other) = %d, %v", len(none), err)
+	}
+}

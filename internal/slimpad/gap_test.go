@@ -1,0 +1,52 @@
+package slimpad
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestDeleteSlimPad(t *testing.T) {
+	d := newDMI(t)
+	pad, _ := d.CreateSlimPad("p")
+	root, _ := d.CreateBundle("root", Coordinate{}, 10, 10)
+	d.SetRootBundle(pad.ID(), root.ID())
+
+	// Non-cascading delete removes the pad but keeps the bundle.
+	if err := d.DeleteSlimPad(pad.ID(), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Pad(pad.ID()); err == nil {
+		t.Fatal("pad survives delete")
+	}
+	if _, err := d.Bundle(root.ID()); err != nil {
+		t.Fatal("non-cascading delete removed the bundle")
+	}
+
+	// Cascading delete takes the root bundle and its contents along.
+	pad2, _ := d.CreateSlimPad("p2")
+	root2, _ := d.CreateBundle("root2", Coordinate{}, 10, 10)
+	d.SetRootBundle(pad2.ID(), root2.ID())
+	s, _ := d.CreateScrap("s", Coordinate{}, "m")
+	d.AddScrapToBundle(root2.ID(), s.ID())
+	if err := d.DeleteSlimPad(pad2.ID(), true); err != nil {
+		t.Fatal(err)
+	}
+	for _, gone := range []rdf.Term{pad2.ID(), root2.ID(), s.ID()} {
+		if d.Store().Trim().Count(rdf.P(gone, rdf.Zero, rdf.Zero)) != 0 {
+			t.Errorf("%s survived cascading pad delete", gone.Value())
+		}
+	}
+	// Deleting a ghost pad fails.
+	if err := d.DeleteSlimPad(rdf.IRI("http://ghost"), false); err == nil {
+		t.Fatal("ghost pad delete succeeded")
+	}
+}
+
+func TestTemplatesEmpty(t *testing.T) {
+	d := newDMI(t)
+	ts, err := d.Templates()
+	if err != nil || len(ts) != 0 {
+		t.Fatalf("Templates = %v, %v", ts, err)
+	}
+}

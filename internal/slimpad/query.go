@@ -1,0 +1,110 @@
+package slimpad
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/metamodel"
+	"repro/internal/rdf"
+)
+
+// Query capabilities, the §6 direction "augmenting such interfaces with
+// query capabilities, in addition to the current navigational access."
+
+// FindScraps returns the scraps whose label contains the needle
+// (case-insensitive), sorted by id.
+func (d *DMI) FindScraps(needle string) ([]Scrap, error) {
+	return d.findScraps(func(s Scrap) bool {
+		return containsFold(s.ScrapName(), needle)
+	})
+}
+
+// FindBundles returns the bundles whose label contains the needle
+// (case-insensitive), sorted by id.
+func (d *DMI) FindBundles(needle string) ([]Bundle, error) {
+	objs, err := d.g.InstancesOf(metamodel.ConstructBundle)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bundle
+	for _, o := range objs {
+		b := bundleView{o}
+		if containsFold(b.BundleName(), needle) {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// ScrapsWithNote returns scraps carrying a note containing the needle.
+func (d *DMI) ScrapsWithNote(needle string) ([]Scrap, error) {
+	return d.findScraps(func(s Scrap) bool {
+		notes, err := d.ScrapNotes(s.ID())
+		if err != nil {
+			return false
+		}
+		for _, n := range notes {
+			if containsFold(n, needle) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func (d *DMI) findScraps(pred func(Scrap) bool) ([]Scrap, error) {
+	objs, err := d.g.InstancesOf(metamodel.ConstructScrap)
+	if err != nil {
+		return nil, err
+	}
+	var out []Scrap
+	for _, o := range objs {
+		s, err := d.Scrap(o.ID)
+		if err != nil {
+			return nil, err
+		}
+		if pred(s) {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func containsFold(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}
+
+// ScrapsMarking returns the scraps whose marks address the given base
+// document — "which of my scraps came from this lab report?" — sorted by
+// scrap id.
+func (a *App) ScrapsMarking(scheme, file string) ([]Scrap, error) {
+	wanted := map[string]bool{}
+	for _, m := range a.marks.Marks() {
+		if m.Address.Scheme == scheme && m.Address.File == file {
+			wanted[m.ID] = true
+		}
+	}
+	var ids []rdf.Term
+	for _, t := range a.dmi.Store().Trim().Select(rdf.P(rdf.Zero, metamodel.PropMarkID, rdf.Zero)) {
+		if !wanted[t.Object.Value()] {
+			continue
+		}
+		// t.Subject is a MarkHandle; find the scraps holding it.
+		ids = append(ids, a.dmi.Store().Trim().Subjects(rdf.IRI(metamodel.ConnScrapMark), t.Subject)...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	var out []Scrap
+	seen := map[rdf.Term]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		s, err := a.dmi.Scrap(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

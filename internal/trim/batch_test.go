@@ -1,0 +1,138 @@
+package trim
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestBatchApply(t *testing.T) {
+	m := NewManager()
+	m.Create(tr("s", "old", "x"))
+	b := m.NewBatch()
+	if err := b.Create(tr("s", "name", "Ada")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Create(tr("s", "pos", "1,2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(tr("s", "old", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if err := b.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("store Len = %d, want 2", m.Len())
+	}
+	if m.Has(tr("s", "old", "x")) {
+		t.Fatal("removed triple still present")
+	}
+}
+
+func TestBatchStagingValidation(t *testing.T) {
+	m := NewManager()
+	b := m.NewBatch()
+	if err := b.Create(rdf.T(rdf.String("bad"), rdf.IRI("p"), rdf.String("o"))); err == nil {
+		t.Fatal("invalid triple staged without error")
+	}
+	if b.Len() != 0 {
+		t.Fatal("invalid triple counted")
+	}
+}
+
+func TestBatchRemoveMatching(t *testing.T) {
+	m := NewManager()
+	m.Create(tr("s", "p", "1"))
+	m.Create(tr("s", "p", "2"))
+	m.Create(tr("s", "q", "3"))
+	b := m.NewBatch()
+	b.RemoveMatching(rdf.P(rdf.IRI("http://t/s"), rdf.IRI("http://t/p"), rdf.Zero))
+	b.Create(tr("s", "p", "new"))
+	if err := b.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	objs := m.Objects(rdf.IRI("http://t/s"), rdf.IRI("http://t/p"))
+	if len(objs) != 1 || objs[0].Value() != "new" {
+		t.Fatalf("after batch: %v", objs)
+	}
+	if !m.Has(tr("s", "q", "3")) {
+		t.Fatal("unrelated triple removed")
+	}
+}
+
+func TestBatchRemoveMatchingExpandsAtApply(t *testing.T) {
+	m := NewManager()
+	b := m.NewBatch()
+	b.RemoveMatching(rdf.P(rdf.IRI("http://t/s"), rdf.Zero, rdf.Zero))
+	// Triple created after staging but before apply must still be removed.
+	m.Create(tr("s", "p", "late"))
+	if err := b.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("pattern expanded at staging time, not apply time")
+	}
+}
+
+func TestBatchSingleUse(t *testing.T) {
+	m := NewManager()
+	b := m.NewBatch()
+	b.Create(tr("s", "p", "v"))
+	if err := b.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(); err == nil {
+		t.Fatal("second Apply succeeded")
+	}
+	if err := b.Create(tr("s", "p", "w")); err == nil {
+		t.Fatal("staging after Apply succeeded")
+	}
+	b2 := m.NewBatch()
+	b2.Discard()
+	if err := b2.Create(tr("s", "p", "w")); err == nil {
+		t.Fatal("staging after Discard succeeded")
+	}
+}
+
+func TestBatchDiscardLeavesStoreUntouched(t *testing.T) {
+	m := NewManager()
+	m.Create(tr("keep", "p", "v"))
+	b := m.NewBatch()
+	b.Create(tr("s", "p", "v"))
+	b.Remove(tr("keep", "p", "v"))
+	b.Discard()
+	if m.Len() != 1 || !m.Has(tr("keep", "p", "v")) {
+		t.Fatal("Discard modified the store")
+	}
+}
+
+func TestBatchRemovesBeforeCreates(t *testing.T) {
+	m := NewManager()
+	m.Create(tr("s", "p", "v"))
+	b := m.NewBatch()
+	// Remove and re-create the same triple in one batch: final state present.
+	b.Remove(tr("s", "p", "v"))
+	b.Create(tr("s", "p", "v"))
+	if err := b.Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(tr("s", "p", "v")) {
+		t.Fatal("triple lost: removes must run before creates")
+	}
+}
+
+func TestBatchEmptyApply(t *testing.T) {
+	m := NewManager()
+	populate(m, 3)
+	before := m.Generation()
+	if err := m.NewBatch().Apply(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation() != before {
+		t.Fatal("empty batch mutated the store")
+	}
+}

@@ -1,0 +1,279 @@
+package trim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// CompactStore is the alternative TRIM implementation foreshadowed in §6:
+// "In applications of our SLIM Store technology beyond SLIMPad, some data
+// sets are quite large and we are developing alternative implementation
+// mechanisms."
+//
+// Terms are interned into a dictionary once and triples become fixed-size
+// integer tuples, cutting per-triple memory versus the map-of-structs
+// Manager and making bulk loads cheap. The trade-off is that removals are
+// tombstoned until Compact is called. The ablation bench
+// (BenchmarkAblation_CompactStore) quantifies the difference.
+type CompactStore struct {
+	mu sync.RWMutex
+
+	// dictionary
+	terms  []rdf.Term
+	termID map[rdf.Term]int32
+
+	// triples as parallel columns; dead[i] marks tombstones.
+	subs, preds, objs []int32
+	dead              []bool
+	live              int
+
+	// present prevents duplicate triples.
+	present map[[3]int32]int32 // triple -> row index
+
+	// posting lists per term position.
+	bySub, byPred, byObj map[int32][]int32 // term id -> row indexes
+}
+
+// NewCompactStore returns an empty compact store.
+func NewCompactStore() *CompactStore {
+	return &CompactStore{
+		termID:  make(map[rdf.Term]int32),
+		present: make(map[[3]int32]int32),
+		bySub:   make(map[int32][]int32),
+		byPred:  make(map[int32][]int32),
+		byObj:   make(map[int32][]int32),
+	}
+}
+
+func (c *CompactStore) intern(t rdf.Term) int32 {
+	if id, ok := c.termID[t]; ok {
+		return id
+	}
+	id := int32(len(c.terms))
+	c.terms = append(c.terms, t)
+	c.termID[t] = id
+	return id
+}
+
+// Create inserts a triple, reporting whether it was new.
+func (c *CompactStore) Create(t rdf.Triple) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, fmt.Errorf("trim: compact create: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [3]int32{c.intern(t.Subject), c.intern(t.Predicate), c.intern(t.Object)}
+	if row, ok := c.present[key]; ok {
+		if !c.dead[row] {
+			return false, nil
+		}
+		// Resurrect the tombstoned row.
+		c.dead[row] = false
+		c.live++
+		return true, nil
+	}
+	row := int32(len(c.subs))
+	c.subs = append(c.subs, key[0])
+	c.preds = append(c.preds, key[1])
+	c.objs = append(c.objs, key[2])
+	c.dead = append(c.dead, false)
+	c.present[key] = row
+	c.bySub[key[0]] = append(c.bySub[key[0]], row)
+	c.byPred[key[1]] = append(c.byPred[key[1]], row)
+	c.byObj[key[2]] = append(c.byObj[key[2]], row)
+	c.live++
+	return true, nil
+}
+
+// Remove tombstones a triple, reporting whether it was present.
+func (c *CompactStore) Remove(t rdf.Triple) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok1 := c.termID[t.Subject]
+	p, ok2 := c.termID[t.Predicate]
+	o, ok3 := c.termID[t.Object]
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	row, ok := c.present[[3]int32{s, p, o}]
+	if !ok || c.dead[row] {
+		return false
+	}
+	c.dead[row] = true
+	c.live--
+	return true
+}
+
+// Has reports whether the exact triple is stored (and live).
+func (c *CompactStore) Has(t rdf.Triple) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok1 := c.termID[t.Subject]
+	p, ok2 := c.termID[t.Predicate]
+	o, ok3 := c.termID[t.Object]
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	row, ok := c.present[[3]int32{s, p, o}]
+	return ok && !c.dead[row]
+}
+
+// Len returns the number of live triples.
+func (c *CompactStore) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.live
+}
+
+// Select returns all live triples matching the pattern in deterministic
+// order, using the smallest applicable posting list.
+func (c *CompactStore) Select(p rdf.Pattern) []rdf.Triple {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	rows, scanned := c.candidateRows(p)
+	var out []rdf.Triple
+	check := func(row int32) {
+		if c.dead[row] {
+			return
+		}
+		t := rdf.T(c.terms[c.subs[row]], c.terms[c.preds[row]], c.terms[c.objs[row]])
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	if scanned {
+		for _, row := range rows {
+			check(row)
+		}
+	} else {
+		for row := int32(0); row < int32(len(c.subs)); row++ {
+			check(row)
+		}
+	}
+	rdf.SortTriples(out)
+	return out
+}
+
+// candidateRows picks the smallest posting list among bound positions.
+func (c *CompactStore) candidateRows(p rdf.Pattern) ([]int32, bool) {
+	var best []int32
+	found := false
+	consider := func(idx map[int32][]int32, term rdf.Term) bool {
+		if term.IsZero() {
+			return true
+		}
+		id, ok := c.termID[term]
+		if !ok {
+			best, found = nil, true // bound to an unknown term: empty result
+			return false
+		}
+		list := idx[id]
+		if !found || len(list) < len(best) {
+			best, found = list, true
+		}
+		return true
+	}
+	if !consider(c.bySub, p.Subject) {
+		return nil, true
+	}
+	if !consider(c.byPred, p.Predicate) {
+		return nil, true
+	}
+	if !consider(c.byObj, p.Object) {
+		return nil, true
+	}
+	return best, found
+}
+
+// Count returns the number of live matches.
+func (c *CompactStore) Count(p rdf.Pattern) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rows, scanned := c.candidateRows(p)
+	n := 0
+	check := func(row int32) {
+		if c.dead[row] {
+			return
+		}
+		t := rdf.T(c.terms[c.subs[row]], c.terms[c.preds[row]], c.terms[c.objs[row]])
+		if p.Matches(t) {
+			n++
+		}
+	}
+	if scanned {
+		for _, row := range rows {
+			check(row)
+		}
+	} else {
+		for row := int32(0); row < int32(len(c.subs)); row++ {
+			check(row)
+		}
+	}
+	return n
+}
+
+// Compact rebuilds the store without tombstones, reclaiming memory after
+// heavy deletion. It reports how many tombstones were dropped.
+func (c *CompactStore) Compact() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	fresh := NewCompactStore()
+	for row := range c.subs {
+		if c.dead[row] {
+			dropped++
+			continue
+		}
+		t := rdf.T(c.terms[c.subs[row]], c.terms[c.preds[row]], c.terms[c.objs[row]])
+		// Triples were validated on the way in.
+		if _, err := fresh.Create(t); err != nil {
+			panic(fmt.Sprintf("trim: compact rebuild: %v", err))
+		}
+	}
+	c.terms, c.termID = fresh.terms, fresh.termID
+	c.subs, c.preds, c.objs, c.dead = fresh.subs, fresh.preds, fresh.objs, fresh.dead
+	c.present = fresh.present
+	c.bySub, c.byPred, c.byObj = fresh.bySub, fresh.byPred, fresh.byObj
+	c.live = fresh.live
+	return dropped
+}
+
+// Snapshot materializes the live triples as a graph.
+func (c *CompactStore) Snapshot() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, t := range c.Select(rdf.Pattern{}) {
+		g.Add(t)
+	}
+	return g
+}
+
+// LoadGraph bulk-loads a graph, replacing current contents.
+func (c *CompactStore) LoadGraph(g *rdf.Graph) error {
+	fresh := NewCompactStore()
+	triples := g.All()
+	sort.Slice(triples, func(i, j int) bool { return triples[i].Compare(triples[j]) < 0 })
+	for _, t := range triples {
+		if _, err := fresh.Create(t); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.terms, c.termID = fresh.terms, fresh.termID
+	c.subs, c.preds, c.objs, c.dead = fresh.subs, fresh.preds, fresh.objs, fresh.dead
+	c.present = fresh.present
+	c.bySub, c.byPred, c.byObj = fresh.bySub, fresh.byPred, fresh.byObj
+	c.live = fresh.live
+	return nil
+}
+
+// DictionarySize returns the number of interned terms (diagnostics).
+func (c *CompactStore) DictionarySize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.terms)
+}

@@ -1,0 +1,207 @@
+package trim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestCompactCreateRemoveHas(t *testing.T) {
+	c := NewCompactStore()
+	x := tr("s", "p", "v")
+	added, err := c.Create(x)
+	if err != nil || !added {
+		t.Fatalf("Create = %v, %v", added, err)
+	}
+	if !c.Has(x) || c.Len() != 1 {
+		t.Fatal("triple not stored")
+	}
+	if added, _ := c.Create(x); added {
+		t.Fatal("duplicate Create = true")
+	}
+	if !c.Remove(x) {
+		t.Fatal("Remove = false")
+	}
+	if c.Has(x) || c.Len() != 0 {
+		t.Fatal("triple still live")
+	}
+	if c.Remove(x) {
+		t.Fatal("second Remove = true")
+	}
+	// Resurrection: re-creating a tombstoned triple works.
+	if added, _ := c.Create(x); !added {
+		t.Fatal("resurrect Create = false")
+	}
+	if !c.Has(x) || c.Len() != 1 {
+		t.Fatal("resurrected triple missing")
+	}
+}
+
+func TestCompactCreateInvalid(t *testing.T) {
+	c := NewCompactStore()
+	if _, err := c.Create(rdf.T(rdf.String("s"), rdf.IRI("p"), rdf.String("o"))); err == nil {
+		t.Fatal("invalid triple accepted")
+	}
+}
+
+func TestCompactSelectParity(t *testing.T) {
+	// The compact store must return exactly what Manager returns for every
+	// binding shape.
+	m := NewManager()
+	c := NewCompactStore()
+	populate(m, 200)
+	for _, t2 := range m.Snapshot().All() {
+		if _, err := c.Create(t2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pats := []rdf.Pattern{
+		rdf.P(rdf.Zero, rdf.Zero, rdf.Zero),
+		rdf.P(rdf.IRI("http://t/s3"), rdf.Zero, rdf.Zero),
+		rdf.P(rdf.Zero, rdf.IRI("http://t/p2"), rdf.Zero),
+		rdf.P(rdf.Zero, rdf.Zero, rdf.String("v7")),
+		rdf.P(rdf.IRI("http://t/s7"), rdf.IRI("http://t/p2"), rdf.Zero),
+		rdf.P(rdf.IRI("http://t/s7"), rdf.IRI("http://t/p2"), rdf.String("v7")),
+		rdf.P(rdf.IRI("http://t/absent"), rdf.Zero, rdf.Zero),
+		rdf.P(rdf.Zero, rdf.Zero, rdf.String("absent")),
+	}
+	for _, p := range pats {
+		a, b := m.Select(p), c.Select(p)
+		if len(a) != len(b) {
+			t.Fatalf("pattern %v: manager %d vs compact %d", p, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pattern %v: row %d differs: %v vs %v", p, i, a[i], b[i])
+			}
+		}
+		if m.Count(p) != c.Count(p) {
+			t.Fatalf("pattern %v: counts differ", p)
+		}
+	}
+}
+
+func TestCompactTombstonesInvisible(t *testing.T) {
+	c := NewCompactStore()
+	populateCompact(c, 50)
+	removed := tr("s3", "p3", "v3")
+	c.Create(removed)
+	c.Remove(removed)
+	for _, got := range c.Select(rdf.P(rdf.IRI("http://t/s3"), rdf.Zero, rdf.Zero)) {
+		if got == removed {
+			t.Fatal("tombstoned triple visible in Select")
+		}
+	}
+	if c.Count(rdf.P(rdf.IRI("http://t/s3"), rdf.IRI("http://t/p3"), rdf.String("v3"))) != 0 {
+		t.Fatal("tombstoned triple counted")
+	}
+}
+
+func populateCompact(c *CompactStore, n int) {
+	for i := 0; i < n; i++ {
+		c.Create(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://t/s%d", i%10)),
+			rdf.IRI(fmt.Sprintf("http://t/p%d", i%5)),
+			rdf.String(fmt.Sprintf("v%d", i)),
+		))
+	}
+}
+
+func TestCompactCompaction(t *testing.T) {
+	c := NewCompactStore()
+	populateCompact(c, 100)
+	for i := 0; i < 100; i += 2 {
+		c.Remove(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://t/s%d", i%10)),
+			rdf.IRI(fmt.Sprintf("http://t/p%d", i%5)),
+			rdf.String(fmt.Sprintf("v%d", i)),
+		))
+	}
+	before := c.Snapshot()
+	dropped := c.Compact()
+	if dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", dropped)
+	}
+	if c.Len() != 50 {
+		t.Fatalf("Len after compact = %d", c.Len())
+	}
+	if !c.Snapshot().Equal(before) {
+		t.Fatal("Compact changed visible contents")
+	}
+	// Queries still work post-compaction.
+	if len(c.Select(rdf.P(rdf.IRI("http://t/s1"), rdf.Zero, rdf.Zero))) == 0 {
+		t.Fatal("index broken after compact")
+	}
+}
+
+func TestCompactLoadGraph(t *testing.T) {
+	m := NewManager()
+	populate(m, 60)
+	c := NewCompactStore()
+	populateCompact(c, 5) // will be replaced
+	if err := c.LoadGraph(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Snapshot().Equal(m.Snapshot()) {
+		t.Fatal("LoadGraph contents differ")
+	}
+	if c.DictionarySize() == 0 {
+		t.Fatal("dictionary empty after load")
+	}
+}
+
+func TestCompactConcurrentReads(t *testing.T) {
+	c := NewCompactStore()
+	populateCompact(c, 500)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Select(rdf.P(rdf.IRI(fmt.Sprintf("http://t/s%d", w)), rdf.Zero, rdf.Zero))
+				c.Count(rdf.Pattern{})
+				if i%10 == 0 {
+					c.Create(rdf.T(rdf.IRI(fmt.Sprintf("http://t/w%d", w)), rdf.IRI("http://t/p"), rdf.Integer(int64(i))))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Property: after any interleaving of creates and removes, the compact
+// store and the reference Manager agree on the full contents.
+func TestCompactAgreesWithManagerProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewManager()
+		c := NewCompactStore()
+		for _, op := range ops {
+			x := rdf.T(
+				rdf.IRI(fmt.Sprintf("http://t/s%d", op%7)),
+				rdf.IRI(fmt.Sprintf("http://t/p%d", op%3)),
+				rdf.Integer(int64(op%11)),
+			)
+			if op%5 == 0 {
+				ra := m.Remove(x)
+				rb := c.Remove(x)
+				if ra != rb {
+					return false
+				}
+			} else {
+				aa, _ := m.Create(x)
+				ab, _ := c.Create(x)
+				if aa != ab {
+					return false
+				}
+			}
+		}
+		return m.Snapshot().Equal(c.Snapshot()) && m.Len() == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

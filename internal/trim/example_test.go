@@ -1,0 +1,62 @@
+package trim_test
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+// The paper's TRIM operations (§4.4): create, query by selection, view.
+func Example() {
+	m := trim.NewManager()
+	bundle := rdf.IRI("http://slim.example.org/instance#Bundle-000001")
+	scrap := rdf.IRI("http://slim.example.org/instance#Scrap-000001")
+	content := rdf.IRI("http://slim.example.org/slimpad#bundleContent")
+	name := rdf.IRI("http://slim.example.org/slimpad#scrapName")
+
+	m.Create(rdf.T(bundle, content, scrap))
+	m.Create(rdf.T(scrap, name, rdf.String("K+ 4.1")))
+
+	// Selection query: fix the subject, leave the rest wild.
+	for _, t := range m.Select(rdf.P(scrap, rdf.Zero, rdf.Zero)) {
+		fmt.Println(t.Object.Value())
+	}
+	// View: everything reachable from the bundle.
+	fmt.Println("view size:", m.View(bundle).Len())
+	// Output:
+	// K+ 4.1
+	// view size: 2
+}
+
+func ExampleManager_Path() {
+	m := trim.NewManager()
+	pad := rdf.IRI("http://x/pad")
+	root := rdf.IRI("http://x/root")
+	s1 := rdf.IRI("http://x/s1")
+	rootBundle := rdf.IRI("http://x/rootBundle")
+	content := rdf.IRI("http://x/content")
+	m.Create(rdf.T(pad, rootBundle, root))
+	m.Create(rdf.T(root, content, s1))
+
+	for _, term := range m.Path([]rdf.Term{pad}, rootBundle, content) {
+		fmt.Println(term.Value())
+	}
+	// Output:
+	// http://x/s1
+}
+
+func ExampleBatch() {
+	m := trim.NewManager()
+	b := m.NewBatch()
+	id := rdf.IRI("http://x/bundle")
+	b.Create(rdf.T(id, rdf.RDFType, rdf.IRI("http://x/Bundle")))
+	b.Create(rdf.T(id, rdf.IRI("http://x/name"), rdf.String("Rounds")))
+	if err := b.Apply(); err != nil {
+		fmt.Println("apply failed:", err)
+		return
+	}
+	fmt.Println("triples:", m.Len())
+	// Output:
+	// triples: 2
+}

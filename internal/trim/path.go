@@ -1,0 +1,78 @@
+package trim
+
+import (
+	"repro/internal/rdf"
+)
+
+// Path evaluates a predicate path: starting from the given resources, it
+// follows each predicate in sequence (subject -> object) and returns the
+// terms reached at the end, deduplicated and sorted. It is the small
+// navigational query facility of §6's "query capabilities, in addition to
+// the current navigational access" — e.g.
+//
+//	m.Path([]rdf.Term{pad}, rootBundle, bundleContent, scrapMark)
+//
+// yields every mark handle reachable from a pad.
+func (m *Manager) Path(start []rdf.Term, predicates ...rdf.Term) []rdf.Term {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	frontier := make(map[rdf.Term]struct{}, len(start))
+	for _, s := range start {
+		if s.IsResource() {
+			frontier[s] = struct{}{}
+		}
+	}
+	for _, pred := range predicates {
+		next := make(map[rdf.Term]struct{})
+		for node := range frontier {
+			for t := range m.bySubject[node] {
+				if t.Predicate == pred {
+					next[t.Object] = struct{}{}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]rdf.Term, 0, len(frontier))
+	for t := range frontier {
+		out = append(out, t)
+	}
+	sortTerms(out)
+	return out
+}
+
+// PathInverse follows predicates backwards (object -> subject): "which
+// scraps hold this mark handle" style questions.
+func (m *Manager) PathInverse(start []rdf.Term, predicates ...rdf.Term) []rdf.Term {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	frontier := make(map[rdf.Term]struct{}, len(start))
+	for _, s := range start {
+		frontier[s] = struct{}{}
+	}
+	for _, pred := range predicates {
+		next := make(map[rdf.Term]struct{})
+		for node := range frontier {
+			for t := range m.byObject[node] {
+				if t.Predicate == pred {
+					next[t.Subject] = struct{}{}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]rdf.Term, 0, len(frontier))
+	for t := range frontier {
+		out = append(out, t)
+	}
+	sortTerms(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package trim
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func pathFixture() (*Manager, rdf.Term) {
+	m := NewManager()
+	pad := rdf.IRI("http://t/pad")
+	m.Create(link("pad", "rootBundle", "root"))
+	m.Create(link("root", "content", "scrap1"))
+	m.Create(link("root", "content", "scrap2"))
+	m.Create(link("scrap1", "mark", "h1"))
+	m.Create(link("scrap2", "mark", "h2"))
+	m.Create(link("scrap2", "mark", "h3"))
+	m.Create(tr("h1", "markId", "mark-000001"))
+	return m, pad
+}
+
+func TestPath(t *testing.T) {
+	m, pad := pathFixture()
+	rootBundle := rdf.IRI("http://t/rootBundle")
+	content := rdf.IRI("http://t/content")
+	markP := rdf.IRI("http://t/mark")
+
+	handles := m.Path([]rdf.Term{pad}, rootBundle, content, markP)
+	if len(handles) != 3 {
+		t.Fatalf("handles = %v", handles)
+	}
+	// Sorted output.
+	for i := 1; i < len(handles); i++ {
+		if handles[i-1].Compare(handles[i]) >= 0 {
+			t.Fatal("Path output not sorted")
+		}
+	}
+	// Partial path.
+	scraps := m.Path([]rdf.Term{pad}, rootBundle, content)
+	if len(scraps) != 2 {
+		t.Fatalf("scraps = %v", scraps)
+	}
+	// Empty when a step has no matches.
+	none := m.Path([]rdf.Term{pad}, rootBundle, rdf.IRI("http://t/absent"), markP)
+	if len(none) != 0 {
+		t.Fatalf("none = %v", none)
+	}
+	// Literal starts are dropped.
+	if got := m.Path([]rdf.Term{rdf.String("lit")}, content); len(got) != 0 {
+		t.Fatalf("literal start = %v", got)
+	}
+	// No predicates: the start set itself.
+	if got := m.Path([]rdf.Term{pad}); len(got) != 1 || got[0] != pad {
+		t.Fatalf("identity path = %v", got)
+	}
+}
+
+func TestPathInverse(t *testing.T) {
+	m, _ := pathFixture()
+	markP := rdf.IRI("http://t/mark")
+	content := rdf.IRI("http://t/content")
+	h3 := rdf.IRI("http://t/h3")
+
+	scraps := m.PathInverse([]rdf.Term{h3}, markP)
+	if len(scraps) != 1 || scraps[0] != rdf.IRI("http://t/scrap2") {
+		t.Fatalf("scraps = %v", scraps)
+	}
+	bundles := m.PathInverse([]rdf.Term{h3}, markP, content)
+	if len(bundles) != 1 || bundles[0] != rdf.IRI("http://t/root") {
+		t.Fatalf("bundles = %v", bundles)
+	}
+	// Inverse from a literal works (literals appear as objects).
+	lit := rdf.String("mark-000001")
+	owners := m.PathInverse([]rdf.Term{lit}, rdf.IRI("http://t/markId"))
+	if len(owners) != 1 || owners[0] != rdf.IRI("http://t/h1") {
+		t.Fatalf("owners = %v", owners)
+	}
+	// Dead end.
+	if got := m.PathInverse([]rdf.Term{h3}, content); len(got) != 0 {
+		t.Fatalf("dead end = %v", got)
+	}
+}

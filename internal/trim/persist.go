@@ -1,0 +1,85 @@
+package trim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rdf"
+)
+
+// SaveFile persists the store to an XML file (the paper's persistence
+// format, §4.4: "persist (through XML files)"). The write is atomic: the
+// content is written to a temporary file in the same directory and renamed
+// into place, so a crash never leaves a half-written store.
+func (m *Manager) SaveFile(path string) error {
+	snapshot := m.Snapshot()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".trim-*.xml")
+	if err != nil {
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+
+	if err := rdf.WriteXML(tmp, snapshot); err != nil {
+		tmp.Close()
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile replaces the store contents with the triples in the XML file.
+func (m *Manager) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trim: load: %w", err)
+	}
+	defer f.Close()
+	g, err := rdf.ReadXML(f)
+	if err != nil {
+		return fmt.Errorf("trim: load %s: %w", path, err)
+	}
+	m.Replace(g)
+	return nil
+}
+
+// SaveNTriples persists the store in N-Triples form, useful for diffing and
+// for interchange with tools outside the SLIM stack.
+func (m *Manager) SaveNTriples(path string) error {
+	snapshot := m.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	if err := rdf.WriteNTriples(f, snapshot); err != nil {
+		f.Close()
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadNTriples replaces the store contents with the triples in an
+// N-Triples file.
+func (m *Manager) LoadNTriples(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trim: load: %w", err)
+	}
+	defer f.Close()
+	g, err := rdf.ReadNTriples(f)
+	if err != nil {
+		return fmt.Errorf("trim: load %s: %w", path, err)
+	}
+	m.Replace(g)
+	return nil
+}

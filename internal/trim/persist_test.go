@@ -1,0 +1,142 @@
+package trim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestSaveLoadXML(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+
+	m := NewManager()
+	populate(m, 25)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewManager()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Snapshot().Equal(loaded.Snapshot()) {
+		t.Fatal("loaded store differs from saved store")
+	}
+	// Indexes must work after load.
+	if n := loaded.Count(rdf.P(rdf.IRI("http://t/s3"), rdf.Zero, rdf.Zero)); n != 3 {
+		t.Fatalf("Count after load = %d, want 3", n)
+	}
+}
+
+func TestSaveLoadNTriples(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.nt")
+	m := NewManager()
+	populate(m, 10)
+	if err := m.SaveNTriples(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewManager()
+	if err := loaded.LoadNTriples(path); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Snapshot().Equal(loaded.Snapshot()) {
+		t.Fatal("N-Triples round trip differs")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	m := NewManager()
+	if err := m.LoadFile(filepath.Join(t.TempDir(), "absent.xml")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	if err := m.LoadNTriples(filepath.Join(t.TempDir(), "absent.nt")); err == nil {
+		t.Fatal("loading a missing N-Triples file succeeded")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corrupt.xml")
+	if err := os.WriteFile(path, []byte("<not a store>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager()
+	populate(m, 5)
+	if err := m.LoadFile(path); err == nil {
+		t.Fatal("loading corrupt XML succeeded")
+	}
+	// The prior content must survive a failed load.
+	if m.Len() != 5 {
+		t.Fatalf("failed load clobbered the store: Len = %d", m.Len())
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	m := NewManager()
+	populate(m, 5)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory has leftovers: %v", names)
+	}
+	// Overwriting works.
+	m.Create(tr("extra", "p", "v"))
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewManager()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 6 {
+		t.Fatalf("overwrite lost data: Len = %d", loaded.Len())
+	}
+}
+
+func TestSaveToBadDirectory(t *testing.T) {
+	m := NewManager()
+	if err := m.SaveFile(filepath.Join(t.TempDir(), "nodir", "store.xml")); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewManager()
+	m.Create(tr("s1", "p1", "lit"))
+	m.Create(link("s1", "p2", "s2"))
+	s := m.Stats()
+	if s.Triples != 2 {
+		t.Errorf("Triples = %d", s.Triples)
+	}
+	if s.DistinctSubjects != 1 {
+		t.Errorf("DistinctSubjects = %d", s.DistinctSubjects)
+	}
+	if s.DistinctPredicates != 2 {
+		t.Errorf("DistinctPredicates = %d", s.DistinctPredicates)
+	}
+	if s.LiteralObjects != 1 || s.ResourceObjects != 1 {
+		t.Errorf("object kinds = %d/%d", s.LiteralObjects, s.ResourceObjects)
+	}
+	if s.ApproxBytes == 0 {
+		t.Error("ApproxBytes = 0")
+	}
+	if s.String() == "" {
+		t.Error("empty Stats.String()")
+	}
+}

@@ -1,0 +1,54 @@
+package trim
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Stats summarizes the contents of the store, used by cmd/trimq and the
+// space-overhead experiments (T1/T3 in DESIGN.md).
+type Stats struct {
+	Triples            int
+	DistinctSubjects   int
+	DistinctPredicates int
+	DistinctObjects    int
+	LiteralObjects     int
+	ResourceObjects    int
+	// ApproxBytes estimates the in-memory footprint of the term text: the
+	// sum of the lengths of all term values and datatypes. Index overhead
+	// is excluded; the figure is used as a portable proxy for the paper's
+	// "space efficiency" trade-off discussion (§6).
+	ApproxBytes int
+}
+
+// Stats computes current statistics in one pass under a read lock.
+func (m *Manager) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	s := Stats{
+		Triples:            m.graph.Len(),
+		DistinctSubjects:   len(m.bySubject),
+		DistinctPredicates: len(m.byPredicate),
+		DistinctObjects:    len(m.byObject),
+	}
+	m.graph.Each(func(t rdf.Triple) bool {
+		if t.Object.IsLiteral() {
+			s.LiteralObjects++
+		} else {
+			s.ResourceObjects++
+		}
+		s.ApproxBytes += len(t.Subject.Value()) + len(t.Predicate.Value()) +
+			len(t.Object.Value()) + len(t.Object.Datatype())
+		return true
+	})
+	return s
+}
+
+// String renders the stats in a one-line human-readable form.
+func (s Stats) String() string {
+	return fmt.Sprintf("triples=%d subjects=%d predicates=%d objects=%d (literals=%d resources=%d) approx_bytes=%d",
+		s.Triples, s.DistinctSubjects, s.DistinctPredicates, s.DistinctObjects,
+		s.LiteralObjects, s.ResourceObjects, s.ApproxBytes)
+}

@@ -1,0 +1,314 @@
+// Package trim implements TRIM, the Triple Manager of the SLIM architecture
+// (paper §4.4): "To manage triples, we use the TRIM (Triple Manager)
+// sub-component, which handles basic operations over the triple
+// representation. Through TRIM, the DMI can create, remove, persist (through
+// XML files), query, and create simple views over the underlying triples."
+//
+// The Manager is a concurrency-safe, fully indexed in-memory triple store.
+// Selection queries (any subset of subject/predicate/object fixed) are served
+// from hash indexes; views are reachability closures from a root resource.
+package trim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// Manager is the TRIM triple manager. The zero value is not usable; call
+// NewManager. All methods are safe for concurrent use.
+type Manager struct {
+	mu sync.RWMutex
+	// graph is the ground truth set of triples.
+	graph *rdf.Graph
+	// Hash indexes, one per triple position. Values are sets of triples.
+	bySubject   map[rdf.Term]map[rdf.Triple]struct{}
+	byPredicate map[rdf.Term]map[rdf.Triple]struct{}
+	byObject    map[rdf.Term]map[rdf.Triple]struct{}
+	// generation increments on every successful mutation; observers and
+	// optimistic readers use it to detect change.
+	generation uint64
+	observers  map[int]Observer
+	nextObsID  int
+}
+
+// Observer receives change notifications. Added is true for insertions,
+// false for removals. Observers run synchronously under the manager's lock;
+// they must be fast and must not call back into the Manager.
+type Observer func(t rdf.Triple, added bool)
+
+// NewManager returns an empty triple manager.
+func NewManager() *Manager {
+	return &Manager{
+		graph:       rdf.NewGraph(),
+		bySubject:   make(map[rdf.Term]map[rdf.Triple]struct{}),
+		byPredicate: make(map[rdf.Term]map[rdf.Triple]struct{}),
+		byObject:    make(map[rdf.Term]map[rdf.Triple]struct{}),
+		observers:   make(map[int]Observer),
+	}
+}
+
+// Create inserts a triple. It reports whether the triple was new; inserting
+// a triple already present is a no-op returning false, matching the set
+// semantics of the underlying graph.
+func (m *Manager) Create(t rdf.Triple) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.createLocked(t)
+}
+
+func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
+	added, err := m.graph.Add(t)
+	if err != nil {
+		return false, fmt.Errorf("trim: create: %w", err)
+	}
+	if !added {
+		return false, nil
+	}
+	indexAdd(m.bySubject, t.Subject, t)
+	indexAdd(m.byPredicate, t.Predicate, t)
+	indexAdd(m.byObject, t.Object, t)
+	m.generation++
+	m.notifyLocked(t, true)
+	return true, nil
+}
+
+// Remove deletes an exact triple, reporting whether it was present.
+func (m *Manager) Remove(t rdf.Triple) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.removeLocked(t)
+}
+
+func (m *Manager) removeLocked(t rdf.Triple) bool {
+	if !m.graph.Remove(t) {
+		return false
+	}
+	indexRemove(m.bySubject, t.Subject, t)
+	indexRemove(m.byPredicate, t.Predicate, t)
+	indexRemove(m.byObject, t.Object, t)
+	m.generation++
+	m.notifyLocked(t, false)
+	return true
+}
+
+// RemoveMatching deletes every triple matching the pattern and returns how
+// many were removed.
+func (m *Manager) RemoveMatching(p rdf.Pattern) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	matches := m.selectLocked(p)
+	for _, t := range matches {
+		m.removeLocked(t)
+	}
+	return len(matches)
+}
+
+// Has reports whether the exact triple is stored.
+func (m *Manager) Has(t rdf.Triple) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.graph.Has(t)
+}
+
+// Len returns the number of stored triples.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.graph.Len()
+}
+
+// Generation returns the mutation counter; it increases on every successful
+// create or remove.
+func (m *Manager) Generation() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.generation
+}
+
+// Select returns all triples matching the pattern in deterministic order.
+// The query planner uses the most selective available index: an exact
+// subject, object, or predicate binding narrows the scan to that index
+// bucket; a fully wild pattern scans the whole store.
+func (m *Manager) Select(p rdf.Pattern) []rdf.Triple {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.selectLocked(p)
+}
+
+func (m *Manager) selectLocked(p rdf.Pattern) []rdf.Triple {
+	bucket, scanned := m.chooseIndexLocked(p)
+	if !scanned {
+		return m.graph.Select(p)
+	}
+	var out []rdf.Triple
+	for t := range bucket {
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	rdf.SortTriples(out)
+	return out
+}
+
+// chooseIndexLocked picks the smallest applicable index bucket. The second
+// result is false when no position is bound (full scan needed).
+func (m *Manager) chooseIndexLocked(p rdf.Pattern) (map[rdf.Triple]struct{}, bool) {
+	var best map[rdf.Triple]struct{}
+	found := false
+	consider := func(idx map[rdf.Term]map[rdf.Triple]struct{}, key rdf.Term) {
+		if key.IsZero() {
+			return
+		}
+		bucket := idx[key] // nil bucket = empty result, still a valid choice
+		if !found || len(bucket) < len(best) {
+			best, found = bucket, true
+		}
+	}
+	consider(m.bySubject, p.Subject)
+	consider(m.byObject, p.Object)
+	consider(m.byPredicate, p.Predicate)
+	return best, found
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them in sorted order.
+func (m *Manager) Count(p rdf.Pattern) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bucket, scanned := m.chooseIndexLocked(p)
+	if !scanned {
+		return m.graph.Len()
+	}
+	n := 0
+	for t := range bucket {
+		if p.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// One returns the single triple matching the pattern. It returns an error
+// when zero or more than one triple matches; callers use it to read
+// single-valued properties.
+func (m *Manager) One(p rdf.Pattern) (rdf.Triple, error) {
+	matches := m.Select(p)
+	switch len(matches) {
+	case 0:
+		return rdf.Triple{}, fmt.Errorf("trim: no triple matches %v", p)
+	case 1:
+		return matches[0], nil
+	default:
+		return rdf.Triple{}, fmt.Errorf("trim: %d triples match %v, want exactly 1", len(matches), p)
+	}
+}
+
+// Objects returns the object terms of all triples with the given subject
+// and predicate, in deterministic order.
+func (m *Manager) Objects(subject, predicate rdf.Term) []rdf.Term {
+	ts := m.Select(rdf.P(subject, predicate, rdf.Zero))
+	out := make([]rdf.Term, len(ts))
+	for i, t := range ts {
+		out[i] = t.Object
+	}
+	return out
+}
+
+// Subjects returns the subject terms of all triples with the given
+// predicate and object, in deterministic order.
+func (m *Manager) Subjects(predicate, object rdf.Term) []rdf.Term {
+	ts := m.Select(rdf.P(rdf.Zero, predicate, object))
+	out := make([]rdf.Term, len(ts))
+	for i, t := range ts {
+		out[i] = t.Subject
+	}
+	return out
+}
+
+// SetUnique replaces all triples (subject, predicate, *) with the single
+// triple (subject, predicate, object): the write primitive behind the DMI's
+// Update_ operations.
+func (m *Manager) SetUnique(subject, predicate, object rdf.Term) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.selectLocked(rdf.P(subject, predicate, rdf.Zero)) {
+		m.removeLocked(t)
+	}
+	_, err := m.createLocked(rdf.T(subject, predicate, object))
+	return err
+}
+
+// Snapshot returns an independent copy of the entire graph.
+func (m *Manager) Snapshot() *rdf.Graph {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.graph.Clone()
+}
+
+// Replace swaps the manager's contents for the given graph, rebuilding all
+// indexes. It is the load primitive for persistence.
+func (m *Manager) Replace(g *rdf.Graph) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.graph = g.Clone()
+	m.bySubject = make(map[rdf.Term]map[rdf.Triple]struct{})
+	m.byPredicate = make(map[rdf.Term]map[rdf.Triple]struct{})
+	m.byObject = make(map[rdf.Term]map[rdf.Triple]struct{})
+	m.graph.Each(func(t rdf.Triple) bool {
+		indexAdd(m.bySubject, t.Subject, t)
+		indexAdd(m.byPredicate, t.Predicate, t)
+		indexAdd(m.byObject, t.Object, t)
+		return true
+	})
+	m.generation++
+}
+
+// Clear removes every triple.
+func (m *Manager) Clear() {
+	m.Replace(rdf.NewGraph())
+}
+
+// Observe registers an observer and returns a handle for Unobserve.
+func (m *Manager) Observe(obs Observer) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextObsID
+	m.nextObsID++
+	m.observers[id] = obs
+	return id
+}
+
+// Unobserve removes a previously registered observer.
+func (m *Manager) Unobserve(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.observers, id)
+}
+
+func (m *Manager) notifyLocked(t rdf.Triple, added bool) {
+	for _, obs := range m.observers {
+		obs(t, added)
+	}
+}
+
+func indexAdd(idx map[rdf.Term]map[rdf.Triple]struct{}, key rdf.Term, t rdf.Triple) {
+	set, ok := idx[key]
+	if !ok {
+		set = make(map[rdf.Triple]struct{})
+		idx[key] = set
+	}
+	set[t] = struct{}{}
+}
+
+func indexRemove(idx map[rdf.Term]map[rdf.Triple]struct{}, key rdf.Term, t rdf.Triple) {
+	set, ok := idx[key]
+	if !ok {
+		return
+	}
+	delete(set, t)
+	if len(set) == 0 {
+		delete(idx, key)
+	}
+}

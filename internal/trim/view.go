@@ -1,0 +1,116 @@
+package trim
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// View computes the paper's "simple view" (§4.4): "A view is specified by
+// selecting a resource (such as a Bundle id), where all triples that can be
+// reached from this resource are returned (e.g., all triples representing
+// nested Bundles within the given Bundle along with their Scraps)."
+//
+// Reachability follows subject→object edges: starting from root, every
+// triple whose subject is a reached resource is in the view, and resource
+// objects of those triples are reached in turn. The result is a fresh graph.
+func (m *Manager) View(root rdf.Term) *rdf.Graph {
+	return m.ViewFiltered(root, nil)
+}
+
+// ViewFiltered is View restricted to edges the filter accepts. A nil filter
+// accepts every triple. Filters let DMIs exclude cross-links (e.g., marks
+// shared between scraps) from a containment view.
+func (m *Manager) ViewFiltered(root rdf.Term, filter func(rdf.Triple) bool) *rdf.Graph {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+
+	out := rdf.NewGraph()
+	if !root.IsResource() {
+		return out
+	}
+	visited := map[rdf.Term]struct{}{root: {}}
+	frontier := []rdf.Term{root}
+	for len(frontier) > 0 {
+		node := frontier[0]
+		frontier = frontier[1:]
+		for t := range m.bySubject[node] {
+			if filter != nil && !filter(t) {
+				continue
+			}
+			// Triples coming out of the graph are already validated.
+			if _, err := out.Add(t); err != nil {
+				// Unreachable by construction; skip defensively.
+				continue
+			}
+			obj := t.Object
+			if !obj.IsResource() {
+				continue
+			}
+			if _, seen := visited[obj]; seen {
+				continue
+			}
+			visited[obj] = struct{}{}
+			frontier = append(frontier, obj)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of resources reachable from root (including
+// root itself when it is a resource), in deterministic order.
+func (m *Manager) Reachable(root rdf.Term) []rdf.Term {
+	g := m.View(root)
+	seen := map[rdf.Term]struct{}{}
+	if root.IsResource() {
+		seen[root] = struct{}{}
+	}
+	g.Each(func(t rdf.Triple) bool {
+		seen[t.Subject] = struct{}{}
+		if t.Object.IsResource() {
+			seen[t.Object] = struct{}{}
+		}
+		return true
+	})
+	out := make([]rdf.Term, 0, len(seen))
+	for term := range seen {
+		out = append(out, term)
+	}
+	sortTerms(out)
+	return out
+}
+
+// ReachesFrom reports whether target is reachable from root following
+// subject→object edges.
+func (m *Manager) ReachesFrom(root, target rdf.Term) bool {
+	if root == target {
+		return root.IsResource()
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	visited := map[rdf.Term]struct{}{root: {}}
+	frontier := []rdf.Term{root}
+	for len(frontier) > 0 {
+		node := frontier[0]
+		frontier = frontier[1:]
+		for t := range m.bySubject[node] {
+			obj := t.Object
+			if obj == target {
+				return true
+			}
+			if !obj.IsResource() {
+				continue
+			}
+			if _, seen := visited[obj]; seen {
+				continue
+			}
+			visited[obj] = struct{}{}
+			frontier = append(frontier, obj)
+		}
+	}
+	return false
+}
+
+func sortTerms(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

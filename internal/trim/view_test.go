@@ -1,0 +1,176 @@
+package trim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+// buildTree creates a bundle-like containment tree of the given fanout and
+// depth under root, returning the manager and the number of nodes.
+func buildTree(fanout, depth int) (*Manager, int) {
+	m := NewManager()
+	nodes := 1
+	var grow func(parent string, d int)
+	grow = func(parent string, d int) {
+		if d == 0 {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			child := fmt.Sprintf("%s.%d", parent, i)
+			m.Create(link(parent, "contains", child))
+			m.Create(tr(child, "name", "node "+child))
+			nodes++
+			grow(child, d-1)
+		}
+	}
+	grow("root", depth)
+	return m, nodes
+}
+
+func TestViewReachability(t *testing.T) {
+	m, _ := buildTree(2, 3) // 1 + 2 + 4 + 8 = 15 nodes
+	view := m.View(rdf.IRI("http://t/root"))
+	// Every non-root node has a contains edge and a name triple: 14*2 = 28.
+	if view.Len() != 28 {
+		t.Fatalf("view has %d triples, want 28", view.Len())
+	}
+	// A subtree view is smaller: 6 contains edges plus 7 name triples
+	// (root.0's own name triple is included since root.0 is the view root).
+	sub := m.View(rdf.IRI("http://t/root.0"))
+	if sub.Len() != 13 {
+		t.Fatalf("subtree view has %d triples, want 13", sub.Len())
+	}
+}
+
+func TestViewExcludesUnreachable(t *testing.T) {
+	m := NewManager()
+	m.Create(link("a", "contains", "b"))
+	m.Create(tr("b", "name", "B"))
+	m.Create(tr("island", "name", "unreachable"))
+	view := m.View(rdf.IRI("http://t/a"))
+	if view.Len() != 2 {
+		t.Fatalf("view = %d triples, want 2", view.Len())
+	}
+	for _, x := range view.All() {
+		if x.Subject == rdf.IRI("http://t/island") {
+			t.Fatal("unreachable triple included")
+		}
+	}
+}
+
+func TestViewHandlesCycles(t *testing.T) {
+	m := NewManager()
+	m.Create(link("a", "next", "b"))
+	m.Create(link("b", "next", "c"))
+	m.Create(link("c", "next", "a")) // cycle
+	view := m.View(rdf.IRI("http://t/a"))
+	if view.Len() != 3 {
+		t.Fatalf("cyclic view = %d triples, want 3", view.Len())
+	}
+}
+
+func TestViewOfLiteralRootIsEmpty(t *testing.T) {
+	m := NewManager()
+	m.Create(tr("a", "p", "v"))
+	if v := m.View(rdf.String("v")); v.Len() != 0 {
+		t.Fatal("view from literal root should be empty")
+	}
+	if v := m.View(rdf.Zero); v.Len() != 0 {
+		t.Fatal("view from zero root should be empty")
+	}
+}
+
+func TestViewDoesNotTraverseThroughLiterals(t *testing.T) {
+	m := NewManager()
+	// "b" as a literal is not the same node as resource b.
+	m.Create(tr("a", "label", "b"))
+	m.Create(tr("b", "name", "B"))
+	view := m.View(rdf.IRI("http://t/a"))
+	if view.Len() != 1 {
+		t.Fatalf("view = %d triples, want 1 (literals are not traversed)", view.Len())
+	}
+}
+
+func TestViewFiltered(t *testing.T) {
+	m := NewManager()
+	m.Create(link("a", "contains", "b"))
+	m.Create(link("a", "marks", "m1"))
+	m.Create(tr("m1", "addr", "X"))
+	contains := rdf.IRI("http://t/contains")
+	view := m.ViewFiltered(rdf.IRI("http://t/a"), func(x rdf.Triple) bool {
+		return x.Predicate == contains
+	})
+	if view.Len() != 1 {
+		t.Fatalf("filtered view = %d triples, want 1", view.Len())
+	}
+}
+
+func TestReachable(t *testing.T) {
+	m, _ := buildTree(2, 2) // root + 2 + 4 = 7 nodes
+	got := m.Reachable(rdf.IRI("http://t/root"))
+	if len(got) != 7 {
+		t.Fatalf("Reachable = %d nodes, want 7", len(got))
+	}
+	// Sorted and includes root.
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatal("Reachable output not sorted")
+		}
+	}
+}
+
+func TestReachesFrom(t *testing.T) {
+	m := NewManager()
+	m.Create(link("a", "p", "b"))
+	m.Create(link("b", "p", "c"))
+	m.Create(link("x", "p", "y"))
+	a, c, y := rdf.IRI("http://t/a"), rdf.IRI("http://t/c"), rdf.IRI("http://t/y")
+	if !m.ReachesFrom(a, c) {
+		t.Error("a should reach c")
+	}
+	if m.ReachesFrom(a, y) {
+		t.Error("a should not reach y")
+	}
+	if !m.ReachesFrom(a, a) {
+		t.Error("a should reach itself")
+	}
+	if m.ReachesFrom(rdf.String("lit"), rdf.String("lit")) {
+		t.Error("literal roots are never reachable")
+	}
+}
+
+// Property: every triple in a view has a subject reachable from the root,
+// and the view is a subset of the full store.
+func TestViewSoundnessProperty(t *testing.T) {
+	f := func(edges []uint8) bool {
+		m := NewManager()
+		for _, e := range edges {
+			m.Create(link(
+				fmt.Sprintf("n%d", e%8),
+				"p",
+				fmt.Sprintf("n%d", (e/8)%8),
+			))
+		}
+		root := rdf.IRI("http://t/n0")
+		view := m.View(root)
+		reach := map[rdf.Term]bool{}
+		for _, x := range m.Reachable(root) {
+			reach[x] = true
+		}
+		ok := true
+		view.Each(func(x rdf.Triple) bool {
+			if !m.Has(x) || !reach[x.Subject] {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

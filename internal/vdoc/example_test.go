@@ -1,0 +1,32 @@
+package vdoc_test
+
+import (
+	"fmt"
+
+	"repro/internal/base"
+	"repro/internal/mark"
+	"repro/internal/vdoc"
+)
+
+// A virtual document splices live base content through span links at
+// render time (the Mirage-III behavior, §5).
+func Example() {
+	marks := mark.NewManager()
+	marks.Add(mark.Mark{
+		ID:      "m1",
+		Address: base.Address{Scheme: "xml", File: "lab.xml", Path: "/report[1]/result[1]"},
+		Excerpt: "4.1",
+	})
+	lib := vdoc.NewLibrary(marks)
+	d, _ := lib.Create("signout")
+	d.AppendText("Potassium is ")
+	d.AppendSpanLink("m1")
+	d.AppendText(" this morning.")
+
+	out, broken, _ := lib.Render("signout")
+	fmt.Println(out)
+	fmt.Println("broken links:", broken)
+	// Output:
+	// Potassium is 4.1 this morning.
+	// broken links: 0
+}

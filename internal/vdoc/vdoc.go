@@ -1,0 +1,153 @@
+// Package vdoc implements Mirage-III-style virtual documents, the second §5
+// baseline: "a digital library system that allows users to create virtual
+// documents (VDOCs) that contain span links to other documents. When a VDOC
+// is rendered, the span links are resolved and the information they
+// reference is displayed. The main difference between SLIMPad and virtual
+// documents is that SLIMPad can contain information not present in the
+// underlying documents."
+//
+// A VDoc is an ordered sequence of segments: literal text, or a span link
+// (a mark id). Render resolves every span link through the Mark Manager and
+// splices the base content into the output.
+package vdoc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/mark"
+)
+
+// SegmentKind distinguishes literal text from span links.
+type SegmentKind int
+
+const (
+	// KindText is author-supplied literal text.
+	KindText SegmentKind = iota
+	// KindSpanLink is a reference to base content via a mark.
+	KindSpanLink
+)
+
+// Segment is one piece of a virtual document.
+type Segment struct {
+	Kind SegmentKind
+	// Text is the literal content (KindText).
+	Text string
+	// MarkID references the spanned base content (KindSpanLink).
+	MarkID string
+}
+
+// VDoc is a named virtual document.
+type VDoc struct {
+	// Name identifies the document.
+	Name     string
+	segments []Segment
+}
+
+// Library holds virtual documents and renders them against a mark manager.
+type Library struct {
+	mu    sync.Mutex
+	docs  map[string]*VDoc
+	marks *mark.Manager
+}
+
+// NewLibrary returns an empty library rendering through the mark manager.
+func NewLibrary(marks *mark.Manager) *Library {
+	return &Library{docs: make(map[string]*VDoc), marks: marks}
+}
+
+// Create adds an empty virtual document.
+func (l *Library) Create(name string) (*VDoc, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("vdoc: document needs a name")
+	}
+	if _, ok := l.docs[name]; ok {
+		return nil, fmt.Errorf("vdoc: document %q already exists", name)
+	}
+	d := &VDoc{Name: name}
+	l.docs[name] = d
+	return d, nil
+}
+
+// Get looks up a virtual document.
+func (l *Library) Get(name string) (*VDoc, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.docs[name]
+	return d, ok
+}
+
+// AppendText appends literal text to the document.
+func (d *VDoc) AppendText(text string) {
+	d.segments = append(d.segments, Segment{Kind: KindText, Text: text})
+}
+
+// AppendSpanLink appends a span link by mark id.
+func (d *VDoc) AppendSpanLink(markID string) error {
+	if markID == "" {
+		return fmt.Errorf("vdoc: empty mark id")
+	}
+	d.segments = append(d.segments, Segment{Kind: KindSpanLink, MarkID: markID})
+	return nil
+}
+
+// Segments returns a copy of the document's segments.
+func (d *VDoc) Segments() []Segment {
+	return append([]Segment(nil), d.segments...)
+}
+
+// SpanLinks returns the mark ids of all span links, in order.
+func (d *VDoc) SpanLinks() []string {
+	var out []string
+	for _, s := range d.segments {
+		if s.Kind == KindSpanLink {
+			out = append(out, s.MarkID)
+		}
+	}
+	return out
+}
+
+// Render resolves every span link and splices base content between the
+// literal segments. A broken link renders as an inline error marker rather
+// than failing the whole document, matching digital-library practice; the
+// error count is returned.
+func (l *Library) Render(name string) (string, int, error) {
+	l.mu.Lock()
+	d, ok := l.docs[name]
+	l.mu.Unlock()
+	if !ok {
+		return "", 0, fmt.Errorf("vdoc: no document %q", name)
+	}
+	var b strings.Builder
+	broken := 0
+	for _, seg := range d.segments {
+		switch seg.Kind {
+		case KindText:
+			b.WriteString(seg.Text)
+		case KindSpanLink:
+			content, err := l.marks.ExtractContent(seg.MarkID)
+			if err != nil {
+				broken++
+				fmt.Fprintf(&b, "[broken link %s]", seg.MarkID)
+				continue
+			}
+			b.WriteString(content)
+		}
+	}
+	return b.String(), broken, nil
+}
+
+// Names returns the names of all documents, unsorted count only being
+// stable; callers needing order should sort.
+func (l *Library) Names() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.docs))
+	for n := range l.docs {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package vdoc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/base"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/mark"
+)
+
+func fixture(t *testing.T) (*Library, *mark.Manager) {
+	t.Helper()
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		t.Fatal(err)
+	}
+	sheets.AddWorkbook(w)
+	mm := mark.NewManager()
+	if err := mm.RegisterApplication(sheets); err != nil {
+		t.Fatal(err)
+	}
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	return NewLibrary(mm), mm
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	l, _ := fixture(t)
+	if _, err := l.Create(""); err == nil {
+		t.Error("unnamed vdoc accepted")
+	}
+	d, err := l.Create("summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Create("summary"); err == nil {
+		t.Error("duplicate accepted")
+	}
+	got, ok := l.Get("summary")
+	if !ok || got != d {
+		t.Fatal("lookup failed")
+	}
+	if len(l.Names()) != 1 {
+		t.Fatal("Names wrong")
+	}
+}
+
+func TestRenderSplicesBaseContent(t *testing.T) {
+	l, mm := fixture(t)
+	m, err := mm.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := l.Create("summary")
+	d.AppendText("Patient remains on ")
+	if err := d.AppendSpanLink(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	d.AppendText(" for diuresis.")
+	out, broken, err := l.Render("summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken != 0 {
+		t.Fatalf("broken = %d", broken)
+	}
+	if out != "Patient remains on Furosemide for diuresis." {
+		t.Fatalf("Render = %q", out)
+	}
+}
+
+func TestRenderReflectsBaseEdits(t *testing.T) {
+	// The defining property of span links: re-rendering shows current base
+	// content (unlike a copied excerpt).
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	w.LoadCSV("Meds", "Drug\nFurosemide\n")
+	sheets.AddWorkbook(w)
+	mm := mark.NewManager()
+	mm.RegisterApplication(sheets)
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	sheets.SelectRange("Meds", r)
+	m, _ := mm.CreateFromSelection(spreadsheet.Scheme)
+
+	l := NewLibrary(mm)
+	d, _ := l.Create("v")
+	d.AppendSpanLink(m.ID)
+	before, _, _ := l.Render("v")
+	if before != "Furosemide" {
+		t.Fatalf("before = %q", before)
+	}
+	s, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("A2")
+	s.Set(cell, "Bumetanide")
+	after, _, _ := l.Render("v")
+	if after != "Bumetanide" {
+		t.Fatalf("after = %q (render must reflect live base content)", after)
+	}
+}
+
+func TestRenderBrokenLink(t *testing.T) {
+	l, _ := fixture(t)
+	d, _ := l.Create("v")
+	d.AppendText("before ")
+	d.AppendSpanLink("ghost-mark")
+	d.AppendText(" after")
+	out, broken, err := l.Render("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken != 1 {
+		t.Fatalf("broken = %d", broken)
+	}
+	if !strings.Contains(out, "[broken link ghost-mark]") {
+		t.Fatalf("Render = %q", out)
+	}
+	if !strings.HasPrefix(out, "before ") || !strings.HasSuffix(out, " after") {
+		t.Fatalf("literal text lost: %q", out)
+	}
+}
+
+func TestRenderMissingDoc(t *testing.T) {
+	l, _ := fixture(t)
+	if _, _, err := l.Render("absent"); err == nil {
+		t.Fatal("render of absent doc succeeded")
+	}
+}
+
+func TestAppendSpanLinkValidation(t *testing.T) {
+	l, _ := fixture(t)
+	d, _ := l.Create("v")
+	if err := d.AppendSpanLink(""); err == nil {
+		t.Fatal("empty mark id accepted")
+	}
+}
+
+func TestSegmentsAndSpanLinks(t *testing.T) {
+	l, _ := fixture(t)
+	d, _ := l.Create("v")
+	d.AppendText("a")
+	d.AppendSpanLink("m1")
+	d.AppendText("b")
+	d.AppendSpanLink("m2")
+	segs := d.Segments()
+	if len(segs) != 4 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	links := d.SpanLinks()
+	if len(links) != 2 || links[0] != "m1" || links[1] != "m2" {
+		t.Fatalf("links = %v", links)
+	}
+	// Segments returns a copy.
+	segs[0].Text = "mutated"
+	if d.Segments()[0].Text != "a" {
+		t.Fatal("Segments exposed internal state")
+	}
+}
+
+func TestRenderUsesExcerptWhenViewerUnavailable(t *testing.T) {
+	// ExtractContent falls back to the stored excerpt if the base app is
+	// gone — the vdoc still renders.
+	mm := mark.NewManager()
+	mm.Add(mark.Mark{
+		ID:      "m-offline",
+		Address: base.Address{Scheme: "gone", File: "f", Path: "p"},
+		Excerpt: "cached content",
+	})
+	l := NewLibrary(mm)
+	d, _ := l.Create("v")
+	d.AppendSpanLink("m-offline")
+	out, broken, err := l.Render("v")
+	if err != nil || broken != 0 {
+		t.Fatalf("render = %v, broken %d", err, broken)
+	}
+	if out != "cached content" {
+		t.Fatalf("Render = %q", out)
+	}
+}
