@@ -1,0 +1,28 @@
+# SLIM repo tasks. `make ci` is the full verification lane (vet + build +
+# race-enabled tests); CI environments should run exactly that.
+
+GO ?= go
+
+.PHONY: all build test race vet ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race lane exercises the concurrent paths: TRIM's reader/writer and
+# Observer notification, the Mark Manager's lock-free base-app calls, and
+# the obs counters/histograms/tracer.
+race:
+	$(GO) test -race ./...
+
+ci: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

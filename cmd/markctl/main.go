@@ -30,6 +30,7 @@ import (
 	"repro/internal/base/textdoc"
 	"repro/internal/base/xmldoc"
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/trim"
 )
 
@@ -51,14 +52,26 @@ func run(args []string, out io.Writer) error {
 	doc := fs.String("doc", "", "base document file to load")
 	at := fs.String("at", "", "address path within the document")
 	id := fs.String("id", "", "mark id (for resolve)")
+	var cli obs.CLI
+	cli.Bind(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	if err := cli.Start(); err != nil {
+		return err
+	}
+	err := execute(cmd, *marksFile, *scheme, *doc, *at, *id, out)
+	if ferr := cli.Finish(out); err == nil {
+		err = ferr
+	}
+	return err
+}
 
+func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {
 	mm := mark.NewManager()
 	store := trim.NewManager()
-	if _, err := os.Stat(*marksFile); err == nil {
-		if err := store.LoadFile(*marksFile); err != nil {
+	if _, err := os.Stat(marksFile); err == nil {
+		if err := store.LoadFile(marksFile); err != nil {
 			return err
 		}
 		if err := mm.LoadFrom(store); err != nil {
@@ -75,10 +88,10 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "mark":
-		if *scheme == "" || *doc == "" || *at == "" {
+		if scheme == "" || doc == "" || at == "" {
 			return fmt.Errorf("mark needs -scheme, -doc, and -at")
 		}
-		app, name, err := loadDoc(*scheme, *doc)
+		app, name, err := loadDoc(scheme, doc)
 		if err != nil {
 			return err
 		}
@@ -87,17 +100,17 @@ func run(args []string, out io.Writer) error {
 		}
 		// Drive the viewer to the address (validating it), so the mark is
 		// created from a genuine current selection.
-		if _, err := app.GoTo(base.Address{Scheme: *scheme, File: name, Path: *at}); err != nil {
+		if _, err := app.GoTo(base.Address{Scheme: scheme, File: name, Path: at}); err != nil {
 			return err
 		}
-		m, err := mm.CreateFromSelection(*scheme)
+		m, err := mm.CreateFromSelection(scheme)
 		if err != nil {
 			return err
 		}
 		if err := mm.SaveTo(store); err != nil {
 			return err
 		}
-		if err := store.SaveFile(*marksFile); err != nil {
+		if err := store.SaveFile(marksFile); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "created %s -> %s\n", m.ID, m.Address)
@@ -110,15 +123,15 @@ func run(args []string, out io.Writer) error {
 		// The §6 "extract content" behavior: fetch the marked element's
 		// current content without driving any viewer; falls back to the
 		// stored excerpt when the base document is unavailable.
-		if *id == "" {
+		if id == "" {
 			return fmt.Errorf("extract needs -id")
 		}
-		if *doc != "" {
-			m, err := mm.Mark(*id)
+		if doc != "" {
+			m, err := mm.Mark(id)
 			if err != nil {
 				return err
 			}
-			app, _, err := loadDoc(m.Address.Scheme, *doc)
+			app, _, err := loadDoc(m.Address.Scheme, doc)
 			if err != nil {
 				return err
 			}
@@ -126,7 +139,7 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
-		content, err := mm.ExtractContent(*id)
+		content, err := mm.ExtractContent(id)
 		if err != nil {
 			return err
 		}
@@ -134,25 +147,25 @@ func run(args []string, out io.Writer) error {
 		return nil
 
 	case "resolve":
-		if *id == "" || *doc == "" {
+		if id == "" || doc == "" {
 			return fmt.Errorf("resolve needs -id and -doc (to reload the base document)")
 		}
-		m, err := mm.Mark(*id)
+		m, err := mm.Mark(id)
 		if err != nil {
 			return err
 		}
-		app, _, err := loadDoc(m.Address.Scheme, *doc)
+		app, _, err := loadDoc(m.Address.Scheme, doc)
 		if err != nil {
 			return err
 		}
 		if err := mm.RegisterApplication(app); err != nil {
 			return err
 		}
-		el, err := mm.Resolve(*id)
+		el, err := mm.Resolve(id)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%s resolves to %s\n  content: %q\n  context: %q\n", *id, el.Address, el.Content, el.Context)
+		fmt.Fprintf(out, "%s resolves to %s\n  content: %q\n  context: %q\n", id, el.Address, el.Content, el.Context)
 		return nil
 
 	default:

@@ -130,3 +130,26 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestObsFlags(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+	prof := filepath.Join(dir, "cpu.prof")
+
+	var out strings.Builder
+	if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv,
+		"-at", "Meds!A2:B2", "-metrics", "-profile", prof}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== obs metrics ==") {
+		t.Fatalf("missing registry header:\n%s", text)
+	}
+	if !strings.Contains(text, "counter mark.dispatch.spreadsheet") {
+		t.Errorf("metrics output missing mark dispatch counter:\n%s", text)
+	}
+	if info, err := os.Stat(prof); err != nil || info.Size() == 0 {
+		t.Fatalf("profile not written: %v", err)
+	}
+}

@@ -18,8 +18,22 @@ import (
 
 	"repro/internal/clinical"
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/slimpad"
 )
+
+// withObs runs fn between obs.CLI Start/Finish, so every subcommand honors
+// -metrics, -trace, and -profile uniformly.
+func withObs(cli *obs.CLI, out io.Writer, fn func() error) error {
+	if err := cli.Start(); err != nil {
+		return err
+	}
+	err := fn()
+	if ferr := cli.Finish(out); err == nil {
+		err = ferr
+	}
+	return err
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -50,28 +64,34 @@ func find(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("find", flag.ContinueOnError)
 	padFile := fs.String("pad", "", "pad file to search")
 	q := fs.String("q", "", "label substring (case-insensitive)")
+	var cli obs.CLI
+	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *padFile == "" || *q == "" {
 		return fmt.Errorf("find needs -pad and -q")
 	}
+	return withObs(&cli, out, func() error { return findIn(*padFile, *q, out) })
+}
+
+func findIn(padFile, q string, out io.Writer) error {
 	marks := mark.NewManager()
 	app, err := slimpad.NewApp(marks)
 	if err != nil {
 		return err
 	}
-	if _, err := app.Load(*padFile); err != nil {
+	if _, err := app.Load(padFile); err != nil {
 		return err
 	}
-	bundles, err := app.DMI().FindBundles(*q)
+	bundles, err := app.DMI().FindBundles(q)
 	if err != nil {
 		return err
 	}
 	for _, b := range bundles {
 		fmt.Fprintf(out, "bundle  %s  %q\n", b.ID().Value(), b.BundleName())
 	}
-	scraps, err := app.DMI().FindScraps(*q)
+	scraps, err := app.DMI().FindScraps(q)
 	if err != nil {
 		return err
 	}
@@ -93,10 +113,16 @@ func demo(args []string, out io.Writer) error {
 	outFile := fs.String("out", "rounds.xml", "output pad file")
 	patients := fs.Int("patients", 3, "number of synthetic patients")
 	seed := fs.Int64("seed", 2001, "generator seed")
+	var cli obs.CLI
+	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env, err := clinical.NewEnvironment(*seed, *patients)
+	return withObs(&cli, out, func() error { return buildDemo(*outFile, *patients, *seed, out) })
+}
+
+func buildDemo(outFile string, patients int, seed int64, out io.Writer) error {
+	env, err := clinical.NewEnvironment(seed, patients)
 	if err != nil {
 		return err
 	}
@@ -131,32 +157,38 @@ func demo(args []string, out io.Writer) error {
 			}
 		}
 	}
-	if err := app.Save(*outFile); err != nil {
+	if err := app.Save(outFile); err != nil {
 		return err
 	}
 	st, err := app.PadStats(pad.ID())
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s: %d bundles, %d scraps, %d marks\n", *outFile, st.Bundles, st.Scraps, st.Marks)
+	fmt.Fprintf(out, "wrote %s: %d bundles, %d scraps, %d marks\n", outFile, st.Bundles, st.Scraps, st.Marks)
 	return nil
 }
 
 func inspect(cmd string, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	padFile := fs.String("pad", "", "pad file to inspect")
+	var cli obs.CLI
+	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *padFile == "" {
 		return fmt.Errorf("-pad is required")
 	}
+	return withObs(&cli, out, func() error { return inspectPad(cmd, *padFile, out) })
+}
+
+func inspectPad(cmd, padFile string, out io.Writer) error {
 	marks := mark.NewManager()
 	app, err := slimpad.NewApp(marks)
 	if err != nil {
 		return err
 	}
-	pads, err := app.Load(*padFile)
+	pads, err := app.Load(padFile)
 	if err != nil {
 		return err
 	}

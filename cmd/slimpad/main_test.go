@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -81,5 +82,34 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"show", "-pad", "/nonexistent.xml"}, &out); err == nil {
 		t.Error("missing pad file accepted")
+	}
+}
+
+func TestTraceAndObsFlags(t *testing.T) {
+	dir := t.TempDir()
+	pad := filepath.Join(dir, "rounds.xml")
+	prof := filepath.Join(dir, "cpu.prof")
+
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "1", "-trace", "-profile", prof}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== recent ops") {
+		t.Fatalf("missing trace header:\n%s", text)
+	}
+	if !strings.Contains(text, "dmi.create") {
+		t.Errorf("trace dump has no DMI ops:\n%s", text)
+	}
+	if info, err := os.Stat(prof); err != nil || info.Size() == 0 {
+		t.Fatalf("profile not written: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"show", "-pad", pad, "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== obs metrics ==") {
+		t.Fatalf("show -metrics missing registry header:\n%s", out.String())
 	}
 }

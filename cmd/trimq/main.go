@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/metamodel"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/trim"
 )
@@ -36,6 +37,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trimq", flag.ContinueOnError)
 	store := fs.String("store", "", "path to a persisted store (XML triple file)")
 	nt := fs.Bool("nt", false, "store file is N-Triples instead of XML")
+	var cli obs.CLI
+	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,13 +49,23 @@ func run(args []string, out io.Writer) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("need a command: stats | select S P O | view RESOURCE | path START PRED... | models")
 	}
+	if err := cli.Start(); err != nil {
+		return err
+	}
+	err := execute(*store, *nt, rest, out)
+	if ferr := cli.Finish(out); err == nil {
+		err = ferr
+	}
+	return err
+}
 
+func execute(store string, nt bool, rest []string, out io.Writer) error {
 	m := trim.NewManager()
 	var err error
-	if *nt {
-		err = m.LoadNTriples(*store)
+	if nt {
+		err = m.LoadNTriples(store)
 	} else {
-		err = m.LoadFile(*store)
+		err = m.LoadFile(store)
 	}
 	if err != nil {
 		return err

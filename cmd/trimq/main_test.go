@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -149,5 +150,42 @@ func TestParseTerm(t *testing.T) {
 	}
 	if term, err := parseTerm(pm, "http://full/iri"); err != nil || term != rdf.IRI("http://full/iri") {
 		t.Errorf("full iri = %v, %v", term, err)
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-metrics", "select", "?", "rdf:type", "pad:Bundle"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== obs metrics ==") {
+		t.Fatalf("missing registry header:\n%s", text)
+	}
+	// The load counts as creates and the query as a select; both nonzero.
+	for _, want := range []string{"counter trim.create.total", "counter trim.select.total", "histogram trim.select.ns"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if strings.Contains(text, "counter trim.create.total 0\n") || strings.Contains(text, "counter trim.select.total 0\n") {
+		t.Fatalf("expected nonzero create/select counters:\n%s", text)
+	}
+}
+
+func TestProfileFlag(t *testing.T) {
+	path := storeFile(t)
+	prof := filepath.Join(t.TempDir(), "cpu.prof")
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-profile", prof, "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("profile not created: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("profile file is empty")
 	}
 }

@@ -8,9 +8,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/base"
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/slim"
 )
 
@@ -96,8 +98,21 @@ type View struct {
 	Overlay []mark.Mark
 }
 
-// ViewMark resolves the mark under the given viewing style.
-func (s *System) ViewMark(style ViewingStyle, markID string) (View, error) {
+// ViewMark resolves the mark under the given viewing style. Each call is
+// one orchestration span ("core.view") in the obs trace ring — the mark
+// resolution it triggers shows up as the nested mark.* metrics — plus a
+// per-style counter and latency histogram.
+func (s *System) ViewMark(style ViewingStyle, markID string) (v View, err error) {
+	start := time.Now()
+	sp := obs.Trace("core.view", style.String()+" "+markID)
+	defer func() {
+		sp.FinishErr(err)
+		obs.H("core.view.ns").ObserveSince(start)
+		obs.C("core.view." + style.String() + ".total").Inc()
+		if err != nil {
+			obs.C("core.view.errors").Inc()
+		}
+	}()
 	switch style {
 	case Simultaneous:
 		el, err := s.Marks.Resolve(markID)
@@ -137,7 +152,9 @@ func (s *System) MarksInto(scheme, file string) []mark.Mark {
 }
 
 // Save persists marks and superimposed information into one XML file.
-func (s *System) Save(path string) error {
+func (s *System) Save(path string) (err error) {
+	sp := obs.Trace("core.save", path)
+	defer func() { sp.FinishErr(err) }()
 	if err := s.Marks.SaveTo(s.Store.Trim()); err != nil {
 		return err
 	}
@@ -145,7 +162,9 @@ func (s *System) Save(path string) error {
 }
 
 // Load restores the store and marks from an XML file.
-func (s *System) Load(path string) error {
+func (s *System) Load(path string) (err error) {
+	sp := obs.Trace("core.load", path)
+	defer func() { sp.FinishErr(err) }()
 	if err := s.Store.LoadFile(path); err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/base"
 )
@@ -96,11 +97,14 @@ func (mm *Manager) Schemes() []string {
 // scheme's base application, stores it, and returns it. Mark ids are
 // sequential ("mark-000001", ...).
 func (mm *Manager) CreateFromSelection(scheme string) (Mark, error) {
+	start := time.Now()
 	mm.mu.Lock()
 	mod, ok := mm.modules[scheme]
 	if !ok {
 		mm.mu.Unlock()
-		return Mark{}, fmt.Errorf("%w: %q", ErrNoModule, scheme)
+		err := fmt.Errorf("%w: %q", ErrNoModule, scheme)
+		markOpDone("create", scheme, start, err)
+		return Mark{}, err
 	}
 	mm.nextSeq++
 	id := fmt.Sprintf("mark-%06d", mm.nextSeq)
@@ -108,13 +112,16 @@ func (mm *Manager) CreateFromSelection(scheme string) (Mark, error) {
 
 	// Mark creation talks to the base application outside the lock; base
 	// apps have their own synchronization.
+	markDispatch(scheme)
 	m, err := mod.CreateMark(id)
 	if err != nil {
+		markOpDone("create", scheme, start, err)
 		return Mark{}, err
 	}
 	mm.mu.Lock()
 	mm.marks[m.ID] = m
 	mm.mu.Unlock()
+	markOpDone("create", scheme, start, nil)
 	return m, nil
 }
 
@@ -182,23 +189,33 @@ func (mm *Manager) Resolve(id string) (base.Element, error) {
 
 // ResolveWith dereferences the mark using the named resolver.
 func (mm *Manager) ResolveWith(id, resolver string) (base.Element, error) {
+	start := time.Now()
 	mm.mu.RLock()
 	m, ok := mm.marks[id]
 	if !ok {
 		mm.mu.RUnlock()
-		return base.Element{}, fmt.Errorf("%w: %q", ErrUnknownMark, id)
+		err := fmt.Errorf("%w: %q", ErrUnknownMark, id)
+		markOpDone("resolve", unknownScheme, start, err)
+		return base.Element{}, err
 	}
 	byName, ok := mm.resolvers[m.Scheme()]
 	if !ok {
 		mm.mu.RUnlock()
-		return base.Element{}, fmt.Errorf("%w: %q", ErrNoModule, m.Scheme())
+		err := fmt.Errorf("%w: %q", ErrNoModule, m.Scheme())
+		markOpDone("resolve", m.Scheme(), start, err)
+		return base.Element{}, err
 	}
 	r, ok := byName[resolver]
 	mm.mu.RUnlock()
 	if !ok {
-		return base.Element{}, fmt.Errorf("%w: %q for scheme %q", ErrUnknownResolver, resolver, m.Scheme())
+		err := fmt.Errorf("%w: %q for scheme %q", ErrUnknownResolver, resolver, m.Scheme())
+		markOpDone("resolve", m.Scheme(), start, err)
+		return base.Element{}, err
 	}
-	return r(m)
+	markDispatch(m.Scheme())
+	el, err := r(m)
+	markOpDone("resolve", m.Scheme(), start, err)
+	return el, err
 }
 
 // ExtractContent returns the marked element's current content without

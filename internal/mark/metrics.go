@@ -1,0 +1,35 @@
+package mark
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Per-scheme metrics quantify the §4.2/§5 claim that routing every mark
+// operation through a per-scheme module keeps dispatch cheap while letting
+// modules vary: mark.dispatch.<scheme> counts module dispatches,
+// mark.<op>.<scheme>.ns the end-to-end latency (module plus base
+// application), and mark.<op>.<scheme>.errors the failures.
+//
+// Scheme names come from the module registry, so the metric-name space is
+// bounded by the number of registered base applications; unknown-mark
+// failures, where no scheme is knowable, land under the "unknown" scheme.
+const unknownScheme = "unknown"
+
+func markDispatch(scheme string) {
+	obs.C("mark.dispatch." + scheme).Inc()
+}
+
+// markOpDone records one mark-manager operation: latency always, plus the
+// error counter when err is non-nil.
+func markOpDone(op, scheme string, start time.Time, err error) {
+	if scheme == "" {
+		scheme = unknownScheme
+	}
+	obs.H("mark." + op + "." + scheme + ".ns").ObserveSince(start)
+	if err != nil {
+		obs.C("mark." + op + "." + scheme + ".errors").Inc()
+		obs.Log().Warn("mark op failed", "op", op, "scheme", scheme, "err", err)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"flag"
+	"io"
+)
+
+// CLI bundles the standard observability flags the SLIM binaries share:
+//
+//	-metrics        print the Default registry (text form) after the run
+//	-trace          dump the DefaultTracer ring buffer after the run
+//	-profile FILE   write a CPU profile of the run to FILE
+//
+// Usage: Bind onto the command's FlagSet, Start after parsing, and Finish
+// once the command has run (Finish must run even when the command errors,
+// so the profile file is complete).
+type CLI struct {
+	Metrics bool
+	Trace   bool
+	Profile string
+
+	stopProfile func() error
+}
+
+// Bind registers the three flags on the flag set.
+func (c *CLI) Bind(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Metrics, "metrics", false, "print the metrics registry after the run")
+	fs.BoolVar(&c.Trace, "trace", false, "dump the recent-ops trace ring after the run")
+	fs.StringVar(&c.Profile, "profile", "", "write a CPU profile of the run to `file`")
+}
+
+// Start begins CPU profiling when -profile was given.
+func (c *CLI) Start() error {
+	if c.Profile == "" {
+		return nil
+	}
+	stop, err := StartCPUProfile(c.Profile)
+	if err != nil {
+		return err
+	}
+	c.stopProfile = stop
+	return nil
+}
+
+// Finish stops profiling and writes the requested reports to out. It
+// returns the first error encountered but always attempts every step.
+func (c *CLI) Finish(out io.Writer) error {
+	var first error
+	if c.stopProfile != nil {
+		if err := c.stopProfile(); err != nil {
+			first = err
+		}
+		c.stopProfile = nil
+	}
+	if c.Metrics {
+		if err := Default.WriteText(out); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.Trace {
+		if err := DefaultTracer.WriteText(out); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIFlagsAndFinish(t *testing.T) {
+	profile := filepath.Join(t.TempDir(), "run.prof")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Bind(fs)
+	if err := fs.Parse([]string{"-metrics", "-trace", "-profile", profile}); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Metrics || !cli.Trace || cli.Profile != profile {
+		t.Fatalf("parsed CLI = %+v", cli)
+	}
+	if err := cli.Start(); err != nil {
+		t.Fatal(err)
+	}
+	C("cli.test.counter").Inc()
+	Trace("cli.test.op", "detail").Finish()
+
+	var out strings.Builder
+	if err := cli.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "== obs metrics ==") || !strings.Contains(text, "cli.test.counter 1") {
+		t.Fatalf("metrics section missing: %q", text)
+	}
+	if !strings.Contains(text, "== recent ops") || !strings.Contains(text, "cli.test.op") {
+		t.Fatalf("trace section missing: %q", text)
+	}
+	if info, err := os.Stat(profile); err != nil || info.Size() == 0 {
+		t.Fatalf("profile not written: %v", err)
+	}
+	// Finish again is a no-op for the profile and re-prints reports.
+	if err := cli.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIDefaultsOff(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var cli CLI
+	cli.Bind(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := cli.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("silent run produced output: %q", out.String())
+	}
+}

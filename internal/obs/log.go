@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+)
+
+// logger holds the process-wide structured logger; nil means disabled.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs l as the SLIM stack's structured logger. Passing nil
+// disables logging again (the default).
+func SetLogger(l *slog.Logger) {
+	logger.Store(l)
+}
+
+// Log returns the current structured logger, never nil: when none is
+// installed it returns a logger whose handler rejects every level, so hot
+// paths pay one atomic load plus one Enabled check and build no records.
+func Log() *slog.Logger {
+	if l := logger.Load(); l != nil {
+		return l
+	}
+	return nopLogger
+}
+
+// LogEnabled reports whether a real logger is installed; guards for log
+// call sites that would otherwise compute expensive attributes.
+func LogEnabled() bool { return logger.Load() != nil }
+
+var nopLogger = slog.New(discardHandler{})
+
+// discardHandler is slog's /dev/null: Enabled is false for every level, so
+// the slog front end short-circuits before building records. (The stdlib
+// gained slog.DiscardHandler in a later Go release; this keeps go.mod at
+// its current floor.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

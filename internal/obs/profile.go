@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns a stop
+// function that ends profiling and closes the file. It is the shared
+// implementation behind every binary's -profile flag.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: profile: %w", err)
+	}
+	var once bool
+	return func() error {
+		if once {
+			return nil
+		}
+		once = true
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpRecord is one finished operation in the tracer's ring buffer.
+type OpRecord struct {
+	// Seq numbers finished ops from 1; gaps in a dump mean the ring wrapped.
+	Seq uint64
+	// Op names the operation ("dmi.create", "core.view", ...).
+	Op string
+	// Detail is a free-form argument summary (construct id, mark id, ...).
+	Detail string
+	// Depth is the span's nesting depth (0 for roots).
+	Depth int
+	Start time.Time
+	Dur   time.Duration
+	// Err is the error text for failed ops, empty on success.
+	Err string
+}
+
+// Tracer keeps the last capacity finished spans in a ring buffer: a cheap,
+// always-available flight recorder the binaries dump with -trace. All
+// methods are safe for concurrent use and nil-safe, so packages can trace
+// unconditionally.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	ring    []OpRecord
+	seq     uint64 // total finished spans ever; ring[(seq-1) % cap] is newest
+}
+
+// NewTracer returns an enabled tracer retaining the last capacity ops
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{ring: make([]OpRecord, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// DefaultTracer is the process-wide flight recorder.
+var DefaultTracer = NewTracer(256)
+
+// SetEnabled turns recording on or off. When off, Start returns nil spans
+// and the only cost per call site is one atomic load.
+func (tr *Tracer) SetEnabled(on bool) {
+	if tr != nil {
+		tr.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the tracer records.
+func (tr *Tracer) Enabled() bool { return tr != nil && tr.enabled.Load() }
+
+// Span is an in-flight operation. Spans are not goroutine-safe; a span
+// belongs to the goroutine that started it. A nil *Span is valid and all
+// its methods no-op, so disabled tracing costs nothing at call sites.
+type Span struct {
+	tr     *Tracer
+	op     string
+	detail string
+	depth  int
+	start  time.Time
+}
+
+// Start begins a root span. Returns nil when the tracer is disabled or nil.
+func (tr *Tracer) Start(op, detail string) *Span {
+	if !tr.Enabled() {
+		return nil
+	}
+	return &Span{tr: tr, op: op, detail: detail, start: time.Now()}
+}
+
+// Trace starts a root span on the DefaultTracer.
+func Trace(op, detail string) *Span { return DefaultTracer.Start(op, detail) }
+
+// Child begins a nested span one level deeper than s.
+func (s *Span) Child(op, detail string) *Span {
+	if s == nil || !s.tr.Enabled() {
+		return nil
+	}
+	return &Span{tr: s.tr, op: op, detail: detail, depth: s.depth + 1, start: time.Now()}
+}
+
+// Finish records the span into the ring buffer.
+func (s *Span) Finish() { s.FinishErr(nil) }
+
+// FinishErr records the span, tagging it with the error when non-nil.
+func (s *Span) FinishErr(err error) {
+	if s == nil {
+		return
+	}
+	rec := OpRecord{
+		Op:     s.op,
+		Detail: s.detail,
+		Depth:  s.depth,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.tr.record(rec)
+}
+
+func (tr *Tracer) record(rec OpRecord) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.seq++
+	rec.Seq = tr.seq
+	tr.ring[(tr.seq-1)%uint64(len(tr.ring))] = rec
+}
+
+// Recent returns the retained ops oldest-first.
+func (tr *Tracer) Recent() []OpRecord {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := tr.seq
+	capacity := uint64(len(tr.ring))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]OpRecord, 0, n)
+	for i := tr.seq - n; i < tr.seq; i++ {
+		out = append(out, tr.ring[i%capacity])
+	}
+	return out
+}
+
+// Reset discards all retained ops and restarts the sequence.
+func (tr *Tracer) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for i := range tr.ring {
+		tr.ring[i] = OpRecord{}
+	}
+	tr.seq = 0
+}
+
+// WriteText dumps the retained ops oldest-first, one per line, indented by
+// nesting depth — the post-mortem view behind slimpad -trace.
+func (tr *Tracer) WriteText(w io.Writer) error {
+	recs := tr.Recent()
+	if _, err := fmt.Fprintf(w, "== recent ops (%d) ==\n", len(recs)); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		indent := ""
+		for i := 0; i < r.Depth; i++ {
+			indent += "  "
+		}
+		suffix := ""
+		if r.Err != "" {
+			suffix = " err=" + r.Err
+		}
+		if _, err := fmt.Fprintf(w, "#%d %s%s %s %s%s\n",
+			r.Seq, indent, r.Op, r.Detail, r.Dur.Round(time.Microsecond), suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}

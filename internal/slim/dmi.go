@@ -98,7 +98,9 @@ func (d *DMI) validateAssignment(constructID, connectorID string, value rdf.Term
 // Create makes a new instance of the construct and assigns the given
 // single-valued properties. Props keys are connector IRIs; values pass
 // through Value. The whole creation is one atomic batch.
-func (d *DMI) Create(constructID string, props map[string]any) (*Object, error) {
+func (d *DMI) Create(constructID string, props map[string]any) (obj *Object, err error) {
+	op, touched := startOp("create", constructID), 0
+	defer func() { op.done(touched, err) }()
 	c, ok := d.model.Construct(constructID)
 	if !ok {
 		return nil, fmt.Errorf("slim: %s is not a construct of model %s", constructID, d.model.ID)
@@ -126,6 +128,7 @@ func (d *DMI) Create(constructID string, props map[string]any) (*Object, error) 
 			return nil, err
 		}
 	}
+	touched = b.Len()
 	if err := b.Apply(); err != nil {
 		return nil, err
 	}
@@ -133,8 +136,10 @@ func (d *DMI) Create(constructID string, props map[string]any) (*Object, error) 
 }
 
 // Get snapshots an instance into a read-only Object.
-func (d *DMI) Get(id rdf.Term) (*Object, error) {
+func (d *DMI) Get(id rdf.Term) (obj *Object, err error) {
+	op := startOp("get", id.Value())
 	triples := d.store.trim.Select(rdf.P(id, rdf.Zero, rdf.Zero))
+	defer func() { op.done(len(triples), err) }()
 	if len(triples) == 0 {
 		return nil, fmt.Errorf("slim: no instance %s", id.Value())
 	}
@@ -158,7 +163,9 @@ func (d *DMI) Get(id rdf.Term) (*Object, error) {
 
 // Set replaces all values of the connector on the instance with one value
 // (the Update_ operations of Fig. 10).
-func (d *DMI) Set(id rdf.Term, connectorID string, value any) error {
+func (d *DMI) Set(id rdf.Term, connectorID string, value any) (err error) {
+	op := startOp("set", connectorID)
+	defer func() { op.done(2, err) }()
 	obj, err := d.Get(id)
 	if err != nil {
 		return err
@@ -183,7 +190,9 @@ func (d *DMI) Set(id rdf.Term, connectorID string, value any) error {
 // Add appends a value to a multi-valued connector (the addNestedBundle
 // style operations of Fig. 10). It enforces the connector's upper
 // cardinality.
-func (d *DMI) Add(id rdf.Term, connectorID string, value any) error {
+func (d *DMI) Add(id rdf.Term, connectorID string, value any) (err error) {
+	op := startOp("add", connectorID)
+	defer func() { op.done(1, err) }()
 	obj, err := d.Get(id)
 	if err != nil {
 		return err
@@ -207,7 +216,9 @@ func (d *DMI) Add(id rdf.Term, connectorID string, value any) error {
 }
 
 // Unset removes a specific value from a connector.
-func (d *DMI) Unset(id rdf.Term, connectorID string, value any) error {
+func (d *DMI) Unset(id rdf.Term, connectorID string, value any) (err error) {
+	op := startOp("unset", connectorID)
+	defer func() { op.done(1, err) }()
 	term, err := Value(value)
 	if err != nil {
 		return err
@@ -222,7 +233,12 @@ func (d *DMI) Unset(id rdf.Term, connectorID string, value any) error {
 // references to it. With cascade, instances reachable from it through
 // model connectors that no other instance references are deleted too (the
 // containment semantics Delete_Bundle needs).
-func (d *DMI) Delete(id rdf.Term, cascade bool) error {
+func (d *DMI) Delete(id rdf.Term, cascade bool) (err error) {
+	op := startOp("delete", id.Value())
+	before := d.store.trim.Len()
+	// A cascading delete's triple count includes the nested deletes, which
+	// also record their own ops — the nesting is visible in the trace ring.
+	defer func() { op.done(before-d.store.trim.Len(), err) }()
 	if _, err := d.Get(id); err != nil {
 		return err
 	}
@@ -266,7 +282,9 @@ func (d *DMI) Delete(id rdf.Term, cascade bool) error {
 
 // InstancesOf lists all instances of the construct (including instances of
 // its specializations), sorted by IRI.
-func (d *DMI) InstancesOf(constructID string) ([]*Object, error) {
+func (d *DMI) InstancesOf(constructID string) (out []*Object, err error) {
+	op := startOp("instancesof", constructID)
+	defer func() { op.done(0, err) }()
 	if _, ok := d.model.Construct(constructID); !ok {
 		return nil, fmt.Errorf("slim: %s is not a construct of model %s", constructID, d.model.ID)
 	}
@@ -286,7 +304,7 @@ func (d *DMI) InstancesOf(constructID string) ([]*Object, error) {
 		sorted = append(sorted, id)
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
-	out := make([]*Object, 0, len(sorted))
+	out = make([]*Object, 0, len(sorted))
 	for _, id := range sorted {
 		obj, err := d.Get(id)
 		if err != nil {
@@ -300,7 +318,10 @@ func (d *DMI) InstancesOf(constructID string) ([]*Object, error) {
 // View returns the reachability view rooted at the instance (§4.4): all
 // triples representing the instance and everything nested inside it.
 func (d *DMI) View(id rdf.Term) *rdf.Graph {
-	return d.store.trim.View(id)
+	op := startOp("view", id.Value())
+	g := d.store.trim.View(id)
+	op.done(g.Len(), nil)
+	return g
 }
 
 // Trim exposes the store's triple manager, for read-only queries by the

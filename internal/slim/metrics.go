@@ -1,0 +1,51 @@
+package slim
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DMI instrumentation directly quantifies §6's "cost of interpreting
+// manipulations on SLIM Store data": every DMI operation records its
+// end-to-end latency (slim.dmi.<op>.ns — validation, triple staging, and
+// TRIM time included), the number of triples it touched
+// (slim.dmi.triples.touched and the per-op slim.dmi.triples_per_op
+// distribution), and success/error counts. Each operation also leaves a
+// span in the obs ring buffer, so slimpad -trace shows the store's recent
+// manipulation history.
+//
+// Nested reads count too: a DMI Set re-Gets the instance to learn its
+// construct, and that inner Get records itself — which is exactly the
+// interpretation overhead the paper prices.
+var (
+	mTriplesTouched = obs.C("slim.dmi.triples.touched")
+	mTriplesPerOp   = obs.HSize("slim.dmi.triples_per_op")
+)
+
+// dmiOp is an in-flight DMI operation; start with startOp, finish with
+// done. The op string is the metric/infix ("create", "get", ...).
+type dmiOp struct {
+	op    string
+	start time.Time
+	span  *obs.Span
+}
+
+func startOp(op, detail string) dmiOp {
+	return dmiOp{op: op, start: time.Now(), span: obs.Trace("dmi."+op, detail)}
+}
+
+// done records the operation. triples is the number of triples the op
+// touched (read or wrote); pass 0 when the op failed before touching any.
+func (o dmiOp) done(triples int, err error) {
+	obs.H("slim.dmi." + o.op + ".ns").ObserveSince(o.start)
+	obs.C("slim.dmi." + o.op + ".total").Inc()
+	if err != nil {
+		obs.C("slim.dmi." + o.op + ".errors").Inc()
+		obs.Log().Warn("dmi op failed", "op", o.op, "err", err)
+	} else if triples > 0 {
+		mTriplesTouched.Add(int64(triples))
+		mTriplesPerOp.Observe(int64(triples))
+	}
+	o.span.FinishErr(err)
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/metamodel"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/trim"
 )
@@ -54,7 +55,9 @@ func (s *Store) Trim() *trim.Manager { return s.trim }
 // RegisterModel adds a model to the store and writes its definition into
 // the triple representation, so the store is self-describing ("explicitly
 // representing and storing model, schema, and instance", §5).
-func (s *Store) RegisterModel(m *metamodel.Model) error {
+func (s *Store) RegisterModel(m *metamodel.Model) (err error) {
+	sp := obs.Trace("store.register_model", m.ID)
+	defer func() { sp.FinishErr(err) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.models[m.ID]; ok {
@@ -108,12 +111,18 @@ func (s *Store) Check(modelID string) ([]metamodel.Violation, error) {
 
 // SaveFile persists the entire store (models, schema, instances, marks —
 // everything in the TRIM manager) to an XML file.
-func (s *Store) SaveFile(path string) error { return s.trim.SaveFile(path) }
+func (s *Store) SaveFile(path string) (err error) {
+	sp := obs.Trace("store.save", path)
+	defer func() { sp.FinishErr(err) }()
+	return s.trim.SaveFile(path)
+}
 
 // LoadFile replaces the TRIM contents from an XML file and re-decodes all
 // registered models from the loaded triples, keeping the in-memory model
 // registry consistent with the store.
-func (s *Store) LoadFile(path string) error {
+func (s *Store) LoadFile(path string) (err error) {
+	sp := obs.Trace("store.load", path)
+	defer func() { sp.FinishErr(err) }()
 	if err := s.trim.LoadFile(path); err != nil {
 		return err
 	}

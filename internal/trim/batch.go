@@ -2,6 +2,7 @@ package trim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -72,6 +73,10 @@ func (b *Batch) Apply() error {
 		return fmt.Errorf("trim: batch already finished")
 	}
 	b.done = true
+	start := time.Now()
+	defer mBatchNS.ObserveSince(start)
+	mBatchTotal.Inc()
+	mBatchOps.Observe(int64(b.Len()))
 
 	m := b.m
 	m.mu.Lock()

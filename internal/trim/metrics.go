@@ -1,0 +1,66 @@
+package trim
+
+import "repro/internal/obs"
+
+// Metric handles are resolved once at init so hot paths pay only the
+// atomic increments. Names are documented in docs/OBSERVABILITY.md.
+var (
+	mCreateTotal  = obs.C("trim.create.total")
+	mCreateNew    = obs.C("trim.create.new")
+	mCreateErrors = obs.C("trim.create.errors")
+	mCreateNS     = obs.H("trim.create.ns")
+
+	mRemoveTotal = obs.C("trim.remove.total")
+	mRemoveHit   = obs.C("trim.remove.hit")
+
+	mSelectTotal = obs.C("trim.select.total")
+	mSelectNS    = obs.H("trim.select.ns")
+	mCountTotal  = obs.C("trim.count.total")
+	mStatsTotal  = obs.C("trim.stats.total")
+
+	// Index-choice counters quantify the query planner: which position's
+	// hash index served a pattern, or whether a full scan was needed.
+	mIdxSubject   = obs.C("trim.index.subject")
+	mIdxPredicate = obs.C("trim.index.predicate")
+	mIdxObject    = obs.C("trim.index.object")
+	mIdxScan      = obs.C("trim.index.scan")
+
+	mViewTotal = obs.C("trim.view.total")
+	mViewNS    = obs.H("trim.view.ns")
+
+	mBatchTotal = obs.C("trim.batch.total")
+	mBatchNS    = obs.H("trim.batch.apply.ns")
+	mBatchOps   = obs.HSize("trim.batch.ops")
+
+	// mLoadTriples counts triples entering the store through bulk Replace
+	// (file loads); Create-path inserts are counted by trim.create.*.
+	mLoadTriples = obs.C("trim.load.triples")
+	mLoadNS      = obs.H("trim.load.ns")
+
+	// mNotifyFanout counts observer callbacks delivered (one per observer
+	// per mutation): the Observer notification fan-out.
+	mNotifyFanout = obs.C("trim.observer.fanout")
+)
+
+// indexChoice identifies which index (if any) served a pattern.
+type indexChoice int
+
+const (
+	indexNone indexChoice = iota
+	indexSubject
+	indexPredicate
+	indexObject
+)
+
+func (c indexChoice) count() {
+	switch c {
+	case indexSubject:
+		mIdxSubject.Inc()
+	case indexPredicate:
+		mIdxPredicate.Inc()
+	case indexObject:
+		mIdxObject.Inc()
+	default:
+		mIdxScan.Inc()
+	}
+}

@@ -20,6 +20,15 @@ type Stats struct {
 	// is excluded; the figure is used as a portable proxy for the paper's
 	// "space efficiency" trade-off discussion (§6).
 	ApproxBytes int
+	// IndexSPO/IndexPOS/IndexOSP are the total entry counts of the
+	// subject-, predicate-, and object-keyed hash indexes (each entry is
+	// one triple in one bucket), matching what the trim.index.* metrics
+	// expose. In a consistent store each equals Triples.
+	IndexSPO int
+	IndexPOS int
+	IndexOSP int
+	// Generation is the store's mutation counter at the time of the call.
+	Generation uint64
 }
 
 // Stats computes current statistics in one pass under a read lock.
@@ -27,11 +36,22 @@ func (m *Manager) Stats() Stats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
+	mStatsTotal.Inc()
 	s := Stats{
 		Triples:            m.graph.Len(),
 		DistinctSubjects:   len(m.bySubject),
 		DistinctPredicates: len(m.byPredicate),
 		DistinctObjects:    len(m.byObject),
+		Generation:         m.generation,
+	}
+	for _, set := range m.bySubject {
+		s.IndexSPO += len(set)
+	}
+	for _, set := range m.byPredicate {
+		s.IndexPOS += len(set)
+	}
+	for _, set := range m.byObject {
+		s.IndexOSP += len(set)
 	}
 	m.graph.Each(func(t rdf.Triple) bool {
 		if t.Object.IsLiteral() {
@@ -46,9 +66,11 @@ func (m *Manager) Stats() Stats {
 	return s
 }
 
-// String renders the stats in a one-line human-readable form.
+// String renders the stats in a one-line human-readable form. New fields
+// are appended so existing consumers of the prefix keep parsing.
 func (s Stats) String() string {
-	return fmt.Sprintf("triples=%d subjects=%d predicates=%d objects=%d (literals=%d resources=%d) approx_bytes=%d",
+	return fmt.Sprintf("triples=%d subjects=%d predicates=%d objects=%d (literals=%d resources=%d) approx_bytes=%d spo=%d pos=%d osp=%d generation=%d",
 		s.Triples, s.DistinctSubjects, s.DistinctPredicates, s.DistinctObjects,
-		s.LiteralObjects, s.ResourceObjects, s.ApproxBytes)
+		s.LiteralObjects, s.ResourceObjects, s.ApproxBytes,
+		s.IndexSPO, s.IndexPOS, s.IndexOSP, s.Generation)
 }

@@ -12,6 +12,7 @@ package trim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -53,9 +54,19 @@ func NewManager() *Manager {
 // a triple already present is a no-op returning false, matching the set
 // semantics of the underlying graph.
 func (m *Manager) Create(t rdf.Triple) (bool, error) {
+	start := time.Now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.createLocked(t)
+	added, err := m.createLocked(t)
+	m.mu.Unlock()
+	mCreateNS.ObserveSince(start)
+	mCreateTotal.Inc()
+	switch {
+	case err != nil:
+		mCreateErrors.Inc()
+	case added:
+		mCreateNew.Inc()
+	}
+	return added, err
 }
 
 func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
@@ -77,8 +88,13 @@ func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
 // Remove deletes an exact triple, reporting whether it was present.
 func (m *Manager) Remove(t rdf.Triple) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.removeLocked(t)
+	removed := m.removeLocked(t)
+	m.mu.Unlock()
+	mRemoveTotal.Inc()
+	if removed {
+		mRemoveHit.Inc()
+	}
+	return removed
 }
 
 func (m *Manager) removeLocked(t rdf.Triple) bool {
@@ -132,14 +148,19 @@ func (m *Manager) Generation() uint64 {
 // subject, object, or predicate binding narrows the scan to that index
 // bucket; a fully wild pattern scans the whole store.
 func (m *Manager) Select(p rdf.Pattern) []rdf.Triple {
+	start := time.Now()
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.selectLocked(p)
+	out := m.selectLocked(p)
+	m.mu.RUnlock()
+	mSelectNS.ObserveSince(start)
+	mSelectTotal.Inc()
+	return out
 }
 
 func (m *Manager) selectLocked(p rdf.Pattern) []rdf.Triple {
-	bucket, scanned := m.chooseIndexLocked(p)
-	if !scanned {
+	bucket, choice := m.chooseIndexLocked(p)
+	choice.count()
+	if choice == indexNone {
 		return m.graph.Select(p)
 	}
 	var out []rdf.Triple
@@ -153,23 +174,23 @@ func (m *Manager) selectLocked(p rdf.Pattern) []rdf.Triple {
 }
 
 // chooseIndexLocked picks the smallest applicable index bucket. The second
-// result is false when no position is bound (full scan needed).
-func (m *Manager) chooseIndexLocked(p rdf.Pattern) (map[rdf.Triple]struct{}, bool) {
+// result is indexNone when no position is bound (full scan needed).
+func (m *Manager) chooseIndexLocked(p rdf.Pattern) (map[rdf.Triple]struct{}, indexChoice) {
 	var best map[rdf.Triple]struct{}
-	found := false
-	consider := func(idx map[rdf.Term]map[rdf.Triple]struct{}, key rdf.Term) {
+	choice := indexNone
+	consider := func(idx map[rdf.Term]map[rdf.Triple]struct{}, key rdf.Term, which indexChoice) {
 		if key.IsZero() {
 			return
 		}
 		bucket := idx[key] // nil bucket = empty result, still a valid choice
-		if !found || len(bucket) < len(best) {
-			best, found = bucket, true
+		if choice == indexNone || len(bucket) < len(best) {
+			best, choice = bucket, which
 		}
 	}
-	consider(m.bySubject, p.Subject)
-	consider(m.byObject, p.Object)
-	consider(m.byPredicate, p.Predicate)
-	return best, found
+	consider(m.bySubject, p.Subject, indexSubject)
+	consider(m.byObject, p.Object, indexObject)
+	consider(m.byPredicate, p.Predicate, indexPredicate)
+	return best, choice
 }
 
 // Count returns the number of triples matching the pattern without
@@ -177,8 +198,10 @@ func (m *Manager) chooseIndexLocked(p rdf.Pattern) (map[rdf.Triple]struct{}, boo
 func (m *Manager) Count(p rdf.Pattern) int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	bucket, scanned := m.chooseIndexLocked(p)
-	if !scanned {
+	mCountTotal.Inc()
+	bucket, choice := m.chooseIndexLocked(p)
+	choice.count()
+	if choice == indexNone {
 		return m.graph.Len()
 	}
 	n := 0
@@ -248,8 +271,17 @@ func (m *Manager) Snapshot() *rdf.Graph {
 }
 
 // Replace swaps the manager's contents for the given graph, rebuilding all
-// indexes. It is the load primitive for persistence.
+// indexes. It is the load primitive for persistence. Loaded triples count
+// toward trim.create.total/new (they enter the store like any create) and
+// additionally toward trim.load.triples, which tells bulk loads apart;
+// trim.create.ns records only individual Create calls.
 func (m *Manager) Replace(g *rdf.Graph) {
+	start := time.Now()
+	defer mLoadNS.ObserveSince(start)
+	n := int64(g.Len())
+	mLoadTriples.Add(n)
+	mCreateTotal.Add(n)
+	mCreateNew.Add(n)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.graph = g.Clone()
@@ -288,8 +320,12 @@ func (m *Manager) Unobserve(id int) {
 }
 
 func (m *Manager) notifyLocked(t rdf.Triple, added bool) {
-	for _, obs := range m.observers {
-		obs(t, added)
+	if len(m.observers) == 0 {
+		return
+	}
+	mNotifyFanout.Add(int64(len(m.observers)))
+	for _, o := range m.observers {
+		o(t, added)
 	}
 }
 

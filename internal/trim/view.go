@@ -2,6 +2,7 @@ package trim
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -22,6 +23,9 @@ func (m *Manager) View(root rdf.Term) *rdf.Graph {
 // accepts every triple. Filters let DMIs exclude cross-links (e.g., marks
 // shared between scraps) from a containment view.
 func (m *Manager) ViewFiltered(root rdf.Term, filter func(rdf.Triple) bool) *rdf.Graph {
+	start := time.Now()
+	defer mViewNS.ObserveSince(start)
+	mViewTotal.Inc()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
