@@ -1,9 +1,10 @@
 # SLIM repo tasks. `make ci` is the full verification lane (vet + build +
-# race-enabled tests); CI environments should run exactly that.
+# race-enabled tests + the fault-injection sweep); CI environments should
+# run exactly that.
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench
+.PHONY: all build test race vet faults ci bench
 
 all: build
 
@@ -22,7 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+# The fault-injection lane (docs/ROBUSTNESS.md): sweeps injected faults,
+# torn writes, and bit rot through the persistence and resolution paths.
+# The sweep tests are env-gated so the plain `go test ./...` lane stays
+# fast; this target turns them on.
+faults:
+	SLIM_FAULT_SWEEP=1 $(GO) test -run FaultSweep ./internal/trim/ ./internal/mark/
+
+ci: vet build race faults
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -11,17 +11,24 @@
 //	markctl mark    -marks marks.xml -scheme html -doc page.html -at '#results'
 //	markctl list    -marks marks.xml
 //	markctl resolve -marks marks.xml -id mark-000001 -doc meds.csv
+//	markctl doctor  -marks marks.xml -doc meds.csv -doc lab.xml
 //
 // Documents load under their base filename; CSV files become a workbook
-// with one sheet named "Meds".
+// with one sheet named "Meds". The doctor command diagnoses every stored
+// mark against the given base documents (scheme inferred from extension,
+// or prefix with "scheme:"): healthy, drifted, degraded (unresolvable but
+// excerpt-backed), or dangling (docs/ROBUSTNESS.md). It exits non-zero
+// when any mark is dangling.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/base"
 	"repro/internal/base/htmldoc"
@@ -41,15 +48,25 @@ func main() {
 	}
 }
 
+// docList collects repeated -doc flags for the doctor command.
+type docList []string
+
+func (d *docList) String() string { return strings.Join(*d, ",") }
+func (d *docList) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a command: mark | list | resolve | extract")
+		return fmt.Errorf("need a command: mark | list | resolve | extract | doctor")
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	marksFile := fs.String("marks", "marks.xml", "mark store file (XML triples)")
 	scheme := fs.String("scheme", "", "base scheme: spreadsheet|xml|text|pdf|html")
-	doc := fs.String("doc", "", "base document file to load")
+	var docs docList
+	fs.Var(&docs, "doc", "base document file to load (doctor accepts it repeated, optionally scheme:path)")
 	at := fs.String("at", "", "address path within the document")
 	id := fs.String("id", "", "mark id (for resolve)")
 	var cli obs.CLI
@@ -60,11 +77,86 @@ func run(args []string, out io.Writer) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	err := execute(cmd, *marksFile, *scheme, *doc, *at, *id, out)
+	doc := ""
+	if len(docs) > 0 {
+		doc = docs[0]
+	}
+	var err error
+	if cmd == "doctor" {
+		err = doctor(*marksFile, docs, out)
+	} else {
+		err = execute(cmd, *marksFile, *scheme, doc, *at, *id, out)
+	}
 	if ferr := cli.Finish(out); err == nil {
 		err = ferr
 	}
 	return err
+}
+
+// doctor loads the mark store plus the given base documents and prints the
+// Mark Manager's health report. Marks whose scheme has no loaded document
+// are diagnosed as degraded/dangling rather than failing the command; the
+// command errors only when a mark is dangling (no live referent AND no
+// cached excerpt), so scripts can gate on the exit code.
+func doctor(marksFile string, docs []string, out io.Writer) error {
+	mm := mark.NewManager()
+	store := trim.NewManager()
+	if _, err := os.Stat(marksFile); err == nil {
+		if err := store.LoadFile(marksFile); err != nil {
+			return err
+		}
+		if err := mm.LoadFrom(store); err != nil {
+			return err
+		}
+	}
+	for _, d := range docs {
+		scheme, path := splitDoc(d)
+		app, _, err := loadDoc(scheme, path)
+		if err != nil {
+			return err
+		}
+		if err := mm.RegisterApplication(app); err != nil {
+			return err
+		}
+	}
+	report := mm.Doctor(context.Background())
+	fmt.Fprint(out, report)
+	// The quarantine is the dangling-reference list (§5's ComMentor
+	// problem): every mark whose referent could not be reached, whether or
+	// not a cached excerpt still serves reads.
+	for _, q := range mm.Quarantined() {
+		excerpt := "no excerpt cached"
+		if q.HasExcerpt {
+			excerpt = "excerpt cached"
+		}
+		fmt.Fprintf(out, "dangling reference %s %s (%s; %s)\n", q.ID, q.Address, excerpt, q.Reason)
+	}
+	if report.Dangling > 0 {
+		return fmt.Errorf("%d dangling mark(s)", report.Dangling)
+	}
+	return nil
+}
+
+// splitDoc splits an optional "scheme:path" doctor document argument; with
+// no scheme prefix the scheme is inferred from the file extension.
+func splitDoc(arg string) (scheme, path string) {
+	for _, s := range []string{spreadsheet.Scheme, xmldoc.Scheme, textdoc.Scheme, pdfdoc.Scheme, htmldoc.Scheme} {
+		if strings.HasPrefix(arg, s+":") {
+			return s, strings.TrimPrefix(arg, s+":")
+		}
+	}
+	switch strings.ToLower(filepath.Ext(arg)) {
+	case ".csv":
+		return spreadsheet.Scheme, arg
+	case ".xml":
+		return xmldoc.Scheme, arg
+	case ".html", ".htm":
+		return htmldoc.Scheme, arg
+	case ".pdf":
+		return pdfdoc.Scheme, arg
+	default:
+		return textdoc.Scheme, arg
+	}
 }
 
 func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/mark"
+	"repro/internal/trim"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -128,6 +131,91 @@ func TestErrors(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded", args)
 		}
+	}
+}
+
+// TestDoctor walks the doctor subcommand down the degradation ladder:
+// healthy, drifted (base edited under the mark), degraded (base document
+// gone but the mark is excerpt-backed — the acceptance scenario for a
+// permanent fault), and dangling (no excerpt either; non-zero exit).
+func TestDoctor(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+	var out strings.Builder
+	if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", "Meds!A2:B2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy: the base document is present and unchanged. Also exercises
+	// the explicit "scheme:path" document form.
+	for _, doc := range []string{csv, "spreadsheet:" + csv} {
+		out.Reset()
+		if err := run([]string{"doctor", "-marks", marks, "-doc", doc}, &out); err != nil {
+			t.Fatalf("doctor -doc %s = %v\n%s", doc, err, out.String())
+		}
+		if !strings.Contains(out.String(), "1 healthy") {
+			t.Fatalf("healthy output = %q", out.String())
+		}
+	}
+
+	// Drifted: the base content changed under the mark.
+	writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,80mg\n")
+	out.Reset()
+	if err := run([]string{"doctor", "-marks", marks, "-doc", csv}, &out); err != nil {
+		t.Fatalf("doctor (drifted) = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 drifted") || !strings.Contains(out.String(), "mark-000001") {
+		t.Fatalf("drifted output = %q", out.String())
+	}
+
+	// Degraded: the base document is gone entirely (a permanent fault), but
+	// the mark still has its cached excerpt. The mark is reported as a
+	// dangling reference, yet the exit code stays zero: reads still work.
+	out.Reset()
+	if err := run([]string{"doctor", "-marks", marks}, &out); err != nil {
+		t.Fatalf("doctor (degraded) = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 degraded") {
+		t.Fatalf("degraded output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "dangling reference mark-000001") ||
+		!strings.Contains(out.String(), "excerpt cached") {
+		t.Fatalf("degraded output missing dangling-reference line: %q", out.String())
+	}
+
+	// Dangling: strip the excerpt so no ladder rung is left; doctor must
+	// exit non-zero so scripts can gate on it.
+	store := trim.NewManager()
+	if err := store.LoadFile(marks); err != nil {
+		t.Fatal(err)
+	}
+	mm := mark.NewManager()
+	if err := mm.LoadFrom(store); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mm.Mark("mark-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Excerpt = ""
+	mm.Remove(m.ID)
+	if err := mm.Add(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.SaveTo(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SaveFile(marks); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"doctor", "-marks", marks}, &out)
+	if err == nil || !strings.Contains(err.Error(), "dangling mark(s)") {
+		t.Fatalf("doctor (dangling) err = %v", err)
+	}
+	if !strings.Contains(out.String(), "1 dangling") || !strings.Contains(out.String(), "no excerpt cached") {
+		t.Fatalf("dangling output = %q", out.String())
 	}
 }
 

@@ -8,9 +8,11 @@
 //	slimpad show  -pad rounds.xml
 //	slimpad check -pad rounds.xml
 //	slimpad marks -pad rounds.xml
+//	slimpad doctor -pad rounds.xml
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -44,12 +46,12 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a command: demo | show | check | marks")
+		return fmt.Errorf("need a command: demo | show | check | marks | doctor | find")
 	}
 	switch args[0] {
 	case "demo":
 		return demo(args[1:], out)
-	case "show", "check", "marks":
+	case "show", "check", "marks", "doctor":
 		return inspect(args[0], args[1:], out)
 	case "find":
 		return find(args[1:], out)
@@ -226,6 +228,16 @@ func inspectPad(cmd, padFile string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "-- %d mark(s)\n", marks.Len())
+	case "doctor":
+		// No base applications are registered for a persisted pad, so a
+		// live resolve cannot succeed; the report distinguishes marks that
+		// can still serve reads from their cached excerpt (degraded) from
+		// truly dangling ones (docs/ROBUSTNESS.md).
+		report := marks.Doctor(context.Background())
+		fmt.Fprint(out, report)
+		if report.Dangling > 0 {
+			return fmt.Errorf("%d dangling mark(s)", report.Dangling)
+		}
 	}
 	return nil
 }

@@ -47,6 +47,25 @@ func TestDemoShowCheckMarks(t *testing.T) {
 	}
 }
 
+// TestDoctor diagnoses a persisted pad with no base documents on hand:
+// every mark captured an excerpt at clip time, so all are degraded (still
+// readable) rather than dangling, and the command exits zero.
+func TestDoctor(t *testing.T) {
+	dir := t.TempDir()
+	pad := filepath.Join(dir, "rounds.xml")
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "2", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"doctor", "-pad", pad}, &out); err != nil {
+		t.Fatalf("doctor = %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "8 degraded") || !strings.Contains(out.String(), "0 dangling") {
+		t.Fatalf("doctor output = %q", out.String())
+	}
+}
+
 func TestFind(t *testing.T) {
 	dir := t.TempDir()
 	pad := filepath.Join(dir, "rounds.xml")

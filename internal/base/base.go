@@ -91,7 +91,25 @@ var (
 	ErrBadAddress = errors.New("base: bad address")
 	// ErrWrongScheme: the address belongs to a different application type.
 	ErrWrongScheme = errors.New("base: address scheme does not match application")
+	// ErrUnavailable: the base source is temporarily unreachable (I/O
+	// hiccup, remote viewer restarting). Errors wrapping it are transient:
+	// the Mark Manager's resilient resolution path retries them, where
+	// permanent errors (ErrUnknownDocument, ErrBadAddress) fail fast and
+	// fall down the degradation ladder (docs/ROBUSTNESS.md).
+	ErrUnavailable = errors.New("base: source temporarily unavailable")
 )
+
+// IsTransient reports whether err is retryable: it wraps ErrUnavailable or
+// implements interface{ Transient() bool } returning true. Base
+// applications (and fault injectors) signal retryability this way; the
+// Mark Manager's resilient resolution path consults it before retrying.
+func IsTransient(err error) bool {
+	if errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
 
 // Registry maps schemes to running base applications. The Mark Manager
 // consults it to route mark resolution (Fig. 7). Registry is safe for

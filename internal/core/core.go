@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -96,6 +97,10 @@ type View struct {
 	// same document — the superimposed items an enhanced viewer would
 	// render over the base content.
 	Overlay []mark.Mark
+	// Degraded reports that the base application was unreachable and the
+	// element was served from the mark's cached excerpt (ViewMarkCtx only;
+	// see the degradation ladder in docs/ROBUSTNESS.md).
+	Degraded bool
 }
 
 // ViewMark resolves the mark under the given viewing style. Each call is
@@ -136,6 +141,57 @@ func (s *System) ViewMark(style ViewingStyle, markID string) (v View, err error)
 	default:
 		return View{}, fmt.Errorf("core: unknown viewing style %v", style)
 	}
+}
+
+// ViewMarkCtx is the failure-aware ViewMark: transient base-application
+// faults are retried per the Mark Manager's policy, and when resolution
+// fails permanently the view is served from the mark's cached excerpt with
+// View.Degraded set (and BaseViewerMoved false — no viewer was driven).
+// Marks with neither a live referent nor a cached excerpt fail with the
+// classified error; they land in the manager's quarantine for Doctor.
+func (s *System) ViewMarkCtx(ctx context.Context, style ViewingStyle, markID string) (v View, err error) {
+	start := time.Now()
+	sp := obs.Trace("core.view", style.String()+" "+markID)
+	defer func() {
+		sp.FinishErr(err)
+		obs.H("core.view.ns").ObserveSince(start)
+		obs.C("core.view." + style.String() + ".total").Inc()
+		if err != nil {
+			obs.C("core.view.errors").Inc()
+		}
+	}()
+	switch style {
+	case Simultaneous, Independent, EnhancedBase:
+	default:
+		return View{}, fmt.Errorf("core: unknown viewing style %v", style)
+	}
+	resolver := mark.ResolveContext
+	if style == Independent {
+		resolver = mark.ResolveInPlace
+	}
+	el, outcome, err := s.Marks.ResolveDegradedWith(ctx, markID, resolver)
+	if err != nil {
+		return View{}, err
+	}
+	v = View{Style: style, Element: el, Degraded: outcome == mark.OutcomeCached}
+	if !v.Degraded && style != Independent {
+		v.BaseViewerMoved = true
+	}
+	if style == EnhancedBase {
+		v.Overlay = s.MarksInto(el.Address.Scheme, el.Address.File)
+	}
+	if v.Degraded {
+		obs.C("core.view.degraded").Inc()
+	}
+	return v, nil
+}
+
+// Doctor runs the Mark Manager's health check over every stored mark: the
+// system-level entry point behind `markctl doctor`.
+func (s *System) Doctor(ctx context.Context) mark.HealthReport {
+	sp := obs.Trace("core.doctor", "")
+	defer sp.Finish()
+	return s.Marks.Doctor(ctx)
 }
 
 // MarksInto lists every stored mark addressing the given document, sorted

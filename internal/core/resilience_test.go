@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/faultbase"
+	"repro/internal/mark"
+)
+
+// newFaultSystem assembles a system whose spreadsheet app is wrapped in a
+// fault injector, with one mark on the Furosemide cell.
+func newFaultSystem(t *testing.T) (*System, *faultbase.App, mark.Mark) {
+	t.Helper()
+	s := NewSystem()
+	s.Marks.SetRetryPolicy(mark.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond})
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		t.Fatal(err)
+	}
+	sheets.AddWorkbook(w)
+	fa := faultbase.Wrap(sheets)
+	if err := s.RegisterBase(fa); err != nil {
+		t.Fatal(err)
+	}
+	sheets.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	if err := sheets.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Marks.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fa, m
+}
+
+func TestViewMarkCtxRetriesTransient(t *testing.T) {
+	s, fa, m := newFaultSystem(t)
+	fa.FailN(faultbase.OpGoTo, nil, 2)
+	v, err := s.ViewMarkCtx(context.Background(), Simultaneous, m.ID)
+	if err != nil {
+		t.Fatalf("ViewMarkCtx = %v", err)
+	}
+	if v.Degraded || !v.BaseViewerMoved || v.Element.Content != "Furosemide" {
+		t.Errorf("view = %+v", v)
+	}
+}
+
+func TestViewMarkCtxDegradesToExcerpt(t *testing.T) {
+	s, fa, m := newFaultSystem(t)
+	fa.DropDocument("meds.xls")
+	v, err := s.ViewMarkCtx(context.Background(), Simultaneous, m.ID)
+	if err != nil {
+		t.Fatalf("ViewMarkCtx = %v", err)
+	}
+	if !v.Degraded {
+		t.Fatal("view not marked degraded")
+	}
+	if v.BaseViewerMoved {
+		t.Error("BaseViewerMoved on a cached view")
+	}
+	if v.Element.Content != "Furosemide" {
+		t.Errorf("cached content = %q", v.Element.Content)
+	}
+	// The mark is quarantined for the doctor.
+	report := s.Doctor(context.Background())
+	if report.Degraded != 1 {
+		t.Errorf("doctor report = %+v", report)
+	}
+	if q := s.Marks.Quarantined(); len(q) != 1 || q[0].ID != m.ID {
+		t.Errorf("quarantine = %+v", q)
+	}
+}
+
+func TestViewMarkCtxIndependentUsesInPlace(t *testing.T) {
+	s, fa, m := newFaultSystem(t)
+	v, err := s.ViewMarkCtx(context.Background(), Independent, m.ID)
+	if err != nil {
+		t.Fatalf("ViewMarkCtx = %v", err)
+	}
+	if v.BaseViewerMoved {
+		t.Error("independent view drove the base viewer")
+	}
+	if got := fa.Calls(faultbase.OpGoTo); got != 0 {
+		t.Errorf("GoTo calls = %d for in-place view", got)
+	}
+	if fa.Calls(faultbase.OpExtractContent) == 0 {
+		t.Error("in-place view did not extract content")
+	}
+	if _, err := s.ViewMarkCtx(context.Background(), ViewingStyle(99), m.ID); err == nil {
+		t.Error("unknown style accepted")
+	}
+}
+
+func TestViewMarkCtxDanglingFails(t *testing.T) {
+	s, fa, m := newFaultSystem(t)
+	// Strip the excerpt so no ladder rung can serve the mark.
+	stripped := m
+	stripped.Excerpt = ""
+	s.Marks.Remove(m.ID)
+	if err := s.Marks.Add(stripped); err != nil {
+		t.Fatal(err)
+	}
+	fa.DropDocument("meds.xls")
+	if _, err := s.ViewMarkCtx(context.Background(), Simultaneous, m.ID); !errors.Is(err, mark.ErrDangling) {
+		t.Fatalf("err = %v, want ErrDangling", err)
+	}
+	report := s.Doctor(context.Background())
+	if report.Dangling != 1 {
+		t.Errorf("doctor report = %+v", report)
+	}
+}

@@ -1,0 +1,265 @@
+// Package faultbase wraps any base.Application with programmable faults, so
+// every failure path in the SLIM stack can be exercised deterministically.
+// The paper's premise is a thin layer pointing into base documents it does
+// not control (§4.2), and §3 explicitly allows scraps to diverge from marked
+// content — faultbase simulates exactly that uncontrolled world: sources
+// that error, stall, drift, or disappear out from under their marks.
+//
+// The wrapper passes through the optional capability interfaces
+// (base.ContentExtractor, base.ContextProvider) of the inner application,
+// injecting the same scripted faults, so in-place resolution and excerpt
+// refresh hit the same failure surface as viewer-driving resolution.
+package faultbase
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/base"
+)
+
+// Op names one base-application operation that can fault.
+type Op string
+
+const (
+	OpCurrentSelection Op = "current-selection"
+	OpGoTo             Op = "goto"
+	OpExtractContent   Op = "extract-content"
+	OpExtractContext   Op = "extract-context"
+)
+
+// ErrInjected is the default injected failure; it wraps base.ErrUnavailable
+// so the Mark Manager classifies scripted faults as transient unless the
+// script supplies its own error.
+var ErrInjected = fmt.Errorf("faultbase: injected fault: %w", base.ErrUnavailable)
+
+// fault is one scripted failure: err returned on each matching call while
+// remaining > 0 (remaining < 0 means forever).
+type fault struct {
+	err       error
+	remaining int
+}
+
+// App wraps a base application with programmable faults: per-op errors
+// (permanent or transient-then-succeed), added latency, content drift, and
+// whole documents going away. The zero faults configuration is a pure
+// pass-through. All methods are safe for concurrent use.
+type App struct {
+	inner base.Application
+
+	mu      sync.Mutex
+	faults  map[Op]*fault
+	latency time.Duration
+	drift   func(string) string
+	gone    map[string]bool
+	calls   map[Op]int
+	fired   map[Op]int
+}
+
+var (
+	_ base.Application      = (*App)(nil)
+	_ base.ContentExtractor = (*App)(nil)
+	_ base.ContextProvider  = (*App)(nil)
+)
+
+// Wrap returns a fault-injecting wrapper around app.
+func Wrap(app base.Application) *App {
+	return &App{
+		inner:  app,
+		faults: make(map[Op]*fault),
+		gone:   make(map[string]bool),
+		calls:  make(map[Op]int),
+		fired:  make(map[Op]int),
+	}
+}
+
+// Inner returns the wrapped application.
+func (a *App) Inner() base.Application { return a.inner }
+
+// Fail makes every call to op return err until the fault is cleared. A nil
+// err installs ErrInjected (a transient, retryable failure); script a
+// permanent failure by passing e.g. base.ErrUnknownDocument.
+func (a *App) Fail(op Op, err error) {
+	a.setFault(op, err, -1)
+}
+
+// FailN makes the next n calls to op return err, then succeed — the
+// transient-then-succeed script that exercises retry paths. A nil err
+// installs ErrInjected.
+func (a *App) FailN(op Op, err error, n int) {
+	a.setFault(op, err, n)
+}
+
+func (a *App) setFault(op Op, err error, n int) {
+	if err == nil {
+		err = ErrInjected
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.faults[op] = &fault{err: err, remaining: n}
+}
+
+// ClearFault removes the scripted fault for op.
+func (a *App) ClearFault(op Op) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.faults, op)
+}
+
+// SetLatency adds a fixed delay to every operation (zero disables).
+func (a *App) SetLatency(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.latency = d
+}
+
+// SetDrift installs a transform applied to all content (and context)
+// returned by the inner application — simulating base documents edited
+// after marks were created, the §3 transcription-drift scenario. A nil
+// transform disables drift.
+func (a *App) SetDrift(transform func(string) string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.drift = transform
+}
+
+// DropDocument makes every operation addressing the named file fail with
+// base.ErrUnknownDocument — the document-gone scenario that leaves marks
+// dangling.
+func (a *App) DropDocument(file string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.gone[file] = true
+}
+
+// RestoreDocument undoes DropDocument.
+func (a *App) RestoreDocument(file string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.gone, file)
+}
+
+// Calls reports how many times op was invoked (including faulted calls).
+func (a *App) Calls(op Op) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.calls[op]
+}
+
+// Faulted reports how many times op returned an injected fault.
+func (a *App) Faulted(op Op) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fired[op]
+}
+
+// Reset clears all scripted faults, latency, drift, dropped documents, and
+// counters.
+func (a *App) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.faults = make(map[Op]*fault)
+	a.latency = 0
+	a.drift = nil
+	a.gone = make(map[string]bool)
+	a.calls = make(map[Op]int)
+	a.fired = make(map[Op]int)
+}
+
+// enter counts the call, applies latency, and returns the injected error
+// (if any) for the op/file pair.
+func (a *App) enter(op Op, file string) error {
+	a.mu.Lock()
+	a.calls[op]++
+	delay := a.latency
+	var err error
+	if file != "" && a.gone[file] {
+		err = fmt.Errorf("faultbase: document dropped: %w: %q", base.ErrUnknownDocument, file)
+	} else if f, ok := a.faults[op]; ok && f.remaining != 0 {
+		err = f.err
+		if f.remaining > 0 {
+			f.remaining--
+		}
+	}
+	if err != nil {
+		a.fired[op]++
+	}
+	a.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// applyDrift runs the drift transform, if any, over content.
+func (a *App) applyDrift(content string) string {
+	a.mu.Lock()
+	drift := a.drift
+	a.mu.Unlock()
+	if drift == nil {
+		return content
+	}
+	return drift(content)
+}
+
+// Scheme implements base.Application.
+func (a *App) Scheme() string { return a.inner.Scheme() }
+
+// Name implements base.Application, tagging the inner name.
+func (a *App) Name() string { return a.inner.Name() + " (fault-injected)" }
+
+// CurrentSelection implements base.Application.
+func (a *App) CurrentSelection() (base.Address, error) {
+	if err := a.enter(OpCurrentSelection, ""); err != nil {
+		return base.Address{}, err
+	}
+	return a.inner.CurrentSelection()
+}
+
+// GoTo implements base.Application.
+func (a *App) GoTo(addr base.Address) (base.Element, error) {
+	if err := a.enter(OpGoTo, addr.File); err != nil {
+		return base.Element{}, err
+	}
+	el, err := a.inner.GoTo(addr)
+	if err != nil {
+		return base.Element{}, err
+	}
+	el.Content = a.applyDrift(el.Content)
+	return el, nil
+}
+
+// ExtractContent implements base.ContentExtractor when the inner
+// application does; otherwise it reports the capability as missing.
+func (a *App) ExtractContent(addr base.Address) (string, error) {
+	if err := a.enter(OpExtractContent, addr.File); err != nil {
+		return "", err
+	}
+	ex, ok := a.inner.(base.ContentExtractor)
+	if !ok {
+		return "", fmt.Errorf("faultbase: %s application cannot extract content", a.inner.Scheme())
+	}
+	content, err := ex.ExtractContent(addr)
+	if err != nil {
+		return "", err
+	}
+	return a.applyDrift(content), nil
+}
+
+// ExtractContext implements base.ContextProvider when the inner
+// application does.
+func (a *App) ExtractContext(addr base.Address) (string, error) {
+	if err := a.enter(OpExtractContext, addr.File); err != nil {
+		return "", err
+	}
+	cp, ok := a.inner.(base.ContextProvider)
+	if !ok {
+		return "", fmt.Errorf("faultbase: %s application cannot extract context", a.inner.Scheme())
+	}
+	ctx, err := cp.ExtractContext(addr)
+	if err != nil {
+		return "", err
+	}
+	return a.applyDrift(ctx), nil
+}

@@ -1,0 +1,192 @@
+package faultbase
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/base/spreadsheet"
+)
+
+func newSheetApp(t *testing.T) *spreadsheet.App {
+	t.Helper()
+	a := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddWorkbook(w); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func addr(path string) base.Address {
+	return base.Address{Scheme: spreadsheet.Scheme, File: "meds.xls", Path: path}
+}
+
+func TestPassThrough(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	if fa.Scheme() != spreadsheet.Scheme {
+		t.Errorf("Scheme = %q", fa.Scheme())
+	}
+	if !strings.Contains(fa.Name(), "fault-injected") {
+		t.Errorf("Name = %q", fa.Name())
+	}
+	el, err := fa.GoTo(addr("Meds!A2"))
+	if err != nil || el.Content != "Furosemide" {
+		t.Fatalf("GoTo = %q, %v", el.Content, err)
+	}
+	content, err := fa.ExtractContent(addr("Meds!B2"))
+	if err != nil || content != "40mg" {
+		t.Fatalf("ExtractContent = %q, %v", content, err)
+	}
+	if _, err := fa.ExtractContext(addr("Meds!B2")); err != nil {
+		t.Fatalf("ExtractContext: %v", err)
+	}
+	// Extraction is in-place: the selection stays where GoTo left it.
+	sel, err := fa.CurrentSelection()
+	if err != nil || sel.Path != "Meds!A2" {
+		t.Fatalf("CurrentSelection = %v, %v", sel, err)
+	}
+	if got := fa.Calls(OpGoTo); got != 1 {
+		t.Errorf("Calls(goto) = %d", got)
+	}
+}
+
+func TestPermanentFault(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	fa.Fail(OpGoTo, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := fa.GoTo(addr("Meds!A2")); !errors.Is(err, base.ErrUnavailable) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if got := fa.Faulted(OpGoTo); got != 3 {
+		t.Errorf("Faulted = %d", got)
+	}
+	// Other ops are unaffected.
+	if _, err := fa.ExtractContent(addr("Meds!A2")); err != nil {
+		t.Errorf("ExtractContent: %v", err)
+	}
+	fa.ClearFault(OpGoTo)
+	if _, err := fa.GoTo(addr("Meds!A2")); err != nil {
+		t.Errorf("after ClearFault: %v", err)
+	}
+}
+
+func TestTransientThenSucceed(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	fa.FailN(OpGoTo, nil, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := fa.GoTo(addr("Meds!A2")); err == nil {
+			t.Fatalf("call %d succeeded during fault window", i)
+		}
+	}
+	el, err := fa.GoTo(addr("Meds!A2"))
+	if err != nil || el.Content != "Furosemide" {
+		t.Fatalf("after window = %q, %v", el.Content, err)
+	}
+	if got := fa.Faulted(OpGoTo); got != 2 {
+		t.Errorf("Faulted = %d", got)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	fa := Wrap(newSheetApp(t))
+	fa.Fail(OpExtractContent, boom)
+	if _, err := fa.ExtractContent(addr("Meds!A2")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if base.IsTransient(ErrInjected) != true {
+		t.Error("ErrInjected should classify as transient")
+	}
+	if base.IsTransient(boom) {
+		t.Error("custom error misclassified as transient")
+	}
+}
+
+func TestContentDrift(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	fa.SetDrift(func(s string) string { return s + " (edited)" })
+	el, err := fa.GoTo(addr("Meds!A2"))
+	if err != nil || el.Content != "Furosemide (edited)" {
+		t.Fatalf("drifted GoTo = %q, %v", el.Content, err)
+	}
+	content, err := fa.ExtractContent(addr("Meds!A2"))
+	if err != nil || content != "Furosemide (edited)" {
+		t.Fatalf("drifted extract = %q, %v", content, err)
+	}
+	fa.SetDrift(nil)
+	if content, _ := fa.ExtractContent(addr("Meds!A2")); content != "Furosemide" {
+		t.Errorf("after clearing drift = %q", content)
+	}
+}
+
+func TestDropDocument(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	fa.DropDocument("meds.xls")
+	if _, err := fa.GoTo(addr("Meds!A2")); !errors.Is(err, base.ErrUnknownDocument) {
+		t.Fatalf("GoTo after drop = %v", err)
+	}
+	if _, err := fa.ExtractContent(addr("Meds!A2")); !errors.Is(err, base.ErrUnknownDocument) {
+		t.Fatalf("Extract after drop = %v", err)
+	}
+	fa.RestoreDocument("meds.xls")
+	if _, err := fa.GoTo(addr("Meds!A2")); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	fa.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	if _, err := fa.GoTo(addr("Meds!A2")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestReset(t *testing.T) {
+	fa := Wrap(newSheetApp(t))
+	fa.Fail(OpGoTo, nil)
+	fa.DropDocument("meds.xls")
+	fa.SetDrift(strings.ToUpper)
+	fa.Reset()
+	el, err := fa.GoTo(addr("Meds!A2"))
+	if err != nil || el.Content != "Furosemide" {
+		t.Fatalf("after Reset = %q, %v", el.Content, err)
+	}
+	if fa.Calls(OpGoTo) != 1 {
+		t.Errorf("counters not reset: %d", fa.Calls(OpGoTo))
+	}
+}
+
+// A wrapper around an extractor-less application reports the missing
+// capability instead of panicking.
+type minimalApp struct{}
+
+func (minimalApp) Scheme() string { return "minimal" }
+func (minimalApp) Name() string   { return "minimal" }
+func (minimalApp) CurrentSelection() (base.Address, error) {
+	return base.Address{}, base.ErrNoSelection
+}
+func (minimalApp) GoTo(a base.Address) (base.Element, error) {
+	return base.Element{Address: a}, nil
+}
+
+func TestMissingCapabilities(t *testing.T) {
+	fa := Wrap(minimalApp{})
+	if _, err := fa.ExtractContent(base.Address{Scheme: "minimal"}); err == nil {
+		t.Error("ExtractContent on minimal app succeeded")
+	}
+	if _, err := fa.ExtractContext(base.Address{Scheme: "minimal"}); err == nil {
+		t.Error("ExtractContext on minimal app succeeded")
+	}
+}

@@ -1,0 +1,73 @@
+package mark
+
+// Mark-resolution half of the fault-injection sweep lane (gated behind
+// SLIM_FAULT_SWEEP, run by `make faults` / scripts/ci.sh): every transient
+// fault burst length is swept against the retry policy, checking the
+// resolution invariant — bursts shorter than the retry budget are absorbed
+// invisibly, longer ones land on the degradation ladder (cached excerpt,
+// quarantine) and the quarantine clears as soon as the base recovers.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/faultbase"
+)
+
+func TestFaultSweepResolve(t *testing.T) {
+	if os.Getenv("SLIM_FAULT_SWEEP") == "" {
+		t.Skip("fault sweep skipped: set SLIM_FAULT_SWEEP=1 (or run `make faults`)")
+	}
+	// Each op is paired with the resolver whose live rung it gates: the
+	// in-context resolver drives the viewer (GoTo); the in-place resolver
+	// extracts content. ExtractContext faults are deliberately non-fatal
+	// (context is best-effort), so they are not swept here.
+	lanes := []struct {
+		op       faultbase.Op
+		resolver string
+	}{
+		{faultbase.OpGoTo, ResolveContext},
+		{faultbase.OpExtractContent, ResolveInPlace},
+	}
+	for _, lane := range lanes {
+		op := lane.op
+		for burst := 0; burst <= 2*fastRetry.MaxAttempts; burst++ {
+			mm, fa, m := faultManager(t)
+			fa.FailN(op, nil, burst)
+			el, outcome, err := mm.ResolveDegradedWith(context.Background(), m.ID, lane.resolver)
+			if err != nil {
+				t.Fatalf("op %s burst %d: ResolveDegraded = %v", op, burst, err)
+			}
+			if el.Content != "Furosemide" {
+				t.Fatalf("op %s burst %d: content = %q", op, burst, el.Content)
+			}
+			absorbed := burst < fastRetry.MaxAttempts
+			if absorbed {
+				if outcome != OutcomeLive {
+					t.Fatalf("op %s burst %d: outcome = %v, want live", op, burst, outcome)
+				}
+				if len(mm.Quarantined()) != 0 {
+					t.Fatalf("op %s burst %d: quarantined after live resolve", op, burst)
+				}
+				continue
+			}
+			if outcome != OutcomeCached {
+				t.Fatalf("op %s burst %d: outcome = %v, want cached", op, burst, outcome)
+			}
+			if q := mm.Quarantined(); len(q) != 1 || !errors.Is(q[0].Class, ErrTransient) {
+				t.Fatalf("op %s burst %d: quarantine = %+v", op, burst, q)
+			}
+			// The base recovers (the burst is spent): the next resolve is
+			// live again and clears the quarantine.
+			fa.ClearFault(op)
+			if _, outcome, err := mm.ResolveDegradedWith(context.Background(), m.ID, lane.resolver); err != nil || outcome != OutcomeLive {
+				t.Fatalf("op %s burst %d: post-recovery resolve = %v, %v", op, burst, outcome, err)
+			}
+			if len(mm.Quarantined()) != 0 {
+				t.Fatalf("op %s burst %d: quarantine not cleared on recovery", op, burst)
+			}
+		}
+	}
+}

@@ -27,14 +27,21 @@ type Manager struct {
 	resolvers map[string]map[string]Resolver // scheme -> name -> resolver
 	marks     map[string]Mark
 	nextSeq   int
+
+	// retry governs the resilient resolution path (resilience.go);
+	// quarantine holds marks whose last resolution failed permanently.
+	retry      RetryPolicy
+	quarantine map[string]QuarantineEntry
 }
 
-// NewManager returns an empty mark manager.
+// NewManager returns an empty mark manager with the default retry policy.
 func NewManager() *Manager {
 	return &Manager{
-		modules:   make(map[string]Module),
-		resolvers: make(map[string]map[string]Resolver),
-		marks:     make(map[string]Mark),
+		modules:    make(map[string]Module),
+		resolvers:  make(map[string]map[string]Resolver),
+		marks:      make(map[string]Mark),
+		retry:      DefaultRetryPolicy,
+		quarantine: make(map[string]QuarantineEntry),
 	}
 }
 
@@ -49,10 +56,10 @@ func (mm *Manager) RegisterModule(mod Module) error {
 	defer mm.mu.Unlock()
 	scheme := mod.Scheme()
 	if scheme == "" {
-		return fmt.Errorf("mark: module has empty scheme")
+		return ErrEmptyScheme
 	}
 	if _, ok := mm.modules[scheme]; ok {
-		return fmt.Errorf("mark: module for scheme %q already registered", scheme)
+		return fmt.Errorf("%w: %q", ErrDuplicateModule, scheme)
 	}
 	mm.modules[scheme] = mod
 	mm.resolvers[scheme] = map[string]Resolver{ResolveContext: InContextResolver(mod)}
@@ -134,7 +141,7 @@ func (mm *Manager) Add(m Mark) error {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	if _, ok := mm.marks[m.ID]; ok {
-		return fmt.Errorf("mark: id %q already stored", m.ID)
+		return fmt.Errorf("%w: %q", ErrDuplicateMark, m.ID)
 	}
 	mm.marks[m.ID] = m
 	return nil
@@ -171,6 +178,7 @@ func (mm *Manager) Remove(id string) bool {
 		return false
 	}
 	delete(mm.marks, id)
+	delete(mm.quarantine, id)
 	return true
 }
 

@@ -42,6 +42,28 @@ var (
 	ErrNoModule = errors.New("mark: no module for scheme")
 	// ErrUnknownResolver: the named resolver is not registered.
 	ErrUnknownResolver = errors.New("mark: unknown resolver")
+	// ErrEmptyScheme: a module (or application) declared no scheme.
+	ErrEmptyScheme = errors.New("mark: module has empty scheme")
+	// ErrDuplicateModule: a module for the scheme is already registered.
+	ErrDuplicateModule = errors.New("mark: module already registered for scheme")
+	// ErrDuplicateMark: Add was given an id that is already stored.
+	ErrDuplicateMark = errors.New("mark: mark id already stored")
+
+	// Failure classes of the resilient resolution path (docs/ROBUSTNESS.md).
+	// ResolveCtx wraps terminal errors in exactly one of these, so callers
+	// pick a degradation rung with errors.Is instead of string matching.
+
+	// ErrTransient: the base source was unreachable and retries were
+	// exhausted; the mark itself may still be fine.
+	ErrTransient = errors.New("mark: base source unavailable")
+	// ErrDangling: the mark's referent is gone — unknown document, bad
+	// address, or no module serving the scheme. Re-resolving will not help
+	// until the base layer changes.
+	ErrDangling = errors.New("mark: dangling reference")
+	// ErrContentDrift: the marked element resolved, but its live content
+	// no longer matches the stored excerpt (the §3 transcription-error
+	// risk). Reported by Doctor; resolution itself still succeeds.
+	ErrContentDrift = errors.New("mark: content drifted from excerpt")
 )
 
 // Module creates and resolves marks for one base-layer application (§4.2:

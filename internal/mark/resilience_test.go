@@ -1,0 +1,318 @@
+package mark
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/base"
+	"repro/internal/base/spreadsheet"
+	"repro/internal/faultbase"
+)
+
+// fastRetry keeps resilience tests quick and deterministic.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+
+// faultManager returns a manager over a fault-injected spreadsheet app,
+// with one mark on the Furosemide cell.
+func faultManager(t *testing.T) (*Manager, *faultbase.App, Mark) {
+	t.Helper()
+	mm := NewManager()
+	mm.SetRetryPolicy(fastRetry)
+	fa := faultbase.Wrap(newSheetApp(t))
+	if err := mm.RegisterApplication(fa); err != nil {
+		t.Fatal(err)
+	}
+	inner := fa.Inner().(*spreadsheet.App)
+	inner.Open("meds.xls")
+	r, _ := spreadsheet.ParseRange("A2")
+	if err := inner.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mm.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mm, fa, m
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+	}{
+		{nil, nil},
+		{faultbase.ErrInjected, ErrTransient},
+		{base.ErrUnavailable, ErrTransient},
+		{base.ErrUnknownDocument, ErrDangling},
+		{base.ErrBadAddress, ErrDangling},
+		{ErrNoModule, ErrDangling},
+		{ErrUnknownMark, ErrDangling},
+		{ErrDangling, ErrDangling}, // already classified stays put
+		{errors.New("novel"), nil},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); !errors.Is(got, c.want) && !(got == nil && c.want == nil) {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRegistrationSentinelErrors(t *testing.T) {
+	mm := NewManager()
+	if err := mm.RegisterModule(NewAppModule(emptySchemeApp{})); !errors.Is(err, ErrEmptyScheme) {
+		t.Errorf("empty scheme err = %v", err)
+	}
+	app := newSheetApp(t)
+	if err := mm.RegisterApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.RegisterApplication(newSheetApp(t)); !errors.Is(err, ErrDuplicateModule) {
+		t.Errorf("duplicate module err = %v", err)
+	}
+	if err := mm.Add(Mark{ID: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Add(Mark{ID: "m1"}); !errors.Is(err, ErrDuplicateMark) {
+		t.Errorf("duplicate mark err = %v", err)
+	}
+}
+
+type emptySchemeApp struct{}
+
+func (emptySchemeApp) Scheme() string                          { return "" }
+func (emptySchemeApp) Name() string                            { return "empty" }
+func (emptySchemeApp) CurrentSelection() (base.Address, error) { return base.Address{}, nil }
+func (emptySchemeApp) GoTo(base.Address) (base.Element, error) { return base.Element{}, nil }
+
+func TestResolveCtxRetriesTransient(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	// Two transient failures, then success: within the 3-attempt budget.
+	fa.FailN(faultbase.OpGoTo, nil, 2)
+	el, err := mm.ResolveCtx(context.Background(), m.ID)
+	if err != nil {
+		t.Fatalf("ResolveCtx = %v", err)
+	}
+	if el.Content != "Furosemide" {
+		t.Errorf("content = %q", el.Content)
+	}
+	if got := fa.Calls(faultbase.OpGoTo); got != 3 {
+		t.Errorf("GoTo calls = %d, want 3 (two faults + success)", got)
+	}
+	if q := mm.Quarantined(); len(q) != 0 {
+		t.Errorf("quarantine after success = %v", q)
+	}
+}
+
+func TestResolveCtxExhaustsRetries(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	fa.Fail(faultbase.OpGoTo, nil) // permanent transient-class fault
+	_, err := mm.ResolveCtx(context.Background(), m.ID)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", err)
+	}
+	if got := fa.Calls(faultbase.OpGoTo); got != fastRetry.MaxAttempts {
+		t.Errorf("GoTo calls = %d, want %d", got, fastRetry.MaxAttempts)
+	}
+	q := mm.Quarantined()
+	if len(q) != 1 || q[0].ID != m.ID || !errors.Is(q[0].Class, ErrTransient) {
+		t.Fatalf("quarantine = %+v", q)
+	}
+	// A later successful resolve clears the quarantine.
+	fa.ClearFault(faultbase.OpGoTo)
+	if _, err := mm.ResolveCtx(context.Background(), m.ID); err != nil {
+		t.Fatal(err)
+	}
+	if q := mm.Quarantined(); len(q) != 0 {
+		t.Errorf("quarantine not cleared: %v", q)
+	}
+}
+
+func TestResolveCtxPermanentFailsFast(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	fa.DropDocument("meds.xls")
+	_, err := mm.ResolveCtx(context.Background(), m.ID)
+	if !errors.Is(err, ErrDangling) {
+		t.Fatalf("err = %v, want ErrDangling", err)
+	}
+	if got := fa.Calls(faultbase.OpGoTo); got != 1 {
+		t.Errorf("GoTo calls = %d, want 1 (no retry of permanent faults)", got)
+	}
+}
+
+func TestResolveCtxHonorsContext(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	mm.SetRetryPolicy(RetryPolicy{MaxAttempts: 10, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second})
+	fa.Fail(faultbase.OpGoTo, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := mm.ResolveCtx(ctx, m.ID)
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation ignored: took %v", elapsed)
+	}
+}
+
+func TestResolveDegradedServesCachedExcerpt(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	if m.Excerpt != "Furosemide" {
+		t.Fatalf("excerpt = %q", m.Excerpt)
+	}
+	fa.DropDocument("meds.xls")
+	el, outcome, err := mm.ResolveDegraded(context.Background(), m.ID)
+	if err != nil {
+		t.Fatalf("ResolveDegraded = %v", err)
+	}
+	if outcome != OutcomeCached {
+		t.Fatalf("outcome = %v, want cached", outcome)
+	}
+	if el.Content != "Furosemide" || el.Address != m.Address {
+		t.Errorf("cached element = %+v", el)
+	}
+	q := mm.Quarantined()
+	if len(q) != 1 || !q[0].HasExcerpt || !errors.Is(q[0].Class, ErrDangling) {
+		t.Fatalf("quarantine = %+v", q)
+	}
+}
+
+func TestResolveDegradedWithoutExcerptFails(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	// Strip the cached excerpt: the last ladder rung is gone.
+	stripped := m
+	stripped.Excerpt = ""
+	mm.Remove(m.ID)
+	if err := mm.Add(stripped); err != nil {
+		t.Fatal(err)
+	}
+	fa.DropDocument("meds.xls")
+	_, outcome, err := mm.ResolveDegraded(context.Background(), m.ID)
+	if outcome != OutcomeFailed || !errors.Is(err, ErrDangling) {
+		t.Fatalf("outcome = %v, err = %v", outcome, err)
+	}
+	if _, _, err := mm.ResolveDegraded(context.Background(), "mark-999999"); !errors.Is(err, ErrUnknownMark) {
+		t.Fatalf("unknown mark err = %v", err)
+	}
+}
+
+func TestRefreshCtxRetries(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	// Edit the base cell, then make the first extract attempt fail.
+	inner := fa.Inner().(*spreadsheet.App)
+	w, _ := inner.Workbook("meds.xls")
+	s, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("A2")
+	s.Set(cell, "Lasix")
+	fa.FailN(faultbase.OpExtractContent, nil, 1)
+	content, changed, err := mm.RefreshCtx(context.Background(), m.ID)
+	if err != nil || !changed || content != "Lasix" {
+		t.Fatalf("RefreshCtx = %q, %v, %v", content, changed, err)
+	}
+	got, _ := mm.Mark(m.ID)
+	if got.Excerpt != "Lasix" {
+		t.Errorf("excerpt after refresh = %q", got.Excerpt)
+	}
+}
+
+func TestDoctorReport(t *testing.T) {
+	mm, fa, healthy := faultManager(t)
+	inner := fa.Inner().(*spreadsheet.App)
+
+	// A second mark that will drift: mark B2 then edit the cell.
+	r, _ := spreadsheet.ParseRange("B2")
+	if err := inner.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	drifting, err := mm.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := inner.Workbook("meds.xls")
+	s, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("B2")
+	s.Set(cell, "80mg")
+
+	// A degraded mark: excerpt cached but the document is gone.
+	degraded := Mark{ID: "mark-900001", Address: base.Address{Scheme: spreadsheet.Scheme, File: "gone.xls", Path: "Meds!A1"}, Excerpt: "stale"}
+	// A dangling mark: no excerpt, no module for its scheme.
+	dangling := Mark{ID: "mark-900002", Address: base.Address{Scheme: "fortran", File: "x", Path: "y"}}
+	for _, m := range []Mark{degraded, dangling} {
+		if err := mm.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := mm.Doctor(context.Background())
+	if report.Checked != 4 || report.Healthy != 1 || report.Drifted != 1 || report.Degraded != 1 || report.Dangling != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.Ok() {
+		t.Error("report.Ok() with broken marks")
+	}
+	byID := map[string]MarkHealth{}
+	for _, mh := range report.Marks {
+		byID[mh.Mark.ID] = mh
+	}
+	if byID[healthy.ID].Health != Healthy {
+		t.Errorf("healthy mark = %v", byID[healthy.ID].Health)
+	}
+	if mh := byID[drifting.ID]; mh.Health != Drifted || !errors.Is(mh.Err, ErrContentDrift) {
+		t.Errorf("drifting mark = %v, %v", mh.Health, mh.Err)
+	}
+	if byID[degraded.ID].Health != Degraded {
+		t.Errorf("degraded mark = %v", byID[degraded.ID].Health)
+	}
+	if mh := byID[dangling.ID]; mh.Health != Dangling || !errors.Is(mh.Err, ErrDangling) {
+		t.Errorf("dangling mark = %v, %v", mh.Health, mh.Err)
+	}
+	// Doctor observes; it must not rewrite the stored excerpt.
+	got, _ := mm.Mark(drifting.ID)
+	if got.Excerpt != "40mg" {
+		t.Errorf("Doctor rewrote excerpt: %q", got.Excerpt)
+	}
+	// The two unresolvable marks are quarantined.
+	if q := mm.Quarantined(); len(q) != 2 {
+		t.Errorf("quarantine = %+v", q)
+	}
+	// The rendered report lists only non-healthy marks.
+	text := report.String()
+	for _, want := range []string{"drifted", "degraded", "dangling", drifting.ID, degraded.ID, dangling.ID} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, healthy.ID) {
+		t.Errorf("report text lists healthy mark:\n%s", text)
+	}
+}
+
+func TestDoctorFallsBackToContextResolver(t *testing.T) {
+	// A scheme without in-place extraction still gets a live check via the
+	// viewer-driving resolver.
+	mm := NewManager()
+	mm.SetRetryPolicy(fastRetry)
+	if err := mm.RegisterModule(NewAppModule(minimalDoc{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := mm.Add(Mark{ID: "mark-000001", Address: base.Address{Scheme: "minimal", File: "f", Path: "p"}}); err != nil {
+		t.Fatal(err)
+	}
+	report := mm.Doctor(context.Background())
+	if report.Checked != 1 || report.Healthy != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+type minimalDoc struct{}
+
+func (minimalDoc) Scheme() string { return "minimal" }
+func (minimalDoc) Name() string   { return "minimal" }
+func (minimalDoc) CurrentSelection() (base.Address, error) {
+	return base.Address{}, base.ErrNoSelection
+}
+func (minimalDoc) GoTo(a base.Address) (base.Element, error) {
+	return base.Element{Address: a, Content: "ok"}, nil
+}

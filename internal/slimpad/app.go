@@ -1,12 +1,15 @@
 package slimpad
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/base"
 	"repro/internal/mark"
 	"repro/internal/metamodel"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -114,7 +117,9 @@ func (a *App) PeekScrap(scrap rdf.Term) (string, error) {
 
 // RefreshScrap re-extracts the marked content of every mark on the scrap
 // and reports whether any drifted from its stored excerpt — SLIMPad's
-// answer to the transcription-error risk of redundancy (§3).
+// answer to the transcription-error risk of redundancy (§3). It fails on
+// the first unresolvable mark; RefreshScrapCtx is the failure-aware
+// variant that degrades per mark instead.
 func (a *App) RefreshScrap(scrap rdf.Term) (changed bool, err error) {
 	s, err := a.dmi.Scrap(scrap)
 	if err != nil {
@@ -128,6 +133,56 @@ func (a *App) RefreshScrap(scrap rdf.Term) (changed bool, err error) {
 		changed = changed || c
 	}
 	return changed, nil
+}
+
+// RefreshReport summarizes a failure-aware scrap refresh.
+type RefreshReport struct {
+	// Refreshed counts marks whose excerpt was re-extracted live.
+	Refreshed int
+	// Changed reports whether any live re-extraction drifted from the
+	// stored excerpt.
+	Changed bool
+	// Stale lists marks that could not be refreshed (their cached excerpt
+	// still serves reads); Dangling lists those with no excerpt either.
+	Stale, Dangling []string
+}
+
+// Ok reports whether every mark on the scrap refreshed live.
+func (r RefreshReport) Ok() bool { return len(r.Stale) == 0 && len(r.Dangling) == 0 }
+
+// RefreshScrapCtx refreshes every mark on the scrap with the Mark
+// Manager's resilient path: transient base faults are retried, and a mark
+// whose base is gone does not abort the rest of the scrap — it is recorded
+// as stale (excerpt-backed) or dangling and quarantined by the manager for
+// a later `doctor` pass. Only scrap-level failures (unknown scrap, unknown
+// mark id) return an error.
+func (a *App) RefreshScrapCtx(ctx context.Context, scrap rdf.Term) (RefreshReport, error) {
+	var r RefreshReport
+	s, err := a.dmi.Scrap(scrap)
+	if err != nil {
+		return r, err
+	}
+	for _, h := range s.MarkHandles() {
+		id := h.MarkID()
+		_, c, err := a.marks.RefreshCtx(ctx, id)
+		if err == nil {
+			r.Refreshed++
+			r.Changed = r.Changed || c
+			continue
+		}
+		if errors.Is(err, mark.ErrUnknownMark) || ctx.Err() != nil {
+			return r, err
+		}
+		m, merr := a.marks.Mark(id)
+		if merr == nil && m.Excerpt != "" {
+			r.Stale = append(r.Stale, id)
+		} else {
+			r.Dangling = append(r.Dangling, id)
+		}
+		obs.C("slimpad.refresh.degraded").Inc()
+		obs.Log().Warn("slimpad: scrap mark not refreshable", "scrap", scrap.Value(), "mark", id, "err", err)
+	}
+	return r, nil
 }
 
 // Save persists the pad state and the marks into one XML file: the pad

@@ -1,0 +1,185 @@
+package slimpad
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/faultbase"
+	"repro/internal/mark"
+	"repro/internal/trim"
+)
+
+// faultFixture wires a SLIMPad over a fault-injected spreadsheet app plus
+// the plain XML app, with fast retries.
+type faultFixture struct {
+	app    *App
+	fa     *faultbase.App
+	sheets *spreadsheet.App
+}
+
+func newFaultFixture(t *testing.T) *faultFixture {
+	t.Helper()
+	sheets := spreadsheet.NewApp()
+	w := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := w.LoadCSV("Meds", "Drug,Dose\nFurosemide,40mg\nInsulin,5u\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sheets.AddWorkbook(w); err != nil {
+		t.Fatal(err)
+	}
+	fa := faultbase.Wrap(sheets)
+	mm := mark.NewManager()
+	mm.SetRetryPolicy(mark.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond})
+	if err := mm.RegisterApplication(fa); err != nil {
+		t.Fatal(err)
+	}
+	app, err := NewApp(mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &faultFixture{app: app, fa: fa, sheets: sheets}
+}
+
+func (f *faultFixture) clipCell(t *testing.T, bundle Bundle, cell string) Scrap {
+	t.Helper()
+	f.sheets.Open("meds.xls")
+	r, err := spreadsheet.ParseRange(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sheets.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	scrap, err := f.app.ClipSelection(bundle.ID(), spreadsheet.Scheme, "", Coordinate{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scrap
+}
+
+func TestRefreshScrapCtxRetriesTransient(t *testing.T) {
+	f := newFaultFixture(t)
+	_, root, err := f.app.NewPad("Rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrap := f.clipCell(t, root, "B2")
+	// Edit the base, then let the first extract fail transiently.
+	w, _ := f.sheets.Workbook("meds.xls")
+	s, _ := w.Sheet("Meds")
+	cell, _ := spreadsheet.ParseCell("B2")
+	s.Set(cell, "80mg")
+	f.fa.FailN(faultbase.OpExtractContent, nil, 1)
+	r, err := f.app.RefreshScrapCtx(context.Background(), scrap.ID())
+	if err != nil {
+		t.Fatalf("RefreshScrapCtx = %v", err)
+	}
+	if !r.Ok() || !r.Changed || r.Refreshed != 1 {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestRefreshScrapCtxDegradesPerMark(t *testing.T) {
+	f := newFaultFixture(t)
+	_, root, err := f.app.NewPad("Rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrap := f.clipCell(t, root, "A2")
+	// The base document disappears: the scrap's mark cannot refresh, but
+	// the refresh must degrade (mark is excerpt-backed), not error.
+	f.fa.DropDocument("meds.xls")
+	r, err := f.app.RefreshScrapCtx(context.Background(), scrap.ID())
+	if err != nil {
+		t.Fatalf("RefreshScrapCtx = %v", err)
+	}
+	if r.Ok() || len(r.Stale) != 1 || len(r.Dangling) != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	// The blunt RefreshScrap still errors, for callers that want that.
+	if _, err := f.app.RefreshScrap(scrap.ID()); err == nil {
+		t.Error("RefreshScrap of unreachable base succeeded")
+	}
+	// The manager quarantined the mark for a doctor pass.
+	if q := f.app.Marks().Quarantined(); len(q) != 1 {
+		t.Errorf("quarantine = %+v", q)
+	}
+	// PeekScrap still serves the cached excerpt (degradation ladder).
+	content, err := f.app.PeekScrap(scrap.ID())
+	if err != nil || content != "Furosemide" {
+		t.Errorf("PeekScrap = %q, %v", content, err)
+	}
+}
+
+func TestRefreshScrapCtxUnknownScrap(t *testing.T) {
+	f := newFaultFixture(t)
+	if _, err := f.app.RefreshScrapCtx(context.Background(), mark.MarkIRI("nope")); err == nil {
+		t.Error("refresh of unknown scrap succeeded")
+	}
+}
+
+// Corrupted pad stores must be diagnosable, never a panic or a silently
+// partial graph — and a .bak from an earlier good save must recover.
+func TestLoadCorruptPadStore(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty.xml":     {},
+		"garbage.xml":   []byte("\x00\x01 not a pad \xff"),
+		"truncated.xml": []byte("<?xml version=\"1.0\"?>\n<slimstore version=\"1\"><trip"),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		app, err := NewApp(mark.NewManager())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := app.Load(path); err == nil {
+			t.Errorf("%s: load succeeded", name)
+		} else if !errors.Is(err, trim.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want trim.ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestLoadRecoversPadFromBackup(t *testing.T) {
+	f := newFaultFixture(t)
+	_, root, err := f.app.NewPad("Rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.clipCell(t, root, "A2")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pad.xml")
+	if err := f.app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// A second save (unchanged) keeps the first as .bak; then the primary
+	// is torn by a crash.
+	if err := f.app.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, 60); err != nil {
+		t.Fatal(err)
+	}
+	app2, err := NewApp(mark.NewManager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pads, err := app2.Load(path)
+	if err != nil {
+		t.Fatalf("recovery load = %v", err)
+	}
+	if len(pads) != 1 || pads[0].PadName() != "Rounds" {
+		t.Fatalf("recovered pads = %v", pads)
+	}
+	if app2.Marks().Len() != 1 {
+		t.Errorf("recovered marks = %d", app2.Marks().Len())
+	}
+}

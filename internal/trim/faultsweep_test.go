@@ -1,0 +1,128 @@
+package trim
+
+// The fault-injection sweep lane (docs/ROBUSTNESS.md): slower and more
+// exhaustive than the unit tests, it is gated behind SLIM_FAULT_SWEEP and
+// run by `make faults` / scripts/ci.sh. The invariant under test is global
+// crash-safety — after ANY single injected fault, torn write, or flipped
+// byte, LoadFile yields a complete snapshot (old or new, possibly via the
+// .bak fallback) or a diagnosable error; never a torn store, never a panic.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func sweepGate(t *testing.T) {
+	t.Helper()
+	if os.Getenv("SLIM_FAULT_SWEEP") == "" {
+		t.Skip("fault sweep skipped: set SLIM_FAULT_SWEEP=1 (or run `make faults`)")
+	}
+}
+
+// requireOldOrNew loads path into a fresh manager and fails unless the
+// result is exactly one of the two known-good snapshots.
+func requireOldOrNew(t *testing.T, label, path string, old, next *rdf.Graph) {
+	t.Helper()
+	got := NewManager()
+	if err := got.LoadFile(path); err != nil {
+		t.Fatalf("%s: store unreadable: %v", label, err)
+	}
+	if snap := got.Snapshot(); !snap.Equal(old) && !snap.Equal(next) {
+		t.Fatalf("%s: store is neither the old nor the new snapshot (%d triples)", label, got.Len())
+	}
+}
+
+// TestFaultSweepStages fails every stage of the persistence sequence in
+// turn and checks the on-disk store still loads as a complete snapshot.
+func TestFaultSweepStages(t *testing.T) {
+	sweepGate(t)
+	for _, stage := range []PersistStage{StageTempWrite, StageTempSync, StageBackup, StageRename, StageDirSync} {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "store.xml")
+			old := NewManager()
+			populate(old, 12)
+			if err := old.SaveFile(path); err != nil {
+				t.Fatal(err)
+			}
+			next := NewManager()
+			populate(next, 30)
+			fail := stage
+			defer SetPersistFault(SetPersistFault(func(s PersistStage, _ string) error {
+				if s == fail {
+					return fmt.Errorf("injected at %s", s)
+				}
+				return nil
+			}))
+			if err := next.SaveFile(path); err == nil {
+				t.Fatalf("save survived injected fault at %s", stage)
+			}
+			SetPersistFault(nil)
+			requireOldOrNew(t, string(stage), path, old.Snapshot(), next.Snapshot())
+		})
+	}
+}
+
+// TestFaultSweepTruncation tears the primary file at every length (the
+// .bak from the previous save intact) and requires a full recovery.
+func TestFaultSweepTruncation(t *testing.T) {
+	sweepGate(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	old := NewManager()
+	populate(old, 8)
+	if err := old.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	next := NewManager()
+	populate(next, 20)
+	if err := next.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(full); n++ {
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		requireOldOrNew(t, fmt.Sprintf("truncated to %d/%d bytes", n, len(full)),
+			path, old.Snapshot(), next.Snapshot())
+	}
+}
+
+// TestFaultSweepBitRot flips every byte of the primary file in turn; the
+// checksum trailer must catch the damage (or prove it harmless) so the
+// load never surfaces a silently different store.
+func TestFaultSweepBitRot(t *testing.T) {
+	sweepGate(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	old := NewManager()
+	populate(old, 8)
+	if err := old.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	next := NewManager()
+	populate(next, 20)
+	if err := next.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		flipped := append([]byte(nil), full...)
+		flipped[i] ^= 0xFF
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		requireOldOrNew(t, fmt.Sprintf("byte %d flipped", i), path, old.Snapshot(), next.Snapshot())
+	}
+}

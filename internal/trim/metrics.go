@@ -40,6 +40,15 @@ var (
 	// mNotifyFanout counts observer callbacks delivered (one per observer
 	// per mutation): the Observer notification fan-out.
 	mNotifyFanout = obs.C("trim.observer.fanout")
+
+	// Persistence outcomes (docs/ROBUSTNESS.md): saves attempted/failed,
+	// loads attempted, corrupt primaries detected, and loads recovered
+	// from the .bak snapshot.
+	mSaveTotal     = obs.C("trim.persist.save.total")
+	mSaveErrors    = obs.C("trim.persist.save.errors")
+	mLoadFileTotal = obs.C("trim.persist.load.total")
+	mLoadCorrupt   = obs.C("trim.persist.load.corrupt")
+	mLoadRecovered = obs.C("trim.persist.load.recovered")
 )
 
 // indexChoice identifies which index (if any) served a pattern.

@@ -1,71 +1,267 @@
 package trim
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
-// SaveFile persists the store to an XML file (the paper's persistence
-// format, §4.4: "persist (through XML files)"). The write is atomic: the
-// content is written to a temporary file in the same directory and renamed
-// into place, so a crash never leaves a half-written store.
-func (m *Manager) SaveFile(path string) error {
-	snapshot := m.Snapshot()
+// Persistence here is failure-aware (docs/ROBUSTNESS.md): saves are atomic
+// and durable (temp file + fsync + rename + directory fsync), snapshots
+// carry a length+checksum trailer so torn or truncated files are detected
+// on load, and every save keeps the previous good snapshot as a ".bak"
+// sibling that LoadFile falls back to when the primary is corrupt.
+
+// ErrCorrupt marks a store file whose bytes fail integrity verification
+// (truncation, checksum mismatch, or unparseable content). Callers can
+// errors.Is against it to distinguish corruption from I/O errors.
+var ErrCorrupt = errors.New("trim: corrupt store file")
+
+// BackupSuffix is appended to the store path to name the previous good
+// snapshot kept by SaveFile.
+const BackupSuffix = ".bak"
+
+// PersistStage names one step of the persistence I/O sequence; the fault
+// hook receives it so tests can fail (or corrupt) a precise point in the
+// write path — e.g. "the process died between temp-write and rename".
+type PersistStage string
+
+const (
+	// StageTempWrite: about to write the snapshot bytes to the temp file.
+	StageTempWrite PersistStage = "temp-write"
+	// StageTempSync: about to fsync the temp file.
+	StageTempSync PersistStage = "temp-sync"
+	// StageBackup: about to copy the current file to its .bak sibling.
+	StageBackup PersistStage = "backup"
+	// StageRename: about to rename the temp file over the target.
+	StageRename PersistStage = "rename"
+	// StageDirSync: about to fsync the parent directory.
+	StageDirSync PersistStage = "dir-sync"
+)
+
+// PersistFault is an injectable fault hook for persistence I/O. It runs
+// before each stage with the target path; returning a non-nil error aborts
+// the save as if the I/O at that stage had failed. The hook may also
+// mutate the filesystem (truncate the target, delete the backup) to
+// simulate torn writes and crashes deterministically.
+type PersistFault func(stage PersistStage, path string) error
+
+var persistFault atomic.Pointer[PersistFault]
+
+// SetPersistFault installs the persistence fault hook (nil removes it) and
+// returns the previous hook. Tests use it to exercise crash recovery; it
+// is process-wide, so parallel tests should not share it.
+func SetPersistFault(h PersistFault) (prev PersistFault) {
+	var old *PersistFault
+	if h == nil {
+		old = persistFault.Swap(nil)
+	} else {
+		old = persistFault.Swap(&h)
+	}
+	if old == nil {
+		return nil
+	}
+	return *old
+}
+
+// faultAt runs the installed fault hook, if any, for one stage.
+func faultAt(stage PersistStage, path string) error {
+	if h := persistFault.Load(); h != nil {
+		if err := (*h)(stage, path); err != nil {
+			return fmt.Errorf("trim: %s %s: %w", stage, path, err)
+		}
+	}
+	return nil
+}
+
+// The trailer is an XML comment appended after the document: harmless to
+// any XML parser (the decoder stops at the end of the root element), but
+// enough to detect truncation (declared length vs actual) and bit rot
+// (CRC-32 of the body). Legacy files without a trailer still load.
+const trailerPrefix = "<!-- slim-trailer "
+
+func appendTrailer(body []byte) []byte {
+	sum := crc32.ChecksumIEEE(body)
+	return append(body, fmt.Sprintf("%slen=%d crc32=%08x -->\n", trailerPrefix, len(body), sum)...)
+}
+
+// verifyTrailer checks the integrity trailer and returns the body bytes
+// that precede it. Files without a trailer are returned unchanged (legacy
+// format); a present-but-inconsistent trailer is ErrCorrupt.
+func verifyTrailer(data []byte) ([]byte, error) {
+	i := bytes.LastIndex(data, []byte(trailerPrefix))
+	if i < 0 {
+		return data, nil
+	}
+	var declared int
+	var sum uint32
+	if _, err := fmt.Sscanf(string(data[i+len(trailerPrefix):]), "len=%d crc32=%x", &declared, &sum); err != nil {
+		return nil, fmt.Errorf("%w: unreadable trailer", ErrCorrupt)
+	}
+	if declared != i {
+		return nil, fmt.Errorf("%w: trailer declares %d body bytes, file has %d", ErrCorrupt, declared, i)
+	}
+	body := data[:i]
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, sum, got)
+	}
+	return body, nil
+}
+
+// saveAtomic writes data to path via a same-directory temp file, fsyncing
+// the temp file before the rename and the parent directory after it, so a
+// crash at any point leaves either the old file or the new file — never a
+// torn mixture. When backup is true and a previous file exists, a copy is
+// kept as path+BackupSuffix before the rename.
+func saveAtomic(path string, data []byte, backup bool) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".trim-*.xml")
+	tmp, err := os.CreateTemp(dir, ".trim-*.tmp")
 	if err != nil {
 		return fmt.Errorf("trim: save %s: %w", path, err)
 	}
 	tmpName := tmp.Name()
 	defer os.Remove(tmpName) // no-op after successful rename
 
-	if err := rdf.WriteXML(tmp, snapshot); err != nil {
-		tmp.Close()
-		return fmt.Errorf("trim: save %s: %w", path, err)
+	err = func() error {
+		if err := faultAt(StageTempWrite, path); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(data); err != nil {
+			return fmt.Errorf("trim: save %s: %w", path, err)
+		}
+		if err := faultAt(StageTempSync, path); err != nil {
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("trim: save %s: %w", path, err)
+		}
+		return nil
+	}()
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("trim: save %s: %w", path, cerr)
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("trim: save %s: %w", path, err)
+	if err != nil {
+		return err
+	}
+
+	if backup {
+		if _, serr := os.Stat(path); serr == nil {
+			if err := faultAt(StageBackup, path); err != nil {
+				return err
+			}
+			// The backup is a copy, not a hard link: a link would share
+			// the inode with the primary, so a later torn in-place write
+			// to the primary would corrupt the backup with it. Failure to
+			// keep a backup must not block the save.
+			if prev, rerr := os.ReadFile(path); rerr == nil {
+				os.WriteFile(path+BackupSuffix, prev, 0o644)
+			}
+		}
+	}
+
+	if err := faultAt(StageRename, path); err != nil {
+		return err
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("trim: save %s: %w", path, err)
 	}
+	if err := faultAt(StageDirSync, path); err != nil {
+		return err
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync() // best effort: some filesystems refuse directory fsync
+		d.Close()
+	}
 	return nil
 }
 
+// SaveFile persists the store to an XML file (the paper's persistence
+// format, §4.4: "persist (through XML files)"). The write is crash-safe:
+// the snapshot (with an integrity trailer) is written to a temporary file,
+// fsynced, and renamed into place with the parent directory fsynced, and
+// the previous good snapshot is kept as path+".bak" for LoadFile recovery.
+func (m *Manager) SaveFile(path string) error {
+	mSaveTotal.Inc()
+	snapshot := m.Snapshot()
+	var buf bytes.Buffer
+	if err := rdf.WriteXML(&buf, snapshot); err != nil {
+		mSaveErrors.Inc()
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	if err := saveAtomic(path, appendTrailer(buf.Bytes()), true); err != nil {
+		mSaveErrors.Inc()
+		return err
+	}
+	return nil
+}
+
+// loadBytes verifies and parses one store file's bytes.
+func loadBytes(path string) (*rdf.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trim: load: %w", err)
+	}
+	body, err := verifyTrailer(data)
+	if err != nil {
+		return nil, fmt.Errorf("trim: load %s: %w", path, err)
+	}
+	g, err := rdf.ReadXML(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("trim: load %s: %w: %v", path, ErrCorrupt, err)
+	}
+	return g, nil
+}
+
 // LoadFile replaces the store contents with the triples in the XML file.
+// Corruption (truncation, checksum mismatch, unparseable XML) is detected
+// via the integrity trailer; when the primary file is corrupt or missing,
+// LoadFile falls back to the ".bak" snapshot kept by SaveFile, counting
+// the recovery in obs (trim.persist.load.recovered). The store is left
+// untouched unless a good snapshot is found.
 func (m *Manager) LoadFile(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("trim: load: %w", err)
+	mLoadFileTotal.Inc()
+	g, err := loadBytes(path)
+	if err == nil {
+		m.Replace(g)
+		return nil
 	}
-	defer f.Close()
-	g, err := rdf.ReadXML(f)
-	if err != nil {
-		return fmt.Errorf("trim: load %s: %w", path, err)
+	if errors.Is(err, ErrCorrupt) {
+		mLoadCorrupt.Inc()
 	}
-	m.Replace(g)
+	bak := path + BackupSuffix
+	if _, serr := os.Stat(bak); serr != nil {
+		return err
+	}
+	bg, berr := loadBytes(bak)
+	if berr != nil {
+		return fmt.Errorf("%w (backup %s also unusable: %v)", err, bak, berr)
+	}
+	m.Replace(bg)
+	mLoadRecovered.Inc()
+	obs.Log().Warn("trim: recovered store from backup snapshot",
+		"path", path, "backup", bak, "err", err)
 	return nil
 }
 
 // SaveNTriples persists the store in N-Triples form, useful for diffing and
-// for interchange with tools outside the SLIM stack.
+// for interchange with tools outside the SLIM stack. The write goes through
+// the same atomic temp-file+rename path as SaveFile, so a crash mid-save
+// never leaves a truncated file (N-Triples files carry no trailer: the
+// format is line-oriented and consumed by external tools).
 func (m *Manager) SaveNTriples(path string) error {
 	snapshot := m.Snapshot()
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, snapshot); err != nil {
 		return fmt.Errorf("trim: save %s: %w", path, err)
 	}
-	if err := rdf.WriteNTriples(f, snapshot); err != nil {
-		f.Close()
-		return fmt.Errorf("trim: save %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("trim: save %s: %w", path, err)
-	}
-	return nil
+	return saveAtomic(path, buf.Bytes(), false)
 }
 
 // LoadNTriples replaces the store contents with the triples in an

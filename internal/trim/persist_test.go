@@ -1,10 +1,14 @@
 package trim
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -138,5 +142,291 @@ func TestStats(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Error("empty Stats.String()")
+	}
+}
+
+// --- crash-safety and corruption recovery (docs/ROBUSTNESS.md) ---
+
+func TestTrailerDetectsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	m := NewManager()
+	populate(m, 10)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes out of the middle, keeping the trailer: the declared
+	// length no longer matches.
+	cut := append(append([]byte{}, data[:len(data)/3]...), data[2*len(data)/3:]...)
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = NewManager().LoadFile(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated load err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTrailerDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	m := NewManager()
+	populate(m, 5)
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside a literal value: still well-formed XML, same
+	// length — only the checksum can catch it.
+	i := bytes.Index(data, []byte("v1"))
+	if i < 0 {
+		t.Fatal("marker not found")
+	}
+	data[i] = 'X'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewManager().LoadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-rot load err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadDiagnosableGarbage(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"empty.xml":     {},
+		"garbage.xml":   []byte("\x00\xffnot xml at all\x13\x37"),
+		"truncated.xml": []byte("<?xml version=\"1.0\"?>\n<slimstore version=\"1\"><triple><subject kind=\"iri\">http://t/"),
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := NewManager()
+		populate(m, 3)
+		err := m.LoadFile(path)
+		if err == nil {
+			t.Errorf("%s: load succeeded", name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+		// Never a partial or clobbered graph.
+		if m.Len() != 3 {
+			t.Errorf("%s: store clobbered, Len = %d", name, m.Len())
+		}
+	}
+}
+
+func TestLegacyFileWithoutTrailerLoads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.xml")
+	m := NewManager()
+	populate(m, 4)
+	// Write the pre-trailer format directly.
+	var buf bytes.Buffer
+	if err := rdf.WriteXML(&buf, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewManager()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Snapshot().Equal(loaded.Snapshot()) {
+		t.Fatal("legacy load differs")
+	}
+}
+
+func TestSaveKeepsBackupAndLoadRecovers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	v1 := NewManager()
+	populate(v1, 5)
+	if err := v1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	v2 := NewManager()
+	populate(v2, 9)
+	if err := v2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + BackupSuffix); err != nil {
+		t.Fatalf("no backup kept: %v", err)
+	}
+	// Corrupt the primary (a torn in-place write); load falls back to the
+	// .bak, which holds the previous good snapshot (v1).
+	recovered := obs.C("trim.persist.load.recovered").Value()
+	if err := os.WriteFile(path, []byte("<torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewManager()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatalf("recovery load failed: %v", err)
+	}
+	if !loaded.Snapshot().Equal(v1.Snapshot()) {
+		t.Fatal("recovered snapshot is not the previous good one")
+	}
+	if got := obs.C("trim.persist.load.recovered").Value(); got != recovered+1 {
+		t.Errorf("recovered counter = %d, want %d", got, recovered+1)
+	}
+}
+
+func TestLoadReportsWhenBackupAlsoBad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+BackupSuffix, []byte("also junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := NewManager().LoadFile(path)
+	if err == nil {
+		t.Fatal("load of doubly-bad store succeeded")
+	}
+	if !strings.Contains(err.Error(), "backup") {
+		t.Errorf("error does not mention backup: %v", err)
+	}
+}
+
+func TestPersistFaultHookAbortsSave(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	v1 := NewManager()
+	populate(v1, 5)
+	if err := v1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the process dying between temp-write and rename: the hook
+	// fails the rename stage, after the temp file was written and synced.
+	boom := errors.New("power cut")
+	prev := SetPersistFault(func(stage PersistStage, p string) error {
+		if stage == StageRename {
+			return boom
+		}
+		return nil
+	})
+	defer SetPersistFault(prev)
+	v2 := NewManager()
+	populate(v2, 9)
+	if err := v2.SaveFile(path); !errors.Is(err, boom) {
+		t.Fatalf("save err = %v, want injected fault", err)
+	}
+	SetPersistFault(prev)
+	// The target still holds the previous good snapshot.
+	loaded := NewManager()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Snapshot().Equal(v1.Snapshot()) {
+		t.Fatal("aborted save damaged the target")
+	}
+}
+
+func TestCrashBetweenWriteAndRenameRecoversViaBackup(t *testing.T) {
+	// The acceptance scenario: a save sequence that dies after tearing the
+	// target (a non-atomic filesystem, or a crash observed mid-rename)
+	// must leave LoadFile recovering the previous good snapshot from .bak,
+	// with the recovery counted in obs.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.xml")
+	v1 := NewManager()
+	populate(v1, 6)
+	if err := v1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	v2 := NewManager()
+	populate(v2, 12)
+	if err := v2.SaveFile(path); err != nil { // keeps v1 as .bak
+		t.Fatal(err)
+	}
+	crash := errors.New("kill -9")
+	prev := SetPersistFault(func(stage PersistStage, p string) error {
+		if stage == StageRename {
+			// Tear the target in place, then die.
+			if err := os.Truncate(p, 40); err != nil {
+				t.Fatal(err)
+			}
+			return crash
+		}
+		return nil
+	})
+	defer SetPersistFault(prev)
+	v3 := NewManager()
+	populate(v3, 20)
+	if err := v3.SaveFile(path); !errors.Is(err, crash) {
+		t.Fatalf("save err = %v", err)
+	}
+	SetPersistFault(prev)
+
+	recovered := obs.C("trim.persist.load.recovered").Value()
+	loaded := NewManager()
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatalf("post-crash load: %v", err)
+	}
+	// The .bak kept by the v3 save attempt holds v2 — the previous good
+	// snapshot at the moment of the crash.
+	if !loaded.Snapshot().Equal(v2.Snapshot()) {
+		t.Fatal("recovered snapshot is not the previous good one")
+	}
+	if got := obs.C("trim.persist.load.recovered").Value(); got != recovered+1 {
+		t.Errorf("recovered counter = %d, want %d", got, recovered+1)
+	}
+}
+
+func TestSaveNTriplesIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.nt")
+	v1 := NewManager()
+	populate(v1, 5)
+	if err := v1.SaveNTriples(path); err != nil {
+		t.Fatal(err)
+	}
+	// A failed save must not touch the existing file (the old behavior
+	// truncated it in place via os.Create).
+	boom := errors.New("crash")
+	prev := SetPersistFault(func(stage PersistStage, p string) error {
+		if stage == StageRename {
+			return boom
+		}
+		return nil
+	})
+	defer SetPersistFault(prev)
+	v2 := NewManager()
+	populate(v2, 9)
+	if err := v2.SaveNTriples(path); !errors.Is(err, boom) {
+		t.Fatalf("save err = %v", err)
+	}
+	SetPersistFault(prev)
+	loaded := NewManager()
+	if err := loaded.LoadNTriples(path); err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Snapshot().Equal(v1.Snapshot()) {
+		t.Fatal("failed N-Triples save damaged the target")
+	}
+	// No temp litter.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory has leftovers: %v", names)
 	}
 }
