@@ -3,8 +3,9 @@
 # run exactly that.
 
 GO ?= go
+BENCH_LABEL ?= $(shell date +%Y%m%d)
 
-.PHONY: all build test race vet faults ci bench
+.PHONY: all build test race vet faults ci bench bench-json
 
 all: build
 
@@ -34,3 +35,11 @@ ci: vet build race faults
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# The perf-trajectory lane: runs the full benchmark suite once and writes
+# a machine-readable BENCH_<label>.json snapshot (ns/op, B/op, allocs/op,
+# custom metrics per benchmark). Non-gating in CI; successive snapshots
+# make hot-path regressions diffable.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | \
+		$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -min 5 -out BENCH_$(BENCH_LABEL).json

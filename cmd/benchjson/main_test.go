@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/trim
+cpu: Fake CPU @ 2.00GHz
+BenchmarkCreate-8   	 1000000	      1234 ns/op	     152 B/op	       2 allocs/op
+BenchmarkSelect/indexed-8         	  500000	      2500.5 ns/op	       3.00 triples/op
+PASS
+ok  	repro/internal/trim	1.234s
+pkg: repro/internal/mark
+BenchmarkResolve 	   10000	    100000 ns/op
+PASS
+ok  	repro/internal/mark	0.567s
+?   	repro/internal/rdf	[no test files]
+`
+
+func TestParse(t *testing.T) {
+	benches, err := parse(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks: %+v", len(benches), benches)
+	}
+
+	b := benches[0]
+	if b.Name != "BenchmarkCreate" || b.Package != "repro/internal/trim" {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.Iterations != 1000000 || b.NsPerOp != 1234 {
+		t.Fatalf("first = %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 152 || b.AllocsPerOp == nil || *b.AllocsPerOp != 2 {
+		t.Fatalf("first allocs = %+v", b)
+	}
+
+	b = benches[1]
+	if b.Name != "BenchmarkSelect/indexed" || b.Package != "repro/internal/trim" {
+		t.Fatalf("second = %+v", b)
+	}
+	if b.NsPerOp != 2500.5 || b.Metrics["triples/op"] != 3 {
+		t.Fatalf("second = %+v", b)
+	}
+	if b.BytesPerOp != nil {
+		t.Fatal("second has no -benchmem columns")
+	}
+
+	// No GOMAXPROCS suffix, different package.
+	b = benches[2]
+	if b.Name != "BenchmarkResolve" || b.Package != "repro/internal/mark" || b.NsPerOp != 100000 {
+		t.Fatalf("third = %+v", b)
+	}
+}
+
+func TestRunSnapshot(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-label", "test", "-out", "-", "-min", "3"},
+		strings.NewReader(sampleBenchOutput), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v\n%s", err, out.String())
+	}
+	if snap.Label != "test" || snap.GoVersion == "" || len(snap.Benchmarks) != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRunMinGate(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-min", "4", "-out", "-"}, strings.NewReader(sampleBenchOutput), &out)
+	if err == nil || !strings.Contains(err.Error(), "want at least 4") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := run([]string{"-min", "1", "-out", "-"}, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("empty input must fail the -min gate")
+	}
+}

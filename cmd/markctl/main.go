@@ -12,6 +12,7 @@
 //	markctl list    -marks marks.xml
 //	markctl resolve -marks marks.xml -id mark-000001 -doc meds.csv
 //	markctl doctor  -marks marks.xml -doc meds.csv -doc lab.xml
+//	markctl doctor  -marks marks.xml -json
 //
 // Documents load under their base filename; CSV files become a workbook
 // with one sheet named "Meds". The doctor command diagnoses every stored
@@ -46,6 +47,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "markctl:", err)
 		os.Exit(1)
 	}
+	if s := obs.ActiveServer(); s != nil {
+		fmt.Fprintf(os.Stderr, "markctl: serving diagnostics at %s (interrupt to exit)\n", s.URL())
+		obs.AwaitInterrupt(context.Background())
+		s.Close()
+	}
 }
 
 // docList collects repeated -doc flags for the doctor command.
@@ -69,6 +75,7 @@ func run(args []string, out io.Writer) error {
 	fs.Var(&docs, "doc", "base document file to load (doctor accepts it repeated, optionally scheme:path)")
 	at := fs.String("at", "", "address path within the document")
 	id := fs.String("id", "", "mark id (for resolve)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (doctor)")
 	var cli obs.CLI
 	cli.Bind(fs)
 	if err := fs.Parse(args[1:]); err != nil {
@@ -83,7 +90,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var err error
 	if cmd == "doctor" {
-		err = doctor(*marksFile, docs, out)
+		err = doctor(*marksFile, docs, *jsonOut, out)
 	} else {
 		err = execute(cmd, *marksFile, *scheme, doc, *at, *id, out)
 	}
@@ -98,7 +105,7 @@ func run(args []string, out io.Writer) error {
 // are diagnosed as degraded/dangling rather than failing the command; the
 // command errors only when a mark is dangling (no live referent AND no
 // cached excerpt), so scripts can gate on the exit code.
-func doctor(marksFile string, docs []string, out io.Writer) error {
+func doctor(marksFile string, docs []string, jsonOut bool, out io.Writer) error {
 	mm := mark.NewManager()
 	store := trim.NewManager()
 	if _, err := os.Stat(marksFile); err == nil {
@@ -119,7 +126,27 @@ func doctor(marksFile string, docs []string, out io.Writer) error {
 			return err
 		}
 	}
+	// Health probes for -serve: ready once the mark store is loaded,
+	// healthy while no mark sits in quarantine.
+	obs.DefaultReady.Register("mark.store", store.LoadedCheck())
+	obs.DefaultHealth.Register("mark.quarantine", mm.QuarantineCheck(1))
 	report := mm.Doctor(context.Background())
+	if jsonOut {
+		quarantine := mm.Quarantined()
+		if quarantine == nil {
+			quarantine = []mark.QuarantineEntry{}
+		}
+		if err := obs.EncodeJSON(out, struct {
+			Report     mark.HealthReport      `json:"report"`
+			Quarantine []mark.QuarantineEntry `json:"quarantine"`
+		}{report, quarantine}); err != nil {
+			return err
+		}
+		if report.Dangling > 0 {
+			return fmt.Errorf("%d dangling mark(s)", report.Dangling)
+		}
+		return nil
+	}
 	fmt.Fprint(out, report)
 	// The quarantine is the dangling-reference list (§5's ComMentor
 	// problem): every mark whose referent could not be reached, whether or
@@ -170,6 +197,11 @@ func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {
 			return err
 		}
 	}
+	// Health probes for -serve (mirrors doctor): readiness tracks the mark
+	// store, liveness the persistence path and the quarantine.
+	obs.DefaultReady.Register("mark.store", store.LoadedCheck())
+	obs.DefaultHealth.Register("mark.persist", trim.WritableCheck(marksFile))
+	obs.DefaultHealth.Register("mark.quarantine", mm.QuarantineCheck(1))
 
 	switch cmd {
 	case "list":

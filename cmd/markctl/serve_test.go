@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mark"
+	"repro/internal/obs"
+)
+
+func TestDoctorJSON(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+	var out strings.Builder
+	if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", "Meds!A2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"doctor", "-marks", marks, "-doc", csv, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Report struct {
+			Checked int `json:"checked"`
+			Healthy int `json:"healthy"`
+			Marks   []struct {
+				ID     string `json:"id"`
+				Health string `json:"health"`
+			} `json:"marks"`
+		} `json:"report"`
+		Quarantine []mark.QuarantineEntry `json:"quarantine"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("doctor -json not JSON: %v\n%s", err, out.String())
+	}
+	if decoded.Report.Checked != 1 || decoded.Report.Healthy != 1 || len(decoded.Report.Marks) != 1 {
+		t.Fatalf("report = %+v", decoded.Report)
+	}
+	if decoded.Quarantine == nil || len(decoded.Quarantine) != 0 {
+		t.Fatalf("quarantine = %+v, want empty array", decoded.Quarantine)
+	}
+
+	// Without the base document the mark cannot resolve but serves its
+	// excerpt: degraded, not dangling, so the command still succeeds and
+	// the JSON shows the downgrade.
+	out.Reset()
+	if err := run([]string{"doctor", "-marks", marks, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var degraded struct {
+		Report struct {
+			Degraded int `json:"degraded"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Report.Degraded != 1 {
+		t.Fatalf("docless doctor report = %s", out.String())
+	}
+}
+
+// TestServeWithMetrics covers the -serve + -metrics flag combination on
+// markctl: the server outlives the command, /metrics exposes the mark
+// family, and the health endpoints answer.
+func TestServeWithMetrics(t *testing.T) {
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+	var out strings.Builder
+	if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", "Meds!A2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if err := run([]string{"resolve", "-marks", marks, "-id", "mark-000001", "-doc", csv,
+		"-serve", "127.0.0.1:0", "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.ActiveServer()
+	if s == nil {
+		t.Fatal("-serve left no active server")
+	}
+	defer s.Close()
+	if !strings.Contains(out.String(), "diagnostics: "+s.URL()) {
+		t.Errorf("output missing diagnostics URL: %s", out.String())
+	}
+
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "mark_resolve_spreadsheet_ns") {
+		t.Fatalf("/metrics status %d:\n%s", resp.StatusCode, body)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d:\n%s", path, resp.StatusCode, body)
+		}
+	}
+}

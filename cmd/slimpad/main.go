@@ -42,6 +42,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slimpad:", err)
 		os.Exit(1)
 	}
+	if s := obs.ActiveServer(); s != nil {
+		fmt.Fprintf(os.Stderr, "slimpad: serving diagnostics at %s (interrupt to exit)\n", s.URL())
+		obs.AwaitInterrupt(context.Background())
+		s.Close()
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -86,6 +91,7 @@ func findIn(padFile, q string, out io.Writer) error {
 	if _, err := app.Load(padFile); err != nil {
 		return err
 	}
+	app.RegisterHealth(nil, nil, padFile, 1)
 	bundles, err := app.DMI().FindBundles(q)
 	if err != nil {
 		return err
@@ -132,6 +138,7 @@ func buildDemo(outFile string, patients int, seed int64, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	app.RegisterHealth(nil, nil, outFile, 1)
 	pad, root, err := app.NewPad("Rounds")
 	if err != nil {
 		return err
@@ -194,6 +201,7 @@ func inspectPad(cmd, padFile string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	app.RegisterHealth(nil, nil, padFile, 1)
 	switch cmd {
 	case "show":
 		for _, p := range pads {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trim"
+)
+
+// TestServeWithMetrics covers the -serve + -metrics flag combination on
+// slimpad: building the demo pad drives the whole stack (DMI -> SLIM store
+// -> TRIM, plus mark creation), so the scrape must expose the trim, slim,
+// and mark metric families, and the pad's health probes must answer — with
+// /healthz flipping to 503 under an injected persistence fault.
+func TestServeWithMetrics(t *testing.T) {
+	pad := filepath.Join(t.TempDir(), "rounds.xml")
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "1",
+		"-serve", "127.0.0.1:0", "-metrics"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.ActiveServer()
+	if s == nil {
+		t.Fatal("-serve left no active server")
+	}
+	defer s.Close()
+	if !strings.Contains(out.String(), "diagnostics: "+s.URL()) {
+		t.Errorf("output missing diagnostics URL: %s", out.String())
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, family := range []string{"trim_create_total", "slim_dmi_", "mark_dispatch_"} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing the %s family:\n%.2000s", family, body)
+		}
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "slimpad.store") {
+		t.Fatalf("/readyz status %d:\n%s", code, body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "slimpad.persist") {
+		t.Fatalf("/healthz status %d:\n%s", code, body)
+	}
+
+	prev := trim.SetPersistFault(func(stage trim.PersistStage, _ string) error {
+		if stage == trim.StageTempWrite {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	})
+	defer trim.SetPersistFault(prev)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "fail slimpad.persist") {
+		t.Fatalf("/healthz under fault: status %d:\n%s", code, body)
+	}
+	trim.SetPersistFault(prev)
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after clearing fault: status %d", code)
+	}
+}

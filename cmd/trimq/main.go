@@ -1,19 +1,27 @@
 // trimq is a query tool over persisted SLIM stores (XML triple files, or
 // N-Triples with -nt). It exposes TRIM's three read capabilities from §4.4:
-// selection queries, reachability views, and statistics, plus model listing.
+// selection queries, reachability views, and statistics, plus model listing
+// and per-query EXPLAIN reports.
 //
 // Usage:
 //
 //	trimq -store pad.xml stats
+//	trimq -store pad.xml -json stats
 //	trimq -store pad.xml select '?' rdf:type pad:Bundle
+//	trimq -store pad.xml explain select '?' rdf:type pad:Bundle
+//	trimq -store pad.xml explain view inst:Bundle-000001
 //	trimq -store pad.xml view inst:Bundle-000001
 //	trimq -store pad.xml models
+//	trimq -store pad.xml -serve :9090 stats
 //
 // Query terms are '?' (wildcard), a prefix:local qualified name, a full IRI,
-// or a "quoted string" literal.
+// or a "quoted string" literal. explain runs the query and reports the
+// planner's index choice, candidates scanned, matches, and wall time
+// instead of the result rows.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,12 +39,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trimq:", err)
 		os.Exit(1)
 	}
+	if s := obs.ActiveServer(); s != nil {
+		fmt.Fprintf(os.Stderr, "trimq: serving diagnostics at %s (interrupt to exit)\n", s.URL())
+		obs.AwaitInterrupt(context.Background())
+		s.Close()
+	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trimq", flag.ContinueOnError)
 	store := fs.String("store", "", "path to a persisted store (XML triple file)")
 	nt := fs.Bool("nt", false, "store file is N-Triples instead of XML")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (stats, explain)")
 	var cli obs.CLI
 	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -47,19 +61,19 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("need a command: stats | select S P O | view RESOURCE | path START PRED... | models")
+		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | view RESOURCE | path START PRED... | models")
 	}
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	err := execute(*store, *nt, rest, out)
+	err := execute(*store, *nt, *jsonOut, rest, out)
 	if ferr := cli.Finish(out); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func execute(store string, nt bool, rest []string, out io.Writer) error {
+func execute(store string, nt bool, jsonOut bool, rest []string, out io.Writer) error {
 	m := trim.NewManager()
 	var err error
 	if nt {
@@ -70,12 +84,21 @@ func execute(store string, nt bool, rest []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Health probes for -serve: the store is ready once loaded, healthy
+	// while its file's directory stays writable.
+	obs.DefaultReady.Register("trim.store", m.LoadedCheck())
+	obs.DefaultHealth.Register("trim.persist", trim.WritableCheck(store))
 	pm := rdf.NewPrefixMap()
 
 	switch rest[0] {
 	case "stats":
+		if jsonOut {
+			return obs.EncodeJSON(out, m.Stats())
+		}
 		fmt.Fprintln(out, m.Stats())
 		return nil
+	case "explain":
+		return explain(m, pm, jsonOut, rest[1:], out)
 	case "models":
 		for _, id := range metamodel.ListModels(m) {
 			model, err := metamodel.Decode(m, id)
@@ -144,6 +167,64 @@ func execute(store string, nt bool, rest []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown command %q", rest[0])
 	}
+}
+
+// explain runs a select, view, or path query through the EXPLAIN variants
+// and prints the execution report instead of the result rows.
+func explain(m *trim.Manager, pm *rdf.PrefixMap, jsonOut bool, rest []string, out io.Writer) error {
+	if len(rest) == 0 {
+		return fmt.Errorf("explain needs a query: explain select S P O | explain view RESOURCE | explain path START PRED...")
+	}
+	var e trim.Explain
+	switch rest[0] {
+	case "select":
+		if len(rest) != 4 {
+			return fmt.Errorf("explain select needs exactly 3 terms (use '?' for wildcards)")
+		}
+		pat := rdf.Pattern{}
+		terms := []*rdf.Term{&pat.Subject, &pat.Predicate, &pat.Object}
+		for i, arg := range rest[1:] {
+			t, err := parseTerm(pm, arg)
+			if err != nil {
+				return fmt.Errorf("term %d: %w", i+1, err)
+			}
+			*terms[i] = t
+		}
+		_, e = m.SelectExplain(pat)
+	case "view":
+		if len(rest) != 2 {
+			return fmt.Errorf("explain view needs exactly 1 resource")
+		}
+		root, err := parseTerm(pm, rest[1])
+		if err != nil {
+			return err
+		}
+		_, e = m.ViewExplain(root)
+	case "path":
+		if len(rest) < 3 {
+			return fmt.Errorf("explain path needs a start resource and at least 1 predicate")
+		}
+		start, err := parseTerm(pm, rest[1])
+		if err != nil {
+			return err
+		}
+		preds := make([]rdf.Term, 0, len(rest)-2)
+		for _, arg := range rest[2:] {
+			p, err := parseTerm(pm, arg)
+			if err != nil {
+				return err
+			}
+			preds = append(preds, p)
+		}
+		_, e = m.PathExplain([]rdf.Term{start}, preds...)
+	default:
+		return fmt.Errorf("explain does not support %q (want select, view, or path)", rest[0])
+	}
+	if jsonOut {
+		return obs.EncodeJSON(out, e)
+	}
+	fmt.Fprintln(out, e)
+	return nil
 }
 
 func parseTerm(pm *rdf.PrefixMap, arg string) (rdf.Term, error) {

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trim"
+)
+
+func scrape(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatsJSON(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-json", "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Triples    int `json:"triples"`
+		IndexSPO   int `json:"index_spo"`
+		Generation int `json:"generation"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &stats); err != nil {
+		t.Fatalf("stats -json not JSON: %v\n%s", err, out.String())
+	}
+	if stats.Triples == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestExplainSelect(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "explain", "select", "?", "?", "?"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"op=select", "index=scan", "candidates=", "matched=", "wall="} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q: %s", want, out.String())
+		}
+	}
+
+	// A bound subject must report an indexed plan, not a scan.
+	out.Reset()
+	if err := run([]string{"-store", path, "explain", "select", "inst:Bundle-000001", "?", "?"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "index=subject") {
+		t.Fatalf("bound-subject explain chose: %s", out.String())
+	}
+}
+
+func TestExplainJSON(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-json", "explain", "select", "?", "rdf:type", "pad:Bundle"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Op         string `json:"op"`
+		Index      string `json:"index"`
+		Candidates int    `json:"candidates"`
+		Matched    int    `json:"matched"`
+		StoreSize  int    `json:"store_size"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &e); err != nil {
+		t.Fatalf("explain -json not JSON: %v\n%s", err, out.String())
+	}
+	if e.Op != "select" || e.Index == "" || e.Matched != 2 || e.Candidates < e.Matched {
+		t.Fatalf("explain = %+v", e)
+	}
+}
+
+func TestExplainViewAndPath(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "explain", "view", "inst:Bundle-000001"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "op=view") {
+		t.Fatalf("explain view: %s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-store", path, "explain", "path", "inst:Bundle-000001", "pad:nestedBundle"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "op=path") || !strings.Contains(out.String(), "matched=1") {
+		t.Fatalf("explain path: %s", out.String())
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-store", path, "explain"},
+		{"-store", path, "explain", "select", "?"},
+		{"-store", path, "explain", "view"},
+		{"-store", path, "explain", "path", "inst:Bundle-000001"},
+		{"-store", path, "explain", "stats"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestServeWithMetrics is the -serve + -metrics flag combination: the
+// command runs, the diagnostics server stays up for scraping, /metrics
+// exposes the trim family, readiness reflects the loaded store, and an
+// injected persistence fault flips /healthz to 503.
+func TestServeWithMetrics(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-serve", "127.0.0.1:0", "-metrics", "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.ActiveServer()
+	if s == nil {
+		t.Fatal("-serve left no active server")
+	}
+	t.Cleanup(func() { s.Close() })
+	if !strings.Contains(out.String(), "diagnostics: "+s.URL()) {
+		t.Errorf("output missing diagnostics URL: %s", out.String())
+	}
+	// -metrics still prints the text dump alongside -serve.
+	if !strings.Contains(out.String(), "counter trim.load.triples") {
+		t.Errorf("-metrics dump missing: %s", out.String())
+	}
+
+	code, body := scrape(t, s.URL(), "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "trim_load_triples") {
+		t.Fatalf("/metrics status %d:\n%s", code, body)
+	}
+	if code, body := scrape(t, s.URL(), "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz status %d:\n%s", code, body)
+	}
+	if code, body := scrape(t, s.URL(), "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz status %d:\n%s", code, body)
+	}
+
+	// The acceptance path: a staged persistence fault flips liveness.
+	prev := trim.SetPersistFault(func(stage trim.PersistStage, _ string) error {
+		if stage == trim.StageTempWrite {
+			return errors.New("injected: device gone")
+		}
+		return nil
+	})
+	defer trim.SetPersistFault(prev)
+	code, body = scrape(t, s.URL(), "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "fail trim.persist") {
+		t.Fatalf("/healthz under fault: status %d:\n%s", code, body)
+	}
+	trim.SetPersistFault(prev)
+	if code, _ := scrape(t, s.URL(), "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after clearing fault: status %d", code)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.ActiveServer() != nil {
+		t.Fatal("Close did not release the server slot")
+	}
+	// A later command can claim the slot again.
+	out.Reset()
+	if err := run([]string{"-store", path, "-serve", "127.0.0.1:0", "stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := obs.ActiveServer(); s2 == nil {
+		t.Fatal("second -serve run left no active server")
+	} else {
+		s2.Close()
+	}
+}

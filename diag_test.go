@@ -1,0 +1,114 @@
+// Diagnostics-server coverage over the full stack: after driving SLIMPad
+// (DMI -> SLIM store -> TRIM, with marks) and a core.System viewing flow,
+// one /metrics scrape must expose every layer's metric family in valid
+// Prometheus exposition (docs/OBSERVABILITY.md).
+package repro_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/base/spreadsheet"
+	"repro/internal/clinical"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/slimpad"
+)
+
+func TestMetricsCoverAllLayers(t *testing.T) {
+	// SLIMPad over clinical data: DMI ops (slim.*), triple storage (trim.*),
+	// and mark creation/resolution (mark.*).
+	env, err := clinical.NewEnvironment(2026, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := slimpad.NewApp(env.Marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, root, err := app.NewPad("Rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := app.DMI().CreateBundle(env.Patients[0].Name, slimpad.Coordinate{X: 0, Y: 0}, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.DMI().AddNestedBundle(root.ID(), b.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.SelectMed(env.Patients[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.ClipSelection(b.ID(), "spreadsheet", "", slimpad.Coordinate{X: 8, Y: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A core.System viewing flow (core.*).
+	sys := core.NewSystem()
+	sheets := spreadsheet.NewApp()
+	wb := spreadsheet.NewWorkbook("meds.xls")
+	if _, err := wb.LoadCSV("Meds", "Drug\nFurosemide\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sheets.AddWorkbook(wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterBase(sheets); err != nil {
+		t.Fatal(err)
+	}
+	if err := sheets.Open("meds.xls"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := spreadsheet.ParseRange("A2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sheets.SelectRange("Meds", r); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Marks.CreateFromSelection(spreadsheet.Scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ViewMark(core.Simultaneous, m.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape the default registry the way -serve exposes it.
+	srv := httptest.NewServer(obs.NewDiagMux(obs.ServeConfig{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, family := range []string{"trim_", "mark_", "slim_dmi_", "core_view_"} {
+		if !strings.Contains(text, "\n"+family) && !strings.HasPrefix(text, family) {
+			t.Errorf("/metrics missing the %s family", family)
+		}
+	}
+
+	// Every sample line must satisfy the exposition grammar.
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+]+$`)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("invalid exposition line: %q", line)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package mark
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Diagnostics-server integration: the quarantine-threshold liveness probe
+// and the machine-readable shapes behind markctl doctor -json and the
+// /healthz endpoint (docs/OBSERVABILITY.md).
+
+// QuarantineCheck returns a liveness check that fails once the number of
+// quarantined marks (dangling references) reaches max; max < 1 means any
+// quarantined mark fails the check.
+func (mm *Manager) QuarantineCheck(max int) obs.HealthCheck {
+	if max < 1 {
+		max = 1
+	}
+	return func(context.Context) error {
+		if n := len(mm.Quarantined()); n >= max {
+			return fmt.Errorf("mark: %d mark(s) quarantined (threshold %d)", n, max)
+		}
+		return nil
+	}
+}
+
+// MarshalJSON renders one diagnosis as {"id","address","health","err"}.
+func (mh MarkHealth) MarshalJSON() ([]byte, error) {
+	out := struct {
+		ID      string `json:"id"`
+		Address string `json:"address"`
+		Health  string `json:"health"`
+		Err     string `json:"err,omitempty"`
+	}{ID: mh.Mark.ID, Address: mh.Mark.Address.String(), Health: mh.Health.String()}
+	if mh.Err != nil {
+		out.Err = mh.Err.Error()
+	}
+	return json.Marshal(out)
+}
+
+// MarshalJSON renders the report with lower-case keys and per-mark
+// diagnoses; marks is always an array, never null.
+func (r HealthReport) MarshalJSON() ([]byte, error) {
+	marks := r.Marks
+	if marks == nil {
+		marks = []MarkHealth{}
+	}
+	return json.Marshal(struct {
+		Checked  int          `json:"checked"`
+		Healthy  int          `json:"healthy"`
+		Drifted  int          `json:"drifted"`
+		Degraded int          `json:"degraded"`
+		Dangling int          `json:"dangling"`
+		Marks    []MarkHealth `json:"marks"`
+	}{r.Checked, r.Healthy, r.Drifted, r.Degraded, r.Dangling, marks})
+}
+
+// MarshalJSON renders a quarantine entry with its failure class named.
+func (q QuarantineEntry) MarshalJSON() ([]byte, error) {
+	class := ""
+	if q.Class != nil {
+		class = q.Class.Error()
+	}
+	return json.Marshal(struct {
+		ID         string `json:"id"`
+		Address    string `json:"address"`
+		Class      string `json:"class,omitempty"`
+		Reason     string `json:"reason"`
+		HasExcerpt bool   `json:"has_excerpt"`
+	}{q.ID, q.Address.String(), class, q.Reason, q.HasExcerpt})
+}

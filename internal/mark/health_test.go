@@ -1,0 +1,119 @@
+package mark
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/faultbase"
+)
+
+func TestQuarantineCheck(t *testing.T) {
+	mm, fa, _ := faultManager(t)
+	check := mm.QuarantineCheck(1)
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("healthy manager failed: %v", err)
+	}
+
+	// Drive the mark into quarantine with a permanent transient fault.
+	fa.Fail(faultbase.OpGoTo, nil)
+	marks := mm.Marks()
+	if _, err := mm.ResolveCtx(context.Background(), marks[0].ID); err == nil {
+		t.Fatal("faulted resolve should fail")
+	}
+	if err := check(context.Background()); err == nil {
+		t.Fatal("quarantined mark must trip the threshold-1 check")
+	}
+	// A higher threshold tolerates it.
+	if err := mm.QuarantineCheck(2)(context.Background()); err != nil {
+		t.Fatalf("threshold-2 check tripped early: %v", err)
+	}
+	// max < 1 coerces to 1.
+	if err := mm.QuarantineCheck(0)(context.Background()); err == nil {
+		t.Fatal("threshold-0 must behave like threshold-1")
+	}
+
+	// Recovery clears the quarantine and the check.
+	fa.ClearFault(faultbase.OpGoTo)
+	if _, err := mm.ResolveCtx(context.Background(), marks[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("check still failing after recovery: %v", err)
+	}
+}
+
+func TestHealthReportJSON(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	fa.Fail(faultbase.OpGoTo, nil)
+	if _, err := mm.ResolveCtx(context.Background(), m.ID); err == nil {
+		t.Fatal("faulted resolve should fail")
+	}
+	report := mm.Doctor(context.Background())
+
+	b, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Checked  int `json:"checked"`
+		Dangling int `json:"dangling"`
+		Degraded int `json:"degraded"`
+		Marks    []struct {
+			ID      string `json:"id"`
+			Address string `json:"address"`
+			Health  string `json:"health"`
+		} `json:"marks"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v\n%s", err, b)
+	}
+	if decoded.Checked != 1 || len(decoded.Marks) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Marks[0].ID != m.ID || decoded.Marks[0].Address == "" || decoded.Marks[0].Health == "" {
+		t.Fatalf("mark diagnosis = %+v", decoded.Marks[0])
+	}
+
+	// An empty report still marshals marks as [].
+	empty, err := json.Marshal(HealthReport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(empty, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["marks"]) != "[]" {
+		t.Fatalf("empty report marks = %s, want []", raw["marks"])
+	}
+}
+
+func TestQuarantineEntryJSON(t *testing.T) {
+	mm, fa, m := faultManager(t)
+	fa.Fail(faultbase.OpGoTo, nil)
+	if _, err := mm.ResolveCtx(context.Background(), m.ID); err == nil {
+		t.Fatal("faulted resolve should fail")
+	}
+	q := mm.Quarantined()
+	if len(q) != 1 {
+		t.Fatalf("quarantine = %+v", q)
+	}
+	b, err := json.Marshal(q[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID         string `json:"id"`
+		Address    string `json:"address"`
+		Class      string `json:"class"`
+		Reason     string `json:"reason"`
+		HasExcerpt bool   `json:"has_excerpt"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("entry JSON does not round-trip: %v\n%s", err, b)
+	}
+	if decoded.ID != m.ID || decoded.Class == "" || decoded.Reason == "" {
+		t.Fatalf("decoded = %+v\n%s", decoded, b)
+	}
+}

@@ -21,13 +21,17 @@ func markDispatch(scheme string) {
 	obs.C("mark.dispatch." + scheme).Inc()
 }
 
-// markOpDone records one mark-manager operation: latency always, plus the
-// error counter when err is non-nil.
+// markOpDone records one mark-manager operation: latency always, the
+// error counter when err is non-nil, and a slow-op journal entry when the
+// op exceeded the journal threshold (a stalled base application is the
+// classic slow op in this layer).
 func markOpDone(op, scheme string, start time.Time, err error) {
 	if scheme == "" {
 		scheme = unknownScheme
 	}
-	obs.H("mark." + op + "." + scheme + ".ns").ObserveSince(start)
+	d := time.Since(start)
+	obs.H("mark." + op + "." + scheme + ".ns").Observe(int64(d))
+	obs.DefaultSlowOps.Observe("mark."+op, "scheme="+scheme, start, d, err)
 	if err != nil {
 		obs.C("mark." + op + "." + scheme + ".errors").Inc()
 		obs.Log().Warn("mark op failed", "op", op, "scheme", scheme, "err", err)

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"flag"
+	"fmt"
 	"io"
+	"time"
 )
 
 // CLI bundles the standard observability flags the SLIM binaries share:
@@ -10,27 +12,47 @@ import (
 //	-metrics        print the Default registry (text form) after the run
 //	-trace          dump the DefaultTracer ring buffer after the run
 //	-profile FILE   write a CPU profile of the run to FILE
+//	-serve ADDR     serve live diagnostics (/metrics, /healthz, /debug/*)
+//	-slowops DUR    set the slow-op journal latency threshold
 //
 // Usage: Bind onto the command's FlagSet, Start after parsing, and Finish
 // once the command has run (Finish must run even when the command errors,
-// so the profile file is complete).
+// so the profile file is complete). A -serve server outlives Finish; the
+// binaries' main functions keep the process alive for scraping via
+// ActiveServer + AwaitInterrupt, and tests close it through ActiveServer.
 type CLI struct {
 	Metrics bool
 	Trace   bool
 	Profile string
+	Serve   string
+	SlowOps time.Duration
 
 	stopProfile func() error
+	server      *DiagServer
 }
 
-// Bind registers the three flags on the flag set.
+// Bind registers the observability flags on the flag set.
 func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Metrics, "metrics", false, "print the metrics registry after the run")
 	fs.BoolVar(&c.Trace, "trace", false, "dump the recent-ops trace ring after the run")
 	fs.StringVar(&c.Profile, "profile", "", "write a CPU profile of the run to `file`")
+	fs.StringVar(&c.Serve, "serve", "", "serve live diagnostics on `addr` (e.g. :9090); the process stays up after the command until interrupted")
+	fs.DurationVar(&c.SlowOps, "slowops", 0, "journal instrumented ops slower than `dur` (0 keeps the current threshold)")
 }
 
-// Start begins CPU profiling when -profile was given.
+// Start begins CPU profiling when -profile was given, applies the -slowops
+// threshold, and starts the diagnostics server when -serve was given.
 func (c *CLI) Start() error {
+	if c.SlowOps > 0 {
+		DefaultSlowOps.SetThreshold(c.SlowOps)
+	}
+	if c.Serve != "" {
+		s, err := Serve(c.Serve, ServeConfig{})
+		if err != nil {
+			return err
+		}
+		c.server = s
+	}
 	if c.Profile == "" {
 		return nil
 	}
@@ -42,8 +64,13 @@ func (c *CLI) Start() error {
 	return nil
 }
 
+// Server returns the diagnostics server started by -serve, or nil.
+func (c *CLI) Server() *DiagServer { return c.server }
+
 // Finish stops profiling and writes the requested reports to out. It
 // returns the first error encountered but always attempts every step.
+// The -serve server is left running; callers stop it via its Close (or
+// the binaries' wait-for-interrupt path).
 func (c *CLI) Finish(out io.Writer) error {
 	var first error
 	if c.stopProfile != nil {
@@ -59,6 +86,11 @@ func (c *CLI) Finish(out io.Writer) error {
 	}
 	if c.Trace {
 		if err := DefaultTracer.WriteText(out); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.server != nil {
+		if _, err := fmt.Fprintf(out, "diagnostics: %s\n", c.server.URL()); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pluggable health checks back the diagnostics server's /healthz and
+// /readyz endpoints. Layers register named checks against the two default
+// registries (TRIM registers store-loaded and persistence-writable probes,
+// the Mark Manager a quarantine-threshold probe); the server runs them on
+// every request, so an injected persistence fault or a burst of dangling
+// references flips the endpoint without any polling loop.
+
+// HealthCheck probes one aspect of the process; nil error means healthy.
+// Checks run on every endpoint request and must be fast and side-effect
+// free (beyond cheap probes like a create+remove in a data directory).
+type HealthCheck func(ctx context.Context) error
+
+// HealthResult is one check's outcome.
+type HealthResult struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	// Err is the failure text, empty when OK.
+	Err string `json:"err,omitempty"`
+	// DurNS is how long the check took, in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+}
+
+// HealthRegistry holds named health checks. Registering a name again
+// replaces the previous check, so re-run commands (and tests) converge on
+// the latest store. All methods are safe for concurrent use.
+type HealthRegistry struct {
+	mu     sync.RWMutex
+	checks map[string]HealthCheck
+}
+
+// NewHealthRegistry returns an empty registry.
+func NewHealthRegistry() *HealthRegistry {
+	return &HealthRegistry{checks: make(map[string]HealthCheck)}
+}
+
+// DefaultHealth backs /healthz: liveness — "is the process able to do its
+// job right now" (persistence writable, quarantine below threshold).
+var DefaultHealth = NewHealthRegistry()
+
+// DefaultReady backs /readyz: readiness — "has the process finished
+// loading what it serves" (TRIM store loaded).
+var DefaultReady = NewHealthRegistry()
+
+// Register adds (or replaces) a named check.
+func (h *HealthRegistry) Register(name string, check HealthCheck) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = check
+}
+
+// Unregister removes a named check.
+func (h *HealthRegistry) Unregister(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.checks, name)
+}
+
+// Names lists the registered check names, sorted.
+func (h *HealthRegistry) Names() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.checks))
+	for name := range h.checks {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes every check in name order and returns the results. An
+// empty registry returns an empty (healthy) result set.
+func (h *HealthRegistry) Run(ctx context.Context) []HealthResult {
+	h.mu.RLock()
+	names := make([]string, 0, len(h.checks))
+	checks := make(map[string]HealthCheck, len(h.checks))
+	for name, c := range h.checks {
+		names = append(names, name)
+		checks[name] = c
+	}
+	h.mu.RUnlock()
+	sort.Strings(names)
+
+	out := make([]HealthResult, 0, len(names))
+	for _, name := range names {
+		start := time.Now()
+		err := checks[name](ctx)
+		res := HealthResult{Name: name, OK: err == nil, DurNS: int64(time.Since(start))}
+		if err != nil {
+			res.Err = err.Error()
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// Healthy reports whether every result is OK.
+func Healthy(results []HealthResult) bool {
+	for _, r := range results {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestHealthRegistryRun(t *testing.T) {
+	reg := NewHealthRegistry()
+	if got := reg.Run(context.Background()); len(got) != 0 || !Healthy(got) {
+		t.Fatalf("empty registry: %+v healthy=%v", got, Healthy(got))
+	}
+
+	reg.Register("b.check", func(context.Context) error { return nil })
+	reg.Register("a.check", func(context.Context) error { return errors.New("down") })
+	results := reg.Run(context.Background())
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// Name order, not registration order.
+	if results[0].Name != "a.check" || results[1].Name != "b.check" {
+		t.Fatalf("order: %+v", results)
+	}
+	if results[0].OK || results[0].Err != "down" {
+		t.Fatalf("a.check: %+v", results[0])
+	}
+	if !results[1].OK || results[1].Err != "" {
+		t.Fatalf("b.check: %+v", results[1])
+	}
+	if Healthy(results) {
+		t.Error("one failing check must make the set unhealthy")
+	}
+
+	// Re-registering replaces; fixing the check flips the set healthy.
+	reg.Register("a.check", func(context.Context) error { return nil })
+	if got := reg.Run(context.Background()); !Healthy(got) {
+		t.Fatalf("after replacement: %+v", got)
+	}
+
+	reg.Unregister("a.check")
+	if names := reg.Names(); len(names) != 1 || names[0] != "b.check" {
+		t.Fatalf("Names after Unregister: %v", names)
+	}
+}
+
+func TestHealthRegistryContext(t *testing.T) {
+	reg := NewHealthRegistry()
+	reg.Register("ctx.check", func(ctx context.Context) error { return ctx.Err() })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := reg.Run(ctx)
+	if len(results) != 1 || results[0].OK {
+		t.Fatalf("cancelled context must reach the check: %+v", results)
+	}
+}

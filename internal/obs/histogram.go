@@ -117,17 +117,20 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
-// bucketString renders the nonzero buckets as " le_1000=3 ... inf=1".
+// bucketString renders the buckets cumulatively with explicit upper
+// bounds: every bucket that received observations prints its bound and the
+// cumulative count at that bound, and the line always ends with the total
+// at le_inf — " le_1000=3 le_5000=5 le_inf=7". Cumulative counts are
+// monotone by construction, matching the Prometheus exposition.
 func (s HistogramSnapshot) bucketString() string {
 	var b strings.Builder
+	var cum int64
 	for i, n := range s.Buckets {
-		if n == 0 {
-			continue
-		}
-		if i < len(s.Bounds) {
-			fmt.Fprintf(&b, " le_%d=%d", s.Bounds[i], n)
-		} else {
-			fmt.Fprintf(&b, " inf=%d", n)
+		cum += n
+		if i == len(s.Bounds) {
+			fmt.Fprintf(&b, " le_inf=%d", cum)
+		} else if n != 0 {
+			fmt.Fprintf(&b, " le_%d=%d", s.Bounds[i], cum)
 		}
 	}
 	return b.String()

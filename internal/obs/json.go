@@ -1,0 +1,16 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EncodeJSON writes v as two-space-indented JSON followed by a newline:
+// the one JSON encoder shared by the machine-readable CLI outputs
+// (trimq -json, markctl doctor -json) and the diagnostics endpoints, so
+// every lane emits the same shape for the same value.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

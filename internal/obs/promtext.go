@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the registry: the
+// wire format behind the diagnostics server's /metrics endpoint, so any
+// standard scraper can collect the SLIM stack's live counters and latency
+// histograms without a client library (the package stays stdlib-only).
+//
+// Dotted SLIM metric names map onto the Prometheus charset by replacing
+// every character outside [a-zA-Z0-9_:] with '_': trim.select.ns becomes
+// trim_select_ns. Counters export as counters; histograms export with
+// cumulative le-labelled buckets (ending in le="+Inf"), _sum and _count
+// series, plus a companion <name>_q summary carrying the p50/p95/p99
+// bucket-upper-bound estimates.
+
+// promName maps a dotted metric name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// errWriter latches the first write error so the render loop stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name: counters first, then histograms. Histogram
+// bucket series are cumulative and end with le="+Inf"; _count equals the
+// +Inf bucket by construction. A companion summary <name>_q reports the
+// p50/p95/p99 upper-bound estimates from HistogramSnapshot.Quantile.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	counterNames, counters, histNames, hists := r.snapshot()
+	ew := &errWriter{w: w}
+	for _, name := range counterNames {
+		pn := promName(name)
+		ew.printf("# HELP %s SLIM counter %s\n", pn, name)
+		ew.printf("# TYPE %s counter\n", pn)
+		ew.printf("%s %d\n", pn, counters[name])
+	}
+	for _, name := range histNames {
+		s := hists[name]
+		pn := promName(name)
+		ew.printf("# HELP %s SLIM histogram %s\n", pn, name)
+		ew.printf("# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, bound := range s.Bounds {
+			cum += s.Buckets[i]
+			ew.printf("%s_bucket{le=\"%d\"} %d\n", pn, bound, cum)
+		}
+		cum += s.Buckets[len(s.Buckets)-1]
+		ew.printf("%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		ew.printf("%s_sum %d\n", pn, s.Sum)
+		// _count uses the cumulative bucket total, not the count atomic, so
+		// the exposition is internally consistent even when a concurrent
+		// Observe lands between the two loads.
+		ew.printf("%s_count %d\n", pn, cum)
+
+		ew.printf("# HELP %s_q SLIM histogram %s quantile upper-bound estimates\n", pn, name)
+		ew.printf("# TYPE %s_q summary\n", pn)
+		for _, q := range [...]float64{0.5, 0.95, 0.99} {
+			ew.printf("%s_q{quantile=\"%g\"} %d\n", pn, q, s.Quantile(q))
+		}
+		ew.printf("%s_q_sum %d\n", pn, s.Sum)
+		ew.printf("%s_q_count %d\n", pn, cum)
+	}
+	return ew.err
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"trim.create.total":    "trim_create_total",
+		"mark.resolve.xml.ns":  "mark_resolve_xml_ns",
+		"already_fine":         "already_fine",
+		"with:colon":           "with:colon",
+		"9starts.with.digit":   "_9starts_with_digit",
+		"dash-and space":       "dash_and_space",
+		"slim.dmi.triples/op!": "slim_dmi_triples_op_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// metricNameRe is the Prometheus metric-name charset.
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// TestWritePrometheusValid is the golden-structure test: every rendered
+// line must be a HELP line, a TYPE line, or a sample whose metric name
+// matches the Prometheus charset, and every histogram's bucket series
+// must be cumulative (monotone) and end at le="+Inf" with _count equal.
+func TestWritePrometheusValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trim.create.total").Add(42)
+	r.Counter("mark.dispatch.xml").Inc()
+	h := r.Histogram("trim.select.ns", LatencyBounds)
+	for _, v := range []int64{500, 800, 7_000, 40_000, 2_000_000_000} {
+		h.Observe(v)
+	}
+	r.Histogram("empty.hist.ns", LatencyBounds) // zero observations
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+)$`)
+	helpOrType := regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$`)
+	var sawCounterSample, sawBucket bool
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !helpOrType.MatchString(line) {
+				t.Fatalf("bad comment line: %q", line)
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		if !metricNameRe.MatchString(m[1]) {
+			t.Fatalf("bad metric name %q in line %q", m[1], line)
+		}
+		if m[1] == "trim_create_total" {
+			sawCounterSample = true
+			if m[3] != "42" {
+				t.Errorf("trim_create_total = %s, want 42", m[3])
+			}
+		}
+		if strings.HasSuffix(m[1], "_bucket") {
+			sawBucket = true
+		}
+	}
+	if !sawCounterSample || !sawBucket {
+		t.Fatalf("missing counter sample (%v) or bucket series (%v):\n%s", sawCounterSample, sawBucket, text)
+	}
+
+	for _, want := range []string{
+		"# TYPE trim_create_total counter",
+		"# TYPE trim_select_ns histogram",
+		"# HELP trim_select_ns SLIM histogram trim.select.ns",
+		"# TYPE trim_select_ns_q summary",
+		`trim_select_ns_q{quantile="0.5"}`,
+		`trim_select_ns_q{quantile="0.95"}`,
+		`trim_select_ns_q{quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestWritePrometheusCumulativeBuckets checks the bucket math directly.
+func TestWritePrometheusCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.h", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 50, 500, 5000, 50000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	bucketRe := regexp.MustCompile(`test_h_bucket\{le="([^"]+)"\} (\d+)`)
+	matches := bucketRe.FindAllStringSubmatch(text, -1)
+	if len(matches) != 4 {
+		t.Fatalf("want 4 bucket series (3 bounds + +Inf), got %d:\n%s", len(matches), text)
+	}
+	prev := int64(-1)
+	for _, m := range matches {
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Fatalf("buckets not monotone at le=%s: %d < %d\n%s", m[1], n, prev, text)
+		}
+		prev = n
+	}
+	if matches[len(matches)-1][1] != "+Inf" {
+		t.Fatalf("last bucket le=%q, want +Inf", matches[len(matches)-1][1])
+	}
+	if got := matches[len(matches)-1][2]; got != "5" {
+		t.Fatalf("+Inf bucket = %s, want 5", got)
+	}
+	if !strings.Contains(text, "test_h_count 5") {
+		t.Fatalf("missing test_h_count 5:\n%s", text)
+	}
+	if !strings.Contains(text, "test_h_sum 55555") {
+		t.Fatalf("missing test_h_sum 55555:\n%s", text)
+	}
+	// Expected cumulative counts at the finite bounds: 1, 2, 3.
+	for i, want := range []string{"1", "2", "3"} {
+		if matches[i][2] != want {
+			t.Fatalf("bucket %d (le=%s) = %s, want %s", i, matches[i][1], matches[i][2], want)
+		}
+	}
+}
+
+// TestWriteTextQuantilesAndBounds covers the fixed text export: count/sum,
+// p50/p95/p99, and explicit cumulative bounds ending at le_inf.
+func TestWriteTextQuantilesAndBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.text", []int64{10, 100})
+	for _, v := range []int64{5, 6, 50, 5000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"count=4", "sum=5061",
+		"p50=10", "p95=100", "p99=100",
+		"le_10=2", "le_100=3", "le_inf=4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text export missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -143,8 +143,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	for _, name := range histNames {
 		s := hists[name]
-		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%d mean=%.1f%s\n",
-			name, s.Count, s.Sum, s.Mean(), s.bucketString()); err != nil {
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%d mean=%.1f p50=%d p95=%d p99=%d%s\n",
+			name, s.Count, s.Sum, s.Mean(),
+			s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99),
+			s.bucketString()); err != nil {
 			return err
 		}
 	}

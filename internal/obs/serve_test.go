@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// diagConfig builds a fully non-default ServeConfig so endpoint tests
+// never touch the process-wide registries shared with other tests.
+func diagConfig() (ServeConfig, *Registry, *HealthRegistry, *HealthRegistry) {
+	reg := NewRegistry()
+	health := NewHealthRegistry()
+	ready := NewHealthRegistry()
+	cfg := ServeConfig{
+		Registry: reg,
+		Tracer:   NewTracer(8),
+		SlowOps:  NewSlowOpJournal(8, time.Millisecond),
+		Health:   health,
+		Ready:    ready,
+	}
+	return cfg, reg, health, ready
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDiagMuxMetrics(t *testing.T) {
+	cfg, reg, _, _ := diagConfig()
+	reg.Counter("trim.create.total").Add(7)
+	reg.Histogram("trim.select.ns", LatencyBounds).Observe(1500)
+	srv := httptest.NewServer(NewDiagMux(cfg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"trim_create_total 7",
+		"# TYPE trim_select_ns histogram",
+		`trim_select_ns_bucket{le="+Inf"} 1`,
+		"trim_select_ns_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+}
+
+func TestDiagMuxHealth(t *testing.T) {
+	cfg, _, health, ready := diagConfig()
+	health.Register("store.writable", func(context.Context) error { return nil })
+	ready.Register("store.loaded", func(context.Context) error { return errors.New("store is empty") })
+	srv := httptest.NewServer(NewDiagMux(cfg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "ok   store.writable") {
+		t.Errorf("/healthz body:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz status %d, want 503:\n%s", code, body)
+	}
+	if !strings.Contains(body, "fail store.loaded: store is empty") {
+		t.Errorf("/readyz body:\n%s", body)
+	}
+
+	// The check set is live: loading the store flips readiness.
+	ready.Register("store.loaded", func(context.Context) error { return nil })
+	if code, _ = get(t, srv, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after fix: status %d", code)
+	}
+}
+
+func TestDiagMuxDebugEndpoints(t *testing.T) {
+	cfg, _, _, _ := diagConfig()
+	span := cfg.Tracer.Start("test.op", "detail")
+	span.Finish()
+	cfg.SlowOps.Observe("slow.op", "why", time.Now(), 5*time.Millisecond, nil)
+	srv := httptest.NewServer(NewDiagMux(cfg))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	var trace struct {
+		Ops []OpRecord `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v\n%s", err, body)
+	}
+	if len(trace.Ops) != 1 || trace.Ops[0].Op != "test.op" {
+		t.Fatalf("/debug/trace ops: %+v", trace.Ops)
+	}
+
+	code, body = get(t, srv, "/debug/slowops")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slowops status %d", code)
+	}
+	var slow struct {
+		Ops []SlowOp `json:"ops"`
+	}
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatalf("/debug/slowops not JSON: %v\n%s", err, body)
+	}
+	if len(slow.Ops) != 1 || slow.Ops[0].Op != "slow.op" {
+		t.Fatalf("/debug/slowops ops: %+v", slow.Ops)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get(t, srv, "/debug/vars"); code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+
+	code, body = get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "SLIM diagnostics") {
+		t.Fatalf("index: status %d body:\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/no/such/page"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d, want 404", code)
+	}
+}
+
+// TestServeSingleton covers the -serve lifecycle: the active-server slot,
+// the second-server error, and slot release on Close.
+func TestServeSingleton(t *testing.T) {
+	if ActiveServer() != nil {
+		t.Fatal("active server leaked from another test")
+	}
+	cfg, reg, _, _ := diagConfig()
+	reg.Counter("core.test.total").Inc()
+	s, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if ActiveServer() != s {
+		t.Fatal("Serve did not register the active server")
+	}
+	if _, err := Serve("127.0.0.1:0", cfg); err == nil {
+		t.Fatal("second Serve must fail while one is active")
+	}
+
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "core_test_total 1") {
+		t.Fatalf("scrape:\n%s", body)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ActiveServer() != nil {
+		t.Fatal("Close did not release the active-server slot")
+	}
+	s2, err := Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("Serve after Close: %v", err)
+	}
+	s2.Close()
+}

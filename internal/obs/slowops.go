@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The slow-op journal is the second half of the flight recorder: where the
+// tracer keeps the last N ops regardless of cost, the journal keeps only
+// the ops that exceeded a latency threshold — the ones worth reading when
+// a production pad "feels slow". Instrumented operations across the stack
+// (TRIM queries, mark resolution, DMI manipulations via their spans) feed
+// it; the diagnostics server dumps it at /debug/slowops.
+
+// SlowOp is one journal entry: a finished operation that met or exceeded
+// the journal's latency threshold.
+type SlowOp struct {
+	// Seq numbers recorded slow ops from 1; gaps mean the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// Op names the operation ("trim.select", "dmi.create", ...).
+	Op string `json:"op"`
+	// Detail is the op's argument summary — for TRIM queries, the EXPLAIN
+	// line, so the journal answers "which query was slow and why".
+	Detail string    `json:"detail,omitempty"`
+	Start  time.Time `json:"start"`
+	// DurNS is the operation's wall time in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Err is the error text for failed ops, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// SlowOpJournal retains the last capacity operations slower than a
+// configurable threshold. All methods are safe for concurrent use and
+// nil-safe. A threshold of zero (or below) disables recording, so the
+// per-op cost at call sites is one atomic load.
+type SlowOpJournal struct {
+	thresholdNS atomic.Int64
+	mu          sync.Mutex
+	ring        []SlowOp
+	seq         uint64
+}
+
+// DefaultSlowOpThreshold is the journal threshold binaries start with:
+// high enough that index-served TRIM queries (~µs) never land in the
+// journal, low enough to catch a full-store scan or a stalled base app.
+const DefaultSlowOpThreshold = 10 * time.Millisecond
+
+// NewSlowOpJournal returns a journal retaining the last capacity slow ops
+// (minimum 1) with the given threshold.
+func NewSlowOpJournal(capacity int, threshold time.Duration) *SlowOpJournal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	j := &SlowOpJournal{ring: make([]SlowOp, capacity)}
+	j.thresholdNS.Store(int64(threshold))
+	return j
+}
+
+// DefaultSlowOps is the process-wide journal every instrumented layer
+// records into.
+var DefaultSlowOps = NewSlowOpJournal(256, DefaultSlowOpThreshold)
+
+// mSlowRecorded counts journal entries; it lives in the same registry it
+// observes, so scrapes reveal how often the threshold trips.
+var mSlowRecorded = C("obs.slowops.recorded")
+
+// SetThreshold replaces the latency threshold; zero or negative disables
+// recording.
+func (j *SlowOpJournal) SetThreshold(d time.Duration) {
+	if j != nil {
+		j.thresholdNS.Store(int64(d))
+	}
+}
+
+// Threshold returns the current latency threshold.
+func (j *SlowOpJournal) Threshold() time.Duration {
+	if j == nil {
+		return 0
+	}
+	return time.Duration(j.thresholdNS.Load())
+}
+
+// Slow reports whether a duration would be journaled. Call sites with
+// expensive detail strings check it first and build the detail only on the
+// slow path.
+func (j *SlowOpJournal) Slow(d time.Duration) bool {
+	if j == nil {
+		return false
+	}
+	t := j.thresholdNS.Load()
+	return t > 0 && int64(d) >= t
+}
+
+// Observe records the operation when its duration meets the threshold.
+func (j *SlowOpJournal) Observe(op, detail string, start time.Time, d time.Duration, err error) {
+	if !j.Slow(d) {
+		return
+	}
+	rec := SlowOp{Op: op, Detail: detail, Start: start, DurNS: int64(d)}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	j.mu.Lock()
+	j.seq++
+	rec.Seq = j.seq
+	j.ring[(j.seq-1)%uint64(len(j.ring))] = rec
+	j.mu.Unlock()
+	mSlowRecorded.Inc()
+}
+
+// Recent returns the retained slow ops oldest-first.
+func (j *SlowOpJournal) Recent() []SlowOp {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := j.seq
+	capacity := uint64(len(j.ring))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]SlowOp, 0, n)
+	for i := j.seq - n; i < j.seq; i++ {
+		out = append(out, j.ring[i%capacity])
+	}
+	return out
+}
+
+// Reset discards all retained ops and restarts the sequence, keeping the
+// threshold.
+func (j *SlowOpJournal) Reset() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := range j.ring {
+		j.ring[i] = SlowOp{}
+	}
+	j.seq = 0
+}
+
+// slowOpsJSON is the exported JSON shape of the journal.
+type slowOpsJSON struct {
+	ThresholdNS int64    `json:"threshold_ns"`
+	Ops         []SlowOp `json:"ops"`
+}
+
+// MarshalJSON exports the journal as {"threshold_ns":...,"ops":[...]}
+// oldest-first; ops is always an array, never null.
+func (j *SlowOpJournal) MarshalJSON() ([]byte, error) {
+	ops := j.Recent()
+	if ops == nil {
+		ops = []SlowOp{}
+	}
+	return json.Marshal(slowOpsJSON{ThresholdNS: int64(j.Threshold()), Ops: ops})
+}
+
+// WriteText dumps the journal oldest-first, one op per line.
+func (j *SlowOpJournal) WriteText(w io.Writer) error {
+	recs := j.Recent()
+	if _, err := fmt.Fprintf(w, "== slow ops (%d, threshold %s) ==\n",
+		len(recs), j.Threshold()); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		suffix := ""
+		if r.Err != "" {
+			suffix = " err=" + r.Err
+		}
+		if _, err := fmt.Fprintf(w, "#%d %s %s %s%s\n",
+			r.Seq, r.Op, r.Detail, time.Duration(r.DurNS).Round(time.Microsecond), suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}

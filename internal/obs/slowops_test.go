@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowOpJournalThreshold(t *testing.T) {
+	j := NewSlowOpJournal(8, 10*time.Millisecond)
+	if got := j.Threshold(); got != 10*time.Millisecond {
+		t.Fatalf("Threshold = %s, want 10ms", got)
+	}
+	if j.Slow(time.Millisecond) {
+		t.Error("1ms should not be slow at a 10ms threshold")
+	}
+	if !j.Slow(10 * time.Millisecond) {
+		t.Error("threshold is inclusive: 10ms should be slow")
+	}
+	start := time.Unix(100, 0)
+	j.Observe("fast.op", "", start, time.Millisecond, nil)
+	if got := j.Recent(); len(got) != 0 {
+		t.Fatalf("fast op journaled: %+v", got)
+	}
+	j.Observe("slow.op", "detail", start, 25*time.Millisecond, nil)
+	got := j.Recent()
+	if len(got) != 1 || got[0].Op != "slow.op" || got[0].DurNS != int64(25*time.Millisecond) {
+		t.Fatalf("Recent = %+v", got)
+	}
+	if got[0].Seq != 1 {
+		t.Fatalf("first seq = %d, want 1", got[0].Seq)
+	}
+
+	// Zero threshold disables recording entirely.
+	j.SetThreshold(0)
+	if j.Slow(time.Hour) {
+		t.Error("zero threshold must disable Slow")
+	}
+	j.Observe("slow.op", "", start, time.Hour, nil)
+	if got := j.Recent(); len(got) != 1 {
+		t.Fatalf("disabled journal recorded: %+v", got)
+	}
+}
+
+func TestSlowOpJournalRingWrap(t *testing.T) {
+	j := NewSlowOpJournal(3, time.Millisecond)
+	start := time.Unix(100, 0)
+	for i := 0; i < 5; i++ {
+		j.Observe("op", "", start, time.Duration(i+2)*time.Millisecond, nil)
+	}
+	got := j.Recent()
+	if len(got) != 3 {
+		t.Fatalf("ring of 3 holds %d", len(got))
+	}
+	// Oldest-first: seqs 3, 4, 5 survive.
+	for i, wantSeq := range []uint64{3, 4, 5} {
+		if got[i].Seq != wantSeq {
+			t.Fatalf("Recent[%d].Seq = %d, want %d (%+v)", i, got[i].Seq, wantSeq, got)
+		}
+	}
+	j.Reset()
+	if got := j.Recent(); len(got) != 0 {
+		t.Fatalf("Reset left %+v", got)
+	}
+	j.Observe("op", "", start, 5*time.Millisecond, nil)
+	if got := j.Recent(); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("post-Reset seq restart: %+v", got)
+	}
+}
+
+func TestSlowOpJournalNilSafe(t *testing.T) {
+	var j *SlowOpJournal
+	j.SetThreshold(time.Second)
+	if j.Threshold() != 0 || j.Slow(time.Hour) {
+		t.Error("nil journal must report zero threshold and never slow")
+	}
+	j.Observe("op", "", time.Now(), time.Hour, nil)
+	if got := j.Recent(); got != nil {
+		t.Errorf("nil journal Recent = %v", got)
+	}
+	j.Reset()
+}
+
+func TestSlowOpJournalJSON(t *testing.T) {
+	j := NewSlowOpJournal(4, time.Millisecond)
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"ops": []`) && !strings.Contains(string(b), `"ops":[]`) {
+		t.Fatalf("empty journal ops must be [], got %s", b)
+	}
+	j.Observe("trim.select", "op=select index=subject", time.Unix(100, 0), 5*time.Millisecond, errors.New("boom"))
+	b, err = json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ThresholdNS int64    `json:"threshold_ns"`
+		Ops         []SlowOp `json:"ops"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("journal JSON does not round-trip: %v\n%s", err, b)
+	}
+	if decoded.ThresholdNS != int64(time.Millisecond) {
+		t.Errorf("threshold_ns = %d", decoded.ThresholdNS)
+	}
+	if len(decoded.Ops) != 1 || decoded.Ops[0].Op != "trim.select" || decoded.Ops[0].Err != "boom" {
+		t.Errorf("ops = %+v", decoded.Ops)
+	}
+
+	var sb strings.Builder
+	if err := j.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slow ops (1, threshold 1ms)", "#1 trim.select", "err=boom"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("WriteText missing %q:\n%s", want, sb.String())
+		}
+	}
+}

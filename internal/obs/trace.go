@@ -11,17 +11,17 @@ import (
 // OpRecord is one finished operation in the tracer's ring buffer.
 type OpRecord struct {
 	// Seq numbers finished ops from 1; gaps in a dump mean the ring wrapped.
-	Seq uint64
+	Seq uint64 `json:"seq"`
 	// Op names the operation ("dmi.create", "core.view", ...).
-	Op string
+	Op string `json:"op"`
 	// Detail is a free-form argument summary (construct id, mark id, ...).
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// Depth is the span's nesting depth (0 for roots).
-	Depth int
-	Start time.Time
-	Dur   time.Duration
+	Depth int           `json:"depth"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
 	// Err is the error text for failed ops, empty on success.
-	Err string
+	Err string `json:"err,omitempty"`
 }
 
 // Tracer keeps the last capacity finished spans in a ring buffer: a cheap,
@@ -94,6 +94,8 @@ func (s *Span) Child(op, detail string) *Span {
 func (s *Span) Finish() { s.FinishErr(nil) }
 
 // FinishErr records the span, tagging it with the error when non-nil.
+// Spans that exceeded the slow-op threshold also land in DefaultSlowOps,
+// so every traced layer feeds the journal for free.
 func (s *Span) FinishErr(err error) {
 	if s == nil {
 		return
@@ -109,6 +111,7 @@ func (s *Span) FinishErr(err error) {
 		rec.Err = err.Error()
 	}
 	s.tr.record(rec)
+	DefaultSlowOps.Observe(s.op, s.detail, s.start, rec.Dur, err)
 }
 
 func (tr *Tracer) record(rec OpRecord) {

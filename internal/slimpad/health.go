@@ -1,0 +1,27 @@
+package slimpad
+
+import (
+	"repro/internal/obs"
+	"repro/internal/trim"
+)
+
+// RegisterHealth wires the pad's health probes into the diagnostics
+// server's registries (docs/OBSERVABILITY.md): readiness means the pad
+// store has loaded triples; liveness means persistence at padPath is
+// writable and the dangling-reference quarantine is below maxQuarantined
+// (< 1 means any quarantined mark fails). An empty padPath skips the
+// writable probe (nothing to persist yet). Nil registries fall back to
+// the process-wide defaults.
+func (a *App) RegisterHealth(health, ready *obs.HealthRegistry, padPath string, maxQuarantined int) {
+	if health == nil {
+		health = obs.DefaultHealth
+	}
+	if ready == nil {
+		ready = obs.DefaultReady
+	}
+	ready.Register("slimpad.store", a.dmi.Store().Trim().LoadedCheck())
+	if padPath != "" {
+		health.Register("slimpad.persist", trim.WritableCheck(padPath))
+	}
+	health.Register("slimpad.quarantine", a.marks.QuarantineCheck(maxQuarantined))
+}

@@ -1,0 +1,201 @@
+package trim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// Query EXPLAIN makes the §6 "cost of interpreting manipulations" claim
+// measurable per query instead of only in aggregate: every read path
+// (selection, reachability view, predicate path) can report which index
+// the planner chose, how many candidate triples it scanned, how many
+// matched, and how long the walk took. Explains of queries that exceed
+// the slow-op threshold land in obs.DefaultSlowOps with the full EXPLAIN
+// line as their detail, so /debug/slowops answers "which query was slow
+// and why" on a live store.
+
+// Explain describes how one TRIM query executed.
+type Explain struct {
+	// Op is the query kind: "select", "view", or "path".
+	Op string `json:"op"`
+	// Query renders the query arguments (pattern, root, or path).
+	Query string `json:"query"`
+	// Index is the planner's choice: "subject", "predicate", "object", or
+	// "scan" (no position bound — full store scan). Views and paths always
+	// walk the subject (or object, for inverse paths) index.
+	Index string `json:"index"`
+	// Candidates is the number of triples examined: the chosen index
+	// bucket's size for an indexed select, the store size for a scan, or
+	// the edges touched during a view/path walk.
+	Candidates int `json:"candidates"`
+	// Matched is the result size: triples for select/view, terms for path.
+	Matched int `json:"matched"`
+	// Observers is the number of registered observers — the notification
+	// fan-out every mutation to the scanned region would incur.
+	Observers int `json:"observers"`
+	// StoreSize and Generation snapshot the store the query ran against.
+	StoreSize  int    `json:"store_size"`
+	Generation uint64 `json:"generation"`
+	// WallNS is the query's wall time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Wall returns the query's wall time.
+func (e Explain) Wall() time.Duration { return time.Duration(e.WallNS) }
+
+// String renders the explain as one line of key=value fields.
+func (e Explain) String() string {
+	return fmt.Sprintf("op=%s query=%q index=%s candidates=%d matched=%d observers=%d store=%d generation=%d wall=%s",
+		e.Op, e.Query, e.Index, e.Candidates, e.Matched, e.Observers,
+		e.StoreSize, e.Generation, e.Wall().Round(time.Microsecond))
+}
+
+// String names the planner's index choice for EXPLAIN output.
+func (c indexChoice) String() string {
+	switch c {
+	case indexSubject:
+		return "subject"
+	case indexPredicate:
+		return "predicate"
+	case indexObject:
+		return "object"
+	default:
+		return "scan"
+	}
+}
+
+// journal feeds the slow-op journal; the EXPLAIN line is built only when
+// the query actually exceeded the threshold, keeping fast queries free of
+// the formatting cost.
+func (e Explain) journal(start time.Time) {
+	if obs.DefaultSlowOps.Slow(e.Wall()) {
+		obs.DefaultSlowOps.Observe("trim."+e.Op, e.String(), start, e.Wall(), nil)
+	}
+}
+
+// selectExplainLocked is the single implementation behind Select and
+// SelectExplain: it runs the planner, scans, and fills every Explain
+// field except Query and WallNS (the caller owns those).
+func (m *Manager) selectExplainLocked(p rdf.Pattern) ([]rdf.Triple, Explain) {
+	bucket, choice := m.chooseIndexLocked(p)
+	choice.count()
+	e := Explain{
+		Op:         "select",
+		Index:      choice.String(),
+		Observers:  len(m.observers),
+		StoreSize:  m.graph.Len(),
+		Generation: m.generation,
+	}
+	if choice == indexNone {
+		e.Candidates = m.graph.Len()
+		out := m.graph.Select(p)
+		e.Matched = len(out)
+		return out, e
+	}
+	e.Candidates = len(bucket)
+	var out []rdf.Triple
+	for t := range bucket {
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	rdf.SortTriples(out)
+	e.Matched = len(out)
+	return out, e
+}
+
+// SelectExplain is Select plus an execution report. It records the same
+// metrics as Select and journals slow queries with their EXPLAIN line.
+func (m *Manager) SelectExplain(p rdf.Pattern) ([]rdf.Triple, Explain) {
+	start := time.Now()
+	m.mu.RLock()
+	out, e := m.selectExplainLocked(p)
+	m.mu.RUnlock()
+	e.Query = p.String()
+	e.WallNS = int64(time.Since(start))
+	mSelectNS.Observe(e.WallNS)
+	mSelectTotal.Inc()
+	e.journal(start)
+	return out, e
+}
+
+// ViewExplain is View plus an execution report: Candidates counts the
+// edges examined during the reachability walk, Matched the triples in the
+// resulting view.
+func (m *Manager) ViewExplain(root rdf.Term) (*rdf.Graph, Explain) {
+	start := time.Now()
+	m.mu.RLock()
+	out, e := m.viewExplainLocked(root, nil)
+	m.mu.RUnlock()
+	e.Query = root.String()
+	e.WallNS = int64(time.Since(start))
+	mViewNS.Observe(e.WallNS)
+	mViewTotal.Inc()
+	e.journal(start)
+	return out, e
+}
+
+// PathExplain is Path plus an execution report: Candidates counts the
+// edges examined across every hop, Matched the terms reached at the end.
+func (m *Manager) PathExplain(start []rdf.Term, predicates ...rdf.Term) ([]rdf.Term, Explain) {
+	began := time.Now()
+	m.mu.RLock()
+	out, e := m.pathExplainLocked(start, predicates)
+	m.mu.RUnlock()
+	e.WallNS = int64(time.Since(began))
+	e.journal(began)
+	return out, e
+}
+
+func (m *Manager) pathExplainLocked(start []rdf.Term, predicates []rdf.Term) ([]rdf.Term, Explain) {
+	e := Explain{
+		Op:         "path",
+		Index:      indexSubject.String(),
+		Observers:  len(m.observers),
+		StoreSize:  m.graph.Len(),
+		Generation: m.generation,
+	}
+	var q string
+	for _, s := range start {
+		q += s.String() + " "
+	}
+	for i, p := range predicates {
+		if i > 0 {
+			q += "/"
+		}
+		q += p.String()
+	}
+	e.Query = q
+
+	frontier := make(map[rdf.Term]struct{}, len(start))
+	for _, s := range start {
+		if s.IsResource() {
+			frontier[s] = struct{}{}
+		}
+	}
+	for _, pred := range predicates {
+		next := make(map[rdf.Term]struct{})
+		for node := range frontier {
+			for t := range m.bySubject[node] {
+				e.Candidates++
+				if t.Predicate == pred {
+					next[t.Object] = struct{}{}
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	out := make([]rdf.Term, 0, len(frontier))
+	for t := range frontier {
+		out = append(out, t)
+	}
+	sortTerms(out)
+	e.Matched = len(out)
+	return out, e
+}

@@ -1,0 +1,49 @@
+package trim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Health probes for the diagnostics server (docs/OBSERVABILITY.md): the
+// binaries register these against obs.DefaultReady and obs.DefaultHealth
+// so /readyz reflects whether the store has loaded and /healthz whether
+// persistence would currently succeed.
+
+// LoadedCheck returns a readiness check that passes once the store holds
+// at least one triple — "TRIM store loaded".
+func (m *Manager) LoadedCheck() obs.HealthCheck {
+	return func(context.Context) error {
+		if m.Len() == 0 {
+			return errors.New("trim: store is empty (not loaded)")
+		}
+		return nil
+	}
+}
+
+// WritableCheck returns a liveness check probing whether a SaveFile to
+// path would currently succeed: it runs the same injectable fault hook as
+// the save path (so a staged persistence fault flips /healthz exactly
+// like it would fail the next save) and then creates and removes a probe
+// file in the store's directory.
+func WritableCheck(path string) obs.HealthCheck {
+	return func(context.Context) error {
+		if err := faultAt(StageTempWrite, path); err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		f, err := os.CreateTemp(dir, ".trim-health-*")
+		if err != nil {
+			return fmt.Errorf("trim: persistence not writable at %s: %w", dir, err)
+		}
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+		return nil
+	}
+}

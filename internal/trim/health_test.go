@@ -1,0 +1,62 @@
+package trim
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadedCheck(t *testing.T) {
+	m := NewManager()
+	check := m.LoadedCheck()
+	if err := check(context.Background()); err == nil {
+		t.Fatal("empty store must fail the readiness check")
+	}
+	if _, err := m.Create(tr("s", "p", "o")); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("loaded store failed: %v", err)
+	}
+}
+
+func TestWritableCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.xml")
+	check := WritableCheck(path)
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("writable dir failed: %v", err)
+	}
+	if err := WritableCheck(filepath.Join(t.TempDir(), "missing", "store.xml"))(context.Background()); err == nil {
+		t.Fatal("missing directory must fail the check")
+	} else if !strings.Contains(err.Error(), "not writable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestWritableCheckSeesPersistFault is the /healthz acceptance path: an
+// injected persistence fault must flip the liveness check, because the
+// check runs the same fault hook as SaveFile's temp-write stage.
+func TestWritableCheckSeesPersistFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.xml")
+	check := WritableCheck(path)
+
+	prev := SetPersistFault(func(stage PersistStage, _ string) error {
+		if stage == StageTempWrite {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	})
+	defer SetPersistFault(prev)
+
+	err := check(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "injected: disk full") {
+		t.Fatalf("fault not surfaced: %v", err)
+	}
+
+	SetPersistFault(prev)
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("check still failing after fault cleared: %v", err)
+	}
+}

@@ -9,26 +9,26 @@ import (
 // Stats summarizes the contents of the store, used by cmd/trimq and the
 // space-overhead experiments (T1/T3 in DESIGN.md).
 type Stats struct {
-	Triples            int
-	DistinctSubjects   int
-	DistinctPredicates int
-	DistinctObjects    int
-	LiteralObjects     int
-	ResourceObjects    int
+	Triples            int `json:"triples"`
+	DistinctSubjects   int `json:"distinct_subjects"`
+	DistinctPredicates int `json:"distinct_predicates"`
+	DistinctObjects    int `json:"distinct_objects"`
+	LiteralObjects     int `json:"literal_objects"`
+	ResourceObjects    int `json:"resource_objects"`
 	// ApproxBytes estimates the in-memory footprint of the term text: the
 	// sum of the lengths of all term values and datatypes. Index overhead
 	// is excluded; the figure is used as a portable proxy for the paper's
 	// "space efficiency" trade-off discussion (§6).
-	ApproxBytes int
+	ApproxBytes int `json:"approx_bytes"`
 	// IndexSPO/IndexPOS/IndexOSP are the total entry counts of the
 	// subject-, predicate-, and object-keyed hash indexes (each entry is
 	// one triple in one bucket), matching what the trim.index.* metrics
 	// expose. In a consistent store each equals Triples.
-	IndexSPO int
-	IndexPOS int
-	IndexOSP int
+	IndexSPO int `json:"index_spo"`
+	IndexPOS int `json:"index_pos"`
+	IndexOSP int `json:"index_osp"`
 	// Generation is the store's mutation counter at the time of the call.
-	Generation uint64
+	Generation uint64 `json:"generation"`
 }
 
 // Stats computes current statistics in one pass under a read lock.

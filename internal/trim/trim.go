@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -150,26 +151,22 @@ func (m *Manager) Generation() uint64 {
 func (m *Manager) Select(p rdf.Pattern) []rdf.Triple {
 	start := time.Now()
 	m.mu.RLock()
-	out := m.selectLocked(p)
+	out, e := m.selectExplainLocked(p)
 	m.mu.RUnlock()
-	mSelectNS.ObserveSince(start)
+	d := time.Since(start)
+	mSelectNS.Observe(int64(d))
 	mSelectTotal.Inc()
+	if obs.DefaultSlowOps.Slow(d) {
+		e.Query = p.String()
+		e.WallNS = int64(d)
+		e.journal(start)
+	}
 	return out
 }
 
+// selectLocked runs a selection under a held lock, discarding the explain.
 func (m *Manager) selectLocked(p rdf.Pattern) []rdf.Triple {
-	bucket, choice := m.chooseIndexLocked(p)
-	choice.count()
-	if choice == indexNone {
-		return m.graph.Select(p)
-	}
-	var out []rdf.Triple
-	for t := range bucket {
-		if p.Matches(t) {
-			out = append(out, t)
-		}
-	}
-	rdf.SortTriples(out)
+	out, _ := m.selectExplainLocked(p)
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -24,14 +25,33 @@ func (m *Manager) View(root rdf.Term) *rdf.Graph {
 // shared between scraps) from a containment view.
 func (m *Manager) ViewFiltered(root rdf.Term, filter func(rdf.Triple) bool) *rdf.Graph {
 	start := time.Now()
-	defer mViewNS.ObserveSince(start)
-	mViewTotal.Inc()
 	m.mu.RLock()
-	defer m.mu.RUnlock()
+	out, e := m.viewExplainLocked(root, filter)
+	m.mu.RUnlock()
+	d := time.Since(start)
+	mViewNS.Observe(int64(d))
+	mViewTotal.Inc()
+	if obs.DefaultSlowOps.Slow(d) {
+		e.Query = root.String()
+		e.WallNS = int64(d)
+		e.journal(start)
+	}
+	return out
+}
 
+// viewExplainLocked is the reachability walk behind View, ViewFiltered,
+// and ViewExplain; Candidates counts every edge examined.
+func (m *Manager) viewExplainLocked(root rdf.Term, filter func(rdf.Triple) bool) (*rdf.Graph, Explain) {
+	e := Explain{
+		Op:         "view",
+		Index:      indexSubject.String(),
+		Observers:  len(m.observers),
+		StoreSize:  m.graph.Len(),
+		Generation: m.generation,
+	}
 	out := rdf.NewGraph()
 	if !root.IsResource() {
-		return out
+		return out, e
 	}
 	visited := map[rdf.Term]struct{}{root: {}}
 	frontier := []rdf.Term{root}
@@ -39,6 +59,7 @@ func (m *Manager) ViewFiltered(root rdf.Term, filter func(rdf.Triple) bool) *rdf
 		node := frontier[0]
 		frontier = frontier[1:]
 		for t := range m.bySubject[node] {
+			e.Candidates++
 			if filter != nil && !filter(t) {
 				continue
 			}
@@ -58,7 +79,8 @@ func (m *Manager) ViewFiltered(root rdf.Term, filter func(rdf.Triple) bool) *rdf
 			frontier = append(frontier, obj)
 		}
 	}
-	return out
+	e.Matched = out.Len()
+	return out, e
 }
 
 // Reachable returns the set of resources reachable from root (including

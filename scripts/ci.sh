@@ -8,3 +8,8 @@ go vet ./...
 go build ./...
 go test -race ./...
 SLIM_FAULT_SWEEP=1 go test -run FaultSweep ./internal/trim/ ./internal/mark/
+
+# Non-gating perf-trajectory lane (docs/OBSERVABILITY.md): record a
+# BENCH_<label>.json benchmark snapshot for the CI environment to upload
+# or commit. Failures here never fail the build.
+make bench-json || echo "bench-json lane failed (non-gating)"
