@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell date +%Y%m%d)
 
-.PHONY: all build test race vet faults ci bench bench-json
+.PHONY: all build test race vet lint faults ci bench bench-json
 
 all: build
 
@@ -14,6 +14,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The lint lane: go vet plus slimvet, the repo's own convention analyzers
+# (locking discipline, error wrapping, context flow, instrumentation
+# coverage, metric-name registry — docs/STATIC_ANALYSIS.md). Gates on
+# findings beyond slimvet.baseline.json and on stale baseline entries.
+lint: vet
+	$(GO) run ./cmd/slimvet ./...
 
 test:
 	$(GO) test ./...
@@ -31,7 +38,7 @@ race:
 faults:
 	SLIM_FAULT_SWEEP=1 $(GO) test -run FaultSweep ./internal/trim/ ./internal/mark/
 
-ci: vet build race faults
+ci: lint build race faults
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

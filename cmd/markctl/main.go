@@ -128,8 +128,8 @@ func doctor(marksFile string, docs []string, jsonOut bool, out io.Writer) error 
 	}
 	// Health probes for -serve: ready once the mark store is loaded,
 	// healthy while no mark sits in quarantine.
-	obs.DefaultReady.Register("mark.store", store.LoadedCheck())
-	obs.DefaultHealth.Register("mark.quarantine", mm.QuarantineCheck(1))
+	obs.DefaultReady.Register(obs.HealthMarkStore, store.LoadedCheck())
+	obs.DefaultHealth.Register(obs.HealthMarkQuarantine, mm.QuarantineCheck(1))
 	report := mm.Doctor(context.Background())
 	if jsonOut {
 		quarantine := mm.Quarantined()
@@ -199,9 +199,9 @@ func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {
 	}
 	// Health probes for -serve (mirrors doctor): readiness tracks the mark
 	// store, liveness the persistence path and the quarantine.
-	obs.DefaultReady.Register("mark.store", store.LoadedCheck())
-	obs.DefaultHealth.Register("mark.persist", trim.WritableCheck(marksFile))
-	obs.DefaultHealth.Register("mark.quarantine", mm.QuarantineCheck(1))
+	obs.DefaultReady.Register(obs.HealthMarkStore, store.LoadedCheck())
+	obs.DefaultHealth.Register(obs.HealthMarkPersist, trim.WritableCheck(marksFile))
+	obs.DefaultHealth.Register(obs.HealthMarkQuarantine, mm.QuarantineCheck(1))
 
 	switch cmd {
 	case "list":

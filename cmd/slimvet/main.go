@@ -1,0 +1,206 @@
+// Command slimvet runs SLIM's convention analyzers (internal/analysis) over
+// the module's packages and gates on findings not covered by the committed
+// baseline. It is the third standing CI lane next to the race tests and the
+// fault sweep: `make lint` (docs/STATIC_ANALYSIS.md).
+//
+// Usage:
+//
+//	slimvet [flags] [packages]
+//
+//	slimvet ./...                  # analyze the whole module (the default)
+//	slimvet -list                  # describe the analyzers
+//	slimvet -disable ctxflow ./... # run all but one analyzer
+//	slimvet -json ./...            # machine-readable report
+//	slimvet -update-baseline ./... # accept current findings as debt
+//
+// Exit status: 0 when clean against the baseline, 1 when new findings (or
+// stale baseline entries) exist, 2 on usage or load errors. Package
+// patterns are module-root-relative; slimvet can run from any directory
+// inside the module.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json output shape; CI integrations rely on it
+// (docs/STATIC_ANALYSIS.md documents the contract).
+type report struct {
+	Module    string   `json:"module"`
+	Analyzers []string `json:"analyzers"`
+	// Diagnostics is every finding, baselined or not.
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	// New is the gating subset: findings beyond the baseline.
+	New []analysis.Diagnostic `json:"new"`
+	// Stale is baseline debt that no longer exists and must be removed
+	// (run -update-baseline).
+	Stale []analysis.BaselineEntry `json:"stale"`
+	// Baseline is the module-root-relative baseline path consulted.
+	Baseline string `json:"baseline"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("slimvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut        = fs.Bool("json", false, "emit the report as JSON")
+		enable         = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable        = fs.String("disable", "", "comma-separated analyzers to skip")
+		baselinePath   = fs.String("baseline", "slimvet.baseline.json", "baseline file, relative to the module root (\"\" disables baselining)")
+		updateBaseline = fs.Bool("update-baseline", false, "rewrite the baseline to accept all current findings")
+		list           = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "slimvet:", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader()
+	if err != nil {
+		fmt.Fprintln(stderr, "slimvet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "slimvet:", err)
+		return 2
+	}
+	diags, err := loader.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "slimvet:", err)
+		return 2
+	}
+
+	if *updateBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(stderr, "slimvet: -update-baseline needs a -baseline path")
+			return 2
+		}
+		path := filepath.Join(loader.ModuleRoot, *baselinePath)
+		if err := analysis.NewBaseline(diags).Save(path); err != nil {
+			fmt.Fprintln(stderr, "slimvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "slimvet: baseline %s updated with %d finding(s)\n", *baselinePath, len(diags))
+		return 0
+	}
+
+	baseline := &analysis.Baseline{}
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(filepath.Join(loader.ModuleRoot, *baselinePath))
+		if err != nil {
+			fmt.Fprintln(stderr, "slimvet:", err)
+			return 2
+		}
+	}
+	fresh, stale := baseline.Apply(diags)
+
+	if *jsonOut {
+		names := make([]string, 0, len(analyzers))
+		for _, a := range analyzers {
+			names = append(names, a.Name)
+		}
+		r := report{
+			Module:      loader.ModulePath,
+			Analyzers:   names,
+			Diagnostics: diags,
+			New:         fresh,
+			Stale:       stale,
+			Baseline:    *baselinePath,
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(stderr, "slimvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d.String())
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stdout, "stale baseline entry (fixed? run -update-baseline): %s\n", e.String())
+		}
+		if len(fresh) == 0 && len(stale) == 0 {
+			fmt.Fprintf(stdout, "slimvet: %d package(s) clean (%d baselined finding(s))\n",
+				len(pkgs), len(diags))
+		}
+	}
+	if len(fresh) > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable to the registry.
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	selected := analysis.All()
+	if enable != "" {
+		selected = nil
+		for _, name := range splitList(enable) {
+			a, ok := analysis.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	if disable != "" {
+		drop := map[string]bool{}
+		for _, name := range splitList(disable) {
+			if _, ok := analysis.ByName(name); !ok {
+				return nil, fmt.Errorf("unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range selected {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		selected = kept
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return selected, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

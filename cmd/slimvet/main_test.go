@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The htmldoc package carries known, baselined errwrap debt — a stable
+// non-empty target for exercising the driver without analyzing the whole
+// module in every subtest.
+const debtPkg = "./internal/base/htmldoc"
+
+func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListDescribesAnalyzers(t *testing.T) {
+	code, stdout, _ := runDriver(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"lockguard", "errwrap", "ctxflow", "obscoverage", "metricnames"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	code, _, stderr := runDriver(t, "-enable", "nosuch", debtPkg)
+	if code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr missing unknown-analyzer message:\n%s", stderr)
+	}
+}
+
+// TestSeededViolationsFailTextMode pins the gating behavior: with the
+// baseline disabled, known violations exit non-zero and print
+// file:line:col plus the analyzer name.
+func TestSeededViolationsFailTextMode(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-baseline", "", debtPkg)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	lineRe := regexp.MustCompile(`internal/base/htmldoc/[a-z]+\.go:\d+:\d+: .+ \(errwrap\)`)
+	if !lineRe.MatchString(stdout) {
+		t.Errorf("text output missing file:line:col ... (analyzer) findings:\n%s", stdout)
+	}
+}
+
+// TestJSONReportShape pins the -json contract documented in
+// docs/STATIC_ANALYSIS.md: module, analyzers, diagnostics, new, stale,
+// baseline.
+func TestJSONReportShape(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-json", "-baseline", "", debtPkg)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	var r struct {
+		Module      string            `json:"module"`
+		Analyzers   []string          `json:"analyzers"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+		New         []json.RawMessage `json:"new"`
+		Stale       []json.RawMessage `json:"stale"`
+		Baseline    string            `json:"baseline"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &r); err != nil {
+		t.Fatalf("output is not the report JSON shape: %v\n%s", err, stdout)
+	}
+	if r.Module != "repro" {
+		t.Errorf("module = %q, want %q", r.Module, "repro")
+	}
+	if len(r.Analyzers) != 5 {
+		t.Errorf("analyzers = %v, want all five", r.Analyzers)
+	}
+	if len(r.Diagnostics) == 0 || len(r.New) == 0 {
+		t.Errorf("diagnostics/new empty; htmldoc debt should appear in both")
+	}
+	if len(r.Diagnostics) != len(r.New) {
+		t.Errorf("with baselining disabled every finding is new: %d diagnostics vs %d new",
+			len(r.Diagnostics), len(r.New))
+	}
+	var d struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(r.Diagnostics[0], &d); err != nil {
+		t.Fatalf("diagnostic shape: %v", err)
+	}
+	if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+		t.Errorf("diagnostic missing fields: %s", r.Diagnostics[0])
+	}
+	if strings.Contains(d.File, "\\") || strings.HasPrefix(d.File, "/") {
+		t.Errorf("diagnostic file must be module-root-relative with forward slashes: %q", d.File)
+	}
+}
+
+// TestBaselineCoversDebt runs the full module against the committed
+// baseline: everything is covered, so the driver reports clean and exits 0.
+// (The baseline is a whole-module contract — analyzing a subset would
+// surface the other files' entries as stale.)
+func TestBaselineCoversDebt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	code, stdout, stderr := runDriver(t, "./...")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 against the committed baseline\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "clean") || !strings.Contains(stdout, "baselined finding(s)") {
+		t.Errorf("clean summary missing:\n%s", stdout)
+	}
+}
+
+// TestEnableRestrictsAnalyzers runs only ctxflow over the debt package:
+// the errwrap findings disappear and the run is clean even without the
+// baseline.
+func TestEnableRestrictsAnalyzers(t *testing.T) {
+	code, stdout, stderr := runDriver(t, "-json", "-baseline", "", "-enable", "ctxflow", debtPkg)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stdout: %s, stderr: %s)", code, stdout, stderr)
+	}
+	var r struct {
+		Analyzers   []string          `json:"analyzers"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &r); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if len(r.Analyzers) != 1 || r.Analyzers[0] != "ctxflow" {
+		t.Errorf("analyzers = %v, want [ctxflow]", r.Analyzers)
+	}
+	if len(r.Diagnostics) != 0 {
+		t.Errorf("ctxflow-only run should be clean on htmldoc, got %d findings", len(r.Diagnostics))
+	}
+}

@@ -86,8 +86,8 @@ func execute(store string, nt bool, jsonOut bool, rest []string, out io.Writer) 
 	}
 	// Health probes for -serve: the store is ready once loaded, healthy
 	// while its file's directory stays writable.
-	obs.DefaultReady.Register("trim.store", m.LoadedCheck())
-	obs.DefaultHealth.Register("trim.persist", trim.WritableCheck(store))
+	obs.DefaultReady.Register(obs.HealthTrimStore, m.LoadedCheck())
+	obs.DefaultHealth.Register(obs.HealthTrimPersist, trim.WritableCheck(store))
 	pm := rdf.NewPrefixMap()
 
 	switch rest[0] {

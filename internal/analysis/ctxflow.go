@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the *Ctx resolution-path conventions introduced with the
+// resilience layer (docs/ROBUSTNESS.md):
+//
+//  1. A function named *Ctx takes context.Context as its first parameter
+//     (and any function taking a context takes it first).
+//  2. Library code (packages under internal/) never calls
+//     context.Background() or context.TODO(): the context is the caller's
+//     to provide, and a fabricated one silently disables cancellation of
+//     the retry/backoff paths.
+//  3. A function that has a context must propagate it: calling Foo when the
+//     callee also offers FooCtx(ctx, ...) drops cancellation on the floor.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "*Ctx functions take context.Context first; library code never fabricates " +
+		"contexts; functions holding a ctx call the *Ctx variant of their callees",
+	Run: runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxFlow(pass *Pass) error {
+	info := pass.Info()
+	isLibrary := strings.Contains(pass.Pkg.Path, "/internal/")
+
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxSignature(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isLibrary {
+					checkFabricatedContext(pass, info, call)
+				}
+				if hasCtx {
+					checkCtxPropagation(pass, info, fd, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxSignature enforces rule 1 on a function declaration.
+func checkCtxSignature(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info()
+	obj := info.Defs[fd.Name]
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	name := fd.Name.Name
+	if strings.HasSuffix(name, "Ctx") {
+		if params.Len() == 0 || !isContextType(params.At(0).Type()) {
+			pass.Reportf(fd.Name.Pos(), "%s has the Ctx suffix but does not take context.Context as its first parameter",
+				funcDisplayName(fd))
+			return
+		}
+	}
+	for i := 1; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			pass.Reportf(fd.Name.Pos(), "%s takes context.Context as parameter %d; context must be the first parameter",
+				funcDisplayName(fd), i+1)
+		}
+	}
+}
+
+// checkFabricatedContext enforces rule 2 on one call.
+func checkFabricatedContext(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		pass.Reportf(call.Pos(), "library code calls context.%s(); accept a context from the caller instead",
+			fn.Name())
+	}
+}
+
+// checkCtxPropagation enforces rule 3 on one call inside a ctx-holding
+// function.
+func checkCtxPropagation(pass *Pass, info *types.Info, caller *ast.FuncDecl, call *ast.CallExpr) {
+	var callee *types.Func
+	var recvType types.Type
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		callee = fn
+		if selection, ok := info.Selections[fun]; ok && selection.Kind() == types.MethodVal {
+			recvType = selection.Recv()
+		}
+	case *ast.Ident:
+		fn, ok := info.Uses[fun].(*types.Func)
+		if !ok {
+			return
+		}
+		callee = fn
+	default:
+		return
+	}
+	if callee.Pkg() == nil || strings.HasSuffix(callee.Name(), "Ctx") {
+		return
+	}
+	// The Ctx variant delegating to its base (ResolveWithCtx → ResolveWith)
+	// is the implementation pattern, not a violation.
+	if strings.TrimSuffix(caller.Name.Name, "Ctx") == callee.Name() {
+		return
+	}
+	variant := callee.Name() + "Ctx"
+	var alt types.Object
+	if recvType != nil {
+		alt, _, _ = types.LookupFieldOrMethod(recvType, true, callee.Pkg(), variant)
+	} else {
+		alt = callee.Pkg().Scope().Lookup(variant)
+	}
+	fn, ok := alt.(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s holds a context but calls %s; call %s and propagate ctx",
+		funcDisplayName(caller), callee.Name(), variant)
+}
+
+// funcHasCtxParam reports whether fd declares a context.Context parameter.
+func funcHasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	obj := info.Defs[fd.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the error-taxonomy conventions from docs/ROBUSTNESS.md:
+//
+//  1. fmt.Errorf must format error operands with %w, not %v/%s — otherwise
+//     the chain is cut and errors.Is(err, ErrTransient)-style
+//     classification (mark.Classify, the degradation ladder) stops seeing
+//     the sentinel.
+//  2. Sentinel errors (package-level `ErrX` variables) must be compared
+//     with errors.Is, never == or a switch case — wrapped sentinels fail
+//     direct comparison.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf with an error operand must use %w; " +
+		"sentinel errors must be compared with errors.Is, not == / switch",
+	Run: runErrWrap,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+func runErrWrap(pass *Pass) error {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfCall(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, n.Pos(), n.X, n.Y)
+				}
+			case *ast.SwitchStmt:
+				checkSentinelSwitch(pass, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfCall flags fmt.Errorf calls whose format string applies a
+// non-%w verb to an error operand.
+func checkErrorfCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.Info()
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for _, v := range parseVerbs(format) {
+		// %w wraps; %T legitimately prints an error's concrete type.
+		if v.verb == 'w' || v.verb == 'T' {
+			continue
+		}
+		argIdx := 1 + v.operand
+		if argIdx >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if !implementsError(info.TypeOf(arg)) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "fmt.Errorf formats error %q with %%%c; use %%w to keep the chain classifiable",
+			exprText(arg), v.verb)
+	}
+}
+
+// verb is one format directive and the 0-based operand index it consumes.
+type verb struct {
+	verb    rune
+	operand int
+}
+
+// parseVerbs extracts the verbs of a fmt format string together with the
+// operand index each consumes. Explicit argument indexes (%[n]d) abort
+// parsing — they are rare and not worth modeling here.
+func parseVerbs(format string) []verb {
+	var out []verb
+	operand := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		if rs[i] == '[' {
+			return nil // explicit argument index: give up on the whole string
+		}
+		// flags, width, precision; '*' consumes an operand of its own.
+		for i < len(rs) {
+			r := rs[i]
+			if strings.ContainsRune("+-# 0.", r) || (r >= '0' && r <= '9') {
+				i++
+				continue
+			}
+			if r == '*' {
+				operand++
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) {
+			break
+		}
+		out = append(out, verb{verb: rs[i], operand: operand})
+		operand++
+	}
+	return out
+}
+
+// sentinelVar resolves expr to a package-level error variable named Err*.
+func sentinelVar(info *types.Info, expr ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	default:
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	// Package level: the variable's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !implementsError(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isNilIdent(info *types.Info, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkSentinelCompare flags `err == ErrX` / `err != ErrX`.
+func checkSentinelCompare(pass *Pass, pos token.Pos, x, y ast.Expr) {
+	info := pass.Info()
+	if isNilIdent(info, x) || isNilIdent(info, y) {
+		return
+	}
+	for _, side := range []ast.Expr{x, y} {
+		if v := sentinelVar(info, side); v != nil {
+			pass.Reportf(pos, "sentinel %s compared with ==/!=; use errors.Is so wrapped errors still match", v.Name())
+			return
+		}
+	}
+}
+
+// checkSentinelSwitch flags `switch err { case ErrX: }`.
+func checkSentinelSwitch(pass *Pass, info *types.Info, st *ast.SwitchStmt) {
+	if st.Tag == nil || !implementsError(info.TypeOf(st.Tag)) {
+		return
+	}
+	ast.Inspect(st.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if v := sentinelVar(info, e); v != nil {
+				pass.Reportf(e.Pos(), "sentinel %s compared with ==/!=; use errors.Is so wrapped errors still match", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// exprText renders a short source form of an expression for messages.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprText(e.X) + ")"
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprText(e.X)
+	default:
+		return "expr"
+	}
+}

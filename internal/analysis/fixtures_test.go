@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture corpus: one package per analyzer under
+// testdata/src/fixture/internal/<name>, annotated with golden expectations:
+//
+//	s.data[k] // want `Store\.Peek accesses data`
+//
+// Each `// want` clause holds one or more backquoted regexps; every
+// diagnostic the analyzer reports must match an expectation on its line,
+// and every expectation must be consumed by exactly one diagnostic.
+
+// fixtureRoot returns the absolute directory holding the fixture packages.
+func fixtureRoot(t *testing.T, l *Loader) string {
+	t.Helper()
+	return filepath.Join(l.ModuleRoot, "internal", "analysis", "testdata", "src", "fixture", "internal")
+}
+
+// newFixtureLoader builds a Loader with the fixture-only import graph
+// registered (the mini obs package the obscoverage/metricnames fixtures
+// import).
+func newFixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	l.RegisterImport("fixture/internal/obs", filepath.Join(fixtureRoot(t, l), "obs"))
+	return l
+}
+
+// wantExpectation is one backquoted regexp from a `// want` comment.
+type wantExpectation struct {
+	file string // base name of the fixture file
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantClauseRe = regexp.MustCompile("`([^`]+)`")
+
+// parseWants scans a fixture directory for `// want` annotations.
+func parseWants(t *testing.T, dir string) []*wantExpectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var wants []*wantExpectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			_, clause, ok := strings.Cut(lineText, "// want ")
+			if !ok {
+				continue
+			}
+			matches := wantClauseRe.FindAllStringSubmatch(clause, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: `// want` with no backquoted pattern", e.Name(), i+1)
+			}
+			for _, m := range matches {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+				}
+				wants = append(wants, &wantExpectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package, runs one analyzer, and checks the
+// diagnostics against the `// want` expectations in both directions.
+func runFixture(t *testing.T, az *Analyzer, name string) {
+	t.Helper()
+	l := newFixtureLoader(t)
+	dir := filepath.Join(fixtureRoot(t, l), name)
+	pkg, err := l.LoadDir(dir, "fixture/internal/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", name)
+	}
+	diags, err := l.Run([]*Package{pkg}, []*Analyzer{az})
+	if err != nil {
+		t.Fatalf("run %s: %v", az.Name, err)
+	}
+	wants := parseWants(t, dir)
+
+	for _, d := range diags {
+		if d.Analyzer != az.Name {
+			t.Errorf("diagnostic from unexpected analyzer: %s", d)
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.hit && d.File != "" && filepath.Base(d.File) == w.file &&
+				d.Line == w.line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestLockGuardFixture(t *testing.T)   { runFixture(t, LockGuard, "lockguard") }
+func TestErrWrapFixture(t *testing.T)     { runFixture(t, ErrWrap, "errwrap") }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
+func TestMetricNamesFixture(t *testing.T) { runFixture(t, MetricNames, "metricnames") }
+
+func TestObsCoverageFixture(t *testing.T) {
+	// The coverage contract binds a declared package set; enroll the fixture
+	// for the duration of the test.
+	const path = "fixture/internal/obscoverage"
+	ObsCoverageTargets[path] = true
+	defer delete(ObsCoverageTargets, path)
+	runFixture(t, ObsCoverage, "obscoverage")
+}
+
+// TestSuppressionsCoverFixture locks in the slimvet:ignore behavior: the
+// errwrap fixture contains one ignored violation, and removing the
+// annotation must surface it.
+func TestSuppressionsCoverFixture(t *testing.T) {
+	l := newFixtureLoader(t)
+	dir := filepath.Join(fixtureRoot(t, l), "errwrap")
+	data, err := os.ReadFile(filepath.Join(dir, "errwrap.go"))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	if !strings.Contains(string(data), "// slimvet:ignore errwrap") {
+		t.Fatalf("errwrap fixture lost its slimvet:ignore case")
+	}
+	stripped := strings.Replace(string(data), "// slimvet:ignore errwrap", "", 1)
+
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "errwrap.go"), []byte(stripped), 0o644); err != nil {
+		t.Fatalf("write stripped fixture: %v", err)
+	}
+	pkg, err := l.LoadDir(tmp, "fixture/internal/errwrapstripped")
+	if err != nil {
+		t.Fatalf("load stripped fixture: %v", err)
+	}
+	diags, err := l.Run([]*Package{pkg}, []*Analyzer{ErrWrap})
+	if err != nil {
+		t.Fatalf("run errwrap: %v", err)
+	}
+
+	base, err := l.LoadDir(dir, "fixture/internal/errwrap")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	baseDiags, err := l.Run([]*Package{base}, []*Analyzer{ErrWrap})
+	if err != nil {
+		t.Fatalf("run errwrap: %v", err)
+	}
+	if want := len(baseDiags) + 1; len(diags) != want {
+		t.Errorf("stripping slimvet:ignore should surface exactly one more finding: got %d, want %d\n%s",
+			len(diags), want, diagDump(diags))
+	}
+}
+
+func diagDump(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("repro/internal/trim").
+	Path string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader discovers, parses, and type-checks the module's packages. It is
+// go-list-style discovery without the go tool in the loop for the walking
+// part: the file tree under the module root is the package universe, and
+// type checking uses the stdlib source importer (which resolves the module's
+// own import paths as well as the standard library from source).
+//
+// The importer is shared across Load calls, so dependencies — including the
+// standard library — are type-checked once per Loader.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+	imp        types.Importer
+	// extraImports maps import paths to source directories outside the
+	// module's import graph (test fixtures); extraLoaded caches packages
+	// loaded through it.
+	extraImports map[string]string
+	extraLoaded  map[string]*Package
+}
+
+// RegisterImport maps an import path to a source directory, letting the
+// fixture tests load packages that import one another ("fixture/internal/
+// obs") without those paths existing in the real module.
+func (l *Loader) RegisterImport(importPath, dir string) {
+	if l.extraImports == nil {
+		l.extraImports = map[string]string{}
+		l.extraLoaded = map[string]*Package{}
+	}
+	l.extraImports[importPath] = dir
+}
+
+// loaderImporter routes type-checker imports through the Loader: registered
+// fixture paths load from their directories, everything else goes to the
+// stdlib source importer.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	return li.resolve(path, "", 0)
+}
+
+func (li loaderImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return li.resolve(path, dir, mode)
+}
+
+func (li loaderImporter) resolve(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	l := li.l
+	if pkg, ok := l.extraLoaded[path]; ok {
+		return pkg.Types, nil
+	}
+	if dir, ok := l.extraImports[path]; ok {
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: registered import %s has no Go files in %s", path, dir)
+		}
+		l.extraLoaded[path] = pkg
+		return pkg.Types, nil
+	}
+	if from, ok := l.imp.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return l.imp.Import(path)
+}
+
+// NewLoader locates the enclosing module (walking up from the working
+// directory to the nearest go.mod) and prepares a type-checking importer.
+func NewLoader() (*Loader, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: getwd: %w", err)
+	}
+	root, modPath, err := findModule(cwd)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: modPath,
+		imp:        importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the module
+// root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		modFile := filepath.Join(d, "go.mod")
+		if data, rerr := os.ReadFile(modFile); rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s has no module line", modFile)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves package patterns and returns the loaded packages, sorted by
+// import path. Patterns are module-root-relative: "./..." (everything),
+// "dir/..." (a subtree), "dir" (one package), or a full import path within
+// the module.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if pat == "" {
+			pat = "..."
+		}
+		// Import paths inside the module reduce to relative directories.
+		if rest, ok := strings.CutPrefix(pat, l.ModulePath); ok {
+			pat = strings.TrimPrefix(rest, "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		if sub, ok := strings.CutSuffix(pat, "..."); ok {
+			base := filepath.Join(l.ModuleRoot, strings.TrimSuffix(sub, "/"))
+			if err := walkPackageDirs(base, dirs); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dirs[filepath.Join(l.ModuleRoot, pat)] = true
+	}
+
+	var out []*Package
+	for _, dir := range sortedKeys(dirs) {
+		pkg, err := l.LoadDir(dir, l.importPathFor(dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// walkPackageDirs collects every directory under base that can hold a
+// package, skipping testdata, vendor, and hidden or underscore directories
+// — the same pruning the go tool applies to "./..." patterns.
+func walkPackageDirs(base string, dirs map[string]bool) error {
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs[path] = true
+		return nil
+	})
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path. Directories with no non-test Go files load as nil, nil.
+// Test files (_test.go) are excluded: slimvet checks library and command
+// conventions, and test scaffolding legitimately breaks several of them
+// (context.Background, raw metric names, direct field pokes).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: read %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: loaderImporter{l}}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// ObsCoverage enforces the PR-1 observability contract: every exported
+// mutating operation in the instrumented layers records a metric or span.
+// "Mutating" is keyed off the op's leading verb (see mutatingVerbs in
+// obsregistry.go); "records" means the op's body — or a same-package helper
+// it calls, transitively — reaches one of the declared instrumentation
+// sinks (instrumentationSinks in obsregistry.go).
+//
+// Ops that legitimately skip instrumentation (test hooks, staging-only
+// methods whose commit point records for them) carry a
+// `// slimvet:noobs <reason>` line in their doc comment.
+var ObsCoverage = &Analyzer{
+	Name: "obscoverage",
+	Doc: "exported mutating ops in the instrumented layers (trim, mark, slim) must " +
+		"record a metric or span, directly or via a same-package helper",
+	Run: runObsCoverage,
+}
+
+func runObsCoverage(pass *Pass) error {
+	if !ObsCoverageTargets[pass.Pkg.Path] {
+		return nil
+	}
+	info := pass.Info()
+
+	// declOf maps function objects to their declarations, for the
+	// transitive search through same-package helpers.
+	declOf := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					declOf[fn] = fd
+				}
+			}
+		}
+	}
+
+	// instruments reports whether fd's body reaches an instrumentation
+	// sink within the given call depth.
+	var instruments func(fd *ast.FuncDecl, depth int, seen map[*ast.FuncDecl]bool) bool
+	instruments = func(fd *ast.FuncDecl, depth int, seen map[*ast.FuncDecl]bool) bool {
+		if seen[fd] {
+			return false
+		}
+		seen[fd] = true
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			if isInstrumentationSink(callee) {
+				found = true
+				return false
+			}
+			if depth > 0 && callee.Pkg() == pass.TypesPkg() {
+				if helper, ok := declOf[callee]; ok && instruments(helper, depth-1, seen) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !isMutatingOpName(fd.Name.Name) {
+				continue
+			}
+			if strings.Contains(fd.Doc.Text(), "slimvet:noobs") {
+				continue
+			}
+			if !instruments(fd, obsCoverageDepth, map[*ast.FuncDecl]bool{}) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported mutating op %s records no metric or span (sinks: internal/analysis/obsregistry.go; exempt with `// slimvet:noobs <reason>`)",
+					funcDisplayName(fd))
+			}
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to its static callee, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isInstrumentationSink reports whether fn is one of the declared obs
+// recording entry points.
+func isInstrumentationSink(fn *types.Func) bool {
+	if fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+		return false
+	}
+	name := fn.Name()
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		if named, isNamed := recv.(*types.Named); isNamed {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return instrumentationSinks[name]
+}
+
+// isMutatingOpName reports whether an exported identifier starts with a
+// mutating verb at a word boundary (SetUnique yes, Settings no).
+func isMutatingOpName(name string) bool {
+	for _, verb := range mutatingVerbs {
+		if rest, ok := strings.CutPrefix(name, verb); ok {
+			if rest == "" || unicode.IsUpper(rune(rest[0])) || unicode.IsDigit(rune(rest[0])) {
+				return true
+			}
+		}
+	}
+	return false
+}

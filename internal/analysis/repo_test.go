@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoMatchesBaseline runs the full analyzer set over the real module
+// and asserts the committed baseline is exact: no findings beyond it (the
+// lint gate would fail) and no stale entries (debt that was fixed without
+// refreshing the baseline). This is the same check `make lint` applies in
+// CI, pinned as a test so `go test ./...` catches drift too.
+func TestRepoMatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	l, err := NewLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("Load ./... found only %d packages; discovery is broken", len(pkgs))
+	}
+	diags, err := l.Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	baseline, err := LoadBaseline(filepath.Join(l.ModuleRoot, "slimvet.baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(baseline.Entries) == 0 {
+		t.Fatalf("slimvet.baseline.json is missing or empty; the repo carries known errwrap debt")
+	}
+	fresh, stale := baseline.Apply(diags)
+	for _, d := range fresh {
+		t.Errorf("finding beyond baseline: %s", d)
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (fixed? refresh with slimvet -update-baseline): %s", e)
+	}
+
+	// The satellite contract: trim and mark carry zero errwrap/lockguard
+	// debt, baselined or otherwise.
+	for _, d := range diags {
+		if !strings.HasPrefix(d.File, "internal/trim/") && !strings.HasPrefix(d.File, "internal/mark/") {
+			continue
+		}
+		if d.Analyzer == "errwrap" || d.Analyzer == "lockguard" {
+			t.Errorf("internal/trim and internal/mark must stay clean: %s", d)
+		}
+	}
+}

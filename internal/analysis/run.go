@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Run applies the analyzers to the packages and returns the findings,
+// sorted by file, line, column, and analyzer. Findings on lines annotated
+// `// slimvet:ignore <analyzer>[,<analyzer>]` (on the finding's line or the
+// line above) are suppressed.
+func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		suppress := collectSuppressions(l.Fset, pkg, l.ModuleRoot)
+		for _, az := range analyzers {
+			pass := &Pass{
+				Analyzer:   az,
+				Fset:       l.Fset,
+				Pkg:        pkg,
+				moduleRoot: l.ModuleRoot,
+				diags:      &diags,
+			}
+			if err := az.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		diags = applySuppressions(diags, suppress)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+var ignoreRe = regexp.MustCompile(`slimvet:ignore\s+([\w,]+)`)
+
+// suppression marks one file line as exempt from the named analyzers.
+type suppression map[string]map[int]map[string]bool // file -> line -> analyzers
+
+// collectSuppressions scans a package's comments for slimvet:ignore
+// annotations. The annotation names the analyzers it silences; there is no
+// blanket form, so every exemption stays attributable.
+func collectSuppressions(fset *token.FileSet, pkg *Package, moduleRoot string) suppression {
+	sup := suppression{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				file := relPath(moduleRoot, pos.Filename)
+				if sup[file] == nil {
+					sup[file] = map[int]map[string]bool{}
+				}
+				names := map[string]bool{}
+				for _, name := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+				sup[file][pos.Line] = names
+			}
+		}
+	}
+	return sup
+}
+
+// relPath rewrites an absolute file path into module-root-relative form.
+func relPath(moduleRoot, file string) string {
+	if rel, err := filepath.Rel(moduleRoot, file); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// applySuppressions drops diagnostics whose line (or the line above it)
+// carries a matching slimvet:ignore annotation.
+func applySuppressions(diags []Diagnostic, sup suppression) []Diagnostic {
+	if len(sup) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		lines := sup[d.File]
+		if lines[d.Line][d.Analyzer] || lines[d.Line-1][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Package ctxflow exercises the ctxflow analyzer. Its registered import
+// path ("fixture/internal/ctxflow") contains "/internal/", so the
+// library-code rules (no fabricated contexts) apply.
+package ctxflow
+
+import "context"
+
+// Thing offers both plain and Ctx resolution paths.
+type Thing struct{}
+
+func (t *Thing) Fetch(id string) error { _ = id; return nil }
+
+// FetchCtx delegating to Fetch is the implementation pattern, not a
+// violation.
+func (t *Thing) FetchCtx(ctx context.Context, id string) error {
+	_ = ctx
+	return t.Fetch(id)
+}
+
+func Load(name string) error { _ = name; return nil }
+
+func LoadCtx(ctx context.Context, name string) error {
+	_ = ctx
+	return Load(name)
+}
+
+func ResolveCtx(id string) error { // want `ResolveCtx has the Ctx suffix but does not take context\.Context as its first parameter`
+	_ = id
+	return nil
+}
+
+func Misplaced(id string, ctx context.Context) error { // want `Misplaced takes context\.Context as parameter 2; context must be the first parameter`
+	_, _ = id, ctx
+	return nil
+}
+
+func Fabricate(t *Thing) error {
+	ctx := context.Background() // want `library code calls context\.Background\(\); accept a context from the caller instead`
+	return t.FetchCtx(ctx, "x")
+}
+
+func FabricateTODO(t *Thing) error {
+	return t.FetchCtx(context.TODO(), "x") // want `library code calls context\.TODO\(\); accept a context from the caller instead`
+}
+
+func DropsCtx(ctx context.Context, t *Thing) error {
+	_ = ctx
+	return t.Fetch("x") // want `DropsCtx holds a context but calls Fetch; call FetchCtx and propagate ctx`
+}
+
+func DropsCtxFunc(ctx context.Context) error {
+	_ = ctx
+	return Load("x") // want `DropsCtxFunc holds a context but calls Load; call LoadCtx and propagate ctx`
+}
+
+func PropagatesCtx(ctx context.Context, t *Thing) error {
+	return t.FetchCtx(ctx, "x")
+}

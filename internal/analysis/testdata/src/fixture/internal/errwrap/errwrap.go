@@ -1,0 +1,66 @@
+// Package errwrap exercises the errwrap analyzer: %w enforcement on error
+// operands and errors.Is enforcement for sentinel comparisons.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissing is a sentinel; notAnErr is package-level but not an error.
+var (
+	ErrMissing = errors.New("missing")
+	ErrClosed  = errors.New("closed")
+)
+
+func wrapGood(err error) error {
+	return fmt.Errorf("op: %w", err)
+}
+
+func wrapBad(err error) error {
+	return fmt.Errorf("op: %v", err) // want `fmt\.Errorf formats error "err" with %v; use %w to keep the chain classifiable`
+}
+
+func wrapBadString(err error) error {
+	return fmt.Errorf("op: %s", err) // want `fmt\.Errorf formats error "err" with %s; use %w to keep the chain classifiable`
+}
+
+func wrapMixed(path string, err error) error {
+	return fmt.Errorf("load %s: %v", path, err) // want `fmt\.Errorf formats error "err" with %v`
+}
+
+func wrapType(err error) error {
+	return fmt.Errorf("unexpected error type %T", err) // %T prints the type: fine
+}
+
+func wrapNonError(name string, n int) error {
+	return fmt.Errorf("op %s failed %d times", name, n)
+}
+
+func wrapIgnored(err error) error {
+	return fmt.Errorf("op: %v", err) // slimvet:ignore errwrap
+}
+
+func compareGood(err error) bool {
+	return errors.Is(err, ErrMissing)
+}
+
+func compareBad(err error) bool {
+	return err == ErrMissing // want `sentinel ErrMissing compared with ==/!=; use errors\.Is`
+}
+
+func compareBadNeq(err error) bool {
+	return err != ErrClosed // want `sentinel ErrClosed compared with ==/!=`
+}
+
+func compareNil(err error) bool {
+	return err == nil
+}
+
+func switchBad(err error) bool {
+	switch err {
+	case ErrMissing: // want `sentinel ErrMissing compared with ==/!=`
+		return true
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+// Package lockguard exercises the lockguard analyzer: guarded-field
+// access rules, the *Locked and "caller holds mu" conventions, branch-local
+// lock state, and the callback-under-lock rule.
+package lockguard
+
+import "sync"
+
+// Store has annotated guarded fields plus one unguarded field.
+type Store struct {
+	mu        sync.RWMutex
+	data      map[string]int   // guarded by mu
+	observers []func(k string) // guarded by mu
+	hint      int              // intentionally unguarded
+}
+
+// Broken demonstrates the annotation-validation diagnostic.
+type Broken struct {
+	x int // guarded by lock // want `field is annotated .guarded by lock. but the struct has no field "lock"`
+}
+
+// Get holds the lock via defer: fine.
+func (s *Store) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+// Put locks and unlocks explicitly: fine.
+func (s *Store) Put(k string, v int) {
+	s.mu.Lock()
+	s.data[k] = v
+	s.mu.Unlock()
+}
+
+// Peek reads a guarded field with no lock at all.
+func (s *Store) Peek(k string) int {
+	return s.data[k] // want `Store\.Peek accesses data \(guarded by mu\) without holding mu`
+}
+
+// getLocked relies on the *Locked naming convention: fine.
+func (s *Store) getLocked(k string) int {
+	return s.data[k]
+}
+
+// documentedEntry: caller holds mu.
+func (s *Store) documentedEntry(k string) int {
+	return s.data[k]
+}
+
+// EarlyExit unlocks inside an error branch; the fallthrough path still
+// holds the lock (branch-local state must not leak).
+func (s *Store) EarlyExit(k string) int {
+	s.mu.Lock()
+	if s.hint == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.data[k]
+	s.mu.Unlock()
+	return v
+}
+
+// FanOutBad invokes callbacks loaded from a guarded field while the lock
+// is held.
+func (s *Store) FanOutBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range s.observers {
+		o("change") // want `Store\.FanOutBad invokes a callback from guarded field observers while mu is held`
+	}
+}
+
+// FanOutGood snapshots under the lock and delivers after unlocking.
+func (s *Store) FanOutGood() {
+	s.mu.Lock()
+	snapshot := make([]func(string), len(s.observers))
+	copy(snapshot, s.observers)
+	s.mu.Unlock()
+	for _, o := range snapshot {
+		o("change")
+	}
+}
+
+// use silences unused-function lint at type-check level by referencing the
+// convention-named helpers.
+func (s *Store) use() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked("x") + s.documentedEntry("y")
+}

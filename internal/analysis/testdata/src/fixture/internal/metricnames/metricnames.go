@@ -1,0 +1,38 @@
+// Package metricnames exercises the metricnames analyzer: names reaching
+// obs sinks must come from the obs name registry, not in-place literals or
+// locally declared constants.
+package metricnames
+
+import (
+	"fmt"
+
+	"fixture/internal/obs"
+)
+
+// Registry constants pass.
+var good = obs.C(obs.NameGoodTotal)
+
+// A raw literal fails.
+var bad = obs.C("fixture.bad.total") // want `metric/health name passed to obs\.C as string literal "fixture\.bad\.total"`
+
+// A constant declared outside the obs package fails too.
+const localName = "fixture.local.total"
+
+var badConst = obs.C(localName) // want `metric/health name constant localName \(declared in metricnames\) passed to obs\.C`
+
+// Dynamic families built from a registry Fmt constant pass; inline literal
+// concatenation fails.
+func family(op string) {
+	obs.H(fmt.Sprintf(obs.FmtGoodNS, op)).Observe(1)
+	obs.H("fixture." + op + ".ns").Observe(1) // want `metric/health name passed to obs\.H as string literal "fixture\."` `metric/health name passed to obs\.H as string literal "\.ns"`
+}
+
+// Health checks follow the same rule.
+func health(r *obs.HealthRegistry) {
+	r.Register(obs.HealthGood, nil)
+	r.Register("fixture.rogue", nil) // want `metric/health name passed to obs\.Register as string literal "fixture\.rogue"`
+}
+
+func use() { _, _ = good, bad; _ = badConst; family("x"); health(&obs.HealthRegistry{}) }
+
+func init() { use() }

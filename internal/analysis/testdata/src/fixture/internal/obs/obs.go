@@ -1,0 +1,33 @@
+// Package obs is a miniature of the real repro/internal/obs, with just
+// enough surface for the obscoverage and metricnames fixtures: the
+// analyzers key off the import-path suffix "internal/obs", which this
+// package shares via the registered path "fixture/internal/obs".
+package obs
+
+// Counter is a metric counter stub.
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc()        { c.n++ }
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Histogram is a latency/size histogram stub.
+type Histogram struct{ n int64 }
+
+func (h *Histogram) Observe(v int64) { h.n += v }
+
+// C and H mirror the real registry accessors.
+func C(name string) *Counter   { _ = name; return &Counter{} }
+func H(name string) *Histogram { _ = name; return &Histogram{} }
+
+// HealthRegistry mirrors the real health-check registry.
+type HealthRegistry struct{}
+
+func (r *HealthRegistry) Register(name string, check func() error) { _, _ = name, check }
+
+// Name registry, mirroring internal/obs/names.go.
+const (
+	NameGoodTotal = "fixture.good.total"
+	FmtGoodNS     = "fixture.%s.ns"
+
+	HealthGood = "fixture.good"
+)

@@ -112,10 +112,10 @@ func (s *System) ViewMark(style ViewingStyle, markID string) (v View, err error)
 	sp := obs.Trace("core.view", style.String()+" "+markID)
 	defer func() {
 		sp.FinishErr(err)
-		obs.H("core.view.ns").ObserveSince(start)
-		obs.C("core.view." + style.String() + ".total").Inc()
+		obs.H(obs.NameCoreViewNS).ObserveSince(start)
+		obs.C(fmt.Sprintf(obs.FmtCoreViewTotal, style)).Inc()
 		if err != nil {
-			obs.C("core.view.errors").Inc()
+			obs.C(obs.NameCoreViewErrors).Inc()
 		}
 	}()
 	switch style {
@@ -154,10 +154,10 @@ func (s *System) ViewMarkCtx(ctx context.Context, style ViewingStyle, markID str
 	sp := obs.Trace("core.view", style.String()+" "+markID)
 	defer func() {
 		sp.FinishErr(err)
-		obs.H("core.view.ns").ObserveSince(start)
-		obs.C("core.view." + style.String() + ".total").Inc()
+		obs.H(obs.NameCoreViewNS).ObserveSince(start)
+		obs.C(fmt.Sprintf(obs.FmtCoreViewTotal, style)).Inc()
 		if err != nil {
-			obs.C("core.view.errors").Inc()
+			obs.C(obs.NameCoreViewErrors).Inc()
 		}
 	}()
 	switch style {
@@ -181,7 +181,7 @@ func (s *System) ViewMarkCtx(ctx context.Context, style ViewingStyle, markID str
 		v.Overlay = s.MarksInto(el.Address.Scheme, el.Address.File)
 	}
 	if v.Degraded {
-		obs.C("core.view.degraded").Inc()
+		obs.C(obs.NameCoreViewDegraded).Inc()
 	}
 	return v, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/base"
+	"repro/internal/obs"
 )
 
 // ResolveContext names the default resolver (drive the base viewer);
@@ -23,15 +24,15 @@ const (
 // use.
 type Manager struct {
 	mu        sync.RWMutex
-	modules   map[string]Module
-	resolvers map[string]map[string]Resolver // scheme -> name -> resolver
-	marks     map[string]Mark
-	nextSeq   int
+	modules   map[string]Module              // guarded by mu
+	resolvers map[string]map[string]Resolver // scheme -> name -> resolver; guarded by mu
+	marks     map[string]Mark                // guarded by mu
+	nextSeq   int                            // guarded by mu
 
 	// retry governs the resilient resolution path (resilience.go);
 	// quarantine holds marks whose last resolution failed permanently.
-	retry      RetryPolicy
-	quarantine map[string]QuarantineEntry
+	retry      RetryPolicy                // guarded by mu
+	quarantine map[string]QuarantineEntry // guarded by mu
 }
 
 // NewManager returns an empty mark manager with the default retry policy.
@@ -68,6 +69,7 @@ func (mm *Manager) RegisterModule(mod Module) error {
 			mm.resolvers[scheme][ResolveInPlace] = InPlaceResolver(am.App())
 		}
 	}
+	obs.C(obs.NameMarkModulesRegistered).Inc()
 	return nil
 }
 
@@ -85,6 +87,7 @@ func (mm *Manager) RegisterResolver(scheme, name string, r Resolver) error {
 		return fmt.Errorf("%w: %q", ErrNoModule, scheme)
 	}
 	mm.resolvers[scheme][name] = r
+	obs.C(obs.NameMarkResolversRegistered).Inc()
 	return nil
 }
 
@@ -144,6 +147,7 @@ func (mm *Manager) Add(m Mark) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateMark, m.ID)
 	}
 	mm.marks[m.ID] = m
+	obs.C(obs.NameMarkMarksAdded).Inc()
 	return nil
 }
 
@@ -179,6 +183,7 @@ func (mm *Manager) Remove(id string) bool {
 	}
 	delete(mm.marks, id)
 	delete(mm.quarantine, id)
+	obs.C(obs.NameMarkMarksRemoved).Inc()
 	return true
 }
 

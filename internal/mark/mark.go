@@ -105,6 +105,9 @@ func (am *AppModule) Scheme() string { return am.app.Scheme() }
 // of the current selection ("Microsoft Excel gives the Excel mark module
 // information containing the current selection within the current
 // workbook", §4.2).
+//
+// slimvet:noobs selection capture only; Manager.CreateFromSelection wraps
+// every call and records the create op (mark.create.<scheme>.*).
 func (am *AppModule) CreateMark(id string) (Mark, error) {
 	addr, err := am.app.CurrentSelection()
 	if err != nil {

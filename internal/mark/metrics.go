@@ -1,6 +1,7 @@
 package mark
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -18,7 +19,7 @@ import (
 const unknownScheme = "unknown"
 
 func markDispatch(scheme string) {
-	obs.C("mark.dispatch." + scheme).Inc()
+	obs.C(fmt.Sprintf(obs.FmtMarkDispatch, scheme)).Inc()
 }
 
 // markOpDone records one mark-manager operation: latency always, the
@@ -30,10 +31,10 @@ func markOpDone(op, scheme string, start time.Time, err error) {
 		scheme = unknownScheme
 	}
 	d := time.Since(start)
-	obs.H("mark." + op + "." + scheme + ".ns").Observe(int64(d))
+	obs.H(fmt.Sprintf(obs.FmtMarkOpNS, op, scheme)).Observe(int64(d))
 	obs.DefaultSlowOps.Observe("mark."+op, "scheme="+scheme, start, d, err)
 	if err != nil {
-		obs.C("mark." + op + "." + scheme + ".errors").Inc()
+		obs.C(fmt.Sprintf(obs.FmtMarkOpErrors, op, scheme)).Inc()
 		obs.Log().Warn("mark op failed", "op", op, "scheme", scheme, "err", err)
 	}
 }

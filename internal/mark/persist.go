@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/base"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/trim"
 )
@@ -38,6 +39,7 @@ func SchemeClass(scheme string) rdf.Term {
 // SaveTo writes every stored mark into the triple store. Existing triples
 // for the same mark ids are replaced.
 func (mm *Manager) SaveTo(store *trim.Manager) error {
+	obs.C(obs.NameMarkPersistSaveTotal).Inc()
 	b := store.NewBatch()
 	for _, m := range mm.Marks() {
 		iri := MarkIRI(m.ID)
@@ -68,6 +70,7 @@ func (mm *Manager) SaveTo(store *trim.Manager) error {
 // past any loaded ids of the standard "mark-NNNNNN" form, so new marks
 // never collide with loaded ones.
 func (mm *Manager) LoadFrom(store *trim.Manager) error {
+	obs.C(obs.NameMarkPersistLoadTotal).Inc()
 	loaded := make(map[string]Mark)
 	maxSeq := 0
 	for _, subj := range store.Subjects(rdf.RDFType, ClassMark) {

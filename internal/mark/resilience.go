@@ -43,6 +43,9 @@ var DefaultRetryPolicy = RetryPolicy{
 
 // SetRetryPolicy replaces the manager's retry policy for the resilient
 // resolution paths (ResolveCtx, ResolveDegraded, RefreshCtx, Doctor).
+//
+// slimvet:noobs configuration setter; the resolve paths it tunes record
+// mark.resolve.* themselves.
 func (mm *Manager) SetRetryPolicy(p RetryPolicy) {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
@@ -108,9 +111,9 @@ func (mm *Manager) ResolveWithCtx(ctx context.Context, id, resolver string) (bas
 		if !base.IsTransient(err) || attempt >= attempts {
 			break
 		}
-		obs.C("mark.resolve.retries").Inc()
+		obs.C(obs.NameMarkResolveRetries).Inc()
 		if werr := sleepCtx(ctx, delay); werr != nil {
-			err = fmt.Errorf("%w: %v (while retrying: %v)", ErrTransient, werr, err)
+			err = fmt.Errorf("%w: %w (while retrying: %w)", ErrTransient, werr, err)
 			return base.Element{}, err
 		}
 		if delay *= 2; policy.MaxDelay > 0 && delay > policy.MaxDelay {
@@ -118,7 +121,7 @@ func (mm *Manager) ResolveWithCtx(ctx context.Context, id, resolver string) (bas
 		}
 	}
 	if class := Classify(err); class != nil && !errors.Is(err, class) {
-		err = fmt.Errorf("%w: %v", class, err)
+		err = fmt.Errorf("%w: %w", class, err)
 	}
 	// Terminal failure for a stored mark: quarantine it so Doctor and
 	// Quarantined surface the broken reference until a resolve succeeds.
@@ -195,10 +198,10 @@ func (mm *Manager) ResolveDegradedWith(ctx context.Context, id, resolver string)
 		return base.Element{}, OutcomeFailed, merr
 	}
 	if m.Excerpt == "" {
-		obs.C("mark.resolve.failed").Inc()
+		obs.C(obs.NameMarkResolveFailed).Inc()
 		return base.Element{}, OutcomeFailed, err
 	}
-	obs.C("mark.resolve.cached").Inc()
+	obs.C(obs.NameMarkResolveCached).Inc()
 	obs.Log().Warn("mark: serving cached excerpt", "mark", id, "err", err)
 	return base.Element{Address: m.Address, Content: m.Excerpt}, OutcomeCached, nil
 }
@@ -248,7 +251,7 @@ func (mm *Manager) setQuarantine(m Mark, err error) {
 	mm.mu.Lock()
 	defer mm.mu.Unlock()
 	if _, ok := mm.quarantine[m.ID]; !ok {
-		obs.C("mark.quarantine.added").Inc()
+		obs.C(obs.NameMarkQuarantineAdded).Inc()
 	}
 	mm.quarantine[m.ID] = QuarantineEntry{
 		ID:         m.ID,
@@ -264,7 +267,7 @@ func (mm *Manager) clearQuarantine(id string) {
 	defer mm.mu.Unlock()
 	if _, ok := mm.quarantine[id]; ok {
 		delete(mm.quarantine, id)
-		obs.C("mark.quarantine.cleared").Inc()
+		obs.C(obs.NameMarkQuarantineCleared).Inc()
 	}
 }
 
@@ -396,6 +399,6 @@ func (mm *Manager) Doctor(ctx context.Context) HealthReport {
 		}
 		r.Marks = append(r.Marks, mh)
 	}
-	obs.C("mark.doctor.runs").Inc()
+	obs.C(obs.NameMarkDoctorRuns).Inc()
 	return r
 }

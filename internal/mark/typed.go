@@ -33,7 +33,7 @@ func AsExcelMark(m Mark) (ExcelMark, error) {
 	}
 	sheet, rng, err := spreadsheet.ParsePath(m.Address.Path)
 	if err != nil {
-		return ExcelMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+		return ExcelMark{}, fmt.Errorf("mark: %q: %w", m.ID, err)
 	}
 	return ExcelMark{MarkID: m.ID, FileName: m.Address.File, SheetName: sheet, Range: rng}, nil
 }
@@ -60,7 +60,7 @@ func AsXMLMark(m Mark) (XMLMark, error) {
 		return XMLMark{}, fmt.Errorf("mark: %q is a %s mark, not an XML mark", m.ID, m.Scheme())
 	}
 	if _, err := xmldoc.ParsePath(m.Address.Path); err != nil {
-		return XMLMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+		return XMLMark{}, fmt.Errorf("mark: %q: %w", m.ID, err)
 	}
 	return XMLMark{MarkID: m.ID, FileName: m.Address.File, XMLPath: m.Address.Path}, nil
 }
@@ -87,7 +87,7 @@ func AsWordMark(m Mark) (WordMark, error) {
 	}
 	loc, err := textdoc.ParseLoc(m.Address.Path)
 	if err != nil {
-		return WordMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+		return WordMark{}, fmt.Errorf("mark: %q: %w", m.ID, err)
 	}
 	return WordMark{MarkID: m.ID, FileName: m.Address.File, Loc: loc}, nil
 }
@@ -113,7 +113,7 @@ func AsPDFMark(m Mark) (PDFMark, error) {
 	}
 	loc, err := pdfdoc.ParseLoc(m.Address.Path)
 	if err != nil {
-		return PDFMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+		return PDFMark{}, fmt.Errorf("mark: %q: %w", m.ID, err)
 	}
 	return PDFMark{MarkID: m.ID, FileName: m.Address.File, Loc: loc}, nil
 }
@@ -139,7 +139,7 @@ func AsSlideMark(m Mark) (SlideMark, error) {
 	}
 	loc, err := slides.ParseLoc(m.Address.Path)
 	if err != nil {
-		return SlideMark{}, fmt.Errorf("mark: %q: %v", m.ID, err)
+		return SlideMark{}, fmt.Errorf("mark: %q: %w", m.ID, err)
 	}
 	return SlideMark{MarkID: m.ID, FileName: m.Address.File, Loc: loc}, nil
 }

@@ -1,0 +1,116 @@
+package obs
+
+// This file is the metric and health-check name registry: the single place
+// where the /metrics and /healthz name spaces are declared. Every name that
+// reaches a registration sink (C, H, HSize, Registry.Counter/Histogram,
+// HealthRegistry.Register/Unregister) must be one of these constants, or —
+// for per-op/per-scheme families — a Fmt* constant expanded with
+// fmt.Sprintf. The metricnames analyzer (internal/analysis) enforces this;
+// docs/OBSERVABILITY.md is generated-by-hand from this list and stays
+// honest because of it.
+//
+// Names are dot-separated, lower-case, and lead with the owning layer
+// (trim, mark, slim, core, slimpad). Duration histograms end in ".ns",
+// size histograms name the quantity, counters name the event.
+
+// TRIM store (internal/trim).
+const (
+	NameTrimCreateTotal  = "trim.create.total"
+	NameTrimCreateNew    = "trim.create.new"
+	NameTrimCreateErrors = "trim.create.errors"
+	NameTrimCreateNS     = "trim.create.ns"
+
+	NameTrimRemoveTotal = "trim.remove.total"
+	NameTrimRemoveHit   = "trim.remove.hit"
+
+	NameTrimSelectTotal = "trim.select.total"
+	NameTrimSelectNS    = "trim.select.ns"
+	NameTrimCountTotal  = "trim.count.total"
+	NameTrimStatsTotal  = "trim.stats.total"
+
+	NameTrimIndexSubject   = "trim.index.subject"
+	NameTrimIndexPredicate = "trim.index.predicate"
+	NameTrimIndexObject    = "trim.index.object"
+	NameTrimIndexScan      = "trim.index.scan"
+
+	NameTrimViewTotal = "trim.view.total"
+	NameTrimViewNS    = "trim.view.ns"
+
+	NameTrimBatchTotal   = "trim.batch.total"
+	NameTrimBatchApplyNS = "trim.batch.apply.ns"
+	NameTrimBatchOps     = "trim.batch.ops"
+
+	NameTrimLoadTriples = "trim.load.triples"
+	NameTrimLoadNS      = "trim.load.ns"
+
+	NameTrimObserverFanout = "trim.observer.fanout"
+
+	NameTrimPersistSaveTotal     = "trim.persist.save.total"
+	NameTrimPersistSaveErrors    = "trim.persist.save.errors"
+	NameTrimPersistLoadTotal     = "trim.persist.load.total"
+	NameTrimPersistLoadCorrupt   = "trim.persist.load.corrupt"
+	NameTrimPersistLoadRecovered = "trim.persist.load.recovered"
+)
+
+// Mark Management (internal/mark). The per-scheme families are bounded by
+// the module registry: one dispatch counter per scheme, one latency/error
+// pair per (op, scheme).
+const (
+	FmtMarkDispatch = "mark.dispatch.%s"  // %s = scheme
+	FmtMarkOpNS     = "mark.%s.%s.ns"     // op, scheme
+	FmtMarkOpErrors = "mark.%s.%s.errors" // op, scheme
+
+	NameMarkMarksAdded          = "mark.marks.added"
+	NameMarkMarksRemoved        = "mark.marks.removed"
+	NameMarkModulesRegistered   = "mark.modules.registered"
+	NameMarkResolversRegistered = "mark.resolvers.registered"
+
+	NameMarkResolveRetries    = "mark.resolve.retries"
+	NameMarkResolveFailed     = "mark.resolve.failed"
+	NameMarkResolveCached     = "mark.resolve.cached"
+	NameMarkQuarantineAdded   = "mark.quarantine.added"
+	NameMarkQuarantineCleared = "mark.quarantine.cleared"
+	NameMarkDoctorRuns        = "mark.doctor.runs"
+
+	NameMarkPersistSaveTotal = "mark.persist.save.total"
+	NameMarkPersistLoadTotal = "mark.persist.load.total"
+)
+
+// SLIM DMI (internal/slim). The per-op families are bounded by the DMI
+// verb set ("create", "get", "set", "delete", ...).
+const (
+	NameSlimTriplesTouched = "slim.dmi.triples.touched"
+	NameSlimTriplesPerOp   = "slim.dmi.triples_per_op"
+
+	FmtSlimDmiNS     = "slim.dmi.%s.ns"     // %s = op
+	FmtSlimDmiTotal  = "slim.dmi.%s.total"  // op
+	FmtSlimDmiErrors = "slim.dmi.%s.errors" // op
+)
+
+// Core views (internal/core). The per-style family is bounded by the
+// ViewStyle enum.
+const (
+	NameCoreViewNS       = "core.view.ns"
+	FmtCoreViewTotal     = "core.view.%s.total" // %s = view style
+	NameCoreViewErrors   = "core.view.errors"
+	NameCoreViewDegraded = "core.view.degraded"
+)
+
+// slimpad (internal/slimpad).
+const (
+	NameSlimpadRefreshDegraded = "slimpad.refresh.degraded"
+)
+
+// Health and readiness check names (HealthRegistry.Register).
+const (
+	HealthTrimStore   = "trim.store"
+	HealthTrimPersist = "trim.persist"
+
+	HealthMarkStore      = "mark.store"
+	HealthMarkPersist    = "mark.persist"
+	HealthMarkQuarantine = "mark.quarantine"
+
+	HealthSlimpadStore      = "slimpad.store"
+	HealthSlimpadPersist    = "slimpad.persist"
+	HealthSlimpadQuarantine = "slimpad.quarantine"
+)

@@ -41,6 +41,9 @@ func GenerateDMI(store *Store, model *metamodel.Model) (*DMI, error) {
 func (d *DMI) Model() *metamodel.Model { return d.model }
 
 // Store returns the underlying store.
+//
+// slimvet:noobs accessor — "Store" is the noun here, not the verb; the
+// mutating DMI ops record via dmiOp.done.
 func (d *DMI) Store() *Store { return d.store }
 
 // Value converts a Go value into an rdf.Term for property assignment:

@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
@@ -19,8 +20,8 @@ import (
 // construct, and that inner Get records itself — which is exactly the
 // interpretation overhead the paper prices.
 var (
-	mTriplesTouched = obs.C("slim.dmi.triples.touched")
-	mTriplesPerOp   = obs.HSize("slim.dmi.triples_per_op")
+	mTriplesTouched = obs.C(obs.NameSlimTriplesTouched)
+	mTriplesPerOp   = obs.HSize(obs.NameSlimTriplesPerOp)
 )
 
 // dmiOp is an in-flight DMI operation; start with startOp, finish with
@@ -38,10 +39,10 @@ func startOp(op, detail string) dmiOp {
 // done records the operation. triples is the number of triples the op
 // touched (read or wrote); pass 0 when the op failed before touching any.
 func (o dmiOp) done(triples int, err error) {
-	obs.H("slim.dmi." + o.op + ".ns").ObserveSince(o.start)
-	obs.C("slim.dmi." + o.op + ".total").Inc()
+	obs.H(fmt.Sprintf(obs.FmtSlimDmiNS, o.op)).ObserveSince(o.start)
+	obs.C(fmt.Sprintf(obs.FmtSlimDmiTotal, o.op)).Inc()
 	if err != nil {
-		obs.C("slim.dmi." + o.op + ".errors").Inc()
+		obs.C(fmt.Sprintf(obs.FmtSlimDmiErrors, o.op)).Inc()
 		obs.Log().Warn("dmi op failed", "op", o.op, "err", err)
 	} else if triples > 0 {
 		mTriplesTouched.Add(int64(triples))

@@ -179,7 +179,7 @@ func (a *App) RefreshScrapCtx(ctx context.Context, scrap rdf.Term) (RefreshRepor
 		} else {
 			r.Dangling = append(r.Dangling, id)
 		}
-		obs.C("slimpad.refresh.degraded").Inc()
+		obs.C(obs.NameSlimpadRefreshDegraded).Inc()
 		obs.Log().Warn("slimpad: scrap mark not refreshable", "scrap", scrap.Value(), "mark", id, "err", err)
 	}
 	return r, nil

@@ -19,9 +19,9 @@ func (a *App) RegisterHealth(health, ready *obs.HealthRegistry, padPath string, 
 	if ready == nil {
 		ready = obs.DefaultReady
 	}
-	ready.Register("slimpad.store", a.dmi.Store().Trim().LoadedCheck())
+	ready.Register(obs.HealthSlimpadStore, a.dmi.Store().Trim().LoadedCheck())
 	if padPath != "" {
-		health.Register("slimpad.persist", trim.WritableCheck(padPath))
+		health.Register(obs.HealthSlimpadPersist, trim.WritableCheck(padPath))
 	}
-	health.Register("slimpad.quarantine", a.marks.QuarantineCheck(maxQuarantined))
+	health.Register(obs.HealthSlimpadQuarantine, a.marks.QuarantineCheck(maxQuarantined))
 }

@@ -30,6 +30,9 @@ func (m *Manager) NewBatch() *Batch {
 
 // Create stages a triple insertion. Validation happens immediately so the
 // caller learns about malformed triples at staging time.
+//
+// slimvet:noobs staging only; Apply is the commit point and records
+// trim.batch.* for the whole batch.
 func (b *Batch) Create(t rdf.Triple) error {
 	if b.done {
 		return fmt.Errorf("trim: batch already finished")
@@ -42,6 +45,8 @@ func (b *Batch) Create(t rdf.Triple) error {
 }
 
 // Remove stages an exact-triple removal.
+//
+// slimvet:noobs staging only; Apply records trim.batch.*.
 func (b *Batch) Remove(t rdf.Triple) error {
 	if b.done {
 		return fmt.Errorf("trim: batch already finished")
@@ -52,6 +57,8 @@ func (b *Batch) Remove(t rdf.Triple) error {
 
 // RemoveMatching stages removal of all triples matching the pattern at
 // apply time.
+//
+// slimvet:noobs staging only; Apply records trim.batch.*.
 func (b *Batch) RemoveMatching(p rdf.Pattern) error {
 	if b.done {
 		return fmt.Errorf("trim: batch already finished")
@@ -80,8 +87,18 @@ func (b *Batch) Apply() error {
 
 	m := b.m
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	err := b.applyLocked(m)
+	// Observer delivery happens after unlock; on rollback the staged
+	// events include the inverse operations, so observers still see a
+	// sequence that nets out to no change.
+	events, targets := m.drainLocked()
+	m.mu.Unlock()
+	m.deliver(targets, events)
+	return err
+}
 
+// applyLocked runs the staged operations under the caller-held store lock.
+func (b *Batch) applyLocked(m *Manager) error {
 	// Undo log: inverse operations in reverse order.
 	type undo struct {
 		t     rdf.Triple

@@ -22,19 +22,19 @@ type CompactStore struct {
 	mu sync.RWMutex
 
 	// dictionary
-	terms  []rdf.Term
-	termID map[rdf.Term]int32
+	terms  []rdf.Term         // guarded by mu
+	termID map[rdf.Term]int32 // guarded by mu
 
 	// triples as parallel columns; dead[i] marks tombstones.
-	subs, preds, objs []int32
-	dead              []bool
-	live              int
+	subs, preds, objs []int32 // guarded by mu
+	dead              []bool  // guarded by mu
+	live              int     // guarded by mu
 
 	// present prevents duplicate triples.
-	present map[[3]int32]int32 // triple -> row index
+	present map[[3]int32]int32 // triple -> row index; guarded by mu
 
 	// posting lists per term position.
-	bySub, byPred, byObj map[int32][]int32 // term id -> row indexes
+	bySub, byPred, byObj map[int32][]int32 // term id -> row indexes; guarded by mu
 }
 
 // NewCompactStore returns an empty compact store.
@@ -48,7 +48,7 @@ func NewCompactStore() *CompactStore {
 	}
 }
 
-func (c *CompactStore) intern(t rdf.Term) int32 {
+func (c *CompactStore) internLocked(t rdf.Term) int32 {
 	if id, ok := c.termID[t]; ok {
 		return id
 	}
@@ -59,13 +59,16 @@ func (c *CompactStore) intern(t rdf.Term) int32 {
 }
 
 // Create inserts a triple, reporting whether it was new.
+//
+// slimvet:noobs ablation-bench baseline store; the instrumented production
+// path is Manager (BenchmarkAblation_CompactStore compares the two).
 func (c *CompactStore) Create(t rdf.Triple) (bool, error) {
 	if err := t.Validate(); err != nil {
 		return false, fmt.Errorf("trim: compact create: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := [3]int32{c.intern(t.Subject), c.intern(t.Predicate), c.intern(t.Object)}
+	key := [3]int32{c.internLocked(t.Subject), c.internLocked(t.Predicate), c.internLocked(t.Object)}
 	if row, ok := c.present[key]; ok {
 		if !c.dead[row] {
 			return false, nil
@@ -89,6 +92,8 @@ func (c *CompactStore) Create(t rdf.Triple) (bool, error) {
 }
 
 // Remove tombstones a triple, reporting whether it was present.
+//
+// slimvet:noobs ablation-bench baseline store (see Create).
 func (c *CompactStore) Remove(t rdf.Triple) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,7 +139,7 @@ func (c *CompactStore) Select(p rdf.Pattern) []rdf.Triple {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 
-	rows, scanned := c.candidateRows(p)
+	rows, scanned := c.candidateRowsLocked(p)
 	var out []rdf.Triple
 	check := func(row int32) {
 		if c.dead[row] {
@@ -158,8 +163,9 @@ func (c *CompactStore) Select(p rdf.Pattern) []rdf.Triple {
 	return out
 }
 
-// candidateRows picks the smallest posting list among bound positions.
-func (c *CompactStore) candidateRows(p rdf.Pattern) ([]int32, bool) {
+// candidateRowsLocked picks the smallest posting list among bound
+// positions.
+func (c *CompactStore) candidateRowsLocked(p rdf.Pattern) ([]int32, bool) {
 	var best []int32
 	found := false
 	consider := func(idx map[int32][]int32, term rdf.Term) bool {
@@ -193,7 +199,7 @@ func (c *CompactStore) candidateRows(p rdf.Pattern) ([]int32, bool) {
 func (c *CompactStore) Count(p rdf.Pattern) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	rows, scanned := c.candidateRows(p)
+	rows, scanned := c.candidateRowsLocked(p)
 	n := 0
 	check := func(row int32) {
 		if c.dead[row] {
@@ -252,6 +258,8 @@ func (c *CompactStore) Snapshot() *rdf.Graph {
 }
 
 // LoadGraph bulk-loads a graph, replacing current contents.
+//
+// slimvet:noobs ablation-bench baseline store (see Create).
 func (c *CompactStore) LoadGraph(g *rdf.Graph) error {
 	fresh := NewCompactStore()
 	triples := g.All()

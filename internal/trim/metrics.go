@@ -3,52 +3,53 @@ package trim
 import "repro/internal/obs"
 
 // Metric handles are resolved once at init so hot paths pay only the
-// atomic increments. Names are documented in docs/OBSERVABILITY.md.
+// atomic increments. Names come from the obs name registry
+// (internal/obs/names.go) and are documented in docs/OBSERVABILITY.md.
 var (
-	mCreateTotal  = obs.C("trim.create.total")
-	mCreateNew    = obs.C("trim.create.new")
-	mCreateErrors = obs.C("trim.create.errors")
-	mCreateNS     = obs.H("trim.create.ns")
+	mCreateTotal  = obs.C(obs.NameTrimCreateTotal)
+	mCreateNew    = obs.C(obs.NameTrimCreateNew)
+	mCreateErrors = obs.C(obs.NameTrimCreateErrors)
+	mCreateNS     = obs.H(obs.NameTrimCreateNS)
 
-	mRemoveTotal = obs.C("trim.remove.total")
-	mRemoveHit   = obs.C("trim.remove.hit")
+	mRemoveTotal = obs.C(obs.NameTrimRemoveTotal)
+	mRemoveHit   = obs.C(obs.NameTrimRemoveHit)
 
-	mSelectTotal = obs.C("trim.select.total")
-	mSelectNS    = obs.H("trim.select.ns")
-	mCountTotal  = obs.C("trim.count.total")
-	mStatsTotal  = obs.C("trim.stats.total")
+	mSelectTotal = obs.C(obs.NameTrimSelectTotal)
+	mSelectNS    = obs.H(obs.NameTrimSelectNS)
+	mCountTotal  = obs.C(obs.NameTrimCountTotal)
+	mStatsTotal  = obs.C(obs.NameTrimStatsTotal)
 
 	// Index-choice counters quantify the query planner: which position's
 	// hash index served a pattern, or whether a full scan was needed.
-	mIdxSubject   = obs.C("trim.index.subject")
-	mIdxPredicate = obs.C("trim.index.predicate")
-	mIdxObject    = obs.C("trim.index.object")
-	mIdxScan      = obs.C("trim.index.scan")
+	mIdxSubject   = obs.C(obs.NameTrimIndexSubject)
+	mIdxPredicate = obs.C(obs.NameTrimIndexPredicate)
+	mIdxObject    = obs.C(obs.NameTrimIndexObject)
+	mIdxScan      = obs.C(obs.NameTrimIndexScan)
 
-	mViewTotal = obs.C("trim.view.total")
-	mViewNS    = obs.H("trim.view.ns")
+	mViewTotal = obs.C(obs.NameTrimViewTotal)
+	mViewNS    = obs.H(obs.NameTrimViewNS)
 
-	mBatchTotal = obs.C("trim.batch.total")
-	mBatchNS    = obs.H("trim.batch.apply.ns")
-	mBatchOps   = obs.HSize("trim.batch.ops")
+	mBatchTotal = obs.C(obs.NameTrimBatchTotal)
+	mBatchNS    = obs.H(obs.NameTrimBatchApplyNS)
+	mBatchOps   = obs.HSize(obs.NameTrimBatchOps)
 
 	// mLoadTriples counts triples entering the store through bulk Replace
 	// (file loads); Create-path inserts are counted by trim.create.*.
-	mLoadTriples = obs.C("trim.load.triples")
-	mLoadNS      = obs.H("trim.load.ns")
+	mLoadTriples = obs.C(obs.NameTrimLoadTriples)
+	mLoadNS      = obs.H(obs.NameTrimLoadNS)
 
 	// mNotifyFanout counts observer callbacks delivered (one per observer
 	// per mutation): the Observer notification fan-out.
-	mNotifyFanout = obs.C("trim.observer.fanout")
+	mNotifyFanout = obs.C(obs.NameTrimObserverFanout)
 
 	// Persistence outcomes (docs/ROBUSTNESS.md): saves attempted/failed,
 	// loads attempted, corrupt primaries detected, and loads recovered
 	// from the .bak snapshot.
-	mSaveTotal     = obs.C("trim.persist.save.total")
-	mSaveErrors    = obs.C("trim.persist.save.errors")
-	mLoadFileTotal = obs.C("trim.persist.load.total")
-	mLoadCorrupt   = obs.C("trim.persist.load.corrupt")
-	mLoadRecovered = obs.C("trim.persist.load.recovered")
+	mSaveTotal     = obs.C(obs.NameTrimPersistSaveTotal)
+	mSaveErrors    = obs.C(obs.NameTrimPersistSaveErrors)
+	mLoadFileTotal = obs.C(obs.NameTrimPersistLoadTotal)
+	mLoadCorrupt   = obs.C(obs.NameTrimPersistLoadCorrupt)
+	mLoadRecovered = obs.C(obs.NameTrimPersistLoadRecovered)
 )
 
 // indexChoice identifies which index (if any) served a pattern.

@@ -58,6 +58,8 @@ var persistFault atomic.Pointer[PersistFault]
 // SetPersistFault installs the persistence fault hook (nil removes it) and
 // returns the previous hook. Tests use it to exercise crash recovery; it
 // is process-wide, so parallel tests should not share it.
+//
+// slimvet:noobs test-only fault-injection hook, not a store operation.
 func SetPersistFault(h PersistFault) (prev PersistFault) {
 	var old *PersistFault
 	if h == nil {
@@ -214,7 +216,7 @@ func loadBytes(path string) (*rdf.Graph, error) {
 	}
 	g, err := rdf.ReadXML(bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("trim: load %s: %w: %v", path, ErrCorrupt, err)
+		return nil, fmt.Errorf("trim: load %s: %w: %w", path, ErrCorrupt, err)
 	}
 	return g, nil
 }
@@ -241,7 +243,7 @@ func (m *Manager) LoadFile(path string) error {
 	}
 	bg, berr := loadBytes(bak)
 	if berr != nil {
-		return fmt.Errorf("%w (backup %s also unusable: %v)", err, bak, berr)
+		return fmt.Errorf("%w (backup %s also unusable: %w)", err, bak, berr)
 	}
 	m.Replace(bg)
 	mLoadRecovered.Inc()
@@ -255,7 +257,13 @@ func (m *Manager) LoadFile(path string) error {
 // the same atomic temp-file+rename path as SaveFile, so a crash mid-save
 // never leaves a truncated file (N-Triples files carry no trailer: the
 // format is line-oriented and consumed by external tools).
-func (m *Manager) SaveNTriples(path string) error {
+func (m *Manager) SaveNTriples(path string) (err error) {
+	mSaveTotal.Inc()
+	defer func() {
+		if err != nil {
+			mSaveErrors.Inc()
+		}
+	}()
 	snapshot := m.Snapshot()
 	var buf bytes.Buffer
 	if err := rdf.WriteNTriples(&buf, snapshot); err != nil {

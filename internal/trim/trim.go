@@ -22,23 +22,35 @@ import (
 // NewManager. All methods are safe for concurrent use.
 type Manager struct {
 	mu sync.RWMutex
-	// graph is the ground truth set of triples.
+	// graph is the ground truth set of triples; guarded by mu.
 	graph *rdf.Graph
 	// Hash indexes, one per triple position. Values are sets of triples.
-	bySubject   map[rdf.Term]map[rdf.Triple]struct{}
-	byPredicate map[rdf.Term]map[rdf.Triple]struct{}
-	byObject    map[rdf.Term]map[rdf.Triple]struct{}
+	bySubject   map[rdf.Term]map[rdf.Triple]struct{} // guarded by mu
+	byPredicate map[rdf.Term]map[rdf.Triple]struct{} // guarded by mu
+	byObject    map[rdf.Term]map[rdf.Triple]struct{} // guarded by mu
 	// generation increments on every successful mutation; observers and
-	// optimistic readers use it to detect change.
+	// optimistic readers use it to detect change. Guarded by mu.
 	generation uint64
-	observers  map[int]Observer
-	nextObsID  int
+	observers  map[int]Observer // guarded by mu
+	nextObsID  int              // guarded by mu
+	// pending stages observer notifications while mu is held; the mutating
+	// call drains and delivers them after unlocking. Guarded by mu.
+	pending []obsEvent
 }
 
 // Observer receives change notifications. Added is true for insertions,
-// false for removals. Observers run synchronously under the manager's lock;
-// they must be fast and must not call back into the Manager.
+// false for removals. Observers run synchronously on the mutating
+// goroutine after the store lock is released: within one mutating call
+// events arrive in mutation order, between concurrent calls the order is
+// unspecified. Because no lock is held, observers may call back into the
+// Manager; a slow observer delays only its own mutating call, not readers.
 type Observer func(t rdf.Triple, added bool)
+
+// obsEvent is one staged observer notification.
+type obsEvent struct {
+	t     rdf.Triple
+	added bool
+}
 
 // NewManager returns an empty triple manager.
 func NewManager() *Manager {
@@ -58,7 +70,9 @@ func (m *Manager) Create(t rdf.Triple) (bool, error) {
 	start := time.Now()
 	m.mu.Lock()
 	added, err := m.createLocked(t)
+	events, targets := m.drainLocked()
 	m.mu.Unlock()
+	m.deliver(targets, events)
 	mCreateNS.ObserveSince(start)
 	mCreateTotal.Inc()
 	switch {
@@ -82,7 +96,7 @@ func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
 	indexAdd(m.byPredicate, t.Predicate, t)
 	indexAdd(m.byObject, t.Object, t)
 	m.generation++
-	m.notifyLocked(t, true)
+	m.queueNotifyLocked(t, true)
 	return true, nil
 }
 
@@ -90,7 +104,9 @@ func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
 func (m *Manager) Remove(t rdf.Triple) bool {
 	m.mu.Lock()
 	removed := m.removeLocked(t)
+	events, targets := m.drainLocked()
 	m.mu.Unlock()
+	m.deliver(targets, events)
 	mRemoveTotal.Inc()
 	if removed {
 		mRemoveHit.Inc()
@@ -106,7 +122,7 @@ func (m *Manager) removeLocked(t rdf.Triple) bool {
 	indexRemove(m.byPredicate, t.Predicate, t)
 	indexRemove(m.byObject, t.Object, t)
 	m.generation++
-	m.notifyLocked(t, false)
+	m.queueNotifyLocked(t, false)
 	return true
 }
 
@@ -114,11 +130,13 @@ func (m *Manager) removeLocked(t rdf.Triple) bool {
 // many were removed.
 func (m *Manager) RemoveMatching(p rdf.Pattern) int {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	matches := m.selectLocked(p)
 	for _, t := range matches {
 		m.removeLocked(t)
 	}
+	events, targets := m.drainLocked()
+	m.mu.Unlock()
+	m.deliver(targets, events)
 	return len(matches)
 }
 
@@ -252,11 +270,13 @@ func (m *Manager) Subjects(predicate, object rdf.Term) []rdf.Term {
 // Update_ operations.
 func (m *Manager) SetUnique(subject, predicate, object rdf.Term) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, t := range m.selectLocked(rdf.P(subject, predicate, rdf.Zero)) {
 		m.removeLocked(t)
 	}
 	_, err := m.createLocked(rdf.T(subject, predicate, object))
+	events, targets := m.drainLocked()
+	m.mu.Unlock()
+	m.deliver(targets, events)
 	return err
 }
 
@@ -316,13 +336,44 @@ func (m *Manager) Unobserve(id int) {
 	delete(m.observers, id)
 }
 
-func (m *Manager) notifyLocked(t rdf.Triple, added bool) {
+// queueNotifyLocked stages one observer notification. Callbacks must not
+// run here — the caller holds mu, and observer code is allowed to be slow
+// and to call back into the Manager — so the event is queued and the
+// mutating entry point delivers it after unlocking.
+func (m *Manager) queueNotifyLocked(t rdf.Triple, added bool) {
 	if len(m.observers) == 0 {
 		return
 	}
-	mNotifyFanout.Add(int64(len(m.observers)))
+	m.pending = append(m.pending, obsEvent{t: t, added: added})
+}
+
+// drainLocked takes the staged notifications and a snapshot of the current
+// observers. It returns data, not a closure: delivery happens in the
+// caller, demonstrably outside the lock.
+func (m *Manager) drainLocked() ([]obsEvent, []Observer) {
+	if len(m.pending) == 0 {
+		return nil, nil
+	}
+	events := m.pending
+	m.pending = nil
+	targets := make([]Observer, 0, len(m.observers))
 	for _, o := range m.observers {
-		o(t, added)
+		targets = append(targets, o)
+	}
+	return events, targets
+}
+
+// deliver fans staged events out to the observer snapshot, in mutation
+// order, with no lock held.
+func (m *Manager) deliver(targets []Observer, events []obsEvent) {
+	if len(events) == 0 || len(targets) == 0 {
+		return
+	}
+	mNotifyFanout.Add(int64(len(events)) * int64(len(targets)))
+	for _, ev := range events {
+		for _, o := range targets {
+			o(ev.t, ev.added)
+		}
 	}
 }
 

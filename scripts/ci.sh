@@ -1,10 +1,11 @@
 #!/bin/sh
-# CI lane: vet, build, the full test suite under the race detector, then
-# the env-gated fault-injection sweep (docs/ROBUSTNESS.md). Mirrors
-# `make ci` for environments without make.
+# CI lane: lint (vet + slimvet), build, the full test suite under the
+# race detector, then the env-gated fault-injection sweep
+# (docs/ROBUSTNESS.md). Mirrors `make ci` for environments without make.
 set -eux
 
 go vet ./...
+go run ./cmd/slimvet ./...
 go build ./...
 go test -race ./...
 SLIM_FAULT_SWEEP=1 go test -run FaultSweep ./internal/trim/ ./internal/mark/
