@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell date +%Y%m%d)
 
-.PHONY: all build test race vet lint faults ci bench bench-json
+.PHONY: all build test race vet lint faults trace-smoke ci bench bench-json
 
 all: build
 
@@ -38,7 +38,14 @@ race:
 faults:
 	SLIM_FAULT_SWEEP=1 $(GO) test -run FaultSweep ./internal/trim/ ./internal/mark/
 
-ci: lint build race faults
+# The trace-smoke lane (docs/OBSERVABILITY.md): drives a real DMI op
+# through the binaries' trace subcommands and the -serve endpoints, and
+# checks the resulting causal tree spans the dmi → trim → mark layers and
+# exports as valid Chrome trace-event JSON.
+trace-smoke:
+	$(GO) test -run TraceSmoke ./cmd/trimq/ ./cmd/slimpad/
+
+ci: lint build race faults trace-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

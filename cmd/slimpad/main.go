@@ -9,6 +9,12 @@
 //	slimpad check -pad rounds.xml
 //	slimpad marks -pad rounds.xml
 //	slimpad doctor -pad rounds.xml
+//	slimpad trace -pad rounds.xml [-json] [-perfetto trace.json]
+//
+// trace walks the pad and doctors its marks under one causal trace root,
+// then prints the reassembled span tree: the dmi → trim → mark fan-out of
+// a single user gesture. -perfetto saves the same trace as Chrome
+// trace-event JSON for ui.perfetto.dev.
 package main
 
 import (
@@ -51,7 +57,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a command: demo | show | check | marks | doctor | find")
+		return fmt.Errorf("need a command: demo | show | check | marks | doctor | find | trace")
 	}
 	switch args[0] {
 	case "demo":
@@ -60,9 +66,91 @@ func run(args []string, out io.Writer) error {
 		return inspect(args[0], args[1:], out)
 	case "find":
 		return find(args[1:], out)
+	case "trace":
+		return trace(args[1:], out)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+}
+
+// trace loads a pad, then walks it and doctors its marks under a single
+// trace root, and prints the reassembled span tree — the causal record of
+// one user gesture crossing the dmi, trim, and mark layers.
+func trace(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	padFile := fs.String("pad", "", "pad file to trace")
+	jsonOut := fs.Bool("json", false, "emit the trace tree as JSON")
+	perfetto := fs.String("perfetto", "", "also write the trace as Chrome trace-event JSON to this file")
+	var cli obs.CLI
+	cli.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *padFile == "" {
+		return fmt.Errorf("-pad is required")
+	}
+	return withObs(&cli, out, func() error { return tracePad(*padFile, *jsonOut, *perfetto, out) })
+}
+
+func tracePad(padFile string, jsonOut bool, perfetto string, out io.Writer) error {
+	marks := mark.NewManager()
+	app, err := slimpad.NewApp(marks)
+	if err != nil {
+		return err
+	}
+	if _, err := app.Load(padFile); err != nil {
+		return err
+	}
+	app.RegisterHealth(nil, nil, padFile, 1)
+	id, err := runPadTraced(app, marks)
+	if err != nil {
+		return err
+	}
+	ops := obs.DefaultTracer.TraceOps(id)
+	if len(ops) == 0 {
+		return fmt.Errorf("trace %s recorded no spans (tracer disabled or sampled out)", id)
+	}
+	if perfetto != "" {
+		f, err := os.Create(perfetto)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTraceEvents(f, ops); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace event(s) to %s\n", len(ops), perfetto)
+	}
+	tree := obs.DefaultTracer.Trace(id)
+	if tree == nil {
+		return fmt.Errorf("trace %s not found", id)
+	}
+	if jsonOut {
+		return obs.EncodeJSON(out, tree)
+	}
+	return tree.WriteText(out)
+}
+
+// runPadTraced performs the traced work: one root span, under which the pad
+// walk (dmi → trim) and the mark doctor pass (mark) all hang as children.
+func runPadTraced(app *slimpad.App, marks *mark.Manager) (id obs.TraceID, err error) {
+	ctx, sp := obs.StartCtx(context.Background(), "slimpad.trace", "pad walk + mark doctor")
+	defer func() { sp.FinishErr(err) }()
+	id = sp.TraceID()
+	pads, err := app.DMI().PadsCtx(ctx)
+	if err != nil {
+		return id, err
+	}
+	for _, p := range pads {
+		if _, err := app.TreeCtx(ctx, p.ID()); err != nil {
+			return id, err
+		}
+	}
+	marks.Doctor(ctx)
+	return id, nil
 }
 
 // find searches a persisted pad for scraps and bundles by label substring

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTraceSmokeServe is the end-to-end acceptance path for causal traces:
+// run a traced pad walk under -serve, then pull the trace back out of the
+// diagnostics server and check it crosses at least three layers of the
+// stack (dmi → trim → mark), and that the Perfetto view of the same trace
+// parses as Chrome trace-event JSON.
+func TestTraceSmokeServe(t *testing.T) {
+	pad := filepath.Join(t.TempDir(), "rounds.xml")
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "1", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"trace", "-pad", pad, "-serve", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.ActiveServer()
+	if s == nil {
+		t.Fatal("-serve left no active server")
+	}
+	defer s.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// The roots index must list the trace the subcommand just recorded.
+	code, body := get("/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", code)
+	}
+	var index struct {
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &index); err != nil {
+		t.Fatalf("/debug/traces: %v\n%s", err, body)
+	}
+	var id obs.TraceID
+	for _, tr := range index.Traces {
+		if tr.Op == "slimpad.trace" {
+			id = tr.Trace
+			break
+		}
+	}
+	if id == 0 {
+		t.Fatalf("/debug/traces has no slimpad.trace root:\n%s", body)
+	}
+
+	// The reassembled tree must span the dmi, trim, and mark layers.
+	code, body = get("/debug/trace/" + id.String())
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace/%s status %d", id, code)
+	}
+	var tree obs.TraceTree
+	if err := json.Unmarshal(body, &tree); err != nil {
+		t.Fatalf("/debug/trace/%s: %v\n%s", id, err, body)
+	}
+	if tree.ID != id || len(tree.Roots) == 0 {
+		t.Fatalf("trace tree = %+v", tree)
+	}
+	layers := map[string]bool{}
+	var walk func(n *obs.TraceNode)
+	walk = func(n *obs.TraceNode) {
+		if i := strings.IndexByte(n.Op, '.'); i > 0 {
+			layers[n.Op[:i]] = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tree.Roots {
+		walk(r)
+	}
+	for _, want := range []string{"dmi", "trim", "mark"} {
+		if !layers[want] {
+			t.Errorf("trace covers layers %v, missing %q", layers, want)
+		}
+	}
+
+	// The same trace must render as valid Chrome trace-event JSON.
+	code, body = get("/debug/trace/" + id.String() + "?perfetto=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace/%s?perfetto=1 status %d", id, code)
+	}
+	var events struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("perfetto export: %v\n%s", err, body)
+	}
+	if len(events.TraceEvents) != tree.Spans {
+		t.Errorf("perfetto has %d events, tree has %d spans", len(events.TraceEvents), tree.Spans)
+	}
+	for _, ev := range events.TraceEvents {
+		if ev.Ph != "X" || ev.Name == "" || ev.PID == 0 || ev.TID == 0 {
+			t.Fatalf("malformed trace event %+v", ev)
+		}
+	}
+
+	// Unknown and malformed ids answer 404/400, not 200.
+	if code, _ := get("/debug/trace/ffffffffffffffff"); code != http.StatusNotFound {
+		t.Errorf("unknown trace id: status %d", code)
+	}
+	if code, _ := get("/debug/trace/not-hex"); code != http.StatusBadRequest {
+		t.Errorf("malformed trace id: status %d", code)
+	}
+}
+
+// TestTraceSmokeText covers the subcommand's own output: the tree header
+// names the trace, the indentation mirrors causal depth, and -perfetto
+// writes a parseable trace-event file.
+func TestTraceSmokeText(t *testing.T) {
+	dir := t.TempDir()
+	pad := filepath.Join(dir, "rounds.xml")
+	perfetto := filepath.Join(dir, "trace.json")
+	var out strings.Builder
+	if err := run([]string{"demo", "-out", pad, "-patients", "1", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"trace", "-pad", pad, "-perfetto", perfetto}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"== trace ", "slimpad.trace", "\n  dmi.", "\n    trim.", "mark.doctor", "mark.resolve"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+	data, err := os.ReadFile(perfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("perfetto file: %v", err)
+	}
+	if len(events.TraceEvents) == 0 {
+		t.Fatal("perfetto file holds no events")
+	}
+}

@@ -78,8 +78,8 @@ func TestJSONReportShape(t *testing.T) {
 	if r.Module != "repro" {
 		t.Errorf("module = %q, want %q", r.Module, "repro")
 	}
-	if len(r.Analyzers) != 5 {
-		t.Errorf("analyzers = %v, want all five", r.Analyzers)
+	if len(r.Analyzers) != 6 {
+		t.Errorf("analyzers = %v, want all six", r.Analyzers)
 	}
 	if len(r.Diagnostics) == 0 || len(r.New) == 0 {
 		t.Errorf("diagnostics/new empty; htmldoc debt should appear in both")

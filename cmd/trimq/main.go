@@ -13,11 +13,16 @@
 //	trimq -store pad.xml view inst:Bundle-000001
 //	trimq -store pad.xml models
 //	trimq -store pad.xml -serve :9090 stats
+//	trimq -store pad.xml trace select '?' rdf:type pad:Bundle
+//	trimq -store pad.xml -perfetto trace.json trace view inst:Bundle-000001
 //
 // Query terms are '?' (wildcard), a prefix:local qualified name, a full IRI,
 // or a "quoted string" literal. explain runs the query and reports the
 // planner's index choice, candidates scanned, matches, and wall time
-// instead of the result rows.
+// instead of the result rows. trace runs the query under a causal trace
+// root and prints the reassembled span tree (the store-layer spans carry
+// their EXPLAIN plan lines); -perfetto also saves the trace as Chrome
+// trace-event JSON for ui.perfetto.dev.
 package main
 
 import (
@@ -50,7 +55,8 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trimq", flag.ContinueOnError)
 	store := fs.String("store", "", "path to a persisted store (XML triple file)")
 	nt := fs.Bool("nt", false, "store file is N-Triples instead of XML")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (stats, explain)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (stats, explain, trace)")
+	perfetto := fs.String("perfetto", "", "with trace: also save the trace as Chrome trace-event JSON to `file`")
 	var cli obs.CLI
 	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -61,19 +67,19 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | view RESOURCE | path START PRED... | models")
+		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | trace select|view|path ... | view RESOURCE | path START PRED... | models")
 	}
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	err := execute(*store, *nt, *jsonOut, rest, out)
+	err := execute(*store, *nt, *jsonOut, *perfetto, rest, out)
 	if ferr := cli.Finish(out); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func execute(store string, nt bool, jsonOut bool, rest []string, out io.Writer) error {
+func execute(store string, nt bool, jsonOut bool, perfetto string, rest []string, out io.Writer) error {
 	m := trim.NewManager()
 	var err error
 	if nt {
@@ -99,6 +105,8 @@ func execute(store string, nt bool, jsonOut bool, rest []string, out io.Writer) 
 		return nil
 	case "explain":
 		return explain(m, pm, jsonOut, rest[1:], out)
+	case "trace":
+		return traceQuery(m, pm, jsonOut, perfetto, rest[1:], out)
 	case "models":
 		for _, id := range metamodel.ListModels(m) {
 			model, err := metamodel.Decode(m, id)
@@ -225,6 +233,94 @@ func explain(m *trim.Manager, pm *rdf.PrefixMap, jsonOut bool, rest []string, ou
 	}
 	fmt.Fprintln(out, e)
 	return nil
+}
+
+// traceQuery runs a select, view, or path query under a fresh trace root
+// and prints the reassembled span tree — the end-to-end walkthrough of
+// docs/OBSERVABILITY.md in one command. With a perfetto path the trace is
+// also saved as Chrome trace-event JSON.
+func traceQuery(m *trim.Manager, pm *rdf.PrefixMap, jsonOut bool, perfetto string, rest []string, out io.Writer) error {
+	if len(rest) == 0 {
+		return fmt.Errorf("trace needs a query: trace select S P O | trace view RESOURCE | trace path START PRED...")
+	}
+	id, err := runTraced(m, pm, rest)
+	if err != nil {
+		return err
+	}
+	ops := obs.DefaultTracer.TraceOps(id)
+	if len(ops) == 0 {
+		return fmt.Errorf("trace %s recorded no spans (tracer disabled or sampled out)", id)
+	}
+	if perfetto != "" {
+		f, err := os.Create(perfetto)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteTraceEvents(f, ops)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "wrote %d trace event(s) to %s\n", len(ops), perfetto)
+	}
+	if jsonOut {
+		return obs.EncodeJSON(out, obs.DefaultTracer.Trace(id))
+	}
+	return obs.DefaultTracer.Trace(id).WriteText(out)
+}
+
+// runTraced executes the query under a root span and returns its trace id.
+func runTraced(m *trim.Manager, pm *rdf.PrefixMap, rest []string) (id obs.TraceID, err error) {
+	ctx, sp := obs.StartCtx(context.Background(), "trimq.trace", strings.Join(rest, " "))
+	defer func() { sp.FinishErr(err) }()
+	id = sp.TraceID()
+	switch rest[0] {
+	case "select":
+		if len(rest) != 4 {
+			return id, fmt.Errorf("trace select needs exactly 3 terms (use '?' for wildcards)")
+		}
+		pat := rdf.Pattern{}
+		terms := []*rdf.Term{&pat.Subject, &pat.Predicate, &pat.Object}
+		for i, arg := range rest[1:] {
+			t, err := parseTerm(pm, arg)
+			if err != nil {
+				return id, fmt.Errorf("term %d: %w", i+1, err)
+			}
+			*terms[i] = t
+		}
+		m.SelectExplainCtx(ctx, pat)
+	case "view":
+		if len(rest) != 2 {
+			return id, fmt.Errorf("trace view needs exactly 1 resource")
+		}
+		root, err := parseTerm(pm, rest[1])
+		if err != nil {
+			return id, err
+		}
+		m.ViewExplainCtx(ctx, root)
+	case "path":
+		if len(rest) < 3 {
+			return id, fmt.Errorf("trace path needs a start resource and at least 1 predicate")
+		}
+		start, err := parseTerm(pm, rest[1])
+		if err != nil {
+			return id, err
+		}
+		preds := make([]rdf.Term, 0, len(rest)-2)
+		for _, arg := range rest[2:] {
+			p, err := parseTerm(pm, arg)
+			if err != nil {
+				return id, err
+			}
+			preds = append(preds, p)
+		}
+		m.PathExplainCtx(ctx, []rdf.Term{start}, preds...)
+	default:
+		return id, fmt.Errorf("trace does not support %q (want select, view, or path)", rest[0])
+	}
+	return id, nil
 }
 
 func parseTerm(pm *rdf.PrefixMap, arg string) (rdf.Term, error) {

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceSmokeSelect runs a traced select and checks the trimq.trace →
+// trim.select causality in the printed tree, including the EXPLAIN plan
+// line the trim span carries as its detail.
+func TestTraceSmokeSelect(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "trace", "select", "?", "?", "?"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"== trace ", "trimq.trace select ? ? ?", "\n  trim.select", "op=select", "index="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceSmokePerfetto checks that -perfetto writes a Chrome trace-event
+// file whose events all carry the complete-span phase and this trace's id.
+func TestTraceSmokePerfetto(t *testing.T) {
+	path := storeFile(t)
+	perfetto := filepath.Join(t.TempDir(), "trace.json")
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-json", "-perfetto", perfetto,
+		"trace", "view", "http://slim.example.org/instance#Bundle-000001"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var tree struct {
+		TraceID string `json:"trace_id"`
+		Spans   int    `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(out.String()[strings.Index(out.String(), "{"):]), &tree); err != nil {
+		t.Fatalf("tree JSON: %v\n%s", err, out.String())
+	}
+	if tree.TraceID == "" || tree.Spans < 2 {
+		t.Fatalf("tree = %+v", tree)
+	}
+	data, err := os.ReadFile(perfetto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Args struct {
+				Trace string `json:"trace_id"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("perfetto file: %v", err)
+	}
+	if len(events.TraceEvents) != tree.Spans {
+		t.Fatalf("perfetto has %d events, tree has %d spans", len(events.TraceEvents), tree.Spans)
+	}
+	for _, ev := range events.TraceEvents {
+		if ev.Ph != "X" || ev.Args.Trace != tree.TraceID {
+			t.Fatalf("malformed trace event %+v (want trace %s)", ev, tree.TraceID)
+		}
+	}
+}
+
+// TestTraceSmokeBadQuery covers the error paths: unknown trace verbs and
+// arity mistakes fail with usage errors rather than panics.
+func TestTraceSmokeBadQuery(t *testing.T) {
+	path := storeFile(t)
+	for _, args := range [][]string{
+		{"-store", path, "trace"},
+		{"-store", path, "trace", "stats"},
+		{"-store", path, "trace", "select", "?", "?"},
+		{"-store", path, "trace", "view"},
+		{"-store", path, "trace", "path", "x"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -92,7 +92,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{LockGuard, ErrWrap, CtxFlow, ObsCoverage, MetricNames}
+	return []*Analyzer{LockGuard, ErrWrap, CtxFlow, ObsCoverage, MetricNames, TraceCtx}
 }
 
 // ByName resolves analyzer names (e.g. from -enable/-disable flags).

@@ -14,7 +14,11 @@ import (
 //  2. Library code (packages under internal/) never calls
 //     context.Background() or context.TODO(): the context is the caller's
 //     to provide, and a fabricated one silently disables cancellation of
-//     the retry/backoff paths.
+//     the retry/backoff paths. The obs package's context constructors
+//     (StartCtx, ContextWithSpan) are the sanctioned exception: they
+//     normalize a caller-supplied nil ctx to Background so plain entry
+//     points can delegate to their Ctx variants, and they only ever attach
+//     a value — no deadline or cancellation is fabricated.
 //  3. A function that has a context must propagate it: calling Foo when the
 //     callee also offers FooCtx(ctx, ...) drops cancellation on the floor.
 var CtxFlow = &Analyzer{
@@ -34,6 +38,20 @@ func isContextType(t types.Type) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
 }
 
+// sanctionedCtxConstructors are the obs functions allowed to normalize a
+// nil context to context.Background(): the official on-ramps library code
+// uses instead of fabricating contexts itself.
+var sanctionedCtxConstructors = map[string]bool{
+	"StartCtx":        true,
+	"ContextWithSpan": true,
+}
+
+// isSanctionedCtxConstructor reports whether fd is one of the obs context
+// constructors exempt from the fabricated-context rule.
+func isSanctionedCtxConstructor(pkgPath string, fd *ast.FuncDecl) bool {
+	return strings.HasSuffix(pkgPath, "internal/obs") && sanctionedCtxConstructors[fd.Name.Name]
+}
+
 func runCtxFlow(pass *Pass) error {
 	info := pass.Info()
 	isLibrary := strings.Contains(pass.Pkg.Path, "/internal/")
@@ -48,13 +66,14 @@ func runCtxFlow(pass *Pass) error {
 			if fd.Body == nil {
 				continue
 			}
+			checkFabrication := isLibrary && !isSanctionedCtxConstructor(pass.Pkg.Path, fd)
 			hasCtx := funcHasCtxParam(info, fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				if isLibrary {
+				if checkFabrication {
 					checkFabricatedContext(pass, info, call)
 				}
 				if hasCtx {

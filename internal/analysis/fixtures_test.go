@@ -132,6 +132,7 @@ func TestLockGuardFixture(t *testing.T)   { runFixture(t, LockGuard, "lockguard"
 func TestErrWrapFixture(t *testing.T)     { runFixture(t, ErrWrap, "errwrap") }
 func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
 func TestMetricNamesFixture(t *testing.T) { runFixture(t, MetricNames, "metricnames") }
+func TestTraceCtxFixture(t *testing.T)    { runFixture(t, TraceCtx, "tracectx") }
 
 func TestObsCoverageFixture(t *testing.T) {
 	// The coverage contract binds a declared package set; enroll the fixture

@@ -33,8 +33,10 @@ var metricNameSinks = map[string]int{
 	"C":                       0,
 	"H":                       0,
 	"HSize":                   0,
+	"G":                       0,
 	"Registry.Counter":        0,
 	"Registry.Histogram":      0,
+	"Registry.Gauge":          0,
 	"HealthRegistry.Register": 0,
 	// Unregister must match Register, or checks become unremovable.
 	"HealthRegistry.Unregister": 0,

@@ -41,10 +41,16 @@ var instrumentationSinks = map[string]bool{
 	// Histograms.
 	"Histogram.Observe":      true,
 	"Histogram.ObserveSince": true,
-	// Spans / tracing.
-	"Trace":          true,
-	"Span.Finish":    true,
-	"Span.FinishErr": true,
+	// Gauges.
+	"Gauge.Set": true,
+	"Gauge.Add": true,
+	// Spans / tracing. StartCtx counts because the span it opens records
+	// on finish, and tracectx separately guarantees the finish happens.
+	"Trace":           true,
+	"StartCtx":        true,
+	"Tracer.StartCtx": true,
+	"Span.Finish":     true,
+	"Span.FinishErr":  true,
 	// Slow-op journal.
 	"SlowOps.Observe": true,
 }

@@ -1,8 +1,25 @@
 // Package obs is a miniature of the real repro/internal/obs, with just
-// enough surface for the obscoverage and metricnames fixtures: the
-// analyzers key off the import-path suffix "internal/obs", which this
+// enough surface for the obscoverage, metricnames, and tracectx fixtures:
+// the analyzers key off the import-path suffix "internal/obs", which this
 // package shares via the registered path "fixture/internal/obs".
 package obs
+
+import "context"
+
+// Span and StartCtx mirror the causal-tracing surface the tracectx
+// analyzer checks.
+type Span struct{}
+
+func (s *Span) Finish()                       {}
+func (s *Span) FinishErr(err error)           { _ = err }
+func (s *Span) Child(op, detail string) *Span { _, _ = op, detail; return &Span{} }
+
+func StartCtx(ctx context.Context, op, detail string) (context.Context, *Span) {
+	_, _ = op, detail
+	return ctx, &Span{}
+}
+
+func ContextWithSpan(ctx context.Context, s *Span) context.Context { _ = s; return ctx }
 
 // Counter is a metric counter stub.
 type Counter struct{ n int64 }

@@ -151,7 +151,7 @@ func (s *System) ViewMark(style ViewingStyle, markID string) (v View, err error)
 // classified error; they land in the manager's quarantine for Doctor.
 func (s *System) ViewMarkCtx(ctx context.Context, style ViewingStyle, markID string) (v View, err error) {
 	start := time.Now()
-	sp := obs.Trace("core.view", style.String()+" "+markID)
+	ctx, sp := obs.StartCtx(ctx, "core.view", style.String()+" "+markID)
 	defer func() {
 		sp.FinishErr(err)
 		obs.H(obs.NameCoreViewNS).ObserveSince(start)
@@ -189,7 +189,7 @@ func (s *System) ViewMarkCtx(ctx context.Context, style ViewingStyle, markID str
 // Doctor runs the Mark Manager's health check over every stored mark: the
 // system-level entry point behind `markctl doctor`.
 func (s *System) Doctor(ctx context.Context) mark.HealthReport {
-	sp := obs.Trace("core.doctor", "")
+	ctx, sp := obs.StartCtx(ctx, "core.doctor", "")
 	defer sp.Finish()
 	return s.Marks.Doctor(ctx)
 }

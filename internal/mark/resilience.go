@@ -92,18 +92,32 @@ func (mm *Manager) ResolveCtx(ctx context.Context, id string) (base.Element, err
 	return mm.ResolveWithCtx(ctx, id, ResolveContext)
 }
 
-// ResolveWithCtx is ResolveCtx with an explicit resolver name.
-func (mm *Manager) ResolveWithCtx(ctx context.Context, id, resolver string) (base.Element, error) {
+// mResolveAttempts distributes how many tries each resilient resolve
+// needed; a drift toward 2+ means bases are flapping.
+var mResolveAttempts = obs.HSize(obs.NameMarkResolveAttempts)
+
+// ResolveWithCtx is ResolveCtx with an explicit resolver name. Under a
+// traced context the whole ladder is one "mark.resolve" span with each try
+// a "mark.resolve.attempt" child carrying its attempt number and the
+// backoff slept before it, so a trace shows exactly where retry latency
+// went — including faultbase-injected faults, whose error text tags the
+// attempt span that hit them.
+func (mm *Manager) ResolveWithCtx(ctx context.Context, id, resolver string) (el base.Element, err error) {
+	ctx, sp := obs.StartCtx(ctx, "mark.resolve", id)
+	defer func() { sp.FinishErr(err) }()
 	policy := mm.RetryPolicy()
 	attempts := policy.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	delay := policy.BaseDelay
-	var el base.Element
-	var err error
-	for attempt := 1; ; attempt++ {
+	slept := time.Duration(0)
+	attempt := 1
+	defer func() { mResolveAttempts.Observe(int64(attempt)) }()
+	for ; ; attempt++ {
+		asp := sp.Child("mark.resolve.attempt", fmt.Sprintf("attempt=%d backoff=%s", attempt, slept))
 		el, err = mm.ResolveWith(id, resolver)
+		asp.FinishErr(err)
 		if err == nil {
 			mm.clearQuarantine(id)
 			return el, nil
@@ -116,6 +130,7 @@ func (mm *Manager) ResolveWithCtx(ctx context.Context, id, resolver string) (bas
 			err = fmt.Errorf("%w: %w (while retrying: %w)", ErrTransient, werr, err)
 			return base.Element{}, err
 		}
+		slept = delay
 		if delay *= 2; policy.MaxDelay > 0 && delay > policy.MaxDelay {
 			delay = policy.MaxDelay
 		}
@@ -366,6 +381,8 @@ func (r HealthReport) String() string {
 // but excerpt-backed), or dangling. Unresolvable marks are quarantined;
 // the stored excerpt is NOT updated — Doctor observes, Refresh repairs.
 func (mm *Manager) Doctor(ctx context.Context) HealthReport {
+	ctx, sp := obs.StartCtx(ctx, "mark.doctor", "")
+	defer sp.Finish()
 	var r HealthReport
 	for _, m := range mm.Marks() {
 		if err := ctx.Err(); err != nil {

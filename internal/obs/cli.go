@@ -9,11 +9,13 @@ import (
 
 // CLI bundles the standard observability flags the SLIM binaries share:
 //
-//	-metrics        print the Default registry (text form) after the run
-//	-trace          dump the DefaultTracer ring buffer after the run
-//	-profile FILE   write a CPU profile of the run to FILE
-//	-serve ADDR     serve live diagnostics (/metrics, /healthz, /debug/*)
-//	-slowops DUR    set the slow-op journal latency threshold
+//	-metrics            print the Default registry (text form) after the run
+//	-trace              dump the DefaultTracer ring buffer after the run
+//	-profile FILE       write a CPU profile of the run to FILE
+//	-serve ADDR         serve live diagnostics (/metrics, /healthz, /debug/*)
+//	-slowops DUR        set the slow-op journal latency threshold
+//	-flight DUR         runtime flight-recorder sampling interval under -serve
+//	-trace-sample RATE  probabilistic trace sampling rate (errors always kept)
 //
 // Usage: Bind onto the command's FlagSet, Start after parsing, and Finish
 // once the command has run (Finish must run even when the command errors,
@@ -21,11 +23,13 @@ import (
 // binaries' main functions keep the process alive for scraping via
 // ActiveServer + AwaitInterrupt, and tests close it through ActiveServer.
 type CLI struct {
-	Metrics bool
-	Trace   bool
-	Profile string
-	Serve   string
-	SlowOps time.Duration
+	Metrics     bool
+	Trace       bool
+	Profile     string
+	Serve       string
+	SlowOps     time.Duration
+	Flight      time.Duration
+	TraceSample float64
 
 	stopProfile func() error
 	server      *DiagServer
@@ -38,13 +42,20 @@ func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&c.Profile, "profile", "", "write a CPU profile of the run to `file`")
 	fs.StringVar(&c.Serve, "serve", "", "serve live diagnostics on `addr` (e.g. :9090); the process stays up after the command until interrupted")
 	fs.DurationVar(&c.SlowOps, "slowops", 0, "journal instrumented ops slower than `dur` (0 keeps the current threshold)")
+	fs.DurationVar(&c.Flight, "flight", time.Second, "runtime flight-recorder sampling `interval` (with -serve)")
+	fs.Float64Var(&c.TraceSample, "trace-sample", 1, "record this fraction of trace roots (0..1; error spans are always kept)")
 }
 
 // Start begins CPU profiling when -profile was given, applies the -slowops
-// threshold, and starts the diagnostics server when -serve was given.
+// threshold and -trace-sample rate, and — when -serve was given — starts
+// the diagnostics server, the runtime flight recorder, and its health
+// probe.
 func (c *CLI) Start() error {
 	if c.SlowOps > 0 {
 		DefaultSlowOps.SetThreshold(c.SlowOps)
+	}
+	if c.TraceSample != 1 {
+		DefaultTracer.SetSampleRate(c.TraceSample)
 	}
 	if c.Serve != "" {
 		s, err := Serve(c.Serve, ServeConfig{})
@@ -52,6 +63,10 @@ func (c *CLI) Start() error {
 			return err
 		}
 		c.server = s
+		if c.Flight > 0 {
+			DefaultFlight.Start(c.Flight)
+			DefaultHealth.Register(HealthObsFlight, FlightCheck(DefaultFlight))
+		}
 	}
 	if c.Profile == "" {
 		return nil

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runtime flight recorder: a ticker-driven ring of periodic runtime
+// snapshots (goroutines, heap, GC), so a slow span in a trace can be
+// checked against what the runtime was doing at that instant. The ring is
+// served at /debug/flight; the latest sample is republished as flight.*
+// gauges for Prometheus.
+
+// FlightSample is one periodic runtime snapshot.
+type FlightSample struct {
+	TimeUnixNS      int64  `json:"time_unix_ns"`
+	Goroutines      int    `json:"goroutines"`
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapInuseBytes  uint64 `json:"heap_inuse_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+	LastGCPauseNS   uint64 `json:"last_gc_pause_ns"`
+	NextGCBytes     uint64 `json:"next_gc_bytes"`
+}
+
+// FlightRecorder samples the runtime on a fixed interval into a ring
+// buffer. Start/Stop are idempotent; all methods are safe for concurrent
+// use.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []FlightSample
+	seq  uint64
+
+	running    atomic.Bool
+	intervalNS atomic.Int64
+	lastNS     atomic.Int64
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// NewFlightRecorder returns a stopped recorder retaining the last capacity
+// samples (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{ring: make([]FlightSample, capacity)}
+}
+
+// DefaultFlight is the process-wide flight recorder, started by the shared
+// obs.CLI when serving diagnostics. At the default 1s interval its 512
+// slots hold ~8.5 minutes of history.
+var DefaultFlight = NewFlightRecorder(512)
+
+// Start begins sampling every interval (minimum 10ms) until Stop. Starting
+// a running recorder is a no-op.
+func (f *FlightRecorder) Start(interval time.Duration) {
+	if f == nil || !f.running.CompareAndSwap(false, true) {
+		return
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	f.intervalNS.Store(int64(interval))
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	f.observe() // one sample immediately, so Recent is never empty while running
+	go f.loop(interval, f.stop, f.done)
+}
+
+func (f *FlightRecorder) loop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			f.observe()
+		}
+	}
+}
+
+// Stop halts sampling and waits for the sampler goroutine to exit.
+// Retained samples survive; Stop on a stopped recorder is a no-op.
+func (f *FlightRecorder) Stop() {
+	if f == nil || !f.running.CompareAndSwap(true, false) {
+		return
+	}
+	close(f.stop)
+	<-f.done
+}
+
+// Running reports whether the sampler is active.
+func (f *FlightRecorder) Running() bool { return f != nil && f.running.Load() }
+
+// Interval returns the sampling interval (0 if never started).
+func (f *FlightRecorder) Interval() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return time.Duration(f.intervalNS.Load())
+}
+
+// observe takes one snapshot, appends it to the ring, and republishes the
+// flight.* gauges.
+func (f *FlightRecorder) observe() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := FlightSample{
+		TimeUnixNS:      time.Now().UnixNano(),
+		Goroutines:      runtime.NumGoroutine(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapInuseBytes:  ms.HeapInuse,
+		TotalAllocBytes: ms.TotalAlloc,
+		NumGC:           ms.NumGC,
+		LastGCPauseNS:   ms.PauseNs[(ms.NumGC+255)%256],
+		NextGCBytes:     ms.NextGC,
+	}
+	f.lastNS.Store(s.TimeUnixNS)
+
+	G(NameFlightGoroutines).Set(int64(s.Goroutines))
+	G(NameFlightHeapAlloc).Set(int64(s.HeapAllocBytes))
+	G(NameFlightHeapInuse).Set(int64(s.HeapInuseBytes))
+	G(NameFlightGCCount).Set(int64(s.NumGC))
+	G(NameFlightGCPauseLast).Set(int64(s.LastGCPauseNS))
+	G(NameFlightGCNext).Set(int64(s.NextGCBytes))
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	f.ring[(f.seq-1)%uint64(len(f.ring))] = s
+}
+
+// Recent returns the retained samples oldest-first.
+func (f *FlightRecorder) Recent() []FlightSample {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.seq
+	capacity := uint64(len(f.ring))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]FlightSample, 0, n)
+	for i := f.seq - n; i < f.seq; i++ {
+		out = append(out, f.ring[i%capacity])
+	}
+	return out
+}
+
+// MarshalJSON renders the recorder state for /debug/flight.
+func (f *FlightRecorder) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Running    bool           `json:"running"`
+		IntervalNS int64          `json:"interval_ns"`
+		Samples    []FlightSample `json:"samples"`
+	}{f.Running(), int64(f.Interval()), f.Recent()})
+}
+
+// FlightCheck returns a health check that fails when the recorder is not
+// running or its last sample is older than three intervals (a wedged
+// sampler goroutine).
+func FlightCheck(f *FlightRecorder) HealthCheck {
+	return func(ctx context.Context) error {
+		_ = ctx
+		if !f.Running() {
+			return fmt.Errorf("flight recorder not running")
+		}
+		interval := f.Interval()
+		if age := time.Duration(time.Now().UnixNano() - f.lastNS.Load()); age > 3*interval {
+			return fmt.Errorf("flight recorder stalled: last sample %s ago (interval %s)", age.Round(time.Millisecond), interval)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestFlightRingWraparound: the ring keeps the newest capacity samples,
+// oldest-first, with monotonically non-decreasing timestamps.
+func TestFlightRingWraparound(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 7; i++ {
+		f.observe()
+	}
+	samples := f.Recent()
+	if len(samples) != 3 {
+		t.Fatalf("retained %d samples, want 3", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeUnixNS < samples[i-1].TimeUnixNS {
+			t.Fatalf("samples out of order: %v", samples)
+		}
+	}
+	for i, s := range samples {
+		if s.Goroutines <= 0 || s.HeapAllocBytes == 0 {
+			t.Fatalf("sample %d looks empty: %+v", i, s)
+		}
+	}
+}
+
+// TestFlightStartStop: Start samples immediately and keeps sampling; both
+// Start and Stop are idempotent; samples survive Stop.
+func TestFlightStartStop(t *testing.T) {
+	f := NewFlightRecorder(16)
+	if f.Running() {
+		t.Fatal("fresh recorder claims to be running")
+	}
+	f.Start(10 * time.Millisecond)
+	f.Start(10 * time.Millisecond) // idempotent
+	if !f.Running() {
+		t.Fatal("started recorder not running")
+	}
+	if len(f.Recent()) == 0 {
+		t.Fatal("Start took no immediate sample")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(f.Recent()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(f.Recent()); got < 2 {
+		t.Fatalf("sampler produced %d samples in 2s, want ≥ 2", got)
+	}
+	f.Stop()
+	f.Stop() // idempotent
+	if f.Running() {
+		t.Fatal("stopped recorder still running")
+	}
+	if len(f.Recent()) == 0 {
+		t.Fatal("Stop discarded the samples")
+	}
+
+	var m struct {
+		Running    bool           `json:"running"`
+		IntervalNS int64          `json:"interval_ns"`
+		Samples    []FlightSample `json:"samples"`
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Running || m.IntervalNS != int64(10*time.Millisecond) || len(m.Samples) == 0 {
+		t.Fatalf("marshalled state = %+v", m)
+	}
+}
+
+// TestFlightGauges: each observation republishes the flight.* gauges.
+func TestFlightGauges(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.observe()
+	if got := G(NameFlightGoroutines).Value(); got <= 0 {
+		t.Errorf("%s gauge = %d, want > 0", NameFlightGoroutines, got)
+	}
+	if got := G(NameFlightHeapAlloc).Value(); got <= 0 {
+		t.Errorf("%s gauge = %d, want > 0", NameFlightHeapAlloc, got)
+	}
+}
+
+// TestFlightCheck: the health probe fails when stopped, passes while
+// sampling, and fails when the sampler wedges (stale last sample).
+func TestFlightCheck(t *testing.T) {
+	f := NewFlightRecorder(4)
+	check := FlightCheck(f)
+	if err := check(context.Background()); err == nil {
+		t.Fatal("check passed on a stopped recorder")
+	}
+	f.Start(10 * time.Millisecond)
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("check failed on a running recorder: %v", err)
+	}
+	f.Stop()
+
+	// A wedged sampler: running flag set but the last sample is ancient.
+	wedged := NewFlightRecorder(4)
+	wedged.running.Store(true)
+	wedged.intervalNS.Store(int64(10 * time.Millisecond))
+	wedged.lastNS.Store(time.Now().Add(-time.Minute).UnixNano())
+	if err := FlightCheck(wedged)(context.Background()); err == nil {
+		t.Fatal("check passed on a wedged recorder")
+	}
+}
+
+// TestFlightNilSafe: a nil recorder answers every method harmlessly.
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Start(time.Second)
+	f.Stop()
+	if f.Running() || f.Interval() != 0 || f.Recent() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+}

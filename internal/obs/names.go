@@ -101,6 +101,31 @@ const (
 	NameSlimpadRefreshDegraded = "slimpad.refresh.degraded"
 )
 
+// Tracing (internal/obs). Sampled/dropped count root-span sampling
+// decisions; see Tracer.SetSampleRate.
+const (
+	NameTraceSampled = "trace.sampled"
+	NameTraceDropped = "trace.dropped"
+)
+
+// Mark resolve attempt distribution (satellite of the trace-tree work:
+// the per-attempt child spans and this histogram are recorded together).
+const (
+	NameMarkResolveAttempts = "mark.resolve.attempts"
+)
+
+// Flight recorder gauges (internal/obs/flight.go): last-sample runtime
+// snapshot republished to /metrics so Prometheus can correlate trace
+// timings with GC and scheduler pressure.
+const (
+	NameFlightGoroutines  = "flight.goroutines"
+	NameFlightHeapAlloc   = "flight.heap.alloc.bytes"
+	NameFlightHeapInuse   = "flight.heap.inuse.bytes"
+	NameFlightGCCount     = "flight.gc.count"
+	NameFlightGCPauseLast = "flight.gc.pause.last.ns"
+	NameFlightGCNext      = "flight.gc.next.bytes"
+)
+
 // Health and readiness check names (HealthRegistry.Register).
 const (
 	HealthTrimStore   = "trim.store"
@@ -113,4 +138,6 @@ const (
 	HealthSlimpadStore      = "slimpad.store"
 	HealthSlimpadPersist    = "slimpad.persist"
 	HealthSlimpadQuarantine = "slimpad.quarantine"
+
+	HealthObsFlight = "obs.flight"
 )

@@ -53,18 +53,25 @@ func (ew *errWriter) printf(format string, args ...any) {
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
-// format, sorted by name: counters first, then histograms. Histogram
-// bucket series are cumulative and end with le="+Inf"; _count equals the
-// +Inf bucket by construction. A companion summary <name>_q reports the
-// p50/p95/p99 upper-bound estimates from HistogramSnapshot.Quantile.
+// format, sorted by name: counters first, then gauges, then histograms.
+// Histogram bucket series are cumulative and end with le="+Inf"; _count
+// equals the +Inf bucket by construction. A companion summary <name>_q
+// reports the p50/p95/p99 upper-bound estimates from
+// HistogramSnapshot.Quantile.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	counterNames, counters, histNames, hists := r.snapshot()
+	counterNames, counters, gaugeNames, gauges, histNames, hists := r.snapshot()
 	ew := &errWriter{w: w}
 	for _, name := range counterNames {
 		pn := promName(name)
 		ew.printf("# HELP %s SLIM counter %s\n", pn, name)
 		ew.printf("# TYPE %s counter\n", pn)
 		ew.printf("%s %d\n", pn, counters[name])
+	}
+	for _, name := range gaugeNames {
+		pn := promName(name)
+		ew.printf("# HELP %s SLIM gauge %s\n", pn, name)
+		ew.printf("# TYPE %s gauge\n", pn)
+		ew.printf("%s %d\n", pn, gauges[name])
 	}
 	for _, name := range histNames {
 		s := hists[name]

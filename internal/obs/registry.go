@@ -39,12 +39,29 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry holds named counters and histograms. Metrics are created on
-// first use and live for the life of the registry; callers on hot paths
-// should look a metric up once and cache the pointer.
+// Gauge is an atomic instantaneous value: it can go up and down (heap
+// bytes, goroutine count). The zero value is ready to use; all methods are
+// safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds named counters, gauges, and histograms. Metrics are
+// created on first use and live for the life of the registry; callers on
+// hot paths should look a metric up once and cache the pointer.
 type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	expvarOnce sync.Once
 }
@@ -53,6 +70,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -78,6 +96,24 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given bucket
 // upper bounds if needed. Bounds are fixed at creation; later calls with
 // different bounds return the existing histogram unchanged.
@@ -101,6 +137,9 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 // C is shorthand for Default.Counter.
 func C(name string) *Counter { return Default.Counter(name) }
 
+// G is shorthand for Default.Gauge.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
 // H is shorthand for Default.Histogram with the standard latency buckets.
 func H(name string) *Histogram { return Default.Histogram(name, LatencyBounds) }
 
@@ -111,6 +150,7 @@ func HSize(name string) *Histogram { return Default.Histogram(name, SizeBounds) 
 // snapshot captures the registry under the read lock with sorted names, so
 // every export format is deterministic.
 func (r *Registry) snapshot() (counterNames []string, counters map[string]int64,
+	gaugeNames []string, gauges map[string]int64,
 	histNames []string, hists map[string]HistogramSnapshot) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -119,25 +159,37 @@ func (r *Registry) snapshot() (counterNames []string, counters map[string]int64,
 		counterNames = append(counterNames, name)
 		counters[name] = c.Value()
 	}
+	gauges = make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gaugeNames = append(gaugeNames, name)
+		gauges[name] = g.Value()
+	}
 	hists = make(map[string]HistogramSnapshot, len(r.histograms))
 	for name, h := range r.histograms {
 		histNames = append(histNames, name)
 		hists[name] = h.Snapshot()
 	}
 	sort.Strings(counterNames)
+	sort.Strings(gaugeNames)
 	sort.Strings(histNames)
 	return
 }
 
 // WriteText renders every metric, one per line, sorted by name: counters
-// first, then histograms with count/sum/mean and their nonzero buckets.
+// first, then gauges, then histograms with count/sum/mean and their
+// nonzero buckets.
 func (r *Registry) WriteText(w io.Writer) error {
-	counterNames, counters, histNames, hists := r.snapshot()
+	counterNames, counters, gaugeNames, gauges, histNames, hists := r.snapshot()
 	if _, err := fmt.Fprintln(w, "== obs metrics =="); err != nil {
 		return err
 	}
 	for _, name := range counterNames {
 		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range gaugeNames {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -156,14 +208,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 // registryJSON is the exported JSON shape of a registry.
 type registryJSON struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// MarshalJSON exports the registry as {"counters":{...},"histograms":{...}}.
-// encoding/json sorts map keys, so the output is deterministic.
+// MarshalJSON exports the registry as
+// {"counters":{...},"gauges":{...},"histograms":{...}}. encoding/json
+// sorts map keys, so the output is deterministic.
 func (r *Registry) MarshalJSON() ([]byte, error) {
-	_, counters, _, hists := r.snapshot()
-	return json.Marshal(registryJSON{Counters: counters, Histograms: hists})
+	_, counters, _, gauges, _, hists := r.snapshot()
+	return json.Marshal(registryJSON{Counters: counters, Gauges: gauges, Histograms: hists})
 }
 
 // String renders the registry as JSON; it makes *Registry an expvar.Var.

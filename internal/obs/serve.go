@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -21,14 +22,18 @@ import (
 // endpoint renders from the same process-wide defaults the -metrics and
 // -trace flags print.
 //
-//	/metrics        Prometheus text exposition of the metric registry
-//	/metrics.json   the same registry as JSON
-//	/healthz        liveness checks (DefaultHealth); 503 when any fails
-//	/readyz         readiness checks (DefaultReady); 503 when any fails
-//	/debug/trace    JSON dump of the ring-buffered op tracer
-//	/debug/slowops  JSON dump of the slow-op journal
-//	/debug/vars     expvar
-//	/debug/pprof/   CPU, heap, goroutine, ... profiles (net/http/pprof)
+//	/metrics           Prometheus text exposition of the metric registry
+//	/metrics.json      the same registry as JSON
+//	/healthz           liveness checks (DefaultHealth); 503 when any fails
+//	/readyz            readiness checks (DefaultReady); 503 when any fails
+//	/debug/trace       JSON dump of the ring-buffered op tracer
+//	/debug/traces      recent trace roots index (JSON)
+//	/debug/trace/{id}  one trace reassembled as a tree (?perfetto=1 for
+//	                   Chrome trace-event JSON)
+//	/debug/flight      runtime flight recorder ring (JSON)
+//	/debug/slowops     JSON dump of the slow-op journal
+//	/debug/vars        expvar
+//	/debug/pprof/      CPU, heap, goroutine, ... profiles (net/http/pprof)
 
 // ServeConfig selects the sources a diagnostics server renders. Zero
 // fields fall back to the process-wide defaults, so the zero value serves
@@ -39,6 +44,7 @@ type ServeConfig struct {
 	SlowOps  *SlowOpJournal
 	Health   *HealthRegistry
 	Ready    *HealthRegistry
+	Flight   *FlightRecorder
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -56,6 +62,9 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Ready == nil {
 		c.Ready = DefaultReady
+	}
+	if c.Flight == nil {
+		c.Flight = DefaultFlight
 	}
 	return c
 }
@@ -99,14 +108,17 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "SLIM diagnostics\n\n"+
-			"/metrics        Prometheus text exposition\n"+
-			"/metrics.json   metric registry as JSON\n"+
-			"/healthz        liveness checks\n"+
-			"/readyz         readiness checks\n"+
-			"/debug/trace    recent-ops ring buffer (JSON)\n"+
-			"/debug/slowops  slow-op journal (JSON)\n"+
-			"/debug/vars     expvar\n"+
-			"/debug/pprof/   runtime profiles\n")
+			"/metrics           Prometheus text exposition\n"+
+			"/metrics.json      metric registry as JSON\n"+
+			"/healthz           liveness checks\n"+
+			"/readyz            readiness checks\n"+
+			"/debug/trace       recent-ops ring buffer (JSON)\n"+
+			"/debug/traces      recent trace roots index (JSON)\n"+
+			"/debug/trace/{id}  one trace as a tree (?perfetto=1 for trace-event JSON)\n"+
+			"/debug/flight      runtime flight recorder (JSON)\n"+
+			"/debug/slowops     slow-op journal (JSON)\n"+
+			"/debug/vars        expvar\n"+
+			"/debug/pprof/      runtime profiles\n")
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -145,6 +157,40 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 		EncodeJSON(w, struct {
 			Ops []OpRecord `json:"ops"`
 		}{Ops: cfg.Tracer.Recent()})
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, struct {
+			Traces []TraceSummary `json:"traces"`
+		}{Traces: cfg.Tracer.Roots()})
+	})
+	mux.HandleFunc("/debug/trace/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := ParseTraceID(strings.TrimPrefix(r.URL.Path, "/debug/trace/"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.URL.Query().Get("perfetto") != "" {
+			ops := cfg.Tracer.TraceOps(id)
+			if len(ops) == 0 {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			WriteTraceEvents(w, ops)
+			return
+		}
+		t := cfg.Tracer.Trace(id)
+		if t == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, t)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, cfg.Flight)
 	})
 	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,48 +1,207 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"math/rand/v2"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// Causal trace trees. Every root span mints a TraceID and a SpanID; child
+// spans carry their parent's SpanID, so the flat ring of finished OpRecords
+// can be reassembled into the tree of sub-operations one user gesture
+// fanned out into (Tracer.Trace). Identity propagates across goroutines
+// and layers via context.Context (ContextWithSpan / SpanFromContext /
+// StartCtx in tracectx.go), and a reassembled trace exports as Chrome
+// trace-event JSON for ui.perfetto.dev (WriteTraceEvents in perfetto.go).
+
+// TraceID identifies one causal tree of spans: all the work one root
+// operation fanned out into. It renders as 16 hex digits.
+type TraceID uint64
+
+// String renders the id as 16 lower-case hex digits.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON renders the id as a quoted hex string (a raw uint64 would
+// lose precision in JSON consumers that read numbers as float64).
+func (id TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses the quoted hex form.
+func (id *TraceID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*id = TraceID(v)
+	return err
+}
+
+// ParseTraceID parses the hex form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// SpanID identifies one span within a trace. It renders as 16 hex digits.
+type SpanID uint64
+
+// String renders the id as 16 lower-case hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// MarshalJSON renders the id as a quoted hex string.
+func (id SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(id.String()) }
+
+// UnmarshalJSON parses the quoted hex form.
+func (id *SpanID) UnmarshalJSON(b []byte) error {
+	v, err := unmarshalHexID(b)
+	*id = SpanID(v)
+	return err
+}
+
+func unmarshalHexID(b []byte) (uint64, error) {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return 0, err
+	}
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad span/trace id %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// spanIDs numbers spans process-wide; ids stay unique within any ring.
+var spanIDs atomic.Uint64
+
+func newSpanID() SpanID { return SpanID(spanIDs.Add(1)) }
+
+// newTraceID mints a random trace id, so traces from different processes
+// (or tracer resets) do not collide when exports are merged.
+func newTraceID() TraceID {
+	for {
+		if id := TraceID(rand.Uint64()); id != 0 {
+			return id
+		}
+	}
+}
+
 // OpRecord is one finished operation in the tracer's ring buffer.
 type OpRecord struct {
 	// Seq numbers finished ops from 1; gaps in a dump mean the ring wrapped.
-	Seq uint64 `json:"seq"`
+	Seq uint64
+	// Trace identifies the causal tree this span belongs to.
+	Trace TraceID
+	// Span is this span's id; Parent is the parent span's id (0 for roots).
+	Span   SpanID
+	Parent SpanID
 	// Op names the operation ("dmi.create", "core.view", ...).
-	Op string `json:"op"`
-	// Detail is a free-form argument summary (construct id, mark id, ...).
-	Detail string `json:"detail,omitempty"`
+	Op string
+	// Detail is a free-form argument summary (construct id, mark id, an
+	// EXPLAIN plan line, ...).
+	Detail string
 	// Depth is the span's nesting depth (0 for roots).
-	Depth int           `json:"depth"`
-	Start time.Time     `json:"start"`
-	Dur   time.Duration `json:"dur_ns"`
+	Depth int
+	Start time.Time
+	Dur   time.Duration
 	// Err is the error text for failed ops, empty on success.
-	Err string `json:"err,omitempty"`
+	Err string
 }
 
+// opRecordJSON is the wire shape of an OpRecord. Timing is machine-first:
+// start_unix_ns and dur_ns are plain integer nanoseconds. The RFC3339
+// "start" key is kept readable for one release alongside start_unix_ns
+// (docs/OBSERVABILITY.md); dur_ns has always been integer nanoseconds.
+type opRecordJSON struct {
+	Seq         uint64    `json:"seq"`
+	Trace       TraceID   `json:"trace_id,omitempty"`
+	Span        SpanID    `json:"span_id,omitempty"`
+	Parent      SpanID    `json:"parent_id,omitempty"`
+	Op          string    `json:"op"`
+	Detail      string    `json:"detail,omitempty"`
+	Depth       int       `json:"depth"`
+	Start       time.Time `json:"start"`
+	StartUnixNS int64     `json:"start_unix_ns"`
+	DurNS       int64     `json:"dur_ns"`
+	Err         string    `json:"err,omitempty"`
+}
+
+func (r OpRecord) wire() opRecordJSON {
+	return opRecordJSON{
+		Seq: r.Seq, Trace: r.Trace, Span: r.Span, Parent: r.Parent,
+		Op: r.Op, Detail: r.Detail, Depth: r.Depth,
+		Start: r.Start, StartUnixNS: r.Start.UnixNano(), DurNS: int64(r.Dur),
+		Err: r.Err,
+	}
+}
+
+func (w opRecordJSON) record() OpRecord {
+	start := w.Start
+	if w.StartUnixNS != 0 {
+		start = time.Unix(0, w.StartUnixNS)
+	}
+	return OpRecord{
+		Seq: w.Seq, Trace: w.Trace, Span: w.Span, Parent: w.Parent,
+		Op: w.Op, Detail: w.Detail, Depth: w.Depth,
+		Start: start, Dur: time.Duration(w.DurNS), Err: w.Err,
+	}
+}
+
+// MarshalJSON emits the machine-parseable shape: integer start_unix_ns and
+// dur_ns, hex trace/span/parent ids, plus the legacy RFC3339 "start" key.
+func (r OpRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.wire())
+}
+
+// UnmarshalJSON accepts the wire shape, preferring start_unix_ns and
+// falling back to the legacy RFC3339 start key.
+func (r *OpRecord) UnmarshalJSON(b []byte) error {
+	var w opRecordJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*r = w.record()
+	return nil
+}
+
+// Sampling counters: roots kept vs. roots skipped by the probabilistic
+// sampler. Error spans from unsampled traces are still recorded
+// (always-on-error sampling), so dropped counts whole traces, not spans.
+var (
+	mTraceSampled = C(NameTraceSampled)
+	mTraceDropped = C(NameTraceDropped)
+)
+
 // Tracer keeps the last capacity finished spans in a ring buffer: a cheap,
-// always-available flight recorder the binaries dump with -trace. All
-// methods are safe for concurrent use and nil-safe, so packages can trace
+// always-available flight recorder the binaries dump with -trace and the
+// diagnostics server reassembles into per-trace trees. All methods are
+// safe for concurrent use and nil-safe, so packages can trace
 // unconditionally.
 type Tracer struct {
 	enabled atomic.Bool
-	mu      sync.Mutex
-	ring    []OpRecord
-	seq     uint64 // total finished spans ever; ring[(seq-1) % cap] is newest
+	// sampleBits holds math.Float64bits of the root-sampling rate.
+	sampleBits atomic.Uint64
+	mu         sync.Mutex
+	ring       []OpRecord
+	seq        uint64 // total finished spans ever; ring[(seq-1) % cap] is newest
 }
 
 // NewTracer returns an enabled tracer retaining the last capacity ops
-// (minimum 1).
+// (minimum 1), sampling every root (rate 1).
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
 	t := &Tracer{ring: make([]OpRecord, capacity)}
 	t.enabled.Store(true)
+	t.sampleBits.Store(math.Float64bits(1))
 	return t
 }
 
@@ -60,58 +219,151 @@ func (tr *Tracer) SetEnabled(on bool) {
 // Enabled reports whether the tracer records.
 func (tr *Tracer) Enabled() bool { return tr != nil && tr.enabled.Load() }
 
-// Span is an in-flight operation. Spans are not goroutine-safe; a span
-// belongs to the goroutine that started it. A nil *Span is valid and all
-// its methods no-op, so disabled tracing costs nothing at call sites.
-type Span struct {
-	tr     *Tracer
-	op     string
-	detail string
-	depth  int
-	start  time.Time
+// SetSampleRate sets the probability that a new root span's trace is
+// recorded. 1 (the default) records every trace; 0 records none. Spans of
+// an unsampled trace still carry ids and still land in the ring when they
+// finish with an error, so failures stay visible at any rate. The rate is
+// one atomic store, safe to flip on a live process.
+func (tr *Tracer) SetSampleRate(rate float64) {
+	if tr == nil {
+		return
+	}
+	rate = math.Min(1, math.Max(0, rate))
+	tr.sampleBits.Store(math.Float64bits(rate))
 }
 
-// Start begins a root span. Returns nil when the tracer is disabled or nil.
+// SampleRate returns the current root-sampling rate.
+func (tr *Tracer) SampleRate() float64 {
+	if tr == nil {
+		return 0
+	}
+	return math.Float64frombits(tr.sampleBits.Load())
+}
+
+// sample decides one root span's fate. Rates 0 and 1 are deterministic.
+func (tr *Tracer) sample() bool {
+	switch rate := tr.SampleRate(); {
+	case rate >= 1:
+		return true
+	case rate <= 0:
+		return false
+	default:
+		return rand.Float64() < rate
+	}
+}
+
+// Span is an in-flight operation. Spans are not goroutine-safe; a span
+// belongs to the goroutine that started it (propagate identity to other
+// goroutines via ContextWithSpan and start children there). A nil *Span is
+// valid and all its methods no-op, so disabled tracing costs nothing at
+// call sites.
+type Span struct {
+	tr      *Tracer
+	op      string
+	detail  string
+	depth   int
+	start   time.Time
+	trace   TraceID
+	id      SpanID
+	parent  SpanID
+	sampled bool
+}
+
+// Start begins a root span, minting a fresh TraceID. Returns nil when the
+// tracer is disabled or nil.
 func (tr *Tracer) Start(op, detail string) *Span {
 	if !tr.Enabled() {
 		return nil
 	}
-	return &Span{tr: tr, op: op, detail: detail, start: time.Now()}
+	return tr.root(op, detail)
+}
+
+func (tr *Tracer) root(op, detail string) *Span {
+	s := &Span{
+		tr: tr, op: op, detail: detail, start: time.Now(),
+		trace: newTraceID(), id: newSpanID(), sampled: tr.sample(),
+	}
+	if s.sampled {
+		mTraceSampled.Inc()
+	} else {
+		mTraceDropped.Inc()
+	}
+	return s
 }
 
 // Trace starts a root span on the DefaultTracer.
 func Trace(op, detail string) *Span { return DefaultTracer.Start(op, detail) }
 
-// Child begins a nested span one level deeper than s.
+// Child begins a nested span one level deeper than s, inheriting s's
+// TraceID and sampling decision.
 func (s *Span) Child(op, detail string) *Span {
 	if s == nil || !s.tr.Enabled() {
 		return nil
 	}
-	return &Span{tr: s.tr, op: op, detail: detail, depth: s.depth + 1, start: time.Now()}
+	return &Span{
+		tr: s.tr, op: op, detail: detail, depth: s.depth + 1, start: time.Now(),
+		trace: s.trace, id: newSpanID(), parent: s.id, sampled: s.sampled,
+	}
+}
+
+// TraceID returns the id of the trace the span belongs to (0 for nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// SpanID returns the span's id (0 for nil).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Sampled reports whether the span's trace is being recorded.
+func (s *Span) Sampled() bool { return s != nil && s.sampled }
+
+// SetDetail replaces the span's detail — how EXPLAIN attaches its plan
+// line once the query has run. Call before Finish, from the owning
+// goroutine.
+func (s *Span) SetDetail(detail string) {
+	if s != nil {
+		s.detail = detail
+	}
 }
 
 // Finish records the span into the ring buffer.
 func (s *Span) Finish() { s.FinishErr(nil) }
 
 // FinishErr records the span, tagging it with the error when non-nil.
-// Spans that exceeded the slow-op threshold also land in DefaultSlowOps,
-// so every traced layer feeds the journal for free.
+// Unsampled spans are recorded only when they carry an error (always-on-
+// error sampling). Spans that exceeded the slow-op threshold also land in
+// DefaultSlowOps regardless of sampling, so every traced layer feeds the
+// journal for free.
 func (s *Span) FinishErr(err error) {
 	if s == nil {
 		return
 	}
-	rec := OpRecord{
-		Op:     s.op,
-		Detail: s.detail,
-		Depth:  s.depth,
-		Start:  s.start,
-		Dur:    time.Since(s.start),
+	dur := time.Since(s.start)
+	if s.sampled || err != nil {
+		rec := OpRecord{
+			Trace:  s.trace,
+			Span:   s.id,
+			Parent: s.parent,
+			Op:     s.op,
+			Detail: s.detail,
+			Depth:  s.depth,
+			Start:  s.start,
+			Dur:    dur,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		s.tr.record(rec)
 	}
-	if err != nil {
-		rec.Err = err.Error()
-	}
-	s.tr.record(rec)
-	DefaultSlowOps.Observe(s.op, s.detail, s.start, rec.Dur, err)
+	DefaultSlowOps.Observe(s.op, s.detail, s.start, dur, err)
 }
 
 func (tr *Tracer) record(rec OpRecord) {
@@ -155,7 +407,9 @@ func (tr *Tracer) Reset() {
 }
 
 // WriteText dumps the retained ops oldest-first, one per line, indented by
-// nesting depth — the post-mortem view behind slimpad -trace.
+// nesting depth — the post-mortem view behind slimpad -trace. Each line
+// leads with the op's trace id, so related lines group visually even when
+// traces interleave.
 func (tr *Tracer) WriteText(w io.Writer) error {
 	recs := tr.Recent()
 	if _, err := fmt.Fprintf(w, "== recent ops (%d) ==\n", len(recs)); err != nil {
@@ -170,8 +424,8 @@ func (tr *Tracer) WriteText(w io.Writer) error {
 		if r.Err != "" {
 			suffix = " err=" + r.Err
 		}
-		if _, err := fmt.Fprintf(w, "#%d %s%s %s %s%s\n",
-			r.Seq, indent, r.Op, r.Detail, r.Dur.Round(time.Microsecond), suffix); err != nil {
+		if _, err := fmt.Fprintf(w, "#%d %s %s%s %s %s%s\n",
+			r.Seq, r.Trace, indent, r.Op, r.Detail, r.Dur.Round(time.Microsecond), suffix); err != nil {
 			return err
 		}
 	}

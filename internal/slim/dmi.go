@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -101,8 +102,15 @@ func (d *DMI) validateAssignment(constructID, connectorID string, value rdf.Term
 // Create makes a new instance of the construct and assigns the given
 // single-valued properties. Props keys are connector IRIs; values pass
 // through Value. The whole creation is one atomic batch.
-func (d *DMI) Create(constructID string, props map[string]any) (obj *Object, err error) {
-	op, touched := startOp("create", constructID), 0
+func (d *DMI) Create(constructID string, props map[string]any) (*Object, error) {
+	return d.CreateCtx(nil, constructID, props)
+}
+
+// CreateCtx is Create under the caller's trace: the op span and the TRIM
+// work it fans out into all join the context's trace tree.
+func (d *DMI) CreateCtx(ctx context.Context, constructID string, props map[string]any) (obj *Object, err error) {
+	ctx, op := startOpCtx(ctx, "create", constructID)
+	touched := 0
 	defer func() { op.done(touched, err) }()
 	c, ok := d.model.Construct(constructID)
 	if !ok {
@@ -132,16 +140,21 @@ func (d *DMI) Create(constructID string, props map[string]any) (obj *Object, err
 		}
 	}
 	touched = b.Len()
-	if err := b.Apply(); err != nil {
+	if err := b.ApplyCtx(ctx); err != nil {
 		return nil, err
 	}
-	return d.Get(id)
+	return d.GetCtx(ctx, id)
 }
 
 // Get snapshots an instance into a read-only Object.
-func (d *DMI) Get(id rdf.Term) (obj *Object, err error) {
-	op := startOp("get", id.Value())
-	triples := d.store.trim.Select(rdf.P(id, rdf.Zero, rdf.Zero))
+func (d *DMI) Get(id rdf.Term) (*Object, error) {
+	return d.GetCtx(nil, id)
+}
+
+// GetCtx is Get under the caller's trace.
+func (d *DMI) GetCtx(ctx context.Context, id rdf.Term) (obj *Object, err error) {
+	ctx, op := startOpCtx(ctx, "get", id.Value())
+	triples := d.store.trim.SelectCtx(ctx, rdf.P(id, rdf.Zero, rdf.Zero))
 	defer func() { op.done(len(triples), err) }()
 	if len(triples) == 0 {
 		return nil, fmt.Errorf("slim: no instance %s", id.Value())
@@ -166,10 +179,17 @@ func (d *DMI) Get(id rdf.Term) (obj *Object, err error) {
 
 // Set replaces all values of the connector on the instance with one value
 // (the Update_ operations of Fig. 10).
-func (d *DMI) Set(id rdf.Term, connectorID string, value any) (err error) {
-	op := startOp("set", connectorID)
+func (d *DMI) Set(id rdf.Term, connectorID string, value any) error {
+	return d.SetCtx(nil, id, connectorID, value)
+}
+
+// SetCtx is Set under the caller's trace; the inner Get and the batch
+// apply appear as child spans — the interpretation overhead §6 prices,
+// made visible per request.
+func (d *DMI) SetCtx(ctx context.Context, id rdf.Term, connectorID string, value any) (err error) {
+	ctx, op := startOpCtx(ctx, "set", connectorID)
 	defer func() { op.done(2, err) }()
-	obj, err := d.Get(id)
+	obj, err := d.GetCtx(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -187,16 +207,21 @@ func (d *DMI) Set(id rdf.Term, connectorID string, value any) (err error) {
 	if err := b.Create(rdf.T(id, rdf.IRI(connectorID), term)); err != nil {
 		return err
 	}
-	return b.Apply()
+	return b.ApplyCtx(ctx)
 }
 
 // Add appends a value to a multi-valued connector (the addNestedBundle
 // style operations of Fig. 10). It enforces the connector's upper
 // cardinality.
-func (d *DMI) Add(id rdf.Term, connectorID string, value any) (err error) {
-	op := startOp("add", connectorID)
+func (d *DMI) Add(id rdf.Term, connectorID string, value any) error {
+	return d.AddCtx(nil, id, connectorID, value)
+}
+
+// AddCtx is Add under the caller's trace.
+func (d *DMI) AddCtx(ctx context.Context, id rdf.Term, connectorID string, value any) (err error) {
+	ctx, op := startOpCtx(ctx, "add", connectorID)
 	defer func() { op.done(1, err) }()
-	obj, err := d.Get(id)
+	obj, err := d.GetCtx(ctx, id)
 	if err != nil {
 		return err
 	}
@@ -214,19 +239,24 @@ func (d *DMI) Add(id rdf.Term, connectorID string, value any) (err error) {
 			return fmt.Errorf("slim: %s already has %d values of %s (max %d)", id.Value(), n, conn.Label, conn.MaxCard)
 		}
 	}
-	_, err = d.store.trim.Create(rdf.T(id, rdf.IRI(connectorID), term))
+	_, err = d.store.trim.CreateCtx(ctx, rdf.T(id, rdf.IRI(connectorID), term))
 	return err
 }
 
 // Unset removes a specific value from a connector.
-func (d *DMI) Unset(id rdf.Term, connectorID string, value any) (err error) {
-	op := startOp("unset", connectorID)
+func (d *DMI) Unset(id rdf.Term, connectorID string, value any) error {
+	return d.UnsetCtx(nil, id, connectorID, value)
+}
+
+// UnsetCtx is Unset under the caller's trace.
+func (d *DMI) UnsetCtx(ctx context.Context, id rdf.Term, connectorID string, value any) (err error) {
+	ctx, op := startOpCtx(ctx, "unset", connectorID)
 	defer func() { op.done(1, err) }()
 	term, err := Value(value)
 	if err != nil {
 		return err
 	}
-	if !d.store.trim.Remove(rdf.T(id, rdf.IRI(connectorID), term)) {
+	if !d.store.trim.RemoveCtx(ctx, rdf.T(id, rdf.IRI(connectorID), term)) {
 		return fmt.Errorf("slim: %s has no value %v for %s", id.Value(), term, connectorID)
 	}
 	return nil
@@ -236,18 +266,25 @@ func (d *DMI) Unset(id rdf.Term, connectorID string, value any) (err error) {
 // references to it. With cascade, instances reachable from it through
 // model connectors that no other instance references are deleted too (the
 // containment semantics Delete_Bundle needs).
-func (d *DMI) Delete(id rdf.Term, cascade bool) (err error) {
-	op := startOp("delete", id.Value())
+func (d *DMI) Delete(id rdf.Term, cascade bool) error {
+	return d.DeleteCtx(nil, id, cascade)
+}
+
+// DeleteCtx is Delete under the caller's trace; cascaded deletes become
+// child spans of this one, so the containment fan-out is visible as a
+// subtree.
+func (d *DMI) DeleteCtx(ctx context.Context, id rdf.Term, cascade bool) (err error) {
+	ctx, op := startOpCtx(ctx, "delete", id.Value())
 	before := d.store.trim.Len()
 	// A cascading delete's triple count includes the nested deletes, which
 	// also record their own ops — the nesting is visible in the trace ring.
 	defer func() { op.done(before-d.store.trim.Len(), err) }()
-	if _, err := d.Get(id); err != nil {
+	if _, err := d.GetCtx(ctx, id); err != nil {
 		return err
 	}
 	children := map[rdf.Term]bool{}
 	if cascade {
-		for _, t := range d.store.trim.Select(rdf.P(id, rdf.Zero, rdf.Zero)) {
+		for _, t := range d.store.trim.SelectCtx(ctx, rdf.P(id, rdf.Zero, rdf.Zero)) {
 			if t.Predicate == rdf.RDFType || !t.Object.IsResource() {
 				continue
 			}
@@ -263,7 +300,7 @@ func (d *DMI) Delete(id rdf.Term, cascade bool) (err error) {
 	if err := b.RemoveMatching(rdf.P(rdf.Zero, rdf.Zero, id)); err != nil {
 		return err
 	}
-	if err := b.Apply(); err != nil {
+	if err := b.ApplyCtx(ctx); err != nil {
 		return err
 	}
 	if cascade {
@@ -272,10 +309,10 @@ func (d *DMI) Delete(id rdf.Term, cascade bool) (err error) {
 			if d.store.trim.Count(rdf.P(rdf.Zero, rdf.Zero, child)) > 0 {
 				continue
 			}
-			if _, err := d.Get(child); err != nil {
+			if _, err := d.GetCtx(ctx, child); err != nil {
 				continue // not an instance of this model
 			}
-			if err := d.Delete(child, true); err != nil {
+			if err := d.DeleteCtx(ctx, child, true); err != nil {
 				return err
 			}
 		}
@@ -285,8 +322,14 @@ func (d *DMI) Delete(id rdf.Term, cascade bool) (err error) {
 
 // InstancesOf lists all instances of the construct (including instances of
 // its specializations), sorted by IRI.
-func (d *DMI) InstancesOf(constructID string) (out []*Object, err error) {
-	op := startOp("instancesof", constructID)
+func (d *DMI) InstancesOf(constructID string) ([]*Object, error) {
+	return d.InstancesOfCtx(nil, constructID)
+}
+
+// InstancesOfCtx is InstancesOf under the caller's trace; every per-
+// instance Get is a child span.
+func (d *DMI) InstancesOfCtx(ctx context.Context, constructID string) (out []*Object, err error) {
+	ctx, op := startOpCtx(ctx, "instancesof", constructID)
 	defer func() { op.done(0, err) }()
 	if _, ok := d.model.Construct(constructID); !ok {
 		return nil, fmt.Errorf("slim: %s is not a construct of model %s", constructID, d.model.ID)
@@ -309,7 +352,7 @@ func (d *DMI) InstancesOf(constructID string) (out []*Object, err error) {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
 	out = make([]*Object, 0, len(sorted))
 	for _, id := range sorted {
-		obj, err := d.Get(id)
+		obj, err := d.GetCtx(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -321,8 +364,13 @@ func (d *DMI) InstancesOf(constructID string) (out []*Object, err error) {
 // View returns the reachability view rooted at the instance (§4.4): all
 // triples representing the instance and everything nested inside it.
 func (d *DMI) View(id rdf.Term) *rdf.Graph {
-	op := startOp("view", id.Value())
-	g := d.store.trim.View(id)
+	return d.ViewCtx(nil, id)
+}
+
+// ViewCtx is View under the caller's trace.
+func (d *DMI) ViewCtx(ctx context.Context, id rdf.Term) *rdf.Graph {
+	ctx, op := startOpCtx(ctx, "view", id.Value())
+	g := d.store.trim.ViewCtx(ctx, id)
 	op.done(g.Len(), nil)
 	return g
 }

@@ -1,6 +1,7 @@
 package slim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,7 +25,7 @@ var (
 	mTriplesPerOp   = obs.HSize(obs.NameSlimTriplesPerOp)
 )
 
-// dmiOp is an in-flight DMI operation; start with startOp, finish with
+// dmiOp is an in-flight DMI operation; start with startOpCtx, finish with
 // done. The op string is the metric/infix ("create", "get", ...).
 type dmiOp struct {
 	op    string
@@ -32,8 +33,13 @@ type dmiOp struct {
 	span  *obs.Span
 }
 
-func startOp(op, detail string) dmiOp {
-	return dmiOp{op: op, start: time.Now(), span: obs.Trace("dmi."+op, detail)}
+// startOpCtx opens a DMI op span as a child of the caller's trace (or a
+// new root for plain, context-free entry points, which pass nil) and
+// returns the context to thread into the TRIM layer, so the store's
+// selects and batch applies appear under this op in the trace tree.
+func startOpCtx(ctx context.Context, op, detail string) (context.Context, dmiOp) {
+	ctx, span := obs.StartCtx(ctx, "dmi."+op, detail)
+	return ctx, dmiOp{op: op, start: time.Now(), span: span}
 }
 
 // done records the operation. triples is the number of triples the op

@@ -158,7 +158,7 @@ func (r RefreshReport) Ok() bool { return len(r.Stale) == 0 && len(r.Dangling) =
 // mark id) return an error.
 func (a *App) RefreshScrapCtx(ctx context.Context, scrap rdf.Term) (RefreshReport, error) {
 	var r RefreshReport
-	s, err := a.dmi.Scrap(scrap)
+	s, err := a.dmi.ScrapCtx(ctx, scrap)
 	if err != nil {
 		return r, err
 	}
@@ -210,8 +210,14 @@ func (a *App) Load(fileName string) ([]SlimPad, error) {
 // Tree renders the pad's containment structure as an indented outline, the
 // textual stand-in for the Fig. 4 window. Scraps show their label and the
 // address behind their first mark.
-func (a *App) Tree(pad rdf.Term) (string, error) {
-	p, err := a.dmi.Pad(pad)
+func (a *App) Tree(pad rdf.Term) (string, error) { return a.TreeCtx(nil, pad) }
+
+// TreeCtx is Tree under the caller's trace: every pad, bundle, and scrap
+// fetch it fans out into joins the context's trace tree, which makes one
+// TreeCtx call the canonical multi-layer trace (dmi → trim) for the
+// slimpad trace subcommand.
+func (a *App) TreeCtx(ctx context.Context, pad rdf.Term) (string, error) {
+	p, err := a.dmi.PadCtx(ctx, pad)
 	if err != nil {
 		return "", err
 	}
@@ -222,7 +228,7 @@ func (a *App) Tree(pad rdf.Term) (string, error) {
 	}
 	var render func(id rdf.Term, depth int) error
 	render = func(id rdf.Term, depth int) error {
-		b, err := a.dmi.Bundle(id)
+		b, err := a.dmi.BundleCtx(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -236,7 +242,7 @@ func (a *App) Tree(pad rdf.Term) (string, error) {
 		scraps := b.Scraps()
 		sort.Slice(scraps, func(i, j int) bool { return scraps[i].Compare(scraps[j]) < 0 })
 		for _, sid := range scraps {
-			s, err := a.dmi.Scrap(sid)
+			s, err := a.dmi.ScrapCtx(ctx, sid)
 			if err != nil {
 				return err
 			}
@@ -259,7 +265,7 @@ func (a *App) Tree(pad rdf.Term) (string, error) {
 				return err
 			}
 			for _, target := range links {
-				if ts, err := a.dmi.Scrap(target); err == nil {
+				if ts, err := a.dmi.ScrapCtx(ctx, target); err == nil {
 					out += fmt.Sprintf("%*s. see: %s\n", depth*2+4, "", ts.ScrapName())
 				}
 			}

@@ -1,6 +1,7 @@
 package slimpad
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metamodel"
@@ -189,8 +190,12 @@ func (d *DMI) DeleteScrap(scrap rdf.Term) error {
 }
 
 // Pad fetches the read-only view of a pad.
-func (d *DMI) Pad(id rdf.Term) (SlimPad, error) {
-	obj, err := d.g.Get(id)
+func (d *DMI) Pad(id rdf.Term) (SlimPad, error) { return d.PadCtx(nil, id) }
+
+// PadCtx is Pad under the caller's trace: the generic Get it fans out
+// into joins the context's trace tree.
+func (d *DMI) PadCtx(ctx context.Context, id rdf.Term) (SlimPad, error) {
+	obj, err := d.g.GetCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -201,8 +206,11 @@ func (d *DMI) Pad(id rdf.Term) (SlimPad, error) {
 }
 
 // Bundle fetches the read-only view of a bundle.
-func (d *DMI) Bundle(id rdf.Term) (Bundle, error) {
-	obj, err := d.g.Get(id)
+func (d *DMI) Bundle(id rdf.Term) (Bundle, error) { return d.BundleCtx(nil, id) }
+
+// BundleCtx is Bundle under the caller's trace.
+func (d *DMI) BundleCtx(ctx context.Context, id rdf.Term) (Bundle, error) {
+	obj, err := d.g.GetCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -213,8 +221,11 @@ func (d *DMI) Bundle(id rdf.Term) (Bundle, error) {
 }
 
 // Scrap fetches the read-only view of a scrap with its mark handles.
-func (d *DMI) Scrap(id rdf.Term) (Scrap, error) {
-	obj, err := d.g.Get(id)
+func (d *DMI) Scrap(id rdf.Term) (Scrap, error) { return d.ScrapCtx(nil, id) }
+
+// ScrapCtx is Scrap under the caller's trace.
+func (d *DMI) ScrapCtx(ctx context.Context, id rdf.Term) (Scrap, error) {
+	obj, err := d.g.GetCtx(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -233,8 +244,11 @@ func (d *DMI) Scrap(id rdf.Term) (Scrap, error) {
 }
 
 // Pads lists every pad in the store.
-func (d *DMI) Pads() ([]SlimPad, error) {
-	objs, err := d.g.InstancesOf(metamodel.ConstructSlimPad)
+func (d *DMI) Pads() ([]SlimPad, error) { return d.PadsCtx(nil) }
+
+// PadsCtx is Pads under the caller's trace.
+func (d *DMI) PadsCtx(ctx context.Context) ([]SlimPad, error) {
+	objs, err := d.g.InstancesOfCtx(ctx, metamodel.ConstructSlimPad)
 	if err != nil {
 		return nil, err
 	}

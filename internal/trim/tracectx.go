@@ -1,0 +1,106 @@
+package trim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// Context-carrying variants of the TRIM entry points. Each one starts a
+// child span off the caller's trace (obs.StartCtx) and delegates to the
+// plain method, so a DMI op's trace tree reaches down into the store layer
+// and records exactly which selects, creates, and batch applies one user
+// gesture fanned out into. TRIM is the bottom of the stack: nothing below
+// it takes a context, so the ctx stops here and only the span matters.
+
+// patShape renders a pattern's bound/wildcard mask ("s??", "?po", ...):
+// enough to see the index choice a select had available, cheap enough for
+// span detail on the hot path.
+func patShape(p rdf.Pattern) string {
+	buf := [3]byte{'?', '?', '?'}
+	if !p.Subject.IsZero() {
+		buf[0] = 's'
+	}
+	if !p.Predicate.IsZero() {
+		buf[1] = 'p'
+	}
+	if !p.Object.IsZero() {
+		buf[2] = 'o'
+	}
+	return string(buf[:])
+}
+
+// CreateCtx is Create with the caller's trace attached.
+func (m *Manager) CreateCtx(ctx context.Context, t rdf.Triple) (created bool, err error) {
+	_, sp := obs.StartCtx(ctx, "trim.create", "")
+	defer func() { sp.FinishErr(err) }()
+	return m.Create(t)
+}
+
+// RemoveCtx is Remove with the caller's trace attached.
+func (m *Manager) RemoveCtx(ctx context.Context, t rdf.Triple) bool {
+	_, sp := obs.StartCtx(ctx, "trim.remove", "")
+	defer sp.Finish()
+	return m.Remove(t)
+}
+
+// RemoveMatchingCtx is RemoveMatching with the caller's trace attached.
+func (m *Manager) RemoveMatchingCtx(ctx context.Context, p rdf.Pattern) int {
+	_, sp := obs.StartCtx(ctx, "trim.remove_matching", patShape(p))
+	defer sp.Finish()
+	return m.RemoveMatching(p)
+}
+
+// SelectCtx is Select with the caller's trace attached.
+func (m *Manager) SelectCtx(ctx context.Context, p rdf.Pattern) []rdf.Triple {
+	_, sp := obs.StartCtx(ctx, "trim.select", patShape(p))
+	defer sp.Finish()
+	return m.Select(p)
+}
+
+// ViewCtx is View with the caller's trace attached.
+func (m *Manager) ViewCtx(ctx context.Context, root rdf.Term) *rdf.Graph {
+	_, sp := obs.StartCtx(ctx, "trim.view", root.String())
+	defer sp.Finish()
+	return m.View(root)
+}
+
+// SelectExplainCtx is SelectExplain with the caller's trace attached; the
+// plan line becomes the span detail once the query has run.
+func (m *Manager) SelectExplainCtx(ctx context.Context, p rdf.Pattern) ([]rdf.Triple, Explain) {
+	_, sp := obs.StartCtx(ctx, "trim.select", patShape(p))
+	defer sp.Finish()
+	ts, e := m.SelectExplain(p)
+	sp.SetDetail(e.String())
+	return ts, e
+}
+
+// ViewExplainCtx is ViewExplain with the caller's trace attached; the plan
+// line becomes the span detail.
+func (m *Manager) ViewExplainCtx(ctx context.Context, root rdf.Term) (*rdf.Graph, Explain) {
+	_, sp := obs.StartCtx(ctx, "trim.view", root.String())
+	defer sp.Finish()
+	g, e := m.ViewExplain(root)
+	sp.SetDetail(e.String())
+	return g, e
+}
+
+// PathExplainCtx is PathExplain with the caller's trace attached; the plan
+// line becomes the span detail.
+func (m *Manager) PathExplainCtx(ctx context.Context, start []rdf.Term, predicates ...rdf.Term) ([]rdf.Term, Explain) {
+	_, sp := obs.StartCtx(ctx, "trim.path", fmt.Sprintf("start=%d hops=%d", len(start), len(predicates)))
+	defer sp.Finish()
+	ts, e := m.PathExplain(start, predicates...)
+	sp.SetDetail(e.String())
+	return ts, e
+}
+
+// ApplyCtx is Apply with the caller's trace attached: the whole atomic
+// batch becomes one span carrying its op count.
+func (b *Batch) ApplyCtx(ctx context.Context) (err error) {
+	_, sp := obs.StartCtx(ctx, "trim.batch.apply", fmt.Sprintf("ops=%d", b.Len()))
+	defer func() { sp.FinishErr(err) }()
+	return b.Apply()
+}

@@ -9,6 +9,7 @@ go run ./cmd/slimvet ./...
 go build ./...
 go test -race ./...
 SLIM_FAULT_SWEEP=1 go test -run FaultSweep ./internal/trim/ ./internal/mark/
+go test -run TraceSmoke ./cmd/trimq/ ./cmd/slimpad/
 
 # Non-gating perf-trajectory lane (docs/OBSERVABILITY.md): record a
 # BENCH_<label>.json benchmark snapshot for the CI environment to upload
