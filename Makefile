@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell date +%Y%m%d)
 
-.PHONY: all build test race vet lint faults trace-smoke ci bench bench-json
+.PHONY: all build test race vet lint faults trace-smoke ci bench bench-json bench-diff
 
 all: build
 
@@ -57,3 +57,12 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | \
 		$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -min 5 -out BENCH_$(BENCH_LABEL).json
+
+# The bench regression radar (docs/OBSERVABILITY.md): diffs the two most
+# recent committed BENCH_*.json snapshots and prints the per-benchmark
+# delta table. Report-only by default; set BENCH_THRESHOLD to a percent to
+# make it exit 2 on regressions past it.
+BENCH_THRESHOLD ?= 0
+bench-diff:
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) \
+		$$(ls BENCH_*.json | sort | tail -n 2)

@@ -1,0 +1,269 @@
+// benchdiff is the bench regression radar: it compares two or more
+// BENCH_<label>.json snapshots (written by `make bench-json` via
+// cmd/benchjson), prints a per-benchmark delta table for ns/op — plus
+// B/op, allocs/op, and custom metrics when both endpoints report them —
+// and exits nonzero when any benchmark regressed past a configurable
+// threshold. The first file is the baseline, the last the candidate;
+// intermediate snapshots add trajectory columns.
+//
+// Usage (see `make bench-diff`):
+//
+//	benchdiff [-threshold PCT] [-min-ns NS] [-json] BENCH_old.json BENCH_new.json...
+//
+// Exit codes: 0 no gated regression, 2 threshold exceeded, 1 bad
+// input/usage — so CI can tell "perf regressed" apart from "lane broke".
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+)
+
+// errThreshold marks a gated regression; main maps it to exit code 2.
+var errThreshold = errors.New("benchdiff: threshold exceeded")
+
+// Pct is a percent delta; NaN means "not comparable" (a missing endpoint
+// or a zero baseline) and marshals as null, which encoding/json cannot do
+// for a plain float64.
+type Pct float64
+
+// MarshalJSON renders NaN as null.
+func (p Pct) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(p)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(p))
+}
+
+// UnmarshalJSON maps null back onto NaN.
+func (p *Pct) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*p = Pct(math.NaN())
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*p = Pct(f)
+	return nil
+}
+
+// Delta is one benchmark's baseline-to-candidate comparison.
+type Delta struct {
+	Key  string `json:"key"`
+	Name string `json:"name"`
+	// NsPerOp holds the ns/op value from every snapshot, in input order;
+	// a negative entry means the benchmark is missing from that snapshot.
+	NsPerOp []float64 `json:"ns_per_op"`
+	// NsDeltaPct is the ns/op change from the first to the last snapshot
+	// in percent (+ is slower). NaN when either endpoint is missing.
+	NsDeltaPct Pct `json:"ns_delta_pct"`
+	// BytesDeltaPct/AllocsDeltaPct compare B/op and allocs/op when both
+	// endpoints report them (NaN otherwise).
+	BytesDeltaPct  Pct `json:"bytes_delta_pct"`
+	AllocsDeltaPct Pct `json:"allocs_delta_pct"`
+	// MetricDeltaPct compares custom b.ReportMetric units present at both
+	// endpoints.
+	MetricDeltaPct map[string]Pct `json:"metric_delta_pct,omitempty"`
+	// Gated reports whether this delta tripped the -threshold gate.
+	Gated bool `json:"gated"`
+}
+
+// Report is the -json document.
+type Report struct {
+	Labels []string `json:"labels"`
+	// ThresholdPct and MinNs echo the gate configuration.
+	ThresholdPct float64 `json:"threshold_pct"`
+	MinNs        float64 `json:"min_ns"`
+	Deltas       []Delta `json:"deltas"`
+	// Gated counts deltas that exceeded the threshold.
+	Gated int `json:"gated"`
+}
+
+func pct(oldV, newV float64) Pct {
+	if oldV <= 0 {
+		return Pct(math.NaN())
+	}
+	return Pct((newV - oldV) / oldV * 100)
+}
+
+// diff builds the per-benchmark deltas across the snapshots, sorted by
+// key. Gating considers only ns/op regressions: a benchmark trips the
+// gate when its baseline is at or above minNs and ns/op grew by more than
+// thresholdPct percent (thresholdPct <= 0 disables the gate).
+func diff(snaps []benchfmt.Snapshot, thresholdPct, minNs float64) Report {
+	rep := Report{ThresholdPct: thresholdPct, MinNs: minNs}
+	byKey := make([]map[string]benchfmt.Benchmark, len(snaps))
+	keys := map[string]benchfmt.Benchmark{}
+	for i, s := range snaps {
+		rep.Labels = append(rep.Labels, s.Label)
+		byKey[i] = s.ByKey()
+		for k, b := range byKey[i] {
+			keys[k] = b
+		}
+	}
+	first, last := byKey[0], byKey[len(byKey)-1]
+	for key, any := range keys {
+		d := Delta{
+			Key:            key,
+			Name:           any.Name,
+			NsDeltaPct:     Pct(math.NaN()),
+			BytesDeltaPct:  Pct(math.NaN()),
+			AllocsDeltaPct: Pct(math.NaN()),
+		}
+		for i := range snaps {
+			if b, ok := byKey[i][key]; ok {
+				d.NsPerOp = append(d.NsPerOp, b.NsPerOp)
+			} else {
+				d.NsPerOp = append(d.NsPerOp, -1)
+			}
+		}
+		oldB, oldOK := first[key]
+		newB, newOK := last[key]
+		if oldOK && newOK {
+			d.NsDeltaPct = pct(oldB.NsPerOp, newB.NsPerOp)
+			if oldB.BytesPerOp != nil && newB.BytesPerOp != nil {
+				d.BytesDeltaPct = pct(*oldB.BytesPerOp, *newB.BytesPerOp)
+			}
+			if oldB.AllocsPerOp != nil && newB.AllocsPerOp != nil {
+				d.AllocsDeltaPct = pct(*oldB.AllocsPerOp, *newB.AllocsPerOp)
+			}
+			for unit, oldV := range oldB.Metrics {
+				newV, ok := newB.Metrics[unit]
+				if !ok {
+					continue
+				}
+				if d.MetricDeltaPct == nil {
+					d.MetricDeltaPct = make(map[string]Pct)
+				}
+				d.MetricDeltaPct[unit] = pct(oldV, newV)
+			}
+			if thresholdPct > 0 && oldB.NsPerOp >= minNs && !math.IsNaN(float64(d.NsDeltaPct)) && float64(d.NsDeltaPct) > thresholdPct {
+				d.Gated = true
+				rep.Gated++
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Key < rep.Deltas[j].Key })
+	return rep
+}
+
+// fmtDelta renders a percent delta column: signed fixed-point, "-" for
+// not-comparable, and a "!" suffix on gated values.
+func fmtDelta(v Pct, gated bool) string {
+	if math.IsNaN(float64(v)) {
+		return "-"
+	}
+	s := fmt.Sprintf("%+.1f%%", float64(v))
+	if gated {
+		s += "!"
+	}
+	return s
+}
+
+// fmtNs renders one ns/op trajectory cell ("-" for a missing benchmark).
+func fmtNs(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// writeTable renders the delta table.
+func writeTable(w io.Writer, rep Report) error {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	header := "benchmark"
+	for _, l := range rep.Labels {
+		header += "\tns/op " + l
+	}
+	header += "\tdelta\tB/op\tallocs/op"
+	fmt.Fprintln(tw, header)
+	for _, d := range rep.Deltas {
+		row := d.Key
+		for _, v := range d.NsPerOp {
+			row += "\t" + fmtNs(v)
+		}
+		row += "\t" + fmtDelta(d.NsDeltaPct, d.Gated)
+		row += "\t" + fmtDelta(d.BytesDeltaPct, false)
+		row += "\t" + fmtDelta(d.AllocsDeltaPct, false)
+		fmt.Fprintln(tw, row)
+		if len(d.MetricDeltaPct) > 0 {
+			units := make([]string, 0, len(d.MetricDeltaPct))
+			for u := range d.MetricDeltaPct {
+				units = append(units, u)
+			}
+			sort.Strings(units)
+			for _, u := range units {
+				// Same cell count as a benchmark row, so tabwriter keeps one
+				// aligned block: the metric delta lands in the delta column.
+				row := "  [" + u + "]" + strings.Repeat("\t", len(d.NsPerOp))
+				fmt.Fprintln(tw, row+"\t"+fmtDelta(d.MetricDeltaPct[u], false)+"\t\t")
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errThreshold):
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0, "fail (exit 2) when any ns/op regression exceeds this `percent` (0 = report only)")
+	minNs := fs.Float64("min-ns", 1000, "noise floor: gate only benchmarks whose baseline ns/op is at least `ns`")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) < 2 {
+		return fmt.Errorf("need at least 2 snapshot files, got %d (usage: benchdiff OLD.json NEW.json...)", len(files))
+	}
+	snaps := make([]benchfmt.Snapshot, 0, len(files))
+	for _, f := range files {
+		s, err := benchfmt.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, s)
+	}
+	rep := diff(snaps, *threshold, *minNs)
+	if *asJSON {
+		if err := obs.EncodeJSON(out, rep); err != nil {
+			return err
+		}
+	} else {
+		if err := writeTable(out, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%d benchmark(s) compared (%s -> %s), %d gated at +%.1f%%\n",
+			len(rep.Deltas), rep.Labels[0], rep.Labels[len(rep.Labels)-1], rep.Gated, rep.ThresholdPct)
+	}
+	if rep.Gated > 0 {
+		return fmt.Errorf("%w: %d benchmark(s) regressed more than %.1f%% (see table)", errThreshold, rep.Gated, *threshold)
+	}
+	return nil
+}

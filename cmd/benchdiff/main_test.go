@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var fixtures = []string{
+	filepath.Join("testdata", "BENCH_old.json"),
+	filepath.Join("testdata", "BENCH_new.json"),
+}
+
+// TestGoldenTable: the delta table (with a tripping threshold) matches
+// the committed golden file byte for byte, and the gate surfaces as
+// errThreshold so main can exit 2.
+func TestGoldenTable(t *testing.T) {
+	var out strings.Builder
+	err := run(append([]string{"-threshold", "25"}, fixtures...), &out)
+	if !errors.Is(err, errThreshold) {
+		t.Fatalf("run err = %v, want errThreshold", err)
+	}
+	golden, rerr := os.ReadFile(filepath.Join("testdata", "golden_table.txt"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if out.String() != string(golden) {
+		t.Fatalf("table drifted from golden file:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestThresholdModes: report-only mode (threshold 0) never gates; a
+// generous threshold passes; the noise floor exempts fast benchmarks
+// (BenchmarkFast regresses +80% but sits under -min-ns 1000).
+func TestThresholdModes(t *testing.T) {
+	var out strings.Builder
+	if err := run(fixtures, &out); err != nil {
+		t.Fatalf("report-only run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 gated at +0.0%") {
+		t.Fatalf("report-only output gated something:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run(append([]string{"-threshold", "50"}, fixtures...), &out); err != nil {
+		t.Fatalf("generous threshold tripped: %v", err)
+	}
+
+	// Dropping the noise floor brings BenchmarkFast (100 -> 180 ns) into
+	// the gate as a second regression.
+	out.Reset()
+	err := run(append([]string{"-threshold", "25", "-min-ns", "0"}, fixtures...), &out)
+	if !errors.Is(err, errThreshold) {
+		t.Fatalf("run err = %v, want errThreshold", err)
+	}
+	if !strings.Contains(out.String(), "2 gated at +25.0%") {
+		t.Fatalf("no-floor run gated wrong count:\n%s", out.String())
+	}
+}
+
+// TestJSONReport: -json emits the full report document.
+func TestJSONReport(t *testing.T) {
+	var out strings.Builder
+	err := run(append([]string{"-threshold", "25", "-json"}, fixtures...), &out)
+	if !errors.Is(err, errThreshold) {
+		t.Fatalf("run err = %v, want errThreshold", err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Labels) != 2 || rep.Labels[0] != "old" || rep.Labels[1] != "new" {
+		t.Fatalf("labels = %v", rep.Labels)
+	}
+	if rep.Gated != 1 || len(rep.Deltas) != 5 {
+		t.Fatalf("report = gated %d, %d deltas", rep.Gated, len(rep.Deltas))
+	}
+	byKey := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byKey[d.Key] = d
+	}
+	slow := byKey["repro/internal/trim.BenchmarkSlow"]
+	if !slow.Gated || slow.NsDeltaPct != 40 || slow.BytesDeltaPct != -25 {
+		t.Fatalf("slow delta = %+v", slow)
+	}
+	metric := byKey["repro/internal/slim.BenchmarkMetric"]
+	if metric.MetricDeltaPct["triples/op"] != 25 {
+		t.Fatalf("metric delta = %+v", metric)
+	}
+	gone := byKey["repro/internal/mark.BenchmarkGone"]
+	if len(gone.NsPerOp) != 2 || gone.NsPerOp[1] != -1 {
+		t.Fatalf("gone delta = %+v", gone)
+	}
+}
+
+// TestDiffMath: percent math and NaN handling for non-comparable pairs.
+func TestDiffMath(t *testing.T) {
+	if got := pct(100, 150); got != 50 {
+		t.Fatalf("pct(100,150) = %v", got)
+	}
+	if got := pct(0, 150); !math.IsNaN(float64(got)) {
+		t.Fatalf("pct(0,150) = %v, want NaN", got)
+	}
+}
+
+// TestUsageErrors: too few files and unreadable files are plain errors
+// (exit 1), never the threshold sentinel (exit 2).
+func TestUsageErrors(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{fixtures[0]}, &out)
+	if err == nil || errors.Is(err, errThreshold) {
+		t.Fatalf("single-file run err = %v", err)
+	}
+	err = run([]string{fixtures[0], filepath.Join("testdata", "missing.json")}, &out)
+	if err == nil || errors.Is(err, errThreshold) {
+		t.Fatalf("missing-file run err = %v", err)
+	}
+}

@@ -10,119 +10,25 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/obs"
 )
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
-	Name string `json:"name"`
-	// Package is the Go package the benchmark ran in (from the trailing
-	// "ok <pkg> <time>" line of each test binary's output).
-	Package    string  `json:"package,omitempty"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	// BytesPerOp/AllocsPerOp are present only when the benchmark reports
-	// allocations (-benchmem or b.ReportAllocs).
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
-	// Metrics holds custom b.ReportMetric units (e.g. "triples/op").
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+// The snapshot document and parser live in internal/benchfmt, shared with
+// cmd/benchdiff; the aliases keep this package's vocabulary (and tests).
+type (
+	Benchmark = benchfmt.Benchmark
+	Snapshot  = benchfmt.Snapshot
+)
 
-// Snapshot is the BENCH_<label>.json document.
-type Snapshot struct {
-	Label         string      `json:"label"`
-	GoVersion     string      `json:"go_version"`
-	GOOS          string      `json:"goos"`
-	GOARCH        string      `json:"goarch"`
-	GeneratedUnix int64       `json:"generated_unix"`
-	Benchmarks    []Benchmark `json:"benchmarks"`
-}
-
-// benchLine matches one benchmark result: name, iteration count, then
-// value/unit pairs ("123 ns/op", "45 B/op", "6 allocs/op", custom units).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
-
-// stripProcs removes the trailing -N GOMAXPROCS suffix from a benchmark
-// name (BenchmarkCreate-8 -> BenchmarkCreate).
-func stripProcs(name string) string {
-	i := strings.LastIndex(name, "-")
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
-}
-
-// parse reads `go test -bench` output and returns the benchmarks in input
-// order. Benchmarks are attributed to their package via the "ok <pkg>"
-// line that follows each package's results.
-func parse(r io.Reader) ([]Benchmark, error) {
-	var out []Benchmark
-	pending := 0 // benchmarks awaiting a package attribution
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if pkg, ok := strings.CutPrefix(line, "ok "); ok {
-			name := strings.Fields(strings.TrimSpace(pkg))
-			for i := len(out) - pending; i < len(out); i++ {
-				if len(name) > 0 {
-					out[i].Package = name[0]
-				}
-			}
-			pending = 0
-			continue
-		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
-		}
-		b := Benchmark{Name: stripProcs(m[1]), Iterations: iters}
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				continue
-			}
-			val := v
-			switch fields[i+1] {
-			case "ns/op":
-				b.NsPerOp = v
-			case "B/op":
-				b.BytesPerOp = &val
-			case "allocs/op":
-				b.AllocsPerOp = &val
-			default:
-				if b.Metrics == nil {
-					b.Metrics = make(map[string]float64)
-				}
-				b.Metrics[fields[i+1]] = v
-			}
-		}
-		out = append(out, b)
-		pending++
-	}
-	return out, sc.Err()
-}
+func parse(r io.Reader) ([]Benchmark, error) { return benchfmt.Parse(r) }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {

@@ -13,13 +13,18 @@
 //	markctl resolve -marks marks.xml -id mark-000001 -doc meds.csv
 //	markctl doctor  -marks marks.xml -doc meds.csv -doc lab.xml
 //	markctl doctor  -marks marks.xml -json
+//	markctl top     -marks marks.xml -doc meds.csv -doc lab.xml
 //
 // Documents load under their base filename; CSV files become a workbook
 // with one sheet named "Meds". The doctor command diagnoses every stored
 // mark against the given base documents (scheme inferred from extension,
 // or prefix with "scheme:"): healthy, drifted, degraded (unresolvable but
 // excerpt-backed), or dangling (docs/ROBUSTNESS.md). It exits non-zero
-// when any mark is dangling.
+// when any mark is dangling. The top command dereferences every stored
+// mark through the instrumented resilient resolver and prints the
+// heavy-hitter sketch: resolve traffic ranked by mark scheme and resolver
+// — the same ranking a served store exposes at /debug/top
+// (docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -65,7 +70,7 @@ func (d *docList) Set(v string) error {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a command: mark | list | resolve | extract | doctor")
+		return fmt.Errorf("need a command: mark | list | resolve | extract | doctor | top")
 	}
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -75,7 +80,8 @@ func run(args []string, out io.Writer) error {
 	fs.Var(&docs, "doc", "base document file to load (doctor accepts it repeated, optionally scheme:path)")
 	at := fs.String("at", "", "address path within the document")
 	id := fs.String("id", "", "mark id (for resolve)")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (doctor)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (doctor, top)")
+	topK := fs.Int("k", 20, "with top: list at most this many resolve shapes")
 	var cli obs.CLI
 	cli.Bind(fs)
 	if err := fs.Parse(args[1:]); err != nil {
@@ -89,9 +95,12 @@ func run(args []string, out io.Writer) error {
 		doc = docs[0]
 	}
 	var err error
-	if cmd == "doctor" {
+	switch cmd {
+	case "doctor":
 		err = doctor(*marksFile, docs, *jsonOut, out)
-	} else {
+	case "top":
+		err = top(*marksFile, docs, *jsonOut, *topK, out)
+	default:
 		err = execute(cmd, *marksFile, *scheme, doc, *at, *id, out)
 	}
 	if ferr := cli.Finish(out); err == nil {
@@ -161,6 +170,55 @@ func doctor(marksFile string, docs []string, jsonOut bool, out io.Writer) error 
 	if report.Dangling > 0 {
 		return fmt.Errorf("%d dangling mark(s)", report.Dangling)
 	}
+	return nil
+}
+
+// top loads the mark store plus the given base documents, dereferences
+// every stored mark through the instrumented resilient resolver, and
+// prints the process-wide heavy-hitter sketch. Shapes are keyed by scheme
+// and resolver, so the ranking shows which base-information types carry
+// the resolve traffic. Unresolvable marks still count — their shapes are
+// recorded before the resolve fails — so the sketch reflects attempted
+// traffic, not just successes.
+func top(marksFile string, docs []string, jsonOut bool, k int, out io.Writer) error {
+	mm := mark.NewManager()
+	store := trim.NewManager()
+	if _, err := os.Stat(marksFile); err == nil {
+		if err := store.LoadFile(marksFile); err != nil {
+			return err
+		}
+		if err := mm.LoadFrom(store); err != nil {
+			return err
+		}
+	}
+	for _, d := range docs {
+		scheme, path := splitDoc(d)
+		app, _, err := loadDoc(scheme, path)
+		if err != nil {
+			return err
+		}
+		if err := mm.RegisterApplication(app); err != nil {
+			return err
+		}
+	}
+	obs.DefaultReady.Register(obs.HealthMarkStore, store.LoadedCheck())
+	obs.DefaultHealth.Register(obs.HealthMarkQuarantine, mm.QuarantineCheck(1))
+	ctx := context.Background()
+	failed := 0
+	marks := mm.Marks()
+	for _, m := range marks {
+		if _, err := mm.ResolveCtx(ctx, m.ID); err != nil {
+			failed++
+		}
+	}
+	if jsonOut {
+		return obs.EncodeJSON(out, obs.DefaultTopQueries)
+	}
+	entries := obs.DefaultTopQueries.Top(k)
+	for i, e := range entries {
+		fmt.Fprintf(out, "%3d  %8d  ±%-5d  %s\n", i+1, e.Count, e.ErrBound, e.Key)
+	}
+	fmt.Fprintf(out, "-- %d shape(s) over %d resolve(s) (%d failed)\n", len(entries), len(marks), failed)
 	return nil
 }
 
@@ -285,7 +343,9 @@ func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {
 		if err := mm.RegisterApplication(app); err != nil {
 			return err
 		}
-		el, err := mm.Resolve(id)
+		// The instrumented resilient path: the resolve lands in the causal
+		// trace and the heavy-hitter sketch, same as a served store.
+		el, err := mm.ResolveCtx(context.Background(), id)
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/mark"
+	"repro/internal/obs"
 	"repro/internal/trim"
 )
 
@@ -239,5 +241,74 @@ func TestObsFlags(t *testing.T) {
 	}
 	if info, err := os.Stat(prof); err != nil || info.Size() == 0 {
 		t.Fatalf("profile not written: %v", err)
+	}
+}
+
+// TestTopResolves: `top` dereferences every stored mark through the
+// instrumented resolver and ranks the resolve shapes by scheme. With the
+// base document present the resolves succeed; without it they fail but
+// still count as attempted traffic.
+func TestTopResolves(t *testing.T) {
+	obs.DefaultTopQueries.Reset()
+	dir := t.TempDir()
+	csv := writeFile(t, dir, "meds.csv", "Drug,Dose\nFurosemide,40mg\nMetoprolol,25mg\n")
+	marks := filepath.Join(dir, "marks.xml")
+	var out strings.Builder
+	for _, at := range []string{"Meds!A2:B2", "Meds!A3:B3"} {
+		if err := run([]string{"mark", "-marks", marks, "-scheme", "spreadsheet", "-doc", csv, "-at", at}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	obs.DefaultTopQueries.Reset()
+	out.Reset()
+	if err := run([]string{"top", "-marks", marks, "-doc", csv}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Loading the mark store itself issues instrumented selects, so the
+	// sketch holds those shapes too; the resolve shape must rank with an
+	// exact count of 2.
+	if !strings.Contains(text, "2  \u00b10      mark.resolve scheme=spreadsheet resolver=context") {
+		t.Fatalf("top output missing resolve shape with count 2:\n%s", text)
+	}
+	if !strings.Contains(text, "over 2 resolve(s) (0 failed)") {
+		t.Fatalf("top footer = %q", text)
+	}
+
+	// No base document: both resolves fail but the shapes still record.
+	obs.DefaultTopQueries.Reset()
+	out.Reset()
+	if err := run([]string{"top", "-marks", marks}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(2 failed)") {
+		t.Fatalf("docless top footer = %q", out.String())
+	}
+
+	// -json emits the sketch document.
+	obs.DefaultTopQueries.Reset()
+	out.Reset()
+	if err := run([]string{"top", "-marks", marks, "-doc", csv, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded int `json:"recorded"`
+		Entries  []struct {
+			Key   string `json:"key"`
+			Count int    `json:"count"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("top -json not JSON: %v\n%s", err, out.String())
+	}
+	resolves := 0
+	for _, e := range doc.Entries {
+		if e.Key == "mark.resolve scheme=spreadsheet resolver=context" {
+			resolves = e.Count
+		}
+	}
+	if doc.Recorded < 2 || resolves != 2 {
+		t.Fatalf("top -json doc = %+v", doc)
 	}
 }

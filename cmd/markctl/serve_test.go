@@ -113,4 +113,21 @@ func TestServeWithMetrics(t *testing.T) {
 			t.Fatalf("%s status %d:\n%s", path, resp.StatusCode, body)
 		}
 	}
+
+	// The workload-analytics endpoints answer on markctl's server too,
+	// and the sketch holds the resolve shape the command just recorded.
+	for _, path := range []string{"/debug/load", "/debug/top"} {
+		resp, err := http.Get(s.URL() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d:\n%s", path, resp.StatusCode, body)
+		}
+		if path == "/debug/top" && !strings.Contains(string(body), "mark.resolve scheme=spreadsheet") {
+			t.Fatalf("/debug/top missing the resolve shape:\n%s", body)
+		}
+	}
 }

@@ -57,6 +57,15 @@ func TestServeWithMetrics(t *testing.T) {
 		}
 	}
 
+	// The workload-analytics endpoints: the demo build drove the full
+	// stack, so the window sampler and the query-shape sketch both answer.
+	if code, body := get("/debug/load"); code != http.StatusOK || !strings.Contains(body, `"windows"`) {
+		t.Fatalf("/debug/load status %d:\n%s", code, body)
+	}
+	if code, body := get("/debug/top"); code != http.StatusOK || !strings.Contains(body, `"entries"`) {
+		t.Fatalf("/debug/top status %d:\n%s", code, body)
+	}
+
 	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "slimpad.store") {
 		t.Fatalf("/readyz status %d:\n%s", code, body)
 	}

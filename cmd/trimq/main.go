@@ -15,6 +15,8 @@
 //	trimq -store pad.xml -serve :9090 stats
 //	trimq -store pad.xml trace select '?' rdf:type pad:Bundle
 //	trimq -store pad.xml -perfetto trace.json trace view inst:Bundle-000001
+//	trimq -store pad.xml -workload queries.txt top
+//	trimq -store pad.xml -workload queries.txt -k 5 -json top
 //
 // Query terms are '?' (wildcard), a prefix:local qualified name, a full IRI,
 // or a "quoted string" literal. explain runs the query and reports the
@@ -22,10 +24,14 @@
 // instead of the result rows. trace runs the query under a causal trace
 // root and prints the reassembled span tree (the store-layer spans carry
 // their EXPLAIN plan lines); -perfetto also saves the trace as Chrome
-// trace-event JSON for ui.perfetto.dev.
+// trace-event JSON for ui.perfetto.dev. top replays the -workload file
+// (one select/view/path query per line, # comments allowed) against the
+// store and prints the heavy-hitter query-shape sketch — the same ranking
+// a served store exposes at /debug/top (docs/OBSERVABILITY.md).
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -55,8 +61,10 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trimq", flag.ContinueOnError)
 	store := fs.String("store", "", "path to a persisted store (XML triple file)")
 	nt := fs.Bool("nt", false, "store file is N-Triples instead of XML")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (stats, explain, trace)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (stats, explain, trace, top)")
 	perfetto := fs.String("perfetto", "", "with trace: also save the trace as Chrome trace-event JSON to `file`")
+	workload := fs.String("workload", "", "with top: replay this query `file` (one select/view/path per line) before ranking")
+	topK := fs.Int("k", 20, "with top: list at most this many query shapes")
 	var cli obs.CLI
 	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -67,19 +75,19 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | trace select|view|path ... | view RESOURCE | path START PRED... | models")
+		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | trace select|view|path ... | view RESOURCE | path START PRED... | top | models")
 	}
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	err := execute(*store, *nt, *jsonOut, *perfetto, rest, out)
+	err := execute(*store, *nt, *jsonOut, *perfetto, *workload, *topK, rest, out)
 	if ferr := cli.Finish(out); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func execute(store string, nt bool, jsonOut bool, perfetto string, rest []string, out io.Writer) error {
+func execute(store string, nt bool, jsonOut bool, perfetto, workload string, topK int, rest []string, out io.Writer) error {
 	m := trim.NewManager()
 	var err error
 	if nt {
@@ -107,6 +115,8 @@ func execute(store string, nt bool, jsonOut bool, perfetto string, rest []string
 		return explain(m, pm, jsonOut, rest[1:], out)
 	case "trace":
 		return traceQuery(m, pm, jsonOut, perfetto, rest[1:], out)
+	case "top":
+		return topShapes(m, pm, jsonOut, workload, topK, out)
 	case "models":
 		for _, id := range metamodel.ListModels(m) {
 			model, err := metamodel.Decode(m, id)
@@ -269,6 +279,102 @@ func traceQuery(m *trim.Manager, pm *rdf.PrefixMap, jsonOut bool, perfetto strin
 		return obs.EncodeJSON(out, obs.DefaultTracer.Trace(id))
 	}
 	return obs.DefaultTracer.Trace(id).WriteText(out)
+}
+
+// topShapes is the heavy-hitter profiler CLI: it optionally replays a
+// workload file through the store's instrumented query paths, then prints
+// the process-wide query-shape sketch ranked by count. The sketch is keyed
+// by shape (op kind, bound-position mask, index choice, predicate), so a
+// thousand selects over the same pattern collapse into one ranked row.
+func topShapes(m *trim.Manager, pm *rdf.PrefixMap, jsonOut bool, workload string, k int, out io.Writer) error {
+	if workload != "" {
+		if err := replayWorkload(m, pm, workload); err != nil {
+			return err
+		}
+	}
+	if jsonOut {
+		return obs.EncodeJSON(out, obs.DefaultTopQueries)
+	}
+	entries := obs.DefaultTopQueries.Top(k)
+	for i, e := range entries {
+		fmt.Fprintf(out, "%3d  %8d  ±%-5d  %s\n", i+1, e.Count, e.ErrBound, e.Key)
+	}
+	fmt.Fprintf(out, "-- %d shape(s), %d op(s) recorded, %d evicted\n",
+		len(entries), obs.DefaultTopQueries.Recorded(), obs.DefaultTopQueries.Evicted())
+	return nil
+}
+
+// replayWorkload runs every query in the file against the store. Lines use
+// the same syntax as the CLI commands (select S P O | view RESOURCE |
+// path START PRED...); blank lines and # comments are skipped. Results
+// are discarded — only the recorded shapes matter.
+func replayWorkload(m *trim.Manager, pm *rdf.PrefixMap, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if err := replayQuery(m, pm, strings.Fields(text)); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// replayQuery executes one workload line through the instrumented
+// Select/View/Path entry points.
+func replayQuery(m *trim.Manager, pm *rdf.PrefixMap, fields []string) error {
+	switch fields[0] {
+	case "select":
+		if len(fields) != 4 {
+			return fmt.Errorf("select needs exactly 3 terms (use '?' for wildcards)")
+		}
+		pat := rdf.Pattern{}
+		terms := []*rdf.Term{&pat.Subject, &pat.Predicate, &pat.Object}
+		for i, arg := range fields[1:] {
+			t, err := parseTerm(pm, arg)
+			if err != nil {
+				return fmt.Errorf("term %d: %w", i+1, err)
+			}
+			*terms[i] = t
+		}
+		m.Select(pat)
+	case "view":
+		if len(fields) != 2 {
+			return fmt.Errorf("view needs exactly 1 resource")
+		}
+		root, err := parseTerm(pm, fields[1])
+		if err != nil {
+			return err
+		}
+		m.View(root)
+	case "path":
+		if len(fields) < 3 {
+			return fmt.Errorf("path needs a start resource and at least 1 predicate")
+		}
+		start, err := parseTerm(pm, fields[1])
+		if err != nil {
+			return err
+		}
+		preds := make([]rdf.Term, 0, len(fields)-2)
+		for _, arg := range fields[2:] {
+			p, err := parseTerm(pm, arg)
+			if err != nil {
+				return err
+			}
+			preds = append(preds, p)
+		}
+		m.Path([]rdf.Term{start}, preds...)
+	default:
+		return fmt.Errorf("workload line must start with select, view, or path (got %q)", fields[0])
+	}
+	return nil
 }
 
 // runTraced executes the query under a root span and returns its trace id.

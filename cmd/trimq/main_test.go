@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/metamodel"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/trim"
 )
@@ -187,5 +189,95 @@ func TestProfileFlag(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Fatal("profile file is empty")
+	}
+}
+
+// TestTopWorkload: `top` replays the -workload file and ranks the
+// recorded query shapes by count, with comments and blank lines skipped.
+// The sketch is process-wide, so the test resets it first.
+func TestTopWorkload(t *testing.T) {
+	obs.DefaultTopQueries.Reset()
+	path := storeFile(t)
+	wl := filepath.Join(t.TempDir(), "queries.txt")
+	workload := `# bundle scan, three times
+select ? rdf:type pad:Bundle
+select ? rdf:type pad:Bundle
+
+select ? rdf:type pad:Bundle
+view inst:Bundle-000001
+path inst:Bundle-000001 pad:nestedBundle
+`
+	if err := os.WriteFile(wl, []byte(workload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-workload", wl, "top"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if !strings.Contains(lines[0], "select ?po") || !strings.Contains(lines[0], "pred=") {
+		t.Fatalf("top entry is not the repeated select:\n%s", text)
+	}
+	if !strings.Contains(lines[0], "       3") {
+		t.Fatalf("repeated select should count 3:\n%s", text)
+	}
+	if !strings.Contains(text, "-- 3 shape(s), 5 op(s) recorded, 0 evicted") {
+		t.Fatalf("top footer = %q", text)
+	}
+
+	// -k truncates the listing but not the footer's shape count.
+	out.Reset()
+	if err := run([]string{"-store", path, "-workload", wl, "-k", "1", "top"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "±"); got != 1 {
+		t.Fatalf("-k 1 listed %d entries:\n%s", got, out.String())
+	}
+}
+
+// TestTopJSON: -json emits the whole sketch document.
+func TestTopJSON(t *testing.T) {
+	obs.DefaultTopQueries.Reset()
+	path := storeFile(t)
+	wl := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(wl, []byte("view inst:Bundle-000001\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-workload", wl, "-json", "top"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Capacity int `json:"capacity"`
+		Recorded int `json:"recorded"`
+		Entries  []struct {
+			Key   string `json:"key"`
+			Count int    `json:"count"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("top -json not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Recorded != 1 || len(doc.Entries) != 1 || doc.Entries[0].Key != "view index=subject" {
+		t.Fatalf("top -json doc = %+v", doc)
+	}
+}
+
+// TestTopWorkloadErrors: a missing workload file and a malformed query
+// line both fail, the latter with the file:line position.
+func TestTopWorkloadErrors(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-workload", "no-such-file.txt", "top"}, &out); err == nil {
+		t.Fatal("missing workload file succeeded")
+	}
+	wl := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(wl, []byte("view inst:X\ndelete everything\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-store", path, "-workload", wl, "top"}, &out)
+	if err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("bad workload err = %v, want line position", err)
 	}
 }

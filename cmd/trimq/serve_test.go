@@ -156,6 +156,35 @@ func TestServeWithMetrics(t *testing.T) {
 		t.Fatalf("/healthz status %d:\n%s", code, body)
 	}
 
+	// The workload-analytics endpoints: /debug/load reports the window
+	// sampler -serve started, /debug/top the query-shape sketch.
+	code, body = scrape(t, s.URL(), "/debug/load")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/load status %d:\n%s", code, body)
+	}
+	var load struct {
+		Running bool `json:"running"`
+		Samples int  `json:"samples"`
+		Windows map[string]struct {
+			WindowNS int64 `json:"window_ns"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &load); err != nil {
+		t.Fatalf("/debug/load not JSON: %v\n%s", err, body)
+	}
+	if !load.Running || load.Samples < 1 || len(load.Windows) != 2 {
+		t.Fatalf("/debug/load = %+v", load)
+	}
+	code, body = scrape(t, s.URL(), "/debug/top")
+	if code != http.StatusOK || !strings.Contains(body, `"capacity"`) {
+		t.Fatalf("/debug/top status %d:\n%s", code, body)
+	}
+	// The `_rate` companion families ride the same scrape as the
+	// cumulative series.
+	if code, body := scrape(t, s.URL(), "/metrics"); code != http.StatusOK || !strings.Contains(body, "trim_load_triples_rate1m") {
+		t.Fatalf("/metrics missing rate families (status %d):\n%.2000s", code, body)
+	}
+
 	// The acceptance path: a staged persistence fault flips liveness.
 	prev := trim.SetPersistFault(func(stage trim.PersistStage, _ string) error {
 		if stage == trim.StageTempWrite {

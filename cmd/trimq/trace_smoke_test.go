@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestTraceSmokeSelect runs a traced select and checks the trimq.trace →
@@ -86,5 +88,73 @@ func TestTraceSmokeBadQuery(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// TestTraceSmokeWorkloadAnalytics drives a replayed workload under -serve
+// and checks the live workload-analytics endpoints end to end: /debug/top
+// ranks the replayed query shapes and /debug/load reports the running
+// window sampler (docs/OBSERVABILITY.md).
+func TestTraceSmokeWorkloadAnalytics(t *testing.T) {
+	obs.DefaultTopQueries.Reset()
+	path := storeFile(t)
+	wl := filepath.Join(t.TempDir(), "queries.txt")
+	workload := "select ? rdf:type pad:Bundle\nselect ? rdf:type pad:Bundle\nview inst:Bundle-000001\n"
+	if err := os.WriteFile(wl, []byte(workload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-serve", "127.0.0.1:0", "-workload", wl, "top"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := obs.ActiveServer()
+	if s == nil {
+		t.Fatal("-serve left no active server")
+	}
+	defer s.Close()
+
+	code, body := scrape(t, s.URL(), "/debug/top")
+	if code != 200 {
+		t.Fatalf("/debug/top status %d:\n%s", code, body)
+	}
+	var sketch struct {
+		Entries []struct {
+			Key   string `json:"key"`
+			Count int    `json:"count"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &sketch); err != nil {
+		t.Fatalf("/debug/top not JSON: %v\n%s", err, body)
+	}
+	counts := map[string]int{}
+	for _, e := range sketch.Entries {
+		counts[e.Key] = e.Count
+	}
+	if counts["view index=subject"] != 1 {
+		t.Fatalf("/debug/top entries = %+v", sketch.Entries)
+	}
+	found := false
+	for key, n := range counts {
+		if strings.HasPrefix(key, "select ?po index=") && n == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/top missing the replayed select shape: %+v", sketch.Entries)
+	}
+
+	code, body = scrape(t, s.URL(), "/debug/load")
+	if code != 200 {
+		t.Fatalf("/debug/load status %d:\n%s", code, body)
+	}
+	var load struct {
+		Running bool `json:"running"`
+		Samples int  `json:"samples"`
+	}
+	if err := json.Unmarshal([]byte(body), &load); err != nil {
+		t.Fatalf("/debug/load not JSON: %v\n%s", err, body)
+	}
+	if !load.Running || load.Samples < 1 {
+		t.Fatalf("/debug/load sampler state = %+v", load)
 	}
 }

@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -79,6 +80,11 @@ func TestMetricsCoverAllLayers(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Bracket the workload with two window samples so the `_rate` families
+	// and /debug/load report a populated (if zero-rate) window.
+	obs.DefaultWindow.SampleNow()
+	obs.DefaultWindow.SampleNow()
+
 	// Scrape the default registry the way -serve exposes it.
 	srv := httptest.NewServer(obs.NewDiagMux(obs.ServeConfig{}))
 	defer srv.Close()
@@ -101,6 +107,19 @@ func TestMetricsCoverAllLayers(t *testing.T) {
 		}
 	}
 
+	// The windowed companions: every cumulative series grows `_rate1m` and
+	// `_rate5m` gauges, and histograms delta-quantile `_q1m`/`_q5m`
+	// summaries (docs/OBSERVABILITY.md).
+	for _, family := range []string{
+		"trim_create_total_rate1m", "trim_select_total_rate5m",
+		"trim_select_ns_rate1m", `trim_select_ns_q1m{quantile="0.5"}`,
+		`mark_resolve_spreadsheet_ns_q5m{quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, "\n"+family) {
+			t.Errorf("/metrics missing the windowed %s series", family)
+		}
+	}
+
 	// Every sample line must satisfy the exposition grammar.
 	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+]+$`)
 	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
@@ -109,6 +128,41 @@ func TestMetricsCoverAllLayers(t *testing.T) {
 		}
 		if !sampleRe.MatchString(line) {
 			t.Fatalf("invalid exposition line: %q", line)
+		}
+	}
+
+	// /debug/load serves the same windows as JSON, covering every layer's
+	// counters.
+	resp, err = http.Get(srv.URL + "/debug/load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load struct {
+		Samples int `json:"samples"`
+		Windows map[string]struct {
+			Counters map[string]struct {
+				Delta int64 `json:"delta"`
+			} `json:"counters"`
+		} `json:"windows"`
+	}
+	if err := json.Unmarshal(body, &load); err != nil {
+		t.Fatalf("/debug/load not JSON: %v\n%s", err, body)
+	}
+	if load.Samples < 2 {
+		t.Fatalf("/debug/load samples = %d, want >= 2", load.Samples)
+	}
+	for _, label := range []string{"1m", "5m"} {
+		win, ok := load.Windows[label]
+		if !ok {
+			t.Fatalf("/debug/load missing the %s window", label)
+		}
+		if _, ok := win.Counters["trim.create.total"]; !ok {
+			t.Errorf("/debug/load %s window missing trim.create.total", label)
 		}
 	}
 }

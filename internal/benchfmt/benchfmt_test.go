@@ -1,0 +1,59 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Parse itself is exercised end to end by cmd/benchjson's tests; here the
+// snapshot-file side of the contract is covered.
+
+func TestKeyAndByKey(t *testing.T) {
+	b := Benchmark{Name: "BenchmarkX", Package: "repro/internal/trim"}
+	if b.Key() != "repro/internal/trim.BenchmarkX" {
+		t.Fatalf("Key = %q", b.Key())
+	}
+	if (Benchmark{Name: "BenchmarkX"}).Key() != "BenchmarkX" {
+		t.Fatal("package-less Key should be the bare name")
+	}
+	s := Snapshot{Benchmarks: []Benchmark{b, {Name: "BenchmarkY"}}}
+	idx := s.ByKey()
+	if len(idx) != 2 || idx[b.Key()].Name != "BenchmarkX" {
+		t.Fatalf("ByKey = %+v", idx)
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_t.json")
+	doc := `{"label":"t","benchmarks":[{"name":"BenchmarkZ","iterations":5,"ns_per_op":42}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Label != "t" || len(s.Benchmarks) != 1 || s.Benchmarks[0].NsPerOp != 42 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+
+	if _, err := ReadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("corrupt file err = %v, want path in message", err)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	benches, err := Parse(strings.NewReader("no benchmarks here\n"))
+	if err != nil || len(benches) != 0 {
+		t.Fatalf("Parse = %v, %v", benches, err)
+	}
+}

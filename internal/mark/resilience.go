@@ -105,6 +105,14 @@ var mResolveAttempts = obs.HSize(obs.NameMarkResolveAttempts)
 func (mm *Manager) ResolveWithCtx(ctx context.Context, id, resolver string) (el base.Element, err error) {
 	ctx, sp := obs.StartCtx(ctx, "mark.resolve", id)
 	defer func() { sp.FinishErr(err) }()
+	// Heavy-hitter profiling: shapes are keyed by scheme and resolver, not
+	// mark id, so the sketch ranks resolve traffic per base-information
+	// type (bounded by the module registry) instead of per mark.
+	scheme := "unknown"
+	if m, merr := mm.Mark(id); merr == nil {
+		scheme = m.Address.Scheme
+	}
+	obs.RecordQueryShape("mark.resolve scheme=" + scheme + " resolver=" + resolver)
 	policy := mm.RetryPolicy()
 	attempts := policy.MaxAttempts
 	if attempts < 1 {

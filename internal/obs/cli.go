@@ -15,6 +15,7 @@ import (
 //	-serve ADDR         serve live diagnostics (/metrics, /healthz, /debug/*)
 //	-slowops DUR        set the slow-op journal latency threshold
 //	-flight DUR         runtime flight-recorder sampling interval under -serve
+//	-load DUR           windowed metrics sampling interval under -serve
 //	-trace-sample RATE  probabilistic trace sampling rate (errors always kept)
 //
 // Usage: Bind onto the command's FlagSet, Start after parsing, and Finish
@@ -29,6 +30,7 @@ type CLI struct {
 	Serve       string
 	SlowOps     time.Duration
 	Flight      time.Duration
+	Load        time.Duration
 	TraceSample float64
 
 	stopProfile func() error
@@ -43,6 +45,7 @@ func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&c.Serve, "serve", "", "serve live diagnostics on `addr` (e.g. :9090); the process stays up after the command until interrupted")
 	fs.DurationVar(&c.SlowOps, "slowops", 0, "journal instrumented ops slower than `dur` (0 keeps the current threshold)")
 	fs.DurationVar(&c.Flight, "flight", time.Second, "runtime flight-recorder sampling `interval` (with -serve)")
+	fs.DurationVar(&c.Load, "load", time.Second, "windowed metrics sampling `interval` for /debug/load (with -serve)")
 	fs.Float64Var(&c.TraceSample, "trace-sample", 1, "record this fraction of trace roots (0..1; error spans are always kept)")
 }
 
@@ -66,6 +69,9 @@ func (c *CLI) Start() error {
 		if c.Flight > 0 {
 			DefaultFlight.Start(c.Flight)
 			DefaultHealth.Register(HealthObsFlight, FlightCheck(DefaultFlight))
+		}
+		if c.Load > 0 {
+			DefaultWindow.Start(c.Load)
 		}
 	}
 	if c.Profile == "" {

@@ -126,6 +126,15 @@ const (
 	NameFlightGCNext      = "flight.gc.next.bytes"
 )
 
+// Workload analytics (internal/obs/window.go, topk.go): the windowed
+// sampler's self-accounting and the heavy-hitter sketch totals. Nonzero
+// obs.top.evicted means the sketch is estimating, not counting exactly.
+const (
+	NameObsWindowSamples = "obs.window.samples"
+	NameObsTopRecorded   = "obs.top.recorded"
+	NameObsTopEvicted    = "obs.top.evicted"
+)
+
 // Health and readiness check names (HealthRegistry.Register).
 const (
 	HealthTrimStore   = "trim.store"

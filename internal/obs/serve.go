@@ -31,6 +31,8 @@ import (
 //	/debug/trace/{id}  one trace reassembled as a tree (?perfetto=1 for
 //	                   Chrome trace-event JSON)
 //	/debug/flight      runtime flight recorder ring (JSON)
+//	/debug/load        windowed 1m/5m rates and delta percentiles (JSON)
+//	/debug/top         heavy-hitter query shapes, space-saving top-K (JSON)
 //	/debug/slowops     JSON dump of the slow-op journal
 //	/debug/vars        expvar
 //	/debug/pprof/      CPU, heap, goroutine, ... profiles (net/http/pprof)
@@ -45,6 +47,8 @@ type ServeConfig struct {
 	Health   *HealthRegistry
 	Ready    *HealthRegistry
 	Flight   *FlightRecorder
+	Window   *WindowSampler
+	Top      *TopK
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -65,6 +69,12 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Flight == nil {
 		c.Flight = DefaultFlight
+	}
+	if c.Window == nil {
+		c.Window = DefaultWindow
+	}
+	if c.Top == nil {
+		c.Top = DefaultTopQueries
 	}
 	return c
 }
@@ -116,6 +126,8 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 			"/debug/traces      recent trace roots index (JSON)\n"+
 			"/debug/trace/{id}  one trace as a tree (?perfetto=1 for trace-event JSON)\n"+
 			"/debug/flight      runtime flight recorder (JSON)\n"+
+			"/debug/load        windowed 1m/5m rates and delta percentiles (JSON)\n"+
+			"/debug/top         heavy-hitter query shapes (JSON)\n"+
 			"/debug/slowops     slow-op journal (JSON)\n"+
 			"/debug/vars        expvar\n"+
 			"/debug/pprof/      runtime profiles\n")
@@ -124,6 +136,7 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		cfg.Registry.WritePrometheus(w)
+		cfg.Window.WritePrometheusRates(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -191,6 +204,14 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		EncodeJSON(w, cfg.Flight)
+	})
+	mux.HandleFunc("/debug/load", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, cfg.Window.Load())
+	})
+	mux.HandleFunc("/debug/top", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, cfg.Top)
 	})
 	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

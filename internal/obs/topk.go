@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Heavy-hitter profiling: a space-saving top-K sketch over query *shapes*
+// (op kind, bound-position mask, index choice, predicate or mark scheme).
+// Cumulative counters say how much work the store did; the sketch says
+// which queries caused it — the "which tenant/query is eating this store"
+// answer a served SLIM needs. TRIM's select/view/path entry points and the
+// Mark Manager's resilient resolve feed the process-wide DefaultTopQueries
+// through RecordQueryShape; /debug/top, `trimq top`, and `markctl top`
+// render it.
+//
+// The sketch is Metwally et al.'s space-saving algorithm: at most K
+// distinct keys are tracked. A hit increments its counter; a miss on a
+// full sketch evicts the current minimum and inherits its count as the new
+// key's error bound. Counts are exact while distinct keys <= K, and always
+// within ErrBound of the true count — enough to rank heavy hitters without
+// per-key memory.
+
+// TopEntry is one tracked key with its estimated count. Count
+// overestimates the true count by at most ErrBound (exactly zero while the
+// sketch never evicted).
+type TopEntry struct {
+	Key string `json:"key"`
+	// Count is the estimated occurrence count (true count <= Count).
+	Count int64 `json:"count"`
+	// ErrBound is the maximum overestimate inherited from evictions.
+	ErrBound int64 `json:"err_bound"`
+}
+
+// TopK is a space-saving heavy-hitter sketch over string keys. All methods
+// are safe for concurrent use and nil-safe.
+type TopK struct {
+	mu       sync.Mutex
+	k        int
+	entries  map[string]*TopEntry // guarded by mu
+	recorded int64                // guarded by mu
+	evicted  int64                // guarded by mu
+}
+
+// NewTopK returns an empty sketch tracking at most k keys (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, entries: make(map[string]*TopEntry, k)}
+}
+
+// DefaultTopQueries is the process-wide query-shape sketch every
+// instrumented query path records into. 128 slots comfortably exceed the
+// bounded shape space (op kinds x index choices x predicates in use), so
+// in practice counts stay exact.
+var DefaultTopQueries = NewTopK(128)
+
+// Sketch self-accounting: how many shapes were recorded and how many
+// evictions the space-saving bound forced (nonzero evictions mean counts
+// are estimates, not exact).
+var (
+	mTopRecorded = C(NameObsTopRecorded)
+	mTopEvicted  = C(NameObsTopEvicted)
+)
+
+// Record counts one occurrence of key.
+func (t *TopK) Record(key string) { t.RecordN(key, 1) }
+
+// RecordN counts n occurrences of key (n <= 0 is a no-op).
+func (t *TopK) RecordN(key string, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	mTopRecorded.Add(n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recorded += n
+	if e, ok := t.entries[key]; ok {
+		e.Count += n
+		return
+	}
+	if len(t.entries) < t.k {
+		t.entries[key] = &TopEntry{Key: key, Count: n}
+		return
+	}
+	// Space-saving eviction: replace the minimum-count key, inheriting its
+	// count as the newcomer's error bound. Ties break on the smaller key so
+	// the sketch is deterministic under a deterministic workload.
+	var min *TopEntry
+	for _, e := range t.entries {
+		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Key < min.Key) {
+			min = e
+		}
+	}
+	t.evicted++
+	mTopEvicted.Inc()
+	delete(t.entries, min.Key)
+	t.entries[key] = &TopEntry{Key: key, Count: min.Count + n, ErrBound: min.Count}
+}
+
+// Top returns the n highest-count entries, count-descending with key
+// ascending as the deterministic tie-break. n <= 0 returns every tracked
+// entry.
+func (t *TopK) Top(n int) []TopEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns the number of distinct keys currently tracked.
+func (t *TopK) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Recorded returns the total occurrences recorded (across all keys,
+// including those since evicted).
+func (t *TopK) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recorded
+}
+
+// Evicted returns how many evictions the sketch performed; zero means
+// every Count is exact.
+func (t *TopK) Evicted() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// Reset discards all tracked keys and totals.
+func (t *TopK) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = make(map[string]*TopEntry, t.k)
+	t.recorded = 0
+	t.evicted = 0
+}
+
+// topKJSON is the exported JSON shape of the sketch.
+type topKJSON struct {
+	Capacity int        `json:"capacity"`
+	Recorded int64      `json:"recorded"`
+	Evicted  int64      `json:"evicted"`
+	Entries  []TopEntry `json:"entries"`
+}
+
+// MarshalJSON renders the sketch for /debug/top: capacity, totals, and
+// every tracked entry count-descending. Entries is always an array, never
+// null.
+func (t *TopK) MarshalJSON() ([]byte, error) {
+	entries := t.Top(0)
+	if entries == nil {
+		entries = []TopEntry{}
+	}
+	return json.Marshal(topKJSON{
+		Capacity: t.k,
+		Recorded: t.Recorded(),
+		Evicted:  t.Evicted(),
+		Entries:  entries,
+	})
+}
+
+// RecordQueryShape records one occurrence of a query shape in the
+// process-wide DefaultTopQueries sketch: the single entry point the
+// instrumented layers (TRIM queries, mark resolution) call.
+func RecordQueryShape(shape string) {
+	DefaultTopQueries.Record(shape)
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTopKExactWithinCapacity: while distinct keys stay within capacity
+// every count is exact, no evictions happen, and Top orders
+// count-descending with key-ascending tie-breaks.
+func TestTopKExactWithinCapacity(t *testing.T) {
+	s := NewTopK(8)
+	for i := 0; i < 5; i++ {
+		s.Record("select spo")
+	}
+	s.RecordN("view s??", 3)
+	s.Record("path **")
+	s.Record("select ?p?")
+	s.RecordN("ignored", 0)
+	s.RecordN("ignored", -4)
+
+	if got, want := s.Len(), 4; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := s.Recorded(), int64(10); got != want {
+		t.Fatalf("Recorded = %d, want %d", got, want)
+	}
+	if got := s.Evicted(); got != 0 {
+		t.Fatalf("Evicted = %d, want 0", got)
+	}
+	want := []TopEntry{
+		{Key: "select spo", Count: 5},
+		{Key: "view s??", Count: 3},
+		{Key: "path **", Count: 1},
+		{Key: "select ?p?", Count: 1},
+	}
+	got := s.Top(0)
+	if len(got) != len(want) {
+		t.Fatalf("Top(0) = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Top(0)[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if top2 := s.Top(2); len(top2) != 2 || top2[0] != want[0] || top2[1] != want[1] {
+		t.Fatalf("Top(2) = %+v", top2)
+	}
+}
+
+// TestTopKEviction: a miss on a full sketch evicts the minimum-count key
+// and the newcomer inherits its count as the error bound (space-saving
+// invariant: Count overestimates by at most ErrBound).
+func TestTopKEviction(t *testing.T) {
+	s := NewTopK(2)
+	s.RecordN("a", 3)
+	s.RecordN("b", 2)
+	s.Record("c") // evicts b (min), c starts at 2+1 with ErrBound 2
+
+	if got := s.Evicted(); got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+	got := s.Top(0)
+	want := []TopEntry{
+		{Key: "a", Count: 3},
+		{Key: "c", Count: 3, ErrBound: 2},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Top(0) = %+v, want %+v", got, want)
+	}
+	if got, want := s.Recorded(), int64(6); got != want {
+		t.Fatalf("Recorded = %d, want %d", got, want)
+	}
+}
+
+// TestTopKEvictionTieBreak: when several entries share the minimum count
+// the smaller key is evicted, so a deterministic workload always yields
+// the same sketch.
+func TestTopKEvictionTieBreak(t *testing.T) {
+	s := NewTopK(2)
+	s.Record("b")
+	s.Record("a")
+	s.Record("c") // min count 1 shared by a and b; a (smaller key) goes
+
+	got := s.Top(0)
+	want := []TopEntry{
+		{Key: "c", Count: 2, ErrBound: 1},
+		{Key: "b", Count: 1},
+	}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Top(0) = %+v, want %+v", got, want)
+	}
+}
+
+// TestTopKHeavyHitterSurvivesChurn: a genuinely heavy key keeps its rank
+// through eviction churn from a long tail of one-off keys.
+func TestTopKHeavyHitterSurvivesChurn(t *testing.T) {
+	s := NewTopK(4)
+	for i := 0; i < 100; i++ {
+		s.Record("hot")
+		s.Record(fmt.Sprintf("cold-%03d", i))
+	}
+	top := s.Top(1)
+	if len(top) != 1 || top[0].Key != "hot" {
+		t.Fatalf("Top(1) = %+v, want the hot key", top)
+	}
+	// Space-saving bound: estimated count is never below the true count.
+	if top[0].Count < 100 {
+		t.Fatalf("hot count = %d, want >= 100", top[0].Count)
+	}
+	if s.Evicted() == 0 {
+		t.Fatal("churn workload forced no evictions")
+	}
+}
+
+// TestTopKReset: Reset empties the sketch and zeroes the totals.
+func TestTopKReset(t *testing.T) {
+	s := NewTopK(1)
+	s.Record("a")
+	s.Record("b")
+	s.Reset()
+	if s.Len() != 0 || s.Recorded() != 0 || s.Evicted() != 0 {
+		t.Fatalf("after Reset: len=%d recorded=%d evicted=%d", s.Len(), s.Recorded(), s.Evicted())
+	}
+	s.Record("c")
+	if got := s.Top(0); len(got) != 1 || got[0] != (TopEntry{Key: "c", Count: 1}) {
+		t.Fatalf("post-Reset Top = %+v", got)
+	}
+}
+
+// TestTopKMarshalJSON: the /debug/top document carries capacity, totals,
+// and a never-null entries array.
+func TestTopKMarshalJSON(t *testing.T) {
+	s := NewTopK(3)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Capacity int        `json:"capacity"`
+		Recorded int64      `json:"recorded"`
+		Evicted  int64      `json:"evicted"`
+		Entries  []TopEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Capacity != 3 || doc.Entries == nil || len(doc.Entries) != 0 {
+		t.Fatalf("empty sketch JSON = %s", data)
+	}
+
+	s.RecordN("a", 2)
+	s.Record("b")
+	data, err = json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Recorded != 3 || len(doc.Entries) != 2 || doc.Entries[0].Key != "a" {
+		t.Fatalf("sketch JSON = %s", data)
+	}
+}
+
+// TestTopKConcurrent: concurrent recorders on a small sketch neither race
+// nor lose the recorded total.
+func TestTopKConcurrent(t *testing.T) {
+	s := NewTopK(4)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Record(fmt.Sprintf("key-%d", (g+i)%6))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := s.Recorded(), int64(goroutines*each); got != want {
+		t.Fatalf("Recorded = %d, want %d", got, want)
+	}
+	if got := s.Len(); got > 4 {
+		t.Fatalf("Len = %d exceeds capacity 4", got)
+	}
+}
+
+// TestTopKNilSafe: a nil sketch answers every method harmlessly.
+func TestTopKNilSafe(t *testing.T) {
+	var s *TopK
+	s.Record("a")
+	s.RecordN("a", 2)
+	s.Reset()
+	if s.Top(1) != nil || s.Len() != 0 || s.Recorded() != 0 || s.Evicted() != 0 {
+		t.Fatal("nil sketch misbehaved")
+	}
+}
+
+// TestRecordQueryShape: the package-level helper lands shapes in
+// DefaultTopQueries and bumps the self-accounting counter.
+func TestRecordQueryShape(t *testing.T) {
+	before := C(NameObsTopRecorded).Value()
+	RecordQueryShape("test.shape select s?? index=subject")
+	if got := C(NameObsTopRecorded).Value(); got != before+1 {
+		t.Fatalf("%s = %d, want %d", NameObsTopRecorded, got, before+1)
+	}
+	for _, e := range DefaultTopQueries.Top(0) {
+		if e.Key == "test.shape select s?? index=subject" {
+			return
+		}
+	}
+	t.Fatal("recorded shape not present in DefaultTopQueries")
+}

@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed workload metrics: every counter and histogram in the registry
+// is cumulative-since-start, which answers "how much work has this process
+// ever done" but not "what is it doing right now". The WindowSampler
+// closes that gap: a ticker-driven ring of full registry snapshots, from
+// which 1m/5m event *rates* and *delta* latency percentiles (percentiles
+// of only the observations inside the window, not lifetime) are computed
+// on demand. /debug/load serves the report as JSON, and /metrics grows
+// companion `_rate1m`/`_rate5m` gauge families plus `_q1m`/`_q5m`
+// delta-quantile summaries next to every cumulative series.
+
+// Window spans reported by Load and the /metrics rate families.
+const (
+	WindowShort = time.Minute
+	WindowLong  = 5 * time.Minute
+)
+
+// WindowSample is one full registry snapshot at a point in time.
+type WindowSample struct {
+	TimeUnixNS int64
+	Counters   map[string]int64
+	Hists      map[string]HistogramSnapshot
+}
+
+// WindowSampler snapshots a registry on a fixed interval into a ring
+// buffer and computes windowed deltas between the newest sample and the
+// oldest one inside each window. Start/Stop are idempotent; all methods
+// are safe for concurrent use and nil-safe.
+type WindowSampler struct {
+	reg *Registry
+
+	mu   sync.Mutex
+	ring []WindowSample // guarded by mu
+	seq  uint64         // guarded by mu
+
+	running    atomic.Bool
+	intervalNS atomic.Int64
+	stop       chan struct{}
+	done       chan struct{}
+
+	// now is the clock; tests inject a fake to make rate math exact.
+	now func() time.Time
+}
+
+// NewWindowSampler returns a stopped sampler over reg retaining the last
+// capacity samples (minimum 2 — a delta needs two points). At the default
+// 1s interval, 512 slots hold ~8.5 minutes: enough to cover WindowLong.
+func NewWindowSampler(reg *Registry, capacity int) *WindowSampler {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &WindowSampler{reg: reg, ring: make([]WindowSample, capacity), now: time.Now}
+}
+
+// DefaultWindow is the process-wide sampler over the Default registry,
+// started by the shared obs.CLI when serving diagnostics.
+var DefaultWindow = NewWindowSampler(Default, 512)
+
+// mWindowSamples counts snapshots taken; it lands in the sampled registry,
+// so a live /debug/load also proves the sampler itself is ticking.
+var mWindowSamples = C(NameObsWindowSamples)
+
+// Start begins sampling every interval (minimum 10ms) until Stop. Starting
+// a running sampler is a no-op.
+func (s *WindowSampler) Start(interval time.Duration) {
+	if s == nil || !s.running.CompareAndSwap(false, true) {
+		return
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s.intervalNS.Store(int64(interval))
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.SampleNow() // first sample immediately, so Load is never empty while running
+	go s.loop(interval, s.stop, s.done)
+}
+
+func (s *WindowSampler) loop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			s.SampleNow()
+		}
+	}
+}
+
+// Stop halts sampling and waits for the sampler goroutine to exit.
+// Retained samples survive; Stop on a stopped sampler is a no-op.
+func (s *WindowSampler) Stop() {
+	if s == nil || !s.running.CompareAndSwap(true, false) {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
+
+// Running reports whether the sampler is active.
+func (s *WindowSampler) Running() bool { return s != nil && s.running.Load() }
+
+// Interval returns the sampling interval (0 if never started).
+func (s *WindowSampler) Interval() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.intervalNS.Load())
+}
+
+// SampleNow takes one registry snapshot immediately, independent of the
+// ticker. The ticker loop uses it; tests and one-shot CLIs can call it to
+// bracket a workload without waiting out the interval.
+func (s *WindowSampler) SampleNow() {
+	if s == nil {
+		return
+	}
+	mWindowSamples.Inc()
+	_, counters, _, _, _, hists := s.reg.snapshot()
+	sample := WindowSample{
+		TimeUnixNS: s.now().UnixNano(),
+		Counters:   counters,
+		Hists:      hists,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.ring[(s.seq-1)%uint64(len(s.ring))] = sample
+}
+
+// recent returns the retained samples oldest-first.
+func (s *WindowSampler) recent() []WindowSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.seq
+	capacity := uint64(len(s.ring))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]WindowSample, 0, n)
+	for i := s.seq - n; i < s.seq; i++ {
+		out = append(out, s.ring[i%capacity])
+	}
+	return out
+}
+
+// CounterWindow is one counter's activity inside a window.
+type CounterWindow struct {
+	// Delta is the counter increase across the window.
+	Delta int64 `json:"delta"`
+	// RatePerS is Delta divided by the window's actual span.
+	RatePerS float64 `json:"rate_per_s"`
+}
+
+// HistWindow is one histogram's activity inside a window: observation
+// count/rate plus percentiles of only the window's observations (delta
+// percentiles — not lifetime).
+type HistWindow struct {
+	Count    int64   `json:"count"`
+	RatePerS float64 `json:"rate_per_s"`
+	Mean     float64 `json:"mean"`
+	P50      int64   `json:"p50"`
+	P95      int64   `json:"p95"`
+	P99      int64   `json:"p99"`
+}
+
+// WindowStats aggregates every metric's activity across one window.
+type WindowStats struct {
+	// WindowNS is the nominal window span; SpanNS the span actually
+	// covered (shorter than WindowNS until the process has run that long,
+	// zero when only one sample exists).
+	WindowNS   int64                    `json:"window_ns"`
+	SpanNS     int64                    `json:"span_ns"`
+	Counters   map[string]CounterWindow `json:"counters"`
+	Histograms map[string]HistWindow    `json:"histograms"`
+}
+
+// LoadReport is the /debug/load document: the sampler's state plus one
+// WindowStats per reported window.
+type LoadReport struct {
+	Running    bool                   `json:"running"`
+	IntervalNS int64                  `json:"interval_ns"`
+	Samples    int                    `json:"samples"`
+	AsOfUnixNS int64                  `json:"as_of_unix_ns"`
+	Windows    map[string]WindowStats `json:"windows"`
+}
+
+// windowLabels orders the reported windows deterministically.
+var windowLabels = []struct {
+	label string
+	span  time.Duration
+}{
+	{"1m", WindowShort},
+	{"5m", WindowLong},
+}
+
+// Load computes the windowed report from the retained samples: for each
+// window, the newest sample is diffed against the oldest retained sample
+// whose age (relative to the newest) is within the window.
+func (s *WindowSampler) Load() LoadReport {
+	rep := LoadReport{Windows: make(map[string]WindowStats, len(windowLabels))}
+	if s == nil {
+		return rep
+	}
+	rep.Running = s.Running()
+	rep.IntervalNS = int64(s.Interval())
+	samples := s.recent()
+	rep.Samples = len(samples)
+	if len(samples) == 0 {
+		for _, w := range windowLabels {
+			rep.Windows[w.label] = WindowStats{WindowNS: int64(w.span), Counters: map[string]CounterWindow{}, Histograms: map[string]HistWindow{}}
+		}
+		return rep
+	}
+	newest := samples[len(samples)-1]
+	rep.AsOfUnixNS = newest.TimeUnixNS
+	for _, w := range windowLabels {
+		rep.Windows[w.label] = diffWindow(newest, samples, w.span)
+	}
+	return rep
+}
+
+// diffWindow diffs the newest sample against the oldest sample inside the
+// window span.
+func diffWindow(newest WindowSample, samples []WindowSample, span time.Duration) WindowStats {
+	cutoff := newest.TimeUnixNS - int64(span)
+	base := newest
+	for _, cand := range samples {
+		if cand.TimeUnixNS >= cutoff {
+			base = cand
+			break
+		}
+	}
+	out := WindowStats{
+		WindowNS:   int64(span),
+		SpanNS:     newest.TimeUnixNS - base.TimeUnixNS,
+		Counters:   make(map[string]CounterWindow, len(newest.Counters)),
+		Histograms: make(map[string]HistWindow, len(newest.Hists)),
+	}
+	secs := float64(out.SpanNS) / float64(time.Second)
+	rate := func(delta int64) float64 {
+		if secs <= 0 {
+			return 0
+		}
+		return float64(delta) / secs
+	}
+	for name, v := range newest.Counters {
+		delta := v - base.Counters[name] // missing in base (younger counter) = 0 baseline
+		out.Counters[name] = CounterWindow{Delta: delta, RatePerS: rate(delta)}
+	}
+	for name, h := range newest.Hists {
+		d := deltaSnapshot(h, base.Hists[name])
+		out.Histograms[name] = HistWindow{
+			Count:    d.Count,
+			RatePerS: rate(d.Count),
+			Mean:     d.Mean(),
+			P50:      d.Quantile(0.5),
+			P95:      d.Quantile(0.95),
+			P99:      d.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// deltaSnapshot subtracts an older histogram snapshot from a newer one of
+// the same histogram. A zero-value old snapshot (histogram younger than
+// the baseline sample) leaves the new snapshot unchanged; mismatched
+// bounds (impossible for one registry entry, defensive anyway) fall back
+// the same way.
+func deltaSnapshot(newer, older HistogramSnapshot) HistogramSnapshot {
+	if older.Count == 0 || len(older.Bounds) != len(newer.Bounds) || len(older.Buckets) != len(newer.Buckets) {
+		return newer
+	}
+	d := HistogramSnapshot{
+		Count:   newer.Count - older.Count,
+		Sum:     newer.Sum - older.Sum,
+		Bounds:  newer.Bounds,
+		Buckets: make([]int64, len(newer.Buckets)),
+	}
+	for i := range newer.Buckets {
+		d.Buckets[i] = newer.Buckets[i] - older.Buckets[i]
+	}
+	return d
+}
+
+// WritePrometheusRates appends the windowed families to a /metrics
+// exposition: for every counter a `<name>_rate1m`/`_rate5m` gauge pair,
+// and for every histogram the same observation-rate pair plus
+// `<name>_q1m`/`_q5m` summaries carrying the window's delta p50/p95/p99.
+// Values use fixed-point formatting so every line satisfies the exposition
+// grammar.
+func (s *WindowSampler) WritePrometheusRates(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	rep := s.Load()
+	ew := &errWriter{w: w}
+	for _, wl := range windowLabels {
+		win, ok := rep.Windows[wl.label]
+		if !ok {
+			continue
+		}
+		suffix := "_rate" + wl.label
+		counterNames := make([]string, 0, len(win.Counters))
+		for name := range win.Counters {
+			counterNames = append(counterNames, name)
+		}
+		sort.Strings(counterNames)
+		for _, name := range counterNames {
+			pn := promName(name) + suffix
+			ew.printf("# HELP %s SLIM %s rate of counter %s\n", pn, wl.label, name)
+			ew.printf("# TYPE %s gauge\n", pn)
+			ew.printf("%s %.6f\n", pn, win.Counters[name].RatePerS)
+		}
+		histNames := make([]string, 0, len(win.Histograms))
+		for name := range win.Histograms {
+			histNames = append(histNames, name)
+		}
+		sort.Strings(histNames)
+		for _, name := range histNames {
+			hw := win.Histograms[name]
+			pn := promName(name)
+			ew.printf("# HELP %s%s SLIM %s observation rate of histogram %s\n", pn, suffix, wl.label, name)
+			ew.printf("# TYPE %s%s gauge\n", pn, suffix)
+			ew.printf("%s%s %.6f\n", pn, suffix, hw.RatePerS)
+			qn := fmt.Sprintf("%s_q%s", pn, wl.label)
+			ew.printf("# HELP %s SLIM %s delta-quantile estimates of histogram %s\n", qn, wl.label, name)
+			ew.printf("# TYPE %s summary\n", qn)
+			ew.printf("%s{quantile=\"0.5\"} %d\n", qn, hw.P50)
+			ew.printf("%s{quantile=\"0.95\"} %d\n", qn, hw.P95)
+			ew.printf("%s{quantile=\"0.99\"} %d\n", qn, hw.P99)
+			ew.printf("%s_sum %d\n", qn, int64(hw.Mean*float64(hw.Count)))
+			ew.printf("%s_count %d\n", qn, hw.Count)
+		}
+	}
+	return ew.err
+}

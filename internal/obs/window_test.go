@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock hands the sampler a deterministic timeline so rate math is
+// exact in tests.
+type fakeClock struct {
+	t time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestWindowRingWraparound: the ring keeps the newest capacity samples,
+// oldest-first with non-decreasing timestamps.
+func TestWindowRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	s := NewWindowSampler(reg, 4)
+	clk := newFakeClock()
+	s.now = clk.now
+	for i := 0; i < 10; i++ {
+		s.SampleNow()
+		clk.advance(time.Second)
+	}
+	samples := s.recent()
+	if len(samples) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeUnixNS < samples[i-1].TimeUnixNS {
+			t.Fatalf("samples out of order: %+v", samples)
+		}
+	}
+	// The newest retained sample is the 10th (t0 + 9s).
+	wantNewest := time.Unix(1_700_000_000, 0).Add(9 * time.Second).UnixNano()
+	if got := samples[len(samples)-1].TimeUnixNS; got != wantNewest {
+		t.Fatalf("newest sample at %d, want %d", got, wantNewest)
+	}
+}
+
+// TestWindowRateMath: counter rates are delta over actual covered span,
+// and the two windows pick different baselines once the timeline is long
+// enough to distinguish them.
+func TestWindowRateMath(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("w.test.ops")
+	s := NewWindowSampler(reg, 16)
+	clk := newFakeClock()
+	s.now = clk.now
+
+	s.SampleNow() // t0: counter 0
+	clk.advance(2 * time.Minute)
+	c.Add(100)
+	s.SampleNow() // t0+120s: counter 100
+	clk.advance(time.Minute)
+	c.Add(30)
+	s.SampleNow() // t0+180s: counter 130
+
+	rep := s.Load()
+	if rep.Samples != 3 {
+		t.Fatalf("Samples = %d, want 3", rep.Samples)
+	}
+
+	// 1m window: baseline is the t0+120s sample → delta 30 over 60s.
+	w1 := rep.Windows["1m"]
+	if w1.SpanNS != int64(time.Minute) {
+		t.Fatalf("1m span = %v, want 1m", time.Duration(w1.SpanNS))
+	}
+	cw := w1.Counters["w.test.ops"]
+	if cw.Delta != 30 || cw.RatePerS != 0.5 {
+		t.Fatalf("1m counter window = %+v, want delta 30 rate 0.5", cw)
+	}
+
+	// 5m window: the whole 180s timeline fits → delta 130 over 180s.
+	w5 := rep.Windows["5m"]
+	if w5.SpanNS != int64(3*time.Minute) {
+		t.Fatalf("5m span = %v, want 3m", time.Duration(w5.SpanNS))
+	}
+	cw = w5.Counters["w.test.ops"]
+	if cw.Delta != 130 {
+		t.Fatalf("5m delta = %d, want 130", cw.Delta)
+	}
+	if want := 130.0 / 180.0; cw.RatePerS < want-1e-9 || cw.RatePerS > want+1e-9 {
+		t.Fatalf("5m rate = %v, want %v", cw.RatePerS, want)
+	}
+}
+
+// TestWindowDeltaPercentiles: window percentiles reflect only the
+// observations inside the window, not the lifetime distribution.
+func TestWindowDeltaPercentiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("w.test.ns", LatencyBounds)
+	s := NewWindowSampler(reg, 16)
+	clk := newFakeClock()
+	s.now = clk.now
+
+	// Lifetime history: a thousand slow ops before the window opens.
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(50 * time.Millisecond))
+	}
+	s.SampleNow()
+	clk.advance(30 * time.Second)
+	// Inside the window: three fast ops.
+	for i := 0; i < 3; i++ {
+		h.Observe(int64(20 * time.Microsecond))
+	}
+	s.SampleNow()
+
+	rep := s.Load()
+	hw := rep.Windows["1m"].Histograms["w.test.ns"]
+	if hw.Count != 3 {
+		t.Fatalf("window count = %d, want 3", hw.Count)
+	}
+	if want := 3.0 / 30.0; hw.RatePerS != want {
+		t.Fatalf("window rate = %v, want %v", hw.RatePerS, want)
+	}
+	lifetimeP50 := h.Snapshot().Quantile(0.5)
+	if hw.P50 >= lifetimeP50 {
+		t.Fatalf("delta p50 %d not below lifetime p50 %d", hw.P50, lifetimeP50)
+	}
+	if hw.P99 >= int64(time.Millisecond) {
+		t.Fatalf("delta p99 = %d, want fast-bucket estimate", hw.P99)
+	}
+}
+
+// TestWindowSingleSample: one sample means no span — zero deltas and
+// rates, but a well-formed report.
+func TestWindowSingleSample(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("w.single").Add(7)
+	s := NewWindowSampler(reg, 4)
+	clk := newFakeClock()
+	s.now = clk.now
+	s.SampleNow()
+
+	rep := s.Load()
+	w1 := rep.Windows["1m"]
+	if w1.SpanNS != 0 {
+		t.Fatalf("span = %d, want 0", w1.SpanNS)
+	}
+	if cw := w1.Counters["w.single"]; cw.Delta != 0 || cw.RatePerS != 0 {
+		t.Fatalf("counter window = %+v, want zeros", cw)
+	}
+}
+
+// TestWindowLoadEmpty: a never-sampled sampler still returns a complete
+// report shape.
+func TestWindowLoadEmpty(t *testing.T) {
+	s := NewWindowSampler(NewRegistry(), 4)
+	rep := s.Load()
+	if rep.Samples != 0 || rep.Running {
+		t.Fatalf("empty report = %+v", rep)
+	}
+	for _, label := range []string{"1m", "5m"} {
+		if _, ok := rep.Windows[label]; !ok {
+			t.Fatalf("missing %s window in empty report", label)
+		}
+	}
+}
+
+// TestWindowStartStop: Start samples immediately and keeps sampling;
+// Start/Stop are idempotent; samples survive Stop.
+func TestWindowStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("w.live")
+	s := NewWindowSampler(reg, 32)
+	s.Start(10 * time.Millisecond)
+	s.Start(10 * time.Millisecond) // idempotent
+	if !s.Running() {
+		t.Fatal("started sampler not running")
+	}
+	if s.Interval() != 10*time.Millisecond {
+		t.Fatalf("Interval = %v", s.Interval())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.recent()) < 3 && time.Now().Before(deadline) {
+		c.Inc() // concurrent writes while the sampler snapshots
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := len(s.recent()); got < 3 {
+		t.Fatalf("sampler produced %d samples in 2s, want >= 3", got)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if s.Running() {
+		t.Fatal("stopped sampler still running")
+	}
+	if len(s.recent()) == 0 {
+		t.Fatal("Stop discarded the samples")
+	}
+	rep := s.Load()
+	if rep.Running || rep.Samples == 0 {
+		t.Fatalf("post-Stop report = %+v", rep)
+	}
+}
+
+// TestWindowWritePrometheusRates: the `_rate` families are emitted per
+// window with fixed-point values (the exposition grammar does not allow
+// negative-exponent scientific notation) and delta-quantile summaries.
+func TestWindowWritePrometheusRates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("w.prom.ops")
+	h := reg.Histogram("w.prom.ns", LatencyBounds)
+	s := NewWindowSampler(reg, 8)
+	clk := newFakeClock()
+	s.now = clk.now
+
+	s.SampleNow()
+	clk.advance(time.Minute)
+	c.Add(90)
+	h.Observe(int64(time.Millisecond))
+	s.SampleNow()
+
+	var b strings.Builder
+	if err := s.WritePrometheusRates(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE w_prom_ops_rate1m gauge",
+		"w_prom_ops_rate1m 1.500000",
+		"# TYPE w_prom_ops_rate5m gauge",
+		"w_prom_ops_rate5m 1.500000",
+		"# TYPE w_prom_ns_rate1m gauge",
+		"# TYPE w_prom_ns_q1m summary",
+		"w_prom_ns_q1m{quantile=\"0.5\"}",
+		"w_prom_ns_q5m{quantile=\"0.99\"}",
+		"w_prom_ns_q1m_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every sample line satisfies the Prometheus 0.0.4 exposition grammar,
+	// and no value leaks scientific notation.
+	sampleRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.]+$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleRe.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestWindowNilSafe: a nil sampler answers every method harmlessly.
+func TestWindowNilSafe(t *testing.T) {
+	var s *WindowSampler
+	s.Start(time.Second)
+	s.Stop()
+	s.SampleNow()
+	if s.Running() || s.Interval() != 0 {
+		t.Fatal("nil sampler misbehaved")
+	}
+	rep := s.Load()
+	if rep.Samples != 0 {
+		t.Fatalf("nil Load = %+v", rep)
+	}
+	if err := s.WritePrometheusRates(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package trim
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Per-predicate cardinality statistics, maintained incrementally by the
+// two mutation points (createLocked/removeLocked) so they are always
+// exact and cost O(1) per mutation. They answer the planner's question —
+// "how many rows will this pattern touch?" — per predicate instead of
+// store-wide, feed the EXPLAIN estimated-selectivity line, and are the
+// ground-truth input the term-dictionary/index rework (ROADMAP item 1)
+// needs to choose layouts.
+
+// predCard tracks one predicate's live cardinality. The subject/object
+// maps refcount triples per term so removals decrement exactly.
+type predCard struct {
+	triples  int
+	subjects map[rdf.Term]int
+	objects  map[rdf.Term]int
+}
+
+// cardAddLocked records a newly inserted triple.
+func (m *Manager) cardAddLocked(t rdf.Triple) {
+	pc, ok := m.predCards[t.Predicate]
+	if !ok {
+		pc = &predCard{subjects: make(map[rdf.Term]int), objects: make(map[rdf.Term]int)}
+		m.predCards[t.Predicate] = pc
+	}
+	pc.triples++
+	pc.subjects[t.Subject]++
+	pc.objects[t.Object]++
+}
+
+// cardRemoveLocked records a removed triple.
+func (m *Manager) cardRemoveLocked(t rdf.Triple) {
+	pc, ok := m.predCards[t.Predicate]
+	if !ok {
+		return
+	}
+	pc.triples--
+	if pc.subjects[t.Subject]--; pc.subjects[t.Subject] == 0 {
+		delete(pc.subjects, t.Subject)
+	}
+	if pc.objects[t.Object]--; pc.objects[t.Object] == 0 {
+		delete(pc.objects, t.Object)
+	}
+	if pc.triples == 0 {
+		delete(m.predCards, t.Predicate)
+	}
+}
+
+// PredicateStats is one predicate's cardinality summary as reported by
+// Stats: how many triples carry it, over how many distinct subjects and
+// objects, and what fraction of the store a predicate-bound select would
+// touch.
+type PredicateStats struct {
+	Predicate        string `json:"predicate"`
+	Triples          int    `json:"triples"`
+	DistinctSubjects int    `json:"distinct_subjects"`
+	DistinctObjects  int    `json:"distinct_objects"`
+	// Selectivity is Triples divided by the store size: the fraction of
+	// the store a select bound only on this predicate matches.
+	Selectivity float64 `json:"selectivity"`
+}
+
+// predicateStatsLocked renders the cardinality table sorted by predicate.
+func (m *Manager) predicateStatsLocked() []PredicateStats {
+	size := m.graph.Len()
+	out := make([]PredicateStats, 0, len(m.predCards))
+	for pred, pc := range m.predCards {
+		ps := PredicateStats{
+			Predicate:        pred.Value(),
+			Triples:          pc.triples,
+			DistinctSubjects: len(pc.subjects),
+			DistinctObjects:  len(pc.objects),
+		}
+		if size > 0 {
+			ps.Selectivity = float64(pc.triples) / float64(size)
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Predicate < out[j].Predicate })
+	return out
+}
+
+// estimateLocked is the planner's cardinality estimate for a pattern:
+// expected result rows and their fraction of the store. A bound predicate
+// uses the exact per-predicate stats (triples, scaled down by the mean
+// triples-per-subject/object when those positions are bound too); an
+// unbound predicate falls back to the exact index bucket sizes the
+// planner already consults. The estimate is exact for single-position
+// patterns and a uniformity assumption beyond that.
+func (m *Manager) estimateLocked(p rdf.Pattern) (rows int, selectivity float64) {
+	size := m.graph.Len()
+	if size == 0 {
+		return 0, 0
+	}
+	est := size
+	if !p.Predicate.IsZero() {
+		pc, ok := m.predCards[p.Predicate]
+		if !ok {
+			return 0, 0
+		}
+		est = pc.triples
+		if !p.Subject.IsZero() && len(pc.subjects) > 0 {
+			est = meanShare(est, len(pc.subjects))
+		}
+		if !p.Object.IsZero() && len(pc.objects) > 0 {
+			est = meanShare(est, len(pc.objects))
+		}
+	} else {
+		if !p.Subject.IsZero() {
+			est = min(est, len(m.bySubject[p.Subject]))
+		}
+		if !p.Object.IsZero() {
+			est = min(est, len(m.byObject[p.Object]))
+		}
+	}
+	return est, float64(est) / float64(size)
+}
+
+// meanShare is total/parts rounded to at least 1 while total is nonzero:
+// the expected bucket share under uniformity, never estimating a present
+// predicate at zero rows.
+func meanShare(total, parts int) int {
+	if total == 0 {
+		return 0
+	}
+	share := total / parts
+	if share < 1 {
+		share = 1
+	}
+	return share
+}

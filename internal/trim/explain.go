@@ -39,6 +39,12 @@ type Explain struct {
 	// StoreSize and Generation snapshot the store the query ran against.
 	StoreSize  int    `json:"store_size"`
 	Generation uint64 `json:"generation"`
+	// EstRows and EstSelectivity are the planner's pre-scan cardinality
+	// estimate from the per-predicate statistics (see estimateLocked):
+	// expected result rows and their fraction of the store. Comparing
+	// EstRows against Matched shows how good the estimate was.
+	EstRows        int     `json:"est_rows"`
+	EstSelectivity float64 `json:"est_selectivity"`
 	// WallNS is the query's wall time in nanoseconds.
 	WallNS int64 `json:"wall_ns"`
 }
@@ -48,9 +54,9 @@ func (e Explain) Wall() time.Duration { return time.Duration(e.WallNS) }
 
 // String renders the explain as one line of key=value fields.
 func (e Explain) String() string {
-	return fmt.Sprintf("op=%s query=%q index=%s candidates=%d matched=%d observers=%d store=%d generation=%d wall=%s",
-		e.Op, e.Query, e.Index, e.Candidates, e.Matched, e.Observers,
-		e.StoreSize, e.Generation, e.Wall().Round(time.Microsecond))
+	return fmt.Sprintf("op=%s query=%q index=%s candidates=%d matched=%d est_rows=%d est_selectivity=%.4f observers=%d store=%d generation=%d wall=%s",
+		e.Op, e.Query, e.Index, e.Candidates, e.Matched, e.EstRows, e.EstSelectivity,
+		e.Observers, e.StoreSize, e.Generation, e.Wall().Round(time.Microsecond))
 }
 
 // String names the planner's index choice for EXPLAIN output.
@@ -89,6 +95,7 @@ func (m *Manager) selectExplainLocked(p rdf.Pattern) ([]rdf.Triple, Explain) {
 		StoreSize:  m.graph.Len(),
 		Generation: m.generation,
 	}
+	e.EstRows, e.EstSelectivity = m.estimateLocked(p)
 	if choice == indexNone {
 		e.Candidates = m.graph.Len()
 		out := m.graph.Select(p)
@@ -118,6 +125,7 @@ func (m *Manager) SelectExplain(p rdf.Pattern) ([]rdf.Triple, Explain) {
 	e.WallNS = int64(time.Since(start))
 	mSelectNS.Observe(e.WallNS)
 	mSelectTotal.Inc()
+	recordSelectShape(p, e.Index)
 	e.journal(start)
 	return out, e
 }
@@ -134,6 +142,7 @@ func (m *Manager) ViewExplain(root rdf.Term) (*rdf.Graph, Explain) {
 	e.WallNS = int64(time.Since(start))
 	mViewNS.Observe(e.WallNS)
 	mViewTotal.Inc()
+	recordViewShape()
 	e.journal(start)
 	return out, e
 }
@@ -146,6 +155,7 @@ func (m *Manager) PathExplain(start []rdf.Term, predicates ...rdf.Term) ([]rdf.T
 	out, e := m.pathExplainLocked(start, predicates)
 	m.mu.RUnlock()
 	e.WallNS = int64(time.Since(began))
+	recordPathShape(predicates, false)
 	e.journal(began)
 	return out, e
 }

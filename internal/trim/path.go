@@ -14,6 +14,7 @@ import (
 //
 // yields every mark handle reachable from a pad.
 func (m *Manager) Path(start []rdf.Term, predicates ...rdf.Term) []rdf.Term {
+	recordPathShape(predicates, false)
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 
@@ -48,6 +49,7 @@ func (m *Manager) Path(start []rdf.Term, predicates ...rdf.Term) []rdf.Term {
 // PathInverse follows predicates backwards (object -> subject): "which
 // scraps hold this mark handle" style questions.
 func (m *Manager) PathInverse(start []rdf.Term, predicates ...rdf.Term) []rdf.Term {
+	recordPathShape(predicates, true)
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 

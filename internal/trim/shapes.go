@@ -1,0 +1,46 @@
+package trim
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// Query-shape keys for the heavy-hitter profiler (obs.DefaultTopQueries):
+// every read entry point records a compact shape — op kind, bound-position
+// mask, index choice, and the predicate when one is bound — so /debug/top
+// and `trimq top` can rank which query families dominate a live store.
+// Keys deliberately exclude subject/object values: shapes stay bounded by
+// the schema (predicates in use), not by the data.
+
+// recordSelectShape records one select against the sketch.
+func recordSelectShape(p rdf.Pattern, index string) {
+	key := "select " + patShape(p) + " index=" + index
+	if !p.Predicate.IsZero() {
+		key += " pred=" + p.Predicate.Value()
+	}
+	obs.RecordQueryShape(key)
+}
+
+// recordViewShape records one reachability view.
+func recordViewShape() {
+	obs.RecordQueryShape("view index=subject")
+}
+
+// recordPathShape records one predicate-path walk; inverse walks run on
+// the object index.
+func recordPathShape(predicates []rdf.Term, inverse bool) {
+	index := "subject"
+	if inverse {
+		index = "object"
+	}
+	key := fmt.Sprintf("path hops=%d index=%s preds=", len(predicates), index)
+	for i, p := range predicates {
+		if i > 0 {
+			key += "/"
+		}
+		key += p.Value()
+	}
+	obs.RecordQueryShape(key)
+}

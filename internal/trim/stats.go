@@ -29,6 +29,11 @@ type Stats struct {
 	IndexOSP int `json:"index_osp"`
 	// Generation is the store's mutation counter at the time of the call.
 	Generation uint64 `json:"generation"`
+	// Predicates is the per-predicate cardinality table (triples, distinct
+	// subjects/objects, selectivity), sorted by predicate. Maintained
+	// incrementally, so reporting it here costs one pass over the
+	// predicates, not over the triples.
+	Predicates []PredicateStats `json:"predicates"`
 }
 
 // Stats computes current statistics in one pass under a read lock.
@@ -43,6 +48,7 @@ func (m *Manager) Stats() Stats {
 		DistinctPredicates: len(m.byPredicate),
 		DistinctObjects:    len(m.byObject),
 		Generation:         m.generation,
+		Predicates:         m.predicateStatsLocked(),
 	}
 	for _, set := range m.bySubject {
 		s.IndexSPO += len(set)

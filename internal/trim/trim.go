@@ -28,6 +28,10 @@ type Manager struct {
 	bySubject   map[rdf.Term]map[rdf.Triple]struct{} // guarded by mu
 	byPredicate map[rdf.Term]map[rdf.Triple]struct{} // guarded by mu
 	byObject    map[rdf.Term]map[rdf.Triple]struct{} // guarded by mu
+	// predCards tracks per-predicate cardinality (triples, distinct
+	// subjects/objects), maintained by the mutation points so EXPLAIN's
+	// selectivity estimates are always exact. Guarded by mu.
+	predCards map[rdf.Term]*predCard
 	// generation increments on every successful mutation; observers and
 	// optimistic readers use it to detect change. Guarded by mu.
 	generation uint64
@@ -59,6 +63,7 @@ func NewManager() *Manager {
 		bySubject:   make(map[rdf.Term]map[rdf.Triple]struct{}),
 		byPredicate: make(map[rdf.Term]map[rdf.Triple]struct{}),
 		byObject:    make(map[rdf.Term]map[rdf.Triple]struct{}),
+		predCards:   make(map[rdf.Term]*predCard),
 		observers:   make(map[int]Observer),
 	}
 }
@@ -95,6 +100,7 @@ func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
 	indexAdd(m.bySubject, t.Subject, t)
 	indexAdd(m.byPredicate, t.Predicate, t)
 	indexAdd(m.byObject, t.Object, t)
+	m.cardAddLocked(t)
 	m.generation++
 	m.queueNotifyLocked(t, true)
 	return true, nil
@@ -121,6 +127,7 @@ func (m *Manager) removeLocked(t rdf.Triple) bool {
 	indexRemove(m.bySubject, t.Subject, t)
 	indexRemove(m.byPredicate, t.Predicate, t)
 	indexRemove(m.byObject, t.Object, t)
+	m.cardRemoveLocked(t)
 	m.generation++
 	m.queueNotifyLocked(t, false)
 	return true
@@ -174,6 +181,7 @@ func (m *Manager) Select(p rdf.Pattern) []rdf.Triple {
 	d := time.Since(start)
 	mSelectNS.Observe(int64(d))
 	mSelectTotal.Inc()
+	recordSelectShape(p, e.Index)
 	if obs.DefaultSlowOps.Slow(d) {
 		e.Query = p.String()
 		e.WallNS = int64(d)
@@ -305,10 +313,12 @@ func (m *Manager) Replace(g *rdf.Graph) {
 	m.bySubject = make(map[rdf.Term]map[rdf.Triple]struct{})
 	m.byPredicate = make(map[rdf.Term]map[rdf.Triple]struct{})
 	m.byObject = make(map[rdf.Term]map[rdf.Triple]struct{})
+	m.predCards = make(map[rdf.Term]*predCard)
 	m.graph.Each(func(t rdf.Triple) bool {
 		indexAdd(m.bySubject, t.Subject, t)
 		indexAdd(m.byPredicate, t.Predicate, t)
 		indexAdd(m.byObject, t.Object, t)
+		m.cardAddLocked(t)
 		return true
 	})
 	m.generation++

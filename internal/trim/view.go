@@ -31,6 +31,7 @@ func (m *Manager) ViewFiltered(root rdf.Term, filter func(rdf.Triple) bool) *rdf
 	d := time.Since(start)
 	mViewNS.Observe(int64(d))
 	mViewTotal.Inc()
+	recordViewShape()
 	if obs.DefaultSlowOps.Slow(d) {
 		e.Query = root.String()
 		e.WallNS = int64(d)

@@ -15,3 +15,7 @@ go test -run TraceSmoke ./cmd/trimq/ ./cmd/slimpad/
 # BENCH_<label>.json benchmark snapshot for the CI environment to upload
 # or commit. Failures here never fail the build.
 make bench-json || echo "bench-json lane failed (non-gating)"
+
+# Non-gating bench regression radar: diff the two newest committed
+# snapshots so the per-benchmark delta table lands in the CI output.
+make bench-diff || echo "bench-diff lane failed (non-gating)"
