@@ -32,9 +32,11 @@ race:
 	$(GO) test -race ./...
 
 # The fault-injection lane (docs/ROBUSTNESS.md): sweeps injected faults,
-# torn writes, and bit rot through the persistence and resolution paths.
-# The sweep tests are env-gated so the plain `go test ./...` lane stays
-# fast; this target turns them on.
+# torn writes, and bit rot through the persistence and resolution paths,
+# including the WAL torture tests (tail truncation at every byte offset,
+# bit flips across the last record, compaction interrupted at every
+# durable stage). The sweep tests are env-gated so the plain
+# `go test ./...` lane stays fast; this target turns them on.
 faults:
 	SLIM_FAULT_SWEEP=1 $(GO) test -run FaultSweep ./internal/trim/ ./internal/mark/
 

@@ -117,13 +117,8 @@ func run(args []string, out io.Writer) error {
 func doctor(marksFile string, docs []string, jsonOut bool, out io.Writer) error {
 	mm := mark.NewManager()
 	store := trim.NewManager()
-	if _, err := os.Stat(marksFile); err == nil {
-		if err := store.LoadFile(marksFile); err != nil {
-			return err
-		}
-		if err := mm.LoadFrom(store); err != nil {
-			return err
-		}
+	if err := mm.LoadFile(store, marksFile); err != nil {
+		return err
 	}
 	for _, d := range docs {
 		scheme, path := splitDoc(d)
@@ -183,13 +178,8 @@ func doctor(marksFile string, docs []string, jsonOut bool, out io.Writer) error 
 func top(marksFile string, docs []string, jsonOut bool, k int, out io.Writer) error {
 	mm := mark.NewManager()
 	store := trim.NewManager()
-	if _, err := os.Stat(marksFile); err == nil {
-		if err := store.LoadFile(marksFile); err != nil {
-			return err
-		}
-		if err := mm.LoadFrom(store); err != nil {
-			return err
-		}
+	if err := mm.LoadFile(store, marksFile); err != nil {
+		return err
 	}
 	for _, d := range docs {
 		scheme, path := splitDoc(d)
@@ -247,13 +237,8 @@ func splitDoc(arg string) (scheme, path string) {
 func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {
 	mm := mark.NewManager()
 	store := trim.NewManager()
-	if _, err := os.Stat(marksFile); err == nil {
-		if err := store.LoadFile(marksFile); err != nil {
-			return err
-		}
-		if err := mm.LoadFrom(store); err != nil {
-			return err
-		}
+	if err := mm.LoadFile(store, marksFile); err != nil {
+		return err
 	}
 	// Health probes for -serve (mirrors doctor): readiness tracks the mark
 	// store, liveness the persistence path and the quarantine.
@@ -289,10 +274,7 @@ func execute(cmd, marksFile, scheme, doc, at, id string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := mm.SaveTo(store); err != nil {
-			return err
-		}
-		if err := store.SaveFile(marksFile); err != nil {
+		if err := mm.SaveFile(store, marksFile); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "created %s -> %s\n", m.ID, m.Address)

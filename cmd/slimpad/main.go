@@ -5,11 +5,18 @@
 // Usage:
 //
 //	slimpad demo  -out rounds.xml [-patients 3] [-seed 2001]
+//	slimpad demo  -out rounds.wal -backend wal
 //	slimpad show  -pad rounds.xml
+//	slimpad show  -pad rounds.wal -backend wal
 //	slimpad check -pad rounds.xml
 //	slimpad marks -pad rounds.xml
 //	slimpad doctor -pad rounds.xml
 //	slimpad trace -pad rounds.xml [-json] [-perfetto trace.json]
+//
+// -backend selects the durability backend for the pad file
+// (docs/ROBUSTNESS.md "Durability backends"): xml (default, the
+// paper-fidelity snapshot), wal (CRC-framed write-ahead log with snapshot
+// compaction and torn-tail recovery), or jsonl (JSON Lines).
 //
 // trace walks the pad and doctors its marks under one causal trace root,
 // then prints the reassembled span tree: the dmi → trim → mark fan-out of
@@ -23,11 +30,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/clinical"
 	"repro/internal/mark"
 	"repro/internal/obs"
 	"repro/internal/slimpad"
+	"repro/internal/trim"
 )
 
 // withObs runs fn between obs.CLI Start/Finish, so every subcommand honors
@@ -79,6 +88,7 @@ func run(args []string, out io.Writer) error {
 func trace(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	padFile := fs.String("pad", "", "pad file to trace")
+	backend := backendFlag(fs)
 	jsonOut := fs.Bool("json", false, "emit the trace tree as JSON")
 	perfetto := fs.String("perfetto", "", "also write the trace as Chrome trace-event JSON to this file")
 	var cli obs.CLI
@@ -89,18 +99,15 @@ func trace(args []string, out io.Writer) error {
 	if *padFile == "" {
 		return fmt.Errorf("-pad is required")
 	}
-	return withObs(&cli, out, func() error { return tracePad(*padFile, *jsonOut, *perfetto, out) })
+	return withObs(&cli, out, func() error { return tracePad(*padFile, *backend, *jsonOut, *perfetto, out) })
 }
 
-func tracePad(padFile string, jsonOut bool, perfetto string, out io.Writer) error {
-	marks := mark.NewManager()
-	app, err := slimpad.NewApp(marks)
+func tracePad(padFile, backend string, jsonOut bool, perfetto string, out io.Writer) error {
+	app, marks, b, _, err := openPad(padFile, backend)
 	if err != nil {
 		return err
 	}
-	if _, err := app.Load(padFile); err != nil {
-		return err
-	}
+	defer b.Close()
 	app.RegisterHealth(nil, nil, padFile, 1)
 	id, err := runPadTraced(app, marks)
 	if err != nil {
@@ -158,6 +165,7 @@ func runPadTraced(app *slimpad.App, marks *mark.Manager) (id obs.TraceID, err er
 func find(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("find", flag.ContinueOnError)
 	padFile := fs.String("pad", "", "pad file to search")
+	backend := backendFlag(fs)
 	q := fs.String("q", "", "label substring (case-insensitive)")
 	var cli obs.CLI
 	cli.Bind(fs)
@@ -167,18 +175,15 @@ func find(args []string, out io.Writer) error {
 	if *padFile == "" || *q == "" {
 		return fmt.Errorf("find needs -pad and -q")
 	}
-	return withObs(&cli, out, func() error { return findIn(*padFile, *q, out) })
+	return withObs(&cli, out, func() error { return findIn(*padFile, *backend, *q, out) })
 }
 
-func findIn(padFile, q string, out io.Writer) error {
-	marks := mark.NewManager()
-	app, err := slimpad.NewApp(marks)
+func findIn(padFile, backend, q string, out io.Writer) error {
+	app, marks, b, _, err := openPad(padFile, backend)
 	if err != nil {
 		return err
 	}
-	if _, err := app.Load(padFile); err != nil {
-		return err
-	}
+	defer b.Close()
 	app.RegisterHealth(nil, nil, padFile, 1)
 	bundles, err := app.DMI().FindBundles(q)
 	if err != nil {
@@ -207,6 +212,7 @@ func findIn(padFile, q string, out io.Writer) error {
 func demo(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
 	outFile := fs.String("out", "rounds.xml", "output pad file")
+	backend := backendFlag(fs)
 	patients := fs.Int("patients", 3, "number of synthetic patients")
 	seed := fs.Int64("seed", 2001, "generator seed")
 	var cli obs.CLI
@@ -214,10 +220,10 @@ func demo(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return withObs(&cli, out, func() error { return buildDemo(*outFile, *patients, *seed, out) })
+	return withObs(&cli, out, func() error { return buildDemo(*outFile, *backend, *patients, *seed, out) })
 }
 
-func buildDemo(outFile string, patients int, seed int64, out io.Writer) error {
+func buildDemo(outFile, backend string, patients int, seed int64, out io.Writer) error {
 	env, err := clinical.NewEnvironment(seed, patients)
 	if err != nil {
 		return err
@@ -254,7 +260,7 @@ func buildDemo(outFile string, patients int, seed int64, out io.Writer) error {
 			}
 		}
 	}
-	if err := app.Save(outFile); err != nil {
+	if err := saveDemo(app, outFile, backend); err != nil {
 		return err
 	}
 	st, err := app.PadStats(pad.ID())
@@ -268,6 +274,7 @@ func buildDemo(outFile string, patients int, seed int64, out io.Writer) error {
 func inspect(cmd string, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	padFile := fs.String("pad", "", "pad file to inspect")
+	backend := backendFlag(fs)
 	var cli obs.CLI
 	cli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -276,19 +283,15 @@ func inspect(cmd string, args []string, out io.Writer) error {
 	if *padFile == "" {
 		return fmt.Errorf("-pad is required")
 	}
-	return withObs(&cli, out, func() error { return inspectPad(cmd, *padFile, out) })
+	return withObs(&cli, out, func() error { return inspectPad(cmd, *padFile, *backend, out) })
 }
 
-func inspectPad(cmd, padFile string, out io.Writer) error {
-	marks := mark.NewManager()
-	app, err := slimpad.NewApp(marks)
+func inspectPad(cmd, padFile, backend string, out io.Writer) error {
+	app, marks, b, pads, err := openPad(padFile, backend)
 	if err != nil {
 		return err
 	}
-	pads, err := app.Load(padFile)
-	if err != nil {
-		return err
-	}
+	defer b.Close()
 	app.RegisterHealth(nil, nil, padFile, 1)
 	switch cmd {
 	case "show":
@@ -334,6 +337,72 @@ func inspectPad(cmd, padFile string, out io.Writer) error {
 		if report.Dangling > 0 {
 			return fmt.Errorf("%d dangling mark(s)", report.Dangling)
 		}
+	}
+	return nil
+}
+
+// backendFlag binds the shared -backend selector (docs/ROBUSTNESS.md
+// "Durability backends") onto a subcommand's flag set.
+func backendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", trim.BackendXML,
+		"durability backend for the pad file: "+strings.Join(trim.BackendKinds(), "|"))
+}
+
+// openPad builds a fresh app, attaches the selected durability backend to
+// its store, and loads the pad through it (for the WAL backend: compacted
+// snapshot + log replay with torn-tail recovery). With -backend wal the
+// WAL health probe joins /healthz. Callers must Close the backend.
+func openPad(padFile, backend string) (*slimpad.App, *mark.Manager, trim.Backend, []slimpad.SlimPad, error) {
+	marks := mark.NewManager()
+	app, err := slimpad.NewApp(marks)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if backend != trim.BackendXML {
+		// The XML loader reports a missing file itself; the WAL backend
+		// would silently open an empty log, so check up front.
+		if _, err := os.Stat(padFile); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	b, err := trim.OpenBackend(backend, app.DMI().Store().Trim(), padFile)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pads, err := app.LoadWith(b)
+	if err != nil {
+		b.Close()
+		return nil, nil, nil, nil, err
+	}
+	if ws, ok := b.(*trim.WALStore); ok {
+		obs.DefaultHealth.Register(obs.HealthTrimWAL, ws.HealthCheck())
+	}
+	return app, marks, b, pads, nil
+}
+
+// saveDemo persists a freshly built demo pad through the selected backend.
+// demo overwrites its output, so with -backend wal any previous log and
+// snapshot are removed first; the built state predates the WAL attachment,
+// so it is anchored with a full snapshot compaction rather than an
+// incremental commit.
+func saveDemo(app *slimpad.App, outFile, backend string) error {
+	if backend == trim.BackendWAL {
+		for _, p := range []string{outFile, outFile + trim.SnapshotSuffix, outFile + trim.SnapshotSuffix + trim.BackupSuffix} {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	b, err := trim.OpenBackend(backend, app.DMI().Store().Trim(), outFile)
+	if err != nil {
+		return err
+	}
+	defer b.Close()
+	if err := app.SaveWith(b); err != nil {
+		return err
+	}
+	if ws, ok := b.(*trim.WALStore); ok {
+		return ws.Compact()
 	}
 	return nil
 }

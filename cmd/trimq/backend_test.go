@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/trim"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := storeFile(t)
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "dump.jsonl")
+
+	var out strings.Builder
+	if err := run([]string{"-store", src, "-out", jsonl, "export"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "exported") || !strings.Contains(out.String(), jsonl) {
+		t.Fatalf("export output = %q", out.String())
+	}
+
+	// The destination does not exist yet; import creates it.
+	dst := filepath.Join(dir, "copy.xml")
+	out.Reset()
+	if err := run([]string{"-store", dst, "import", jsonl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(xml backend)") {
+		t.Fatalf("import output = %q", out.String())
+	}
+
+	// Source and copy report identical stats.
+	var srcStats, dstStats strings.Builder
+	if err := run([]string{"-store", src, "stats"}, &srcStats); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-store", dst, "stats"}, &dstStats); err != nil {
+		t.Fatal(err)
+	}
+	if srcStats.String() != dstStats.String() {
+		t.Fatalf("stats diverge after round trip:\n%s\n%s", srcStats.String(), dstStats.String())
+	}
+}
+
+func TestExportToStdout(t *testing.T) {
+	src := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", src, "export"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := rdf.ReadJSONL(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("export stream is not valid JSONL: %v", err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("export stream is empty")
+	}
+}
+
+func TestBackendWALRoundTrip(t *testing.T) {
+	src := storeFile(t)
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "dump.jsonl")
+	walPath := filepath.Join(dir, "store.wal")
+
+	var out strings.Builder
+	if err := run([]string{"-store", src, "-out", jsonl, "export"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-store", walPath, "-backend", "wal", "import", jsonl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(wal backend)") {
+		t.Fatalf("import output = %q", out.String())
+	}
+
+	// The WAL store answers queries like the XML original.
+	var srcStats, walStats strings.Builder
+	if err := run([]string{"-store", src, "stats"}, &srcStats); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-store", walPath, "-backend", "wal", "stats"}, &walStats); err != nil {
+		t.Fatal(err)
+	}
+	if srcStats.String() != walStats.String() {
+		t.Fatalf("wal stats diverge:\n%s\n%s", srcStats.String(), walStats.String())
+	}
+	out.Reset()
+	if err := run([]string{"-store", walPath, "-backend", "wal", "select", "?", "rdf:type", "pad:Bundle"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "-- 2 triple(s)") {
+		t.Fatalf("wal select output = %q", out.String())
+	}
+
+	// walcheck passes: intact tail, usable snapshot.
+	out.Reset()
+	if err := run([]string{"-store", walPath, "walcheck"}, &out); err != nil {
+		t.Fatalf("walcheck on healthy store: %v", err)
+	}
+	if !strings.Contains(out.String(), "tail intact") || !strings.Contains(out.String(), "snapshot") {
+		t.Fatalf("walcheck output = %q", out.String())
+	}
+}
+
+func TestWalcheckTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.wal")
+	m := trim.NewManager()
+	ws, err := trim.OpenWAL(m, path, trim.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Create(rdf.T(rdf.IRI("http://x/s"), rdf.IRI("http://x/p"), rdf.String("v")))
+	if err := ws.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a partial frame that recovery would truncate.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	err = run([]string{"-store", path, "walcheck"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "torn tail") {
+		t.Fatalf("walcheck on torn log = %v", err)
+	}
+	if !strings.Contains(out.String(), "TORN TAIL") {
+		t.Fatalf("walcheck output = %q", out.String())
+	}
+
+	// -json emits the machine-readable report before the non-zero exit.
+	out.Reset()
+	err = run([]string{"-store", path, "-json", "walcheck"}, &out)
+	if err == nil {
+		t.Fatal("-json walcheck on torn log succeeded")
+	}
+	var rep struct {
+		Records   int   `json:"records"`
+		TornBytes int64 `json:"torn_bytes"`
+	}
+	if jerr := json.Unmarshal([]byte(out.String()), &rep); jerr != nil {
+		t.Fatalf("walcheck -json not JSON: %v\n%s", jerr, out.String())
+	}
+	if rep.Records != 1 || rep.TornBytes != 2 {
+		t.Fatalf("walcheck report = %+v, want 1 record + 2 torn bytes", rep)
+	}
+
+	// walcheck never repairs: the torn bytes are still on disk.
+	if rep2, err := trim.WALCheck(path); err != nil || rep2.TornBytes != 2 {
+		t.Fatalf("torn bytes were repaired by walcheck: %+v, %v", rep2, err)
+	}
+}
+
+func TestBackendErrors(t *testing.T) {
+	path := storeFile(t)
+	var out strings.Builder
+	if err := run([]string{"-store", path, "-backend", "tape", "stats"}, &out); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if err := run([]string{"-store", path, "import"}, &out); err == nil {
+		t.Error("import without a file accepted")
+	}
+	if err := run([]string{"-store", path, "-nt", "import", "x.jsonl"}, &out); err == nil {
+		t.Error("import into an -nt store accepted")
+	}
+	if err := run([]string{"-store", path, "import", "no-such.jsonl"}, &out); err == nil {
+		t.Error("import of a missing file accepted")
+	}
+}

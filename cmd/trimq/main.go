@@ -17,6 +17,20 @@
 //	trimq -store pad.xml -perfetto trace.json trace view inst:Bundle-000001
 //	trimq -store pad.xml -workload queries.txt top
 //	trimq -store pad.xml -workload queries.txt -k 5 -json top
+//	trimq -store pad.wal -backend wal stats
+//	trimq -store pad.wal -backend wal walcheck
+//	trimq -store pad.xml -out pad.jsonl export
+//	trimq -store pad.xml import pad.jsonl
+//
+// -backend selects the durability backend the store file uses
+// (docs/ROBUSTNESS.md "Durability backends"): xml (default, the
+// paper-fidelity snapshot), wal (CRC-framed write-ahead log with snapshot
+// compaction and torn-tail recovery), or jsonl (JSON Lines). export writes
+// the store as JSON Lines to -out (or stdout); import replaces the store
+// with a JSONL file's triples and persists it through the selected
+// backend. walcheck inspects a WAL read-only — tail integrity, record
+// count, snapshot usability — and exits non-zero on a torn tail, so
+// scripts can gate on it.
 //
 // Query terms are '?' (wildcard), a prefix:local qualified name, a full IRI,
 // or a "quoted string" literal. explain runs the query and reports the
@@ -60,7 +74,10 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trimq", flag.ContinueOnError)
 	store := fs.String("store", "", "path to a persisted store (XML triple file)")
+	backend := fs.String("backend", trim.BackendXML,
+		"durability backend for -store: "+strings.Join(trim.BackendKinds(), "|"))
 	nt := fs.Bool("nt", false, "store file is N-Triples instead of XML")
+	outFile := fs.String("out", "", "with export: write to `file` (atomic) instead of stdout")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (stats, explain, trace, top)")
 	perfetto := fs.String("perfetto", "", "with trace: also save the trace as Chrome trace-event JSON to `file`")
 	workload := fs.String("workload", "", "with top: replay this query `file` (one select/view/path per line) before ranking")
@@ -75,36 +92,117 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | trace select|view|path ... | view RESOURCE | path START PRED... | top | models")
+		return fmt.Errorf("need a command: stats | select S P O | explain select|view|path ... | trace select|view|path ... | view RESOURCE | path START PRED... | top | models | export | import FILE | walcheck")
 	}
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	err := execute(*store, *nt, *jsonOut, *perfetto, *workload, *topK, rest, out)
+	err := execute(*store, *backend, *nt, *jsonOut, *perfetto, *workload, *outFile, *topK, rest, out)
 	if ferr := cli.Finish(out); err == nil {
 		err = ferr
 	}
 	return err
 }
 
-func execute(store string, nt bool, jsonOut bool, perfetto, workload string, topK int, rest []string, out io.Writer) error {
-	m := trim.NewManager()
-	var err error
-	if nt {
-		err = m.LoadNTriples(store)
-	} else {
-		err = m.LoadFile(store)
+func execute(store, backendKind string, nt bool, jsonOut bool, perfetto, workload, outFile string, topK int, rest []string, out io.Writer) error {
+	// walcheck never loads the store: it inspects the WAL file read-only, so
+	// it is safe to run against a live or damaged store.
+	if rest[0] == "walcheck" {
+		rep, err := trim.WALCheck(store)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			if err := obs.EncodeJSON(out, rep); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(out, rep)
+		}
+		if rep.TornBytes > 0 {
+			return fmt.Errorf("wal %s has a torn tail (%d byte(s)); recovery will truncate it", store, rep.TornBytes)
+		}
+		if !rep.SnapshotOK {
+			return fmt.Errorf("wal snapshot %s is unusable: %s", rep.SnapshotPath, rep.SnapshotErr)
+		}
+		return nil
 	}
-	if err != nil {
-		return err
+
+	m := trim.NewManager()
+	var b trim.Backend
+	if nt {
+		if err := m.LoadNTriples(store); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		b, err = trim.OpenBackend(backendKind, m, store)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		// The WAL backend recovers (snapshot + replay) on open; the snapshot
+		// backends load explicitly. import replaces the contents anyway.
+		if b.Kind() != trim.BackendWAL && rest[0] != "import" {
+			if err := b.Load(); err != nil {
+				return err
+			}
+		}
 	}
 	// Health probes for -serve: the store is ready once loaded, healthy
-	// while its file's directory stays writable.
+	// while its file's directory stays writable (and, with -backend wal,
+	// while the log tail and snapshot verify).
 	obs.DefaultReady.Register(obs.HealthTrimStore, m.LoadedCheck())
 	obs.DefaultHealth.Register(obs.HealthTrimPersist, trim.WritableCheck(store))
+	if ws, ok := b.(*trim.WALStore); ok {
+		obs.DefaultHealth.Register(obs.HealthTrimWAL, ws.HealthCheck())
+	}
 	pm := rdf.NewPrefixMap()
 
 	switch rest[0] {
+	case "export":
+		w := out
+		if outFile != "" {
+			// Reuse the store's atomic write path so a crash mid-export
+			// never leaves a truncated file.
+			if err := m.SaveJSONL(outFile); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "exported %d triple(s) to %s\n", m.Len(), outFile)
+			return nil
+		}
+		return m.ExportJSONL(w)
+	case "import":
+		if len(rest) != 2 {
+			return fmt.Errorf("import needs exactly 1 JSONL file")
+		}
+		if b == nil {
+			return fmt.Errorf("import cannot target an -nt store (pick -backend %s)",
+				strings.Join(trim.BackendKinds(), "|"))
+		}
+		f, err := os.Open(rest[1])
+		if err != nil {
+			return err
+		}
+		ierr := m.ImportJSONL(f)
+		f.Close()
+		if ierr != nil {
+			return ierr
+		}
+		// Bulk replacement bypasses the WAL's mutation capture, so the WAL
+		// backend re-anchors with a full snapshot compaction; the snapshot
+		// backends just save.
+		if ws, ok := b.(*trim.WALStore); ok {
+			err = ws.Compact()
+		} else {
+			err = b.Save()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "imported %d triple(s) from %s into %s (%s backend)\n",
+			m.Len(), rest[1], store, b.Kind())
+		return nil
 	case "stats":
 		if jsonOut {
 			return obs.EncodeJSON(out, m.Stats())

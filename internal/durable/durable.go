@@ -1,0 +1,174 @@
+// Package durable is the shared durability substrate of the SLIM stack:
+// crash-safe atomic file replacement and the injectable fault-stage hook
+// that lets tests kill any write path at a precise point.
+//
+// It exists so the XML snapshot backend (internal/trim), the mark store
+// (internal/mark via trim), and the append-only WAL (internal/wal) all run
+// the exact same temp-write → fsync → backup → rename → dir-sync sequence
+// and the exact same fault seams, instead of each maintaining a private
+// copy of the machinery (docs/ROBUSTNESS.md, "Durability backends").
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// BackupSuffix is appended to a store path to name the previous good
+// snapshot kept by WriteFileAtomic when backups are requested.
+const BackupSuffix = ".bak"
+
+// Stage names one step of a durability I/O sequence; the fault hook
+// receives it so tests can fail (or corrupt) a precise point in the write
+// path — e.g. "the process died between temp-write and rename".
+type Stage string
+
+const (
+	// StageTempWrite: about to write the snapshot bytes to the temp file.
+	StageTempWrite Stage = "temp-write"
+	// StageTempSync: about to fsync the temp file.
+	StageTempSync Stage = "temp-sync"
+	// StageBackup: about to copy the current file to its .bak sibling.
+	StageBackup Stage = "backup"
+	// StageRename: about to rename the temp file over the target.
+	StageRename Stage = "rename"
+	// StageDirSync: about to fsync the parent directory.
+	StageDirSync Stage = "dir-sync"
+
+	// StageWALAppend: about to append a framed record to the WAL.
+	StageWALAppend Stage = "wal-append"
+	// StageWALSync: about to fsync the WAL after an append batch.
+	StageWALSync Stage = "wal-sync"
+	// StageWALCompact: about to begin WAL snapshot compaction (the
+	// snapshot write itself then runs the temp-write/temp-sync/backup/
+	// rename/dir-sync stages against the snapshot path).
+	StageWALCompact Stage = "wal-compact"
+	// StageWALTruncate: about to truncate the WAL after a successful
+	// snapshot compaction.
+	StageWALTruncate Stage = "wal-truncate"
+)
+
+// Fault is an injectable fault hook for durability I/O. It runs before
+// each stage with the target path; returning a non-nil error aborts the
+// operation as if the I/O at that stage had failed. The hook may also
+// mutate the filesystem (truncate the target, delete the backup) to
+// simulate torn writes and crashes deterministically.
+type Fault func(stage Stage, path string) error
+
+var fault atomic.Pointer[Fault]
+
+// SetFault installs the durability fault hook (nil removes it) and returns
+// the previous hook. Tests use it to exercise crash recovery; it is
+// process-wide, so parallel tests should not share it.
+func SetFault(h Fault) (prev Fault) {
+	var old *Fault
+	if h == nil {
+		old = fault.Swap(nil)
+	} else {
+		old = fault.Swap(&h)
+	}
+	if old == nil {
+		return nil
+	}
+	return *old
+}
+
+// FaultAt runs the installed fault hook, if any, for one stage.
+func FaultAt(stage Stage, path string) error {
+	if h := fault.Load(); h != nil {
+		if err := (*h)(stage, path); err != nil {
+			return fmt.Errorf("durable: %s %s: %w", stage, path, err)
+		}
+	}
+	return nil
+}
+
+// mDirsyncSkipped counts directory fsyncs that failed or were refused.
+// Directory fsync is best effort — some filesystems refuse it — but a
+// skipped one is a real (if small) durability gap, so it is counted
+// instead of discarded invisibly.
+var mDirsyncSkipped = obs.C(obs.NameTrimPersistDirsyncSkipped)
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsyncing the temp file before the rename and the parent directory after
+// it, so a crash at any point leaves either the old file or the new file —
+// never a torn mixture. When backup is true and a previous file exists, a
+// copy is kept as path+BackupSuffix before the rename.
+func WriteFileAtomic(path string, data []byte, backup bool) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".durable-*.tmp")
+	if err != nil {
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+
+	err = func() error {
+		if err := FaultAt(StageTempWrite, path); err != nil {
+			return err
+		}
+		if _, err := tmp.Write(data); err != nil {
+			return fmt.Errorf("durable: write %s: %w", path, err)
+		}
+		if err := FaultAt(StageTempSync, path); err != nil {
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("durable: write %s: %w", path, err)
+		}
+		return nil
+	}()
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("durable: write %s: %w", path, cerr)
+	}
+	if err != nil {
+		return err
+	}
+
+	if backup {
+		if _, serr := os.Stat(path); serr == nil {
+			if err := FaultAt(StageBackup, path); err != nil {
+				return err
+			}
+			// The backup is a copy, not a hard link: a link would share
+			// the inode with the primary, so a later torn in-place write
+			// to the primary would corrupt the backup with it. Failure to
+			// keep a backup must not block the save.
+			if prev, rerr := os.ReadFile(path); rerr == nil {
+				os.WriteFile(path+BackupSuffix, prev, 0o644)
+			}
+		}
+	}
+
+	if err := FaultAt(StageRename, path); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("durable: write %s: %w", path, err)
+	}
+	if err := FaultAt(StageDirSync, path); err != nil {
+		return err
+	}
+	SyncDir(dir)
+	return nil
+}
+
+// SyncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable. It is best effort: some filesystems refuse directory fsync, and
+// a skip is counted (trim.persist.dirsync_skipped) rather than silently
+// discarded.
+func SyncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		mDirsyncSkipped.Inc()
+		return
+	}
+	if err := d.Sync(); err != nil {
+		mDirsyncSkipped.Inc()
+	}
+	d.Close()
+}

@@ -1,0 +1,107 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), true); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// First write of a fresh path leaves no backup (nothing to back up).
+	if _, err := os.Stat(path + BackupSuffix); !os.IsNotExist(err) {
+		t.Fatalf("backup exists after first write: %v", err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), true); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	bak, berr := os.ReadFile(path + BackupSuffix)
+	if string(got) != "v2" || berr != nil || string(bak) != "v1" {
+		t.Fatalf("after second write: primary %q, backup %q (%v)", got, bak, berr)
+	}
+}
+
+func TestWriteFileAtomicNoBackup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + BackupSuffix); !os.IsNotExist(err) {
+		t.Fatalf("backup written despite backup=false: %v", err)
+	}
+}
+
+// TestFaultStagesAbortWrite fails each snapshot-write stage in turn; the
+// target file must be left untouched (old contents) and no temp litter
+// behind.
+func TestFaultStagesAbortWrite(t *testing.T) {
+	for _, stage := range []Stage{StageTempWrite, StageTempSync, StageBackup, StageRename} {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "data.bin")
+			if err := WriteFileAtomic(path, []byte("old"), true); err != nil {
+				t.Fatal(err)
+			}
+			fail := stage
+			prev := SetFault(func(s Stage, _ string) error {
+				if s == fail {
+					return fmt.Errorf("injected at %s", s)
+				}
+				return nil
+			})
+			err := WriteFileAtomic(path, []byte("new"), true)
+			SetFault(prev)
+			if err == nil {
+				t.Fatalf("write survived injected fault at %s", stage)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "old" {
+				t.Fatalf("target after fault at %s: %q, %v", stage, got, rerr)
+			}
+			entries, _ := os.ReadDir(dir)
+			for _, e := range entries {
+				if e.Name() != "data.bin" && e.Name() != "data.bin"+BackupSuffix {
+					t.Fatalf("litter left after fault at %s: %s", stage, e.Name())
+				}
+			}
+		})
+	}
+}
+
+func TestFaultErrorIsWrapped(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	prev := SetFault(func(Stage, string) error { return sentinel })
+	defer SetFault(prev)
+	err := FaultAt(StageRename, "/x/y")
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("FaultAt error %v does not wrap the hook error", err)
+	}
+}
+
+// TestDirSyncSkipCounted verifies the dirsync-skipped counter moves when
+// the directory fsync cannot run — the silent best-effort path is now
+// observable.
+func TestDirSyncSkipCounted(t *testing.T) {
+	before := obs.C(obs.NameTrimPersistDirsyncSkipped).Value()
+	// A directory that cannot be opened forces the skip path.
+	SyncDir(filepath.Join(t.TempDir(), "does-not-exist"))
+	after := obs.C(obs.NameTrimPersistDirsyncSkipped).Value()
+	if after != before+1 {
+		t.Fatalf("dirsync_skipped = %d -> %d, want +1", before, after)
+	}
+}

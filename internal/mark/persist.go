@@ -1,7 +1,9 @@
 package mark
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"strings"
 
 	"repro/internal/base"
@@ -63,6 +65,31 @@ func (mm *Manager) SaveTo(store *trim.Manager) error {
 		}
 	}
 	return b.Apply()
+}
+
+// SaveFile persists the mark set to path by writing the marks into the
+// triple store and saving it through trim's shared crash-safe write path
+// (atomic temp file + fsync + .bak + rename via internal/durable). Every
+// binary that persists marks goes through here so the mark store gets the
+// same durability ladder as the superimposed-information store.
+func (mm *Manager) SaveFile(store *trim.Manager, path string) error {
+	if err := mm.SaveTo(store); err != nil {
+		return fmt.Errorf("mark: save %s: %w", path, err)
+	}
+	return store.SaveFile(path)
+}
+
+// LoadFile loads the mark set from path through the triple store,
+// inheriting trim's corruption detection and .bak fallback. A missing file
+// loads as an empty mark set so first runs need no setup.
+func (mm *Manager) LoadFile(store *trim.Manager, path string) error {
+	if err := store.LoadFile(path); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	return mm.LoadFrom(store)
 }
 
 // LoadFrom reads every mark:Mark resource from the triple store into the

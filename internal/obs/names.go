@@ -50,6 +50,36 @@ const (
 	NameTrimPersistLoadTotal     = "trim.persist.load.total"
 	NameTrimPersistLoadCorrupt   = "trim.persist.load.corrupt"
 	NameTrimPersistLoadRecovered = "trim.persist.load.recovered"
+	// Directory fsyncs skipped because the filesystem refused them (the
+	// atomic-write sequence treats them as best effort, but counts skips).
+	NameTrimPersistDirsyncSkipped = "trim.persist.dirsync_skipped"
+	// JSONL export/import (backup and portability interchange).
+	NameTrimPersistExportTotal = "trim.persist.export.total"
+	NameTrimPersistImportTotal = "trim.persist.import.total"
+)
+
+// TRIM write-ahead-log durability backend (internal/trim/wal.go over
+// internal/wal): append/commit throughput, fsync cost, replay outcomes,
+// and snapshot compaction (docs/ROBUSTNESS.md "Durability backends").
+const (
+	NameTrimWALAppendTotal  = "trim.wal.append.total"
+	NameTrimWALAppendErrors = "trim.wal.append.errors"
+	NameTrimWALAppendBytes  = "trim.wal.append.bytes"
+	NameTrimWALAppendNS     = "trim.wal.append.ns"
+
+	NameTrimWALSyncTotal = "trim.wal.sync.total"
+	NameTrimWALSyncNS    = "trim.wal.sync.ns"
+
+	NameTrimWALCommitOps = "trim.wal.commit.ops"
+
+	NameTrimWALReplayTotal   = "trim.wal.replay.total"
+	NameTrimWALReplayRecords = "trim.wal.replay.records"
+	NameTrimWALReplayTorn    = "trim.wal.replay.torn"
+	NameTrimWALReplayNS      = "trim.wal.replay.ns"
+
+	NameTrimWALCompactTotal  = "trim.wal.compact.total"
+	NameTrimWALCompactErrors = "trim.wal.compact.errors"
+	NameTrimWALCompactNS     = "trim.wal.compact.ns"
 )
 
 // Mark Management (internal/mark). The per-scheme families are bounded by
@@ -139,6 +169,7 @@ const (
 const (
 	HealthTrimStore   = "trim.store"
 	HealthTrimPersist = "trim.persist"
+	HealthTrimWAL     = "trim.wal"
 
 	HealthMarkStore      = "mark.store"
 	HealthMarkPersist    = "mark.persist"

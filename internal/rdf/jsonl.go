@@ -1,0 +1,117 @@
+package rdf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSONL is the portability serialization (docs/ROBUSTNESS.md "Durability
+// backends"): one JSON object per line, one triple per object, in
+// deterministic (sorted) order. Unlike the XML snapshot it needs no
+// surrounding document, so streams can be produced, concatenated, cut with
+// line tools, and imported incrementally — the moss-style export/import
+// shape for backups and interchange with non-SLIM tooling.
+//
+// Line form:
+//
+//	{"s":{"kind":"iri","value":"http://x/s"},
+//	 "p":{"kind":"iri","value":"http://x/p"},
+//	 "o":{"kind":"literal","value":"42","datatype":"...#integer"}}
+//
+// A plain string literal omits the datatype field (xsd:string is the
+// canonical implied type, matching TypedLiteral's normalization).
+
+// jsonTerm is the JSONL wire form of one term.
+type jsonTerm struct {
+	Kind     string `json:"kind"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+// jsonTriple is the JSONL wire form of one triple.
+type jsonTriple struct {
+	S jsonTerm `json:"s"`
+	P jsonTerm `json:"p"`
+	O jsonTerm `json:"o"`
+}
+
+func termToJSON(t Term) jsonTerm {
+	jt := jsonTerm{Kind: t.Kind().String(), Value: t.Value()}
+	if t.IsLiteral() && t.Datatype() != XSDString {
+		jt.Datatype = t.Datatype()
+	}
+	return jt
+}
+
+func termFromJSON(jt jsonTerm) (Term, error) {
+	switch jt.Kind {
+	case "iri":
+		return IRI(jt.Value), nil
+	case "blank":
+		return Blank(jt.Value), nil
+	case "literal":
+		return TypedLiteral(jt.Value, jt.Datatype), nil
+	default:
+		return Zero, fmt.Errorf("rdf: unknown term kind %q", jt.Kind)
+	}
+}
+
+// WriteJSONL writes the graph as JSON Lines, one triple per line, in
+// deterministic (sorted) order so output is diffable.
+func WriteJSONL(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range g.All() {
+		if err := enc.Encode(jsonTriple{
+			S: termToJSON(t.Subject),
+			P: termToJSON(t.Predicate),
+			O: termToJSON(t.Object),
+		}); err != nil {
+			return fmt.Errorf("rdf: writing jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses JSON Lines text into a new graph. Blank lines and
+// #-comments are permitted (so exports can carry provenance headers).
+// Parsing stops with an error identifying the offending line number.
+func ReadJSONL(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var jt jsonTriple
+		if err := json.Unmarshal([]byte(line), &jt); err != nil {
+			return nil, fmt.Errorf("rdf: jsonl line %d: %w", lineNo, err)
+		}
+		s, err := termFromJSON(jt.S)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: jsonl line %d: subject: %w", lineNo, err)
+		}
+		p, err := termFromJSON(jt.P)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: jsonl line %d: predicate: %w", lineNo, err)
+		}
+		o, err := termFromJSON(jt.O)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: jsonl line %d: object: %w", lineNo, err)
+		}
+		if _, err := g.Add(T(s, p, o)); err != nil {
+			return nil, fmt.Errorf("rdf: jsonl line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading jsonl: %w", err)
+	}
+	return g, nil
+}

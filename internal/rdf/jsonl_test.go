@@ -1,0 +1,101 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func jsonlFixture(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, tr := range []Triple{
+		T(IRI("http://x/s1"), IRI("http://x/p"), IRI("http://x/o1")),
+		T(IRI("http://x/s1"), IRI("http://x/p"), String("plain string with \"quotes\" and\nnewline")),
+		T(IRI("http://x/s2"), IRI("http://x/n"), TypedLiteral("42", XSDInteger)),
+		T(Blank("b0"), IRI("http://x/p"), Blank("b1")),
+		T(IRI("http://x/s3"), IRI("http://x/p"), TypedLiteral("plain-but-explicit", XSDString)),
+	} {
+		if _, err := g.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	g := jsonlFixture(t)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(g) {
+		t.Fatalf("round trip changed the graph: %d vs %d triples", got.Len(), g.Len())
+	}
+}
+
+func TestJSONLDeterministic(t *testing.T) {
+	g := jsonlFixture(t)
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("WriteJSONL output is not deterministic")
+	}
+	// One JSON object per line, no blank lines.
+	for i, line := range strings.Split(strings.TrimRight(a.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("line %d is not a JSON object: %q", i+1, line)
+		}
+	}
+}
+
+func TestJSONLCommentsAndBlanks(t *testing.T) {
+	in := `# provenance: exported by trimq
+
+{"s":{"kind":"iri","value":"http://x/s"},"p":{"kind":"iri","value":"http://x/p"},"o":{"kind":"literal","value":"v"}}
+`
+	g, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("parsed %d triples, want 1", g.Len())
+	}
+	// A plain literal with no datatype field is an xsd:string.
+	tr := g.All()[0]
+	if tr.Object.Datatype() != XSDString {
+		t.Fatalf("bare literal datatype = %q, want xsd:string", tr.Object.Datatype())
+	}
+}
+
+func TestJSONLErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"bad json", "{not json}\n", "line 1"},
+		{"unknown kind", `{"s":{"kind":"iri","value":"http://x/s"},"p":{"kind":"iri","value":"http://x/p"},"o":{"kind":"alien","value":"v"}}` + "\n", "line 1"},
+		{"second line", `{"s":{"kind":"iri","value":"http://x/s"},"p":{"kind":"iri","value":"http://x/p"},"o":{"kind":"literal","value":"v"}}` + "\n{broken\n", "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSONL(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("malformed JSONL accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+}

@@ -22,6 +22,15 @@ func WriteNTriples(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// EncodeTriple renders one triple as its N-Triples statement line (no
+// trailing newline). It is the canonical single-triple wire form, used by
+// the WAL backend's op records as well as WriteNTriples.
+func EncodeTriple(t Triple) string { return encodeNTriple(t) }
+
+// ParseTriple parses one N-Triples statement line, the inverse of
+// EncodeTriple.
+func ParseTriple(line string) (Triple, error) { return parseNTripleLine(line) }
+
 func encodeNTriple(t Triple) string {
 	return encodeNTerm(t.Subject) + " " + encodeNTerm(t.Predicate) + " " + encodeNTerm(t.Object) + " ."
 }

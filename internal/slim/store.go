@@ -126,6 +126,34 @@ func (s *Store) LoadFile(path string) (err error) {
 	if err := s.trim.LoadFile(path); err != nil {
 		return err
 	}
+	return s.reloadModels()
+}
+
+// SaveBackend persists the entire store through a pluggable durability
+// backend (docs/ROBUSTNESS.md "Durability backends"): the XML snapshot,
+// the append-only WAL, or JSON Lines, selected by whoever opened the
+// backend over this store's TRIM manager.
+func (s *Store) SaveBackend(b trim.Backend) (err error) {
+	sp := obs.Trace("store.save", b.Path())
+	defer func() { sp.FinishErr(err) }()
+	return b.Save()
+}
+
+// LoadBackend recovers the store through a pluggable durability backend
+// and re-decodes all registered models from the recovered triples, the
+// backend-polymorphic counterpart of LoadFile.
+func (s *Store) LoadBackend(b trim.Backend) (err error) {
+	sp := obs.Trace("store.load", b.Path())
+	defer func() { sp.FinishErr(err) }()
+	if err := b.Load(); err != nil {
+		return err
+	}
+	return s.reloadModels()
+}
+
+// reloadModels rebuilds the in-memory model registry from the triples
+// currently in the TRIM manager, after a load replaced them.
+func (s *Store) reloadModels() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.models = make(map[string]*metamodel.Model)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metamodel"
 	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/trim"
 )
 
 // App is the SLIMPad application: the DMI plus the Mark Manager, wired as
@@ -198,6 +199,30 @@ func (a *App) Save(fileName string) error {
 // Load restores pads and marks from an XML file.
 func (a *App) Load(fileName string) ([]SlimPad, error) {
 	pads, err := a.dmi.Load(fileName)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.marks.LoadFrom(a.dmi.Store().Trim()); err != nil {
+		return nil, err
+	}
+	return pads, nil
+}
+
+// SaveWith persists the pad state and the marks through a pluggable
+// durability backend opened over this app's store: with the WAL backend a
+// save costs one fsynced record covering the mutations since the last
+// save, O(batch), instead of the XML snapshot's O(store) rewrite.
+func (a *App) SaveWith(b trim.Backend) error {
+	if err := a.marks.SaveTo(a.dmi.Store().Trim()); err != nil {
+		return err
+	}
+	return a.dmi.SaveBackend(b)
+}
+
+// LoadWith restores pads and marks through a pluggable durability backend
+// (for the WAL: compacted snapshot + log replay with torn-tail recovery).
+func (a *App) LoadWith(b trim.Backend) ([]SlimPad, error) {
+	pads, err := a.dmi.LoadBackend(b)
 	if err != nil {
 		return nil, err
 	}

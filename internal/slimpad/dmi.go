@@ -7,6 +7,7 @@ import (
 	"repro/internal/metamodel"
 	"repro/internal/rdf"
 	"repro/internal/slim"
+	"repro/internal/trim"
 )
 
 // DMI is SLIMPad's application-specific Data Manipulation Interface: the
@@ -283,12 +284,34 @@ func (d *DMI) Save(fileName string) error {
 	return d.store.SaveFile(fileName)
 }
 
+// SaveBackend is Save through a pluggable durability backend (XML
+// snapshot, append-only WAL, or JSON Lines) opened over this DMI's store.
+func (d *DMI) SaveBackend(b trim.Backend) error {
+	return d.store.SaveBackend(b)
+}
+
 // Load implements load(fileName): it replaces the store contents and
 // returns the loaded pads.
 func (d *DMI) Load(fileName string) ([]SlimPad, error) {
 	if err := d.store.LoadFile(fileName); err != nil {
 		return nil, err
 	}
+	return d.rebind(fileName)
+}
+
+// LoadBackend is Load through a pluggable durability backend: the backend
+// recovers the store contents (for the WAL, snapshot + log replay) and the
+// DMI re-binds to the recovered model.
+func (d *DMI) LoadBackend(b trim.Backend) ([]SlimPad, error) {
+	if err := d.store.LoadBackend(b); err != nil {
+		return nil, err
+	}
+	return d.rebind(b.Path())
+}
+
+// rebind regenerates the model-aware DMI after a load replaced the store
+// contents, and returns the loaded pads.
+func (d *DMI) rebind(fileName string) ([]SlimPad, error) {
 	model, ok := d.store.Model(metamodel.ExtendedBundleScrapModelID)
 	if !ok {
 		// Pads written by plain Fig. 3 implementations load too.

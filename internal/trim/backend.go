@@ -1,0 +1,128 @@
+package trim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Backend is the pluggable durability surface (docs/ROBUSTNESS.md
+// "Durability backends"): a store rooted at one filesystem path that can
+// persist and recover a Manager. Three implementations ship:
+//
+//   - "xml"   — the paper-fidelity XML snapshot (persist.go): every Save
+//     rewrites the whole store crash-safely, O(store).
+//   - "wal"   — the CRC-framed write-ahead log (wal.go): Save appends one
+//     fsynced record per mutation batch, O(batch), with periodic snapshot
+//     compaction and torn-tail recovery.
+//   - "jsonl" — JSON Lines (jsonl.go): the portability format for
+//     export/import and interchange with non-SLIM tooling.
+//
+// Save and Load are full-store operations from the caller's view; how much
+// I/O they cost is the backend's concern. Close releases file handles (and
+// for the WAL flushes captured ops); a Backend is not usable after Close.
+type Backend interface {
+	// Kind names the backend: BackendXML, BackendWAL, or BackendJSONL.
+	Kind() string
+	// Path is the primary file the backend persists to.
+	Path() string
+	// Save persists the Manager's current contents durably.
+	Save() error
+	// Load recovers the Manager's contents from disk, replacing them.
+	Load() error
+	// Close flushes and releases the backend.
+	Close() error
+}
+
+// Backend kind names accepted by OpenBackend (and the CLIs' -backend flag).
+const (
+	BackendXML   = "xml"
+	BackendWAL   = "wal"
+	BackendJSONL = "jsonl"
+)
+
+// BackendKinds lists the accepted -backend values for usage strings.
+func BackendKinds() []string { return []string{BackendXML, BackendWAL, BackendJSONL} }
+
+// OpenBackend constructs the named durability backend over m rooted at
+// path. Kind is one of BackendKinds (case-insensitive). The WAL backend
+// performs recovery immediately (snapshot load + log replay), replacing
+// m's contents; the XML and JSONL backends touch no files until Save or
+// Load is called.
+//
+// slimvet:noobs constructor; the I/O paths behind Save/Load carry the obs
+// instrumentation.
+func OpenBackend(kind string, m *Manager, path string) (Backend, error) {
+	switch strings.ToLower(kind) {
+	case BackendXML, "":
+		return NewXMLBackend(m, path), nil
+	case BackendWAL:
+		return OpenWAL(m, path, WALOptions{})
+	case BackendJSONL:
+		return NewJSONLBackend(m, path), nil
+	default:
+		return nil, fmt.Errorf("trim: unknown backend kind %q (want one of %s)",
+			kind, strings.Join(BackendKinds(), "|"))
+	}
+}
+
+// XMLBackend adapts the XML snapshot persistence (SaveFile/LoadFile) to
+// the Backend interface.
+type XMLBackend struct {
+	m    *Manager
+	path string
+}
+
+// NewXMLBackend returns the XML snapshot backend rooted at path.
+//
+// slimvet:noobs constructor; SaveFile/LoadFile carry the instrumentation.
+func NewXMLBackend(m *Manager, path string) *XMLBackend {
+	return &XMLBackend{m: m, path: path}
+}
+
+// Kind identifies the backend ("xml").
+func (b *XMLBackend) Kind() string { return BackendXML }
+
+// Path returns the snapshot path.
+func (b *XMLBackend) Path() string { return b.path }
+
+// Save persists the full store as a crash-safe XML snapshot.
+func (b *XMLBackend) Save() error { return b.m.SaveFile(b.path) }
+
+// Load replaces the store contents from the snapshot (with .bak fallback).
+func (b *XMLBackend) Load() error { return b.m.LoadFile(b.path) }
+
+// Close is a no-op: the XML backend holds no open files between saves.
+//
+// slimvet:noobs no-op release, nothing to instrument.
+func (b *XMLBackend) Close() error { return nil }
+
+// JSONLBackend adapts the JSON Lines persistence (SaveJSONL/LoadJSONL) to
+// the Backend interface.
+type JSONLBackend struct {
+	m    *Manager
+	path string
+}
+
+// NewJSONLBackend returns the JSON Lines backend rooted at path.
+//
+// slimvet:noobs constructor; SaveJSONL/LoadJSONL carry the instrumentation.
+func NewJSONLBackend(m *Manager, path string) *JSONLBackend {
+	return &JSONLBackend{m: m, path: path}
+}
+
+// Kind identifies the backend ("jsonl").
+func (b *JSONLBackend) Kind() string { return BackendJSONL }
+
+// Path returns the JSONL file path.
+func (b *JSONLBackend) Path() string { return b.path }
+
+// Save persists the full store as atomically-written JSON Lines.
+func (b *JSONLBackend) Save() error { return b.m.SaveJSONL(b.path) }
+
+// Load replaces the store contents from the JSONL file.
+func (b *JSONLBackend) Load() error { return b.m.LoadJSONL(b.path) }
+
+// Close is a no-op: the JSONL backend holds no open files between saves.
+//
+// slimvet:noobs no-op release, nothing to instrument.
+func (b *JSONLBackend) Close() error { return nil }

@@ -91,9 +91,9 @@ func (b *Batch) Apply() error {
 	// Observer delivery happens after unlock; on rollback the staged
 	// events include the inverse operations, so observers still see a
 	// sequence that nets out to no change.
-	events, targets := m.drainLocked()
+	events, targets, seqTargets := m.drainLocked()
 	m.mu.Unlock()
-	m.deliver(targets, events)
+	m.deliver(targets, seqTargets, events)
 	return err
 }
 

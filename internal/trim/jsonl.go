@@ -1,0 +1,74 @@
+package trim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/rdf"
+)
+
+// JSON Lines persistence: the portability format (docs/ROBUSTNESS.md
+// "Durability backends"). One triple per line means exports can be
+// streamed, cut with line tools, concatenated, and re-imported — the
+// `trimq export` / `trimq import` interchange path.
+
+// ExportJSONL streams the store's triples to w as JSON Lines in
+// deterministic (sorted) order.
+func (m *Manager) ExportJSONL(w io.Writer) error {
+	mExportTotal.Inc()
+	if err := rdf.WriteJSONL(w, m.Snapshot()); err != nil {
+		return fmt.Errorf("trim: export jsonl: %w", err)
+	}
+	return nil
+}
+
+// ImportJSONL replaces the store contents with the triples read from r.
+//
+// slimvet:noobs counts trim.persist.import.total directly below.
+func (m *Manager) ImportJSONL(r io.Reader) error {
+	mImportTotal.Inc()
+	g, err := rdf.ReadJSONL(r)
+	if err != nil {
+		return fmt.Errorf("trim: import jsonl: %w", err)
+	}
+	m.Replace(g)
+	return nil
+}
+
+// SaveJSONL persists the store as a JSON Lines file through the same
+// atomic temp-file+rename path as SaveFile (no .bak sibling: JSONL is an
+// interchange format, not the recovery-bearing snapshot).
+func (m *Manager) SaveJSONL(path string) (err error) {
+	mSaveTotal.Inc()
+	defer func() {
+		if err != nil {
+			mSaveErrors.Inc()
+		}
+	}()
+	mExportTotal.Inc()
+	var buf bytes.Buffer
+	if err := rdf.WriteJSONL(&buf, m.Snapshot()); err != nil {
+		return fmt.Errorf("trim: save %s: %w", path, err)
+	}
+	return saveAtomic(path, buf.Bytes(), false)
+}
+
+// LoadJSONL replaces the store contents with the triples in a JSON Lines
+// file.
+func (m *Manager) LoadJSONL(path string) error {
+	mLoadFileTotal.Inc()
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("trim: load: %w", err)
+	}
+	defer f.Close()
+	mImportTotal.Inc()
+	g, err := rdf.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("trim: load %s: %w", path, err)
+	}
+	m.Replace(g)
+	return nil
+}

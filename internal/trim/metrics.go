@@ -50,6 +50,27 @@ var (
 	mLoadFileTotal = obs.C(obs.NameTrimPersistLoadTotal)
 	mLoadCorrupt   = obs.C(obs.NameTrimPersistLoadCorrupt)
 	mLoadRecovered = obs.C(obs.NameTrimPersistLoadRecovered)
+
+	// JSONL export/import (the portability backend, jsonl.go).
+	mExportTotal = obs.C(obs.NameTrimPersistExportTotal)
+	mImportTotal = obs.C(obs.NameTrimPersistImportTotal)
+
+	// WAL backend (wal.go): commit appends, fsyncs, recovery replays, and
+	// snapshot compactions.
+	mWALAppendTotal   = obs.C(obs.NameTrimWALAppendTotal)
+	mWALAppendErrors  = obs.C(obs.NameTrimWALAppendErrors)
+	mWALAppendBytes   = obs.C(obs.NameTrimWALAppendBytes)
+	mWALAppendNS      = obs.H(obs.NameTrimWALAppendNS)
+	mWALSyncTotal     = obs.C(obs.NameTrimWALSyncTotal)
+	mWALSyncNS        = obs.H(obs.NameTrimWALSyncNS)
+	mWALCommitOps     = obs.HSize(obs.NameTrimWALCommitOps)
+	mWALReplayTotal   = obs.C(obs.NameTrimWALReplayTotal)
+	mWALReplayRecords = obs.C(obs.NameTrimWALReplayRecords)
+	mWALReplayTorn    = obs.C(obs.NameTrimWALReplayTorn)
+	mWALReplayNS      = obs.H(obs.NameTrimWALReplayNS)
+	mWALCompactTotal  = obs.C(obs.NameTrimWALCompactTotal)
+	mWALCompactErrors = obs.C(obs.NameTrimWALCompactErrors)
+	mWALCompactNS     = obs.H(obs.NameTrimWALCompactNS)
 )
 
 // indexChoice identifies which index (if any) served a pattern.

@@ -6,18 +6,20 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
-	"path/filepath"
-	"sync/atomic"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
 // Persistence here is failure-aware (docs/ROBUSTNESS.md): saves are atomic
-// and durable (temp file + fsync + rename + directory fsync), snapshots
-// carry a length+checksum trailer so torn or truncated files are detected
-// on load, and every save keeps the previous good snapshot as a ".bak"
-// sibling that LoadFile falls back to when the primary is corrupt.
+// and durable (temp file + fsync + rename + directory fsync, via the
+// shared internal/durable helper), snapshots carry a length+checksum
+// trailer so torn or truncated files are detected on load, and every save
+// keeps the previous good snapshot as a ".bak" sibling that LoadFile falls
+// back to when the primary is corrupt. This file is the XML snapshot
+// backend — the paper-fidelity interchange format; see backend.go for the
+// pluggable backend surface and wal.go for the append-only WAL backend.
 
 // ErrCorrupt marks a store file whose bytes fail integrity verification
 // (truncation, checksum mismatch, or unparseable content). Callers can
@@ -26,24 +28,34 @@ var ErrCorrupt = errors.New("trim: corrupt store file")
 
 // BackupSuffix is appended to the store path to name the previous good
 // snapshot kept by SaveFile.
-const BackupSuffix = ".bak"
+const BackupSuffix = durable.BackupSuffix
 
 // PersistStage names one step of the persistence I/O sequence; the fault
 // hook receives it so tests can fail (or corrupt) a precise point in the
-// write path — e.g. "the process died between temp-write and rename".
-type PersistStage string
+// write path — e.g. "the process died between temp-write and rename". It
+// is the shared durable.Stage: the same hook reaches the XML snapshot
+// write, the mark store save, and every WAL step.
+type PersistStage = durable.Stage
 
 const (
 	// StageTempWrite: about to write the snapshot bytes to the temp file.
-	StageTempWrite PersistStage = "temp-write"
+	StageTempWrite = durable.StageTempWrite
 	// StageTempSync: about to fsync the temp file.
-	StageTempSync PersistStage = "temp-sync"
+	StageTempSync = durable.StageTempSync
 	// StageBackup: about to copy the current file to its .bak sibling.
-	StageBackup PersistStage = "backup"
+	StageBackup = durable.StageBackup
 	// StageRename: about to rename the temp file over the target.
-	StageRename PersistStage = "rename"
+	StageRename = durable.StageRename
 	// StageDirSync: about to fsync the parent directory.
-	StageDirSync PersistStage = "dir-sync"
+	StageDirSync = durable.StageDirSync
+
+	// WAL backend stages (internal/wal, wal.go). The snapshot written by
+	// compaction additionally runs the five stages above against the
+	// snapshot path.
+	StageWALAppend   = durable.StageWALAppend
+	StageWALSync     = durable.StageWALSync
+	StageWALCompact  = durable.StageWALCompact
+	StageWALTruncate = durable.StageWALTruncate
 )
 
 // PersistFault is an injectable fault hook for persistence I/O. It runs
@@ -51,36 +63,23 @@ const (
 // the save as if the I/O at that stage had failed. The hook may also
 // mutate the filesystem (truncate the target, delete the backup) to
 // simulate torn writes and crashes deterministically.
-type PersistFault func(stage PersistStage, path string) error
-
-var persistFault atomic.Pointer[PersistFault]
+type PersistFault = durable.Fault
 
 // SetPersistFault installs the persistence fault hook (nil removes it) and
-// returns the previous hook. Tests use it to exercise crash recovery; it
-// is process-wide, so parallel tests should not share it.
+// returns the previous hook. The hook is shared across every durability
+// path — XML snapshot saves, WAL appends/fsyncs/compactions, and the mark
+// store — so one installation reaches all write-path steps. Tests use it
+// to exercise crash recovery; it is process-wide, so parallel tests should
+// not share it.
 //
 // slimvet:noobs test-only fault-injection hook, not a store operation.
 func SetPersistFault(h PersistFault) (prev PersistFault) {
-	var old *PersistFault
-	if h == nil {
-		old = persistFault.Swap(nil)
-	} else {
-		old = persistFault.Swap(&h)
-	}
-	if old == nil {
-		return nil
-	}
-	return *old
+	return durable.SetFault(h)
 }
 
 // faultAt runs the installed fault hook, if any, for one stage.
 func faultAt(stage PersistStage, path string) error {
-	if h := persistFault.Load(); h != nil {
-		if err := (*h)(stage, path); err != nil {
-			return fmt.Errorf("trim: %s %s: %w", stage, path, err)
-		}
-	}
-	return nil
+	return durable.FaultAt(stage, path)
 }
 
 // The trailer is an XML comment appended after the document: harmless to
@@ -117,71 +116,23 @@ func verifyTrailer(data []byte) ([]byte, error) {
 	return body, nil
 }
 
-// saveAtomic writes data to path via a same-directory temp file, fsyncing
-// the temp file before the rename and the parent directory after it, so a
-// crash at any point leaves either the old file or the new file — never a
-// torn mixture. When backup is true and a previous file exists, a copy is
-// kept as path+BackupSuffix before the rename.
+// saveAtomic writes data to path crash-safely through the shared
+// atomic-write helper (docs/ROBUSTNESS.md): same-directory temp file,
+// fsync, optional .bak backup, rename, directory fsync.
 func saveAtomic(path string, data []byte, backup bool) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".trim-*.tmp")
-	if err != nil {
+	if err := durable.WriteFileAtomic(path, data, backup); err != nil {
 		return fmt.Errorf("trim: save %s: %w", path, err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after successful rename
-
-	err = func() error {
-		if err := faultAt(StageTempWrite, path); err != nil {
-			return err
-		}
-		if _, err := tmp.Write(data); err != nil {
-			return fmt.Errorf("trim: save %s: %w", path, err)
-		}
-		if err := faultAt(StageTempSync, path); err != nil {
-			return err
-		}
-		if err := tmp.Sync(); err != nil {
-			return fmt.Errorf("trim: save %s: %w", path, err)
-		}
-		return nil
-	}()
-	if cerr := tmp.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("trim: save %s: %w", path, cerr)
-	}
-	if err != nil {
-		return err
-	}
-
-	if backup {
-		if _, serr := os.Stat(path); serr == nil {
-			if err := faultAt(StageBackup, path); err != nil {
-				return err
-			}
-			// The backup is a copy, not a hard link: a link would share
-			// the inode with the primary, so a later torn in-place write
-			// to the primary would corrupt the backup with it. Failure to
-			// keep a backup must not block the save.
-			if prev, rerr := os.ReadFile(path); rerr == nil {
-				os.WriteFile(path+BackupSuffix, prev, 0o644)
-			}
-		}
-	}
-
-	if err := faultAt(StageRename, path); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("trim: save %s: %w", path, err)
-	}
-	if err := faultAt(StageDirSync, path); err != nil {
-		return err
-	}
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync() // best effort: some filesystems refuse directory fsync
-		d.Close()
 	}
 	return nil
+}
+
+// snapshotBytes renders a graph as the trailer-carrying XML snapshot form.
+func snapshotBytes(g *rdf.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := rdf.WriteXML(&buf, g); err != nil {
+		return nil, err
+	}
+	return appendTrailer(buf.Bytes()), nil
 }
 
 // SaveFile persists the store to an XML file (the paper's persistence
@@ -191,13 +142,12 @@ func saveAtomic(path string, data []byte, backup bool) error {
 // the previous good snapshot is kept as path+".bak" for LoadFile recovery.
 func (m *Manager) SaveFile(path string) error {
 	mSaveTotal.Inc()
-	snapshot := m.Snapshot()
-	var buf bytes.Buffer
-	if err := rdf.WriteXML(&buf, snapshot); err != nil {
+	data, err := snapshotBytes(m.Snapshot())
+	if err != nil {
 		mSaveErrors.Inc()
 		return fmt.Errorf("trim: save %s: %w", path, err)
 	}
-	if err := saveAtomic(path, appendTrailer(buf.Bytes()), true); err != nil {
+	if err := saveAtomic(path, data, true); err != nil {
 		mSaveErrors.Inc()
 		return err
 	}
@@ -221,6 +171,31 @@ func loadBytes(path string) (*rdf.Graph, error) {
 	return g, nil
 }
 
+// loadSnapshot reads a snapshot file with .bak fallback, returning the
+// recovered graph without touching any manager. It is the shared read side
+// of LoadFile and the WAL backend's compacted-snapshot recovery.
+func loadSnapshot(path string) (*rdf.Graph, error) {
+	g, err := loadBytes(path)
+	if err == nil {
+		return g, nil
+	}
+	if errors.Is(err, ErrCorrupt) {
+		mLoadCorrupt.Inc()
+	}
+	bak := path + BackupSuffix
+	if _, serr := os.Stat(bak); serr != nil {
+		return nil, err
+	}
+	bg, berr := loadBytes(bak)
+	if berr != nil {
+		return nil, fmt.Errorf("%w (backup %s also unusable: %w)", err, bak, berr)
+	}
+	mLoadRecovered.Inc()
+	obs.Log().Warn("trim: recovered store from backup snapshot",
+		"path", path, "backup", bak, "err", err)
+	return bg, nil
+}
+
 // LoadFile replaces the store contents with the triples in the XML file.
 // Corruption (truncation, checksum mismatch, unparseable XML) is detected
 // via the integrity trailer; when the primary file is corrupt or missing,
@@ -229,26 +204,11 @@ func loadBytes(path string) (*rdf.Graph, error) {
 // untouched unless a good snapshot is found.
 func (m *Manager) LoadFile(path string) error {
 	mLoadFileTotal.Inc()
-	g, err := loadBytes(path)
-	if err == nil {
-		m.Replace(g)
-		return nil
-	}
-	if errors.Is(err, ErrCorrupt) {
-		mLoadCorrupt.Inc()
-	}
-	bak := path + BackupSuffix
-	if _, serr := os.Stat(bak); serr != nil {
+	g, err := loadSnapshot(path)
+	if err != nil {
 		return err
 	}
-	bg, berr := loadBytes(bak)
-	if berr != nil {
-		return fmt.Errorf("%w (backup %s also unusable: %w)", err, bak, berr)
-	}
-	m.Replace(bg)
-	mLoadRecovered.Inc()
-	obs.Log().Warn("trim: recovered store from backup snapshot",
-		"path", path, "backup", bak, "err", err)
+	m.Replace(g)
 	return nil
 }
 

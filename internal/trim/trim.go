@@ -36,7 +36,11 @@ type Manager struct {
 	// optimistic readers use it to detect change. Guarded by mu.
 	generation uint64
 	observers  map[int]Observer // guarded by mu
-	nextObsID  int              // guarded by mu
+	// seqObservers receive the same events with their generation stamp;
+	// the WAL backend uses the stamp to order captured ops exactly even
+	// when concurrent mutators deliver out of order. Guarded by mu.
+	seqObservers map[int]SeqObserver // guarded by mu
+	nextObsID    int                 // guarded by mu
 	// pending stages observer notifications while mu is held; the mutating
 	// call drains and delivers them after unlocking. Guarded by mu.
 	pending []obsEvent
@@ -50,8 +54,16 @@ type Manager struct {
 // Manager; a slow observer delays only its own mutating call, not readers.
 type Observer func(t rdf.Triple, added bool)
 
+// SeqObserver is an Observer that additionally receives the store
+// generation at which the mutation committed. Generations are unique and
+// strictly increasing per mutation, so a consumer that buffers events from
+// concurrent mutators can sort by gen to recover the exact commit order —
+// the property the WAL backend's replay correctness rests on.
+type SeqObserver func(gen uint64, t rdf.Triple, added bool)
+
 // obsEvent is one staged observer notification.
 type obsEvent struct {
+	gen   uint64
 	t     rdf.Triple
 	added bool
 }
@@ -59,12 +71,13 @@ type obsEvent struct {
 // NewManager returns an empty triple manager.
 func NewManager() *Manager {
 	return &Manager{
-		graph:       rdf.NewGraph(),
-		bySubject:   make(map[rdf.Term]map[rdf.Triple]struct{}),
-		byPredicate: make(map[rdf.Term]map[rdf.Triple]struct{}),
-		byObject:    make(map[rdf.Term]map[rdf.Triple]struct{}),
-		predCards:   make(map[rdf.Term]*predCard),
-		observers:   make(map[int]Observer),
+		graph:        rdf.NewGraph(),
+		bySubject:    make(map[rdf.Term]map[rdf.Triple]struct{}),
+		byPredicate:  make(map[rdf.Term]map[rdf.Triple]struct{}),
+		byObject:     make(map[rdf.Term]map[rdf.Triple]struct{}),
+		predCards:    make(map[rdf.Term]*predCard),
+		observers:    make(map[int]Observer),
+		seqObservers: make(map[int]SeqObserver),
 	}
 }
 
@@ -75,9 +88,9 @@ func (m *Manager) Create(t rdf.Triple) (bool, error) {
 	start := time.Now()
 	m.mu.Lock()
 	added, err := m.createLocked(t)
-	events, targets := m.drainLocked()
+	events, targets, seqTargets := m.drainLocked()
 	m.mu.Unlock()
-	m.deliver(targets, events)
+	m.deliver(targets, seqTargets, events)
 	mCreateNS.ObserveSince(start)
 	mCreateTotal.Inc()
 	switch {
@@ -110,9 +123,9 @@ func (m *Manager) createLocked(t rdf.Triple) (bool, error) {
 func (m *Manager) Remove(t rdf.Triple) bool {
 	m.mu.Lock()
 	removed := m.removeLocked(t)
-	events, targets := m.drainLocked()
+	events, targets, seqTargets := m.drainLocked()
 	m.mu.Unlock()
-	m.deliver(targets, events)
+	m.deliver(targets, seqTargets, events)
 	mRemoveTotal.Inc()
 	if removed {
 		mRemoveHit.Inc()
@@ -141,9 +154,9 @@ func (m *Manager) RemoveMatching(p rdf.Pattern) int {
 	for _, t := range matches {
 		m.removeLocked(t)
 	}
-	events, targets := m.drainLocked()
+	events, targets, seqTargets := m.drainLocked()
 	m.mu.Unlock()
-	m.deliver(targets, events)
+	m.deliver(targets, seqTargets, events)
 	return len(matches)
 }
 
@@ -282,9 +295,9 @@ func (m *Manager) SetUnique(subject, predicate, object rdf.Term) error {
 		m.removeLocked(t)
 	}
 	_, err := m.createLocked(rdf.T(subject, predicate, object))
-	events, targets := m.drainLocked()
+	events, targets, seqTargets := m.drainLocked()
 	m.mu.Unlock()
-	m.deliver(targets, events)
+	m.deliver(targets, seqTargets, events)
 	return err
 }
 
@@ -339,30 +352,44 @@ func (m *Manager) Observe(obs Observer) int {
 	return id
 }
 
-// Unobserve removes a previously registered observer.
+// ObserveSeq registers a generation-stamped observer and returns a handle
+// for Unobserve. Delivery rules match Observe: synchronously on the
+// mutating goroutine, after the store lock is released.
+func (m *Manager) ObserveSeq(obs SeqObserver) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextObsID
+	m.nextObsID++
+	m.seqObservers[id] = obs
+	return id
+}
+
+// Unobserve removes a previously registered observer (plain or seq).
 func (m *Manager) Unobserve(id int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.observers, id)
+	delete(m.seqObservers, id)
 }
 
 // queueNotifyLocked stages one observer notification. Callbacks must not
 // run here — the caller holds mu, and observer code is allowed to be slow
 // and to call back into the Manager — so the event is queued and the
-// mutating entry point delivers it after unlocking.
+// mutating entry point delivers it after unlocking. The generation stamp
+// is captured now, under the lock, where it is exact.
 func (m *Manager) queueNotifyLocked(t rdf.Triple, added bool) {
-	if len(m.observers) == 0 {
+	if len(m.observers) == 0 && len(m.seqObservers) == 0 {
 		return
 	}
-	m.pending = append(m.pending, obsEvent{t: t, added: added})
+	m.pending = append(m.pending, obsEvent{gen: m.generation, t: t, added: added})
 }
 
 // drainLocked takes the staged notifications and a snapshot of the current
 // observers. It returns data, not a closure: delivery happens in the
 // caller, demonstrably outside the lock.
-func (m *Manager) drainLocked() ([]obsEvent, []Observer) {
+func (m *Manager) drainLocked() ([]obsEvent, []Observer, []SeqObserver) {
 	if len(m.pending) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	events := m.pending
 	m.pending = nil
@@ -370,19 +397,26 @@ func (m *Manager) drainLocked() ([]obsEvent, []Observer) {
 	for _, o := range m.observers {
 		targets = append(targets, o)
 	}
-	return events, targets
+	seqTargets := make([]SeqObserver, 0, len(m.seqObservers))
+	for _, o := range m.seqObservers {
+		seqTargets = append(seqTargets, o)
+	}
+	return events, targets, seqTargets
 }
 
-// deliver fans staged events out to the observer snapshot, in mutation
+// deliver fans staged events out to the observer snapshots, in mutation
 // order, with no lock held.
-func (m *Manager) deliver(targets []Observer, events []obsEvent) {
-	if len(events) == 0 || len(targets) == 0 {
+func (m *Manager) deliver(targets []Observer, seqTargets []SeqObserver, events []obsEvent) {
+	if len(events) == 0 || (len(targets) == 0 && len(seqTargets) == 0) {
 		return
 	}
-	mNotifyFanout.Add(int64(len(events)) * int64(len(targets)))
+	mNotifyFanout.Add(int64(len(events)) * int64(len(targets)+len(seqTargets)))
 	for _, ev := range events {
 		for _, o := range targets {
 			o(ev.t, ev.added)
+		}
+		for _, o := range seqTargets {
+			o(ev.gen, ev.t, ev.added)
 		}
 	}
 }

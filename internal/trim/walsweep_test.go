@@ -1,0 +1,211 @@
+package trim
+
+// The WAL torture lane of the fault-injection sweep (docs/ROBUSTNESS.md):
+// gated behind SLIM_FAULT_SWEEP with the rest of the sweep and run by
+// `make faults`. The invariant is prefix consistency — after ANY torn
+// tail, flipped bit, or interrupted compaction, recovery lands on exactly
+// one of the acknowledged commit states (never a partial batch, never a
+// panic), and a post-crash compaction retry converges.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/wal"
+)
+
+// walHistory builds a WAL with several acknowledged commits and returns
+// the log path plus the snapshot after each commit (index 0 = empty).
+func walHistory(t *testing.T, dir string, commits int) (string, []*rdf.Graph) {
+	t.Helper()
+	path := filepath.Join(dir, "store.wal")
+	m := NewManager()
+	ws, err := OpenWAL(m, path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := []*rdf.Graph{m.Snapshot()}
+	for c := 0; c < commits; c++ {
+		m.Create(rdf.T(
+			rdf.IRI(fmt.Sprintf("http://t/c%d", c)),
+			rdf.IRI("http://t/p"),
+			rdf.String(fmt.Sprintf("commit %d payload with some ballast", c)),
+		))
+		if c > 0 {
+			m.Remove(rdf.T(
+				rdf.IRI(fmt.Sprintf("http://t/c%d", c-1)),
+				rdf.IRI("http://t/p"),
+				rdf.String(fmt.Sprintf("commit %d payload with some ballast", c-1)),
+			))
+		}
+		if err := ws.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		states = append(states, m.Snapshot())
+	}
+	if err := ws.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, states
+}
+
+// requireAckedState recovers the WAL and fails unless the result equals
+// one of the given acknowledged states, returning its index.
+func requireAckedState(t *testing.T, label, path string, states []*rdf.Graph) int {
+	t.Helper()
+	m := NewManager()
+	ws, err := OpenWAL(m, path, WALOptions{})
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer ws.Close()
+	got := m.Snapshot()
+	for i, s := range states {
+		if got.Equal(s) {
+			return i
+		}
+	}
+	t.Fatalf("%s: recovered state (%d triples) matches no acknowledged commit state", label, m.Len())
+	return -1
+}
+
+// TestFaultSweepWALTruncation cuts the log at every byte offset and
+// requires recovery to land on the exact commit prefix that fits: commit
+// k's state iff its record survived whole.
+func TestFaultSweepWALTruncation(t *testing.T) {
+	sweepGate(t)
+	dir := t.TempDir()
+	master, states := walHistory(t, dir, 4)
+	full, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for n := 0; n <= len(full); n++ {
+		path := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := requireAckedState(t, fmt.Sprintf("cut at %d/%d", n, len(full)), path, states)
+		// More surviving bytes can never recover an EARLIER commit.
+		if got < prev {
+			t.Fatalf("cut at %d recovered commit %d, but cut at %d recovered commit %d", n, got, n-1, prev)
+		}
+		prev = got
+	}
+	if prev != len(states)-1 {
+		t.Fatalf("full log recovered commit %d, want %d", prev, len(states)-1)
+	}
+}
+
+// TestFaultSweepWALBitRot flips every bit of the last record in turn: the
+// CRC frame must reject the record wholesale, landing recovery on the
+// previous commit — never applying a corrupted op.
+func TestFaultSweepWALBitRot(t *testing.T) {
+	sweepGate(t)
+	dir := t.TempDir()
+	master, states := walHistory(t, dir, 3)
+	full, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the final record: scanning the file cut one byte short leaves
+	// every record but the last intact, so that scan's good-bytes mark is
+	// exactly where the last record's frame begins.
+	probe := filepath.Join(dir, "probe.wal")
+	if err := os.WriteFile(probe, full[:len(full)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Check(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := int(rec.GoodBytes)
+	if start <= 0 || start >= len(full) {
+		t.Fatalf("could not locate the final record (good bytes = %d of %d)", start, len(full))
+	}
+	for off := start; off < len(full); off++ {
+		for bit := 0; bit < 8; bit++ {
+			damaged := append([]byte(nil), full...)
+			damaged[off] ^= 1 << bit
+			path := filepath.Join(dir, "flip.wal")
+			if err := os.WriteFile(path, damaged, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got := requireAckedState(t, fmt.Sprintf("flip byte %d bit %d", off, bit), path, states)
+			if got == len(states)-1 {
+				t.Fatalf("flip byte %d bit %d: corrupted final record survived recovery", off, bit)
+			}
+		}
+	}
+}
+
+// TestFaultSweepWALCompactionInterrupt kills compaction at every durable
+// stage, then verifies (a) recovery still yields the exact pre-compaction
+// state and (b) a retried compaction afterwards converges with an intact
+// snapshot and an empty log.
+func TestFaultSweepWALCompactionInterrupt(t *testing.T) {
+	sweepGate(t)
+	stages := []PersistStage{
+		StageWALCompact, StageTempWrite, StageTempSync, StageBackup,
+		StageRename, StageDirSync, StageWALTruncate,
+	}
+	for _, stage := range stages {
+		t.Run(string(stage), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "store.wal")
+			m, ws := openWALT(t, path, WALOptions{})
+			populate(m, 20)
+			if err := ws.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			// Seed a first snapshot so every stage (incl. backup) fires.
+			if err := ws.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			m.Create(rdf.T(rdf.IRI("http://t/late"), rdf.IRI("http://t/p"), rdf.String("post-snapshot")))
+			if err := ws.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			want := m.Snapshot()
+
+			fail := stage
+			defer SetPersistFault(SetPersistFault(func(s PersistStage, _ string) error {
+				if s == fail {
+					return fmt.Errorf("injected at %s", s)
+				}
+				return nil
+			}))
+			if err := ws.Compact(); err == nil {
+				t.Fatalf("compaction survived injected fault at %s", stage)
+			}
+			SetPersistFault(nil)
+
+			// Crash here: abandon ws, recover fresh, state must be exact.
+			m2 := NewManager()
+			ws2, err := OpenWAL(m2, path, WALOptions{})
+			if err != nil {
+				t.Fatalf("recovery after %s: %v", stage, err)
+			}
+			defer ws2.Close()
+			if !m2.Snapshot().Equal(want) {
+				t.Fatalf("recovery after crash at %s lost state (%d vs %d triples)", stage, m2.Len(), want.Len())
+			}
+			// The retry converges: intact snapshot, empty log, same state.
+			if err := ws2.Compact(); err != nil {
+				t.Fatalf("compaction retry after %s: %v", stage, err)
+			}
+			rep, err := WALCheck(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Records != 0 || rep.TornBytes != 0 || !rep.SnapshotOK {
+				t.Fatalf("after retried compaction: %+v, want empty intact log + ok snapshot", rep)
+			}
+			requireRecovered(t, "retry "+string(stage), path, want)
+		})
+	}
+}

@@ -1,0 +1,288 @@
+// Package wal implements a minimal append-only write-ahead log of opaque
+// records with CRC-32-framed, length-prefixed frames. It is the physical
+// layer of TRIM's WAL durability backend (internal/trim/wal.go) but knows
+// nothing about triples: records are byte slices.
+//
+// Frame layout (little-endian):
+//
+//	[4B payload length][4B CRC-32 (IEEE) of payload][payload]
+//
+// Recovery is prefix-consistent: Open scans frames from the start and
+// stops at the first incomplete, oversized, or checksum-failing frame —
+// everything before it replays, everything from it on is a torn tail that
+// Open truncates away. A crash mid-append therefore loses at most the
+// unacknowledged suffix; it never yields a half-record to the caller.
+//
+// All write-path steps run the shared durability fault hook
+// (internal/durable): wal-append before each frame write, wal-sync before
+// each fsync, wal-truncate before a post-compaction reset.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/durable"
+)
+
+// headerSize is the per-record frame overhead: 4 bytes little-endian
+// payload length followed by 4 bytes CRC-32 (IEEE) of the payload.
+const headerSize = 8
+
+// MaxRecord bounds a single record's payload. A declared length beyond it
+// is treated as frame corruption (torn tail), not an allocation request —
+// this is what keeps a bit flip in a length field from looking like a
+// 4 GiB record.
+const MaxRecord = 64 << 20
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Recovery describes what Open (or Check) found in an existing log file.
+type Recovery struct {
+	// Records is the number of intact records scanned.
+	Records int
+	// GoodBytes is the byte length of the intact frame prefix.
+	GoodBytes int64
+	// TornBytes is the number of trailing bytes after the last intact
+	// frame (zero for a clean log). Open truncates them; Check only
+	// reports them.
+	TornBytes int64
+}
+
+// Torn reports whether the scan found a torn or corrupt tail.
+func (r Recovery) Torn() bool { return r.TornBytes > 0 }
+
+// Log is an append-only record log. The zero value is not usable; call
+// Open. All methods are safe for concurrent use.
+type Log struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File // guarded by mu
+	size    int64    // current byte length of the intact log; guarded by mu
+	records int64    // records in the log (replayed + appended); guarded by mu
+	closed  bool     // guarded by mu
+}
+
+// Open opens (creating if absent) the log at path, verifies the existing
+// frames, truncates any torn tail, and calls replay for each intact record
+// payload in append order. A replay error aborts the open. The returned
+// Recovery reports what the scan found, including the torn bytes removed.
+//
+// The payload slice passed to replay is only valid during the call.
+func Open(path string, replay func(payload []byte) error) (*Log, Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	rec, err := scan(f, replay)
+	if err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if rec.Torn() {
+		// Drop the torn tail so future appends extend an intact prefix
+		// instead of burying good frames behind garbage.
+		if err := f.Truncate(rec.GoodBytes); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("wal: open %s: truncating torn tail: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, rec, fmt.Errorf("wal: open %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(rec.GoodBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &Log{path: path, f: f, size: rec.GoodBytes, records: int64(rec.Records)}, rec, nil
+}
+
+// Check scans the log at path read-only and reports its frame integrity
+// without truncating or replaying anything. A missing file is an empty,
+// intact log.
+func Check(path string) (Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Recovery{}, nil
+		}
+		return Recovery{}, fmt.Errorf("wal: check %s: %w", path, err)
+	}
+	defer f.Close()
+	rec, err := scan(f, nil)
+	if err != nil {
+		return rec, fmt.Errorf("wal: check %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// scan reads frames from the start of f, calling replay (when non-nil) for
+// each intact payload. It stops — without error — at the first torn or
+// corrupt frame and reports it via Recovery; only I/O and replay errors
+// are returned.
+func scan(f *os.File, replay func([]byte) error) (Recovery, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return Recovery{}, err
+	}
+	total := fi.Size()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return Recovery{}, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var rec Recovery
+	var header [headerSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if err == io.EOF {
+				break // clean end of log
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				break // torn header
+			}
+			return rec, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if int64(length) > MaxRecord || int64(length) > total-rec.GoodBytes-headerSize {
+			break // corrupt length field or frame past end of file
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // torn payload
+			}
+			return rec, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or torn rewrite
+		}
+		if replay != nil {
+			if err := replay(payload); err != nil {
+				return rec, fmt.Errorf("replaying record %d: %w", rec.Records, err)
+			}
+		}
+		rec.Records++
+		rec.GoodBytes += headerSize + int64(length)
+	}
+	rec.TornBytes = total - rec.GoodBytes
+	return rec, nil
+}
+
+// Append writes one framed record. The write is buffered by the OS until
+// Sync; callers that need durability acknowledge batches with Append...
+// then one Sync (group commit).
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: append %s: record of %d bytes exceeds MaxRecord", l.path, len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append %s: %w", l.path, ErrClosed)
+	}
+	if err := durable.FaultAt(durable.StageWALAppend, l.path); err != nil {
+		return err
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	l.records++
+	return nil
+}
+
+// Sync fsyncs the log: every record appended before the call is durable
+// once it returns.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: sync %s: %w", l.path, ErrClosed)
+	}
+	if err := durable.FaultAt(durable.StageWALSync, l.path); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Reset truncates the log to empty — the post-compaction step, once the
+// snapshot that supersedes the logged records is durable.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: reset %s: %w", l.path, ErrClosed)
+	}
+	if err := durable.FaultAt(durable.StageWALTruncate, l.path); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: reset %s: %w", l.path, err)
+	}
+	l.size = 0
+	l.records = 0
+	return nil
+}
+
+// Size returns the byte length of the intact log.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the number of records in the log (replayed at open plus
+// appended since).
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log file. Further operations return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: close %s: %w", l.path, err)
+	}
+	return nil
+}

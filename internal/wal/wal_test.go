@@ -1,0 +1,336 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+// openCollect opens the log at path collecting every replayed payload.
+func openCollect(t *testing.T, path string) (*Log, Recovery, [][]byte) {
+	t.Helper()
+	var got [][]byte
+	l, rec, err := Open(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec, got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	l, rec, got := openCollect(t, path)
+	if rec.Records != 0 || rec.GoodBytes != 0 || rec.Torn() || len(got) != 0 {
+		t.Fatalf("fresh log recovered %+v, %d payloads", rec, len(got))
+	}
+	want := [][]byte{[]byte("first"), []byte(""), []byte("third record, longer than the others")}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if l.Records() != 3 {
+		t.Fatalf("Records = %d, want 3", l.Records())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec, got := openCollect(t, path)
+	defer l2.Close()
+	if rec.Records != 3 || rec.Torn() {
+		t.Fatalf("recovered %+v, want 3 intact records", rec)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d payloads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("payload %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// The reopened log appends after the existing records.
+	if err := l2.Append([]byte("fourth")); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Records() != 4 {
+		t.Fatalf("Records after reopen+append = %d, want 4", l2.Records())
+	}
+}
+
+// TestTornTailTruncatedAtEveryOffset cuts the file at every possible byte
+// length: recovery must surface exactly the records that fit completely
+// and truncate the rest, never erroring and never inventing data.
+func TestTornTailTruncatedAtEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	master := filepath.Join(dir, "master.wal")
+	l, _, _ := openCollect(t, master)
+	payloads := [][]byte{[]byte("alpha"), []byte("bravo-bravo"), []byte("charlie")}
+	var boundaries []int64 // GoodBytes after each record
+	off := int64(0)
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(headerSize + len(p))
+		boundaries = append(boundaries, off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for n := 0; n <= len(full); n++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut-%d.wal", n))
+		if err := os.WriteFile(path, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Records whose frames fit entirely within n bytes survive.
+		wantRecords := 0
+		for _, b := range boundaries {
+			if int64(n) >= b {
+				wantRecords++
+			}
+		}
+		l, rec, got := openCollect(t, path)
+		if rec.Records != wantRecords {
+			t.Fatalf("cut at %d: recovered %d records, want %d", n, rec.Records, wantRecords)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("cut at %d: payload %d = %q, want %q", n, i, got[i], payloads[i])
+			}
+		}
+		wantGood := int64(0)
+		if wantRecords > 0 {
+			wantGood = boundaries[wantRecords-1]
+		}
+		if rec.GoodBytes != wantGood || rec.TornBytes != int64(n)-wantGood {
+			t.Fatalf("cut at %d: recovery %+v, want good=%d torn=%d", n, rec, wantGood, int64(n)-wantGood)
+		}
+		// The torn tail is physically truncated: the file now holds exactly
+		// the intact prefix, so a second open sees a clean tail.
+		if fi, err := os.Stat(path); err != nil || fi.Size() != wantGood {
+			t.Fatalf("cut at %d: file is %d bytes after recovery, want %d (err %v)", n, fi.Size(), wantGood, err)
+		}
+		l.Close()
+	}
+}
+
+// TestBitFlipEveryByte flips each byte of a two-record log in turn. The
+// CRC (or the length bound) must stop the scan at or before the damaged
+// record: replayed payloads are always a clean prefix, never corrupt data.
+func TestBitFlipEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	master := filepath.Join(dir, "master.wal")
+	l, _, _ := openCollect(t, master)
+	payloads := [][]byte{[]byte("stable-first-record"), []byte("second-record")}
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1End := headerSize + len(payloads[0])
+
+	for i := range full {
+		for _, bit := range []byte{0x01, 0x80} {
+			flipped := append([]byte(nil), full...)
+			flipped[i] ^= bit
+			path := filepath.Join(dir, "flip.wal")
+			if err := os.WriteFile(path, flipped, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, rec, got := openCollect(t, path)
+			l.Close()
+			// Damage in record k's frame must drop record k and everything
+			// after; earlier records must survive byte-identical.
+			maxSurvive := 2
+			if i < rec1End {
+				maxSurvive = 0
+			} else {
+				maxSurvive = 1
+			}
+			if rec.Records > maxSurvive {
+				t.Fatalf("flip byte %d (bit %#x): %d records survived, max %d", i, bit, rec.Records, maxSurvive)
+			}
+			for k := range got {
+				if !bytes.Equal(got[k], payloads[k]) {
+					t.Fatalf("flip byte %d (bit %#x): payload %d corrupted to %q", i, bit, k, got[k])
+				}
+			}
+		}
+	}
+}
+
+func TestCheckReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ops.wal")
+
+	// Missing file: intact and empty.
+	rec, err := Check(path)
+	if err != nil || rec.Records != 0 || rec.Torn() {
+		t.Fatalf("Check(missing) = %+v, %v", rec, err)
+	}
+
+	l, _, _ := openCollect(t, path)
+	if err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail mid-second-record.
+	torn := full[:len(full)-2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = Check(path)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rec.Records != 1 || !rec.Torn() {
+		t.Fatalf("Check on torn log = %+v, want 1 record + torn tail", rec)
+	}
+	// Check must not repair: the file is untouched.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, torn) {
+		t.Fatal("Check modified the file")
+	}
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	l, _, _ := openCollect(t, path)
+	defer l.Close()
+	if err := l.Append([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l.Records() != 0 || l.Size() != 0 {
+		t.Fatalf("after Reset: %d records, %d bytes", l.Records(), l.Size())
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(headerSize + len("fresh")); fi.Size() != want {
+		t.Fatalf("file is %d bytes after Reset+Append, want %d", fi.Size(), want)
+	}
+}
+
+func TestMaxRecordRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	l, _, _ := openCollect(t, path)
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if l.Records() != 0 {
+		t.Fatalf("oversized record counted: %d", l.Records())
+	}
+}
+
+func TestReplayCallbackErrorAbortsOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	l, _, _ := openCollect(t, path)
+	if err := l.Append([]byte("poison")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, _, err := Open(path, func([]byte) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Open with failing replay = %v, want %v", err, boom)
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	l, _, _ := openCollect(t, path)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+func TestFaultHooksCoverWALStages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ops.wal")
+	l, _, _ := openCollect(t, path)
+	defer l.Close()
+	if err := l.Append([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		stage durable.Stage
+		op    func() error
+	}{
+		{durable.StageWALAppend, func() error { return l.Append([]byte("x")) }},
+		{durable.StageWALSync, l.Sync},
+		{durable.StageWALTruncate, l.Reset},
+	} {
+		fail := tc.stage
+		prev := durable.SetFault(func(s durable.Stage, _ string) error {
+			if s == fail {
+				return fmt.Errorf("injected at %s", s)
+			}
+			return nil
+		})
+		err := tc.op()
+		durable.SetFault(prev)
+		if err == nil {
+			t.Fatalf("%s survived injected fault", tc.stage)
+		}
+	}
+	// The log is still usable and holds only the pre-fault record.
+	if l.Records() != 1 {
+		t.Fatalf("log has %d records after injected faults, want 1", l.Records())
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync after faults cleared: %v", err)
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI lane: lint (vet + slimvet), build, the full test suite under the
-# race detector, then the env-gated fault-injection sweep
-# (docs/ROBUSTNESS.md). Mirrors `make ci` for environments without make.
+# race detector, then the env-gated fault-injection sweep — persistence
+# faults plus the WAL torture lane (docs/ROBUSTNESS.md). Mirrors
+# `make ci` for environments without make.
 set -eux
 
 go vet ./...
