@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_LABEL ?= $(shell date +%Y%m%d)
 
-.PHONY: all build test race vet lint faults trace-smoke ci bench bench-json bench-diff
+.PHONY: all build test race vet lint faults trace-smoke ci bench bench-json bench-diff bench-scale
 
 all: build
 
@@ -68,3 +68,12 @@ BENCH_THRESHOLD ?= 0
 bench-diff:
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) \
 		$$(ls BENCH_*.json | sort | tail -n 2)
+
+# The scaling lane (docs/OBSERVABILITY.md "Concurrency scoreboard"): the
+# slimload workload generator sweeps the op mix at 1/4/16/64 goroutines
+# and writes a benchfmt snapshot of throughput and latency quantiles per
+# op class per level, diffable with bench-diff like the micro-bench lane.
+# The same run populates the lock.* contention families.
+bench-scale:
+	$(GO) run ./cmd/slimload -duration 2s -goroutines 1,4,16,64 \
+		-label scale-$(BENCH_LABEL) -out BENCH_scale-$(BENCH_LABEL).json

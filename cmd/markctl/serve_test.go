@@ -130,4 +130,16 @@ func TestServeWithMetrics(t *testing.T) {
 			t.Fatalf("/debug/top missing the resolve shape:\n%s", body)
 		}
 	}
+
+	// The resolve went through the mark manager's tracked lock, so the
+	// contention endpoint lists it with recorded acquisitions.
+	resp, err = http.Get(s.URL() + "/debug/contention")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"`+obs.LockMarkManager+`"`) {
+		t.Fatalf("/debug/contention status %d:\n%s", resp.StatusCode, body)
+	}
 }

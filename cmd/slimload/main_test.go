@@ -1,0 +1,129 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/obs"
+)
+
+// TestSlimloadSmoke: a short two-level sweep produces a parseable
+// benchfmt snapshot with one row per op class per level plus the "all"
+// aggregate, and leaves wait samples on the tracked store lock.
+func TestSlimloadSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	var buf strings.Builder
+	if err := run([]string{"-duration", "100ms", "-goroutines", "1,2",
+		"-preload", "16", "-patients", "2", "-label", "smoke", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatalf("snapshot unreadable: %v", err)
+	}
+	if snap.Label != "smoke" || snap.GoVersion == "" {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	byKey := snap.ByKey()
+	for _, g := range []string{"g1", "g2"} {
+		for _, class := range []string{"create", "select", "view", "path", "resolve", "all"} {
+			key := "repro/cmd/slimload.Slimload/" + class + "/" + g
+			b, ok := byKey[key]
+			if !ok {
+				t.Fatalf("snapshot missing %s; have %d rows", key, len(snap.Benchmarks))
+			}
+			if b.Iterations <= 0 || b.NsPerOp <= 0 {
+				t.Fatalf("%s = %+v, want positive iterations and ns/op", key, b)
+			}
+			for _, metric := range []string{"ops/s", "p50-ns", "p95-ns", "p99-ns"} {
+				if b.Metrics[metric] <= 0 {
+					t.Fatalf("%s missing metric %s: %+v", key, metric, b.Metrics)
+				}
+			}
+		}
+	}
+	// The run went through the tracked store lock: every acquisition is a
+	// wait sample, so the acceptance signal (nonzero samples) is
+	// deterministic.
+	st, ok := obs.LockProfile(obs.LockTrimStore)
+	if !ok {
+		t.Fatal("trim.store not in the lock table")
+	}
+	if st.Write.Total == 0 || st.Write.WaitSamples == 0 {
+		t.Fatalf("store lock saw no write traffic: %+v", st.Write)
+	}
+	if !strings.Contains(buf.String(), "lock contention") {
+		t.Fatalf("human output missing the contention summary:\n%s", buf.String())
+	}
+}
+
+// TestSlimloadWALBackend: the sweep runs with durability under load; the
+// WAL file must exist afterwards and the run must stay error-free.
+func TestSlimloadWALBackend(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-duration", "80ms", "-goroutines", "2", "-preload", "8",
+		"-patients", "1", "-backend", "wal", "-dir", dir, "-out", "-"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "op error") {
+		t.Fatalf("ops errored under the WAL backend:\n%s", buf.String())
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "slimload-g2.wal*"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no WAL state written in %s (err=%v)", dir, err)
+	}
+}
+
+// TestSlimloadFlagErrors: malformed sweeps and mixes fail fast.
+func TestSlimloadFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-goroutines", "0"},
+		{"-goroutines", "x"},
+		{"-goroutines", ""},
+		{"-mix", "create"},
+		{"-mix", "warp=10"},
+		{"-mix", "create=0,select=0,view=0,path=0,resolve=0"},
+		{"-backend", "bogus", "-duration", "10ms"},
+	} {
+		var buf strings.Builder
+		if err := run(append(args, "-out", "-"), &buf); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// TestLatHist: the geometric ladder's quantiles are monotone and
+// conservative (upper bounds), and merging preserves totals.
+func TestLatHist(t *testing.T) {
+	var a, b latHist
+	for i := 0; i < 90; i++ {
+		a.observe(int64(time.Microsecond))
+	}
+	for i := 0; i < 10; i++ {
+		b.observe(int64(10 * time.Millisecond))
+	}
+	a.merge(&b)
+	if a.n != 100 {
+		t.Fatalf("merged n = %d", a.n)
+	}
+	p50, p99 := a.quantile(0.50), a.quantile(0.99)
+	if p50 < int64(time.Microsecond) || p50 > int64(2*time.Microsecond) {
+		t.Fatalf("p50 = %s", time.Duration(p50))
+	}
+	if p99 < int64(10*time.Millisecond) || p99 > int64(13*time.Millisecond) {
+		t.Fatalf("p99 = %s", time.Duration(p99))
+	}
+	if a.maxNS != int64(10*time.Millisecond) {
+		t.Fatalf("max = %s", time.Duration(a.maxNS))
+	}
+	// Overflow past the ladder's last bound reports the true max.
+	var o latHist
+	o.observe(int64(time.Minute))
+	if o.quantile(0.99) != int64(time.Minute) {
+		t.Fatalf("overflow quantile = %s", time.Duration(o.quantile(0.99)))
+	}
+}

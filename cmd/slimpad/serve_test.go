@@ -65,6 +65,13 @@ func TestServeWithMetrics(t *testing.T) {
 	if code, body := get("/debug/top"); code != http.StatusOK || !strings.Contains(body, `"entries"`) {
 		t.Fatalf("/debug/top status %d:\n%s", code, body)
 	}
+	// The demo build mutated the TRIM store and the mark manager through
+	// their tracked locks, so the contention endpoint lists both by name.
+	if code, body := get("/debug/contention"); code != http.StatusOK ||
+		!strings.Contains(body, `"`+obs.LockTrimStore+`"`) ||
+		!strings.Contains(body, `"`+obs.LockMarkManager+`"`) {
+		t.Fatalf("/debug/contention status %d:\n%s", code, body)
+	}
 
 	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "slimpad.store") {
 		t.Fatalf("/readyz status %d:\n%s", code, body)

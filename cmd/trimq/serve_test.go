@@ -179,6 +179,34 @@ func TestServeWithMetrics(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, `"capacity"`) {
 		t.Fatalf("/debug/top status %d:\n%s", code, body)
 	}
+	// The contention endpoint: the tracked store lock records every
+	// acquisition (uncontended ones observe a zero wait), so after loading
+	// a store the trim.store wait histogram is never empty.
+	code, body = scrape(t, s.URL(), "/debug/contention")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/contention status %d:\n%s", code, body)
+	}
+	var cont struct {
+		Locks []struct {
+			Name  string `json:"name"`
+			Write struct {
+				Total       int64 `json:"total"`
+				WaitSamples int64 `json:"wait_samples"`
+			} `json:"write"`
+		} `json:"locks"`
+	}
+	if err := json.Unmarshal([]byte(body), &cont); err != nil {
+		t.Fatalf("/debug/contention not JSON: %v\n%s", err, body)
+	}
+	foundStoreLock := false
+	for _, l := range cont.Locks {
+		if l.Name == obs.LockTrimStore && l.Write.Total > 0 && l.Write.WaitSamples > 0 {
+			foundStoreLock = true
+		}
+	}
+	if !foundStoreLock {
+		t.Fatalf("/debug/contention has no active %s entry:\n%s", obs.LockTrimStore, body)
+	}
 	// The `_rate` companion families ride the same scrape as the
 	// cumulative series.
 	if code, body := scrape(t, s.URL(), "/metrics"); code != http.StatusOK || !strings.Contains(body, "trim_load_triples_rate1m") {

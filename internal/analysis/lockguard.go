@@ -274,7 +274,9 @@ func (s *lgState) walkBranchStmts(body []ast.Stmt) {
 }
 
 // lockOp reports whether call is <x>.<lock>.Lock/RLock/Unlock/RUnlock on a
-// sync.Mutex or sync.RWMutex; acquires is true for Lock/RLock.
+// sync.Mutex/sync.RWMutex or on one of the obs package's instrumented
+// drop-ins (obs.TrackedMutex/TrackedRWMutex); acquires is true for
+// Lock/RLock.
 func (s *lgState) lockOp(call *ast.CallExpr) (lock string, isLock, acquires bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -285,7 +287,7 @@ func (s *lgState) lockOp(call *ast.CallExpr) (lock string, isLock, acquires bool
 		return "", false, false
 	}
 	obj, ok := s.pass.Info().Uses[sel.Sel].(*types.Func)
-	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+	if !ok || obj.Pkg() == nil || !lockProviderPkg(obj.Pkg().Path()) {
 		return "", false, false
 	}
 	// The lock's name: the final selector or ident of the receiver expr.
@@ -298,6 +300,13 @@ func (s *lgState) lockOp(call *ast.CallExpr) (lock string, isLock, acquires bool
 		return "", false, false
 	}
 	return lock, true, lockMethodName[method]
+}
+
+// lockProviderPkg reports whether a package declares lock types whose
+// Lock/RLock/Unlock/RUnlock methods count as lock operations: the
+// standard library's sync, and the obs package's tracked drop-ins.
+func lockProviderPkg(path string) bool {
+	return path == "sync" || strings.HasSuffix(path, "internal/obs")
 }
 
 // heldFor reports whether the lock guarding a field is held here.

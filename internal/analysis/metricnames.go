@@ -40,6 +40,10 @@ var metricNameSinks = map[string]int{
 	"HealthRegistry.Register": 0,
 	// Unregister must match Register, or checks become unremovable.
 	"HealthRegistry.Unregister": 0,
+	// Tracked locks expand their name into the lock.* metric families, so
+	// the lock name itself must come from the registry.
+	"NewTrackedMutex":   0,
+	"NewTrackedRWMutex": 0,
 }
 
 func runMetricNames(pass *Pass) error {

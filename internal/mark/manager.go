@@ -3,7 +3,6 @@ package mark
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/base"
@@ -23,7 +22,9 @@ const (
 // multiple named resolvers per scheme. All methods are safe for concurrent
 // use.
 type Manager struct {
-	mu        sync.RWMutex
+	// mu is instrumented: wait/hold histograms land in the
+	// lock.mark.manager.* families and /debug/contention.
+	mu        *obs.TrackedRWMutex
 	modules   map[string]Module              // guarded by mu
 	resolvers map[string]map[string]Resolver // scheme -> name -> resolver; guarded by mu
 	marks     map[string]Mark                // guarded by mu
@@ -38,6 +39,7 @@ type Manager struct {
 // NewManager returns an empty mark manager with the default retry policy.
 func NewManager() *Manager {
 	return &Manager{
+		mu:         obs.NewTrackedRWMutex(obs.LockMarkManager),
 		modules:    make(map[string]Module),
 		resolvers:  make(map[string]map[string]Resolver),
 		marks:      make(map[string]Mark),

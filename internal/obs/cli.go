@@ -16,6 +16,7 @@ import (
 //	-slowops DUR        set the slow-op journal latency threshold
 //	-flight DUR         runtime flight-recorder sampling interval under -serve
 //	-load DUR           windowed metrics sampling interval under -serve
+//	-contention DUR     obs.contention health threshold (p95 lock wait) under -serve
 //	-trace-sample RATE  probabilistic trace sampling rate (errors always kept)
 //
 // Usage: Bind onto the command's FlagSet, Start after parsing, and Finish
@@ -32,6 +33,7 @@ type CLI struct {
 	Flight      time.Duration
 	Load        time.Duration
 	TraceSample float64
+	Contention  time.Duration
 
 	stopProfile func() error
 	server      *DiagServer
@@ -47,6 +49,7 @@ func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.DurationVar(&c.Flight, "flight", time.Second, "runtime flight-recorder sampling `interval` (with -serve)")
 	fs.DurationVar(&c.Load, "load", time.Second, "windowed metrics sampling `interval` for /debug/load (with -serve)")
 	fs.Float64Var(&c.TraceSample, "trace-sample", 1, "record this fraction of trace roots (0..1; error spans are always kept)")
+	fs.DurationVar(&c.Contention, "contention", DefaultContentionThreshold, "degrade /healthz when any tracked lock's p95 wait exceeds `dur` (with -serve)")
 }
 
 // Start begins CPU profiling when -profile was given, applies the -slowops
@@ -70,6 +73,7 @@ func (c *CLI) Start() error {
 			DefaultFlight.Start(c.Flight)
 			DefaultHealth.Register(HealthObsFlight, FlightCheck(DefaultFlight))
 		}
+		DefaultHealth.Register(HealthObsContention, ContentionCheck(DefaultLocks, c.Contention))
 		if c.Load > 0 {
 			DefaultWindow.Start(c.Load)
 		}

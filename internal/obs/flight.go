@@ -26,6 +26,20 @@ type FlightSample struct {
 	NumGC           uint32 `json:"num_gc"`
 	LastGCPauseNS   uint64 `json:"last_gc_pause_ns"`
 	NextGCBytes     uint64 `json:"next_gc_bytes"`
+
+	// runtime/metrics interval deltas (runtime.go): the scheduling-latency
+	// and GC-pause distributions observed since the previous sample, plus
+	// the interval's total goroutine-blocked-on-sync time. These close the
+	// wedge-detection gap where the ring showed goroutine counts but not
+	// whether those goroutines could get scheduled.
+	SchedLatP50NS  int64 `json:"sched_lat_p50_ns"`
+	SchedLatP95NS  int64 `json:"sched_lat_p95_ns"`
+	SchedLatP99NS  int64 `json:"sched_lat_p99_ns"`
+	SchedLatMaxNS  int64 `json:"sched_lat_max_ns"`
+	GCPauseP95NS   int64 `json:"gc_pause_p95_ns"`
+	GCPauseMaxNS   int64 `json:"gc_pause_max_ns"`
+	GCPauseTotalNS int64 `json:"gc_pause_total_ns"`
+	MutexWaitNS    int64 `json:"mutex_wait_ns"`
 }
 
 // FlightRecorder samples the runtime on a fixed interval into a ring
@@ -35,12 +49,16 @@ type FlightRecorder struct {
 	mu   sync.Mutex
 	ring []FlightSample
 	seq  uint64
+	// rt diffs the runtime/metrics distributions between samples; guarded
+	// by mu (observe holds it across the read so deltas stay coherent).
+	rt *runtimeSampler
 
-	running    atomic.Bool
-	intervalNS atomic.Int64
-	lastNS     atomic.Int64
-	stop       chan struct{}
-	done       chan struct{}
+	running      atomic.Bool
+	intervalNS   atomic.Int64
+	lastNS       atomic.Int64
+	lastSchedP99 atomic.Int64
+	stop         chan struct{}
+	done         chan struct{}
 }
 
 // NewFlightRecorder returns a stopped recorder retaining the last capacity
@@ -49,7 +67,7 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &FlightRecorder{ring: make([]FlightSample, capacity)}
+	return &FlightRecorder{ring: make([]FlightSample, capacity), rt: newRuntimeSampler()}
 }
 
 // DefaultFlight is the process-wide flight recorder, started by the shared
@@ -134,6 +152,16 @@ func (f *FlightRecorder) observe() {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	sched, gc, mutexWait := f.rt.read()
+	s.SchedLatP50NS = sched.quantile(0.5)
+	s.SchedLatP95NS = sched.quantile(0.95)
+	s.SchedLatP99NS = sched.quantile(0.99)
+	s.SchedLatMaxNS = sched.max()
+	s.GCPauseP95NS = gc.quantile(0.95)
+	s.GCPauseMaxNS = gc.max()
+	s.GCPauseTotalNS = gc.sumNS()
+	s.MutexWaitNS = mutexWait
+	f.lastSchedP99.Store(s.SchedLatP99NS)
 	f.seq++
 	f.ring[(f.seq-1)%uint64(len(f.ring))] = s
 }
@@ -166,9 +194,16 @@ func (f *FlightRecorder) MarshalJSON() ([]byte, error) {
 	}{f.Running(), int64(f.Interval()), f.Recent()})
 }
 
+// flightStallNS is the interval sched-latency p99 past which FlightCheck
+// reports a scheduler stall: goroutines exist but are not getting CPU
+// time. At 1s it only trips when the process is genuinely wedged.
+const flightStallNS = int64(time.Second)
+
 // FlightCheck returns a health check that fails when the recorder is not
-// running or its last sample is older than three intervals (a wedged
-// sampler goroutine).
+// running, its last sample is older than three intervals (a wedged
+// sampler goroutine), or the last interval's p99 goroutine scheduling
+// latency crossed the stall threshold (goroutines runnable but starved —
+// the wedge goroutine counts alone cannot see).
 func FlightCheck(f *FlightRecorder) HealthCheck {
 	return func(ctx context.Context) error {
 		_ = ctx
@@ -178,6 +213,9 @@ func FlightCheck(f *FlightRecorder) HealthCheck {
 		interval := f.Interval()
 		if age := time.Duration(time.Now().UnixNano() - f.lastNS.Load()); age > 3*interval {
 			return fmt.Errorf("flight recorder stalled: last sample %s ago (interval %s)", age.Round(time.Millisecond), interval)
+		}
+		if p99 := f.lastSchedP99.Load(); p99 > flightStallNS {
+			return fmt.Errorf("scheduler stall: p99 scheduling latency %s in the last interval", time.Duration(p99).Round(time.Millisecond))
 		}
 		return nil
 	}

@@ -53,6 +53,19 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	h.Observe(int64(time.Since(start)))
 }
 
+// observeN records n observations of value v in one shot: the bulk entry
+// point for replaying external distributions (runtime/metrics bucket
+// deltas) into a registry histogram without n separate Observe calls.
+func (h *Histogram) observeN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -165,6 +165,41 @@ const (
 	NameObsTopEvicted    = "obs.top.evicted"
 )
 
+// Instrumented locks (internal/obs/lock.go): per-lock wait/hold latency
+// histograms and acquisition/contention counters. The first %s is the lock
+// name (a Lock* constant below), the second the mode: "w" for exclusive
+// acquisitions, "r" for read acquisitions. Wait histograms record every
+// acquisition (0 when the lock was free), so sample counts double as
+// acquisition counts; contended counts only acquisitions that blocked.
+const (
+	FmtLockWaitNS    = "lock.%s.%s.wait.ns"
+	FmtLockHoldNS    = "lock.%s.%s.hold.ns"
+	FmtLockTotal     = "lock.%s.%s.total"
+	FmtLockContended = "lock.%s.%s.contended"
+)
+
+// Tracked-lock names (obs.NewTrackedMutex/NewTrackedRWMutex). Lock names
+// are dot-separated like metric names and lead with the owning layer.
+const (
+	LockTrimStore   = "trim.store"
+	LockMarkManager = "mark.manager"
+)
+
+// Runtime scheduler and GC telemetry (internal/obs/flight.go over
+// runtime/metrics): per-interval deltas of the runtime's cumulative
+// scheduling-latency and GC-pause distributions are replayed into these
+// histograms, so /metrics and /debug/load see scheduler stalls and GC
+// pressure alongside the store's own latencies. runtime.mutex.wait.ns is
+// the runtime's total goroutine-blocked-on-sync time (a counter, so the
+// window sampler turns it into a blocked-ns-per-second rate).
+const (
+	NameRuntimeSchedLatencyNS = "runtime.sched.latency.ns"
+	NameRuntimeGCPauseNS      = "runtime.gc.pause.ns"
+	NameRuntimeMutexWaitNS    = "runtime.mutex.wait.ns"
+	NameRuntimeHeapObjects    = "runtime.heap.objects"
+	NameRuntimeGomaxprocs     = "runtime.gomaxprocs"
+)
+
 // Health and readiness check names (HealthRegistry.Register).
 const (
 	HealthTrimStore   = "trim.store"
@@ -179,5 +214,6 @@ const (
 	HealthSlimpadPersist    = "slimpad.persist"
 	HealthSlimpadQuarantine = "slimpad.quarantine"
 
-	HealthObsFlight = "obs.flight"
+	HealthObsFlight     = "obs.flight"
+	HealthObsContention = "obs.contention"
 )

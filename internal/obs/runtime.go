@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtime/metrics integration: the runtime exports cumulative
+// distributions of goroutine scheduling latency and GC pause time that
+// nothing in the stack surfaced — wedge detection could see goroutine
+// counts but not scheduler stalls. The flight recorder reads them every
+// sample, diffs against the previous read, and replays the per-interval
+// bucket deltas into registry histograms (runtime.sched.latency.ns,
+// runtime.gc.pause.ns), so /metrics, /debug/load's windowed quantiles,
+// and the flight ring all see scheduler and GC pressure alongside the
+// store's own latencies.
+
+// Runtime metric names sampled each flight tick.
+const (
+	rmSchedLatencies = "/sched/latencies:seconds"
+	rmGCPauses       = "/gc/pauses:seconds"
+	rmMutexWait      = "/sync/mutex/wait/total:seconds"
+	rmHeapObjects    = "/gc/heap/objects:objects"
+	rmGomaxprocs     = "/sched/gomaxprocs:threads"
+)
+
+// runtimeSampler reads the runtime/metrics samples and tracks the
+// previous cumulative state so each read yields interval deltas. It is
+// not safe for concurrent use; the flight recorder serializes calls
+// under its own mutex.
+type runtimeSampler struct {
+	samples   []metrics.Sample
+	prevSched *metrics.Float64Histogram
+	prevGC    *metrics.Float64Histogram
+	prevWait  float64
+
+	hSched    *Histogram
+	hGC       *Histogram
+	cWait     *Counter
+	gObjects  *Gauge
+	gMaxprocs *Gauge
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	return &runtimeSampler{
+		samples: []metrics.Sample{
+			{Name: rmSchedLatencies},
+			{Name: rmGCPauses},
+			{Name: rmMutexWait},
+			{Name: rmHeapObjects},
+			{Name: rmGomaxprocs},
+		},
+		hSched:    H(NameRuntimeSchedLatencyNS),
+		hGC:       H(NameRuntimeGCPauseNS),
+		cWait:     C(NameRuntimeMutexWaitNS),
+		gObjects:  G(NameRuntimeHeapObjects),
+		gMaxprocs: G(NameRuntimeGomaxprocs),
+	}
+}
+
+// runtimeDelta is one interval's view of a cumulative runtime histogram.
+type runtimeDelta struct {
+	// boundsNS[i] is the representative value (upper bound, in
+	// nanoseconds) of counts[i].
+	boundsNS []int64
+	counts   []uint64
+	total    uint64
+}
+
+// read samples the runtime, updates the registry series, and returns the
+// interval deltas of the two latency distributions plus the interval's
+// mutex-wait nanoseconds.
+func (rs *runtimeSampler) read() (sched, gc runtimeDelta, mutexWaitNS int64) {
+	metrics.Read(rs.samples)
+	for i := range rs.samples {
+		s := &rs.samples[i]
+		switch s.Name {
+		case rmSchedLatencies:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				cur := s.Value.Float64Histogram()
+				sched = histDelta(cur, rs.prevSched)
+				rs.prevSched = cloneRuntimeHist(cur)
+				replayDelta(rs.hSched, sched)
+			}
+		case rmGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				cur := s.Value.Float64Histogram()
+				gc = histDelta(cur, rs.prevGC)
+				rs.prevGC = cloneRuntimeHist(cur)
+				replayDelta(rs.hGC, gc)
+			}
+		case rmMutexWait:
+			if s.Value.Kind() == metrics.KindFloat64 {
+				cur := s.Value.Float64()
+				if d := cur - rs.prevWait; d > 0 {
+					mutexWaitNS = int64(d * 1e9)
+					rs.cWait.Add(mutexWaitNS)
+				}
+				rs.prevWait = cur
+			}
+		case rmHeapObjects:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.gObjects.Set(int64(s.Value.Uint64()))
+			}
+		case rmGomaxprocs:
+			if s.Value.Kind() == metrics.KindUint64 {
+				rs.gMaxprocs.Set(int64(s.Value.Uint64()))
+			}
+		}
+	}
+	return sched, gc, mutexWaitNS
+}
+
+// cloneRuntimeHist copies the counts of a runtime histogram (the runtime
+// reuses the backing arrays across Read calls when handed the same
+// sample slice, so the previous state must be detached).
+func cloneRuntimeHist(h *metrics.Float64Histogram) *metrics.Float64Histogram {
+	return &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), h.Counts...),
+		Buckets: append([]float64(nil), h.Buckets...),
+	}
+}
+
+// histDelta subtracts prev from cur bucket-wise and converts the bucket
+// boundaries to nanosecond representatives. A nil or shape-mismatched
+// prev (first read, or the runtime regrew the distribution) yields the
+// full cumulative state.
+func histDelta(cur, prev *metrics.Float64Histogram) runtimeDelta {
+	d := runtimeDelta{
+		boundsNS: make([]int64, len(cur.Counts)),
+		counts:   make([]uint64, len(cur.Counts)),
+	}
+	samePrev := prev != nil && len(prev.Counts) == len(cur.Counts)
+	for i := range cur.Counts {
+		n := cur.Counts[i]
+		if samePrev && prev.Counts[i] <= n {
+			n -= prev.Counts[i]
+		} else if samePrev {
+			n = 0
+		}
+		d.counts[i] = n
+		d.total += n
+		d.boundsNS[i] = bucketNS(cur.Buckets, i)
+	}
+	return d
+}
+
+// bucketNS picks the representative nanosecond value for bucket i of a
+// runtime histogram: its upper bound, falling back to the lower bound
+// when the upper is +Inf (and 0 when both are infinite).
+func bucketNS(buckets []float64, i int) int64 {
+	// Buckets has len(Counts)+1 boundaries; bucket i spans
+	// [buckets[i], buckets[i+1]).
+	if i+1 < len(buckets) && !math.IsInf(buckets[i+1], 0) {
+		return int64(buckets[i+1] * 1e9)
+	}
+	if i < len(buckets) && !math.IsInf(buckets[i], 0) {
+		return int64(buckets[i] * 1e9)
+	}
+	return 0
+}
+
+// replayDelta feeds one interval's bucket deltas into a registry
+// histogram at each bucket's representative value.
+func replayDelta(h *Histogram, d runtimeDelta) {
+	for i, n := range d.counts {
+		if n > 0 {
+			h.observeN(d.boundsNS[i], int64(n))
+		}
+	}
+}
+
+// quantile returns the upper-bound q-quantile of the delta distribution
+// (0 when it is empty).
+func (d runtimeDelta) quantile(q float64) int64 {
+	if d.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(d.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range d.counts {
+		seen += n
+		if seen >= rank {
+			return d.boundsNS[i]
+		}
+	}
+	return d.boundsNS[len(d.boundsNS)-1]
+}
+
+// max returns the largest nonempty bucket's representative value.
+func (d runtimeDelta) max() int64 {
+	for i := len(d.counts) - 1; i >= 0; i-- {
+		if d.counts[i] > 0 {
+			return d.boundsNS[i]
+		}
+	}
+	return 0
+}
+
+// sumNS approximates the delta distribution's total nanoseconds (counts
+// times representative bucket values).
+func (d runtimeDelta) sumNS() int64 {
+	var sum int64
+	for i, n := range d.counts {
+		sum += d.boundsNS[i] * int64(n)
+	}
+	return sum
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+// TestHistDelta: bucket-wise subtraction against the previous cumulative
+// state, with nil or reshaped previous states falling back to the full
+// cumulative histogram.
+func TestHistDelta(t *testing.T) {
+	buckets := []float64{0, 1e-6, 1e-3, math.Inf(1)}
+	prev := &metrics.Float64Histogram{Counts: []uint64{5, 10, 2}, Buckets: buckets}
+	cur := &metrics.Float64Histogram{Counts: []uint64{5, 13, 4}, Buckets: buckets}
+
+	d := histDelta(cur, prev)
+	if want := []uint64{0, 3, 2}; len(d.counts) != 3 || d.counts[0] != want[0] || d.counts[1] != want[1] || d.counts[2] != want[2] {
+		t.Fatalf("delta counts = %v, want %v", d.counts, want)
+	}
+	if d.total != 5 {
+		t.Fatalf("total = %d, want 5", d.total)
+	}
+	// Bucket 0 spans [0, 1µs) -> upper bound 1000ns; bucket 2's upper is
+	// +Inf -> its lower bound 1ms stands in.
+	if d.boundsNS[0] != 1_000 || d.boundsNS[1] != 1_000_000 || d.boundsNS[2] != 1_000_000 {
+		t.Fatalf("boundsNS = %v", d.boundsNS)
+	}
+
+	if full := histDelta(cur, nil); full.total != 22 {
+		t.Fatalf("nil prev total = %d, want the full cumulative 22", full.total)
+	}
+	reshaped := &metrics.Float64Histogram{Counts: []uint64{1}, Buckets: []float64{0, math.Inf(1)}}
+	if full := histDelta(cur, reshaped); full.total != 22 {
+		t.Fatalf("reshaped prev total = %d, want 22", full.total)
+	}
+	// A cumulative counter going backwards (should not happen) clamps to 0
+	// instead of underflowing.
+	back := &metrics.Float64Histogram{Counts: []uint64{9, 9, 9}, Buckets: buckets}
+	if d := histDelta(cur, back); d.counts[0] != 0 || d.counts[1] != 4 {
+		t.Fatalf("backwards prev delta = %v", d.counts)
+	}
+}
+
+// TestRuntimeDeltaQuantiles: quantile/max/sum over a known distribution.
+func TestRuntimeDeltaQuantiles(t *testing.T) {
+	d := runtimeDelta{
+		boundsNS: []int64{100, 1_000, 10_000},
+		counts:   []uint64{90, 9, 1},
+		total:    100,
+	}
+	if q := d.quantile(0.5); q != 100 {
+		t.Fatalf("p50 = %d, want 100", q)
+	}
+	if q := d.quantile(0.95); q != 1_000 {
+		t.Fatalf("p95 = %d, want 1000", q)
+	}
+	if q := d.quantile(1); q != 10_000 {
+		t.Fatalf("p100 = %d, want 10000", q)
+	}
+	if m := d.max(); m != 10_000 {
+		t.Fatalf("max = %d, want 10000", m)
+	}
+	if s := d.sumNS(); s != 90*100+9*1_000+1*10_000 {
+		t.Fatalf("sum = %d", s)
+	}
+	var empty runtimeDelta
+	if empty.quantile(0.99) != 0 || empty.max() != 0 || empty.sumNS() != 0 {
+		t.Fatal("empty delta must report zeros")
+	}
+}
+
+// TestRuntimeSamplerRead: a real read populates the gauges and feeds the
+// sched-latency registry histogram; a second read yields interval deltas
+// only.
+func TestRuntimeSamplerRead(t *testing.T) {
+	rs := newRuntimeSampler()
+	sched, _, _ := rs.read()
+	// The process has been scheduling goroutines since startup, so the
+	// first (cumulative) read cannot be empty.
+	if sched.total == 0 {
+		t.Fatal("first sched read saw no scheduling events")
+	}
+	if rs.gMaxprocs.Value() < 1 {
+		t.Fatalf("gomaxprocs gauge = %d", rs.gMaxprocs.Value())
+	}
+	if rs.gObjects.Value() <= 0 {
+		t.Fatalf("heap objects gauge = %d", rs.gObjects.Value())
+	}
+	if rs.hSched.Snapshot().Count == 0 {
+		t.Fatal("sched registry histogram not fed")
+	}
+
+	// Force some GC activity so the pause distribution moves, then check
+	// the second read carries it.
+	runtime.GC()
+	runtime.GC()
+	if _, gc2, _ := rs.read(); gc2.total == 0 {
+		t.Fatal("second read saw no GC pauses after two forced GCs")
+	}
+}
+
+// TestFlightSampleRuntimeFields: observe() fills the sched/GC fields and
+// FlightCheck trips on a stalled scheduler reading.
+func TestFlightSampleRuntimeFields(t *testing.T) {
+	f := NewFlightRecorder(4)
+	runtime.GC()
+	f.observe()
+	s := f.Recent()[0]
+	if s.SchedLatP99NS < s.SchedLatP50NS || s.SchedLatMaxNS < s.SchedLatP99NS {
+		t.Fatalf("sched quantiles disordered: %+v", s)
+	}
+	if s.GCPauseTotalNS < 0 || s.MutexWaitNS < 0 {
+		t.Fatalf("negative interval totals: %+v", s)
+	}
+
+	f.Start(10 * time.Millisecond)
+	defer f.Stop()
+	check := FlightCheck(f)
+	if err := check(context.Background()); err != nil {
+		t.Fatalf("healthy recorder degraded: %v", err)
+	}
+	f.lastSchedP99.Store(flightStallNS + 1)
+	if err := check(context.Background()); err == nil {
+		t.Fatal("scheduler stall not reported")
+	}
+}

@@ -33,6 +33,7 @@ import (
 //	/debug/flight      runtime flight recorder ring (JSON)
 //	/debug/load        windowed 1m/5m rates and delta percentiles (JSON)
 //	/debug/top         heavy-hitter query shapes, space-saving top-K (JSON)
+//	/debug/contention  tracked-lock wait/hold stats (JSON)
 //	/debug/slowops     JSON dump of the slow-op journal
 //	/debug/vars        expvar
 //	/debug/pprof/      CPU, heap, goroutine, ... profiles (net/http/pprof)
@@ -49,6 +50,7 @@ type ServeConfig struct {
 	Flight   *FlightRecorder
 	Window   *WindowSampler
 	Top      *TopK
+	Locks    *LockTable
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -75,6 +77,9 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Top == nil {
 		c.Top = DefaultTopQueries
+	}
+	if c.Locks == nil {
+		c.Locks = DefaultLocks
 	}
 	return c
 }
@@ -128,6 +133,7 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 			"/debug/flight      runtime flight recorder (JSON)\n"+
 			"/debug/load        windowed 1m/5m rates and delta percentiles (JSON)\n"+
 			"/debug/top         heavy-hitter query shapes (JSON)\n"+
+			"/debug/contention  tracked-lock wait/hold stats (JSON)\n"+
 			"/debug/slowops     slow-op journal (JSON)\n"+
 			"/debug/vars        expvar\n"+
 			"/debug/pprof/      runtime profiles\n")
@@ -212,6 +218,10 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 	mux.HandleFunc("/debug/top", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		EncodeJSON(w, cfg.Top)
+	})
+	mux.HandleFunc("/debug/contention", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, cfg.Locks)
 	})
 	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

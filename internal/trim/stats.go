@@ -3,6 +3,7 @@ package trim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -34,6 +35,11 @@ type Stats struct {
 	// incrementally, so reporting it here costs one pass over the
 	// predicates, not over the triples.
 	Predicates []PredicateStats `json:"predicates"`
+	// Locks is the contention profile of the store mutex (wait/hold
+	// quantiles, acquisition and contended counts per mode), taken from
+	// the process-wide tracked-lock table. Empty when no tracked lock has
+	// registered under the store's name yet.
+	Locks []obs.LockStats `json:"locks,omitempty"`
 }
 
 // Stats computes current statistics in one pass under a read lock.
@@ -69,6 +75,9 @@ func (m *Manager) Stats() Stats {
 			len(t.Object.Value()) + len(t.Object.Datatype())
 		return true
 	})
+	if ls, ok := obs.LockProfile(obs.LockTrimStore); ok {
+		s.Locks = []obs.LockStats{ls}
+	}
 	return s
 }
 

@@ -11,7 +11,6 @@ package trim
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -21,7 +20,10 @@ import (
 // Manager is the TRIM triple manager. The zero value is not usable; call
 // NewManager. All methods are safe for concurrent use.
 type Manager struct {
-	mu sync.RWMutex
+	// mu is the store lock, instrumented: wait/hold histograms land in the
+	// lock.trim.store.* metric families and /debug/contention — the
+	// telemetry the ROADMAP item-2 sharding work is scored against.
+	mu *obs.TrackedRWMutex
 	// graph is the ground truth set of triples; guarded by mu.
 	graph *rdf.Graph
 	// Hash indexes, one per triple position. Values are sets of triples.
@@ -71,6 +73,7 @@ type obsEvent struct {
 // NewManager returns an empty triple manager.
 func NewManager() *Manager {
 	return &Manager{
+		mu:           obs.NewTrackedRWMutex(obs.LockTrimStore),
 		graph:        rdf.NewGraph(),
 		bySubject:    make(map[rdf.Term]map[rdf.Triple]struct{}),
 		byPredicate:  make(map[rdf.Term]map[rdf.Triple]struct{}),

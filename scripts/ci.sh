@@ -12,6 +12,10 @@ go test -race ./...
 SLIM_FAULT_SWEEP=1 go test -run FaultSweep ./internal/trim/ ./internal/mark/
 go test -run TraceSmoke ./cmd/trimq/ ./cmd/slimpad/
 
+# Gating slimload smoke: a short concurrent sweep must complete without
+# error (exit code only — throughput numbers from CI machines are noise).
+go run ./cmd/slimload -duration 2s -goroutines 1,4 -out /dev/null > /dev/null
+
 # Non-gating perf-trajectory lane (docs/OBSERVABILITY.md): record a
 # BENCH_<label>.json benchmark snapshot for the CI environment to upload
 # or commit. Failures here never fail the build.
@@ -20,3 +24,7 @@ make bench-json || echo "bench-json lane failed (non-gating)"
 # Non-gating bench regression radar: diff the two newest committed
 # snapshots so the per-benchmark delta table lands in the CI output.
 make bench-diff || echo "bench-diff lane failed (non-gating)"
+
+# Non-gating scaling lane: the full 1/4/16/64-goroutine slimload sweep,
+# written as a BENCH_scale-<label>.json snapshot for upload or commit.
+make bench-scale || echo "bench-scale lane failed (non-gating)"
