@@ -21,6 +21,7 @@ vet:
 # findings beyond slimvet.baseline.json and on stale baseline entries.
 lint: vet
 	$(GO) run ./cmd/slimvet ./...
+	$(GO) run ./cmd/slimvet -baseline "" -enable aliasguard,lockorder,atomichygiene,gorolife ./internal/trim ./internal/wal ./internal/durable
 
 test:
 	$(GO) test ./...

@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -49,6 +50,13 @@ type report struct {
 	Stale []analysis.BaselineEntry `json:"stale"`
 	// Baseline is the module-root-relative baseline path consulted.
 	Baseline string `json:"baseline"`
+	// Files is the number of source files analyzed.
+	Files int `json:"files"`
+	// Suppressed counts findings silenced by slimvet:ignore annotations.
+	Suppressed int `json:"suppressed"`
+	// TimingNS is each analyzer's wall time in nanoseconds, summed across
+	// packages — the lint-cost ledger as analyzers accumulate.
+	TimingNS map[string]int64 `json:"timing_ns"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -61,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath   = fs.String("baseline", "slimvet.baseline.json", "baseline file, relative to the module root (\"\" disables baselining)")
 		updateBaseline = fs.Bool("update-baseline", false, "rewrite the baseline to accept all current findings")
 		list           = fs.Bool("list", false, "list the analyzers and exit")
+		verbose        = fs.Bool("v", false, "print a one-line run summary (files, findings, suppressed, baselined, per-analyzer time) to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "slimvet:", err)
 		return 2
 	}
-	diags, err := loader.Run(pkgs, analyzers)
+	diags, runInfo, err := loader.RunDetailed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "slimvet:", err)
 		return 2
@@ -123,6 +132,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fresh, stale := baseline.Apply(diags)
 
+	if *verbose {
+		fmt.Fprintln(stderr, summaryLine(len(pkgs), runInfo, diags, fresh, stale))
+	}
+
 	if *jsonOut {
 		names := make([]string, 0, len(analyzers))
 		for _, a := range analyzers {
@@ -135,6 +148,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			New:         fresh,
 			Stale:       stale,
 			Baseline:    *baselinePath,
+			Files:       runInfo.Files,
+			Suppressed:  runInfo.Suppressed,
+			TimingNS:    runInfo.AnalyzerNS,
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -158,6 +174,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// summaryLine renders the -v one-liner: enough to watch lint cost and
+// suppression creep without parsing the JSON report.
+func summaryLine(pkgs int, info analysis.RunInfo, diags, fresh []analysis.Diagnostic, stale []analysis.BaselineEntry) string {
+	names := make([]string, 0, len(info.AnalyzerNS))
+	var totalNS int64
+	for name, ns := range info.AnalyzerNS {
+		names = append(names, name)
+		totalNS += ns
+	}
+	sort.Strings(names)
+	var times strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			times.WriteString(" ")
+		}
+		fmt.Fprintf(&times, "%s=%dms", name, info.AnalyzerNS[name]/1e6)
+	}
+	return fmt.Sprintf("slimvet: %d package(s), %d file(s): %d finding(s) (%d baselined, %d new, %d stale, %d suppressed) in %dms [%s]",
+		pkgs, info.Files, len(diags), len(diags)-len(fresh), len(fresh), len(stale), info.Suppressed, totalNS/1e6, times.String())
 }
 
 // selectAnalyzers applies -enable/-disable to the registry.

@@ -8,10 +8,11 @@ import (
 	"testing"
 )
 
-// The htmldoc package carries known, baselined errwrap debt — a stable
+// The xmldoc package carries known, baselined errwrap debt — a stable
 // non-empty target for exercising the driver without analyzing the whole
-// module in every subtest.
-const debtPkg = "./internal/base/htmldoc"
+// module in every subtest. (htmldoc and pdfdoc, the previous targets,
+// were paid down.)
+const debtPkg = "./internal/base/xmldoc"
 
 func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
@@ -25,7 +26,10 @@ func TestListDescribesAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"lockguard", "errwrap", "ctxflow", "obscoverage", "metricnames"} {
+	for _, name := range []string{
+		"lockguard", "errwrap", "ctxflow", "obscoverage", "metricnames",
+		"aliasguard", "lockorder", "atomichygiene", "gorolife",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout)
 		}
@@ -50,7 +54,7 @@ func TestSeededViolationsFailTextMode(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
 	}
-	lineRe := regexp.MustCompile(`internal/base/htmldoc/[a-z]+\.go:\d+:\d+: .+ \(errwrap\)`)
+	lineRe := regexp.MustCompile(`internal/base/xmldoc/[a-z]+\.go:\d+:\d+: .+ \(errwrap\)`)
 	if !lineRe.MatchString(stdout) {
 		t.Errorf("text output missing file:line:col ... (analyzer) findings:\n%s", stdout)
 	}
@@ -71,6 +75,9 @@ func TestJSONReportShape(t *testing.T) {
 		New         []json.RawMessage `json:"new"`
 		Stale       []json.RawMessage `json:"stale"`
 		Baseline    string            `json:"baseline"`
+		Files       int               `json:"files"`
+		Suppressed  *int              `json:"suppressed"`
+		TimingNS    map[string]int64  `json:"timing_ns"`
 	}
 	if err := json.Unmarshal([]byte(stdout), &r); err != nil {
 		t.Fatalf("output is not the report JSON shape: %v\n%s", err, stdout)
@@ -78,11 +85,21 @@ func TestJSONReportShape(t *testing.T) {
 	if r.Module != "repro" {
 		t.Errorf("module = %q, want %q", r.Module, "repro")
 	}
-	if len(r.Analyzers) != 6 {
-		t.Errorf("analyzers = %v, want all six", r.Analyzers)
+	if len(r.Analyzers) != 10 {
+		t.Errorf("analyzers = %v, want all ten", r.Analyzers)
 	}
 	if len(r.Diagnostics) == 0 || len(r.New) == 0 {
-		t.Errorf("diagnostics/new empty; htmldoc debt should appear in both")
+		t.Errorf("diagnostics/new empty; xmldoc debt should appear in both")
+	}
+	if r.Files == 0 {
+		t.Errorf("files = 0; the report must count analyzed files")
+	}
+	if r.Suppressed == nil {
+		t.Errorf("suppressed missing from report")
+	}
+	if len(r.TimingNS) != len(r.Analyzers) {
+		t.Errorf("timing_ns has %d entries, want one per analyzer (%d): %v",
+			len(r.TimingNS), len(r.Analyzers), r.TimingNS)
 	}
 	if len(r.Diagnostics) != len(r.New) {
 		t.Errorf("with baselining disabled every finding is new: %d diagnostics vs %d new",
@@ -103,6 +120,23 @@ func TestJSONReportShape(t *testing.T) {
 	}
 	if strings.Contains(d.File, "\\") || strings.HasPrefix(d.File, "/") {
 		t.Errorf("diagnostic file must be module-root-relative with forward slashes: %q", d.File)
+	}
+}
+
+// TestVerboseSummary pins the -v one-liner on stderr: package/file/finding
+// counts, the baselined/new/stale/suppressed split, and per-analyzer wall
+// time.
+func TestVerboseSummary(t *testing.T) {
+	code, _, stderr := runDriver(t, "-v", "-baseline", "", debtPkg)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	summaryRe := regexp.MustCompile(`slimvet: \d+ package\(s\), \d+ file\(s\): \d+ finding\(s\) \(\d+ baselined, \d+ new, \d+ stale, \d+ suppressed\) in \d+ms`)
+	if !summaryRe.MatchString(stderr) {
+		t.Errorf("-v summary line missing or malformed:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "errwrap=") || !strings.Contains(stderr, "aliasguard=") {
+		t.Errorf("-v summary missing per-analyzer timings:\n%s", stderr)
 	}
 }
 

@@ -1,0 +1,561 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AliasGuard enforces the snapshot-immutability precondition the MVCC
+// refactor (ROADMAP item 2) depends on: a reference-typed field annotated
+// `guarded by mu` — a slice, map, pointer, or channel — aliases mutable
+// shared state, and lockguard's "only touch it under mu" rule is vacuous
+// if the *reference itself* leaks out of the critical section. Once an
+// alias escapes, every later access through it is an unguarded access the
+// lock analyzers can no longer see.
+//
+// Four escape routes are checked, per function:
+//
+//  1. Returned: `return s.items` (directly, through a local alias, or
+//     embedded in a returned composite literal) hands the caller a live
+//     alias. Exempt in `*Locked` / "caller holds mu" helpers — there the
+//     caller is inside the critical section by convention and owns the
+//     alias's lifetime.
+//  2. Stored into an unguarded field, or a field guarded by a different
+//     lock: the alias outlives this critical section under someone else's
+//     (or no) discipline.
+//  3. Captured by a goroutine, or by a deferred call that runs after the
+//     lock is explicitly released (a deferred closure registered after
+//     `defer mu.Unlock()` runs before the unlock — LIFO — and is fine).
+//     A goroutine that re-acquires the guarding lock itself is fine.
+//  4. Handed to a callback — a dynamic function value, not a statically
+//     resolved call — without a copy. Static callees are synchronous and
+//     checkable; a callback is arbitrary code that may retain the
+//     argument.
+//
+// The fix is always the same: copy under the lock, publish the copy.
+var AliasGuard = &Analyzer{
+	Name: "aliasguard",
+	Doc: "reference-typed fields annotated `guarded by mu` must not escape the " +
+		"critical section: not returned, stored into unguarded fields, captured " +
+		"by goroutines/deferred closures, or handed to callbacks without a copy",
+	Run: runAliasGuard,
+}
+
+func runAliasGuard(pass *Pass) error {
+	refGuarded, allGuarded := collectAliasGuardFields(pass)
+	if len(refGuarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &agState{
+				pass:          pass,
+				fn:            fd,
+				guarded:       refGuarded,
+				allGuarded:    allGuarded,
+				aliases:       map[types.Object]*types.Var{},
+				localFns:      map[types.Object]bool{},
+				deferUnlocked: map[string]bool{},
+				reported:      map[string]bool{},
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") || callerHoldsRe.MatchString(fd.Doc.Text()) {
+				s.exempt = true
+			}
+			s.walkStmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// collectAliasGuardFields gathers the `guarded by <lock>` fields.
+// refGuarded holds only the aliasable (reference-typed) ones aliasguard
+// polices; allGuarded holds every annotated field so rule 2 can tell a
+// guarded destination from an unguarded one. Annotation validation
+// (naming a lock the struct lacks) is lockguard's diagnostic, not
+// duplicated here.
+func collectAliasGuardFields(pass *Pass) (refGuarded, allGuarded map[*types.Var]string) {
+	info := pass.Info()
+	refGuarded = map[*types.Var]string{}
+	allGuarded = map[*types.Var]string{}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := field.Doc.Text() + " " + field.Comment.Text()
+				m := guardedByRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					allGuarded[v] = m[1]
+					if aliasableType(v.Type()) {
+						refGuarded[v] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return refGuarded, allGuarded
+}
+
+// aliasableType reports whether a value of type t shares mutable state
+// with every copy of it: slices, maps, pointers, and channels. Value
+// types (ints, structs of values) are copied on assignment and cannot
+// leak the guarded state; function-typed fields are lockguard's
+// callback-under-lock territory.
+func aliasableType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// agState is the per-function walk state.
+type agState struct {
+	pass       *Pass
+	fn         *ast.FuncDecl
+	guarded    map[*types.Var]string // aliasable guarded fields
+	allGuarded map[*types.Var]string // every guarded field (store-rule destinations)
+	// exempt: *Locked / caller-holds helpers may return guarded state; the
+	// caller is inside the critical section by convention.
+	exempt bool
+	// aliases maps local idents assigned directly from a guarded field to
+	// that field, so `r := s.ring; return r` is caught like `return s.ring`.
+	aliases map[types.Object]*types.Var
+	// localFns marks idents bound to function literals in this function
+	// (`consider := func(...) {...}`): calls to them are synchronous local
+	// code, not callbacks.
+	localFns map[types.Object]bool
+	// deferUnlocked records locks whose Unlock has been deferred so far; a
+	// deferred call registered after it still runs under the lock (LIFO).
+	deferUnlocked map[string]bool
+	// reported dedupes (function, field, rule) triples.
+	reported map[string]bool
+}
+
+func (s *agState) report(pos ast.Node, field *types.Var, rule, format string, args ...any) {
+	key := s.fn.Name.Name + "\x00" + field.Name() + "\x00" + rule
+	if s.reported[key] {
+		return
+	}
+	s.reported[key] = true
+	s.pass.Reportf(pos.Pos(), format, args...)
+}
+
+func (s *agState) walkStmts(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		s.walkStmt(st)
+	}
+}
+
+func (s *agState) walkStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.checkStores(st)
+		s.recordAliases(st)
+		for _, rhs := range st.Rhs {
+			s.checkExprTree(rhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					if obj := specObj(s.pass.Info(), vs, i); obj != nil {
+						if _, isLit := ast.Unparen(val).(*ast.FuncLit); isLit {
+							s.localFns[obj] = true
+						} else if v := s.guardedRef(val); v != nil {
+							s.aliases[obj] = v
+						}
+					}
+					s.checkExprTree(val)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			if v := s.returnedGuardedRef(res); v != nil && !s.exempt {
+				s.report(res, v, "return",
+					"%s returns guarded field %s (guarded by %s); the alias outlives the critical section — return a copy or make this a *Locked helper",
+					funcDisplayName(s.fn), v.Name(), s.guarded[v])
+			}
+			s.checkExprTree(res)
+		}
+	case *ast.GoStmt:
+		s.checkConcurrentCapture(st.Call, "goroutine",
+			"%s lets guarded field %s (guarded by %s) escape into a goroutine; the goroutine runs outside the critical section — pass a copy or re-acquire %s inside it")
+	case *ast.DeferStmt:
+		if recv, method, ok := lockCall(s.pass.Info(), st.Call); ok {
+			if unlockMethods[method] {
+				if name := lockRecvName(recv); name != "" {
+					s.deferUnlocked[name] = true
+				}
+			}
+			return
+		}
+		s.checkDeferCapture(st.Call)
+	case *ast.ExprStmt:
+		s.checkExprTree(st.X)
+	case *ast.BlockStmt:
+		s.walkStmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		s.checkExprTree(st.Cond)
+		s.walkStmt(st.Body)
+		if st.Else != nil {
+			s.walkStmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.checkExprTree(st.Cond)
+		}
+		s.walkStmt(st.Body)
+		if st.Post != nil {
+			s.walkStmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		s.checkExprTree(st.X)
+		s.walkStmt(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.checkExprTree(st.Tag)
+		}
+		s.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.walkStmt(st.Init)
+		}
+		s.walkStmt(st.Assign)
+		s.walkStmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			s.checkExprTree(e)
+		}
+		s.walkStmts(st.Body)
+	case *ast.SelectStmt:
+		s.walkStmt(st.Body)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			s.walkStmt(st.Comm)
+		}
+		s.walkStmts(st.Body)
+	case *ast.LabeledStmt:
+		s.walkStmt(st.Stmt)
+	case *ast.SendStmt:
+		// Sending a guarded reference down a channel publishes it to the
+		// receiver — the callback rule's channel-shaped twin.
+		if v := s.guardedRef(st.Value); v != nil {
+			s.report(st.Value, v, "send",
+				"%s sends guarded field %s (guarded by %s) on a channel; the receiver gets a live alias — send a copy",
+				funcDisplayName(s.fn), v.Name(), s.guarded[v])
+		}
+		s.checkExprTree(st.Chan)
+		s.checkExprTree(st.Value)
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.checkExprTree(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// guardedRef resolves expr to a guarded aliasable field: the field
+// selector itself (through parens and re-slicings, which alias the same
+// backing store) or a local alias of one. Index expressions do NOT
+// resolve — an element fetched from a guarded map/slice is a copy of the
+// element, not the container.
+func (s *agState) guardedRef(expr ast.Expr) *types.Var {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			selection, ok := s.pass.Info().Selections[e]
+			if !ok || selection.Kind() != types.FieldVal {
+				return nil
+			}
+			v, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return nil
+			}
+			if _, guarded := s.guarded[v]; guarded {
+				return v
+			}
+			return nil
+		case *ast.Ident:
+			obj := s.pass.Info().Uses[e]
+			if obj == nil {
+				return nil
+			}
+			return s.aliases[obj]
+		default:
+			return nil
+		}
+	}
+}
+
+// returnedGuardedRef extends guardedRef through composite literals: a
+// guarded reference embedded in a returned struct/slice/map literal (or a
+// pointer to one) escapes exactly like a bare return. Call arguments are
+// not traversed — `return append([]T(nil), s.ring...)` is the sanctioned
+// copy idiom.
+func (s *agState) returnedGuardedRef(expr ast.Expr) *types.Var {
+	if v := s.guardedRef(expr); v != nil {
+		return v
+	}
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return s.returnedGuardedRef(e.X)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			return s.returnedGuardedRef(e.X)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if v := s.returnedGuardedRef(el); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// recordAliases taints `r := s.ring` style assignments so later escapes of
+// r are attributed to the field.
+func (s *agState) recordAliases(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := s.pass.Info().Defs[id]
+		if obj == nil {
+			obj = s.pass.Info().Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if _, isLit := ast.Unparen(st.Rhs[i]).(*ast.FuncLit); isLit {
+			s.localFns[obj] = true
+			continue
+		}
+		if v := s.guardedRef(st.Rhs[i]); v != nil {
+			s.aliases[obj] = v
+		}
+	}
+}
+
+// checkStores applies rule 2: a guarded reference assigned into a field
+// that is unguarded, or guarded by a different lock, escapes this
+// critical section's discipline.
+func (s *agState) checkStores(st *ast.AssignStmt) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		v := s.guardedRef(st.Rhs[i])
+		if v == nil {
+			continue
+		}
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		selection, ok := s.pass.Info().Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			continue
+		}
+		dst, ok := selection.Obj().(*types.Var)
+		if !ok {
+			continue
+		}
+		dstLock, dstGuarded := s.allGuarded[dst]
+		if dstGuarded && dstLock == s.guarded[v] {
+			continue // same critical section; still covered by the guard
+		}
+		where := "unguarded field " + dst.Name()
+		if dstGuarded {
+			where = "field " + dst.Name() + " guarded by a different lock (" + dstLock + ")"
+		}
+		s.report(lhs, v, "store",
+			"%s stores guarded field %s (guarded by %s) into %s; the alias escapes the critical section — store a copy",
+			funcDisplayName(s.fn), v.Name(), s.guarded[v], where)
+	}
+}
+
+// checkExprTree finds rule-4 violations (guarded references handed to
+// dynamic callees) anywhere in an expression subtree.
+func (s *agState) checkExprTree(expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s.staticCallee(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if v := s.guardedRef(arg); v != nil {
+				s.report(arg, v, "callback",
+					"%s hands guarded field %s (guarded by %s) to a callback without a copy; the callback may retain the alias past the critical section",
+					funcDisplayName(s.fn), v.Name(), s.guarded[v])
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee reports whether call's target is statically known code —
+// a declared function or method, a builtin, a type conversion, or an
+// immediately invoked literal — rather than a dynamic function value.
+func (s *agState) staticCallee(call *ast.CallExpr) bool {
+	info := s.pass.Info()
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion: makes a copy or re-types, no dynamic code
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return true // invoked inline, synchronously
+	case *ast.Ident:
+		obj := info.Uses[fun]
+		switch obj.(type) {
+		case *types.Func, *types.Builtin:
+			return true
+		}
+		return obj != nil && s.localFns[obj]
+	case *ast.SelectorExpr:
+		_, isFunc := info.Uses[fun.Sel].(*types.Func)
+		return isFunc
+	}
+	return false
+}
+
+// checkConcurrentCapture applies rule 3's goroutine half: any guarded
+// reference inside the `go` call (arguments or a closure body) escapes
+// onto another goroutine's schedule — unless that code re-acquires the
+// guarding lock itself.
+func (s *agState) checkConcurrentCapture(call *ast.CallExpr, what, format string) {
+	relocked := s.relockedIn(call)
+	ast.Inspect(call, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		v := s.guardedRef(e)
+		if v == nil {
+			return true
+		}
+		lock := s.guarded[v]
+		if relocked[lock] {
+			return false
+		}
+		s.report(e, v, what, format, funcDisplayName(s.fn), v.Name(), lock, lock)
+		return false
+	})
+}
+
+// checkDeferCapture applies rule 3's defer half. A deferred call runs at
+// function exit; if the guarding lock's own unlock was already deferred,
+// LIFO ordering runs this call before the unlock — still inside the
+// critical section — otherwise the reference is used after whatever
+// explicit unlock the body performs.
+func (s *agState) checkDeferCapture(call *ast.CallExpr) {
+	relocked := s.relockedIn(call)
+	ast.Inspect(call, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		v := s.guardedRef(e)
+		if v == nil {
+			return true
+		}
+		lock := s.guarded[v]
+		if relocked[lock] || s.deferUnlocked[lock] {
+			return false
+		}
+		s.report(e, v, "defer",
+			"%s captures guarded field %s (guarded by %s) in a deferred call that runs after the lock is released; defer the unlock first or pass a copy",
+			funcDisplayName(s.fn), v.Name(), lock)
+		return false
+	})
+}
+
+// relockedIn collects locks re-acquired anywhere inside node (a goroutine
+// or deferred closure that does its own locking is running its own
+// critical section).
+func (s *agState) relockedIn(node ast.Node) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := lockCall(s.pass.Info(), call); ok && lockMethodName[method] {
+			if name := lockRecvName(recv); name != "" {
+				out[name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// specObj resolves the i'th declared name of a ValueSpec to its object.
+func specObj(info *types.Info, vs *ast.ValueSpec, i int) types.Object {
+	if i >= len(vs.Names) {
+		return nil
+	}
+	return info.Defs[vs.Names[i]]
+}
+
+// lockRecvName extracts the lock's field/variable name from a lock-method
+// receiver expression.
+func lockRecvName(recv ast.Expr) string {
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		return r.Sel.Name
+	case *ast.Ident:
+		return r.Name
+	}
+	return ""
+}

@@ -92,7 +92,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every registered analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{LockGuard, ErrWrap, CtxFlow, ObsCoverage, MetricNames, TraceCtx}
+	return []*Analyzer{
+		LockGuard, ErrWrap, CtxFlow, ObsCoverage, MetricNames, TraceCtx,
+		AliasGuard, LockOrder, AtomicHygiene, GoroLife,
+	}
 }
 
 // ByName resolves analyzer names (e.g. from -enable/-disable flags).

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicHygiene enforces all-or-nothing atomicity: state accessed through
+// sync/atomic anywhere must be accessed atomically everywhere. A single
+// plain read racing one atomic write is still a data race, and it is the
+// easiest regression to introduce — the plain access compiles, passes
+// tests, and works until the scheduler disagrees. Lock-free reader paths
+// are the heart of the MVCC design (ROADMAP item 2), so this discipline
+// has to be mechanical before that code lands.
+//
+// Two regimes are checked:
+//
+//  1. Typed atomics (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...):
+//     the only legal uses of a value of these types are calling its
+//     methods and taking its address. Copying one by value (assignment,
+//     struct copy, range over a slice of them, passing as an argument)
+//     silently forks the value — both copies keep "working" atomically
+//     while no longer being the same variable.
+//
+//  2. Function-style atomics (atomic.LoadInt64(&x), atomic.AddUint64(&x,
+//     1), ...): once any variable's address flows into a sync/atomic
+//     call, every other access to that variable must be atomic too.
+//     Constructor/init paths (func init, New*-named constructors) are
+//     exempt — before the value is published there is no concurrency to
+//     race with.
+var AtomicHygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc: "state accessed via sync/atomic anywhere must be accessed atomically " +
+		"everywhere: typed atomics must never be copied by value, and variables " +
+		"used with atomic.Load*/Store*/Add* must not mix in plain reads or writes " +
+		"outside an init path",
+	Run: runAtomicHygiene,
+}
+
+func runAtomicHygiene(pass *Pass) error {
+	checkTypedAtomics(pass)
+	checkFunctionAtomics(pass)
+	return nil
+}
+
+// isAtomicValueType reports whether t (or what it names) is one of
+// sync/atomic's typed atomics (Int64, Bool, Pointer[T], ...). The Value
+// type included: copying an atomic.Value after first use is equally
+// broken.
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Generic instantiations (atomic.Pointer[T]) still present as Named;
+		// aliases resolve through Underlying via the Named origin.
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkTypedAtomics flags by-value uses of typed atomics. The walk keeps
+// the parent node at hand: an expression of atomic type is fine exactly
+// when it is the receiver of a method call, the operand of &, or a
+// declaration/selection naming it — anything else observes or copies the
+// value.
+func checkTypedAtomics(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[e]
+			if !ok || tv.IsType() || !tv.IsValue() || !isAtomicValueType(tv.Type) {
+				return true
+			}
+			if _, isLit := e.(*ast.CompositeLit); isLit {
+				// The literal itself (atomic.Int64{}) is a fresh zero value;
+				// what happens to it is judged at the parent node.
+				return true
+			}
+			if typedAtomicUseOK(info, stack, e) {
+				return true
+			}
+			pass.Reportf(e.Pos(), "%s value of type %s is copied or read by value; typed atomics must only be used via their methods or address",
+				exprLabel(e), types.TypeString(tv.Type, types.RelativeTo(pass.TypesPkg())))
+			return true
+		})
+	}
+
+	// Range statements copy elements: `for _, c := range counters` where the
+	// element type is (or contains at top level) a typed atomic forks every
+	// element. The element expression itself never appears in info.Types, so
+	// it needs its own check.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || rs.Value == nil {
+				return true
+			}
+			t := info.TypeOf(rs.Value)
+			if t != nil && isAtomicValueType(t) {
+				pass.Reportf(rs.Value.Pos(), "range copies %s values element-by-element; iterate by index and use the element's address",
+					types.TypeString(t, types.RelativeTo(pass.TypesPkg())))
+			}
+			return true
+		})
+	}
+}
+
+// typedAtomicUseOK reports whether the typed-atomic expression e, whose
+// parent chain is stack (e last), is used legally: method receiver,
+// address-of, or as the inner expression of a selector/paren chain that
+// is itself legal.
+func typedAtomicUseOK(info *types.Info, stack []ast.Node, e ast.Expr) bool {
+	if len(stack) < 2 {
+		return true
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.Sel == e {
+			return true // the name inside a selector, not a value use
+		}
+		// e is p.X: fine if the selector is a method (c.total.Load) or a
+		// deeper field path ((&s.counters).total); a field selection *of*
+		// the atomic would be reaching into its unexported guts — flag it.
+		if sel, ok := info.Selections[p]; ok {
+			return sel.Kind() == types.MethodVal
+		}
+		return true
+	case *ast.UnaryExpr:
+		return p.Op.String() == "&"
+	case *ast.KeyValueExpr:
+		return p.Key == e // map{atomicVal: ...} as a key would be bizarre; field names land here
+	case *ast.StarExpr, *ast.ParenExpr:
+		// Deref of *atomic.T or parens: judged at the grandparent via its
+		// own Types entry.
+		return true
+	}
+	return false
+}
+
+// exprLabel renders a short source-ish label for an expression in
+// diagnostics.
+func exprLabel(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprLabel(e.X)
+	case *ast.ParenExpr:
+		return exprLabel(e.X)
+	case *ast.IndexExpr:
+		return exprLabel(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprLabel(e.Fun) + "(...)"
+	}
+	return "expression"
+}
+
+// checkFunctionAtomics implements the mixed-access rule for function-style
+// atomics: collect every variable whose address is passed to a sync/atomic
+// function, then flag its plain uses.
+func checkFunctionAtomics(pass *Pass) {
+	info := pass.Info()
+
+	// Pass 1: variables used atomically — &v as the address argument of a
+	// sync/atomic call.
+	atomicVars := map[*types.Var]bool{}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if v := addressedVar(info, arg); v != nil {
+					atomicVars[v] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of those variables is a plain (racy) access,
+	// unless it is itself an address-arg to a sync/atomic call or the
+	// enclosing function is an init path.
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isInitPath(fd.Name.Name) {
+				continue
+			}
+			reported := map[*types.Var]bool{}
+			var stack []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				v := atomicUseVar(info, n)
+				if v == nil || !atomicVars[v] || reported[v] {
+					return true
+				}
+				if insideAtomicAddressArg(info, stack) {
+					return true
+				}
+				reported[v] = true
+				pass.Reportf(n.Pos(), "%s mixes a plain access to %s with sync/atomic operations elsewhere; every access must go through sync/atomic",
+					funcDisplayName(fd), v.Name())
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicPkgCall reports whether call targets a function in sync/atomic
+// (LoadInt64, StoreUint64, AddInt32, SwapPointer, CompareAndSwap*, ...).
+func isAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addressedVar resolves an `&expr` argument to the variable whose address
+// is taken: a plain ident or a field selector's field object.
+func addressedVar(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return nil
+	}
+	return varOf(info, un.X)
+}
+
+// varOf resolves expr to the variable object it names: `count` -> count,
+// `s.count` -> the field object (shared across instances — matching the
+// field-identity model lockguard and lockorder use).
+func varOf(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		v, _ := obj.(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+	}
+	return nil
+}
+
+// atomicUseVar maps an AST node to the atomic-tracked variable it uses, if
+// any: the ident or field-selector access itself.
+func atomicUseVar(info *types.Info, n ast.Node) *types.Var {
+	switch e := n.(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+	}
+	return nil
+}
+
+// insideAtomicAddressArg reports whether the current node (stack's last
+// element) sits under an & expression that is an argument to a
+// sync/atomic call — i.e. this use IS the atomic access.
+func insideAtomicAddressArg(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.UnaryExpr:
+			if p.Op.String() != "&" {
+				return false
+			}
+		case *ast.CallExpr:
+			return isAtomicPkgCall(info, p)
+		case *ast.ParenExpr, *ast.SelectorExpr:
+			// keep climbing
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// isInitPath reports whether a function name marks pre-publication
+// initialization, where plain writes to later-atomic state are safe.
+func isInitPath(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}

@@ -128,11 +128,15 @@ func runFixture(t *testing.T, az *Analyzer, name string) {
 	}
 }
 
-func TestLockGuardFixture(t *testing.T)   { runFixture(t, LockGuard, "lockguard") }
-func TestErrWrapFixture(t *testing.T)     { runFixture(t, ErrWrap, "errwrap") }
-func TestCtxFlowFixture(t *testing.T)     { runFixture(t, CtxFlow, "ctxflow") }
-func TestMetricNamesFixture(t *testing.T) { runFixture(t, MetricNames, "metricnames") }
-func TestTraceCtxFixture(t *testing.T)    { runFixture(t, TraceCtx, "tracectx") }
+func TestLockGuardFixture(t *testing.T)     { runFixture(t, LockGuard, "lockguard") }
+func TestErrWrapFixture(t *testing.T)       { runFixture(t, ErrWrap, "errwrap") }
+func TestCtxFlowFixture(t *testing.T)       { runFixture(t, CtxFlow, "ctxflow") }
+func TestMetricNamesFixture(t *testing.T)   { runFixture(t, MetricNames, "metricnames") }
+func TestTraceCtxFixture(t *testing.T)      { runFixture(t, TraceCtx, "tracectx") }
+func TestAliasGuardFixture(t *testing.T)    { runFixture(t, AliasGuard, "aliasguard") }
+func TestLockOrderFixture(t *testing.T)     { runFixture(t, LockOrder, "lockorder") }
+func TestAtomicHygieneFixture(t *testing.T) { runFixture(t, AtomicHygiene, "atomichygiene") }
+func TestGoroLifeFixture(t *testing.T)      { runFixture(t, GoroLife, "gorolife") }
 
 func TestObsCoverageFixture(t *testing.T) {
 	// The coverage contract binds a declared package set; enroll the fixture

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GoroLife requires every goroutine started in a library package
+// (anything under internal/) to have a bounded lifecycle. A goroutine
+// with no way to be told to stop outlives its owner: it leaks, keeps its
+// captures reachable, and — the concern that motivates checking this now
+// — turns the shutdown half of every lifecycle bug into a hang. The MVCC
+// refactor (ROADMAP item 2) adds background work (snapshot GC, shard
+// maintenance), so the rule goes in before that code does.
+//
+// A `go` statement is bounded when the spawned code observably watches
+// for termination or completion:
+//
+//   - it receives from or ranges over a channel (a done/stop channel or a
+//     work queue whose close terminates the loop),
+//   - it calls ctx.Done()/ctx.Err() on a context.Context,
+//   - it signals a sync.WaitGroup via Done (the owner is tracking it).
+//
+// The check looks inside function literals and one level into
+// same-package named callees (`go s.loop(...)` keeps its loop in a
+// method). A goroutine running a cross-package or dynamic callee is given
+// the benefit of the doubt when a context, channel, or *sync.WaitGroup is
+// among the arguments — the callee was visibly handed a termination
+// signal.
+//
+// Deliberate process-lifetime goroutines are annotated at the go
+// statement:
+//
+//	// slimvet:gorolife <reason>
+//
+// with a non-empty reason, which is itself enforced: a bare annotation is
+// a finding, so every escape hatch records why it is safe.
+var GoroLife = &Analyzer{
+	Name: "gorolife",
+	Doc: "goroutines in internal/ packages must have a bounded lifecycle: observe a " +
+		"context.Context or done channel, or signal a sync.WaitGroup; annotate " +
+		"deliberate process-lifetime goroutines with `// slimvet:gorolife <reason>`",
+	Run: runGoroLife,
+}
+
+var goroLifeAnnotationRe = regexp.MustCompile(`^slimvet:gorolife(?:\s+(.*))?$`)
+
+func runGoroLife(pass *Pass) error {
+	if !strings.Contains(pass.TypesPkg().Path(), "internal/") {
+		return nil // cmd/ and test scaffolding own their process lifetime
+	}
+	info := pass.Info()
+
+	// Index same-package function bodies for the one-level callee check.
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Files() {
+		annotations := goroLifeAnnotations(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(gs.Pos()).Line
+			if annotations[line] {
+				return true
+			}
+			if goStmtBounded(info, bodies, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no bounded lifecycle: it observes no context or done channel and signals no WaitGroup; wire a stop signal or annotate `// slimvet:gorolife <reason>`")
+			return true
+		})
+	}
+	return nil
+}
+
+// goroLifeAnnotations collects the lines covered by `slimvet:gorolife
+// <reason>` comments (the comment's own line and the line after it, so
+// both same-line and line-above placement work), reporting bare
+// annotations with no reason.
+func goroLifeAnnotations(pass *Pass, f *ast.File) map[int]bool {
+	covered := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := annotationText(c.Text, "slimvet:gorolife")
+			if !ok {
+				continue
+			}
+			m := goroLifeAnnotationRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			if strings.TrimSpace(m[1]) == "" {
+				pass.Reportf(c.Pos(), "slimvet:gorolife annotation needs a reason: say why this goroutine may run for the process lifetime")
+				continue
+			}
+			line := pass.Fset.Position(c.Pos()).Line
+			covered[line] = true
+			covered[line+1] = true
+		}
+	}
+	return covered
+}
+
+// goStmtBounded decides whether the go statement's spawned code has a
+// visible termination signal.
+func goStmtBounded(info *types.Info, bodies map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	call := gs.Call
+
+	// A closure: inspect its body directly.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyObservesTermination(info, lit.Body)
+	}
+
+	// A named same-package callee: look one level into its body.
+	if fn := calleeFunc(info, call); fn != nil {
+		if fd, ok := bodies[fn]; ok {
+			return bodyObservesTermination(info, fd.Body)
+		}
+	}
+
+	// Cross-package or dynamic callee: bounded if it was handed a
+	// termination signal — a context, a channel, or a WaitGroup pointer.
+	for _, arg := range call.Args {
+		if isTerminationCarrier(info.TypeOf(arg)) {
+			return true
+		}
+	}
+	// Method call on a receiver that carries a signal is opaque; without
+	// arguments to judge by, treat it as unbounded and let the author
+	// annotate.
+	return false
+}
+
+// bodyObservesTermination reports whether body contains a channel
+// receive, a range over a channel, a ctx.Done()/ctx.Err() call, or a
+// WaitGroup.Done call. Nested `go` statements are not descended into —
+// each goroutine justifies its own lifecycle — but nested function
+// literals are, since the body may delegate its select loop to a local
+// closure it calls.
+func bodyObservesTermination(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if isTerminationCall(info, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isTerminationCall reports whether call is ctx.Done(), ctx.Err(), or
+// (*sync.WaitGroup).Done().
+func isTerminationCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Done", "Err":
+	default:
+		return false
+	}
+	recvT := info.TypeOf(sel.X)
+	if recvT == nil {
+		return false
+	}
+	if isContextType(recvT) {
+		return true
+	}
+	return sel.Sel.Name == "Done" && isWaitGroupType(recvT)
+}
+
+// isTerminationCarrier reports whether an argument of type t hands the
+// callee a termination signal: a context.Context, any channel, or a
+// *sync.WaitGroup.
+func isTerminationCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) || isWaitGroupType(t) {
+		return true
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -278,20 +278,12 @@ func (s *lgState) walkBranchStmts(body []ast.Stmt) {
 // drop-ins (obs.TrackedMutex/TrackedRWMutex); acquires is true for
 // Lock/RLock.
 func (s *lgState) lockOp(call *ast.CallExpr) (lock string, isLock, acquires bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	recv, method, ok := lockCall(s.pass.Info(), call)
 	if !ok {
 		return "", false, false
 	}
-	method := sel.Sel.Name
-	if !lockMethodName[method] && !unlockMethods[method] {
-		return "", false, false
-	}
-	obj, ok := s.pass.Info().Uses[sel.Sel].(*types.Func)
-	if !ok || obj.Pkg() == nil || !lockProviderPkg(obj.Pkg().Path()) {
-		return "", false, false
-	}
 	// The lock's name: the final selector or ident of the receiver expr.
-	switch recv := sel.X.(type) {
+	switch recv := recv.(type) {
 	case *ast.SelectorExpr:
 		lock = recv.Sel.Name
 	case *ast.Ident:
@@ -300,6 +292,27 @@ func (s *lgState) lockOp(call *ast.CallExpr) (lock string, isLock, acquires bool
 		return "", false, false
 	}
 	return lock, true, lockMethodName[method]
+}
+
+// lockCall reports whether call is a Lock/RLock/Unlock/RUnlock method call
+// on a lock-provider type (sync.Mutex/RWMutex or the obs tracked drop-ins),
+// returning the receiver expression — the lock itself — and the method
+// name. Shared by lockguard, aliasguard, and lockorder, so the three
+// analyzers agree on what counts as a lock operation.
+func lockCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	method = sel.Sel.Name
+	if !lockMethodName[method] && !unlockMethods[method] {
+		return nil, "", false
+	}
+	obj, isFunc := info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || obj.Pkg() == nil || !lockProviderPkg(obj.Pkg().Path()) {
+		return nil, "", false
+	}
+	return sel.X, method, true
 }
 
 // lockProviderPkg reports whether a package declares lock types whose

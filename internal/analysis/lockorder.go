@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a per-package lock-acquisition graph and reports
+// cycles. Deadlock via inconsistent acquisition order is the classic
+// multi-lock failure, and it is exactly what the MVCC refactor (ROADMAP
+// item 2) introduces the raw material for: per-shard locks plus the
+// existing store and observability locks. A cycle only manifests under
+// the right interleaving, so it survives any amount of testing; the
+// acquisition *graph*, by contrast, is static.
+//
+// An edge a → b is recorded whenever lock b (a sync.Mutex/RWMutex or an
+// obs tracked drop-in) is acquired while a is held — in straight-line
+// code, or one call level deep through a same-package helper (the
+// `*Locked` convention means the interesting acquisition often lives in
+// the callee). Locks are keyed as Type.field for struct fields and by
+// variable name for package-level locks, so two instances of the same
+// struct share an identity — which is precisely the sharded-lock regime
+// where ordering matters.
+//
+// The canonical order is declared once with an annotation anywhere in the
+// package:
+//
+//	// slimvet:lockorder a < b
+//
+// Observed edges that agree with a declared order are never reported even
+// if the reverse edge also exists — the declaration says which side is
+// the bug. Declared edges that contradict each other, and declared names
+// matching no lock in the package, are findings in their own right so the
+// annotations cannot rot.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "locks must be acquired in a consistent order: the per-package acquisition " +
+		"graph (including one call level through helpers) must be acyclic, with " +
+		"`// slimvet:lockorder a < b` declaring the canonical order",
+	Run: runLockOrder,
+}
+
+var lockOrderAnnotationRe = regexp.MustCompile(`^slimvet:lockorder\s+([\w.]+)\s*<\s*([\w.]+)`)
+
+// annotationText strips comment markers and reports whether the comment is
+// a slimvet annotation of the given kind — the marker must START the
+// comment, so prose and doc examples that merely mention an annotation
+// (like the analyzer docs themselves) do not register as one.
+func annotationText(comment, marker string) (string, bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, marker) {
+		return "", false
+	}
+	return text, true
+}
+
+// loEdge is one acquisition-order observation: to was acquired while from
+// was held, first seen at pos.
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) error {
+	w := &loWalker{
+		pass:     pass,
+		bodies:   map[*types.Func]*ast.FuncDecl{},
+		edges:    map[[2]string]token.Pos{},
+		declared: map[[2]string]token.Pos{},
+		known:    map[string]bool{},
+	}
+
+	// Index function bodies for the one-level callee scan, and collect
+	// slimvet:lockorder declarations.
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info().Defs[fd.Name].(*types.Func); ok {
+				w.bodies[fn] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := annotationText(c.Text, "slimvet:lockorder")
+				if !ok {
+					continue
+				}
+				if m := lockOrderAnnotationRe.FindStringSubmatch(text); m != nil {
+					key := [2]string{m[1], m[2]}
+					if _, ok := w.declared[key]; !ok {
+						w.declared[key] = c.Pos()
+					}
+				}
+			}
+		}
+	}
+
+	// Walk every function, tracking held locks in statement order.
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.held = map[string]bool{}
+			w.walkStmts(fd.Body.List)
+		}
+	}
+
+	w.reportFindings()
+	return nil
+}
+
+// loWalker accumulates the package's acquisition graph.
+type loWalker struct {
+	pass   *Pass
+	bodies map[*types.Func]*ast.FuncDecl
+	// held is the current function's held-lock set, branch-local like
+	// lockguard's.
+	held map[string]bool
+	// edges: observed acquired-while-held pairs -> first position.
+	edges map[[2]string]token.Pos
+	// declared: slimvet:lockorder annotations -> annotation position.
+	declared map[[2]string]token.Pos
+	// known: every lock key seen in any lock operation, for validating
+	// declared names.
+	known map[string]bool
+}
+
+// lockOrderKey names a lock for graph purposes: Type.field for struct
+// fields (so every instance of a sharded struct maps to one node) and the
+// variable name for package-level or local lock variables.
+func lockOrderKey(info *types.Info, recv ast.Expr) string {
+	switch r := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[r]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + sel.Obj().Name()
+			}
+			return sel.Obj().Name()
+		}
+		if v, ok := info.Uses[r.Sel].(*types.Var); ok {
+			return v.Name() // qualified package-level var: pkg.mu
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[r].(*types.Var); ok {
+			return v.Name()
+		}
+	}
+	return ""
+}
+
+// lockOrderOp resolves call to a lock operation and its graph key.
+func (w *loWalker) lockOrderOp(call *ast.CallExpr) (key string, isLock, acquires bool) {
+	recv, method, ok := lockCall(w.pass.Info(), call)
+	if !ok {
+		return "", false, false
+	}
+	key = lockOrderKey(w.pass.Info(), recv)
+	if key == "" {
+		return "", false, false
+	}
+	return key, true, lockMethodName[method]
+}
+
+// acquire records lock key being taken at pos: edges from every held lock,
+// then key joins the held set.
+func (w *loWalker) acquire(key string, pos token.Pos) {
+	w.known[key] = true
+	for held := range w.held {
+		e := [2]string{held, key}
+		if _, ok := w.edges[e]; !ok {
+			w.edges[e] = pos
+		}
+	}
+	w.held[key] = true
+}
+
+func (w *loWalker) walkStmts(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		w.walkStmt(st)
+	}
+}
+
+func (w *loWalker) walkStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, isLock, acquires := w.lockOrderOp(call); isLock {
+				if acquires {
+					w.acquire(key, call.Pos())
+				} else {
+					delete(w.held, key)
+				}
+				return
+			}
+		}
+		w.scanExpr(st.X)
+	case *ast.DeferStmt:
+		if key, isLock, acquires := w.lockOrderOp(st.Call); isLock {
+			if acquires {
+				w.acquire(key, st.Call.Pos())
+			}
+			// Deferred unlock: held for the rest of the body.
+			return
+		}
+		w.scanExpr(st.Call)
+	case *ast.GoStmt:
+		// The goroutine starts with nothing held; its own acquisitions
+		// still contribute nodes and edges.
+		saved := w.held
+		w.held = map[string]bool{}
+		w.scanExpr(st.Call)
+		w.held = saved
+	case *ast.BlockStmt:
+		w.walkStmts(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.scanExpr(st.Cond)
+		w.walkBranch(st.Body)
+		if st.Else != nil {
+			w.walkBranch(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond)
+		}
+		w.walkBranch(st.Body)
+		if st.Post != nil {
+			w.walkStmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(st.X)
+		w.walkBranch(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.scanExpr(st.Tag)
+		}
+		w.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkStmt(st.Assign)
+		w.walkStmt(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			w.scanExpr(e)
+		}
+		w.walkBranchStmts(st.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(st.Body)
+	case *ast.CommClause:
+		if st.Comm != nil {
+			w.walkStmt(st.Comm)
+		}
+		w.walkBranchStmts(st.Body)
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.scanExpr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// walkBranch walks a conditionally executed body with branch-local held
+// state, matching lockguard's model.
+func (w *loWalker) walkBranch(body ast.Stmt) {
+	saved := make(map[string]bool, len(w.held))
+	for k, v := range w.held {
+		saved[k] = v
+	}
+	w.walkStmt(body)
+	w.held = saved
+}
+
+func (w *loWalker) walkBranchStmts(body []ast.Stmt) {
+	saved := make(map[string]bool, len(w.held))
+	for k, v := range w.held {
+		saved[k] = v
+	}
+	w.walkStmts(body)
+	w.held = saved
+}
+
+// scanExpr finds lock operations and helper calls buried in expressions
+// (a lock op used as an expression is unusual but legal) and applies the
+// one-level callee scan to static same-package calls made while holding.
+func (w *loWalker) scanExpr(expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, isLock, acquires := w.lockOrderOp(call); isLock {
+			if acquires {
+				w.acquire(key, call.Pos())
+			} else {
+				delete(w.held, key)
+			}
+			return true
+		}
+		w.scanCallee(call)
+		return true
+	})
+}
+
+// scanCallee follows a static same-package call one level deep: any lock
+// the callee acquires is an edge from every lock held at the call site,
+// reported at the call site. This is what makes `*Locked` helpers —
+// where the nested acquisition actually lives — visible to the graph.
+// Goroutines and function literals inside the callee run on their own
+// schedules and are skipped; recursion stops at one level.
+func (w *loWalker) scanCallee(call *ast.CallExpr) {
+	if len(w.held) == 0 {
+		return
+	}
+	fn := calleeFunc(w.pass.Info(), call)
+	if fn == nil {
+		return
+	}
+	fd, ok := w.bodies[fn]
+	if !ok {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key, isLock, acquires := w.lockOrderOp(n); isLock && acquires {
+				w.known[key] = true
+				for held := range w.held {
+					if held == key {
+						continue // re-acquire through helper: the self-edge rule covers direct cases
+					}
+					e := [2]string{held, key}
+					if _, ok := w.edges[e]; !ok {
+						w.edges[e] = call.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportFindings turns the accumulated graph into diagnostics:
+// self-deadlocks, observed cycles not sanctioned by declarations,
+// contradictory declarations, and declarations naming unknown locks.
+func (w *loWalker) reportFindings() {
+	observed := sortedEdges(w.edges)
+	declared := sortedEdges(w.declared)
+
+	declaredAdj := edgeAdjacency(w.declared)
+	combined := map[string]map[string]bool{}
+	for e := range w.edges {
+		addEdge(combined, e[0], e[1])
+	}
+	for e := range w.declared {
+		addEdge(combined, e[0], e[1])
+	}
+
+	for _, e := range observed {
+		if e.from == e.to {
+			w.pass.Reportf(e.pos, "%s is acquired while already held: self-deadlock", e.to)
+			continue
+		}
+		if reaches(declaredAdj, e.from, e.to) {
+			continue // conforms to the declared order; the reverse edge is the bug
+		}
+		if reaches(combined, e.to, e.from) {
+			w.pass.Reportf(e.pos,
+				"lock-order cycle: %s is acquired while holding %s, but %s is also acquired (directly or transitively) while holding %s; declare the canonical order with // slimvet:lockorder",
+				e.to, e.from, e.from, e.to)
+		}
+	}
+
+	for _, e := range declared {
+		if e.from == e.to {
+			w.pass.Reportf(e.pos, "slimvet:lockorder declares %s < %s: a lock cannot order before itself", e.from, e.to)
+			continue
+		}
+		// Contradiction among declarations: remove this edge; if the reverse
+		// is still reachable, the annotations themselves cycle.
+		if reachesWithout(declaredAdj, e.to, e.from, e) {
+			w.pass.Reportf(e.pos,
+				"slimvet:lockorder declares %s < %s but other annotations imply %s < %s: contradictory declared order",
+				e.from, e.to, e.to, e.from)
+		}
+		for _, name := range []string{e.from, e.to} {
+			if !w.known[name] {
+				w.pass.Reportf(e.pos, "slimvet:lockorder names unknown lock %q: no such lock operation in this package", name)
+			}
+		}
+	}
+}
+
+func sortedEdges(m map[[2]string]token.Pos) []loEdge {
+	out := make([]loEdge, 0, len(m))
+	for e, pos := range m {
+		out = append(out, loEdge{from: e[0], to: e[1], pos: pos})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].from != out[j].from {
+			return out[i].from < out[j].from
+		}
+		return out[i].to < out[j].to
+	})
+	return out
+}
+
+func addEdge(adj map[string]map[string]bool, from, to string) {
+	if adj[from] == nil {
+		adj[from] = map[string]bool{}
+	}
+	adj[from][to] = true
+}
+
+func edgeAdjacency(m map[[2]string]token.Pos) map[string]map[string]bool {
+	adj := map[string]map[string]bool{}
+	for e := range m {
+		addEdge(adj, e[0], e[1])
+	}
+	return adj
+}
+
+// reaches reports whether to is reachable from from (in one or more hops).
+func reaches(adj map[string]map[string]bool, from, to string) bool {
+	return reachesWithout(adj, from, to, loEdge{})
+}
+
+// reachesWithout is reaches with one edge excluded (used to test whether a
+// declaration contradicts the *other* declarations).
+func reachesWithout(adj map[string]map[string]bool, from, to string, skip loEdge) bool {
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for next := range adj[cur] {
+			if cur == skip.from && next == skip.to {
+				continue
+			}
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}

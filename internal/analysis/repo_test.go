@@ -56,4 +56,55 @@ func TestRepoMatchesBaseline(t *testing.T) {
 			t.Errorf("internal/trim and internal/mark must stay clean: %s", d)
 		}
 	}
+
+	// The MVCC-readiness contract (ISSUE 9): the packages ROADMAP item 2
+	// will rewrite pass the four concurrency-safety analyzers with an empty
+	// baseline — zero findings, baselined or otherwise. Mirrors the gating
+	// zero-baseline lane in scripts/ci.sh.
+	concurrencyAnalyzers := map[string]bool{
+		"aliasguard": true, "lockorder": true, "atomichygiene": true, "gorolife": true,
+	}
+	cleanDirs := []string{"internal/trim/", "internal/wal/", "internal/durable/", "internal/mark/"}
+	for _, d := range diags {
+		if !concurrencyAnalyzers[d.Analyzer] {
+			continue
+		}
+		for _, dir := range cleanDirs {
+			if strings.HasPrefix(d.File, dir) {
+				t.Errorf("%s must stay clean under the concurrency analyzers: %s", strings.TrimSuffix(dir, "/"), d)
+			}
+		}
+	}
+}
+
+// TestLockOrderCycleWithTrackedMutexes is the tracked-lock regression: the
+// obs.TrackedMutex drop-ins must participate in the acquisition graph
+// exactly like sync.Mutex, so an inconsistent order between two tracked
+// locks is reported from both sides. The lockorder fixture's Tracked
+// scenario is the input; this test pins that the findings come from the
+// tracked pair specifically, not just the plain-mutex scenarios.
+func TestLockOrderCycleWithTrackedMutexes(t *testing.T) {
+	l := newFixtureLoader(t)
+	dir := filepath.Join(fixtureRoot(t, l), "lockorder")
+	pkg, err := l.LoadDir(dir, "fixture/internal/lockorder")
+	if err != nil {
+		t.Fatalf("load lockorder fixture: %v", err)
+	}
+	diags, err := l.Run([]*Package{pkg}, []*Analyzer{LockOrder})
+	if err != nil {
+		t.Fatalf("run lockorder: %v", err)
+	}
+	var forward, backward bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Tracked.tn is acquired while holding Tracked.tm") {
+			forward = true
+		}
+		if strings.Contains(d.Message, "Tracked.tm is acquired while holding Tracked.tn") {
+			backward = true
+		}
+	}
+	if !forward || !backward {
+		t.Errorf("tracked-mutex cycle not reported from both sides (forward=%v backward=%v):\n%s",
+			forward, backward, diagDump(diags))
+	}
 }

@@ -6,15 +6,39 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
+
+// RunInfo summarizes one Run invocation: how much was analyzed, what was
+// silenced, and what each analyzer cost. Lint wall-time must stay visible
+// as analyzers accumulate, or the lane quietly becomes the slowest thing
+// in CI.
+type RunInfo struct {
+	// Files is the number of source files analyzed across all packages.
+	Files int
+	// Suppressed counts findings dropped by slimvet:ignore annotations.
+	Suppressed int
+	// AnalyzerNS maps analyzer name to its total wall-clock nanoseconds
+	// across all packages.
+	AnalyzerNS map[string]int64
+}
 
 // Run applies the analyzers to the packages and returns the findings,
 // sorted by file, line, column, and analyzer. Findings on lines annotated
 // `// slimvet:ignore <analyzer>[,<analyzer>]` (on the finding's line or the
 // line above) are suppressed.
 func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := l.RunDetailed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunDetailed is Run plus per-run accounting: file counts, suppression
+// counts, and per-analyzer wall time.
+func (l *Loader) RunDetailed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, RunInfo, error) {
+	info := RunInfo{AnalyzerNS: make(map[string]int64, len(analyzers))}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		info.Files += len(pkg.Files)
 		suppress := collectSuppressions(l.Fset, pkg, l.ModuleRoot)
 		for _, az := range analyzers {
 			pass := &Pass{
@@ -24,11 +48,16 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, erro
 				moduleRoot: l.ModuleRoot,
 				diags:      &diags,
 			}
-			if err := az.Run(pass); err != nil {
-				return nil, err
+			start := time.Now()
+			err := az.Run(pass)
+			info.AnalyzerNS[az.Name] += int64(time.Since(start))
+			if err != nil {
+				return nil, info, err
 			}
 		}
+		before := len(diags)
 		diags = applySuppressions(diags, suppress)
+		info.Suppressed += before - len(diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -43,7 +72,7 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, erro
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, info, nil
 }
 
 var ignoreRe = regexp.MustCompile(`slimvet:ignore\s+([\w,]+)`)

@@ -1,0 +1,194 @@
+// Package aliasguard exercises the aliasguard analyzer: guarded
+// reference-typed fields escaping the critical section by return, store,
+// goroutine/defer capture, callback hand-off, and channel send — plus the
+// sanctioned shapes (copies, *Locked helpers, local closures, re-locking
+// goroutines) that must stay silent.
+package aliasguard
+
+import "sync"
+
+// Store mixes aliasable guarded fields, a value-typed guarded field, and
+// unguarded destinations.
+type Store struct {
+	mu  sync.Mutex
+	mu2 sync.Mutex
+
+	items    []int          // guarded by mu
+	index    map[string]int // guarded by mu
+	head     *int           // guarded by mu
+	snapshot []int          // guarded by mu
+	gen      int            // guarded by mu
+	other    []int          // guarded by mu2
+	leaked   []int          // intentionally unguarded
+}
+
+// ReturnAlias hands the caller a live alias of the guarded slice.
+func (s *Store) ReturnAlias() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items // want `Store\.ReturnAlias returns guarded field items \(guarded by mu\)`
+}
+
+// ReturnCopy snapshots under the lock: fine.
+func (s *Store) ReturnCopy() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.items...)
+}
+
+// itemsLocked is a *Locked helper: returning the alias to a caller inside
+// the critical section is the convention.
+func (s *Store) itemsLocked() []int {
+	return s.items
+}
+
+// snapshotUnder documents the caller-holds convention: exempt like *Locked.
+// Callers must hold mu.
+func (s *Store) snapshotUnder() []int {
+	return s.items
+}
+
+// ReturnViaAlias leaks through a local alias.
+func (s *Store) ReturnViaAlias() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.items
+	return r // want `Store\.ReturnViaAlias returns guarded field items`
+}
+
+// ReturnSliced leaks through a re-slice (same backing array).
+func (s *Store) ReturnSliced() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[:1] // want `Store\.ReturnSliced returns guarded field items`
+}
+
+// View wraps a slice; returning a guarded reference inside a composite
+// literal escapes just the same.
+type View struct{ Items []int }
+
+func (s *Store) ReturnWrapped() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return View{Items: s.items} // want `Store\.ReturnWrapped returns guarded field items`
+}
+
+// ReturnElement copies one element out of the guarded map: fine.
+func (s *Store) ReturnElement(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.index[k]
+}
+
+// Generation returns a value-typed guarded field — a copy, not an alias.
+func (s *Store) Generation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// ReturnHead leaks the guarded pointer.
+func (s *Store) ReturnHead() *int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.head // want `Store\.ReturnHead returns guarded field head`
+}
+
+// Publish stores the guarded slice into an unguarded field.
+func (s *Store) Publish() {
+	s.mu.Lock()
+	s.leaked = s.items // want `Store\.Publish stores guarded field items \(guarded by mu\) into unguarded field leaked`
+	s.mu.Unlock()
+}
+
+// Rotate stores into a field guarded by the same lock: still covered.
+func (s *Store) Rotate() {
+	s.mu.Lock()
+	s.snapshot = s.items
+	s.mu.Unlock()
+}
+
+// CrossLock stores into a field under a different lock.
+func (s *Store) CrossLock() {
+	s.mu.Lock()
+	s.other = s.items // want `Store\.CrossLock stores guarded field items .* into field other guarded by a different lock \(mu2\)`
+	s.mu.Unlock()
+}
+
+// Async captures the guarded slice in a goroutine with no re-lock.
+func (s *Store) Async() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		_ = len(s.items) // want `Store\.Async lets guarded field items \(guarded by mu\) escape into a goroutine`
+	}()
+}
+
+// AsyncSafe re-acquires the lock inside the goroutine: fine.
+func (s *Store) AsyncSafe() {
+	go func() {
+		s.mu.Lock()
+		_ = len(s.items)
+		s.mu.Unlock()
+	}()
+}
+
+// DeferSafe registers its closure after the deferred unlock, so LIFO runs
+// it while the lock is still held: fine.
+func (s *Store) DeferSafe() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() { _ = len(s.items) }()
+}
+
+// DeferLeak unlocks explicitly; the deferred closure runs after.
+func (s *Store) DeferLeak() {
+	s.mu.Lock()
+	defer func() { _ = len(s.items) }() // want `Store\.DeferLeak captures guarded field items \(guarded by mu\) in a deferred call`
+	s.mu.Unlock()
+}
+
+// Walk hands the live alias to an arbitrary callback.
+func (s *Store) Walk(cb func([]int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cb(s.items) // want `Store\.Walk hands guarded field items \(guarded by mu\) to a callback without a copy`
+}
+
+// WalkCopy hands the callback a copy: fine.
+func (s *Store) WalkCopy(cb func([]int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cb(append([]int(nil), s.items...))
+}
+
+// Sum passes the alias to a local closure — synchronous local code, not a
+// callback.
+func (s *Store) Sum() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	add := func(xs []int) {
+		for _, x := range xs {
+			total += x
+		}
+	}
+	add(s.items)
+	return total
+}
+
+// length is a package function: a static callee, checkable, fine.
+func length(xs []int) int { return len(xs) }
+
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return length(s.items)
+}
+
+// Feed publishes the alias to whoever reads the channel.
+func (s *Store) Feed(ch chan []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- s.items // want `Store\.Feed sends guarded field items \(guarded by mu\) on a channel`
+}

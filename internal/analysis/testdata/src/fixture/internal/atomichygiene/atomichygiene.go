@@ -1,0 +1,92 @@
+// Package atomichygiene exercises the atomichygiene analyzer: typed
+// atomics copied by value, ranges over atomic elements, and plain accesses
+// mixed with function-style sync/atomic operations — plus the legal
+// shapes (method calls, address-of, init paths) that must stay silent.
+package atomichygiene
+
+import "sync/atomic"
+
+// Counters mixes a typed atomic, a function-style atomic field, and a
+// plain field.
+type Counters struct {
+	total atomic.Int64
+	hits  int64
+	gen   int64
+}
+
+// Inc uses the typed atomic through its methods: fine.
+func (c *Counters) Inc() {
+	c.total.Add(1)
+}
+
+// Reset takes the address: fine.
+func Reset(c *Counters) {
+	ptr := &c.total
+	ptr.Store(0)
+}
+
+// BadCopy returns the typed atomic by value, forking its state.
+func (c *Counters) BadCopy() atomic.Int64 {
+	return c.total // want `c\.total value of type .*atomic\.Int64 is copied or read by value`
+}
+
+// BadAssign copies through a local.
+func (c *Counters) BadAssign() int64 {
+	t := c.total // want `c\.total value of type .*atomic\.Int64 is copied or read by value`
+	return t.Load()
+}
+
+// consume takes an atomic by value; calling it with one is the copy.
+func consume(v atomic.Int64) int64 {
+	return v.Load()
+}
+
+func (c *Counters) BadArg() int64 {
+	return consume(c.total) // want `c\.total value of type .*atomic\.Int64 is copied or read by value`
+}
+
+// SumAll ranges by value over atomic elements, copying each one.
+func SumAll(cs []atomic.Int64) int64 {
+	var n int64
+	for _, c := range cs { // want `range copies .*atomic\.Int64 values element-by-element`
+		n += c.Load()
+	}
+	return n
+}
+
+// SumIdx iterates by index and uses each element in place: fine.
+func SumIdx(cs []atomic.Int64) int64 {
+	var n int64
+	for i := range cs {
+		n += cs[i].Load()
+	}
+	return n
+}
+
+// Hit is the sole atomic accessor of hits...
+func (c *Counters) Hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ...so Snapshot's plain read races it.
+func (c *Counters) Snapshot() int64 {
+	return c.hits // want `Counters\.Snapshot mixes a plain access to hits with sync/atomic operations elsewhere`
+}
+
+// Drain reads hits atomically: fine.
+func (c *Counters) Drain() int64 {
+	return atomic.SwapInt64(&c.hits, 0)
+}
+
+// Gen reads a field no atomic op ever touches: plain access is fine.
+func (c *Counters) Gen() int64 {
+	return c.gen
+}
+
+// NewCounters is an init path: the value is not yet published, so plain
+// writes to the atomically-accessed field are safe.
+func NewCounters(seed int64) *Counters {
+	c := &Counters{}
+	c.hits = seed
+	return c
+}

@@ -1,0 +1,128 @@
+// Package gorolife exercises the gorolife analyzer: goroutines with no
+// termination signal, the bounded shapes (context, done channel, work
+// queue, WaitGroup), the one-level callee scan, termination-carrier
+// arguments to opaque callees, and the slimvet:gorolife escape hatch.
+package gorolife
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns a goroutine nothing can stop.
+func Leak() {
+	go func() { // want `goroutine has no bounded lifecycle`
+		for {
+		}
+	}()
+}
+
+// CtxBound watches its context: fine.
+func CtxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ErrBound polls ctx.Err: also a context observation.
+func ErrBound(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// DoneBound selects on a done channel: fine.
+func DoneBound(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// RangeBound drains a work queue until close: fine.
+func RangeBound(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+
+// WGBound is tracked by a WaitGroup: the owner can wait for it.
+func WGBound(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// Pump delegates its loop to a named method; the one-level callee scan
+// must find the stop-channel receive inside it.
+type Pump struct {
+	stop chan struct{}
+}
+
+func (p *Pump) loop() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *Pump) Start() {
+	go p.loop()
+}
+
+// run spins with no signal; spawning it leaks even though the receiver
+// carries a stop channel the method never looks at.
+func (p *Pump) run() {
+	for {
+	}
+}
+
+func (p *Pump) StartLeak() {
+	go p.run() // want `goroutine has no bounded lifecycle`
+}
+
+// Handoff passes the context to an opaque callee: benefit of the doubt.
+func Handoff(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// Opaque hands the callee nothing to stop on.
+func Opaque(f func()) {
+	go f() // want `goroutine has no bounded lifecycle`
+}
+
+// Forever is deliberate: the annotation (with a reason) covers the next
+// line.
+func Forever() {
+	// slimvet:gorolife demo pump runs for the process lifetime by design
+	go func() {
+		for {
+		}
+	}()
+}
+
+// SameLine annotates on the go statement's own line.
+func SameLine() {
+	go spin() // slimvet:gorolife spinner owns no resources and dies with the process
+}
+
+func spin() {
+	for {
+	}
+}
+
+// A bare annotation with no reason is itself a finding.
+func BareAnnotation(done chan struct{}) {
+	/* slimvet:gorolife */ // want `slimvet:gorolife annotation needs a reason`
+	go func() {
+		<-done
+	}()
+}

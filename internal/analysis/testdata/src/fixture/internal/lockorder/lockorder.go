@@ -1,0 +1,157 @@
+// Package lockorder exercises the lockorder analyzer: acquisition-order
+// cycles between plain and tracked mutexes, declared canonical orders,
+// one-level helper traversal, self-deadlocks, and annotation validation.
+// Each scenario uses its own struct so the lock sets stay disjoint.
+package lockorder
+
+import (
+	"sync"
+
+	"fixture/internal/obs"
+)
+
+// AB acquires its two locks in both orders with no declared order: both
+// edges complete a cycle, so both sides are reported.
+type AB struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (x *AB) One() {
+	x.a.Lock()
+	defer x.a.Unlock()
+	x.b.Lock() // want `lock-order cycle: AB\.b is acquired while holding AB\.a`
+	defer x.b.Unlock()
+}
+
+func (x *AB) Two() {
+	x.b.Lock()
+	defer x.b.Unlock()
+	x.a.Lock() // want `lock-order cycle: AB\.a is acquired while holding AB\.b`
+	defer x.a.Unlock()
+}
+
+// CD has a declared canonical order, so only the violating side is
+// reported.
+//
+// slimvet:lockorder CD.c < CD.d
+
+type CD struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (x *CD) Good() {
+	x.c.Lock()
+	defer x.c.Unlock()
+	x.d.Lock()
+	defer x.d.Unlock()
+}
+
+func (x *CD) Bad() {
+	x.d.Lock()
+	defer x.d.Unlock()
+	x.c.Lock() // want `lock-order cycle: CD\.c is acquired while holding CD\.d`
+	defer x.c.Unlock()
+}
+
+// EF's nested acquisition hides inside a helper: the one-level callee scan
+// must surface the e -> f edge at the call site.
+type EF struct {
+	e sync.Mutex
+	f sync.Mutex
+	n int
+}
+
+func (x *EF) bumpUnderF() {
+	x.f.Lock()
+	x.n++
+	x.f.Unlock()
+}
+
+func (x *EF) Outer() {
+	x.e.Lock()
+	defer x.e.Unlock()
+	x.bumpUnderF() // want `lock-order cycle: EF\.f is acquired while holding EF\.e`
+}
+
+func (x *EF) Reverse() {
+	x.f.Lock()
+	defer x.f.Unlock()
+	x.e.Lock() // want `lock-order cycle: EF\.e is acquired while holding EF\.f`
+	defer x.e.Unlock()
+}
+
+// Nested acquisition in a consistent order only: no finding.
+type Ordered struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (x *Ordered) Both() {
+	x.outer.Lock()
+	defer x.outer.Unlock()
+	x.inner.Lock()
+	defer x.inner.Unlock()
+}
+
+func (x *Ordered) InnerOnly() {
+	x.inner.Lock()
+	defer x.inner.Unlock()
+}
+
+// Self re-acquires a non-reentrant mutex: guaranteed deadlock.
+type Self struct {
+	m sync.Mutex
+}
+
+func (x *Self) Re() {
+	x.m.Lock()
+	x.m.Lock() // want `Self\.m is acquired while already held: self-deadlock`
+	x.m.Unlock()
+	x.m.Unlock()
+}
+
+// GH's declarations contradict each other; both annotations are reported.
+//
+/* slimvet:lockorder GH.g < GH.h */ // want `slimvet:lockorder declares GH\.g < GH\.h but other annotations imply GH\.h < GH\.g`
+/* slimvet:lockorder GH.h < GH.g */ // want `slimvet:lockorder declares GH\.h < GH\.g but other annotations imply GH\.g < GH\.h`
+
+type GH struct {
+	g sync.Mutex
+	h sync.Mutex
+}
+
+func (x *GH) Touch() {
+	x.g.Lock()
+	x.g.Unlock()
+	x.h.Lock()
+	x.h.Unlock()
+}
+
+// A declaration naming a lock that does not exist in the package is itself
+// a finding, so annotations cannot rot.
+//
+/* slimvet:lockorder Ghost.z < CD.c */ // want `slimvet:lockorder names unknown lock "Ghost\.z"`
+
+// Tracked is the instrumented-lock regression: the obs drop-ins count as
+// locks, so an inconsistent order between two tracked mutexes cycles just
+// like plain sync ones.
+type Tracked struct {
+	tm *obs.TrackedMutex
+	tn *obs.TrackedMutex
+}
+
+func (x *Tracked) Forward() {
+	x.tm.Lock()
+	defer x.tm.Unlock()
+	x.tn.Lock() // want `lock-order cycle: Tracked\.tn is acquired while holding Tracked\.tm`
+	defer x.tn.Unlock()
+}
+
+func (x *Tracked) Backward() {
+	x.tn.Lock()
+	defer x.tn.Unlock()
+	x.tm.Lock() // want `lock-order cycle: Tracked\.tm is acquired while holding Tracked\.tn`
+	defer x.tm.Unlock()
+}

@@ -41,6 +41,22 @@ type HealthRegistry struct{}
 
 func (r *HealthRegistry) Register(name string, check func() error) { _, _ = name, check }
 
+// TrackedMutex and TrackedRWMutex mirror the real instrumented locks: the
+// lock analyzers (lockguard, aliasguard, lockorder) treat Lock/Unlock
+// methods from any package whose path ends in internal/obs as lock
+// operations, so fixtures can exercise tracked-lock scenarios.
+type TrackedMutex struct{ held bool }
+
+func (m *TrackedMutex) Lock()   { m.held = true }
+func (m *TrackedMutex) Unlock() { m.held = false }
+
+type TrackedRWMutex struct{ held bool }
+
+func (m *TrackedRWMutex) Lock()    { m.held = true }
+func (m *TrackedRWMutex) Unlock()  { m.held = false }
+func (m *TrackedRWMutex) RLock()   { m.held = true }
+func (m *TrackedRWMutex) RUnlock() { m.held = false }
+
 // Name registry, mirroring internal/obs/names.go.
 const (
 	NameGoodTotal = "fixture.good.total"

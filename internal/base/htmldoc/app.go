@@ -86,11 +86,11 @@ func (a *App) SelectPath(path string) error {
 	}
 	sa, hasSpan, err := ParseSpanPath(path)
 	if err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	n, _, err := a.openPage.ResolveSpan(path)
 	if err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected = n
 	a.selSpan, a.selHasSpan = sa, hasSpan
@@ -108,11 +108,11 @@ func (a *App) SelectText(path, needle string) error {
 	}
 	n, err := a.openPage.ResolvePath(path)
 	if err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	sa, err := a.openPage.FindTextSpan(n, needle)
 	if err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected = n
 	a.selSpan, a.selHasSpan = sa, true
@@ -127,7 +127,7 @@ func (a *App) SelectNode(n *Node) error {
 		return fmt.Errorf("htmldoc: no open page")
 	}
 	if _, err := a.openPage.PathTo(n); err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected = n
 	a.selHasSpan = false
@@ -163,11 +163,11 @@ func (a *App) locate(addr base.Address) (*Page, *Node, string, SpanAddress, bool
 	}
 	sa, hasSpan, err := ParseSpanPath(addr.Path)
 	if err != nil {
-		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	n, content, err := p.ResolveSpan(addr.Path)
 	if err != nil {
-		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, nil, "", SpanAddress{}, false, fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	return p, n, content, sa, hasSpan, nil
 }

@@ -217,7 +217,7 @@ func (p *Page) ResolvePath(path string) (*Node, error) {
 	for i, step := range steps {
 		tag, idx, err := parseStep(step)
 		if err != nil {
-			return nil, fmt.Errorf("htmldoc: path %q: %v", path, err)
+			return nil, fmt.Errorf("htmldoc: path %q: %w", path, err)
 		}
 		if i == 0 {
 			if tag != cur.Tag || idx != 1 {

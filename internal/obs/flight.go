@@ -46,7 +46,9 @@ type FlightSample struct {
 // buffer. Start/Stop are idempotent; all methods are safe for concurrent
 // use.
 type FlightRecorder struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	// ring and seq are the sample ring and its monotone write cursor;
+	// guarded by mu.
 	ring []FlightSample
 	seq  uint64
 	// rt diffs the runtime/metrics distributions between samples; guarded

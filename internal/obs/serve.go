@@ -256,6 +256,7 @@ func Serve(addr string, cfg ServeConfig) (*DiagServer, error) {
 		lis.Close()
 		return nil, fmt.Errorf("obs: a diagnostics server is already running at %s", ActiveServer().Addr())
 	}
+	// slimvet:gorolife Serve returns when Close/Shutdown closes the listener; the DiagServer owns that lifecycle
 	go s.srv.Serve(lis)
 	return s, nil
 }

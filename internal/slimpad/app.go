@@ -18,6 +18,13 @@ import (
 // in Fig. 5. It implements the user-level flows of §3: select an element in
 // a base application, create a mark, drop it on the pad as a scrap, and
 // later double-click the scrap to re-establish context.
+//
+// Concurrency: App and DMI hold no locks of their own — audited for the
+// slimvet guarded-field pass. All shared mutable state lives behind the
+// mark.Manager and trim.Manager they delegate to, whose fields carry
+// `guarded by mu` annotations; an App value itself is a pair of pointers,
+// safe to copy and safe for concurrent use exactly as far as those
+// managers are (see concurrency_test.go).
 type App struct {
 	dmi   *DMI
 	marks *mark.Manager
