@@ -61,14 +61,16 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./... | \
 		$(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -min 5 -out BENCH_$(BENCH_LABEL).json
 
-# The bench regression radar (docs/OBSERVABILITY.md): diffs the two most
-# recent committed BENCH_*.json snapshots and prints the per-benchmark
-# delta table. Report-only by default; set BENCH_THRESHOLD to a percent to
-# make it exit 2 on regressions past it.
+# The bench regression radar (docs/OBSERVABILITY.md): groups every
+# committed BENCH_*.json snapshot into lanes (the micro-bench lane, the
+# slimload scale-* lane) and diffs the two most recent snapshots per
+# lane. Report-only by default; set BENCH_THRESHOLD to a percent to make
+# it exit 2 on regressions past it. A lane with one snapshot is skipped,
+# not an error.
 BENCH_THRESHOLD ?= 0
 bench-diff:
-	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) \
-		$$(ls BENCH_*.json | sort | tail -n 2)
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) -lanes \
+		$$(ls BENCH_*.json | sort)
 
 # The scaling lane (docs/OBSERVABILITY.md "Concurrency scoreboard"): the
 # slimload workload generator sweeps the op mix at 1/4/16/64 goroutines

@@ -9,6 +9,16 @@
 // Usage (see `make bench-diff`):
 //
 //	benchdiff [-threshold PCT] [-min-ns NS] [-json] BENCH_old.json BENCH_new.json...
+//	benchdiff -lanes [-threshold PCT] [-min-ns NS] [-json] BENCH_*.json
+//
+// In -lanes mode the snapshot files are grouped by the label's lane
+// prefix ("scale-20260808" belongs to the scale lane, a bare date-stamped
+// label to the default bench lane), each lane is sorted by generation
+// time, and the two newest snapshots per lane are diffed — so one
+// invocation covers the micro-bench lane and the slimload scaling lane
+// side by side. A lane with a single snapshot is reported as skipped,
+// never an error: the scaling lane only gates once a second snapshot is
+// committed.
 //
 // Exit codes: 0 no gated regression, 2 threshold exceeded, 1 bad
 // input/usage — so CI can tell "perf regressed" apart from "lane broke".
@@ -90,6 +100,123 @@ type Report struct {
 	Deltas       []Delta `json:"deltas"`
 	// Gated counts deltas that exceeded the threshold.
 	Gated int `json:"gated"`
+}
+
+// LaneReport is one lane's two-newest diff plus the files it came from.
+type LaneReport struct {
+	Lane string `json:"lane"`
+	// Files holds the two diffed snapshot paths, oldest first.
+	Files []string `json:"files"`
+	Report
+}
+
+// SkippedLane names a lane that could not be diffed and why.
+type SkippedLane struct {
+	Lane   string   `json:"lane"`
+	Files  []string `json:"files"`
+	Reason string   `json:"reason"`
+}
+
+// LanesReport is the -lanes -json document.
+type LanesReport struct {
+	ThresholdPct float64       `json:"threshold_pct"`
+	MinNs        float64       `json:"min_ns"`
+	Lanes        []LaneReport  `json:"lanes"`
+	Skipped      []SkippedLane `json:"skipped,omitempty"`
+	// Gated sums the gated deltas across every lane.
+	Gated int `json:"gated"`
+}
+
+// laneOf derives the lane name from a snapshot label: the leading
+// '-'-separated digit-free segments ("scale-20260808" -> "scale",
+// "wal-compact-20260808" -> "wal-compact"). A label that leads with a
+// digit — the plain date-stamped micro-bench snapshots, with or without a
+// commit suffix — falls into the default "bench" lane.
+func laneOf(label string) string {
+	var segs []string
+	for _, seg := range strings.Split(label, "-") {
+		if seg == "" || strings.ContainsAny(seg, "0123456789") {
+			break
+		}
+		segs = append(segs, seg)
+	}
+	if len(segs) == 0 {
+		return "bench"
+	}
+	return strings.Join(segs, "-")
+}
+
+// laneSnap pairs a loaded snapshot with the file it came from, so lane
+// reports can name their inputs.
+type laneSnap struct {
+	file string
+	snap benchfmt.Snapshot
+}
+
+// diffLanes groups the snapshots by lane, orders each lane by generation
+// time (label as the tiebreak), and diffs the two newest per lane. Lanes
+// with a single snapshot land in Skipped.
+func diffLanes(snaps []laneSnap, thresholdPct, minNs float64) LanesReport {
+	rep := LanesReport{ThresholdPct: thresholdPct, MinNs: minNs}
+	groups := map[string][]laneSnap{}
+	for _, ls := range snaps {
+		lane := laneOf(ls.snap.Label)
+		groups[lane] = append(groups[lane], ls)
+	}
+	lanes := make([]string, 0, len(groups))
+	for lane := range groups {
+		lanes = append(lanes, lane)
+	}
+	sort.Strings(lanes)
+	for _, lane := range lanes {
+		group := groups[lane]
+		sort.SliceStable(group, func(i, j int) bool {
+			if group[i].snap.GeneratedUnix != group[j].snap.GeneratedUnix {
+				return group[i].snap.GeneratedUnix < group[j].snap.GeneratedUnix
+			}
+			return group[i].snap.Label < group[j].snap.Label
+		})
+		if len(group) < 2 {
+			files := make([]string, 0, len(group))
+			for _, ls := range group {
+				files = append(files, ls.file)
+			}
+			rep.Skipped = append(rep.Skipped, SkippedLane{
+				Lane: lane, Files: files, Reason: "needs two snapshots to diff",
+			})
+			continue
+		}
+		oldS, newS := group[len(group)-2], group[len(group)-1]
+		lr := LaneReport{
+			Lane:   lane,
+			Files:  []string{oldS.file, newS.file},
+			Report: diff([]benchfmt.Snapshot{oldS.snap, newS.snap}, thresholdPct, minNs),
+		}
+		rep.Gated += lr.Report.Gated
+		rep.Lanes = append(rep.Lanes, lr)
+	}
+	return rep
+}
+
+// writeLanes renders one delta table per lane plus the aggregate summary.
+func writeLanes(w io.Writer, rep LanesReport) error {
+	for i, lr := range rep.Lanes {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "lane %s: %s -> %s\n", lr.Lane, lr.Labels[0], lr.Labels[1])
+		if err := writeTable(w, lr.Report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d benchmark(s) compared, %d gated at +%.1f%%\n",
+			len(lr.Deltas), lr.Report.Gated, rep.ThresholdPct)
+	}
+	for _, sk := range rep.Skipped {
+		fmt.Fprintf(w, "\nlane %s: skipped (%s)\n", sk.Lane, sk.Reason)
+	}
+	fmt.Fprintf(w, "\n%d lane(s) diffed, %d skipped, %d gated at +%.1f%%\n",
+		len(rep.Lanes), len(rep.Skipped), rep.Gated, rep.ThresholdPct)
+	return nil
 }
 
 func pct(oldV, newV float64) Pct {
@@ -235,22 +362,45 @@ func run(args []string, out io.Writer) error {
 	threshold := fs.Float64("threshold", 0, "fail (exit 2) when any ns/op regression exceeds this `percent` (0 = report only)")
 	minNs := fs.Float64("min-ns", 1000, "noise floor: gate only benchmarks whose baseline ns/op is at least `ns`")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of a table")
+	lanes := fs.Bool("lanes", false, "group the files by label lane prefix and diff the two newest snapshots per lane")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
-	if len(files) < 2 {
-		return fmt.Errorf("need at least 2 snapshot files, got %d (usage: benchdiff OLD.json NEW.json...)", len(files))
+	min := 2
+	if *lanes {
+		min = 1
 	}
-	snaps := make([]benchfmt.Snapshot, 0, len(files))
+	if len(files) < min {
+		return fmt.Errorf("need at least %d snapshot file(s), got %d (usage: benchdiff OLD.json NEW.json..., or benchdiff -lanes BENCH_*.json)", min, len(files))
+	}
+	snaps := make([]laneSnap, 0, len(files))
 	for _, f := range files {
 		s, err := benchfmt.ReadFile(f)
 		if err != nil {
 			return err
 		}
-		snaps = append(snaps, s)
+		snaps = append(snaps, laneSnap{file: f, snap: s})
 	}
-	rep := diff(snaps, *threshold, *minNs)
+	if *lanes {
+		rep := diffLanes(snaps, *threshold, *minNs)
+		if *asJSON {
+			if err := obs.EncodeJSON(out, rep); err != nil {
+				return err
+			}
+		} else if err := writeLanes(out, rep); err != nil {
+			return err
+		}
+		if rep.Gated > 0 {
+			return fmt.Errorf("%w: %d benchmark(s) regressed more than %.1f%% (see tables)", errThreshold, rep.Gated, *threshold)
+		}
+		return nil
+	}
+	flat := make([]benchfmt.Snapshot, 0, len(snaps))
+	for _, ls := range snaps {
+		flat = append(flat, ls.snap)
+	}
+	rep := diff(flat, *threshold, *minNs)
 	if *asJSON {
 		if err := obs.EncodeJSON(out, rep); err != nil {
 			return err

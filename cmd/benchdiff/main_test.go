@@ -97,6 +97,103 @@ func TestJSONReport(t *testing.T) {
 	}
 }
 
+// laneFixtures feed the -lanes tests: a two-snapshot bench lane, a
+// three-snapshot scale lane (only the two newest may be diffed), and a
+// lone wal lane that must be skipped, never an error.
+var laneFixtures = []string{
+	filepath.Join("testdata", "BENCH_micro-a.json"),
+	filepath.Join("testdata", "BENCH_micro-b.json"),
+	filepath.Join("testdata", "BENCH_scale-0.json"),
+	filepath.Join("testdata", "BENCH_scale-a.json"),
+	filepath.Join("testdata", "BENCH_scale-b.json"),
+	filepath.Join("testdata", "BENCH_wal-a.json"),
+}
+
+// TestLaneOf pins the label -> lane mapping: date-stamped labels (with or
+// without a commit suffix) fall into the default bench lane, a digit-free
+// prefix names its own lane.
+func TestLaneOf(t *testing.T) {
+	for label, want := range map[string]string{
+		"20260806":         "bench",
+		"20260808-799e618": "bench",
+		"scale-20260808":   "scale",
+		"wal-compact-2026": "wal-compact",
+		"old":              "old",
+		"":                 "bench",
+	} {
+		if got := laneOf(label); got != want {
+			t.Errorf("laneOf(%q) = %q, want %q", label, got, want)
+		}
+	}
+}
+
+// TestGoldenLanes: the per-lane tables (with a tripping threshold in the
+// bench lane) match the committed golden file byte for byte; the gate
+// still surfaces as errThreshold so main exits 2.
+func TestGoldenLanes(t *testing.T) {
+	var out strings.Builder
+	err := run(append([]string{"-lanes", "-threshold", "25"}, laneFixtures...), &out)
+	if !errors.Is(err, errThreshold) {
+		t.Fatalf("run err = %v, want errThreshold", err)
+	}
+	golden, rerr := os.ReadFile(filepath.Join("testdata", "golden_lanes.txt"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if out.String() != string(golden) {
+		t.Fatalf("lane tables drifted from golden file:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestLanesJSON: the -lanes -json document groups by lane, picks the two
+// newest snapshots per lane, and carries the skipped lane with a reason.
+func TestLanesJSON(t *testing.T) {
+	var out strings.Builder
+	err := run(append([]string{"-lanes", "-threshold", "25", "-json"}, laneFixtures...), &out)
+	if !errors.Is(err, errThreshold) {
+		t.Fatalf("run err = %v, want errThreshold", err)
+	}
+	var rep LanesReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("lanes report not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Gated != 1 || len(rep.Lanes) != 2 || len(rep.Skipped) != 1 {
+		t.Fatalf("report = gated %d, %d lanes, %d skipped", rep.Gated, len(rep.Lanes), len(rep.Skipped))
+	}
+	bench, scale := rep.Lanes[0], rep.Lanes[1]
+	if bench.Lane != "bench" || bench.Report.Gated != 1 ||
+		bench.Labels[0] != "20250101" || bench.Labels[1] != "20250102" {
+		t.Fatalf("bench lane = %+v", bench)
+	}
+	if scale.Lane != "scale" || scale.Report.Gated != 0 ||
+		scale.Labels[0] != "scale-20250101" || scale.Labels[1] != "scale-20250103" {
+		t.Fatalf("scale lane chose the wrong pair: %+v", scale)
+	}
+	wantFiles := []string{
+		filepath.Join("testdata", "BENCH_scale-a.json"),
+		filepath.Join("testdata", "BENCH_scale-b.json"),
+	}
+	if len(scale.Files) != 2 || scale.Files[0] != wantFiles[0] || scale.Files[1] != wantFiles[1] {
+		t.Fatalf("scale lane files = %v, want %v", scale.Files, wantFiles)
+	}
+	if rep.Skipped[0].Lane != "wal" || !strings.Contains(rep.Skipped[0].Reason, "two snapshots") {
+		t.Fatalf("skipped = %+v", rep.Skipped)
+	}
+}
+
+// TestLanesSingleFile: one snapshot in -lanes mode is a clean run with a
+// skipped lane — the scaling lane must not break bench-diff before its
+// second snapshot lands.
+func TestLanesSingleFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-lanes", filepath.Join("testdata", "BENCH_wal-a.json")}, &out); err != nil {
+		t.Fatalf("single-snapshot lanes run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "0 lane(s) diffed, 1 skipped") {
+		t.Fatalf("summary missing the skip:\n%s", out.String())
+	}
+}
+
 // TestDiffMath: percent math and NaN handling for non-comparable pairs.
 func TestDiffMath(t *testing.T) {
 	if got := pct(100, 150); got != 50 {

@@ -142,4 +142,37 @@ func TestServeWithMetrics(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"`+obs.LockMarkManager+`"`) {
 		t.Fatalf("/debug/contention status %d:\n%s", resp.StatusCode, body)
 	}
+
+	// markctl holds no triple store, so /debug/space carries only the
+	// runtime memory classes — and the obs.space budget flip still works,
+	// since the check is process-level.
+	resp, err = http.Get(s.URL() + "/debug/space")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"heap_inuse_bytes"`) {
+		t.Fatalf("/debug/space status %d:\n%s", resp.StatusCode, body)
+	}
+	prevBudget := obs.SetMemBudget(1)
+	resp, err = http.Get(s.URL() + "/healthz")
+	if err != nil {
+		obs.SetMemBudget(prevBudget)
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	obs.SetMemBudget(prevBudget)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "fail "+obs.HealthObsSpace) {
+		t.Fatalf("/healthz under mem budget: status %d:\n%s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(s.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz after clearing mem budget: status %d", resp.StatusCode)
+	}
 }

@@ -73,6 +73,26 @@ func TestServeWithMetrics(t *testing.T) {
 		t.Fatalf("/debug/contention status %d:\n%s", code, body)
 	}
 
+	// The pad's RegisterHealth also registered the store as a space source,
+	// so /debug/space reports the runtime classes plus the trim.store deep
+	// report.
+	if code, body := get("/debug/space"); code != http.StatusOK ||
+		!strings.Contains(body, `"runtime"`) ||
+		!strings.Contains(body, `"`+obs.SpaceSourceTrimStore+`"`) ||
+		!strings.Contains(body, `"duplication_ratio"`) {
+		t.Fatalf("/debug/space status %d:\n%s", code, body)
+	}
+	// obs.space flips /healthz while the in-use heap exceeds the budget.
+	prevBudget := obs.SetMemBudget(1)
+	if code, body := get("/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "fail "+obs.HealthObsSpace) {
+		obs.SetMemBudget(prevBudget)
+		t.Fatalf("/healthz under mem budget: status %d:\n%s", code, body)
+	}
+	obs.SetMemBudget(prevBudget)
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after clearing mem budget: status %d", code)
+	}
+
 	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "slimpad.store") {
 		t.Fatalf("/readyz status %d:\n%s", code, body)
 	}

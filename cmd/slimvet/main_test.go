@@ -8,11 +8,11 @@ import (
 	"testing"
 )
 
-// The xmldoc package carries known, baselined errwrap debt — a stable
+// The metamodel package carries known, baselined errwrap debt — a stable
 // non-empty target for exercising the driver without analyzing the whole
-// module in every subtest. (htmldoc and pdfdoc, the previous targets,
-// were paid down.)
-const debtPkg = "./internal/base/xmldoc"
+// module in every subtest. (htmldoc, pdfdoc, and the base/* editors, the
+// previous targets, were paid down.)
+const debtPkg = "./internal/metamodel"
 
 func runDriver(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
@@ -54,7 +54,7 @@ func TestSeededViolationsFailTextMode(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
 	}
-	lineRe := regexp.MustCompile(`internal/base/xmldoc/[a-z]+\.go:\d+:\d+: .+ \(errwrap\)`)
+	lineRe := regexp.MustCompile(`internal/metamodel/[a-z]+\.go:\d+:\d+: .+ \(errwrap\)`)
 	if !lineRe.MatchString(stdout) {
 		t.Errorf("text output missing file:line:col ... (analyzer) findings:\n%s", stdout)
 	}
@@ -89,7 +89,7 @@ func TestJSONReportShape(t *testing.T) {
 		t.Errorf("analyzers = %v, want all ten", r.Analyzers)
 	}
 	if len(r.Diagnostics) == 0 || len(r.New) == 0 {
-		t.Errorf("diagnostics/new empty; xmldoc debt should appear in both")
+		t.Errorf("diagnostics/new empty; metamodel debt should appear in both")
 	}
 	if r.Files == 0 {
 		t.Errorf("files = 0; the report must count analyzed files")
@@ -176,6 +176,6 @@ func TestEnableRestrictsAnalyzers(t *testing.T) {
 		t.Errorf("analyzers = %v, want [ctxflow]", r.Analyzers)
 	}
 	if len(r.Diagnostics) != 0 {
-		t.Errorf("ctxflow-only run should be clean on htmldoc, got %d findings", len(r.Diagnostics))
+		t.Errorf("ctxflow-only run should be clean on metamodel, got %d findings", len(r.Diagnostics))
 	}
 }

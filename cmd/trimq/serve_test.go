@@ -213,6 +213,45 @@ func TestServeWithMetrics(t *testing.T) {
 		t.Fatalf("/metrics missing rate families (status %d):\n%.2000s", code, body)
 	}
 
+	// The space endpoint: the runtime memory classes plus the trim store's
+	// deep report under the source name the command registered.
+	code, body = scrape(t, s.URL(), "/debug/space")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/space status %d:\n%s", code, body)
+	}
+	var space struct {
+		Runtime struct {
+			HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+		} `json:"runtime"`
+		Sources map[string]struct {
+			Triples          int     `json:"triples"`
+			DuplicationRatio float64 `json:"duplication_ratio"`
+			BytesPerTriple   float64 `json:"bytes_per_triple"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal([]byte(body), &space); err != nil {
+		t.Fatalf("/debug/space not JSON: %v\n%s", err, body)
+	}
+	if space.Runtime.HeapInuseBytes == 0 {
+		t.Fatalf("/debug/space runtime snapshot empty:\n%s", body)
+	}
+	st := space.Sources[obs.SpaceSourceTrimStore]
+	if st.Triples == 0 || st.DuplicationRatio <= 1 || st.BytesPerTriple <= 0 {
+		t.Fatalf("/debug/space %s report = %+v:\n%s", obs.SpaceSourceTrimStore, st, body)
+	}
+	// The obs.space health flip: a 1-byte heap budget degrades /healthz,
+	// clearing it restores 200.
+	prevBudget := obs.SetMemBudget(1)
+	code, body = scrape(t, s.URL(), "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "fail "+obs.HealthObsSpace) {
+		obs.SetMemBudget(prevBudget)
+		t.Fatalf("/healthz under mem budget: status %d:\n%s", code, body)
+	}
+	obs.SetMemBudget(prevBudget)
+	if code, _ := scrape(t, s.URL(), "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after clearing mem budget: status %d", code)
+	}
+
 	// The acceptance path: a staged persistence fault flips liveness.
 	prev := trim.SetPersistFault(func(stage trim.PersistStage, _ string) error {
 		if stage == trim.StageTempWrite {

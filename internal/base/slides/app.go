@@ -79,7 +79,7 @@ func (a *App) Select(l Loc) error {
 		return fmt.Errorf("slides: no open deck")
 	}
 	if _, err := a.openDeck.Shape(l.Slide, l.Shape); err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected, a.hasSel = l, true
 	return nil
@@ -105,11 +105,11 @@ func (a *App) locate(addr base.Address) (*Deck, Loc, Shape, error) {
 	}
 	l, err := ParseLoc(addr.Path)
 	if err != nil {
-		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	sh, err := d.Shape(l.Slide, l.Shape)
 	if err != nil {
-		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, Loc{}, Shape{}, fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	return d, l, sh, nil
 }

@@ -120,7 +120,7 @@ func (a *App) locate(addr base.Address) (*Workbook, *Sheet, Range, error) {
 	}
 	sheetName, rng, err := ParsePath(addr.Path)
 	if err != nil {
-		return nil, nil, Range{}, fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, nil, Range{}, fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	sheet, ok := w.Sheet(sheetName)
 	if !ok {

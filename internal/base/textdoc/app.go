@@ -87,7 +87,7 @@ func (a *App) Select(l Loc) error {
 		return fmt.Errorf("textdoc: no open document")
 	}
 	if _, err := a.openDoc.resolveLoc(l); err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected, a.hasSel = l, true
 	return nil
@@ -113,11 +113,11 @@ func (a *App) locate(addr base.Address) (*Document, Loc, string, error) {
 	}
 	l, err := ParseLoc(addr.Path)
 	if err != nil {
-		return nil, Loc{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, Loc{}, "", fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	content, err := d.resolveLoc(l)
 	if err != nil {
-		return nil, Loc{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, Loc{}, "", fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	return d, l, content, nil
 }

@@ -45,11 +45,11 @@ func ParseLoc(path string) (Loc, error) {
 	}
 	sec, err := parseNum(parts[0], 's')
 	if err != nil {
-		return Loc{}, fmt.Errorf("textdoc: path %q: %v", path, err)
+		return Loc{}, fmt.Errorf("textdoc: path %q: %w", path, err)
 	}
 	par, err := parseNum(parts[1], 'p')
 	if err != nil {
-		return Loc{}, fmt.Errorf("textdoc: path %q: %v", path, err)
+		return Loc{}, fmt.Errorf("textdoc: path %q: %w", path, err)
 	}
 	l := Loc{Section: sec, Paragraph: par}
 	if len(parts) == 3 {

@@ -97,11 +97,11 @@ func (a *App) SelectExpr(expr string) error {
 	}
 	p, err := ParsePath(expr)
 	if err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	n, err := a.openDoc.Resolve(p)
 	if err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected, a.selAttr = n, p.Attr
 	return nil
@@ -116,7 +116,7 @@ func (a *App) SelectNode(n *Node) error {
 		return fmt.Errorf("xmldoc: no open document")
 	}
 	if _, err := a.openDoc.PathTo(n); err != nil {
-		return fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	a.selected, a.selAttr = n, ""
 	return nil
@@ -147,11 +147,11 @@ func (a *App) locate(addr base.Address) (*Document, *Node, Path, string, error) 
 	}
 	p, err := ParsePath(addr.Path)
 	if err != nil {
-		return nil, nil, Path{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, nil, Path{}, "", fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	n, content, err := d.ResolveContent(p)
 	if err != nil {
-		return nil, nil, Path{}, "", fmt.Errorf("%w: %v", base.ErrBadAddress, err)
+		return nil, nil, Path{}, "", fmt.Errorf("%w: %w", base.ErrBadAddress, err)
 	}
 	return d, n, p, content, nil
 }

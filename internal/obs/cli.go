@@ -17,6 +17,7 @@ import (
 //	-flight DUR         runtime flight-recorder sampling interval under -serve
 //	-load DUR           windowed metrics sampling interval under -serve
 //	-contention DUR     obs.contention health threshold (p95 lock wait) under -serve
+//	-mem-budget BYTES   obs.space health threshold (in-use heap) under -serve
 //	-trace-sample RATE  probabilistic trace sampling rate (errors always kept)
 //
 // Usage: Bind onto the command's FlagSet, Start after parsing, and Finish
@@ -34,6 +35,7 @@ type CLI struct {
 	Load        time.Duration
 	TraceSample float64
 	Contention  time.Duration
+	MemBudget   int64
 
 	stopProfile func() error
 	server      *DiagServer
@@ -50,12 +52,14 @@ func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.DurationVar(&c.Load, "load", time.Second, "windowed metrics sampling `interval` for /debug/load (with -serve)")
 	fs.Float64Var(&c.TraceSample, "trace-sample", 1, "record this fraction of trace roots (0..1; error spans are always kept)")
 	fs.DurationVar(&c.Contention, "contention", DefaultContentionThreshold, "degrade /healthz when any tracked lock's p95 wait exceeds `dur` (with -serve)")
+	fs.Int64Var(&c.MemBudget, "mem-budget", 0, "degrade /healthz when the in-use heap exceeds `bytes` (0 disables; with -serve)")
 }
 
 // Start begins CPU profiling when -profile was given, applies the -slowops
 // threshold and -trace-sample rate, and — when -serve was given — starts
-// the diagnostics server, the runtime flight recorder, and its health
-// probe.
+// the diagnostics server, the runtime flight recorder, and the flight,
+// contention, and space health probes (-mem-budget arms the space probe;
+// without it obs.space always passes).
 func (c *CLI) Start() error {
 	if c.SlowOps > 0 {
 		DefaultSlowOps.SetThreshold(c.SlowOps)
@@ -74,6 +78,10 @@ func (c *CLI) Start() error {
 			DefaultHealth.Register(HealthObsFlight, FlightCheck(DefaultFlight))
 		}
 		DefaultHealth.Register(HealthObsContention, ContentionCheck(DefaultLocks, c.Contention))
+		if c.MemBudget > 0 {
+			SetMemBudget(c.MemBudget)
+		}
+		DefaultHealth.Register(HealthObsSpace, SpaceCheck())
 		if c.Load > 0 {
 			DefaultWindow.Start(c.Load)
 		}

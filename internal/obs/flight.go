@@ -27,6 +27,14 @@ type FlightSample struct {
 	LastGCPauseNS   uint64 `json:"last_gc_pause_ns"`
 	NextGCBytes     uint64 `json:"next_gc_bytes"`
 
+	// Space-accounting fold-in (space.go): heap bytes already returned to
+	// the OS, and the allocation-bytes rate since the previous ring sample
+	// (0 on the first). The rate is the churn number the alloc-per-op
+	// probes explain: a flat heap with a high alloc rate is the
+	// garbage-per-query signature ROADMAP item 1 attacks.
+	HeapReleasedBytes uint64  `json:"heap_released_bytes"`
+	AllocBytesPerSec  float64 `json:"alloc_bytes_per_sec"`
+
 	// runtime/metrics interval deltas (runtime.go): the scheduling-latency
 	// and GC-pause distributions observed since the previous sample, plus
 	// the interval's total goroutine-blocked-on-sync time. These close the
@@ -134,14 +142,15 @@ func (f *FlightRecorder) observe() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	s := FlightSample{
-		TimeUnixNS:      time.Now().UnixNano(),
-		Goroutines:      runtime.NumGoroutine(),
-		HeapAllocBytes:  ms.HeapAlloc,
-		HeapInuseBytes:  ms.HeapInuse,
-		TotalAllocBytes: ms.TotalAlloc,
-		NumGC:           ms.NumGC,
-		LastGCPauseNS:   ms.PauseNs[(ms.NumGC+255)%256],
-		NextGCBytes:     ms.NextGC,
+		TimeUnixNS:        time.Now().UnixNano(),
+		Goroutines:        runtime.NumGoroutine(),
+		HeapAllocBytes:    ms.HeapAlloc,
+		HeapInuseBytes:    ms.HeapInuse,
+		TotalAllocBytes:   ms.TotalAlloc,
+		NumGC:             ms.NumGC,
+		LastGCPauseNS:     ms.PauseNs[(ms.NumGC+255)%256],
+		NextGCBytes:       ms.NextGC,
+		HeapReleasedBytes: ms.HeapReleased,
 	}
 	f.lastNS.Store(s.TimeUnixNS)
 
@@ -154,6 +163,13 @@ func (f *FlightRecorder) observe() {
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.seq > 0 {
+		prev := f.ring[(f.seq-1)%uint64(len(f.ring))]
+		if prev.TimeUnixNS < s.TimeUnixNS && prev.TotalAllocBytes <= s.TotalAllocBytes {
+			dt := float64(s.TimeUnixNS-prev.TimeUnixNS) / 1e9
+			s.AllocBytesPerSec = float64(s.TotalAllocBytes-prev.TotalAllocBytes) / dt
+		}
+	}
 	sched, gc, mutexWait := f.rt.read()
 	s.SchedLatP50NS = sched.quantile(0.5)
 	s.SchedLatP95NS = sched.quantile(0.95)

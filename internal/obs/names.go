@@ -185,6 +185,47 @@ const (
 	LockMarkManager = "mark.manager"
 )
 
+// Store space accounting (internal/trim/space.go): the deep space
+// accountant's last-report gauges, republished so Prometheus can plot the
+// bytes-per-triple trajectory across the term-dictionary work (ROADMAP
+// item 1). Gauges are integers, so the duplication ratio is exported in
+// percent (×100).
+const (
+	NameTrimSpaceTotal          = "trim.space.total"
+	NameTrimSpaceBytesPerTriple = "trim.space.bytes_per_triple"
+	NameTrimSpaceStringBytes    = "trim.space.string.bytes"
+	NameTrimSpaceUniqueBytes    = "trim.space.string.unique.bytes"
+	NameTrimSpaceDupPct         = "trim.space.duplication.pct"
+	NameTrimSpaceInterningSaved = "trim.space.interning.saved.bytes"
+)
+
+// Alloc-per-op probe harness (internal/trim/probe.go, `trimq space
+// -probe`).
+const (
+	NameTrimProbeTotal = "trim.probe.total"
+	NameTrimProbeNS    = "trim.probe.ns"
+)
+
+// Process space accounting (internal/obs/space.go over
+// runtime/metrics/memory classes): heap occupancy split, GC cycle count,
+// and the allocation-bytes rate between reads. Served at /debug/space and
+// republished as the space_* gauge family on /metrics.
+const (
+	NameSpaceHeapInuse    = "space.heap.inuse.bytes"
+	NameSpaceHeapFree     = "space.heap.free.bytes"
+	NameSpaceHeapReleased = "space.heap.released.bytes"
+	NameSpaceStacks       = "space.stack.bytes"
+	NameSpaceTotal        = "space.total.bytes"
+	NameSpaceGCCycles     = "space.gc.cycles"
+	NameSpaceAllocRate    = "space.alloc.bytes_per_sec"
+)
+
+// Space-source names (obs.RegisterSpaceSource): per-subsystem deep space
+// reports rendered under "sources" at /debug/space.
+const (
+	SpaceSourceTrimStore = "trim.store"
+)
+
 // Runtime scheduler and GC telemetry (internal/obs/flight.go over
 // runtime/metrics): per-interval deltas of the runtime's cumulative
 // scheduling-latency and GC-pause distributions are replayed into these
@@ -216,4 +257,5 @@ const (
 
 	HealthObsFlight     = "obs.flight"
 	HealthObsContention = "obs.contention"
+	HealthObsSpace      = "obs.space"
 )

@@ -34,6 +34,7 @@ import (
 //	/debug/load        windowed 1m/5m rates and delta percentiles (JSON)
 //	/debug/top         heavy-hitter query shapes, space-saving top-K (JSON)
 //	/debug/contention  tracked-lock wait/hold stats (JSON)
+//	/debug/space       process memory classes + per-subsystem space reports
 //	/debug/slowops     JSON dump of the slow-op journal
 //	/debug/vars        expvar
 //	/debug/pprof/      CPU, heap, goroutine, ... profiles (net/http/pprof)
@@ -51,6 +52,7 @@ type ServeConfig struct {
 	Window   *WindowSampler
 	Top      *TopK
 	Locks    *LockTable
+	Space    *SpaceSources
 }
 
 func (c ServeConfig) withDefaults() ServeConfig {
@@ -80,6 +82,9 @@ func (c ServeConfig) withDefaults() ServeConfig {
 	}
 	if c.Locks == nil {
 		c.Locks = DefaultLocks
+	}
+	if c.Space == nil {
+		c.Space = DefaultSpace
 	}
 	return c
 }
@@ -134,6 +139,7 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 			"/debug/load        windowed 1m/5m rates and delta percentiles (JSON)\n"+
 			"/debug/top         heavy-hitter query shapes (JSON)\n"+
 			"/debug/contention  tracked-lock wait/hold stats (JSON)\n"+
+			"/debug/space       process + store space accounting (JSON)\n"+
 			"/debug/slowops     slow-op journal (JSON)\n"+
 			"/debug/vars        expvar\n"+
 			"/debug/pprof/      runtime profiles\n")
@@ -222,6 +228,13 @@ func NewDiagMux(cfg ServeConfig) *http.ServeMux {
 	mux.HandleFunc("/debug/contention", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		EncodeJSON(w, cfg.Locks)
+	})
+	mux.HandleFunc("/debug/space", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		EncodeJSON(w, struct {
+			Runtime SpaceInfo      `json:"runtime"`
+			Sources map[string]any `json:"sources"`
+		}{ReadSpace(), cfg.Space.Report()})
 	})
 	mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Process space accounting: where the bytes of the whole process live,
+// read from runtime/metrics' memory-class accounting. The store-level
+// space accountant (internal/trim/space.go) explains the bytes the store
+// asked for; this file explains what the runtime is actually holding —
+// in-use heap, heap retained-but-free, heap returned to the OS, stacks —
+// plus the allocation-bytes rate between reads. ReadSpace republishes the
+// numbers as the space_* gauge family on /metrics, /debug/space serves
+// them as JSON next to the registered per-subsystem space sources, and
+// SpaceCheck degrades /healthz when the in-use heap crosses the
+// -mem-budget threshold.
+
+// Memory-class metric names read by ReadSpace.
+const (
+	smHeapObjects  = "/memory/classes/heap/objects:bytes"
+	smHeapUnused   = "/memory/classes/heap/unused:bytes"
+	smHeapFree     = "/memory/classes/heap/free:bytes"
+	smHeapReleased = "/memory/classes/heap/released:bytes"
+	smHeapStacks   = "/memory/classes/heap/stacks:bytes"
+	smOSStacks     = "/memory/classes/os-stacks:bytes"
+	smTotal        = "/memory/classes/total:bytes"
+	smGCCycles     = "/gc/cycles/total:gc-cycles"
+	smAllocBytes   = "/gc/heap/allocs:bytes"
+)
+
+// SpaceInfo is one process-memory snapshot. HeapInuseBytes counts spans
+// holding live or not-yet-swept objects (object bytes + span-internal
+// fragmentation); HeapFreeBytes is heap memory the runtime retains for
+// reuse; HeapReleasedBytes has been returned to the OS. TotalBytes is
+// everything the runtime maps, so it bounds the process's resident
+// footprint from the Go side.
+type SpaceInfo struct {
+	TimeUnixNS        int64  `json:"time_unix_ns"`
+	HeapAllocBytes    uint64 `json:"heap_alloc_bytes"`
+	HeapInuseBytes    uint64 `json:"heap_inuse_bytes"`
+	HeapFreeBytes     uint64 `json:"heap_free_bytes"`
+	HeapReleasedBytes uint64 `json:"heap_released_bytes"`
+	StackBytes        uint64 `json:"stack_bytes"`
+	TotalBytes        uint64 `json:"total_bytes"`
+	GCCycles          uint64 `json:"gc_cycles"`
+	// TotalAllocBytes is the cumulative allocation counter
+	// (/gc/heap/allocs:bytes); AllocRateBytesPerSec is its rate since the
+	// previous ReadSpace call (0 on the first read).
+	TotalAllocBytes      uint64  `json:"total_alloc_bytes"`
+	AllocRateBytesPerSec float64 `json:"alloc_rate_bytes_per_sec"`
+	// MemBudgetBytes mirrors the -mem-budget threshold SpaceCheck degrades
+	// on (0 = no budget).
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+}
+
+// spaceState carries the previous cumulative read so consecutive
+// ReadSpace calls yield an allocation rate.
+var spaceState struct {
+	mu         sync.Mutex
+	prevAlloc  uint64
+	prevTimeNS int64
+}
+
+// ReadSpace samples the runtime's memory-class accounting, updates the
+// space_* gauges, and returns the snapshot. Safe for concurrent use.
+func ReadSpace() SpaceInfo {
+	samples := []metrics.Sample{
+		{Name: smHeapObjects},
+		{Name: smHeapUnused},
+		{Name: smHeapFree},
+		{Name: smHeapReleased},
+		{Name: smHeapStacks},
+		{Name: smOSStacks},
+		{Name: smTotal},
+		{Name: smGCCycles},
+		{Name: smAllocBytes},
+	}
+	metrics.Read(samples)
+	u64 := func(i int) uint64 {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	s := SpaceInfo{
+		TimeUnixNS: time.Now().UnixNano(),
+		// Heap in use = object bytes + span-internal fragmentation
+		// (runtime/metrics splits MemStats.HeapInuse into these two classes).
+		HeapAllocBytes:    u64(0),
+		HeapInuseBytes:    u64(0) + u64(1),
+		HeapFreeBytes:     u64(2),
+		HeapReleasedBytes: u64(3),
+		StackBytes:        u64(4) + u64(5),
+		TotalBytes:        u64(6),
+		GCCycles:          u64(7),
+		TotalAllocBytes:   u64(8),
+		MemBudgetBytes:    MemBudget(),
+	}
+
+	spaceState.mu.Lock()
+	if spaceState.prevTimeNS != 0 && s.TimeUnixNS > spaceState.prevTimeNS && s.TotalAllocBytes >= spaceState.prevAlloc {
+		dt := float64(s.TimeUnixNS-spaceState.prevTimeNS) / 1e9
+		s.AllocRateBytesPerSec = float64(s.TotalAllocBytes-spaceState.prevAlloc) / dt
+	}
+	spaceState.prevAlloc = s.TotalAllocBytes
+	spaceState.prevTimeNS = s.TimeUnixNS
+	spaceState.mu.Unlock()
+
+	G(NameSpaceHeapInuse).Set(int64(s.HeapInuseBytes))
+	G(NameSpaceHeapFree).Set(int64(s.HeapFreeBytes))
+	G(NameSpaceHeapReleased).Set(int64(s.HeapReleasedBytes))
+	G(NameSpaceStacks).Set(int64(s.StackBytes))
+	G(NameSpaceTotal).Set(int64(s.TotalBytes))
+	G(NameSpaceGCCycles).Set(int64(s.GCCycles))
+	G(NameSpaceAllocRate).Set(int64(s.AllocRateBytesPerSec))
+	return s
+}
+
+// memBudget is the process-wide in-use-heap budget SpaceCheck degrades
+// on; 0 disables the check.
+var memBudget atomic.Int64
+
+// SetMemBudget sets the in-use-heap budget in bytes (0 disables) and
+// returns the previous value, so tests can flip and restore it.
+func SetMemBudget(bytes int64) int64 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	return memBudget.Swap(bytes)
+}
+
+// MemBudget returns the current in-use-heap budget (0 = none).
+func MemBudget() int64 { return memBudget.Load() }
+
+// SpaceCheck returns a health check that fails while the in-use heap
+// exceeds the configured memory budget. With no budget set it always
+// passes, so registering it unconditionally is safe.
+func SpaceCheck() HealthCheck {
+	return func(ctx context.Context) error {
+		_ = ctx
+		budget := MemBudget()
+		if budget <= 0 {
+			return nil
+		}
+		if inuse := ReadSpace().HeapInuseBytes; int64(inuse) > budget {
+			return fmt.Errorf("heap in use %d bytes exceeds the %d-byte budget", inuse, budget)
+		}
+		return nil
+	}
+}
+
+// SpaceReporter renders one subsystem's deep space report (any
+// JSON-encodable value); the store's accountant walks its indexes under
+// the read lock, so reporters are expected to be O(store) and are only
+// called when /debug/space is scraped.
+type SpaceReporter func() any
+
+// SpaceSources is a registry of named per-subsystem space reporters. It
+// keeps obs decoupled from the stores: trim (and anything else holding
+// bulk data) registers a closure, /debug/space fans out to all of them.
+type SpaceSources struct {
+	mu      sync.RWMutex
+	sources map[string]SpaceReporter
+}
+
+// NewSpaceSources returns an empty source registry.
+func NewSpaceSources() *SpaceSources {
+	return &SpaceSources{sources: make(map[string]SpaceReporter)}
+}
+
+// DefaultSpace is the process-wide space-source registry /debug/space
+// renders.
+var DefaultSpace = NewSpaceSources()
+
+// Register adds (or replaces) a named reporter.
+func (s *SpaceSources) Register(name string, fn SpaceReporter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sources[name] = fn
+}
+
+// Unregister removes a named reporter.
+func (s *SpaceSources) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sources, name)
+}
+
+// Report runs every registered reporter and returns the reports by name.
+// Reporters run outside the registry lock, so they may take their own
+// store locks without ordering against Register/Unregister.
+func (s *SpaceSources) Report() map[string]any {
+	s.mu.RLock()
+	snapshot := make(map[string]SpaceReporter, len(s.sources))
+	for name, fn := range s.sources {
+		snapshot[name] = fn
+	}
+	s.mu.RUnlock()
+	out := make(map[string]any, len(snapshot))
+	for name, fn := range snapshot {
+		out[name] = fn()
+	}
+	return out
+}
+
+// RegisterSpaceSource adds a reporter to the process-wide registry.
+func RegisterSpaceSource(name string, fn SpaceReporter) {
+	DefaultSpace.Register(name, fn)
+}
+
+// UnregisterSpaceSource removes a reporter from the process-wide registry.
+func UnregisterSpaceSource(name string) {
+	DefaultSpace.Unregister(name)
+}

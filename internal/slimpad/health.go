@@ -24,4 +24,8 @@ func (a *App) RegisterHealth(health, ready *obs.HealthRegistry, padPath string, 
 		health.Register(obs.HealthSlimpadPersist, trim.WritableCheck(padPath))
 	}
 	health.Register(obs.HealthSlimpadQuarantine, a.marks.QuarantineCheck(maxQuarantined))
+	// The pad store's deep space report joins the runtime's memory classes
+	// at /debug/space.
+	tm := a.dmi.Store().Trim()
+	obs.RegisterSpaceSource(obs.SpaceSourceTrimStore, func() any { return tm.Space() })
 }

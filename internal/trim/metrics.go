@@ -19,6 +19,20 @@ var (
 	mCountTotal  = obs.C(obs.NameTrimCountTotal)
 	mStatsTotal  = obs.C(obs.NameTrimStatsTotal)
 
+	// Deep space accountant (space.go): report counter and the last
+	// report's headline gauges, so /metrics carries the bytes-per-triple
+	// trajectory between scrapes of /debug/space.
+	mSpaceTotal          = obs.C(obs.NameTrimSpaceTotal)
+	gSpaceBytesPerTriple = obs.G(obs.NameTrimSpaceBytesPerTriple)
+	gSpaceStringBytes    = obs.G(obs.NameTrimSpaceStringBytes)
+	gSpaceUniqueBytes    = obs.G(obs.NameTrimSpaceUniqueBytes)
+	gSpaceDupPct         = obs.G(obs.NameTrimSpaceDupPct)
+	gSpaceInterningSaved = obs.G(obs.NameTrimSpaceInterningSaved)
+
+	// Alloc-per-op probe harness (probe.go).
+	mProbeTotal = obs.C(obs.NameTrimProbeTotal)
+	mProbeNS    = obs.H(obs.NameTrimProbeNS)
+
 	// Index-choice counters quantify the query planner: which position's
 	// hash index served a pattern, or whether a full scan was needed.
 	mIdxSubject   = obs.C(obs.NameTrimIndexSubject)

@@ -1,0 +1,71 @@
+package trim
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestProbeAllocsShapes pins the harness contract: all eight heavy-hitter
+// shapes are measured, per-op figures are sane, and the fully bound and
+// resolve probes actually matched rows (the exemplars come from the live
+// store, so an empty match would mean exemplar selection broke).
+func TestProbeAllocsShapes(t *testing.T) {
+	m := NewManager()
+	populate(m, 60)
+	results := m.ProbeAllocs(context.Background(), 10)
+	want := []string{"select/spo", "select/s??", "select/?p?", "select/??o", "select/???", "view", "path", "resolve"}
+	if len(results) != len(want) {
+		t.Fatalf("got %d probes, want %d: %+v", len(results), len(want), results)
+	}
+	for i, r := range results {
+		if r.Op != want[i] {
+			t.Errorf("probe %d op = %q, want %q", i, r.Op, want[i])
+		}
+		if r.Iters != 10 {
+			t.Errorf("%s: iters = %d, want 10", r.Op, r.Iters)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive measurement: %+v", r.Op, r)
+		}
+		if r.Query == "" {
+			t.Errorf("%s: empty query rendering", r.Op)
+		}
+		if !strings.Contains(r.String(), "allocs/op") {
+			t.Errorf("%s: String() missing allocs/op: %s", r.Op, r)
+		}
+	}
+	if results[0].Matched != 1 {
+		t.Errorf("select/spo matched %d, want 1 (exact triple)", results[0].Matched)
+	}
+	// The full scan matches the whole store.
+	if results[4].Matched != m.Len() {
+		t.Errorf("select/??? matched %d, want %d", results[4].Matched, m.Len())
+	}
+	if results[7].Matched < 1 {
+		t.Errorf("resolve matched %d, want >= 1", results[7].Matched)
+	}
+}
+
+// TestProbeAllocsEmptyStore: no exemplars, no probes.
+func TestProbeAllocsEmptyStore(t *testing.T) {
+	if got := NewManager().ProbeAllocs(context.Background(), 5); got != nil {
+		t.Fatalf("ProbeAllocs on empty store = %+v, want nil", got)
+	}
+}
+
+// TestProbeExemplarsDeterministic: two runs over the same store pick the
+// same exemplars, so probe results are comparable run to run.
+func TestProbeExemplarsDeterministic(t *testing.T) {
+	m := NewManager()
+	populate(m, 50)
+	s1, p1, o1, x1, ok1 := m.probeExemplars()
+	s2, p2, o2, x2, ok2 := m.probeExemplars()
+	if !ok1 || !ok2 {
+		t.Fatal("probeExemplars reported an empty store")
+	}
+	if s1 != s2 || p1 != p2 || o1 != o2 || x1 != x2 {
+		t.Fatalf("exemplars differ across runs: (%v %v %v %v) vs (%v %v %v %v)",
+			s1, p1, o1, x1, s2, p2, o2, x2)
+	}
+}

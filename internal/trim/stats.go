@@ -40,6 +40,10 @@ type Stats struct {
 	// the process-wide tracked-lock table. Empty when no tracked lock has
 	// registered under the store's name yet.
 	Locks []obs.LockStats `json:"locks,omitempty"`
+	// Space is the deep space accountant's report (space.go): string-byte
+	// duplication, index overhead, per-predicate byte attribution, and the
+	// projected interning win, computed in the same locked pass.
+	Space SpaceStats `json:"space"`
 }
 
 // Stats computes current statistics in one pass under a read lock.
@@ -55,6 +59,7 @@ func (m *Manager) Stats() Stats {
 		DistinctObjects:    len(m.byObject),
 		Generation:         m.generation,
 		Predicates:         m.predicateStatsLocked(),
+		Space:              m.spaceLocked(),
 	}
 	for _, set := range m.bySubject {
 		s.IndexSPO += len(set)
